@@ -1,0 +1,98 @@
+//! Criterion micro-benches for the codec substrates: LZ4, the JPEG-style
+//! coder, the Turbo frame encoder and the LRU command cache.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gbooster_codec::lru::CommandCache;
+use gbooster_codec::{jpeg, lz4};
+use gbooster_codec::turbo::TurboEncoder;
+use gbooster_gles::serialize::encode_stream;
+use gbooster_workload::genre::GenreProfile;
+use gbooster_workload::tracegen::TraceGenerator;
+
+fn command_stream_bytes() -> Vec<u8> {
+    let mut gen = TraceGenerator::new(GenreProfile::action(), 1.0, 1280, 720, 3);
+    gen.setup_trace();
+    let mut out = Vec::new();
+    for _ in 0..10 {
+        let frame = gen.next_frame(1.0 / 30.0);
+        let resolved: Vec<_> = frame
+            .commands
+            .into_iter()
+            .filter(|c| !c.has_unresolved_pointer())
+            .collect();
+        out.extend_from_slice(&encode_stream(&resolved).expect("encodes"));
+    }
+    out
+}
+
+fn bench_lz4(c: &mut Criterion) {
+    let data = command_stream_bytes();
+    let compressed = lz4::compress(&data);
+    let mut group = c.benchmark_group("lz4");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_command_stream", |b| {
+        b.iter(|| lz4::compress(black_box(&data)))
+    });
+    group.bench_function("decompress_command_stream", |b| {
+        b.iter(|| lz4::decompress(black_box(&compressed), data.len()).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_jpeg(c: &mut Criterion) {
+    let (w, h) = (64u32, 64u32);
+    let rgba: Vec<u8> = (0..w * h * 4).map(|i| (i * 7 % 251) as u8).collect();
+    let encoded = jpeg::compress(w, h, &rgba, 80);
+    let mut group = c.benchmark_group("jpeg");
+    group.throughput(Throughput::Elements((w * h) as u64));
+    group.bench_function("compress_64x64", |b| {
+        b.iter(|| jpeg::compress(w, h, black_box(&rgba), 80))
+    });
+    group.bench_function("decompress_64x64", |b| {
+        b.iter(|| jpeg::decompress(black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_turbo(c: &mut Criterion) {
+    let (w, h) = (160u32, 120u32);
+    let mut base = vec![50u8; (w * h * 4) as usize];
+    for px in base.chunks_exact_mut(4) {
+        px[3] = 255;
+    }
+    let mut moved = base.clone();
+    for i in 0..(16 * 16) {
+        let x = i % 16 + 40;
+        let y = i / 16 + 40;
+        let idx = ((y * w + x) * 4) as usize;
+        moved[idx] = 250;
+    }
+    let mut group = c.benchmark_group("turbo");
+    group.throughput(Throughput::Elements((w * h) as u64));
+    group.bench_function("delta_frame_160x120", |b| {
+        b.iter(|| {
+            let mut enc = TurboEncoder::new(w, h, 80);
+            enc.encode(black_box(&base));
+            enc.encode(black_box(&moved))
+        })
+    });
+    group.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let commands: Vec<Vec<u8>> = (0..64u8).map(|i| vec![i; 48]).collect();
+    c.bench_function("lru_offer_steady_state", |b| {
+        let mut cache = CommandCache::new(4096);
+        for cmd in &commands {
+            cache.offer(cmd);
+        }
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % commands.len();
+            cache.offer(black_box(&commands[i]))
+        })
+    });
+}
+
+criterion_group!(benches, bench_lz4, bench_jpeg, bench_turbo, bench_lru);
+criterion_main!(benches);

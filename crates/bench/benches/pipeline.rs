@@ -1,0 +1,86 @@
+//! Criterion benches for the end-to-end pipeline pieces: the wire codec,
+//! the forwarder (resolve + cache + LZ4), service-side replay, and the
+//! software rasterizer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gbooster_core::forward::{CommandForwarder, ServiceReceiver};
+use gbooster_gles::command::GlCommand;
+use gbooster_gles::framebuffer::Framebuffer;
+use gbooster_gles::raster::{draw_triangle, RasterState, Vertex};
+use gbooster_gles::serialize::{decode_stream, encode_stream};
+use gbooster_workload::genre::GenreProfile;
+use gbooster_workload::tracegen::TraceGenerator;
+
+fn sample_frames(n: usize) -> (Vec<Vec<GlCommand>>, gbooster_gles::command::ClientMemory) {
+    let mut gen = TraceGenerator::new(GenreProfile::action(), 1.0, 1280, 720, 7);
+    let mut frames = vec![gen.setup_trace().commands];
+    for _ in 0..n {
+        frames.push(gen.next_frame(1.0 / 30.0).commands);
+    }
+    (frames, gen.client_memory().clone())
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let (frames, _) = sample_frames(1);
+    let resolved: Vec<GlCommand> = frames[1]
+        .iter()
+        .filter(|cmd| !cmd.has_unresolved_pointer())
+        .cloned()
+        .collect();
+    let bytes = encode_stream(&resolved).expect("encodes");
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Elements(resolved.len() as u64));
+    group.bench_function("encode_frame", |b| {
+        b.iter(|| encode_stream(black_box(&resolved)).unwrap())
+    });
+    group.bench_function("decode_frame", |b| {
+        b.iter(|| decode_stream(black_box(&bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_forward_pipeline(c: &mut Criterion) {
+    let (frames, mem) = sample_frames(30);
+    c.bench_function("forward_frame_steady_state", |b| {
+        let mut fw = CommandForwarder::new();
+        for f in &frames {
+            fw.forward_frame(f, &mem).unwrap();
+        }
+        let mut i = 1;
+        b.iter(|| {
+            i = 1 + (i % (frames.len() - 1));
+            fw.forward_frame(black_box(&frames[i]), &mem).unwrap()
+        })
+    });
+    c.bench_function("forward_and_receive_frame", |b| {
+        let mut fw = CommandForwarder::new();
+        let mut rx = ServiceReceiver::new();
+        for f in &frames {
+            let fwd = fw.forward_frame(f, &mem).unwrap();
+            rx.receive(&fwd.wire).unwrap();
+        }
+        let mut i = 1;
+        b.iter(|| {
+            i = 1 + (i % (frames.len() - 1));
+            let fwd = fw.forward_frame(black_box(&frames[i]), &mem).unwrap();
+            rx.receive(&fwd.wire).unwrap()
+        })
+    });
+}
+
+fn bench_raster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raster");
+    group.throughput(Throughput::Elements(128 * 128 / 2));
+    group.bench_function("triangle_128", |b| {
+        let mut fb = Framebuffer::new(128, 128);
+        let state = RasterState::new(128, 128);
+        let v0 = Vertex::new([-1.0, -1.0, 0.0], [1.0, 0.0, 0.0, 1.0]);
+        let v1 = Vertex::new([1.0, -1.0, 0.0], [0.0, 1.0, 0.0, 1.0]);
+        let v2 = Vertex::new([-1.0, 1.0, 0.0], [0.0, 0.0, 1.0, 1.0]);
+        b.iter(|| draw_triangle(&mut fb, &state, black_box(v0), v1, v2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_forward_pipeline, bench_raster);
+criterion_main!(benches);

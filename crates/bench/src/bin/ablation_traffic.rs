@@ -1,0 +1,124 @@
+//! Ablation (extension beyond the paper): contribution of each uplink
+//! traffic optimization — LRU cache alone, LZ4 alone, both, neither —
+//! measured on real forwarded command streams.
+
+use gbooster_bench::{compare, header};
+use gbooster_codec::lru::{CacheToken, CommandCache};
+use gbooster_codec::lz4;
+use gbooster_gles::command::GlCommand;
+use gbooster_gles::serialize::{encode_command, DeferredResolver};
+use gbooster_workload::genre::GenreProfile;
+use gbooster_workload::tracegen::TraceGenerator;
+
+/// Encodes a session three ways and reports bytes on the wire.
+fn measure(genre: GenreProfile, frames: usize) -> [usize; 4] {
+    let mut gen = TraceGenerator::new(genre, 1.0, 1280, 720, 11);
+    let mut resolver = DeferredResolver::new();
+    let mut cache_only = CommandCache::new(4096);
+    let mut cache_lz4 = CommandCache::new(4096);
+    let setup = gen.setup_trace();
+    let mut all_frames: Vec<Vec<GlCommand>> = vec![setup.commands];
+    for _ in 0..frames {
+        all_frames.push(gen.next_frame(1.0 / 30.0).commands);
+    }
+    let mut raw = 0usize;
+    let mut lz4_only = 0usize;
+    let mut cache_only_bytes = 0usize;
+    let mut both = 0usize;
+    for commands in &all_frames {
+        let mut frame_raw = Vec::new();
+        let mut frame_tokens_a = Vec::new();
+        let mut frame_tokens_b = Vec::new();
+        for cmd in commands {
+            for resolved in resolver
+                .push(cmd.clone(), gen.client_memory())
+                .expect("trace resolves")
+            {
+                let mut encoded = Vec::new();
+                encode_command(&resolved, &mut encoded).expect("resolved encodes");
+                frame_raw.extend_from_slice(&encoded);
+                for (cache, out) in [
+                    (&mut cache_only, &mut frame_tokens_a),
+                    (&mut cache_lz4, &mut frame_tokens_b),
+                ] {
+                    match cache.offer(&encoded) {
+                        CacheToken::Ref(key) => {
+                            out.push(0u8);
+                            out.extend_from_slice(&key.to_le_bytes());
+                        }
+                        CacheToken::Full(bytes) => {
+                            out.push(1);
+                            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                            out.extend_from_slice(&bytes);
+                        }
+                    }
+                }
+            }
+        }
+        raw += frame_raw.len();
+        lz4_only += lz4::compress(&frame_raw).len();
+        cache_only_bytes += frame_tokens_a.len();
+        both += lz4::compress(&frame_tokens_b).len();
+    }
+    [raw, lz4_only, cache_only_bytes, both]
+}
+
+fn main() {
+    header("Ablation: uplink traffic optimizations (60 frames @ 720p)");
+    println!(
+        "{:<14} {:>10} {:>10} {:>11} {:>12}",
+        "genre", "raw", "lz4 only", "cache only", "cache + lz4"
+    );
+    for (name, genre) in [
+        ("action", GenreProfile::action()),
+        ("role playing", GenreProfile::role_playing()),
+        ("puzzle", GenreProfile::puzzle()),
+    ] {
+        let [raw, lz4_only, cache_only, both] = measure(genre, 60);
+        println!(
+            "{:<14} {:>9}K {:>9}K {:>10}K {:>11}K   ({:.0}% / {:.0}% / {:.0}%)",
+            name,
+            raw / 1024,
+            lz4_only / 1024,
+            cache_only / 1024,
+            both / 1024,
+            lz4_only as f64 / raw as f64 * 100.0,
+            cache_only as f64 / raw as f64 * 100.0,
+            both as f64 / raw as f64 * 100.0,
+        );
+        assert!(both <= lz4_only, "combined must beat LZ4 alone");
+        assert!(both <= cache_only, "combined must beat the cache alone");
+    }
+    println!();
+    header("Extension: stride-4 delta prefilter on vertex payloads");
+    // Slowly-varying interleaved floats (transform matrices, vertex
+    // positions) barely compress raw; a lane-aligned byte delta exposes
+    // their redundancy to LZ4.
+    // A vertex-position ramp (tessellated grid coordinates): raw LZ4
+    // finds no 4-byte repeats, but the lane-aligned delta exposes the
+    // slow per-float variation.
+    let vertex_like: Vec<u8> = (0..4000u32)
+        .flat_map(|i| ((i as f32) * 0.125).to_le_bytes())
+        .collect();
+    let plain = gbooster_codec::lz4::compress(&vertex_like).len();
+    let filtered = gbooster_codec::filter::compress_filtered(&vertex_like, 4).len();
+    println!(
+        "float stream: raw {} B | lz4 {} B | delta4+lz4 {} B",
+        vertex_like.len(),
+        plain,
+        filtered
+    );
+    compare(
+        "combined pipeline",
+        "caching + LZ4 (Section V-A)",
+        "strictly better than either alone",
+    );
+    compare(
+        "delta prefilter (extension)",
+        "not in the paper",
+        &format!(
+            "{:.0}% of plain LZ4 on float streams",
+            filtered as f64 / plain as f64 * 100.0
+        ),
+    );
+}

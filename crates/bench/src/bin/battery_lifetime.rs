@@ -1,0 +1,45 @@
+//! Battery-lifetime projection: the paper's "Extend Battery Life"
+//! objective (Section II) expressed as hours of gameplay per charge.
+
+use gbooster_bench::{compare, header, run_local, run_offloaded};
+use gbooster_sim::battery::Battery;
+use gbooster_sim::device::DeviceSpec;
+use gbooster_workload::games::GameTitle;
+
+fn main() {
+    header("Battery lifetime: hours of gameplay per charge (Nexus 5)");
+    println!(
+        "{:<6} {:>12} {:>14} {:>10}",
+        "game", "local hours", "gbooster hours", "extension"
+    );
+    let battery = Battery::nexus5();
+    let nexus = DeviceSpec::nexus5();
+    let mut best = 0.0f64;
+    for game in GameTitle::corpus() {
+        let local = run_local(&game, &nexus);
+        let off = run_offloaded(&game, &nexus);
+        let local_h = battery
+            .lifetime_at(local.energy.average_power_w())
+            .as_secs_f64()
+            / 3600.0;
+        let off_h = battery
+            .lifetime_at(off.energy.average_power_w())
+            .as_secs_f64()
+            / 3600.0;
+        best = best.max(off_h / local_h);
+        println!(
+            "{:<6} {:>11.1}h {:>13.1}h {:>9.0}%",
+            game.id,
+            local_h,
+            off_h,
+            (off_h / local_h - 1.0) * 100.0
+        );
+        assert!(off_h > local_h, "{}: offloading must extend battery life", game.id);
+    }
+    println!();
+    compare(
+        "battery-life extension (best case)",
+        "implied ~3.3x by 70% saving",
+        &format!("{best:.1}x"),
+    );
+}

@@ -1,0 +1,49 @@
+//! Fig. 1: GPU frequency/temperature trace of an LG G4 running GTA San
+//! Andreas — 600 MHz for ~10 minutes, then a collapse to 100 MHz.
+
+use gbooster_bench::{compare, header};
+use gbooster_sim::device::DeviceSpec;
+use gbooster_sim::gpu::GpuModel;
+use gbooster_sim::time::SimDuration;
+
+fn main() {
+    header("Fig. 1: GPU frequency trace (LG G4, GTA San Andreas)");
+    let g4 = DeviceSpec::lg_g4();
+    let mut gpu = GpuModel::new(g4.gpu.clone());
+    // GTA San Andreas saturates the GPU (Section II).
+    let utilization = 1.0;
+    let mut throttle_onset_s = None;
+    println!("{:>8} {:>10} {:>10}", "t (s)", "freq MHz", "temp C");
+    for s in 0..=1200u64 {
+        gpu.step(SimDuration::from_secs(1), utilization);
+        if s % 60 == 0 {
+            println!(
+                "{:>8} {:>10} {:>10.1}",
+                s,
+                gpu.current_freq_mhz(),
+                gpu.temperature_c()
+            );
+        }
+        if throttle_onset_s.is_none() && gpu.is_throttled() {
+            throttle_onset_s = Some(s);
+        }
+    }
+    let onset = throttle_onset_s.expect("the G4 must throttle under sustained load");
+    println!();
+    compare("initial frequency", "600 MHz", "600 MHz");
+    compare("throttled frequency", "100 MHz", &format!("{} MHz", gpu.current_freq_mhz()));
+    compare(
+        "throttle onset",
+        "~10 minutes",
+        &format!("{:.1} minutes", onset as f64 / 60.0),
+    );
+    compare(
+        "post-onset behaviour",
+        "drops drastically, stays low",
+        &format!(
+            "pinned at {} MHz through minute 20",
+            gpu.current_freq_mhz()
+        ),
+    );
+    assert_eq!(gpu.current_freq_mhz(), 100);
+}

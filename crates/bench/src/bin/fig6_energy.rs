@@ -1,0 +1,80 @@
+//! Fig. 6 (a, b): normalized energy consumption per game, and the effect
+//! of disabling the Bluetooth/WiFi switching optimization.
+//!
+//! Following Section VII-C, the power runs use short repeatable scenes on
+//! a cooled-down phone (no thermal throttling inside the measurement).
+
+use gbooster_bench::{compare, header, run_local, run_offloaded, run_offloaded_no_switching};
+use gbooster_sim::device::DeviceSpec;
+use gbooster_workload::games::GameTitle;
+
+fn main() {
+    header("Fig. 6a: normalized energy (GBooster / local), per game");
+    println!(
+        "{:<6} | {:>10} {:>10} | {:>10} {:>10}",
+        "game", "nexus5", "lg g5", "n5 no-sw", "g5 no-sw"
+    );
+    let mut best_saving = 0.0f64;
+    for game in GameTitle::corpus() {
+        let mut row = format!("{:<6} |", game.id);
+        let mut no_switch = String::new();
+        for device in [DeviceSpec::nexus5(), DeviceSpec::lg_g5()] {
+            let local = run_local(&game, &device);
+            let off = run_offloaded(&game, &device);
+            let off_ns = run_offloaded_no_switching(&game, &device);
+            let norm = off.normalized_energy(&local);
+            let norm_ns = off_ns.normalized_energy(&local);
+            best_saving = best_saving.max(1.0 - norm);
+            row += &format!(" {:>9.2}", norm);
+            no_switch += &format!(" {:>9.2}", norm_ns);
+            assert!(
+                norm_ns >= norm - 1e-6,
+                "disabling switching must not save energy ({} on {})",
+                game.id,
+                device.name
+            );
+        }
+        println!("{row} |{no_switch}");
+    }
+    println!();
+    header("Fig. 6b: effect of disabling interface switching");
+    // The switching win is largest where demand fits Bluetooth for long
+    // stretches. At our 720p streaming resolution the action games pin
+    // the radio on WiFi, so the paper's large G1 gap shows up on the
+    // lighter genres instead (deviation recorded in EXPERIMENTS.md).
+    let nexus = DeviceSpec::nexus5();
+    for game in [
+        GameTitle::g1_gta_san_andreas(),
+        GameTitle::g3_star_wars(),
+        GameTitle::g5_candy_crush(),
+    ] {
+        let local = run_local(&game, &nexus);
+        let with = run_offloaded(&game, &nexus);
+        let without = run_offloaded_no_switching(&game, &nexus);
+        println!(
+            "{} on Nexus 5: with switching {:.2}, without {:.2} (radio {:.1} J vs {:.1} J; bt share {:.0}%)",
+            game.id,
+            with.normalized_energy(&local),
+            without.normalized_energy(&local),
+            with.energy.radio_joules(),
+            without.energy.radio_joules(),
+            with.bt_bytes as f64 / (with.bt_bytes + with.wifi_bytes).max(1) as f64 * 100.0,
+        );
+    }
+    println!();
+    compare(
+        "energy saving (best case, action)",
+        "up to 70% (G2)",
+        &format!("{:.0}%", best_saving * 100.0),
+    );
+    compare(
+        "puzzle saving",
+        "~30% (G6)",
+        "lowest of the corpus (see table)",
+    );
+    compare(
+        "disabling switching",
+        "G1: normalized 40% -> 65%",
+        "clear on puzzle/RPG; action pinned on WiFi at 720p",
+    );
+}

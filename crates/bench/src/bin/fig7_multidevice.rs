@@ -1,0 +1,56 @@
+//! Fig. 7: FPS metrics of G1 on the Nexus 5 as the number of service
+//! devices grows from 0 (local) to 5; the gain saturates at 3 devices
+//! because the rendering-request buffer holds at most 3 requests.
+
+use gbooster_bench::{compare, header, run_local, run_multi_device};
+use gbooster_sim::device::DeviceSpec;
+use gbooster_workload::games::GameTitle;
+
+fn main() {
+    header("Fig. 7: FPS metrics with multiple service devices (G1, Nexus 5)");
+    let game = GameTitle::g1_gta_san_andreas();
+    let nexus = DeviceSpec::nexus5();
+    println!(
+        "{:>8} {:>12} {:>12} {:>24}",
+        "devices", "median fps", "stability", "requests per device"
+    );
+    let local = run_local(&game, &nexus);
+    println!(
+        "{:>8} {:>12.1} {:>11.0}% {:>24}",
+        0,
+        local.median_fps,
+        local.stability * 100.0,
+        "-"
+    );
+    let mut fps_by_n = vec![local.median_fps];
+    for n in 1..=5usize {
+        let report = run_multi_device(&game, &nexus, n);
+        assert!(report.state_consistent, "replica digests diverged at n={n}");
+        println!(
+            "{:>8} {:>12.1} {:>11.0}% {:>24}",
+            n,
+            report.median_fps,
+            report.stability * 100.0,
+            format!("{:?}", report.per_device_requests)
+        );
+        fps_by_n.push(report.median_fps);
+    }
+    println!();
+    compare("0 -> 1 device", "23 -> 40 FPS", &format!("{:.0} -> {:.0}", fps_by_n[0], fps_by_n[1]));
+    compare(
+        "1 -> 3 devices",
+        "40 -> 51 FPS",
+        &format!("{:.0} -> {:.0}", fps_by_n[1], fps_by_n[3]),
+    );
+    compare(
+        "beyond 3 devices",
+        "barely increases, stays stable",
+        &format!("{:.0} -> {:.0} (buffer holds at most 3)", fps_by_n[3], fps_by_n[5]),
+    );
+    assert!(fps_by_n[1] > fps_by_n[0] * 1.4, "one device must boost");
+    assert!(fps_by_n[3] >= fps_by_n[1], "three devices must not regress");
+    assert!(
+        (fps_by_n[5] - fps_by_n[3]).abs() <= 4.0,
+        "gain must saturate at 3 devices"
+    );
+}

@@ -1,0 +1,152 @@
+//! Section V-B: traffic-prediction quality — ARMA versus ARMAX, plus the
+//! AIC sweep over the four candidate exogenous attributes.
+//!
+//! Paper: ARMA FP 23.7 % / FN 35.1 %; ARMAX FP 23 % / FN 17 %; AIC selects
+//! attributes 1 (touchstroke frequency) and 3 (textures per frame).
+
+use gbooster_bench::{compare, header};
+use gbooster_forecast::aic::{all_subsets, select_attributes};
+use gbooster_forecast::ewma::Ewma;
+use gbooster_forecast::predictor::TrafficPredictor;
+use gbooster_sim::rng::derived;
+use rand::Rng;
+
+/// Synthesizes the evaluation traffic trace: AR base load, touch-driven
+/// scene bursts, and *independent* texture-streaming bursts (asset
+/// loading is not user-input-driven), with the paper's four candidate
+/// attributes observed alongside:
+///   0: touchstroke frequency        (informative: input-driven surges)
+///   1: command-sequence length      (weakly informative, lags traffic)
+///   2: textures per frame           (informative: streaming surges)
+///   3: command diff vs prev frame   (noisy echo of attribute 0)
+fn trace(seed: u64, len: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let mut rng = derived(seed, "prediction");
+    let mut traffic = Vec::with_capacity(len);
+    let mut exo_rows = Vec::with_capacity(len);
+    let mut base: f64 = 9.0;
+    let mut burst = 0u32;
+    let mut burst_touch = 0.0;
+    let mut tex_burst = 0u32;
+    let mut prev_touch = 0.0;
+    for _ in 0..len {
+        if burst == 0 && rng.gen_bool(0.05) {
+            burst = rng.gen_range(2..6);
+            burst_touch = rng.gen_range(3.0..8.0);
+        }
+        if tex_burst == 0 && rng.gen_bool(0.04) {
+            tex_burst = rng.gen_range(2..5);
+        }
+        let touch = if burst > 0 {
+            burst -= 1;
+            burst_touch + rng.gen_range(-1.0..1.0)
+        } else {
+            rng.gen_range(0.0..0.6)
+        };
+        let streaming = if tex_burst > 0 {
+            tex_burst -= 1;
+            rng.gen_range(3.0..7.0)
+        } else {
+            0.0
+        };
+        base = 0.8 * base + 2.4 + rng.gen_range(-1.6..1.6);
+        // The traffic response to input varies by scene, so the observed
+        // attributes are informative but imperfect predictors.
+        let touch_gain = rng.gen_range(1.6..3.4);
+        let stream_gain = rng.gen_range(1.2..2.4);
+        let mbps = (base + touch_gain * touch + stream_gain * streaming
+            + rng.gen_range(-3.5..3.5))
+        .max(0.0);
+        // Command-sequence length echoes the *previous* window's load:
+        // by the time it is observable the traffic already moved.
+        let cmd_len = 150.0 + 2.0 * traffic.last().copied().unwrap_or(9.0)
+            + rng.gen_range(-30.0..30.0);
+        let textures = 18.0 + 2.0 * streaming + 0.8 * touch + rng.gen_range(-2.0..2.0);
+        let cmd_diff = (touch - prev_touch).abs() * 3.0 + rng.gen_range(0.0..6.0);
+        prev_touch = touch;
+        traffic.push(mbps);
+        exo_rows.push(vec![touch, cmd_len, textures, cmd_diff]);
+    }
+    (traffic, exo_rows)
+}
+
+fn main() {
+    header("Section V-B: ARMA vs ARMAX prediction quality (500 ms windows)");
+    let (traffic, exo_rows) = trace(20170605, 6000);
+    let threshold = 21.0 * 0.8;
+
+    let no_exo: Vec<Vec<f64>> = vec![Vec::new(); traffic.len()];
+    let ewma = Ewma::new(0.3).evaluate(&traffic, threshold, 500);
+    let arma = TrafficPredictor::arma(3, 2, threshold).evaluate(&traffic, &no_exo, 500);
+
+    // The paper's final model: exogenous attributes 1 and 3.
+    let selected: Vec<Vec<f64>> = exo_rows
+        .iter()
+        .map(|row| vec![row[0], row[2]])
+        .collect();
+    let armax =
+        TrafficPredictor::armax(3, 2, 2, 2, threshold).evaluate(&traffic, &selected, 500);
+
+    println!(
+        "EWMA  : FP {:>5.1}%  FN {:>5.1}%   (naive baseline, not in the paper)",
+        ewma.fp_rate * 100.0,
+        ewma.fn_rate * 100.0
+    );
+    println!(
+        "ARMA  : FP {:>5.1}%  FN {:>5.1}%   ({} windows)",
+        arma.fp_rate * 100.0,
+        arma.fn_rate * 100.0,
+        arma.samples
+    );
+    println!(
+        "ARMAX : FP {:>5.1}%  FN {:>5.1}%   (attributes 1+3)",
+        armax.fp_rate * 100.0,
+        armax.fn_rate * 100.0
+    );
+    println!();
+
+    header("AIC sweep over all 15 attribute subsets");
+    let (train_traffic, train_exo) = trace(7, 2500);
+    let exo_cols: Vec<Vec<f64>> = (0..4)
+        .map(|i| train_exo.iter().map(|row| row[i]).collect())
+        .collect();
+    let scores = select_attributes(&train_traffic, &exo_cols, &all_subsets(4), 2, 1, 2, 300);
+    for (rank, s) in scores.iter().take(5).enumerate() {
+        let names: Vec<String> = s.attributes.iter().map(|a| (a + 1).to_string()).collect();
+        println!(
+            "  #{:<2} attributes {{{}}}  AIC {:>10.1}",
+            rank + 1,
+            names.join(","),
+            s.aic
+        );
+    }
+    let best = &scores[0];
+    println!();
+    compare("ARMA FN rate", "35.1%", &format!("{:.1}%", arma.fn_rate * 100.0));
+    compare("ARMA FP rate", "23.7%", &format!("{:.1}%", arma.fp_rate * 100.0));
+    compare("ARMAX FN rate", "17%", &format!("{:.1}%", armax.fn_rate * 100.0));
+    compare("ARMAX FP rate", "23%", &format!("{:.1}%", armax.fp_rate * 100.0));
+    compare(
+        "AIC-selected attributes",
+        "{1, 3}",
+        &format!(
+            "{{{}}}",
+            best.attributes
+                .iter()
+                .map(|a| (a + 1).to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    );
+    assert!(
+        armax.fn_rate < arma.fn_rate * 0.7,
+        "ARMAX must cut the FN rate substantially"
+    );
+    assert!(
+        arma.fn_rate <= ewma.fn_rate,
+        "ARMA must not be worse than the EWMA baseline"
+    );
+    assert!(
+        best.attributes.contains(&0) && best.attributes.contains(&2),
+        "AIC must select the informative attributes 1 and 3"
+    );
+}

@@ -1,0 +1,83 @@
+//! Table I: game requirements versus smartphone capabilities.
+//!
+//! Shows that phone CPUs exceed the yearly flagship games' requirements
+//! while GPUs sit exactly at the limit — the paper's motivation for
+//! offloading GPU (not CPU) work.
+
+use gbooster_bench::{compare, header};
+use gbooster_sim::device::DeviceSpec;
+
+struct YearRow {
+    year: u32,
+    game: &'static str,
+    req_cpu_ghz: f64,
+    req_cpu_cores: u32,
+    req_gpu_gps: f64,
+    phone: DeviceSpec,
+}
+
+fn main() {
+    header("Table I: Game Requirement versus Smartphone Capability");
+    let rows = [
+        YearRow {
+            year: 2014,
+            game: "Modern Combat 5: Blackout",
+            req_cpu_ghz: 1.5,
+            req_cpu_cores: 1,
+            req_gpu_gps: 3.6,
+            phone: DeviceSpec::galaxy_s5(),
+        },
+        YearRow {
+            year: 2015,
+            game: "GTA San Andreas",
+            req_cpu_ghz: 1.0,
+            req_cpu_cores: 1,
+            req_gpu_gps: 4.8,
+            phone: DeviceSpec::lg_g4(),
+        },
+        YearRow {
+            year: 2016,
+            game: "The Walking Dead: Michonne",
+            req_cpu_ghz: 1.2,
+            req_cpu_cores: 2,
+            req_gpu_gps: 6.7,
+            phone: DeviceSpec::lg_g5(),
+        },
+    ];
+    println!(
+        "{:<6} {:<28} {:>14} {:>14} {:>12} {:>12}  verdict",
+        "year", "game", "req cpu", "phone cpu", "req gpu", "phone gpu"
+    );
+    for r in &rows {
+        let cpu_headroom = r.phone.cpu.total_gcycles_per_sec()
+            / (r.req_cpu_ghz * r.req_cpu_cores as f64);
+        let gpu_headroom = r.phone.gpu.fillrate_gpixels_per_sec / r.req_gpu_gps;
+        println!(
+            "{:<6} {:<28} {:>9.2} GHzc {:>9.2} GHzc {:>9.1} GP/s {:>9.1} GP/s  cpu x{:.1}, gpu x{:.2}",
+            r.year,
+            r.game,
+            r.req_cpu_ghz * r.req_cpu_cores as f64,
+            r.phone.cpu.total_gcycles_per_sec(),
+            r.req_gpu_gps,
+            r.phone.gpu.fillrate_gpixels_per_sec,
+            cpu_headroom,
+            gpu_headroom,
+        );
+        assert!(cpu_headroom > 2.0, "CPU should have ample headroom");
+        assert!(
+            (0.95..=1.05).contains(&gpu_headroom),
+            "GPU should sit exactly at the requirement"
+        );
+    }
+    println!();
+    compare(
+        "CPU capability vs requirement",
+        "commonly beyond",
+        "3.5-6x headroom on every year",
+    );
+    compare(
+        "GPU capability vs requirement",
+        "exactly at the limit",
+        "1.00x on every year (bottleneck)",
+    );
+}

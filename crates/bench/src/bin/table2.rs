@@ -1,0 +1,27 @@
+//! Table II: the six-game evaluation corpus and its genre spread.
+
+use gbooster_bench::header;
+use gbooster_workload::games::GameTitle;
+use gbooster_workload::genre::GenreProfile;
+
+fn main() {
+    header("Table II: games for experiments and their package size");
+    println!(
+        "{:<6} {:<20} {:<14} {:>10} {:>18}",
+        "id", "title", "genre", "package", "fill work @1080p"
+    );
+    for game in GameTitle::corpus() {
+        let fill = GenreProfile::for_genre(game.genre).effective_fill(1920, 1080, game.intensity);
+        println!(
+            "{:<6} {:<20} {:<14} {:>7.2} GB {:>15.0} Mpx",
+            game.id,
+            game.name,
+            game.genre.name(),
+            game.package_gb,
+            fill as f64 / 1e6
+        );
+    }
+    println!();
+    println!("Genre intensity ordering (action > role playing > puzzle) drives");
+    println!("every downstream result; see fig5_acceleration and fig6_energy.");
+}

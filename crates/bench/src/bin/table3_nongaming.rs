@@ -1,0 +1,51 @@
+//! Table III: FPS boost and normalized energy for non-gaming apps
+//! (Ebook Reader, Yahoo Weather, Tumblr) — no FPS boost, ≈7 % average
+//! energy saving.
+
+use gbooster_bench::{compare, header, SEED, SESSION_SECS};
+use gbooster_core::config::{ExecutionMode, OffloadConfig, SessionConfig};
+use gbooster_core::session::Session;
+use gbooster_sim::device::DeviceSpec;
+use gbooster_workload::apps::AppTitle;
+
+fn main() {
+    header("Table III: non-gaming applications (Nexus 5, scripted input)");
+    println!(
+        "{:<16} {:>10} {:>22}",
+        "application", "fps boost", "normalized energy"
+    );
+    let device = DeviceSpec::nexus5();
+    let mut savings = Vec::new();
+    for app in AppTitle::all() {
+        let local = Session::run(
+            &SessionConfig::builder(app.clone(), device.clone())
+                .duration_secs(SESSION_SECS)
+                .seed(SEED)
+                .build(),
+        );
+        let off = Session::run(
+            &SessionConfig::builder(app.clone(), device.clone())
+                .duration_secs(SESSION_SECS)
+                .seed(SEED)
+                .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
+                .build(),
+        );
+        let boost = off.median_fps - local.median_fps;
+        let norm = off.normalized_energy(&local);
+        savings.push(1.0 - norm);
+        println!("{:<16} {:>10.1} {:>21.1}%", app.name, boost, norm * 100.0);
+        assert!(
+            boost.abs() < 6.0,
+            "{}: UI apps must get no meaningful FPS boost",
+            app.name
+        );
+    }
+    let avg_saving = savings.iter().sum::<f64>() / savings.len() as f64 * 100.0;
+    println!();
+    compare("FPS boost", "0 for all three", "~0 for all three");
+    compare(
+        "normalized energy",
+        "92.1% / 93.6% / 93.3%",
+        &format!("avg saving {avg_saving:.1}% (paper: ~7%)"),
+    );
+}

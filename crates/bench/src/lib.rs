@@ -1,0 +1,97 @@
+//! # gbooster-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper
+//! (see DESIGN.md §4 for the full index) plus Criterion micro-benches.
+//!
+//! Every binary prints the paper's reported values next to the measured
+//! ones so deviations are visible at a glance; EXPERIMENTS.md records the
+//! comparison.
+//!
+//! Run e.g.:
+//!
+//! ```text
+//! cargo run --release -p gbooster-bench --bin fig5_acceleration
+//! ```
+
+use gbooster_core::config::{ExecutionMode, OffloadConfig, SessionConfig};
+use gbooster_core::session::{Session, SessionReport};
+use gbooster_sim::device::DeviceSpec;
+use gbooster_workload::games::GameTitle;
+
+/// Default simulated session length for evaluation runs. The paper plays
+/// 15 minutes; we play 60 s with thermal time compression so the Fig. 1
+/// throttle arc lands at the same proportional position.
+pub const SESSION_SECS: u64 = 60;
+
+/// Shared seed so every binary is reproducible.
+pub const SEED: u64 = 20170605; // ICDCS 2017 conference date
+
+/// Runs a game locally on a device.
+pub fn run_local(game: &GameTitle, device: &DeviceSpec) -> SessionReport {
+    Session::run(
+        &SessionConfig::builder(game.clone(), device.clone())
+            .duration_secs(SESSION_SECS)
+            .seed(SEED)
+            .build(),
+    )
+}
+
+/// Runs a game offloaded to the default Nvidia Shield service device.
+pub fn run_offloaded(game: &GameTitle, device: &DeviceSpec) -> SessionReport {
+    Session::run(
+        &SessionConfig::builder(game.clone(), device.clone())
+            .duration_secs(SESSION_SECS)
+            .seed(SEED)
+            .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
+            .build(),
+    )
+}
+
+/// Runs a game offloaded with interface switching disabled (Fig. 6b).
+pub fn run_offloaded_no_switching(game: &GameTitle, device: &DeviceSpec) -> SessionReport {
+    Session::run(
+        &SessionConfig::builder(game.clone(), device.clone())
+            .duration_secs(SESSION_SECS)
+            .seed(SEED)
+            .mode(ExecutionMode::Offloaded(OffloadConfig {
+                interface_switching: false,
+                ..OffloadConfig::default()
+            }))
+            .build(),
+    )
+}
+
+/// Runs a game offloaded to `n` service devices (Fig. 7): the Shield
+/// first, then desktops/laptops as the paper's multi-device pool.
+pub fn run_multi_device(game: &GameTitle, device: &DeviceSpec, n: usize) -> SessionReport {
+    let pool = [
+        DeviceSpec::nvidia_shield(),
+        DeviceSpec::dell_optiplex_9010(),
+        DeviceSpec::dell_optiplex_9010(),
+        DeviceSpec::dell_m4600(),
+        DeviceSpec::minix_neo_u1(),
+    ];
+    let devices: Vec<DeviceSpec> = pool.iter().take(n.max(1)).cloned().collect();
+    Session::run(
+        &SessionConfig::builder(game.clone(), device.clone())
+            .duration_secs(SESSION_SECS)
+            .seed(SEED)
+            .mode(ExecutionMode::Offloaded(OffloadConfig {
+                service_devices: devices,
+                ..OffloadConfig::default()
+            }))
+            .build(),
+    )
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+    println!();
+}
+
+/// Formats a paper-vs-measured comparison line.
+pub fn compare(label: &str, paper: &str, measured: &str) {
+    println!("  {label:<44} paper: {paper:<18} measured: {measured}");
+}

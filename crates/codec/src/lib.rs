@@ -1,0 +1,33 @@
+//! # gbooster-codec
+//!
+//! Traffic-reduction substrates from Section V-A of the paper:
+//!
+//! * [`lz4`] — a from-scratch LZ77 block compressor in the LZ4 format
+//!   family: "a light-weight general stream compression algorithm named
+//!   LZ4, which achieves a compression ratio of 70 % while barely
+//!   incurring extra CPU workload".
+//! * [`lru`] — the LRU command cache: "the system caches the latest and
+//!   frequent commands on the user device and the service device. Thereby,
+//!   the user device can skip transmitting the commands which are cached."
+//! * [`filter`] — byte-delta prefilters for structured binary payloads
+//!   (ablation extension beyond the paper).
+//! * [`jpeg`] — an 8×8 DCT + quantization + zigzag/RLE image coder, the
+//!   lossy stage of the Turbo encoder.
+//! * [`turbo`] — the Turbo frame encoder (ref \[25\], TurboVNC-style):
+//!   transmits only tiles that changed since the previous frame, each
+//!   JPEG-compressed. "Up to 90 MegaPixel/sec and a compression ratio up
+//!   to 25:1."
+//! * [`video`] — an x264 *cost model* used as the comparator the paper
+//!   rejects (≈1 MP/s on ARM, far below the ≈7 MP/s needed for real time).
+//! * [`stats`] — ratio/PSNR/throughput helpers shared by benches.
+
+pub mod filter;
+pub mod jpeg;
+pub mod lru;
+pub mod lz4;
+pub mod stats;
+pub mod turbo;
+pub mod video;
+
+pub use lru::CommandCache;
+pub use turbo::{TurboDecoder, TurboEncoder};

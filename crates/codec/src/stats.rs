@@ -1,0 +1,151 @@
+//! Ratio / PSNR / throughput helpers shared by tests and benches.
+
+/// Peak signal-to-noise ratio between two equal-length byte images, in dB.
+///
+/// Returns `f64::INFINITY` for identical inputs.
+///
+/// # Panics
+///
+/// Panics if lengths differ or inputs are empty.
+pub fn psnr(reference: &[u8], candidate: &[u8]) -> f64 {
+    assert_eq!(reference.len(), candidate.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty images");
+    let mse: f64 = reference
+        .iter()
+        .zip(candidate.iter())
+        .map(|(&a, &b)| {
+            let d = a as f64 - b as f64;
+            d * d
+        })
+        .sum::<f64>()
+        / reference.len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+/// Compression ratio expressed as the paper does: compressed ÷ original
+/// (0.3 means the output is 30 % of the input).
+///
+/// Returns 1.0 for an empty original.
+pub fn compression_ratio(original_bytes: usize, compressed_bytes: usize) -> f64 {
+    if original_bytes == 0 {
+        1.0
+    } else {
+        compressed_bytes as f64 / original_bytes as f64
+    }
+}
+
+/// Encoding throughput in megapixels per second.
+///
+/// Returns 0 for a zero-duration measurement.
+pub fn megapixels_per_sec(pixels: u64, elapsed: std::time::Duration) -> f64 {
+    let secs = elapsed.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        pixels as f64 / 1e6 / secs
+    }
+}
+
+/// Streaming mean/min/max accumulator for experiment reports.
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample (+inf when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (−inf when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn psnr_of_identical_images_is_infinite() {
+        assert_eq!(psnr(&[1, 2, 3], &[1, 2, 3]), f64::INFINITY);
+    }
+
+    #[test]
+    fn psnr_drops_with_error() {
+        let a = vec![128u8; 100];
+        let close: Vec<u8> = a.iter().map(|&v| v + 1).collect();
+        let far: Vec<u8> = a.iter().map(|&v| v + 50).collect();
+        assert!(psnr(&a, &close) > psnr(&a, &far));
+        assert!((psnr(&a, &close) - 48.13).abs() < 0.1);
+    }
+
+    #[test]
+    fn ratio_and_throughput() {
+        assert!((compression_ratio(100, 30) - 0.3).abs() < 1e-12);
+        assert_eq!(compression_ratio(0, 5), 1.0);
+        let mps = megapixels_per_sec(2_000_000, Duration::from_secs(1));
+        assert!((mps - 2.0).abs() < 1e-9);
+        assert_eq!(megapixels_per_sec(5, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn accumulator_tracks_extremes() {
+        let mut acc = Accumulator::new();
+        for v in [3.0, 1.0, 2.0] {
+            acc.add(v);
+        }
+        assert_eq!(acc.count(), 3);
+        assert!((acc.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(acc.min(), 1.0);
+        assert_eq!(acc.max(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn psnr_length_mismatch_panics() {
+        let _ = psnr(&[1], &[1, 2]);
+    }
+}

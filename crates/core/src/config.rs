@@ -1,0 +1,303 @@
+//! Session configuration (builder-style).
+
+use gbooster_sim::device::{DeviceClass, DeviceSpec};
+use gbooster_workload::apps::AppTitle;
+use gbooster_workload::games::GameTitle;
+use gbooster_workload::genre::GenreProfile;
+
+use crate::error::GBoosterError;
+
+/// The application under test: a game from Table II, an app from Table
+/// III, or a custom profile.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    /// Genre profile shaping the frame stream.
+    pub profile: GenreProfile,
+    /// Per-title intensity scalar.
+    pub intensity: f64,
+}
+
+impl From<GameTitle> for Workload {
+    fn from(game: GameTitle) -> Self {
+        Workload {
+            name: format!("{}: {}", game.id, game.name),
+            profile: game.profile(),
+            intensity: game.intensity,
+        }
+    }
+}
+
+impl From<AppTitle> for Workload {
+    fn from(app: AppTitle) -> Self {
+        Workload {
+            name: app.name.to_string(),
+            profile: app.profile(),
+            intensity: app.intensity,
+        }
+    }
+}
+
+/// How the session executes its GPU work.
+#[derive(Clone, Debug)]
+pub enum ExecutionMode {
+    /// Everything on the phone (the paper's baseline).
+    Local,
+    /// GBooster offloading to nearby service devices.
+    Offloaded(OffloadConfig),
+    /// OnLive-style remote cloud rendering (Section VII-F comparison).
+    Cloud(CloudConfig),
+}
+
+/// Offloading parameters.
+#[derive(Clone, Debug)]
+pub struct OffloadConfig {
+    /// Service devices, in discovery order. Must be non-empty and
+    /// offload-capable.
+    pub service_devices: Vec<DeviceSpec>,
+    /// Enable the ARMAX-driven Bluetooth/WiFi switching (Fig. 6b ablates
+    /// this).
+    pub interface_switching: bool,
+    /// Maximum rendering requests in flight (the paper observes the
+    /// internal buffer holds at most 3 — Section VI-A / Fig. 7).
+    pub buffer_depth: usize,
+    /// Resolution rendered remotely and streamed back.
+    pub render_resolution: (u32, u32),
+}
+
+impl Default for OffloadConfig {
+    fn default() -> Self {
+        OffloadConfig {
+            service_devices: vec![DeviceSpec::nvidia_shield()],
+            interface_switching: true,
+            buffer_depth: 3,
+            render_resolution: (1280, 720),
+        }
+    }
+}
+
+/// Cloud-baseline parameters (OnLive measurements of ref \[43\]).
+#[derive(Clone, Debug)]
+pub struct CloudConfig {
+    /// Stream FPS cap imposed by the platform's video encoder.
+    pub encoder_fps_cap: u32,
+    /// Stream resolution.
+    pub resolution: (u32, u32),
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            encoder_fps_cap: 30,
+            resolution: (1280, 720),
+        }
+    }
+}
+
+/// A complete session description.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// Application under test.
+    pub workload: Workload,
+    /// The phone running it.
+    pub user_device: DeviceSpec,
+    /// Execution mode.
+    pub mode: ExecutionMode,
+    /// Played session length in simulated seconds (the paper plays
+    /// 15 minutes; tests use shorter sessions with thermal time
+    /// compression).
+    pub duration_secs: u64,
+    /// RNG seed for full reproducibility.
+    pub seed: u64,
+    /// Resolution games render at locally (internal render target;
+    /// commercial titles render near 1080p regardless of panel).
+    pub local_render_resolution: (u32, u32),
+    /// Multiplier on GPU heating so shortened sessions still reach the
+    /// Fig. 1 throttle point at the same *proportional* session position
+    /// (e.g. 5.0 compresses the 10-minute throttle onset to 2 minutes).
+    pub thermal_time_compression: f64,
+    /// Traffic forecasting window (the paper forecasts 500 ms ahead).
+    pub predictor_window_ms: u64,
+}
+
+impl SessionConfig {
+    /// Starts a builder for `workload` on `user_device`.
+    pub fn builder(workload: impl Into<Workload>, user_device: DeviceSpec) -> SessionConfigBuilder {
+        SessionConfigBuilder {
+            config: SessionConfig {
+                workload: workload.into(),
+                user_device,
+                mode: ExecutionMode::Local,
+                duration_secs: 120,
+                seed: 42,
+                local_render_resolution: (1920, 1080),
+                thermal_time_compression: 900.0 / 120.0,
+                predictor_window_ms: 500,
+            },
+        }
+    }
+
+    /// Validates cross-field invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GBoosterError::Config`] for empty sessions, phones used
+    /// as service devices, or empty device lists.
+    pub fn validate(&self) -> Result<(), GBoosterError> {
+        if self.duration_secs == 0 {
+            return Err(GBoosterError::Config("session duration is zero".into()));
+        }
+        if let ExecutionMode::Offloaded(off) = &self.mode {
+            if off.service_devices.is_empty() {
+                return Err(GBoosterError::Config(
+                    "offloading requires at least one service device".into(),
+                ));
+            }
+            if off.buffer_depth == 0 {
+                return Err(GBoosterError::Config("buffer depth is zero".into()));
+            }
+            for dev in &off.service_devices {
+                if dev.class == DeviceClass::Phone {
+                    return Err(GBoosterError::Config(format!(
+                        "{} is a phone and cannot serve",
+                        dev.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SessionConfig`].
+#[derive(Clone, Debug)]
+pub struct SessionConfigBuilder {
+    config: SessionConfig,
+}
+
+impl SessionConfigBuilder {
+    /// Sets the execution mode.
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Shortcut: offload to the given devices with default options.
+    pub fn offload_to(mut self, devices: Vec<DeviceSpec>) -> Self {
+        self.config.mode = ExecutionMode::Offloaded(OffloadConfig {
+            service_devices: devices,
+            ..OffloadConfig::default()
+        });
+        self
+    }
+
+    /// Sets the simulated session length. Thermal time compression is
+    /// rescaled so the session still covers a 15-minute thermal arc.
+    pub fn duration_secs(mut self, secs: u64) -> Self {
+        self.config.duration_secs = secs;
+        self.config.thermal_time_compression = 900.0 / secs.max(1) as f64;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Overrides thermal time compression (1.0 = real time).
+    pub fn thermal_time_compression(mut self, factor: f64) -> Self {
+        self.config.thermal_time_compression = factor;
+        self
+    }
+
+    /// Overrides the local render resolution.
+    pub fn local_render_resolution(mut self, width: u32, height: u32) -> Self {
+        self.config.local_render_resolution = (width, height);
+        self
+    }
+
+    /// Overrides the predictor window.
+    pub fn predictor_window_ms(mut self, ms: u64) -> Self {
+        self.config.predictor_window_ms = ms;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`SessionConfigBuilder::try_build`] to handle errors.
+    pub fn build(self) -> SessionConfig {
+        self.try_build().expect("invalid session configuration")
+    }
+
+    /// Finishes the builder, returning configuration errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`SessionConfig::validate`].
+    pub fn try_build(self) -> Result<SessionConfig, GBoosterError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_are_sane() {
+        let cfg = SessionConfig::builder(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5())
+            .build();
+        assert!(matches!(cfg.mode, ExecutionMode::Local));
+        assert_eq!(cfg.local_render_resolution, (1920, 1080));
+        assert_eq!(cfg.predictor_window_ms, 500);
+    }
+
+    #[test]
+    fn duration_rescales_thermal_compression() {
+        let cfg = SessionConfig::builder(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5())
+            .duration_secs(90)
+            .build();
+        assert!((cfg.thermal_time_compression - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offloading_to_a_phone_is_rejected() {
+        let err = SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+            .offload_to(vec![DeviceSpec::lg_g5()])
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+    }
+
+    #[test]
+    fn empty_device_list_is_rejected() {
+        let err = SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+            .offload_to(vec![])
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+    }
+
+    #[test]
+    fn zero_duration_is_rejected() {
+        let err = SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+            .duration_secs(0)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+    }
+
+    #[test]
+    fn workload_from_game_and_app() {
+        let w: Workload = GameTitle::g1_gta_san_andreas().into();
+        assert!(w.name.contains("GTA"));
+        let w: Workload = AppTitle::tumblr().into();
+        assert_eq!(w.name, "Tumblr");
+    }
+}

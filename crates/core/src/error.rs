@@ -1,0 +1,92 @@
+//! Unified error type for the GBooster system.
+
+use std::fmt;
+
+use gbooster_gles::serialize::WireError;
+use gbooster_gles::types::GlError;
+use gbooster_linker::linker::LinkError;
+
+/// Any error surfaced by the GBooster pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GBoosterError {
+    /// OpenGL state-machine or executor error.
+    Gl(GlError),
+    /// Wire-format or deferred-serialization error.
+    Wire(WireError),
+    /// Dynamic-linker hooking error.
+    Link(LinkError),
+    /// The command cache on the receiver desynchronized from the sender.
+    CacheDesync(u64),
+    /// Frame codec failure on the return path.
+    Codec(String),
+    /// Configuration rejected before a session could start.
+    Config(String),
+}
+
+impl fmt::Display for GBoosterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GBoosterError::Gl(e) => write!(f, "gl: {e}"),
+            GBoosterError::Wire(e) => write!(f, "wire: {e}"),
+            GBoosterError::Link(e) => write!(f, "link: {e}"),
+            GBoosterError::CacheDesync(key) => {
+                write!(f, "command cache desynchronized at key {key:#x}")
+            }
+            GBoosterError::Codec(m) => write!(f, "codec: {m}"),
+            GBoosterError::Config(m) => write!(f, "config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GBoosterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GBoosterError::Gl(e) => Some(e),
+            GBoosterError::Wire(e) => Some(e),
+            GBoosterError::Link(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GlError> for GBoosterError {
+    fn from(e: GlError) -> Self {
+        GBoosterError::Gl(e)
+    }
+}
+
+impl From<WireError> for GBoosterError {
+    fn from(e: WireError) -> Self {
+        GBoosterError::Wire(e)
+    }
+}
+
+impl From<LinkError> for GBoosterError {
+    fn from(e: LinkError) -> Self {
+        GBoosterError::Link(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_by_layer() {
+        let e: GBoosterError = GlError::InvalidOperation("no program".into()).into();
+        assert!(e.to_string().starts_with("gl: "));
+        let e: GBoosterError = WireError::Truncated.into();
+        assert!(e.to_string().starts_with("wire: "));
+        let e: GBoosterError = LinkError::UnresolvedSymbol("glFoo".into()).into();
+        assert!(e.to_string().starts_with("link: "));
+        assert!(GBoosterError::CacheDesync(0xbeef).to_string().contains("beef"));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        use std::error::Error;
+        let e: GBoosterError = WireError::Truncated.into();
+        assert!(e.source().is_some());
+        assert!(GBoosterError::Config("bad".into()).source().is_none());
+    }
+}

@@ -1,0 +1,407 @@
+//! The command forwarder: deferred resolution → wire encoding → LRU
+//! cache → LZ4 (Sections IV-B and V-A), plus the service-side receiver.
+//!
+//! Per-frame wire layout:
+//!
+//! ```text
+//! u32 token_stream_len | lz4(token stream)
+//!   token := 0x00 u64 cache_key            (command cached on both ends)
+//!          | 0x01 u32 len bytes[len]       (full encoded command)
+//! ```
+//!
+//! Both ends run the *same* deterministic [`CommandCache`] update rule, so
+//! the receiver can always expand a `Ref` token; a miss is a protocol
+//! violation surfaced as [`GBoosterError::CacheDesync`].
+
+use gbooster_codec::lru::{CacheToken, CommandCache};
+use gbooster_codec::lz4;
+use gbooster_gles::command::{ClientMemory, GlCommand};
+use gbooster_gles::serialize::{decode_command, encode_command, DeferredResolver};
+
+use crate::error::GBoosterError;
+
+/// Default cache capacity on each end (identical on both, by protocol).
+pub const CACHE_CAPACITY: usize = 4096;
+
+/// Result of forwarding one frame.
+#[derive(Clone, Debug)]
+pub struct ForwardedFrame {
+    /// Bytes to hand to the transport.
+    pub wire: Vec<u8>,
+    /// Serialized command bytes before caching/compression.
+    pub raw_bytes: usize,
+    /// Token-stream bytes after caching, before LZ4.
+    pub token_bytes: usize,
+    /// Commands in the frame after deferred resolution.
+    pub command_count: usize,
+    /// Cache hits this frame.
+    pub cache_hits: u64,
+    /// Cache misses this frame.
+    pub cache_misses: u64,
+}
+
+impl ForwardedFrame {
+    /// Overall compression ratio (wire ÷ raw); lower is better.
+    pub fn ratio(&self) -> f64 {
+        if self.raw_bytes == 0 {
+            1.0
+        } else {
+            self.wire.len() as f64 / self.raw_bytes as f64
+        }
+    }
+}
+
+/// The user-device forwarder.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_core::forward::{CommandForwarder, ServiceReceiver};
+/// use gbooster_gles::command::{ClientMemory, GlCommand};
+///
+/// let mem = ClientMemory::new();
+/// let mut tx = CommandForwarder::new();
+/// let mut rx = ServiceReceiver::new();
+/// let frame = vec![GlCommand::clear_all(), GlCommand::SwapBuffers];
+/// let fwd = tx.forward_frame(&frame, &mem)?;
+/// assert_eq!(rx.receive(&fwd.wire)?, frame);
+/// # Ok::<(), gbooster_core::GBoosterError>(())
+/// ```
+#[derive(Debug)]
+pub struct CommandForwarder {
+    resolver: DeferredResolver,
+    cache: CommandCache,
+}
+
+impl Default for CommandForwarder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommandForwarder {
+    /// Creates a forwarder with the default cache capacity.
+    pub fn new() -> Self {
+        CommandForwarder {
+            resolver: DeferredResolver::new(),
+            cache: CommandCache::new(CACHE_CAPACITY),
+        }
+    }
+
+    /// Serializes one frame of intercepted commands into wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns wire/client-memory errors from deferred resolution or
+    /// encoding.
+    pub fn forward_frame(
+        &mut self,
+        commands: &[GlCommand],
+        mem: &ClientMemory,
+    ) -> Result<ForwardedFrame, GBoosterError> {
+        let hits_before = self.cache.hits();
+        let misses_before = self.cache.misses();
+        let mut tokens = Vec::new();
+        let mut raw_bytes = 0usize;
+        let mut command_count = 0usize;
+        for cmd in commands {
+            for resolved in self.resolver.push(cmd.clone(), mem)? {
+                let mut encoded = Vec::new();
+                encode_command(&resolved, &mut encoded)?;
+                raw_bytes += encoded.len();
+                command_count += 1;
+                match self.cache.offer(&encoded) {
+                    CacheToken::Ref(key) => {
+                        tokens.push(0x00);
+                        tokens.extend_from_slice(&key.to_le_bytes());
+                    }
+                    CacheToken::Full(bytes) => {
+                        tokens.push(0x01);
+                        tokens.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                        tokens.extend_from_slice(&bytes);
+                    }
+                }
+            }
+        }
+        let token_bytes = tokens.len();
+        let compressed = lz4::compress(&tokens);
+        let mut wire = Vec::with_capacity(compressed.len() + 4);
+        wire.extend_from_slice(&(token_bytes as u32).to_le_bytes());
+        wire.extend_from_slice(&compressed);
+        Ok(ForwardedFrame {
+            wire,
+            raw_bytes,
+            token_bytes,
+            command_count,
+            cache_hits: self.cache.hits() - hits_before,
+            cache_misses: self.cache.misses() - misses_before,
+        })
+    }
+
+    /// Lifetime cache hit rate.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Bytes resident in the sender cache (memory-overhead accounting).
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache.resident_bytes()
+    }
+}
+
+/// The service-device receiver: the inverse pipeline.
+#[derive(Debug)]
+pub struct ServiceReceiver {
+    cache: CommandCache,
+}
+
+impl Default for ServiceReceiver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceReceiver {
+    /// Creates a receiver with the protocol cache capacity.
+    pub fn new() -> Self {
+        ServiceReceiver {
+            cache: CommandCache::new(CACHE_CAPACITY),
+        }
+    }
+
+    /// Decodes one wire frame back into commands.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GBoosterError`] on corrupt input or cache
+    /// desynchronization.
+    pub fn receive(&mut self, wire: &[u8]) -> Result<Vec<GlCommand>, GBoosterError> {
+        if wire.len() < 4 {
+            return Err(GBoosterError::Codec("frame shorter than header".into()));
+        }
+        let token_len = u32::from_le_bytes([wire[0], wire[1], wire[2], wire[3]]) as usize;
+        let tokens = lz4::decompress(&wire[4..], token_len)
+            .map_err(|e| GBoosterError::Codec(e.to_string()))?;
+        if tokens.len() != token_len {
+            return Err(GBoosterError::Codec(format!(
+                "token stream {} bytes, header said {token_len}",
+                tokens.len()
+            )));
+        }
+        let mut commands = Vec::new();
+        let mut i = 0usize;
+        while i < tokens.len() {
+            let tag = tokens[i];
+            i += 1;
+            let encoded = match tag {
+                0x00 => {
+                    let bytes = tokens
+                        .get(i..i + 8)
+                        .ok_or_else(|| GBoosterError::Codec("truncated ref token".into()))?;
+                    i += 8;
+                    let key = u64::from_le_bytes(bytes.try_into().expect("slice is 8 bytes"));
+                    self.cache
+                        .accept(&CacheToken::Ref(key))
+                        .ok_or(GBoosterError::CacheDesync(key))?
+                }
+                0x01 => {
+                    let len_bytes = tokens
+                        .get(i..i + 4)
+                        .ok_or_else(|| GBoosterError::Codec("truncated full token".into()))?;
+                    let len =
+                        u32::from_le_bytes(len_bytes.try_into().expect("slice is 4 bytes"))
+                            as usize;
+                    i += 4;
+                    let body = tokens
+                        .get(i..i + len)
+                        .ok_or_else(|| GBoosterError::Codec("truncated command body".into()))?
+                        .to_vec();
+                    i += len;
+                    self.cache
+                        .accept(&CacheToken::Full(body))
+                        .expect("full tokens always decode")
+                }
+                other => {
+                    return Err(GBoosterError::Codec(format!("unknown token tag {other}")))
+                }
+            };
+            let (cmd, used) = decode_command(&encoded)?;
+            if used != encoded.len() {
+                return Err(GBoosterError::Codec(
+                    "trailing bytes after command".into(),
+                ));
+            }
+            commands.push(cmd);
+        }
+        Ok(commands)
+    }
+
+    /// Bytes resident in the receiver cache.
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache.resident_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbooster_gles::command::VertexSource;
+    use gbooster_gles::types::{AttribType, Primitive, ProgramId};
+    use gbooster_workload::genre::GenreProfile;
+    use gbooster_workload::tracegen::TraceGenerator;
+
+    fn pipeline() -> (CommandForwarder, ServiceReceiver, ClientMemory) {
+        (
+            CommandForwarder::new(),
+            ServiceReceiver::new(),
+            ClientMemory::new(),
+        )
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let (mut tx, mut rx, mem) = pipeline();
+        let fwd = tx.forward_frame(&[], &mem).unwrap();
+        assert_eq!(rx.receive(&fwd.wire).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn simple_frame_round_trips() {
+        let (mut tx, mut rx, mem) = pipeline();
+        let frame = vec![
+            GlCommand::UseProgram(ProgramId(0)),
+            GlCommand::clear_all(),
+            GlCommand::SwapBuffers,
+        ];
+        let fwd = tx.forward_frame(&frame, &mem).unwrap();
+        assert_eq!(rx.receive(&fwd.wire).unwrap(), frame);
+    }
+
+    #[test]
+    fn deferred_pointer_is_materialized_in_transit() {
+        let (mut tx, mut rx, mut mem) = pipeline();
+        let mem_ref = {
+            let ptr = mem.alloc(vec![0u8; 48]);
+            vec![
+                GlCommand::VertexAttribPointer {
+                    index: 0,
+                    size: 2,
+                    ty: AttribType::F32,
+                    normalized: false,
+                    stride: 0,
+                    source: VertexSource::ClientMemory(ptr),
+                },
+                GlCommand::DrawArrays {
+                    mode: Primitive::Triangles,
+                    first: 0,
+                    count: 3,
+                },
+                GlCommand::SwapBuffers,
+            ]
+        };
+        let fwd = tx.forward_frame(&mem_ref, &mem).unwrap();
+        let received = rx.receive(&fwd.wire).unwrap();
+        assert_eq!(received.len(), 3);
+        let GlCommand::VertexAttribPointer {
+            source: VertexSource::Materialized(data),
+            ..
+        } = &received[0]
+        else {
+            panic!("pointer not materialized: {:?}", received[0]);
+        };
+        assert_eq!(data.len(), 24);
+    }
+
+    #[test]
+    fn repeated_frames_shrink_dramatically() {
+        // The Section V-A claim: caching + LZ4 collapses the redundant
+        // portion of consecutive frames.
+        let (mut tx, mut rx, _mem) = pipeline();
+        let mut gen = TraceGenerator::new(GenreProfile::action(), 1.0, 640, 360, 3);
+        let setup = gen.setup_trace();
+        let first = tx.forward_frame(&setup.commands, gen.client_memory()).unwrap();
+        rx.receive(&first.wire).unwrap();
+        let mut first_frame_wire = 0usize;
+        let mut later_wire = 0usize;
+        let mut later_raw = 0usize;
+        for i in 0..30 {
+            let frame = gen.next_frame(1.0 / 30.0);
+            let fwd = tx
+                .forward_frame(&frame.commands, gen.client_memory())
+                .unwrap();
+            let decoded = rx.receive(&fwd.wire).unwrap();
+            assert_eq!(decoded.len(), fwd.command_count);
+            if i == 0 {
+                first_frame_wire = fwd.wire.len();
+            } else if i >= 10 {
+                later_wire += fwd.wire.len();
+                later_raw += fwd.raw_bytes;
+            }
+        }
+        let avg_later = later_wire / 20;
+        assert!(
+            avg_later * 2 < first_frame_wire,
+            "steady-state {avg_later} vs first {first_frame_wire}"
+        );
+        let ratio = later_wire as f64 / later_raw as f64;
+        assert!(ratio < 0.7, "combined ratio {ratio} exceeds the paper's 70%");
+    }
+
+    #[test]
+    fn receiver_detects_desync() {
+        let (mut tx, _, mem) = pipeline();
+        let frame = vec![GlCommand::clear_all()];
+        // Prime the sender cache, then replay only the *second* (Ref)
+        // encoding against a fresh receiver.
+        tx.forward_frame(&frame, &mem).unwrap();
+        let second = tx.forward_frame(&frame, &mem).unwrap();
+        let mut fresh_rx = ServiceReceiver::new();
+        let err = fresh_rx.receive(&second.wire).unwrap_err();
+        assert!(matches!(err, GBoosterError::CacheDesync(_)));
+    }
+
+    #[test]
+    fn corrupt_wire_is_rejected() {
+        let (mut tx, mut rx, mem) = pipeline();
+        let fwd = tx
+            .forward_frame(&[GlCommand::clear_all()], &mem)
+            .unwrap();
+        assert!(rx.receive(&fwd.wire[..2]).is_err());
+        let mut corrupted = fwd.wire.clone();
+        let last = corrupted.len() - 1;
+        corrupted[last] ^= 0xff;
+        // Either a codec error or (rarely) a decode error — never a panic.
+        let _ = rx.receive(&corrupted);
+    }
+
+    #[test]
+    fn hit_rate_grows_over_a_session() {
+        let (mut tx, _, _) = pipeline();
+        let mut gen = TraceGenerator::new(GenreProfile::puzzle(), 1.0, 320, 240, 5);
+        let setup = gen.setup_trace();
+        tx.forward_frame(&setup.commands, gen.client_memory()).unwrap();
+        for _ in 0..50 {
+            let frame = gen.next_frame(1.0 / 60.0);
+            tx.forward_frame(&frame.commands, gen.client_memory())
+                .unwrap();
+        }
+        assert!(
+            tx.cache_hit_rate() > 0.6,
+            "hit rate {}",
+            tx.cache_hit_rate()
+        );
+    }
+
+    #[test]
+    fn ratio_reports_one_for_empty() {
+        let f = ForwardedFrame {
+            wire: Vec::new(),
+            raw_bytes: 0,
+            token_bytes: 0,
+            command_count: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        assert_eq!(f.ratio(), 1.0);
+    }
+}

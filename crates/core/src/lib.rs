@@ -1,0 +1,56 @@
+//! # gbooster-core
+//!
+//! The GBooster system (ICDCS 2017): transparent acceleration of
+//! GPU-intensive mobile applications by offloading their OpenGL ES command
+//! streams to nearby multimedia devices.
+//!
+//! The crate wires every substrate into the architecture of Fig. 2:
+//!
+//! * [`wrapper`] — the interception layer injected by dynamic-linker
+//!   hooking (Section IV-A).
+//! * [`forward`] — command serialization with deferred pointer
+//!   resolution, LRU caching and LZ4 compression (Sections IV-B, V-A).
+//! * [`service`] — the service-device runtime: replay, render, Turbo
+//!   encode (Section IV-C).
+//! * [`transport`] — the energy-aware dual-radio transport driven by
+//!   ARMAX traffic forecasting (Section V-B).
+//! * [`scheduler`] — multi-device request dispatch (Eq. 4), state
+//!   replication over multicast, and result re-sequencing (Section VI).
+//! * [`queue`] — FCFS and priority service queues for multi-user serving
+//!   (Section VIII's future-work extension, implemented here).
+//! * [`metrics`] — median FPS, FPS stability and response time
+//!   (Section VII-B).
+//! * [`session`] — the end-to-end session engine reproducing the
+//!   evaluation: local execution, GBooster offloading with any number of
+//!   service devices, and the OnLive-style cloud baseline.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gbooster_core::config::{ExecutionMode, SessionConfig};
+//! use gbooster_core::session::Session;
+//! use gbooster_sim::device::DeviceSpec;
+//! use gbooster_workload::games::GameTitle;
+//!
+//! let local = SessionConfig::builder(GameTitle::g5_candy_crush(), DeviceSpec::nexus5())
+//!     .duration_secs(20)
+//!     .mode(ExecutionMode::Local)
+//!     .build();
+//! let report = Session::run(&local);
+//! assert!(report.median_fps > 0.0);
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod forward;
+pub mod metrics;
+pub mod queue;
+pub mod scheduler;
+pub mod service;
+pub mod session;
+pub mod transport;
+pub mod wrapper;
+
+pub use config::{ExecutionMode, SessionConfig};
+pub use error::GBoosterError;
+pub use session::{Session, SessionReport};

@@ -1,0 +1,331 @@
+//! Multi-device request dispatch (Section VI).
+//!
+//! * [`Dispatcher`] — Eq. 4: each rendering request goes to the node
+//!   minimizing `(w_j + r) / c_j + l_j`, with `r` the request workload,
+//!   `c_j` the node's capability, `w_j` its queued workload and `l_j` the
+//!   round-trip delay.
+//! * [`ReorderBuffer`] — "our system keeps track of the sequence numbers
+//!   of the requests, such that we can display their results in a proper
+//!   order" (Section VI-C).
+//! * State-replication accounting lives with the session engine, which
+//!   multicasts state-mutating commands to every node
+//!   ([`crate::wrapper::Disposition::ReplicateAll`]).
+
+use std::collections::BTreeMap;
+
+use gbooster_sim::device::DeviceSpec;
+use gbooster_sim::time::{SimDuration, SimTime};
+
+/// One offloading destination as seen by the scheduler.
+#[derive(Clone, Debug)]
+pub struct ServiceNode {
+    /// Hardware description.
+    pub spec: DeviceSpec,
+    /// Computation capability `c_j` in complexity-weighted pixels/second.
+    pub capability: f64,
+    /// Round-trip delay `l_j` to this node.
+    pub rtt: SimDuration,
+    busy_until: SimTime,
+    requests_served: u64,
+}
+
+impl ServiceNode {
+    /// Creates a node from a device spec and a measured RTT.
+    ///
+    /// The capability is profiled beforehand (the paper profiles command
+    /// workloads offline, ref \[31\]); we derive it from the GPU fillrate.
+    pub fn new(spec: DeviceSpec, rtt: SimDuration) -> Self {
+        let capability = spec.gpu.fillrate_gpixels_per_sec * 1e9;
+        ServiceNode {
+            spec,
+            capability,
+            rtt,
+            busy_until: SimTime::ZERO,
+            requests_served: 0,
+        }
+    }
+
+    /// Requests this node has served.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// The instant this node's queue drains.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+/// The outcome of dispatching one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DispatchDecision {
+    /// Chosen node index.
+    pub node: usize,
+    /// When the node begins the request (after its queue and the uplink
+    /// propagation delay).
+    pub start: SimTime,
+    /// When the node finishes the request.
+    pub finish: SimTime,
+}
+
+/// Eq. 4 dispatcher over a set of service nodes.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_core::scheduler::{Dispatcher, ServiceNode};
+/// use gbooster_sim::device::DeviceSpec;
+/// use gbooster_sim::time::{SimDuration, SimTime};
+///
+/// let mut d = Dispatcher::new(vec![
+///     ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+///     ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_millis(2)),
+/// ]);
+/// // With equal queues and latency, the faster Shield wins.
+/// let decision = d.dispatch(10_000_000, SimDuration::ZERO, SimTime::ZERO);
+/// assert_eq!(decision.node, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Dispatcher {
+    nodes: Vec<ServiceNode>,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<ServiceNode>) -> Self {
+        assert!(!nodes.is_empty(), "dispatcher needs at least one node");
+        Dispatcher { nodes }
+    }
+
+    /// The managed nodes.
+    pub fn nodes(&self) -> &[ServiceNode] {
+        &self.nodes
+    }
+
+    /// Dispatches a request of workload `r_fill` (complexity-weighted
+    /// pixels) arriving at `now`; `extra_service` is per-request work
+    /// beyond raster fill (frame encoding) spent on the chosen node.
+    ///
+    /// Applies Eq. 4 and books the chosen node's queue.
+    pub fn dispatch(
+        &mut self,
+        r_fill: u64,
+        extra_service: SimDuration,
+        now: SimTime,
+    ) -> DispatchDecision {
+        let r = r_fill as f64;
+        let mut best = 0usize;
+        let mut best_score = f64::INFINITY;
+        for (j, node) in self.nodes.iter().enumerate() {
+            // w_j: queued workload expressed in capability units.
+            let backlog_secs = node.busy_until.saturating_duration_since(now).as_secs_f64();
+            let w_j = backlog_secs * node.capability;
+            let score = (w_j + r) / node.capability + node.rtt.as_secs_f64();
+            if score < best_score {
+                best_score = score;
+                best = j;
+            }
+        }
+        let node = &mut self.nodes[best];
+        let arrive = now + node.rtt / 2;
+        let start = arrive.max(node.busy_until);
+        let render = SimDuration::from_secs_f64(r / node.capability);
+        let finish = start + render + extra_service;
+        node.busy_until = finish;
+        node.requests_served += 1;
+        DispatchDecision {
+            node: best,
+            start,
+            finish,
+        }
+    }
+
+    /// Per-node request counts (load-balance telemetry).
+    pub fn served_counts(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.requests_served).collect()
+    }
+}
+
+/// Re-sequences out-of-order frame results for display.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_core::scheduler::ReorderBuffer;
+///
+/// let mut buf = ReorderBuffer::new();
+/// buf.insert(1, "frame1");
+/// assert!(buf.pop_ready().is_empty(), "frame 0 still missing");
+/// buf.insert(0, "frame0");
+/// let ready: Vec<&str> = buf.pop_ready();
+/// assert_eq!(ready, vec!["frame0", "frame1"]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReorderBuffer<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+    max_held: usize,
+}
+
+impl<T> Default for ReorderBuffer<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ReorderBuffer<T> {
+    /// Creates a buffer expecting sequence 0.
+    pub fn new() -> Self {
+        ReorderBuffer {
+            next: 0,
+            pending: BTreeMap::new(),
+            max_held: 0,
+        }
+    }
+
+    /// Inserts the result for `seq`. Duplicate sequence numbers replace
+    /// the held value (idempotent retransmits).
+    pub fn insert(&mut self, seq: u64, value: T) {
+        if seq >= self.next {
+            self.pending.insert(seq, value);
+            self.max_held = self.max_held.max(self.pending.len());
+        }
+    }
+
+    /// Removes and returns every result now deliverable in order.
+    pub fn pop_ready(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pending.remove(&self.next) {
+            out.push(v);
+            self.next += 1;
+        }
+        out
+    }
+
+    /// Results held waiting for a predecessor.
+    pub fn held(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// High-water mark of held results (memory-overhead accounting).
+    pub fn max_held(&self) -> usize {
+        self.max_held
+    }
+
+    /// Next sequence number awaited.
+    pub fn awaiting(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_nodes() -> Dispatcher {
+        Dispatcher::new(vec![
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+            ServiceNode::new(
+                DeviceSpec::dell_optiplex_9010(),
+                SimDuration::from_millis(2),
+            ),
+        ])
+    }
+
+    #[test]
+    fn faster_idle_node_wins() {
+        let mut d = Dispatcher::new(vec![
+            ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_millis(2)),
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+        ]);
+        let decision = d.dispatch(50_000_000, SimDuration::ZERO, SimTime::ZERO);
+        assert_eq!(decision.node, 1, "shield (16 GP/s) beats minix (6 GP/s)");
+    }
+
+    #[test]
+    fn backlog_diverts_to_the_other_node() {
+        let mut d = two_nodes();
+        // Saturate node 0 with several big requests.
+        let big = 100_000_000u64;
+        let first = d.dispatch(big, SimDuration::ZERO, SimTime::ZERO);
+        let second = d.dispatch(big, SimDuration::ZERO, SimTime::ZERO);
+        assert_ne!(
+            first.node, second.node,
+            "Eq. 4 must divert around the backlog"
+        );
+    }
+
+    #[test]
+    fn latency_term_matters_for_small_requests() {
+        let mut d = Dispatcher::new(vec![
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(50)),
+            ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_micros(100)),
+        ]);
+        // A tiny request: render-time difference (micros) is dwarfed by
+        // the 50 ms RTT, so the slower-but-closer node wins.
+        let decision = d.dispatch(10_000, SimDuration::ZERO, SimTime::ZERO);
+        assert_eq!(decision.node, 1);
+    }
+
+    #[test]
+    fn queue_advances_busy_until() {
+        let mut d = two_nodes();
+        let a = d.dispatch(16_000_000, SimDuration::from_millis(5), SimTime::ZERO);
+        assert!(a.finish > a.start);
+        let served: u64 = d.served_counts().iter().sum();
+        assert_eq!(served, 1);
+        assert_eq!(d.nodes()[a.node].busy_until(), a.finish);
+    }
+
+    #[test]
+    fn load_balances_across_equal_nodes() {
+        let mut d = Dispatcher::new(vec![
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+        ]);
+        let mut now = SimTime::ZERO;
+        // Requests arrive faster than any single node can serve them
+        // (14 ms service, 5 ms spacing), so Eq. 4 must fan out to all 3.
+        for _ in 0..30 {
+            d.dispatch(64_000_000, SimDuration::from_millis(10), now);
+            now += SimDuration::from_millis(5);
+        }
+        let counts = d.served_counts();
+        for &c in &counts {
+            assert!((6..=14).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn reorder_buffer_delivers_in_sequence() {
+        let mut buf = ReorderBuffer::new();
+        buf.insert(2, 2);
+        buf.insert(0, 0);
+        assert_eq!(buf.pop_ready(), vec![0]);
+        assert_eq!(buf.held(), 1);
+        buf.insert(1, 1);
+        assert_eq!(buf.pop_ready(), vec![1, 2]);
+        assert_eq!(buf.awaiting(), 3);
+        assert_eq!(buf.max_held(), 2);
+    }
+
+    #[test]
+    fn reorder_buffer_drops_stale_results() {
+        let mut buf = ReorderBuffer::new();
+        buf.insert(0, "a");
+        assert_eq!(buf.pop_ready(), vec!["a"]);
+        buf.insert(0, "late duplicate");
+        assert!(buf.pop_ready().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_dispatcher_panics() {
+        let _ = Dispatcher::new(Vec::new());
+    }
+}

@@ -1,0 +1,290 @@
+//! The energy-aware transport manager (Section V-B).
+//!
+//! Couples the ARMAX traffic predictor to the dual-radio
+//! [`InterfaceManager`]: traffic and exogenous inputs (touchstrokes,
+//! per-frame texture count — the AIC-selected attributes 1 and 3) are
+//! accumulated per 500 ms window; at each window boundary the predictor
+//! forecasts the next window's demand and the manager pre-wakes or parks
+//! the WiFi radio accordingly.
+
+use gbooster_forecast::predictor::TrafficPredictor;
+use gbooster_net::switch::{InterfaceManager, SwitchStats, TxOutcome};
+use gbooster_sim::time::{SimDuration, SimTime};
+
+/// Per-route propagation latency added on top of serialization.
+const WIFI_LATENCY: SimDuration = SimDuration::from_micros(800);
+const BT_LATENCY: SimDuration = SimDuration::from_millis(4);
+
+/// A transmission outcome including propagation delay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transfer {
+    /// Instant the last byte is delivered.
+    pub delivered_at: SimTime,
+    /// Serialization + propagation span.
+    pub duration: SimDuration,
+    /// True if the send was degraded onto Bluetooth by a mispredicted
+    /// surge (elevated latency — the FN cost).
+    pub degraded: bool,
+}
+
+/// The predictor-driven transport.
+#[derive(Debug)]
+pub struct TransportManager {
+    mgr: InterfaceManager,
+    predictor: TrafficPredictor,
+    window: SimDuration,
+    window_end: SimTime,
+    /// Per-direction link occupancy. (The medium is shared, but at the
+    /// utilizations GBooster reaches the cross-direction contention is
+    /// second-order; modeling the directions independently avoids falsely
+    /// serializing frame i's download with frame i+1's upload.)
+    uplink_free_at: SimTime,
+    downlink_free_at: SimTime,
+    window_bytes: u64,
+    window_busy: SimDuration,
+    window_touches: f64,
+    window_textures: f64,
+    window_frames: u32,
+    uplink_bytes: u64,
+    downlink_bytes: u64,
+    windows_observed: u64,
+}
+
+impl TransportManager {
+    /// Creates a transport with switching `enabled` and the given
+    /// forecast window.
+    ///
+    /// The predictor is ARMAX(2,1) with 2 lags over 2 exogenous inputs
+    /// (touch frequency, texture count), thresholded at the Bluetooth
+    /// budget — the paper's final configuration.
+    pub fn new(enabled: bool, window: SimDuration) -> Self {
+        let mgr = InterfaceManager::new(enabled);
+        let threshold = mgr.bt_budget_mbps();
+        TransportManager {
+            mgr,
+            predictor: TrafficPredictor::armax(2, 1, 2, 2, threshold),
+            window,
+            window_end: SimTime::ZERO + window,
+            uplink_free_at: SimTime::ZERO,
+            downlink_free_at: SimTime::ZERO,
+            window_bytes: 0,
+            window_busy: SimDuration::ZERO,
+            window_touches: 0.0,
+            window_textures: 0.0,
+            window_frames: 0,
+            uplink_bytes: 0,
+            downlink_bytes: 0,
+            windows_observed: 0,
+        }
+    }
+
+    /// Records one frame's exogenous observations.
+    pub fn on_frame(&mut self, touches: u32, textures_used: u32) {
+        self.window_touches += touches as f64;
+        self.window_textures += textures_used as f64;
+        self.window_frames += 1;
+    }
+
+    /// Rolls the forecast window forward if `now` has passed its end:
+    /// observe actual traffic, forecast the next window, actuate radios.
+    pub fn maybe_rollover(&mut self, now: SimTime) {
+        while now >= self.window_end {
+            let mut mbps = self.window_bytes as f64 * 8.0 / 1e6 / self.window.as_secs_f64();
+            // A saturated link under-reports offered demand: the carried
+            // throughput caps below the switch threshold while the queue
+            // grows. Treat near-full busy windows as demand beyond the
+            // Bluetooth budget so the predictor sees the real surge.
+            let busy_frac = self.window_busy.as_secs_f64() / self.window.as_secs_f64();
+            if busy_frac > 0.85 {
+                mbps = mbps.max(self.mgr.bt_budget_mbps() * 1.5);
+            }
+            let textures_avg = if self.window_frames > 0 {
+                self.window_textures / self.window_frames as f64
+            } else {
+                0.0
+            };
+            let exo = [self.window_touches, textures_avg];
+            self.predictor.observe(mbps, &exo);
+            // Forecast with the freshest exogenous readings (the inputs
+            // observable *now*, before the traffic they cause).
+            let predicted = self.predictor.forecast_next(&exo);
+            self.mgr.plan(predicted, self.window_end);
+            self.mgr.idle_tick(self.window);
+            self.window_bytes = 0;
+            self.window_busy = SimDuration::ZERO;
+            self.window_touches = 0.0;
+            self.window_textures = 0.0;
+            self.window_frames = 0;
+            self.window_end += self.window;
+            self.windows_observed += 1;
+        }
+    }
+
+    /// Sends `bytes` upstream (commands) at `now`. The transfer queues
+    /// behind any transfer still occupying the half-duplex medium.
+    pub fn send(&mut self, bytes: usize, now: SimTime) -> Transfer {
+        self.maybe_rollover(now);
+        self.window_bytes += bytes as u64;
+        self.uplink_bytes += bytes as u64;
+        let start = now.max(self.uplink_free_at);
+        let out = self.mgr.transmit(bytes, start);
+        self.window_busy += out.done_at - start;
+        self.uplink_free_at = out.done_at;
+        Self::finish(now, out)
+    }
+
+    /// Receives `bytes` downstream (frames) at `now`, queueing behind any
+    /// transfer occupying the medium.
+    pub fn recv(&mut self, bytes: usize, now: SimTime) -> Transfer {
+        self.maybe_rollover(now);
+        self.window_bytes += bytes as u64;
+        self.downlink_bytes += bytes as u64;
+        let start = now.max(self.downlink_free_at);
+        let out = self.mgr.receive(bytes, start);
+        self.window_busy += out.done_at - start;
+        self.downlink_free_at = out.done_at;
+        Self::finish(now, out)
+    }
+
+    fn finish(now: SimTime, out: TxOutcome) -> Transfer {
+        let latency = match out.route {
+            gbooster_net::switch::Route::Wifi => WIFI_LATENCY,
+            gbooster_net::switch::Route::Bluetooth => BT_LATENCY,
+        };
+        let delivered_at = out.done_at + latency;
+        Transfer {
+            delivered_at,
+            duration: delivered_at - now,
+            degraded: out.degraded,
+        }
+    }
+
+    /// Total radio energy, joules.
+    pub fn radio_energy_joules(&self) -> f64 {
+        self.mgr.energy_joules()
+    }
+
+    /// WiFi-attributed energy, joules.
+    pub fn wifi_energy_joules(&self) -> f64 {
+        self.mgr.wifi_energy_joules()
+    }
+
+    /// Switch statistics.
+    pub fn switch_stats(&self) -> SwitchStats {
+        self.mgr.stats()
+    }
+
+    /// Lifetime (uplink, downlink) byte totals.
+    pub fn traffic_totals(&self) -> (u64, u64) {
+        (self.uplink_bytes, self.downlink_bytes)
+    }
+
+    /// Average offered load over the observed windows, Mbps.
+    pub fn average_mbps(&self, elapsed: SimDuration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.uplink_bytes + self.downlink_bytes) as f64 * 8.0 / 1e6 / secs
+        }
+    }
+
+    /// Forecast windows processed.
+    pub fn windows_observed(&self) -> u64 {
+        self.windows_observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> SimDuration {
+        SimDuration::from_millis(500)
+    }
+
+    #[test]
+    fn quiet_traffic_stays_on_bluetooth_energy() {
+        let mut t = TransportManager::new(true, window());
+        let mut now = SimTime::ZERO;
+        for _ in 0..120 {
+            // 20 KB per 100 ms ≈ 1.6 Mbps: far under the BT budget.
+            let xfer = t.send(20_000, now);
+            assert!(!xfer.degraded);
+            now = xfer.delivered_at + SimDuration::from_millis(100);
+            t.on_frame(0, 8);
+        }
+        let stats = t.switch_stats();
+        assert_eq!(stats.wifi_bytes, 0, "all bytes must ride Bluetooth");
+        assert!(t.radio_energy_joules() < 2.0);
+    }
+
+    #[test]
+    fn sustained_surge_migrates_to_wifi() {
+        let mut t = TransportManager::new(true, window());
+        let mut now = SimTime::ZERO;
+        // Open-loop offered load of 200 KB every 50 ms ≈ 32 Mbps: beyond
+        // Bluetooth, which saturates until the predictor wakes WiFi.
+        for _ in 0..400 {
+            t.send(200_000, now);
+            now += SimDuration::from_millis(50);
+            t.on_frame(5, 24);
+        }
+        let stats = t.switch_stats();
+        assert!(stats.wifi_wakes >= 1, "predictor must wake WiFi");
+        assert!(
+            stats.wifi_bytes > stats.bt_bytes,
+            "steady surge should ride WiFi: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn disabled_switching_never_touches_bluetooth() {
+        let mut t = TransportManager::new(false, window());
+        let mut now = SimTime::from_millis(600); // WiFi booted at t=0
+        for _ in 0..50 {
+            let xfer = t.send(10_000, now);
+            now = xfer.delivered_at + SimDuration::from_millis(20);
+        }
+        assert_eq!(t.switch_stats().bt_bytes, 0);
+    }
+
+    #[test]
+    fn traffic_totals_split_directions() {
+        let mut t = TransportManager::new(true, window());
+        t.send(1000, SimTime::ZERO);
+        t.recv(5000, SimTime::from_millis(10));
+        assert_eq!(t.traffic_totals(), (1000, 5000));
+        let mbps = t.average_mbps(SimDuration::from_secs(1));
+        assert!((mbps - 0.048).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_roll_over_with_time() {
+        let mut t = TransportManager::new(true, window());
+        t.send(100, SimTime::ZERO);
+        t.send(100, SimTime::from_secs(3));
+        assert!(t.windows_observed() >= 5, "{}", t.windows_observed());
+    }
+
+    #[test]
+    fn degraded_transfers_take_longer() {
+        // Force a surge the predictor has never seen: the first send
+        // after the wake decision rides Bluetooth degraded.
+        let mut t = TransportManager::new(true, window());
+        let mut now = SimTime::ZERO;
+        // Train on quiet traffic.
+        for _ in 0..40 {
+            let x = t.send(5_000, now);
+            now = x.delivered_at + SimDuration::from_millis(100);
+            t.on_frame(0, 8);
+        }
+        // Sudden large burst in one window.
+        let burst = t.send(2_000_000, now);
+        // Either it rides BT (slow) or WiFi woke in time; both legal —
+        // but the duration must reflect the route.
+        if burst.degraded {
+            assert!(burst.duration.as_millis_f64() > 100.0);
+        }
+    }
+}

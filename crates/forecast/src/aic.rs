@@ -1,0 +1,190 @@
+//! Akaike Information Criterion model selection (ref \[29\]).
+//!
+//! "We evaluate the qualities of the models consisted of different
+//! combinations of attributes by accessing the Raw Akaike Information
+//! Criteria (AIC). The results show that the best approximating model for
+//! the traffic is the one with the attribute 1 and 3." This module
+//! reproduces that selection: fit an ARMAX over every candidate attribute
+//! subset, score each with AIC, return the winner.
+
+use crate::armax::ArmaxModel;
+
+/// Raw AIC for a least-squares fit: `n·ln(RSS/n) + 2k`.
+///
+/// Lower is better; the `2k` term penalizes parameter count.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn aic(n: usize, rss: f64, k: usize) -> f64 {
+    assert!(n > 0, "need at least one residual");
+    let n_f = n as f64;
+    // Guard against a perfect fit: ln(0) = -inf would dominate unfairly
+    // relative to float noise, so clamp RSS at a tiny epsilon.
+    n_f * (rss.max(1e-12) / n_f).ln() + 2.0 * k as f64
+}
+
+/// Result of evaluating one attribute subset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubsetScore {
+    /// Indices into the exogenous attribute matrix.
+    pub attributes: Vec<usize>,
+    /// AIC of the fitted ARMAX (lower is better).
+    pub aic: f64,
+    /// Residual sum of squares over the evaluation span.
+    pub rss: f64,
+}
+
+/// Fits ARMAX(p,q,b) over the attribute subset and scores it with AIC.
+///
+/// `exo[i]` is the full time series of attribute `i`; `subset` selects
+/// which attributes the model may use. The first `warmup` observations are
+/// excluded from the RSS so early transient error does not dominate.
+///
+/// # Panics
+///
+/// Panics if series lengths disagree or `warmup >= series.len()`.
+pub fn score_subset(
+    series: &[f64],
+    exo: &[Vec<f64>],
+    subset: &[usize],
+    p: usize,
+    q: usize,
+    b: usize,
+    warmup: usize,
+) -> SubsetScore {
+    assert!(warmup < series.len(), "warmup longer than series");
+    for attr in exo {
+        assert_eq!(attr.len(), series.len(), "attribute length mismatch");
+    }
+    let n_inputs = subset.len();
+    let mut model = if n_inputs == 0 {
+        ArmaxModel::new(p.max(1), q, 0, 0)
+    } else {
+        ArmaxModel::new(p, q, b, n_inputs)
+    };
+    let mut rss = 0.0;
+    let mut counted = 0usize;
+    for t in 0..series.len() {
+        let current: Vec<f64> = subset.iter().map(|&i| exo[i][t]).collect();
+        let predicted = model.forecast_next(&current);
+        if t >= warmup {
+            let e = predicted - series[t];
+            rss += e * e;
+            counted += 1;
+        }
+        model.observe(series[t], &current);
+    }
+    SubsetScore {
+        attributes: subset.to_vec(),
+        aic: aic(counted, rss, model.param_count()),
+        rss,
+    }
+}
+
+/// Scores every provided subset and returns them sorted best-first.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn select_attributes(
+    series: &[f64],
+    exo: &[Vec<f64>],
+    candidates: &[Vec<usize>],
+    p: usize,
+    q: usize,
+    b: usize,
+    warmup: usize,
+) -> Vec<SubsetScore> {
+    assert!(!candidates.is_empty(), "no candidate subsets");
+    let mut scores: Vec<SubsetScore> = candidates
+        .iter()
+        .map(|subset| score_subset(series, exo, subset, p, q, b, warmup))
+        .collect();
+    scores.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("AIC is finite"));
+    scores
+}
+
+/// All non-empty subsets of `{0, …, n−1}` — the paper examines every
+/// combination of its four candidate attributes.
+pub fn all_subsets(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for mask in 1u32..(1 << n) {
+        let subset: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+        out.push(subset);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aic_penalizes_parameters() {
+        let tight = aic(100, 10.0, 2);
+        let loose_same_fit = aic(100, 10.0, 10);
+        assert!(tight < loose_same_fit);
+    }
+
+    #[test]
+    fn aic_rewards_fit() {
+        assert!(aic(100, 5.0, 3) < aic(100, 50.0, 3));
+    }
+
+    #[test]
+    fn all_subsets_of_four_is_fifteen() {
+        let subsets = all_subsets(4);
+        assert_eq!(subsets.len(), 15);
+        assert!(subsets.contains(&vec![0, 2])); // the paper's winner {1,3} 0-indexed
+    }
+
+    #[test]
+    fn selection_finds_the_informative_attributes() {
+        // Attributes: 0 = informative (drives traffic), 1 = pure noise,
+        // 2 = informative, 3 = constant. The best subset should contain
+        // {0, 2} and exclude the noise once the 2k penalty bites.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let len = 1200;
+        let mut exo = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        let mut series = Vec::new();
+        for _ in 0..len {
+            let a: f64 = if rng.gen_bool(0.15) { 5.0 } else { 0.0 };
+            let noise: f64 = rng.gen_range(-1.0..1.0);
+            let c: f64 = rng.gen_range(0.0..2.0);
+            exo[0].push(a);
+            exo[1].push(noise);
+            exo[2].push(c);
+            exo[3].push(1.0);
+            series.push(3.0 + 4.0 * a + 2.5 * c + rng.gen_range(-0.2..0.2));
+        }
+        let scores = select_attributes(&series, &exo, &all_subsets(4), 1, 0, 1, 100);
+        let best = &scores[0];
+        assert!(
+            best.attributes.contains(&0) && best.attributes.contains(&2),
+            "best subset {:?} must contain the informative attributes",
+            best.attributes
+        );
+        assert!(
+            !best.attributes.contains(&1),
+            "best subset {:?} should exclude the noise attribute",
+            best.attributes
+        );
+    }
+
+    #[test]
+    fn empty_subset_fits_plain_arma() {
+        let series: Vec<f64> = (0..200).map(|i| (i % 7) as f64).collect();
+        let score = score_subset(&series, &[], &[], 2, 1, 1, 20);
+        assert!(score.aic.is_finite());
+        assert!(score.attributes.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup longer than series")]
+    fn warmup_bound_checked() {
+        let _ = score_subset(&[1.0, 2.0], &[], &[], 1, 0, 0, 5);
+    }
+}

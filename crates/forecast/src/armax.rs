@@ -1,0 +1,243 @@
+//! Online ARMAX(p,q,b) — Eq. 3 of the paper.
+//!
+//! ```text
+//! X_t = ε_t + Σ φ_i·X_{t−i} + Σ θ_i·ε_{t−i} + Σ η_i·d_{t−i}
+//! ```
+//!
+//! "The model enables us to model deterministic and stochastic parts of
+//! the system independently. Thereby, we now can take some external inputs
+//! of the system into consideration and achieve better prediction
+//! performance." The exogenous inputs `d` are, per the paper's AIC
+//! selection, touchstroke frequency (attribute 1) and per-frame texture
+//! count (attribute 3).
+
+use std::collections::VecDeque;
+
+use crate::rls::Rls;
+
+/// An online ARMAX(p, q, b) forecaster over `n_inputs` exogenous signals,
+/// each contributing `b` lagged terms.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_forecast::armax::ArmaxModel;
+///
+/// // Traffic that spikes exactly when touches spike is perfectly
+/// // predictable from the exogenous input.
+/// let mut model = ArmaxModel::new(1, 0, 1, 1);
+/// for t in 0..600u32 {
+///     let touch = if t % 10 == 0 { 5.0 } else { 0.0 };
+///     let traffic = 2.0 + 4.0 * touch;
+///     model.observe(traffic, &[touch]);
+/// }
+/// // With a current touch burst, predicted traffic jumps.
+/// let quiet = model.forecast_next(&[0.0]);
+/// let burst = model.forecast_next(&[5.0]);
+/// assert!(burst > quiet + 10.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ArmaxModel {
+    p: usize,
+    q: usize,
+    b: usize,
+    n_inputs: usize,
+    rls: Rls,
+    y_hist: VecDeque<f64>,
+    e_hist: VecDeque<f64>,
+    /// Per-input exogenous history, most recent first. Index 0 of each
+    /// deque is d_t (the *current* value supplied at forecast time is the
+    /// candidate d_{t}; lags start at d_{t-0}).
+    d_hist: Vec<VecDeque<f64>>,
+}
+
+impl ArmaxModel {
+    /// Creates an ARMAX(p,q,b) model over `n_inputs` exogenous signals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all orders are zero or `b > 0 && n_inputs == 0`
+    /// inconsistencies arise.
+    pub fn new(p: usize, q: usize, b: usize, n_inputs: usize) -> Self {
+        assert!(p + q + b * n_inputs > 0, "model needs at least one term");
+        if b > 0 {
+            assert!(n_inputs > 0, "b > 0 requires exogenous inputs");
+        }
+        ArmaxModel {
+            p,
+            q,
+            b,
+            n_inputs,
+            rls: Rls::new(p + q + b * n_inputs + 1, 0.995),
+            y_hist: VecDeque::new(),
+            e_hist: VecDeque::new(),
+            d_hist: vec![VecDeque::new(); n_inputs],
+        }
+    }
+
+    /// Number of parameters (for AIC).
+    pub fn param_count(&self) -> usize {
+        self.p + self.q + self.b * self.n_inputs + 1
+    }
+
+    /// Number of exogenous inputs expected per observation.
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Builds the regressor using `current_exo` as d_t and the stored
+    /// history for deeper lags.
+    fn regressor(&self, current_exo: &[f64]) -> Vec<f64> {
+        let mut x = Vec::with_capacity(self.param_count());
+        for i in 0..self.p {
+            x.push(self.y_hist.get(i).copied().unwrap_or(0.0));
+        }
+        for i in 0..self.q {
+            x.push(self.e_hist.get(i).copied().unwrap_or(0.0));
+        }
+        for (input, hist) in self.d_hist.iter().enumerate() {
+            for lag in 0..self.b {
+                let v = if lag == 0 {
+                    current_exo[input]
+                } else {
+                    hist.get(lag - 1).copied().unwrap_or(0.0)
+                };
+                x.push(v);
+            }
+        }
+        x.push(1.0);
+        x
+    }
+
+    /// One-step-ahead forecast given current exogenous readings
+    /// (the touch/texture values observable *now*, before the traffic
+    /// they will cause materializes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `current_exo.len() != n_inputs`.
+    pub fn forecast_next(&self, current_exo: &[f64]) -> f64 {
+        assert_eq!(
+            current_exo.len(),
+            self.n_inputs,
+            "exogenous input count mismatch"
+        );
+        self.rls.predict(&self.regressor(current_exo))
+    }
+
+    /// Feeds one observation with its exogenous readings; returns the
+    /// one-step prediction error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values or a wrong exogenous count.
+    pub fn observe(&mut self, y: f64, exo: &[f64]) -> f64 {
+        assert_eq!(exo.len(), self.n_inputs, "exogenous input count mismatch");
+        assert!(
+            y.is_finite() && exo.iter().all(|v| v.is_finite()),
+            "non-finite observation"
+        );
+        let x = self.regressor(exo);
+        let err = self.rls.update(&x, y);
+        self.y_hist.push_front(y);
+        if self.y_hist.len() > self.p.max(1) {
+            self.y_hist.pop_back();
+        }
+        self.e_hist.push_front(err);
+        if self.e_hist.len() > self.q.max(1) {
+            self.e_hist.pop_back();
+        }
+        for (hist, &d) in self.d_hist.iter_mut().zip(exo.iter()) {
+            hist.push_front(d);
+            if hist.len() > self.b.max(1) {
+                hist.pop_back();
+            }
+        }
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Synthetic game traffic: an AR base load plus touch-driven bursts.
+    fn traffic_with_bursts(seed: u64, len: usize) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut traffic = Vec::with_capacity(len);
+        let mut touches = Vec::with_capacity(len);
+        let mut base: f64 = 10.0;
+        for _ in 0..len {
+            let touch = if rng.gen_bool(0.1) {
+                rng.gen_range(3.0..8.0)
+            } else {
+                0.0
+            };
+            base = 0.7 * base + 3.0 + rng.gen_range(-0.5..0.5);
+            traffic.push(base + 4.0 * touch);
+            touches.push(touch);
+        }
+        (traffic, touches)
+    }
+
+    #[test]
+    fn exogenous_input_reduces_error_versus_arma() {
+        use crate::arma::ArmaModel;
+        let (traffic, touches) = traffic_with_bursts(5, 3000);
+        let mut arma = ArmaModel::new(2, 1);
+        let mut armax = ArmaxModel::new(2, 1, 1, 1);
+        let mut arma_err = 0.0;
+        let mut armax_err = 0.0;
+        for t in 0..traffic.len() {
+            if t > 500 {
+                arma_err += (arma.forecast_next() - traffic[t]).abs();
+                armax_err += (armax.forecast_next(&[touches[t]]) - traffic[t]).abs();
+            }
+            arma.observe(traffic[t]);
+            armax.observe(traffic[t], &[touches[t]]);
+        }
+        assert!(
+            armax_err < arma_err * 0.6,
+            "ARMAX {armax_err:.1} should beat ARMA {arma_err:.1} substantially"
+        );
+    }
+
+    #[test]
+    fn forecast_reacts_to_current_exogenous_value() {
+        let mut model = ArmaxModel::new(1, 0, 2, 1);
+        for t in 0..800u32 {
+            let touch = if t % 7 == 0 { 4.0 } else { 0.0 };
+            model.observe(5.0 + 3.0 * touch, &[touch]);
+        }
+        assert!(model.forecast_next(&[4.0]) > model.forecast_next(&[0.0]) + 8.0);
+    }
+
+    #[test]
+    fn multiple_inputs_are_used() {
+        let mut model = ArmaxModel::new(1, 0, 1, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..1500 {
+            let a: f64 = rng.gen_range(0.0..1.0);
+            let b: f64 = rng.gen_range(0.0..1.0);
+            model.observe(2.0 * a + 5.0 * b + 1.0, &[a, b]);
+        }
+        let only_a = model.forecast_next(&[1.0, 0.0]);
+        let only_b = model.forecast_next(&[0.0, 1.0]);
+        assert!(only_b > only_a, "input b has larger true weight");
+    }
+
+    #[test]
+    #[should_panic(expected = "exogenous input count mismatch")]
+    fn wrong_input_count_panics() {
+        let mut model = ArmaxModel::new(1, 0, 1, 2);
+        model.observe(1.0, &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn empty_model_panics() {
+        let _ = ArmaxModel::new(0, 0, 0, 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Time-series summary statistics.
+
+/// Arithmetic mean of `xs` (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of `xs` (0 for fewer than two samples).
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Sample autocorrelation at `lag` (0 when undefined).
+///
+/// # Examples
+///
+/// ```
+/// // A strongly periodic series correlates with itself at its period.
+/// let xs: Vec<f64> = (0..200).map(|i| if i % 4 == 0 { 10.0 } else { 1.0 }).collect();
+/// assert!(gbooster_forecast::series::autocorrelation(&xs, 4) > 0.9);
+/// assert!(gbooster_forecast::series::autocorrelation(&xs, 2) < 0.0);
+/// ```
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if lag >= xs.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - m) * (w[lag] - m))
+        .sum();
+    num / denom
+}
+
+/// Root-mean-square error between predictions and actuals.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let mse: f64 = predicted
+        .iter()
+        .zip(actual.iter())
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum::<f64>()
+        / predicted.len() as f64;
+    mse.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        let xs = vec![3.0; 50];
+        assert_eq!(autocorrelation(&xs, 1), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_lag_zero_is_one() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin()).collect();
+        assert!((autocorrelation(&xs, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_prediction() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(rmse(&xs, &xs), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_length_mismatch_panics() {
+        let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+}

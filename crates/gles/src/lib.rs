@@ -1,0 +1,47 @@
+//! # gbooster-gles
+//!
+//! A simulated OpenGL ES 2.0 stack: the substrate GBooster intercepts,
+//! serializes, forwards and replays.
+//!
+//! The real system hooks Android's closed-source `libGLESv2.so`. This
+//! crate reproduces the *command-stream layer* that hooking exposes:
+//!
+//! * [`types`] — handles, enums and pixel formats (strongly typed, no raw
+//!   `GLenum` integers).
+//! * [`command`] — [`command::GlCommand`], the full command vocabulary an
+//!   application emits, with the paper's state-mutating vs. rendering
+//!   classification (Section VI-B) and per-command workload profile
+//!   (Section VI-C, ref \[31\]).
+//! * [`state`] — the OpenGL context state machine each device maintains.
+//! * [`framebuffer`] — RGBA framebuffers with tile-level diffing.
+//! * [`raster`] — a small software rasterizer producing real images.
+//! * [`exec`] — a software GPU executor combining state machine, raster
+//!   and cost model.
+//! * [`serialize`] — the wire format, including the paper's deferred
+//!   `glVertexAttribPointer` transmission (Section IV-B).
+//!
+//! # Examples
+//!
+//! ```
+//! use gbooster_gles::command::GlCommand;
+//! use gbooster_gles::exec::{ExecMode, SoftGpu};
+//!
+//! let mut gpu = SoftGpu::new(64, 64, ExecMode::Full);
+//! gpu.execute(&GlCommand::ClearColor { r: 0.0, g: 0.5, b: 1.0, a: 1.0 }).unwrap();
+//! gpu.execute(&GlCommand::clear_all()).unwrap();
+//! let frame = gpu.swap_buffers();
+//! assert_eq!(frame.image.pixel(0, 0), [0, 128, 255, 255]);
+//! ```
+
+pub mod command;
+pub mod exec;
+pub mod framebuffer;
+pub mod raster;
+pub mod serialize;
+pub mod state;
+pub mod types;
+
+pub use command::GlCommand;
+pub use exec::SoftGpu;
+pub use framebuffer::Framebuffer;
+pub use state::GlContext;

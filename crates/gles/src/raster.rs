@@ -1,0 +1,324 @@
+//! A small software triangle rasterizer.
+//!
+//! The service device in the paper replays commands on a real GPU and
+//! sends rendered images back. Our executor produces *actual images* with
+//! this rasterizer so that the Turbo codec, frame diffing and display path
+//! operate on genuine pixel data rather than placeholders.
+//!
+//! The rasterizer supports the pieces the command model exercises:
+//! viewport transform, scissoring, depth test, alpha blending, and
+//! per-vertex color interpolation (standing in for fragment shading).
+
+use crate::framebuffer::Framebuffer;
+use crate::types::{BlendFactor, DepthFunc};
+
+/// A vertex in clip space with an RGBA color.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Vertex {
+    /// Clip-space position (x, y in [-1, 1], z in [-1, 1]).
+    pub position: [f32; 3],
+    /// RGBA color, each channel in [0, 1].
+    pub color: [f32; 4],
+}
+
+impl Vertex {
+    /// Creates a vertex at `position` with `color`.
+    pub fn new(position: [f32; 3], color: [f32; 4]) -> Self {
+        Vertex { position, color }
+    }
+}
+
+/// Fixed-function raster state relevant to the simulated pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct RasterState {
+    /// Viewport rectangle in pixels: (x, y, width, height).
+    pub viewport: (i32, i32, u32, u32),
+    /// Optional scissor rectangle in pixels.
+    pub scissor: Option<(i32, i32, u32, u32)>,
+    /// Depth testing enabled.
+    pub depth_test: bool,
+    /// Depth comparison function.
+    pub depth_func: DepthFunc,
+    /// Depth writes enabled.
+    pub depth_write: bool,
+    /// Alpha blending enabled.
+    pub blend: bool,
+    /// Source blend factor.
+    pub blend_src: BlendFactor,
+    /// Destination blend factor.
+    pub blend_dst: BlendFactor,
+}
+
+impl RasterState {
+    /// Default pipeline state for a `width`×`height` target: full-screen
+    /// viewport, no scissor, depth LESS with writes, no blending.
+    pub fn new(width: u32, height: u32) -> Self {
+        RasterState {
+            viewport: (0, 0, width, height),
+            scissor: None,
+            depth_test: false,
+            depth_func: DepthFunc::Less,
+            depth_write: true,
+            blend: false,
+            blend_src: BlendFactor::SrcAlpha,
+            blend_dst: BlendFactor::OneMinusSrcAlpha,
+        }
+    }
+}
+
+fn blend_factor(f: BlendFactor, src_a: f32) -> f32 {
+    match f {
+        BlendFactor::Zero => 0.0,
+        BlendFactor::One => 1.0,
+        BlendFactor::SrcAlpha => src_a,
+        BlendFactor::OneMinusSrcAlpha => 1.0 - src_a,
+    }
+}
+
+fn to_byte(v: f32) -> u8 {
+    (v.clamp(0.0, 1.0) * 255.0).round() as u8
+}
+
+/// Statistics returned by a draw call, feeding the GPU cost model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DrawStats {
+    /// Pixels whose fragment was executed (pre depth/scissor rejection).
+    pub fragments_shaded: u64,
+    /// Pixels actually written to the color buffer.
+    pub pixels_written: u64,
+}
+
+/// Rasterizes one triangle into `fb` under `state`, interpolating vertex
+/// colors. Returns fragment statistics.
+pub fn draw_triangle(
+    fb: &mut Framebuffer,
+    state: &RasterState,
+    v0: Vertex,
+    v1: Vertex,
+    v2: Vertex,
+) -> DrawStats {
+    let (vx, vy, vw, vh) = state.viewport;
+    // Clip-space -> screen-space (y flipped so +y is up in clip space).
+    let to_screen = |v: &Vertex| -> (f32, f32, f32) {
+        let sx = vx as f32 + (v.position[0] + 1.0) * 0.5 * vw as f32;
+        let sy = vy as f32 + (1.0 - (v.position[1] + 1.0) * 0.5) * vh as f32;
+        let sz = (v.position[2] + 1.0) * 0.5;
+        (sx, sy, sz)
+    };
+    let (x0, y0, z0) = to_screen(&v0);
+    let (x1, y1, z1) = to_screen(&v1);
+    let (x2, y2, z2) = to_screen(&v2);
+
+    let area = (x1 - x0) * (y2 - y0) - (x2 - x0) * (y1 - y0);
+    if area.abs() < f32::EPSILON {
+        return DrawStats::default();
+    }
+
+    // Bounding box clipped to framebuffer and scissor.
+    let mut min_x = x0.min(x1).min(x2).floor().max(0.0) as i64;
+    let mut min_y = y0.min(y1).min(y2).floor().max(0.0) as i64;
+    let mut max_x = x0.max(x1).max(x2).ceil().min(fb.width() as f32 - 1.0) as i64;
+    let mut max_y = y0.max(y1).max(y2).ceil().min(fb.height() as f32 - 1.0) as i64;
+    if let Some((sx, sy, sw, sh)) = state.scissor {
+        min_x = min_x.max(sx as i64);
+        min_y = min_y.max(sy as i64);
+        max_x = max_x.min(sx as i64 + sw as i64 - 1);
+        max_y = max_y.min(sy as i64 + sh as i64 - 1);
+    }
+
+    let mut stats = DrawStats::default();
+    for py in min_y..=max_y {
+        for px in min_x..=max_x {
+            let (fx, fy) = (px as f32 + 0.5, py as f32 + 0.5);
+            // Barycentric coordinates.
+            let w0 = ((x1 - fx) * (y2 - fy) - (x2 - fx) * (y1 - fy)) / area;
+            let w1 = ((x2 - fx) * (y0 - fy) - (x0 - fx) * (y2 - fy)) / area;
+            let w2 = 1.0 - w0 - w1;
+            if w0 < 0.0 || w1 < 0.0 || w2 < 0.0 {
+                continue;
+            }
+            stats.fragments_shaded += 1;
+            let (ux, uy) = (px as u32, py as u32);
+            let z = w0 * z0 + w1 * z1 + w2 * z2;
+            if state.depth_test {
+                let current = fb.depth_at(ux, uy).unwrap_or(1.0);
+                let pass = match state.depth_func {
+                    DepthFunc::Less => z < current,
+                    DepthFunc::LessEqual => z <= current,
+                    DepthFunc::Always => true,
+                };
+                if !pass {
+                    continue;
+                }
+            }
+            let src = [
+                w0 * v0.color[0] + w1 * v1.color[0] + w2 * v2.color[0],
+                w0 * v0.color[1] + w1 * v1.color[1] + w2 * v2.color[1],
+                w0 * v0.color[2] + w1 * v1.color[2] + w2 * v2.color[2],
+                w0 * v0.color[3] + w1 * v1.color[3] + w2 * v2.color[3],
+            ];
+            let rgba = if state.blend {
+                let dst = fb.pixel(ux, uy);
+                let sf = blend_factor(state.blend_src, src[3]);
+                let df = blend_factor(state.blend_dst, src[3]);
+                [
+                    to_byte(src[0] * sf + dst[0] as f32 / 255.0 * df),
+                    to_byte(src[1] * sf + dst[1] as f32 / 255.0 * df),
+                    to_byte(src[2] * sf + dst[2] as f32 / 255.0 * df),
+                    to_byte(src[3] * sf + dst[3] as f32 / 255.0 * df),
+                ]
+            } else {
+                [
+                    to_byte(src[0]),
+                    to_byte(src[1]),
+                    to_byte(src[2]),
+                    to_byte(src[3]),
+                ]
+            };
+            fb.set_pixel(ux, uy, rgba);
+            if state.depth_write && state.depth_test {
+                fb.set_depth(ux, uy, z);
+            }
+            stats.pixels_written += 1;
+        }
+    }
+    stats
+}
+
+/// Estimates, without touching pixels, how many fragments a triangle
+/// covers — the analytic half-bounding-box heuristic the cost-only
+/// executor uses for large frames.
+pub fn estimate_coverage(state: &RasterState, v0: &Vertex, v1: &Vertex, v2: &Vertex) -> u64 {
+    let (vx, vy, vw, vh) = state.viewport;
+    let sx = |p: f32| vx as f32 + (p + 1.0) * 0.5 * vw as f32;
+    let sy = |p: f32| vy as f32 + (1.0 - (p + 1.0) * 0.5) * vh as f32;
+    let xs = [sx(v0.position[0]), sx(v1.position[0]), sx(v2.position[0])];
+    let ys = [sy(v0.position[1]), sy(v1.position[1]), sy(v2.position[1])];
+    let min_x = xs.iter().cloned().fold(f32::MAX, f32::min).max(vx as f32);
+    let max_x = xs
+        .iter()
+        .cloned()
+        .fold(f32::MIN, f32::max)
+        .min((vx + vw as i32) as f32);
+    let min_y = ys.iter().cloned().fold(f32::MAX, f32::min).max(vy as f32);
+    let max_y = ys
+        .iter()
+        .cloned()
+        .fold(f32::MIN, f32::max)
+        .min((vy + vh as i32) as f32);
+    if max_x <= min_x || max_y <= min_y {
+        return 0;
+    }
+    // A triangle covers half its bounding box on average.
+    (((max_x - min_x) * (max_y - min_y)) * 0.5) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_screen_tri() -> (Vertex, Vertex, Vertex) {
+        (
+            Vertex::new([-1.0, -1.0, 0.0], [1.0, 0.0, 0.0, 1.0]),
+            Vertex::new([3.0, -1.0, 0.0], [1.0, 0.0, 0.0, 1.0]),
+            Vertex::new([-1.0, 3.0, 0.0], [1.0, 0.0, 0.0, 1.0]),
+        )
+    }
+
+    #[test]
+    fn full_screen_triangle_covers_everything() {
+        let mut fb = Framebuffer::new(32, 32);
+        let state = RasterState::new(32, 32);
+        let (a, b, c) = full_screen_tri();
+        let stats = draw_triangle(&mut fb, &state, a, b, c);
+        assert_eq!(stats.pixels_written, 32 * 32);
+        assert_eq!(fb.pixel(0, 0), [255, 0, 0, 255]);
+        assert_eq!(fb.pixel(31, 31), [255, 0, 0, 255]);
+    }
+
+    #[test]
+    fn degenerate_triangle_draws_nothing() {
+        let mut fb = Framebuffer::new(16, 16);
+        let state = RasterState::new(16, 16);
+        let v = Vertex::new([0.0, 0.0, 0.0], [1.0; 4]);
+        let stats = draw_triangle(&mut fb, &state, v, v, v);
+        assert_eq!(stats.pixels_written, 0);
+    }
+
+    #[test]
+    fn scissor_clips_fragments() {
+        let mut fb = Framebuffer::new(32, 32);
+        let mut state = RasterState::new(32, 32);
+        state.scissor = Some((0, 0, 8, 8));
+        let (a, b, c) = full_screen_tri();
+        let stats = draw_triangle(&mut fb, &state, a, b, c);
+        assert_eq!(stats.pixels_written, 64);
+        assert_eq!(fb.pixel(0, 0), [255, 0, 0, 255]);
+        assert_eq!(fb.pixel(20, 20), [0, 0, 0, 255]);
+    }
+
+    #[test]
+    fn depth_test_rejects_farther_fragments() {
+        let mut fb = Framebuffer::new(16, 16);
+        let mut state = RasterState::new(16, 16);
+        state.depth_test = true;
+        // Near triangle (z = -0.5 -> depth 0.25).
+        let near = [
+            Vertex::new([-1.0, -1.0, -0.5], [0.0, 1.0, 0.0, 1.0]),
+            Vertex::new([3.0, -1.0, -0.5], [0.0, 1.0, 0.0, 1.0]),
+            Vertex::new([-1.0, 3.0, -0.5], [0.0, 1.0, 0.0, 1.0]),
+        ];
+        let far = [
+            Vertex::new([-1.0, -1.0, 0.5], [1.0, 0.0, 0.0, 1.0]),
+            Vertex::new([3.0, -1.0, 0.5], [1.0, 0.0, 0.0, 1.0]),
+            Vertex::new([-1.0, 3.0, 0.5], [1.0, 0.0, 0.0, 1.0]),
+        ];
+        draw_triangle(&mut fb, &state, near[0], near[1], near[2]);
+        let stats = draw_triangle(&mut fb, &state, far[0], far[1], far[2]);
+        assert_eq!(stats.pixels_written, 0, "far triangle must be occluded");
+        assert_eq!(fb.pixel(8, 8), [0, 255, 0, 255]);
+    }
+
+    #[test]
+    fn alpha_blending_mixes_colors() {
+        let mut fb = Framebuffer::new(8, 8);
+        let mut state = RasterState::new(8, 8);
+        fb.fill([0, 0, 0, 255]);
+        state.blend = true;
+        // 50% white over black -> mid gray.
+        let v = |x: f32, y: f32| Vertex::new([x, y, 0.0], [1.0, 1.0, 1.0, 0.5]);
+        draw_triangle(&mut fb, &state, v(-1.0, -1.0), v(3.0, -1.0), v(-1.0, 3.0));
+        let px = fb.pixel(4, 4);
+        assert!((px[0] as i32 - 128).abs() <= 2, "got {px:?}");
+    }
+
+    #[test]
+    fn color_interpolation_varies_across_surface() {
+        let mut fb = Framebuffer::new(64, 64);
+        let state = RasterState::new(64, 64);
+        let a = Vertex::new([-1.0, -1.0, 0.0], [1.0, 0.0, 0.0, 1.0]);
+        let b = Vertex::new([3.0, -1.0, 0.0], [0.0, 1.0, 0.0, 1.0]);
+        let c = Vertex::new([-1.0, 3.0, 0.0], [0.0, 0.0, 1.0, 1.0]);
+        draw_triangle(&mut fb, &state, a, b, c);
+        assert_ne!(fb.pixel(2, 60), fb.pixel(60, 2));
+    }
+
+    #[test]
+    fn coverage_estimate_is_half_bbox() {
+        let state = RasterState::new(100, 100);
+        let a = Vertex::new([-1.0, -1.0, 0.0], [1.0; 4]);
+        let b = Vertex::new([1.0, -1.0, 0.0], [1.0; 4]);
+        let c = Vertex::new([-1.0, 1.0, 0.0], [1.0; 4]);
+        let est = estimate_coverage(&state, &a, &b, &c);
+        assert_eq!(est, 5000); // half of 100x100
+    }
+
+    #[test]
+    fn coverage_estimate_clips_offscreen() {
+        let state = RasterState::new(100, 100);
+        let a = Vertex::new([5.0, 5.0, 0.0], [1.0; 4]);
+        let b = Vertex::new([6.0, 5.0, 0.0], [1.0; 4]);
+        let c = Vertex::new([5.0, 6.0, 0.0], [1.0; 4]);
+        assert_eq!(estimate_coverage(&state, &a, &b, &c), 0);
+    }
+}

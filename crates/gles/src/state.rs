@@ -1,0 +1,1112 @@
+//! The OpenGL ES context state machine.
+//!
+//! "All OpenGL ES calls are implicitly associated with an OpenGL context
+//! parameter, which is essentially a state machine that stores all data
+//! related to the rendering process such as the cached textures and vertex
+//! programs" (Section VI-B). [`GlContext`] is that state machine; each
+//! service device owns one, and GBooster keeps them consistent by
+//! replicating state-mutating commands to every device.
+//!
+//! The context also exposes a [`GlContext::digest`] so tests (and the
+//! scheduler's consistency assertions) can verify that two devices that
+//! received the same state-mutating stream are bit-identical.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::command::{GlCommand, TexParam, UniformValue, VertexSource};
+use crate::types::{
+    AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, DepthFunc,
+    FramebufferId, GlError, PixelFormat, ProgramId, ShaderId, ShaderKind, TextureId,
+    TextureTarget,
+};
+
+/// A texture object's storage and parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TextureObject {
+    /// Binding target the texture was first bound to.
+    pub target: TextureTarget,
+    /// Width of level 0 in texels.
+    pub width: u32,
+    /// Height of level 0 in texels.
+    pub height: u32,
+    /// Texel format.
+    pub format: PixelFormat,
+    /// Texel bytes of level 0 (empty until `glTexImage2D`).
+    pub data: Arc<Vec<u8>>,
+    /// Linear minification filter.
+    pub min_linear: bool,
+    /// Linear magnification filter.
+    pub mag_linear: bool,
+    /// Repeat wrapping on S.
+    pub wrap_s_repeat: bool,
+    /// Repeat wrapping on T.
+    pub wrap_t_repeat: bool,
+}
+
+/// A buffer object's storage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BufferObject {
+    /// Raw contents.
+    pub data: Arc<Vec<u8>>,
+    /// Usage hint from `glBufferData`.
+    pub usage: BufferUsage,
+}
+
+/// A shader object.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShaderObject {
+    /// Pipeline stage.
+    pub kind: ShaderKind,
+    /// GLSL source.
+    pub source: String,
+    /// Whether `glCompileShader` succeeded.
+    pub compiled: bool,
+}
+
+/// A program object.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProgramObject {
+    /// Attached shaders.
+    pub shaders: Vec<ShaderId>,
+    /// Whether `glLinkProgram` succeeded.
+    pub linked: bool,
+    /// Uniform values by location.
+    pub uniforms: BTreeMap<u32, UniformValue>,
+}
+
+/// One vertex attribute slot.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexAttrib {
+    /// Enabled via `glEnableVertexAttribArray`.
+    pub enabled: bool,
+    /// Components per vertex.
+    pub size: u8,
+    /// Component type.
+    pub ty: AttribType,
+    /// Normalized fixed-point conversion.
+    pub normalized: bool,
+    /// Byte stride (0 = tight).
+    pub stride: u32,
+    /// Data source as last specified.
+    pub source: Option<VertexSource>,
+    /// Buffer bound to `GL_ARRAY_BUFFER` when the pointer was specified.
+    pub bound_buffer: BufferId,
+}
+
+impl Default for VertexAttrib {
+    fn default() -> Self {
+        VertexAttrib {
+            enabled: false,
+            size: 4,
+            ty: AttribType::F32,
+            normalized: false,
+            stride: 0,
+            source: None,
+            bound_buffer: BufferId::NULL,
+        }
+    }
+}
+
+/// The effective byte stride of one vertex.
+impl VertexAttrib {
+    /// Stride in bytes, substituting the tight packing size for 0.
+    pub fn effective_stride(&self) -> u32 {
+        if self.stride != 0 {
+            self.stride
+        } else {
+            self.size as u32 * self.ty.size() as u32
+        }
+    }
+}
+
+/// Per-frame counters used by the ARMAX exogenous inputs (Section V-B):
+/// command-sequence length (attribute 2), textures used (attribute 3).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Commands applied since the last `SwapBuffers`.
+    pub command_count: u32,
+    /// Distinct textures bound since the last `SwapBuffers`.
+    pub textures_used: u32,
+    /// Draw calls since the last `SwapBuffers`.
+    pub draw_calls: u32,
+    /// Bytes of texture data uploaded since the last `SwapBuffers`.
+    pub texture_upload_bytes: u64,
+}
+
+/// Number of vertex attribute slots (ES 2.0 guarantees at least 8; we
+/// model 16, the common implementation limit).
+pub const MAX_VERTEX_ATTRIBS: usize = 16;
+
+/// Number of texture units.
+pub const MAX_TEXTURE_UNITS: usize = 8;
+
+/// A complete OpenGL ES 2.0 context.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_gles::command::GlCommand;
+/// use gbooster_gles::state::GlContext;
+/// use gbooster_gles::types::ProgramId;
+///
+/// let mut ctx = GlContext::new();
+/// ctx.apply(&GlCommand::CreateProgram(ProgramId(1)))?;
+/// ctx.apply(&GlCommand::LinkProgram(ProgramId(1)))?;
+/// ctx.apply(&GlCommand::UseProgram(ProgramId(1)))?;
+/// assert_eq!(ctx.current_program(), ProgramId(1));
+/// # Ok::<(), gbooster_gles::types::GlError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GlContext {
+    textures: BTreeMap<u32, TextureObject>,
+    buffers: BTreeMap<u32, BufferObject>,
+    shaders: BTreeMap<u32, ShaderObject>,
+    programs: BTreeMap<u32, ProgramObject>,
+    framebuffers: BTreeSet<u32>,
+
+    array_buffer: BufferId,
+    element_buffer: BufferId,
+    texture_units: [Option<TextureId>; MAX_TEXTURE_UNITS],
+    active_unit: u32,
+    bound_framebuffer: FramebufferId,
+    current_program: ProgramId,
+
+    caps: BTreeSet<CapabilityKey>,
+    blend_src: BlendFactor,
+    blend_dst: BlendFactor,
+    depth_func: DepthFunc,
+    depth_mask: bool,
+    clear_color: [f32; 4],
+    clear_depth: f32,
+    viewport: (i32, i32, u32, u32),
+    scissor: (i32, i32, u32, u32),
+
+    attribs: Vec<VertexAttrib>,
+
+    frame_textures: BTreeSet<u32>,
+    frame_stats: FrameStats,
+}
+
+// Capability as an orderable key for the BTreeSet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct CapabilityKey(u8);
+
+impl From<Capability> for CapabilityKey {
+    fn from(c: Capability) -> Self {
+        CapabilityKey(match c {
+            Capability::Blend => 0,
+            Capability::DepthTest => 1,
+            Capability::CullFace => 2,
+            Capability::ScissorTest => 3,
+            Capability::Dither => 4,
+        })
+    }
+}
+
+impl Default for GlContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlContext {
+    /// Creates a context with ES 2.0 default state.
+    pub fn new() -> Self {
+        GlContext {
+            textures: BTreeMap::new(),
+            buffers: BTreeMap::new(),
+            shaders: BTreeMap::new(),
+            programs: BTreeMap::new(),
+            framebuffers: BTreeSet::new(),
+            array_buffer: BufferId::NULL,
+            element_buffer: BufferId::NULL,
+            texture_units: [None; MAX_TEXTURE_UNITS],
+            active_unit: 0,
+            bound_framebuffer: FramebufferId::NULL,
+            current_program: ProgramId::NULL,
+            caps: BTreeSet::new(),
+            blend_src: BlendFactor::One,
+            blend_dst: BlendFactor::Zero,
+            depth_func: DepthFunc::Less,
+            depth_mask: true,
+            clear_color: [0.0, 0.0, 0.0, 0.0],
+            clear_depth: 1.0,
+            viewport: (0, 0, 0, 0),
+            scissor: (0, 0, 0, 0),
+            attribs: vec![VertexAttrib::default(); MAX_VERTEX_ATTRIBS],
+            frame_textures: BTreeSet::new(),
+            frame_stats: FrameStats::default(),
+        }
+    }
+
+    /// Applies one command to the state machine.
+    ///
+    /// Rendering commands (`Clear`, draws, `SwapBuffers`) only validate
+    /// and update counters here; actual pixel work lives in
+    /// [`crate::exec::SoftGpu`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GlError`] for references to nonexistent objects or
+    /// operations invalid in the current state.
+    pub fn apply(&mut self, cmd: &GlCommand) -> Result<(), GlError> {
+        self.frame_stats.command_count += 1;
+        match cmd {
+            GlCommand::GenTexture(id) => {
+                self.require_nonnull(id.raw(), "texture")?;
+                self.textures.insert(
+                    id.raw(),
+                    TextureObject {
+                        target: TextureTarget::Texture2D,
+                        width: 0,
+                        height: 0,
+                        format: PixelFormat::Rgba8,
+                        data: Arc::new(Vec::new()),
+                        min_linear: true,
+                        mag_linear: true,
+                        wrap_s_repeat: true,
+                        wrap_t_repeat: true,
+                    },
+                );
+            }
+            GlCommand::DeleteTexture(id) => {
+                self.textures.remove(&id.raw());
+                for unit in &mut self.texture_units {
+                    if *unit == Some(*id) {
+                        *unit = None;
+                    }
+                }
+            }
+            GlCommand::GenBuffer(id) => {
+                self.require_nonnull(id.raw(), "buffer")?;
+                self.buffers.insert(
+                    id.raw(),
+                    BufferObject {
+                        data: Arc::new(Vec::new()),
+                        usage: BufferUsage::StaticDraw,
+                    },
+                );
+            }
+            GlCommand::DeleteBuffer(id) => {
+                self.buffers.remove(&id.raw());
+                if self.array_buffer == *id {
+                    self.array_buffer = BufferId::NULL;
+                }
+                if self.element_buffer == *id {
+                    self.element_buffer = BufferId::NULL;
+                }
+            }
+            GlCommand::GenFramebuffer(id) => {
+                self.require_nonnull(id.raw(), "framebuffer")?;
+                self.framebuffers.insert(id.raw());
+            }
+            GlCommand::DeleteFramebuffer(id) => {
+                self.framebuffers.remove(&id.raw());
+                if self.bound_framebuffer == *id {
+                    self.bound_framebuffer = FramebufferId::NULL;
+                }
+            }
+            GlCommand::CreateShader(id, kind) => {
+                self.require_nonnull(id.raw(), "shader")?;
+                self.shaders.insert(
+                    id.raw(),
+                    ShaderObject {
+                        kind: *kind,
+                        source: String::new(),
+                        compiled: false,
+                    },
+                );
+            }
+            GlCommand::ShaderSource { shader, source } => {
+                let obj = self.shader_mut(*shader)?;
+                obj.source = source.clone();
+                obj.compiled = false;
+            }
+            GlCommand::CompileShader(id) => {
+                let obj = self.shader_mut(*id)?;
+                if obj.source.is_empty() {
+                    return Err(GlError::InvalidOperation(
+                        "compiling shader with empty source".into(),
+                    ));
+                }
+                obj.compiled = true;
+            }
+            GlCommand::DeleteShader(id) => {
+                self.shaders.remove(&id.raw());
+            }
+            GlCommand::CreateProgram(id) => {
+                self.require_nonnull(id.raw(), "program")?;
+                self.programs.insert(id.raw(), ProgramObject::default());
+            }
+            GlCommand::AttachShader { program, shader } => {
+                if !self.shaders.contains_key(&shader.raw()) {
+                    return Err(GlError::InvalidHandle(format!("{shader}")));
+                }
+                let prog = self.program_mut(*program)?;
+                prog.shaders.push(*shader);
+            }
+            GlCommand::LinkProgram(id) => {
+                let prog = self.program_mut(*id)?;
+                prog.linked = true;
+            }
+            GlCommand::UseProgram(id) => {
+                if !id.is_null() {
+                    let prog = self.program(*id)?;
+                    if !prog.linked {
+                        return Err(GlError::InvalidOperation(format!(
+                            "using unlinked program {id}"
+                        )));
+                    }
+                }
+                self.current_program = *id;
+            }
+            GlCommand::DeleteProgram(id) => {
+                self.programs.remove(&id.raw());
+                if self.current_program == *id {
+                    self.current_program = ProgramId::NULL;
+                }
+            }
+            GlCommand::BindBuffer { target, buffer } => {
+                if !buffer.is_null() && !self.buffers.contains_key(&buffer.raw()) {
+                    return Err(GlError::InvalidHandle(format!("{buffer}")));
+                }
+                match target {
+                    BufferTarget::Array => self.array_buffer = *buffer,
+                    BufferTarget::ElementArray => self.element_buffer = *buffer,
+                }
+            }
+            GlCommand::BufferData {
+                target,
+                data,
+                usage,
+            } => {
+                let id = self.bound_buffer(*target)?;
+                let obj = self
+                    .buffers
+                    .get_mut(&id.raw())
+                    .expect("binding invariant: bound buffer exists");
+                obj.data = Arc::clone(data);
+                obj.usage = *usage;
+            }
+            GlCommand::BufferSubData {
+                target,
+                offset,
+                data,
+            } => {
+                let id = self.bound_buffer(*target)?;
+                let obj = self
+                    .buffers
+                    .get_mut(&id.raw())
+                    .expect("binding invariant: bound buffer exists");
+                let end = *offset as usize + data.len();
+                if end > obj.data.len() {
+                    return Err(GlError::InvalidValue(format!(
+                        "glBufferSubData writes {end} bytes into buffer of {}",
+                        obj.data.len()
+                    )));
+                }
+                let mut copy = obj.data.as_ref().clone();
+                copy[*offset as usize..end].copy_from_slice(data);
+                obj.data = Arc::new(copy);
+            }
+            GlCommand::ActiveTexture(unit) => {
+                if *unit as usize >= MAX_TEXTURE_UNITS {
+                    return Err(GlError::InvalidValue(format!("texture unit {unit}")));
+                }
+                self.active_unit = *unit;
+            }
+            GlCommand::BindTexture { target, texture } => {
+                if !texture.is_null() {
+                    let obj = self
+                        .textures
+                        .get_mut(&texture.raw())
+                        .ok_or_else(|| GlError::InvalidHandle(format!("{texture}")))?;
+                    obj.target = *target;
+                    self.frame_textures.insert(texture.raw());
+                }
+                self.texture_units[self.active_unit as usize] =
+                    if texture.is_null() { None } else { Some(*texture) };
+            }
+            GlCommand::TexImage2D {
+                format,
+                width,
+                height,
+                data,
+                ..
+            } => {
+                let expected = *width as usize * *height as usize * format.bytes_per_pixel();
+                if data.len() != expected {
+                    return Err(GlError::InvalidValue(format!(
+                        "glTexImage2D payload {} bytes, expected {expected}",
+                        data.len()
+                    )));
+                }
+                self.frame_stats.texture_upload_bytes += data.len() as u64;
+                let id = self.bound_texture()?;
+                let obj = self
+                    .textures
+                    .get_mut(&id.raw())
+                    .expect("binding invariant: bound texture exists");
+                obj.width = *width;
+                obj.height = *height;
+                obj.format = *format;
+                obj.data = Arc::clone(data);
+            }
+            GlCommand::TexSubImage2D {
+                x,
+                y,
+                width,
+                height,
+                format,
+                data,
+                ..
+            } => {
+                self.frame_stats.texture_upload_bytes += data.len() as u64;
+                let id = self.bound_texture()?;
+                let obj = self
+                    .textures
+                    .get_mut(&id.raw())
+                    .expect("binding invariant: bound texture exists");
+                if *x + *width > obj.width || *y + *height > obj.height {
+                    return Err(GlError::InvalidValue(
+                        "glTexSubImage2D region outside texture".into(),
+                    ));
+                }
+                if obj.format != *format {
+                    return Err(GlError::InvalidOperation(
+                        "glTexSubImage2D format mismatch".into(),
+                    ));
+                }
+                // Storage content update elided beyond metadata: the
+                // simulator renders with vertex colors, not texel fetches.
+            }
+            GlCommand::TexParameter { param, .. } => {
+                let id = self.bound_texture()?;
+                let obj = self
+                    .textures
+                    .get_mut(&id.raw())
+                    .expect("binding invariant: bound texture exists");
+                match param {
+                    TexParam::MinFilterLinear(v) => obj.min_linear = *v,
+                    TexParam::MagFilterLinear(v) => obj.mag_linear = *v,
+                    TexParam::WrapSRepeat(v) => obj.wrap_s_repeat = *v,
+                    TexParam::WrapTRepeat(v) => obj.wrap_t_repeat = *v,
+                }
+            }
+            GlCommand::BindFramebuffer(id) => {
+                if !id.is_null() && !self.framebuffers.contains(&id.raw()) {
+                    return Err(GlError::InvalidHandle(format!("{id}")));
+                }
+                self.bound_framebuffer = *id;
+            }
+            GlCommand::FramebufferTexture2D { texture } => {
+                if self.bound_framebuffer.is_null() {
+                    return Err(GlError::InvalidOperation(
+                        "no framebuffer bound for attachment".into(),
+                    ));
+                }
+                if !self.textures.contains_key(&texture.raw()) {
+                    return Err(GlError::InvalidHandle(format!("{texture}")));
+                }
+            }
+            GlCommand::Enable(cap) => {
+                self.caps.insert((*cap).into());
+            }
+            GlCommand::Disable(cap) => {
+                self.caps.remove(&(*cap).into());
+            }
+            GlCommand::BlendFunc { src, dst } => {
+                self.blend_src = *src;
+                self.blend_dst = *dst;
+            }
+            GlCommand::DepthFunc(f) => self.depth_func = *f,
+            GlCommand::DepthMask(m) => self.depth_mask = *m,
+            GlCommand::ClearColor { r, g, b, a } => self.clear_color = [*r, *g, *b, *a],
+            GlCommand::ClearDepth(d) => self.clear_depth = *d,
+            GlCommand::Viewport {
+                x,
+                y,
+                width,
+                height,
+            } => self.viewport = (*x, *y, *width, *height),
+            GlCommand::Scissor {
+                x,
+                y,
+                width,
+                height,
+            } => self.scissor = (*x, *y, *width, *height),
+            GlCommand::Uniform { location, value } => {
+                if self.current_program.is_null() {
+                    return Err(GlError::InvalidOperation(
+                        "glUniform with no program in use".into(),
+                    ));
+                }
+                let prog = self
+                    .programs
+                    .get_mut(&self.current_program.raw())
+                    .expect("binding invariant: current program exists");
+                prog.uniforms.insert(location.raw(), value.clone());
+            }
+            GlCommand::EnableVertexAttribArray(i) => {
+                self.attrib_mut(*i)?.enabled = true;
+            }
+            GlCommand::DisableVertexAttribArray(i) => {
+                self.attrib_mut(*i)?.enabled = false;
+            }
+            GlCommand::VertexAttribPointer {
+                index,
+                size,
+                ty,
+                normalized,
+                stride,
+                source,
+            } => {
+                if !(1..=4).contains(size) {
+                    return Err(GlError::InvalidValue(format!("attrib size {size}")));
+                }
+                if matches!(source, VertexSource::BufferOffset(_)) && self.array_buffer.is_null()
+                {
+                    return Err(GlError::InvalidOperation(
+                        "buffer-offset pointer with no GL_ARRAY_BUFFER bound".into(),
+                    ));
+                }
+                let bound = self.array_buffer;
+                let attrib = self.attrib_mut(*index)?;
+                attrib.size = *size;
+                attrib.ty = *ty;
+                attrib.normalized = *normalized;
+                attrib.stride = *stride;
+                attrib.source = Some(source.clone());
+                attrib.bound_buffer = bound;
+            }
+            GlCommand::Clear(_) | GlCommand::Finish | GlCommand::Flush => {}
+            GlCommand::DrawArrays { count, .. } => {
+                self.validate_draw()?;
+                if *count == 0 {
+                    return Err(GlError::InvalidValue("draw of zero vertices".into()));
+                }
+                self.frame_stats.draw_calls += 1;
+            }
+            GlCommand::DrawElements { count, .. } => {
+                self.validate_draw()?;
+                if *count == 0 {
+                    return Err(GlError::InvalidValue("draw of zero vertices".into()));
+                }
+                self.frame_stats.draw_calls += 1;
+            }
+            GlCommand::SwapBuffers => {
+                self.frame_stats.textures_used = self.frame_textures.len() as u32;
+            }
+        }
+        Ok(())
+    }
+
+    /// Finishes the current frame: returns its stats and resets the
+    /// per-frame counters. Call after `SwapBuffers`.
+    pub fn end_frame(&mut self) -> FrameStats {
+        let mut stats = std::mem::take(&mut self.frame_stats);
+        stats.textures_used = self.frame_textures.len() as u32;
+        self.frame_textures.clear();
+        stats
+    }
+
+    /// The program currently in use.
+    pub fn current_program(&self) -> ProgramId {
+        self.current_program
+    }
+
+    /// The buffer bound to `target`, or NULL.
+    pub fn buffer_binding(&self, target: BufferTarget) -> BufferId {
+        match target {
+            BufferTarget::Array => self.array_buffer,
+            BufferTarget::ElementArray => self.element_buffer,
+        }
+    }
+
+    /// Whether `cap` is enabled.
+    pub fn is_enabled(&self, cap: Capability) -> bool {
+        self.caps.contains(&cap.into())
+    }
+
+    /// Current clear color.
+    pub fn clear_color(&self) -> [f32; 4] {
+        self.clear_color
+    }
+
+    /// Current clear depth.
+    pub fn clear_depth(&self) -> f32 {
+        self.clear_depth
+    }
+
+    /// Current viewport.
+    pub fn viewport(&self) -> (i32, i32, u32, u32) {
+        self.viewport
+    }
+
+    /// Current scissor rectangle.
+    pub fn scissor(&self) -> (i32, i32, u32, u32) {
+        self.scissor
+    }
+
+    /// Current blend function.
+    pub fn blend_func(&self) -> (BlendFactor, BlendFactor) {
+        (self.blend_src, self.blend_dst)
+    }
+
+    /// Current depth function and mask.
+    pub fn depth_state(&self) -> (DepthFunc, bool) {
+        (self.depth_func, self.depth_mask)
+    }
+
+    /// The vertex attribute at `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlError::InvalidValue`] for an out-of-range slot.
+    pub fn attrib(&self, index: u32) -> Result<&VertexAttrib, GlError> {
+        self.attribs
+            .get(index as usize)
+            .ok_or_else(|| GlError::InvalidValue(format!("attrib index {index}")))
+    }
+
+    /// Looks up a texture object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlError::InvalidHandle`] for unknown handles.
+    pub fn texture(&self, id: TextureId) -> Result<&TextureObject, GlError> {
+        self.textures
+            .get(&id.raw())
+            .ok_or_else(|| GlError::InvalidHandle(format!("{id}")))
+    }
+
+    /// Looks up a buffer object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlError::InvalidHandle`] for unknown handles.
+    pub fn buffer(&self, id: BufferId) -> Result<&BufferObject, GlError> {
+        self.buffers
+            .get(&id.raw())
+            .ok_or_else(|| GlError::InvalidHandle(format!("{id}")))
+    }
+
+    /// Looks up a program object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GlError::InvalidHandle`] for unknown handles.
+    pub fn program(&self, id: ProgramId) -> Result<&ProgramObject, GlError> {
+        self.programs
+            .get(&id.raw())
+            .ok_or_else(|| GlError::InvalidHandle(format!("{id}")))
+    }
+
+    /// Number of live objects of each kind: `(textures, buffers, shaders,
+    /// programs)` — memory-overhead accounting (Section VII-G).
+    pub fn object_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.textures.len(),
+            self.buffers.len(),
+            self.shaders.len(),
+            self.programs.len(),
+        )
+    }
+
+    /// Total bytes resident in texture and buffer objects.
+    pub fn resident_bytes(&self) -> u64 {
+        let tex: u64 = self.textures.values().map(|t| t.data.len() as u64).sum();
+        let buf: u64 = self.buffers.values().map(|b| b.data.len() as u64).sum();
+        tex + buf
+    }
+
+    /// An order-insensitive digest of all context state, for verifying
+    /// replica consistency across service devices (Section VI-B).
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for (id, t) in &self.textures {
+            h.write_u32(*id);
+            h.write_u32(t.width);
+            h.write_u32(t.height);
+            h.write_bytes(&t.data);
+        }
+        for (id, b) in &self.buffers {
+            h.write_u32(*id);
+            h.write_bytes(&b.data);
+        }
+        for (id, s) in &self.shaders {
+            h.write_u32(*id);
+            h.write_bytes(s.source.as_bytes());
+            h.write_u32(s.compiled as u32);
+        }
+        for (id, p) in &self.programs {
+            h.write_u32(*id);
+            h.write_u32(p.linked as u32);
+            for (loc, v) in &p.uniforms {
+                h.write_u32(*loc);
+                h.write_bytes(format!("{v:?}").as_bytes());
+            }
+        }
+        h.write_u32(self.current_program.raw());
+        h.write_u32(self.array_buffer.raw());
+        h.write_u32(self.element_buffer.raw());
+        for cap in &self.caps {
+            h.write_u32(cap.0 as u32);
+        }
+        h.write_bytes(format!("{:?}{:?}", self.viewport, self.clear_color).as_bytes());
+        for a in &self.attribs {
+            h.write_bytes(format!("{:?}{}{}", a.enabled, a.size, a.stride).as_bytes());
+        }
+        h.finish()
+    }
+
+    fn require_nonnull(&self, raw: u32, what: &str) -> Result<(), GlError> {
+        if raw == 0 {
+            Err(GlError::InvalidValue(format!("cannot create {what} 0")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn bound_buffer(&self, target: BufferTarget) -> Result<BufferId, GlError> {
+        let id = self.buffer_binding(target);
+        if id.is_null() {
+            Err(GlError::InvalidOperation(format!(
+                "no buffer bound to {target:?}"
+            )))
+        } else {
+            Ok(id)
+        }
+    }
+
+    fn bound_texture(&self) -> Result<TextureId, GlError> {
+        self.texture_units[self.active_unit as usize].ok_or_else(|| {
+            GlError::InvalidOperation(format!("no texture bound to unit {}", self.active_unit))
+        })
+    }
+
+    fn shader_mut(&mut self, id: ShaderId) -> Result<&mut ShaderObject, GlError> {
+        self.shaders
+            .get_mut(&id.raw())
+            .ok_or_else(|| GlError::InvalidHandle(format!("{id}")))
+    }
+
+    fn program_mut(&mut self, id: ProgramId) -> Result<&mut ProgramObject, GlError> {
+        self.programs
+            .get_mut(&id.raw())
+            .ok_or_else(|| GlError::InvalidHandle(format!("{id}")))
+    }
+
+    fn attrib_mut(&mut self, index: u32) -> Result<&mut VertexAttrib, GlError> {
+        self.attribs
+            .get_mut(index as usize)
+            .ok_or_else(|| GlError::InvalidValue(format!("attrib index {index}")))
+    }
+
+    fn validate_draw(&self) -> Result<(), GlError> {
+        if self.current_program.is_null() {
+            return Err(GlError::InvalidOperation("draw with no program".into()));
+        }
+        Ok(())
+    }
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::ClientPtr;
+
+    fn linked_program(ctx: &mut GlContext, id: u32) {
+        ctx.apply(&GlCommand::CreateProgram(ProgramId(id))).unwrap();
+        ctx.apply(&GlCommand::LinkProgram(ProgramId(id))).unwrap();
+        ctx.apply(&GlCommand::UseProgram(ProgramId(id))).unwrap();
+    }
+
+    #[test]
+    fn program_lifecycle() {
+        let mut ctx = GlContext::new();
+        ctx.apply(&GlCommand::CreateShader(ShaderId(1), ShaderKind::Vertex))
+            .unwrap();
+        ctx.apply(&GlCommand::ShaderSource {
+            shader: ShaderId(1),
+            source: "void main(){}".into(),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::CompileShader(ShaderId(1))).unwrap();
+        ctx.apply(&GlCommand::CreateProgram(ProgramId(2))).unwrap();
+        ctx.apply(&GlCommand::AttachShader {
+            program: ProgramId(2),
+            shader: ShaderId(1),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::LinkProgram(ProgramId(2))).unwrap();
+        ctx.apply(&GlCommand::UseProgram(ProgramId(2))).unwrap();
+        assert_eq!(ctx.current_program(), ProgramId(2));
+    }
+
+    #[test]
+    fn using_unlinked_program_fails() {
+        let mut ctx = GlContext::new();
+        ctx.apply(&GlCommand::CreateProgram(ProgramId(1))).unwrap();
+        let err = ctx.apply(&GlCommand::UseProgram(ProgramId(1))).unwrap_err();
+        assert!(matches!(err, GlError::InvalidOperation(_)));
+    }
+
+    #[test]
+    fn compiling_empty_shader_fails() {
+        let mut ctx = GlContext::new();
+        ctx.apply(&GlCommand::CreateShader(ShaderId(1), ShaderKind::Fragment))
+            .unwrap();
+        assert!(ctx.apply(&GlCommand::CompileShader(ShaderId(1))).is_err());
+    }
+
+    #[test]
+    fn buffer_data_requires_binding() {
+        let mut ctx = GlContext::new();
+        let err = ctx
+            .apply(&GlCommand::BufferData {
+                target: BufferTarget::Array,
+                data: Arc::new(vec![0; 4]),
+                usage: BufferUsage::StaticDraw,
+            })
+            .unwrap_err();
+        assert!(matches!(err, GlError::InvalidOperation(_)));
+    }
+
+    #[test]
+    fn buffer_sub_data_bounds_checked() {
+        let mut ctx = GlContext::new();
+        ctx.apply(&GlCommand::GenBuffer(BufferId(1))).unwrap();
+        ctx.apply(&GlCommand::BindBuffer {
+            target: BufferTarget::Array,
+            buffer: BufferId(1),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::BufferData {
+            target: BufferTarget::Array,
+            data: Arc::new(vec![0; 8]),
+            usage: BufferUsage::DynamicDraw,
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::BufferSubData {
+            target: BufferTarget::Array,
+            offset: 4,
+            data: Arc::new(vec![9; 4]),
+        })
+        .unwrap();
+        assert_eq!(ctx.buffer(BufferId(1)).unwrap().data[4], 9);
+        let err = ctx
+            .apply(&GlCommand::BufferSubData {
+                target: BufferTarget::Array,
+                offset: 6,
+                data: Arc::new(vec![9; 4]),
+            })
+            .unwrap_err();
+        assert!(matches!(err, GlError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn tex_image_payload_validated() {
+        let mut ctx = GlContext::new();
+        ctx.apply(&GlCommand::GenTexture(TextureId(1))).unwrap();
+        ctx.apply(&GlCommand::BindTexture {
+            target: TextureTarget::Texture2D,
+            texture: TextureId(1),
+        })
+        .unwrap();
+        let err = ctx
+            .apply(&GlCommand::TexImage2D {
+                target: TextureTarget::Texture2D,
+                level: 0,
+                format: PixelFormat::Rgba8,
+                width: 2,
+                height: 2,
+                data: Arc::new(vec![0; 15]), // should be 16
+            })
+            .unwrap_err();
+        assert!(matches!(err, GlError::InvalidValue(_)));
+    }
+
+    #[test]
+    fn draw_requires_program() {
+        let mut ctx = GlContext::new();
+        let err = ctx
+            .apply(&GlCommand::DrawArrays {
+                mode: crate::types::Primitive::Triangles,
+                first: 0,
+                count: 3,
+            })
+            .unwrap_err();
+        assert!(matches!(err, GlError::InvalidOperation(_)));
+    }
+
+    #[test]
+    fn frame_stats_count_textures_and_draws() {
+        let mut ctx = GlContext::new();
+        linked_program(&mut ctx, 1);
+        for id in [1u32, 2, 3] {
+            ctx.apply(&GlCommand::GenTexture(TextureId(id))).unwrap();
+            ctx.apply(&GlCommand::BindTexture {
+                target: TextureTarget::Texture2D,
+                texture: TextureId(id),
+            })
+            .unwrap();
+        }
+        // Rebind texture 1: distinct count stays 3.
+        ctx.apply(&GlCommand::BindTexture {
+            target: TextureTarget::Texture2D,
+            texture: TextureId(1),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::DrawArrays {
+            mode: crate::types::Primitive::Triangles,
+            first: 0,
+            count: 3,
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::SwapBuffers).unwrap();
+        let stats = ctx.end_frame();
+        assert_eq!(stats.textures_used, 3);
+        assert_eq!(stats.draw_calls, 1);
+        assert!(stats.command_count >= 9);
+        // Counters reset for the next frame.
+        let next = ctx.end_frame();
+        assert_eq!(next.draw_calls, 0);
+        assert_eq!(next.textures_used, 0);
+    }
+
+    #[test]
+    fn vertex_attrib_pointer_records_source() {
+        let mut ctx = GlContext::new();
+        ctx.apply(&GlCommand::VertexAttribPointer {
+            index: 2,
+            size: 3,
+            ty: AttribType::F32,
+            normalized: false,
+            stride: 0,
+            source: VertexSource::ClientMemory(ClientPtr(0x1000)),
+        })
+        .unwrap();
+        let a = ctx.attrib(2).unwrap();
+        assert_eq!(a.effective_stride(), 12);
+        assert!(matches!(a.source, Some(VertexSource::ClientMemory(_))));
+    }
+
+    #[test]
+    fn buffer_offset_pointer_requires_bound_array_buffer() {
+        let mut ctx = GlContext::new();
+        let err = ctx
+            .apply(&GlCommand::VertexAttribPointer {
+                index: 0,
+                size: 2,
+                ty: AttribType::F32,
+                normalized: false,
+                stride: 0,
+                source: VertexSource::BufferOffset(0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, GlError::InvalidOperation(_)));
+    }
+
+    #[test]
+    fn identical_streams_produce_identical_digests() {
+        let stream = |ctx: &mut GlContext| {
+            ctx.apply(&GlCommand::GenBuffer(BufferId(1))).unwrap();
+            ctx.apply(&GlCommand::BindBuffer {
+                target: BufferTarget::Array,
+                buffer: BufferId(1),
+            })
+            .unwrap();
+            ctx.apply(&GlCommand::BufferData {
+                target: BufferTarget::Array,
+                data: Arc::new(vec![1, 2, 3]),
+                usage: BufferUsage::StaticDraw,
+            })
+            .unwrap();
+            ctx.apply(&GlCommand::ClearColor {
+                r: 0.5,
+                g: 0.25,
+                b: 0.125,
+                a: 1.0,
+            })
+            .unwrap();
+        };
+        let mut a = GlContext::new();
+        let mut b = GlContext::new();
+        stream(&mut a);
+        stream(&mut b);
+        assert_eq!(a.digest(), b.digest());
+        // Divergence is detected.
+        a.apply(&GlCommand::Enable(Capability::Blend)).unwrap();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn deleting_bound_objects_unbinds_them() {
+        let mut ctx = GlContext::new();
+        linked_program(&mut ctx, 7);
+        ctx.apply(&GlCommand::DeleteProgram(ProgramId(7))).unwrap();
+        assert!(ctx.current_program().is_null());
+        ctx.apply(&GlCommand::GenBuffer(BufferId(3))).unwrap();
+        ctx.apply(&GlCommand::BindBuffer {
+            target: BufferTarget::Array,
+            buffer: BufferId(3),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::DeleteBuffer(BufferId(3))).unwrap();
+        assert!(ctx.buffer_binding(BufferTarget::Array).is_null());
+    }
+
+    #[test]
+    fn resident_bytes_tracks_uploads() {
+        let mut ctx = GlContext::new();
+        ctx.apply(&GlCommand::GenTexture(TextureId(1))).unwrap();
+        ctx.apply(&GlCommand::BindTexture {
+            target: TextureTarget::Texture2D,
+            texture: TextureId(1),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::TexImage2D {
+            target: TextureTarget::Texture2D,
+            level: 0,
+            format: PixelFormat::Rgba8,
+            width: 4,
+            height: 4,
+            data: Arc::new(vec![0; 64]),
+        })
+        .unwrap();
+        assert_eq!(ctx.resident_bytes(), 64);
+        assert_eq!(ctx.object_counts(), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn capabilities_toggle() {
+        let mut ctx = GlContext::new();
+        assert!(!ctx.is_enabled(Capability::Blend));
+        ctx.apply(&GlCommand::Enable(Capability::Blend)).unwrap();
+        assert!(ctx.is_enabled(Capability::Blend));
+        ctx.apply(&GlCommand::Disable(Capability::Blend)).unwrap();
+        assert!(!ctx.is_enabled(Capability::Blend));
+    }
+}

@@ -1,0 +1,260 @@
+//! The hooking engine: wrapper installation and the three lookup routes.
+//!
+//! Section IV-A of the paper enumerates the three ways an Android app can
+//! reach OpenGL ES, each needing its own interception:
+//!
+//! 1. direct linking — handled by `LD_PRELOAD` ([`DynamicLinker`]);
+//! 2. `eglGetProcAddress` — "we intercept and rewrite the
+//!    eglGetProcAddress function such that it directly returns the
+//!    pointers pointing to our wrapper functions";
+//! 3. `dlopen`/`dlsym` — "we handle the third case by rewriting the
+//!    dlopen and dlsym functions so that they load our wrapper library in
+//!    preference of the original OpenGL ES library".
+//!
+//! [`HookEngine`] implements routes 2 and 3 on top of the linker's route 1
+//! and records which route each resolution took, so the evaluation can
+//! prove *universal* coverage.
+
+use std::collections::BTreeMap;
+
+use crate::library::{wrapper_library, FnPtr, SharedLibrary};
+use crate::linker::{DynamicLinker, LinkError};
+
+/// How a caller obtained a function pointer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LookupRoute {
+    /// Link-time resolution (route 1).
+    DirectLink,
+    /// `eglGetProcAddress` (route 2).
+    EglGetProcAddress,
+    /// `dlopen` + `dlsym` (route 3).
+    DlopenDlsym,
+}
+
+impl LookupRoute {
+    /// All routes, for exhaustive coverage tests.
+    pub const ALL: [LookupRoute; 3] = [
+        LookupRoute::DirectLink,
+        LookupRoute::EglGetProcAddress,
+        LookupRoute::DlopenDlsym,
+    ];
+}
+
+/// The GL libraries `dlopen` rewriting redirects to the wrapper.
+const REDIRECTED_LIBS: &[&str] = &["libGLESv2.so", "libGLESv1_CM.so", "libEGL.so"];
+
+/// Installs and exercises GBooster's wrapper hooks on a process' linker.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_linker::hook::{HookEngine, LookupRoute};
+/// use gbooster_linker::library::{genuine_egl, genuine_gles};
+/// use gbooster_linker::linker::DynamicLinker;
+///
+/// let mut linker = DynamicLinker::new();
+/// linker.load(genuine_gles());
+/// linker.load(genuine_egl());
+/// let mut hooks = HookEngine::install(linker);
+/// // Every route lands in the wrapper.
+/// for route in LookupRoute::ALL {
+///     let ptr = hooks.lookup("glDrawArrays", route)?;
+///     assert!(hooks.is_intercepted(&ptr));
+/// }
+/// # Ok::<(), gbooster_linker::linker::LinkError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct HookEngine {
+    linker: DynamicLinker,
+    wrapper_name: String,
+    route_counts: BTreeMap<&'static str, u64>,
+}
+
+impl HookEngine {
+    /// Installs the wrapper: preloads it into `linker` and arms the
+    /// `eglGetProcAddress`/`dlopen`/`dlsym` rewrites.
+    pub fn install(mut linker: DynamicLinker) -> Self {
+        let wrapper = wrapper_library();
+        let wrapper_name = wrapper.name().to_string();
+        linker.preload(wrapper);
+        HookEngine {
+            linker,
+            wrapper_name,
+            route_counts: BTreeMap::new(),
+        }
+    }
+
+    /// The linker after installation (wrapper preloaded).
+    pub fn linker(&self) -> &DynamicLinker {
+        &self.linker
+    }
+
+    /// Resolves `symbol` the way an application using `route` would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError`] if the symbol (or, for route 3, the target
+    /// library) cannot be found.
+    pub fn lookup(&mut self, symbol: &str, route: LookupRoute) -> Result<FnPtr, LinkError> {
+        let ptr = match route {
+            LookupRoute::DirectLink => {
+                *self.route_counts.entry("direct").or_insert(0) += 1;
+                self.linker.resolve(symbol)?
+            }
+            LookupRoute::EglGetProcAddress => {
+                *self.route_counts.entry("egl_get_proc_address").or_insert(0) += 1;
+                self.egl_get_proc_address(symbol)?
+            }
+            LookupRoute::DlopenDlsym => {
+                *self.route_counts.entry("dlopen_dlsym").or_insert(0) += 1;
+                let lib = self.dlopen("libGLESv2.so")?;
+                Self::dlsym(&lib, symbol)?
+            }
+        };
+        Ok(ptr)
+    }
+
+    /// The rewritten `eglGetProcAddress`: always answers from the wrapper
+    /// when the wrapper exports the symbol, otherwise falls through to the
+    /// genuine resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::UnresolvedSymbol`] for unknown names.
+    pub fn egl_get_proc_address(&self, symbol: &str) -> Result<FnPtr, LinkError> {
+        if let Ok(wrapper) = self.linker.find_library(&self.wrapper_name) {
+            if let Some(ptr) = wrapper.lookup(symbol) {
+                return Ok(ptr.clone());
+            }
+        }
+        self.linker.resolve(symbol)
+    }
+
+    /// The rewritten `dlopen`: requests for any GL library return the
+    /// wrapper library instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::LibraryNotFound`] for unknown libraries.
+    pub fn dlopen(&self, name: &str) -> Result<SharedLibrary, LinkError> {
+        let target = if REDIRECTED_LIBS.contains(&name) {
+            &self.wrapper_name
+        } else {
+            name
+        };
+        self.linker.find_library(target).cloned()
+    }
+
+    /// The rewritten `dlsym`: a plain lookup on the (possibly redirected)
+    /// handle returned by [`HookEngine::dlopen`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinkError::UnresolvedSymbol`] if the handle lacks it.
+    pub fn dlsym(lib: &SharedLibrary, symbol: &str) -> Result<FnPtr, LinkError> {
+        lib.lookup(symbol)
+            .cloned()
+            .ok_or_else(|| LinkError::UnresolvedSymbol(symbol.to_string()))
+    }
+
+    /// True if `ptr` points into the wrapper library — i.e. the call is
+    /// intercepted by GBooster.
+    pub fn is_intercepted(&self, ptr: &FnPtr) -> bool {
+        ptr.provider() == self.wrapper_name
+    }
+
+    /// How many lookups each route has served (telemetry for tests).
+    pub fn route_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.route_counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{genuine_egl, genuine_gles, GLES2_SYMBOLS};
+
+    fn engine() -> HookEngine {
+        let mut linker = DynamicLinker::new();
+        linker.load(genuine_gles());
+        linker.load(genuine_egl());
+        HookEngine::install(linker)
+    }
+
+    #[test]
+    fn route1_direct_link_is_intercepted() {
+        let mut hooks = engine();
+        let ptr = hooks.lookup("glDrawElements", LookupRoute::DirectLink).unwrap();
+        assert!(hooks.is_intercepted(&ptr));
+    }
+
+    #[test]
+    fn route2_egl_get_proc_address_is_intercepted() {
+        let mut hooks = engine();
+        let ptr = hooks
+            .lookup("glVertexAttribPointer", LookupRoute::EglGetProcAddress)
+            .unwrap();
+        assert!(hooks.is_intercepted(&ptr));
+    }
+
+    #[test]
+    fn route3_dlopen_dlsym_is_intercepted() {
+        let mut hooks = engine();
+        let ptr = hooks.lookup("glTexImage2D", LookupRoute::DlopenDlsym).unwrap();
+        assert!(hooks.is_intercepted(&ptr));
+    }
+
+    #[test]
+    fn every_gles_symbol_is_intercepted_on_every_route() {
+        let mut hooks = engine();
+        for sym in GLES2_SYMBOLS {
+            for route in LookupRoute::ALL {
+                let ptr = hooks.lookup(sym, route).unwrap();
+                assert!(
+                    hooks.is_intercepted(&ptr),
+                    "{sym} escaped interception via {route:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dlopen_of_unrelated_library_is_not_redirected() {
+        let mut linker = DynamicLinker::new();
+        linker.load(genuine_gles());
+        linker.load(SharedLibrary::new("libc.so").exporting(["malloc"]));
+        let hooks = HookEngine::install(linker);
+        let libc = hooks.dlopen("libc.so").unwrap();
+        assert_eq!(libc.name(), "libc.so");
+        let ptr = HookEngine::dlsym(&libc, "malloc").unwrap();
+        assert_eq!(ptr.provider(), "libc.so");
+    }
+
+    #[test]
+    fn without_hooks_calls_reach_genuine_library() {
+        let mut linker = DynamicLinker::new();
+        linker.load(genuine_gles());
+        let ptr = linker.resolve("glClear").unwrap();
+        assert_eq!(ptr.provider(), "libGLESv2.so");
+    }
+
+    #[test]
+    fn unknown_symbol_propagates_error() {
+        let mut hooks = engine();
+        for route in LookupRoute::ALL {
+            assert!(hooks.lookup("glNotARealFunction", route).is_err());
+        }
+    }
+
+    #[test]
+    fn route_counts_accumulate() {
+        let mut hooks = engine();
+        hooks.lookup("glClear", LookupRoute::DirectLink).unwrap();
+        hooks.lookup("glClear", LookupRoute::DirectLink).unwrap();
+        hooks
+            .lookup("glClear", LookupRoute::EglGetProcAddress)
+            .unwrap();
+        assert_eq!(hooks.route_counts()["direct"], 2);
+        assert_eq!(hooks.route_counts()["egl_get_proc_address"], 1);
+    }
+}

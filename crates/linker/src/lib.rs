@@ -1,0 +1,30 @@
+//! # gbooster-linker
+//!
+//! A simulated dynamic linker with `LD_PRELOAD`-style interposition — the
+//! substrate for GBooster's transparent interception (Section IV-A).
+//!
+//! The paper cannot modify Android's closed-source OpenGL ES library, so
+//! it *hooks* it: a wrapper library is injected via the dynamic linker and
+//! captures every graphics call. Applications reach OpenGL ES through
+//! three different routes, and GBooster must intercept all of them:
+//!
+//! 1. **Direct linking** — the app links `libGLESv2.so` and calls its
+//!    exports. Setting `LD_PRELOAD` makes the linker resolve those symbols
+//!    from the wrapper library first.
+//! 2. **`eglGetProcAddress`** — the app asks EGL for function pointers at
+//!    runtime. The wrapper interposes `eglGetProcAddress` itself and
+//!    returns pointers to its own wrappers.
+//! 3. **`dlopen`/`dlsym`** — the app loads the GL library manually. The
+//!    wrapper interposes both calls so lookups land in the wrapper.
+//!
+//! [`DynamicLinker`] models symbol resolution and the preload list;
+//! [`hook::HookEngine`] models the wrapper installation and verifies that
+//! all three routes intercept.
+
+pub mod hook;
+pub mod library;
+pub mod linker;
+
+pub use hook::{HookEngine, LookupRoute};
+pub use library::{FnPtr, SharedLibrary};
+pub use linker::{DynamicLinker, LinkError};

@@ -1,0 +1,164 @@
+//! Wireless channel models: bandwidth, latency, jitter and loss.
+
+use gbooster_sim::time::SimDuration;
+use rand::Rng;
+
+/// A point-to-point channel with a fixed bandwidth, a latency
+/// distribution, and Bernoulli packet loss.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_net::channel::ChannelModel;
+///
+/// let wifi = ChannelModel::wifi_80211n();
+/// // Serializing 150 Mbit at 150 Mbps takes one second.
+/// let t = wifi.tx_time(150_000_000 / 8);
+/// assert!((t.as_secs_f64() - 1.0).abs() < 0.01);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelModel {
+    /// Link bandwidth in bits per second.
+    pub bandwidth_bps: f64,
+    /// Median one-way propagation + queueing latency.
+    pub base_latency: SimDuration,
+    /// Uniform jitter added on top of the base latency.
+    pub jitter: SimDuration,
+    /// Independent per-packet loss probability in `[0, 1)`.
+    pub loss_rate: f64,
+}
+
+impl ChannelModel {
+    /// The evaluation LAN: a TP-Link WR802 802.11n router at 150 Mbps
+    /// (Section VII-A), sub-millisecond in-home latency.
+    pub fn wifi_80211n() -> Self {
+        ChannelModel {
+            bandwidth_bps: 150e6,
+            base_latency: SimDuration::from_micros(800),
+            jitter: SimDuration::from_micros(400),
+            loss_rate: 0.002,
+        }
+    }
+
+    /// Bluetooth (high-speed profile): ≈21 Mbps (ref \[26\]), slightly
+    /// higher latency than WiFi.
+    pub fn bluetooth() -> Self {
+        ChannelModel {
+            bandwidth_bps: 21e6,
+            base_latency: SimDuration::from_millis(4),
+            jitter: SimDuration::from_millis(2),
+            loss_rate: 0.005,
+        }
+    }
+
+    /// A residential Internet path to a cloud gaming server: 10 Mbps and
+    /// tens of milliseconds each way (Section VII-F's OnLive comparison).
+    pub fn internet_to_cloud() -> Self {
+        ChannelModel {
+            bandwidth_bps: 10e6,
+            base_latency: SimDuration::from_millis(40),
+            jitter: SimDuration::from_millis(10),
+            loss_rate: 0.01,
+        }
+    }
+
+    /// A lossy configuration for failure-injection tests.
+    pub fn lossy(loss_rate: f64) -> Self {
+        let mut c = ChannelModel::wifi_80211n();
+        c.loss_rate = loss_rate;
+        c
+    }
+
+    /// Time to serialize `bytes` onto the link.
+    pub fn tx_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps)
+    }
+
+    /// Samples a one-way latency.
+    pub fn sample_latency<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        let jitter_us = if self.jitter.is_zero() {
+            0
+        } else {
+            rng.gen_range(0..=self.jitter.as_micros())
+        };
+        self.base_latency + SimDuration::from_micros(jitter_us)
+    }
+
+    /// Samples whether a packet is lost.
+    pub fn should_drop<R: Rng>(&self, rng: &mut R) -> bool {
+        self.loss_rate > 0.0 && rng.gen_bool(self.loss_rate.min(1.0))
+    }
+
+    /// Mean round-trip time (twice the base latency plus mean jitter).
+    pub fn mean_rtt(&self) -> SimDuration {
+        self.base_latency * 2 + self.jitter
+    }
+
+    /// Sustainable throughput in megabits per second.
+    pub fn bandwidth_mbps(&self) -> f64 {
+        self.bandwidth_bps / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbooster_sim::rng::seeded;
+
+    #[test]
+    fn preset_bandwidths_match_paper() {
+        assert_eq!(ChannelModel::wifi_80211n().bandwidth_mbps(), 150.0);
+        assert_eq!(ChannelModel::bluetooth().bandwidth_mbps(), 21.0);
+        assert_eq!(ChannelModel::internet_to_cloud().bandwidth_mbps(), 10.0);
+    }
+
+    #[test]
+    fn bluetooth_is_an_order_of_magnitude_slower_than_wifi() {
+        let ratio = ChannelModel::wifi_80211n().bandwidth_bps
+            / ChannelModel::bluetooth().bandwidth_bps;
+        assert!((5.0..=15.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn tx_time_is_linear_in_bytes() {
+        let bt = ChannelModel::bluetooth();
+        let t1 = bt.tx_time(1000);
+        let t2 = bt.tx_time(2000);
+        assert_eq!(t2.as_micros(), t1.as_micros() * 2);
+    }
+
+    #[test]
+    fn latency_samples_within_bounds() {
+        let wifi = ChannelModel::wifi_80211n();
+        let mut rng = seeded(7);
+        for _ in 0..1000 {
+            let l = wifi.sample_latency(&mut rng);
+            assert!(l >= wifi.base_latency);
+            assert!(l <= wifi.base_latency + wifi.jitter);
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_respected_statistically() {
+        let lossy = ChannelModel::lossy(0.2);
+        let mut rng = seeded(13);
+        let drops = (0..10_000).filter(|_| lossy.should_drop(&mut rng)).count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn zero_loss_never_drops() {
+        let mut perfect = ChannelModel::wifi_80211n();
+        perfect.loss_rate = 0.0;
+        let mut rng = seeded(1);
+        assert!((0..1000).all(|_| !perfect.should_drop(&mut rng)));
+    }
+
+    #[test]
+    fn cloud_rtt_is_two_orders_above_lan() {
+        let lan = ChannelModel::wifi_80211n().mean_rtt();
+        let wan = ChannelModel::internet_to_cloud().mean_rtt();
+        assert!(wan.as_micros() > lan.as_micros() * 30);
+    }
+}

@@ -1,0 +1,205 @@
+//! Online link estimators: smoothed RTT (RFC 6298-style) and windowed
+//! loss rate.
+//!
+//! The Eq. 4 dispatcher needs the round-trip delay `l_j` to every service
+//! device, and the transport needs an RTO. Both are *measured* quantities
+//! in a deployed system; these estimators turn per-packet samples into
+//! the smoothed values the rest of the stack consumes.
+
+use std::collections::VecDeque;
+
+use gbooster_sim::time::SimDuration;
+
+/// RFC 6298-style smoothed RTT estimator (SRTT + RTTVAR).
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_net::estimator::RttEstimator;
+/// use gbooster_sim::time::SimDuration;
+///
+/// let mut est = RttEstimator::new();
+/// for _ in 0..16 {
+///     est.sample(SimDuration::from_millis(2));
+/// }
+/// assert!((est.srtt().as_millis_f64() - 2.0).abs() < 0.2);
+/// assert!(est.rto() >= est.srtt());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RttEstimator {
+    srtt_us: Option<f64>,
+    rttvar_us: f64,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// RFC 6298 constants.
+    const ALPHA: f64 = 1.0 / 8.0;
+    const BETA: f64 = 1.0 / 4.0;
+    /// Minimum RTO, microseconds (we use 5 ms on a LAN, not the RFC's 1 s).
+    const MIN_RTO_US: f64 = 5_000.0;
+
+    /// Creates an estimator with no samples.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one RTT measurement.
+    pub fn sample(&mut self, rtt: SimDuration) {
+        let r = rtt.as_micros() as f64;
+        match self.srtt_us {
+            None => {
+                self.srtt_us = Some(r);
+                self.rttvar_us = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_us =
+                    (1.0 - Self::BETA) * self.rttvar_us + Self::BETA * (srtt - r).abs();
+                self.srtt_us = Some((1.0 - Self::ALPHA) * srtt + Self::ALPHA * r);
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Smoothed RTT (zero before any sample).
+    pub fn srtt(&self) -> SimDuration {
+        SimDuration::from_micros(self.srtt_us.unwrap_or(0.0) as u64)
+    }
+
+    /// Retransmission timeout: `SRTT + 4·RTTVAR`, floored at 5 ms.
+    pub fn rto(&self) -> SimDuration {
+        let us = self.srtt_us.unwrap_or(0.0) + 4.0 * self.rttvar_us;
+        SimDuration::from_micros(us.max(Self::MIN_RTO_US) as u64)
+    }
+
+    /// Number of samples absorbed.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Windowed packet-loss estimator over the last `window` outcomes.
+#[derive(Clone, Debug)]
+pub struct LossEstimator {
+    window: usize,
+    outcomes: VecDeque<bool>,
+    lost_in_window: usize,
+}
+
+impl LossEstimator {
+    /// Creates an estimator over the last `window` packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be nonzero");
+        LossEstimator {
+            window,
+            outcomes: VecDeque::with_capacity(window),
+            lost_in_window: 0,
+        }
+    }
+
+    /// Records one packet outcome.
+    pub fn record(&mut self, lost: bool) {
+        if self.outcomes.len() == self.window {
+            if self.outcomes.pop_front() == Some(true) {
+                self.lost_in_window -= 1;
+            }
+        }
+        self.outcomes.push_back(lost);
+        if lost {
+            self.lost_in_window += 1;
+        }
+    }
+
+    /// Loss rate over the window, in `[0, 1]` (0 before any packet).
+    pub fn loss_rate(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.lost_in_window as f64 / self.outcomes.len() as f64
+        }
+    }
+
+    /// Packets currently in the window.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True before any packet was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn srtt_converges_to_steady_rtt() {
+        let mut est = RttEstimator::new();
+        for _ in 0..50 {
+            est.sample(SimDuration::from_millis(4));
+        }
+        assert!((est.srtt().as_millis_f64() - 4.0).abs() < 0.1);
+        assert_eq!(est.samples(), 50);
+    }
+
+    #[test]
+    fn rto_expands_under_variance() {
+        let mut steady = RttEstimator::new();
+        let mut jittery = RttEstimator::new();
+        for i in 0..60 {
+            steady.sample(SimDuration::from_millis(5));
+            jittery.sample(SimDuration::from_millis(if i % 2 == 0 { 1 } else { 9 }));
+        }
+        assert!(jittery.rto() > steady.rto());
+    }
+
+    #[test]
+    fn rto_has_a_floor() {
+        let mut est = RttEstimator::new();
+        for _ in 0..20 {
+            est.sample(SimDuration::from_micros(100));
+        }
+        assert!(est.rto() >= SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn loss_rate_tracks_recent_window() {
+        let mut est = LossEstimator::new(10);
+        for _ in 0..10 {
+            est.record(true);
+        }
+        assert!((est.loss_rate() - 1.0).abs() < 1e-12);
+        for _ in 0..10 {
+            est.record(false);
+        }
+        assert_eq!(est.loss_rate(), 0.0, "old losses aged out");
+        assert_eq!(est.len(), 10);
+    }
+
+    #[test]
+    fn partial_window_uses_actual_count() {
+        let mut est = LossEstimator::new(100);
+        est.record(true);
+        est.record(false);
+        assert!((est.loss_rate() - 0.5).abs() < 1e-12);
+        assert!(!est.is_empty());
+    }
+
+    #[test]
+    fn empty_estimators_report_zero() {
+        assert_eq!(RttEstimator::new().srtt(), SimDuration::ZERO);
+        assert_eq!(LossEstimator::new(4).loss_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let _ = LossEstimator::new(0);
+    }
+}

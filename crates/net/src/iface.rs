@@ -1,0 +1,301 @@
+//! Radio interface power-state machines.
+//!
+//! Section V-B: "it takes at least 100 ms to wake up a disabled WiFi
+//! interface. More frequently, the interface has to re-associate with its
+//! access point after being in sleep mode awhile, making the wakeup time
+//! much longer (more than 500 ms)." Power figures follow refs \[22\] (WiFi
+//! ≈2 W transmitting at the highest rate) and \[26\] (Bluetooth < 0.1 W).
+
+use gbooster_sim::time::{SimDuration, SimTime};
+
+use crate::channel::ChannelModel;
+
+/// Power state of a radio.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RadioState {
+    /// Powered off: zero draw, cannot transmit.
+    Off,
+    /// Waking up; ready at the contained instant.
+    Waking(SimTime),
+    /// Associated and idle.
+    Idle,
+    /// Actively transmitting/receiving.
+    Active,
+}
+
+/// How long a WiFi radio must have been off before it loses its
+/// association and pays the long (500 ms) re-association wake-up.
+const ASSOCIATION_MEMORY: SimDuration = SimDuration::from_secs(3);
+
+/// The WiFi radio: fast but power-hungry, with wake-up latency.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_net::iface::WifiIface;
+/// use gbooster_sim::time::SimTime;
+///
+/// let mut wifi = WifiIface::new();
+/// let ready = wifi.power_on(SimTime::ZERO);
+/// // Cold start pays the re-association price.
+/// assert_eq!(ready.as_millis(), 500);
+/// assert!(!wifi.is_ready(SimTime::from_millis(100)));
+/// assert!(wifi.is_ready(ready));
+/// ```
+#[derive(Clone, Debug)]
+pub struct WifiIface {
+    state: RadioState,
+    /// When the radio last went off (for association memory).
+    off_since: Option<SimTime>,
+    /// Whether the radio has ever associated (cold boot pays 500 ms).
+    ever_associated: bool,
+    energy_j: f64,
+}
+
+impl Default for WifiIface {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WifiIface {
+    /// Transmit power at the highest rate (ref \[22\]).
+    pub const TX_POWER_W: f64 = 2.0;
+    /// Receive power.
+    pub const RX_POWER_W: f64 = 1.2;
+    /// Associated-idle power.
+    pub const IDLE_POWER_W: f64 = 0.25;
+    /// Short wake-up when the association is still warm.
+    pub const WAKE_FAST: SimDuration = SimDuration::from_millis(100);
+    /// Wake-up requiring re-association.
+    pub const WAKE_REASSOC: SimDuration = SimDuration::from_millis(500);
+
+    /// Creates a powered-off WiFi radio.
+    pub fn new() -> Self {
+        WifiIface {
+            state: RadioState::Off,
+            off_since: None,
+            ever_associated: false,
+            energy_j: 0.0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RadioState {
+        self.state
+    }
+
+    /// Starts waking the radio; returns the instant it becomes ready.
+    /// A no-op (returning readiness) if already on.
+    pub fn power_on(&mut self, now: SimTime) -> SimTime {
+        match self.state {
+            RadioState::Idle | RadioState::Active => now,
+            RadioState::Waking(at) => at,
+            RadioState::Off => {
+                let warm = self.ever_associated
+                    && self
+                        .off_since
+                        .map(|off| now - off <= ASSOCIATION_MEMORY)
+                        .unwrap_or(false);
+                let delay = if warm {
+                    Self::WAKE_FAST
+                } else {
+                    Self::WAKE_REASSOC
+                };
+                let ready = now + delay;
+                self.state = RadioState::Waking(ready);
+                ready
+            }
+        }
+    }
+
+    /// Powers the radio off immediately.
+    pub fn power_off(&mut self, now: SimTime) {
+        if !matches!(self.state, RadioState::Off) {
+            self.state = RadioState::Off;
+            self.off_since = Some(now);
+        }
+    }
+
+    /// True if the radio can carry traffic at `now`. Promotes a finished
+    /// wake-up to [`RadioState::Idle`].
+    pub fn is_ready(&mut self, now: SimTime) -> bool {
+        if let RadioState::Waking(at) = self.state {
+            if now >= at {
+                self.state = RadioState::Idle;
+                self.ever_associated = true;
+            }
+        }
+        matches!(self.state, RadioState::Idle | RadioState::Active)
+    }
+
+    /// Transmits `bytes` starting at `now` over `channel`; returns the
+    /// completion time. Accrues transmit energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio is not ready (callers must check
+    /// [`WifiIface::is_ready`] — transmitting on a waking radio is the
+    /// packet-loss scenario the predictor exists to avoid).
+    pub fn transmit(&mut self, bytes: usize, now: SimTime, channel: &ChannelModel) -> SimTime {
+        assert!(
+            self.is_ready(now),
+            "transmit on a WiFi radio that is not ready"
+        );
+        let dur = channel.tx_time(bytes);
+        self.energy_j += Self::TX_POWER_W * dur.as_secs_f64();
+        now + dur
+    }
+
+    /// Receives `bytes` arriving at `now` over `channel`; returns the
+    /// completion time. Accrues receive energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radio is not ready.
+    pub fn receive(&mut self, bytes: usize, now: SimTime, channel: &ChannelModel) -> SimTime {
+        assert!(
+            self.is_ready(now),
+            "receive on a WiFi radio that is not ready"
+        );
+        let dur = channel.tx_time(bytes);
+        self.energy_j += Self::RX_POWER_W * dur.as_secs_f64();
+        now + dur
+    }
+
+    /// Accrues idle energy for `dt` if the radio is on.
+    pub fn idle_tick(&mut self, dt: SimDuration) {
+        if !matches!(self.state, RadioState::Off) {
+            self.energy_j += Self::IDLE_POWER_W * dt.as_secs_f64();
+        }
+    }
+
+    /// Total energy consumed, in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy_j
+    }
+}
+
+/// The Bluetooth radio: slow but nearly free to run, always available.
+#[derive(Clone, Debug, Default)]
+pub struct BluetoothIface {
+    energy_j: f64,
+}
+
+impl BluetoothIface {
+    /// Active transmit/receive power (ref \[26\]: "less than 0.1 W").
+    pub const ACTIVE_POWER_W: f64 = 0.1;
+    /// Idle/sniff power.
+    pub const IDLE_POWER_W: f64 = 0.01;
+
+    /// Creates an (always-on) Bluetooth radio.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Transmits `bytes` starting at `now`; returns the completion time.
+    pub fn transmit(&mut self, bytes: usize, now: SimTime, channel: &ChannelModel) -> SimTime {
+        let dur = channel.tx_time(bytes);
+        self.energy_j += Self::ACTIVE_POWER_W * dur.as_secs_f64();
+        now + dur
+    }
+
+    /// Receives `bytes` arriving at `now`; returns the completion time.
+    pub fn receive(&mut self, bytes: usize, now: SimTime, channel: &ChannelModel) -> SimTime {
+        let dur = channel.tx_time(bytes);
+        self.energy_j += Self::ACTIVE_POWER_W * dur.as_secs_f64();
+        now + dur
+    }
+
+    /// Accrues idle energy for `dt`.
+    pub fn idle_tick(&mut self, dt: SimDuration) {
+        self.energy_j += Self::IDLE_POWER_W * dt.as_secs_f64();
+    }
+
+    /// Total energy consumed, in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy_j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_wifi_pays_reassociation() {
+        let mut wifi = WifiIface::new();
+        let ready = wifi.power_on(SimTime::ZERO);
+        assert_eq!(ready, SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn warm_wifi_wakes_fast() {
+        let mut wifi = WifiIface::new();
+        let ready = wifi.power_on(SimTime::ZERO);
+        assert!(wifi.is_ready(ready));
+        wifi.power_off(SimTime::from_secs(1));
+        // Back on within the association memory window.
+        let ready2 = wifi.power_on(SimTime::from_secs(2));
+        assert_eq!(ready2 - SimTime::from_secs(2), WifiIface::WAKE_FAST);
+    }
+
+    #[test]
+    fn long_sleep_forces_reassociation() {
+        let mut wifi = WifiIface::new();
+        let r = wifi.power_on(SimTime::ZERO);
+        assert!(wifi.is_ready(r));
+        wifi.power_off(SimTime::from_secs(1));
+        let ready = wifi.power_on(SimTime::from_secs(10));
+        assert_eq!(ready - SimTime::from_secs(10), WifiIface::WAKE_REASSOC);
+    }
+
+    #[test]
+    fn power_on_while_waking_returns_same_deadline() {
+        let mut wifi = WifiIface::new();
+        let a = wifi.power_on(SimTime::ZERO);
+        let b = wifi.power_on(SimTime::from_millis(50));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transmit_accrues_2w_energy() {
+        let mut wifi = WifiIface::new();
+        let ready = wifi.power_on(SimTime::ZERO);
+        assert!(wifi.is_ready(ready));
+        let ch = ChannelModel::wifi_80211n();
+        // 150 Mbit = 1 second at 150 Mbps -> 2 J at 2 W.
+        let done = wifi.transmit(150_000_000 / 8, ready, &ch);
+        assert!((wifi.energy_joules() - 2.0).abs() < 0.01);
+        assert!((done - ready).as_secs_f64() > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn transmit_while_off_panics() {
+        let mut wifi = WifiIface::new();
+        let ch = ChannelModel::wifi_80211n();
+        wifi.transmit(100, SimTime::ZERO, &ch);
+    }
+
+    #[test]
+    fn bluetooth_is_order_of_magnitude_cheaper() {
+        let mut bt = BluetoothIface::new();
+        let ch = ChannelModel::bluetooth();
+        // Send 21 Mbit = 1 second at 21 Mbps -> 0.1 J.
+        bt.transmit(21_000_000 / 8, SimTime::ZERO, &ch);
+        assert!((bt.energy_joules() - 0.1).abs() < 0.001);
+        assert!(WifiIface::TX_POWER_W / BluetoothIface::ACTIVE_POWER_W >= 10.0);
+    }
+
+    #[test]
+    fn idle_energy_accrues_only_when_on() {
+        let mut wifi = WifiIface::new();
+        wifi.idle_tick(SimDuration::from_secs(10));
+        assert_eq!(wifi.energy_joules(), 0.0, "off radio draws nothing");
+        let r = wifi.power_on(SimTime::ZERO);
+        assert!(wifi.is_ready(r));
+        wifi.idle_tick(SimDuration::from_secs(10));
+        assert!((wifi.energy_joules() - 2.5).abs() < 0.01);
+    }
+}

@@ -1,0 +1,193 @@
+//! UDP multicast for state replication (Section VI-B).
+//!
+//! "As we need to transmit duplicated data to multiple devices, a unicast
+//! connection is not an optimal option since it could result in waste of
+//! network bandwidth and limited system scalability. Instead, we take
+//! advantage of the multi-cast capability of UDP, which allows a stream of
+//! data to be sent to multiple destinations with a single transmission
+//! operation."
+//!
+//! [`MulticastGroup`] models group membership and accounts the bandwidth
+//! saved versus per-member unicast — the quantity the scalability argument
+//! rests on.
+
+use std::collections::BTreeSet;
+
+use gbooster_sim::time::SimTime;
+use rand::Rng;
+
+use crate::channel::ChannelModel;
+
+/// A delivery of one multicast datagram to one member.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// Receiving member id.
+    pub member: u32,
+    /// Arrival time.
+    pub at: SimTime,
+    /// Whether the (unreliable) datagram was lost for this member.
+    pub lost: bool,
+}
+
+/// A multicast group with byte accounting.
+#[derive(Clone, Debug, Default)]
+pub struct MulticastGroup {
+    members: BTreeSet<u32>,
+    bytes_sent: u64,
+    bytes_unicast_equivalent: u64,
+}
+
+impl MulticastGroup {
+    /// Creates an empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a member; returns false if already present.
+    pub fn join(&mut self, member: u32) -> bool {
+        self.members.insert(member)
+    }
+
+    /// Removes a member; returns false if absent.
+    pub fn leave(&mut self, member: u32) -> bool {
+        self.members.remove(&member)
+    }
+
+    /// Current member ids.
+    pub fn members(&self) -> impl Iterator<Item = u32> + '_ {
+        self.members.iter().copied()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the group has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Sends `bytes` to every member with a *single* link transmission;
+    /// per-member loss is sampled independently (multicast is unreliable;
+    /// GBooster's state replication tolerates this by re-sending state on
+    /// divergence, and the simulation surfaces lost deliveries).
+    pub fn send<R: Rng>(
+        &mut self,
+        bytes: usize,
+        now: SimTime,
+        channel: &ChannelModel,
+        rng: &mut R,
+    ) -> Vec<Delivery> {
+        self.bytes_sent += bytes as u64;
+        self.bytes_unicast_equivalent += bytes as u64 * self.members.len() as u64;
+        let tx_end = now + channel.tx_time(bytes);
+        self.members
+            .iter()
+            .map(|&member| Delivery {
+                member,
+                at: tx_end + channel.sample_latency(rng),
+                lost: channel.should_drop(rng),
+            })
+            .collect()
+    }
+
+    /// Bytes actually put on the link.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Bytes a unicast fan-out would have cost.
+    pub fn unicast_equivalent_bytes(&self) -> u64 {
+        self.bytes_unicast_equivalent
+    }
+
+    /// Bandwidth saving factor versus unicast (1.0 with one member).
+    pub fn savings_factor(&self) -> f64 {
+        if self.bytes_sent == 0 {
+            1.0
+        } else {
+            self.bytes_unicast_equivalent as f64 / self.bytes_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gbooster_sim::rng::seeded;
+
+    #[test]
+    fn single_transmission_reaches_all_members() {
+        let mut group = MulticastGroup::new();
+        for m in 0..3 {
+            assert!(group.join(m));
+        }
+        let mut rng = seeded(1);
+        let mut ch = ChannelModel::wifi_80211n();
+        ch.loss_rate = 0.0;
+        let deliveries = group.send(10_000, SimTime::ZERO, &ch, &mut rng);
+        assert_eq!(deliveries.len(), 3);
+        assert!(deliveries.iter().all(|d| !d.lost));
+        assert_eq!(group.bytes_sent(), 10_000);
+        assert_eq!(group.unicast_equivalent_bytes(), 30_000);
+        assert!((group.savings_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_join_is_rejected() {
+        let mut group = MulticastGroup::new();
+        assert!(group.join(1));
+        assert!(!group.join(1));
+        assert_eq!(group.len(), 1);
+        assert!(group.leave(1));
+        assert!(!group.leave(1));
+        assert!(group.is_empty());
+    }
+
+    #[test]
+    fn per_member_loss_is_independent() {
+        let mut group = MulticastGroup::new();
+        for m in 0..4 {
+            group.join(m);
+        }
+        let ch = ChannelModel::lossy(0.5);
+        let mut rng = seeded(9);
+        let mut lost_counts = [0u32; 4];
+        for _ in 0..500 {
+            for d in group.send(100, SimTime::ZERO, &ch, &mut rng) {
+                if d.lost {
+                    lost_counts[d.member as usize] += 1;
+                }
+            }
+        }
+        // Every member loses roughly half, not all-or-nothing.
+        for (m, &c) in lost_counts.iter().enumerate() {
+            assert!((150..350).contains(&c), "member {m} lost {c}/500");
+        }
+    }
+
+    #[test]
+    fn savings_grow_linearly_with_members() {
+        let mut group = MulticastGroup::new();
+        let mut rng = seeded(4);
+        let ch = ChannelModel::wifi_80211n();
+        group.join(0);
+        group.send(1000, SimTime::ZERO, &ch, &mut rng);
+        assert!((group.savings_factor() - 1.0).abs() < 1e-12);
+        for m in 1..5 {
+            group.join(m);
+        }
+        group.send(1000, SimTime::ZERO, &ch, &mut rng);
+        // 1000*1 + 1000*5 = 6000 equivalent over 2000 sent.
+        assert!((group.savings_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_group_send_is_harmless() {
+        let mut group = MulticastGroup::new();
+        let mut rng = seeded(2);
+        let out = group.send(500, SimTime::ZERO, &ChannelModel::bluetooth(), &mut rng);
+        assert!(out.is_empty());
+    }
+}

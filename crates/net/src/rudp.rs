@@ -1,0 +1,494 @@
+//! Lightweight reliable transport over UDP (Section IV-B, ref \[19\]).
+//!
+//! "Due to its complex retransmission mechanism, TCP possesses an inherent
+//! delay … To alleviate the delay, instead of TCP, we select the UDP
+//! transportation protocol to provide fast delivery of the graphics
+//! commands. To prevent packet loss and out-of-order delivery, we
+//! implement a light-weight and reliable transmission mechanism in the
+//! application layer."
+//!
+//! The protocol is UDT-flavoured: sequence-numbered datagrams, cumulative
+//! ACKs, a sliding send window, timer-based retransmission, and an
+//! in-order reassembly buffer on the receiver. [`RudpSender`] and
+//! [`RudpReceiver`] are pure state machines (no I/O), and
+//! [`simulate_transfer`] drives them through an event-driven lossy channel
+//! to measure end-to-end completion times.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use gbooster_sim::event::EventQueue;
+use gbooster_sim::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::channel::ChannelModel;
+
+/// Maximum datagram payload (typical WiFi MTU minus headers).
+pub const MTU: usize = 1400;
+
+/// Transport configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RudpConfig {
+    /// Payload bytes per datagram.
+    pub mtu: usize,
+    /// Maximum unacknowledged datagrams in flight.
+    pub window: usize,
+    /// Retransmission timeout.
+    pub rto: SimDuration,
+}
+
+impl Default for RudpConfig {
+    fn default() -> Self {
+        RudpConfig {
+            mtu: MTU,
+            window: 64,
+            rto: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// A sequence-numbered datagram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sequence number (0-based, one per datagram).
+    pub seq: u64,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// True if this is a retransmission.
+    pub retransmit: bool,
+}
+
+/// Sender-side protocol machine.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_net::rudp::{RudpConfig, RudpSender};
+/// use gbooster_sim::time::SimTime;
+///
+/// let mut tx = RudpSender::new(RudpConfig::default());
+/// tx.enqueue(3000); // one message, three datagrams at MTU 1400
+/// let pkts = tx.poll_send(SimTime::ZERO);
+/// assert_eq!(pkts.len(), 3);
+/// tx.on_ack(3); // cumulative ACK covers all three
+/// assert!(tx.is_complete());
+/// ```
+#[derive(Clone, Debug)]
+pub struct RudpSender {
+    config: RudpConfig,
+    next_seq: u64,
+    /// Datagram lengths waiting to enter the window.
+    queue: VecDeque<usize>,
+    /// In-flight: seq → (len, last send time).
+    inflight: BTreeMap<u64, (usize, SimTime)>,
+    /// Lowest unacknowledged sequence number.
+    base: u64,
+    retransmissions: u64,
+}
+
+impl RudpSender {
+    /// Creates a sender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has a zero MTU or window.
+    pub fn new(config: RudpConfig) -> Self {
+        assert!(config.mtu > 0 && config.window > 0, "invalid rudp config");
+        RudpSender {
+            config,
+            next_seq: 0,
+            queue: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            base: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Splits a `bytes`-long message into datagrams and queues them.
+    pub fn enqueue(&mut self, bytes: usize) {
+        let mut remaining = bytes;
+        while remaining > 0 {
+            let take = remaining.min(self.config.mtu);
+            self.queue.push_back(take);
+            remaining -= take;
+        }
+        if bytes == 0 {
+            self.queue.push_back(0);
+        }
+    }
+
+    /// Datagrams to put on the wire now, limited by the send window.
+    pub fn poll_send(&mut self, now: SimTime) -> Vec<Datagram> {
+        let mut out = Vec::new();
+        while self.inflight.len() < self.config.window {
+            let Some(len) = self.queue.pop_front() else {
+                break;
+            };
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.inflight.insert(seq, (len, now));
+            out.push(Datagram {
+                seq,
+                len,
+                retransmit: false,
+            });
+        }
+        out
+    }
+
+    /// Processes a cumulative ACK: everything below `ack_seq` is received.
+    pub fn on_ack(&mut self, ack_seq: u64) {
+        if ack_seq <= self.base {
+            return;
+        }
+        self.inflight.retain(|&seq, _| seq >= ack_seq);
+        self.base = ack_seq;
+    }
+
+    /// Datagrams whose RTO expired; re-stamps their send time.
+    pub fn poll_retransmit(&mut self, now: SimTime) -> Vec<Datagram> {
+        let rto = self.config.rto;
+        let mut out = Vec::new();
+        for (&seq, entry) in self.inflight.iter_mut() {
+            if now - entry.1 >= rto {
+                entry.1 = now;
+                out.push(Datagram {
+                    seq,
+                    len: entry.0,
+                    retransmit: true,
+                });
+            }
+        }
+        self.retransmissions += out.len() as u64;
+        out
+    }
+
+    /// Earliest pending RTO deadline, if any packet is in flight.
+    pub fn next_rto_deadline(&self) -> Option<SimTime> {
+        self.inflight
+            .values()
+            .map(|&(_, sent)| sent + self.config.rto)
+            .min()
+    }
+
+    /// True once every queued datagram is acknowledged.
+    pub fn is_complete(&self) -> bool {
+        self.queue.is_empty() && self.inflight.is_empty()
+    }
+
+    /// Total retransmitted datagrams.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+}
+
+/// Receiver-side protocol machine: reorders and delivers in sequence.
+#[derive(Clone, Debug, Default)]
+pub struct RudpReceiver {
+    /// Next sequence number expected in order.
+    expected: u64,
+    /// Out-of-order datagrams held for reassembly.
+    buffer: BTreeMap<u64, usize>,
+    delivered_bytes: u64,
+    duplicates: u64,
+}
+
+impl RudpReceiver {
+    /// Creates a receiver expecting sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes an arriving datagram; returns the cumulative ACK to send
+    /// back and the lengths of datagrams newly delivered in order.
+    pub fn on_datagram(&mut self, dg: Datagram) -> (u64, Vec<usize>) {
+        let mut delivered = Vec::new();
+        if dg.seq < self.expected || self.buffer.contains_key(&dg.seq) {
+            self.duplicates += 1;
+        } else {
+            self.buffer.insert(dg.seq, dg.len);
+        }
+        while let Some(len) = self.buffer.remove(&self.expected) {
+            self.delivered_bytes += len as u64;
+            delivered.push(len);
+            self.expected += 1;
+        }
+        (self.expected, delivered)
+    }
+
+    /// Next expected in-order sequence number (== the cumulative ACK).
+    pub fn expected(&self) -> u64 {
+        self.expected
+    }
+
+    /// Total bytes delivered in order.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Duplicate datagrams observed (retransmissions that weren't needed).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+/// Outcome of an end-to-end simulated transfer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransferStats {
+    /// Time from first send to final in-order delivery.
+    pub completion: SimDuration,
+    /// Datagrams sent including retransmissions.
+    pub datagrams_sent: u64,
+    /// Retransmitted datagrams.
+    pub retransmissions: u64,
+    /// Bytes delivered.
+    pub bytes: u64,
+}
+
+#[derive(Debug)]
+enum NetEvent {
+    DataArrives(Datagram),
+    AckArrives(u64),
+    RtoCheck,
+}
+
+/// Simulates transferring one `bytes`-long message over `channel`,
+/// driving the two protocol machines through an event queue with sampled
+/// loss and latency. Deterministic for a given `seed`.
+pub fn simulate_transfer(
+    bytes: usize,
+    channel: &ChannelModel,
+    config: RudpConfig,
+    seed: u64,
+) -> TransferStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sender = RudpSender::new(config);
+    let mut receiver = RudpReceiver::new();
+    sender.enqueue(bytes);
+
+    let mut queue: EventQueue<NetEvent> = EventQueue::new();
+    let mut sent: u64 = 0;
+    let mut link_free_at = SimTime::ZERO;
+    let mut finish = SimTime::ZERO;
+
+    // Helper inline: schedule initial window.
+    let initial = sender.poll_send(SimTime::ZERO);
+    for dg in initial {
+        sent += 1;
+        let tx_end = link_free_at.max(SimTime::ZERO) + channel.tx_time(dg.len);
+        link_free_at = tx_end;
+        if !channel.should_drop(&mut rng) {
+            queue.push(tx_end + channel.sample_latency(&mut rng), NetEvent::DataArrives(dg));
+        }
+    }
+    queue.push(SimTime::ZERO + config.rto, NetEvent::RtoCheck);
+
+    let mut guard = 0u64;
+    while let Some((now, event)) = queue.pop() {
+        guard += 1;
+        if guard > 10_000_000 {
+            panic!("rudp simulation failed to converge");
+        }
+        match event {
+            NetEvent::DataArrives(dg) => {
+                let (ack, delivered) = receiver.on_datagram(dg);
+                if !delivered.is_empty() {
+                    finish = now;
+                }
+                // ACK path (ACKs are tiny; serialization ignored).
+                if !channel.should_drop(&mut rng) {
+                    queue.push(now + channel.sample_latency(&mut rng), NetEvent::AckArrives(ack));
+                }
+            }
+            NetEvent::AckArrives(ack) => {
+                sender.on_ack(ack);
+                if sender.is_complete() {
+                    break;
+                }
+                for dg in sender.poll_send(now) {
+                    sent += 1;
+                    let start = link_free_at.max(now);
+                    let tx_end = start + channel.tx_time(dg.len);
+                    link_free_at = tx_end;
+                    if !channel.should_drop(&mut rng) {
+                        queue.push(
+                            tx_end + channel.sample_latency(&mut rng),
+                            NetEvent::DataArrives(dg),
+                        );
+                    }
+                }
+            }
+            NetEvent::RtoCheck => {
+                if sender.is_complete() {
+                    continue;
+                }
+                for dg in sender.poll_retransmit(now) {
+                    sent += 1;
+                    let start = link_free_at.max(now);
+                    let tx_end = start + channel.tx_time(dg.len);
+                    link_free_at = tx_end;
+                    if !channel.should_drop(&mut rng) {
+                        queue.push(
+                            tx_end + channel.sample_latency(&mut rng),
+                            NetEvent::DataArrives(dg),
+                        );
+                    }
+                }
+                let next = sender
+                    .next_rto_deadline()
+                    .unwrap_or(now + config.rto)
+                    .max(now + SimDuration::from_millis(1));
+                queue.push(next, NetEvent::RtoCheck);
+            }
+        }
+    }
+
+    TransferStats {
+        completion: finish - SimTime::ZERO,
+        datagrams_sent: sent,
+        retransmissions: sender.retransmissions(),
+        bytes: receiver.delivered_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sender_splits_messages_at_mtu() {
+        let mut tx = RudpSender::new(RudpConfig::default());
+        tx.enqueue(MTU * 2 + 1);
+        let pkts = tx.poll_send(SimTime::ZERO);
+        assert_eq!(pkts.len(), 3);
+        assert_eq!(pkts[0].len, MTU);
+        assert_eq!(pkts[2].len, 1);
+    }
+
+    #[test]
+    fn window_limits_inflight() {
+        let mut tx = RudpSender::new(RudpConfig {
+            window: 4,
+            ..RudpConfig::default()
+        });
+        tx.enqueue(MTU * 10);
+        assert_eq!(tx.poll_send(SimTime::ZERO).len(), 4);
+        assert_eq!(tx.poll_send(SimTime::ZERO).len(), 0, "window full");
+        tx.on_ack(2);
+        assert_eq!(tx.poll_send(SimTime::ZERO).len(), 2, "window slides");
+    }
+
+    #[test]
+    fn receiver_reorders_out_of_order_arrivals() {
+        let mut rx = RudpReceiver::new();
+        let dg = |seq| Datagram {
+            seq,
+            len: 100,
+            retransmit: false,
+        };
+        let (ack, delivered) = rx.on_datagram(dg(1));
+        assert_eq!(ack, 0);
+        assert!(delivered.is_empty(), "held for reordering");
+        let (ack, delivered) = rx.on_datagram(dg(0));
+        assert_eq!(ack, 2);
+        assert_eq!(delivered.len(), 2, "both delivered in order");
+        assert_eq!(rx.delivered_bytes(), 200);
+    }
+
+    #[test]
+    fn receiver_counts_duplicates() {
+        let mut rx = RudpReceiver::new();
+        let dg = Datagram {
+            seq: 0,
+            len: 10,
+            retransmit: false,
+        };
+        rx.on_datagram(dg);
+        rx.on_datagram(dg);
+        assert_eq!(rx.duplicates(), 1);
+        assert_eq!(rx.delivered_bytes(), 10);
+    }
+
+    #[test]
+    fn rto_retransmits_unacked_packets() {
+        let cfg = RudpConfig::default();
+        let mut tx = RudpSender::new(cfg);
+        tx.enqueue(100);
+        tx.poll_send(SimTime::ZERO);
+        assert!(tx.poll_retransmit(SimTime::from_millis(5)).is_empty());
+        let re = tx.poll_retransmit(SimTime::ZERO + cfg.rto);
+        assert_eq!(re.len(), 1);
+        assert!(re[0].retransmit);
+        assert_eq!(tx.retransmissions(), 1);
+    }
+
+    #[test]
+    fn lossless_transfer_completes_at_line_rate() {
+        let mut ch = ChannelModel::wifi_80211n();
+        ch.loss_rate = 0.0;
+        ch.jitter = SimDuration::ZERO;
+        let bytes = 1_500_000; // ~80 ms at 150 Mbps
+        let stats = simulate_transfer(bytes, &ch, RudpConfig::default(), 1);
+        assert_eq!(stats.bytes, bytes as u64);
+        assert_eq!(stats.retransmissions, 0);
+        let ideal = ch.tx_time(bytes).as_secs_f64();
+        let actual = stats.completion.as_secs_f64();
+        assert!(
+            actual < ideal * 1.5 + 0.01,
+            "actual {actual:.4}s vs ideal {ideal:.4}s"
+        );
+    }
+
+    #[test]
+    fn lossy_transfer_still_delivers_everything() {
+        let ch = ChannelModel::lossy(0.05);
+        let bytes = 500_000;
+        let stats = simulate_transfer(bytes, &ch, RudpConfig::default(), 7);
+        assert_eq!(stats.bytes, bytes as u64, "reliability under 5% loss");
+        assert!(stats.retransmissions > 0, "loss must trigger retransmits");
+    }
+
+    #[test]
+    fn heavy_loss_is_survivable() {
+        let ch = ChannelModel::lossy(0.3);
+        let stats = simulate_transfer(50_000, &ch, RudpConfig::default(), 3);
+        assert_eq!(stats.bytes, 50_000);
+    }
+
+    #[test]
+    fn higher_loss_costs_more_time() {
+        let mut clean = ChannelModel::wifi_80211n();
+        clean.loss_rate = 0.0;
+        let lossy = ChannelModel::lossy(0.1);
+        let a = simulate_transfer(300_000, &clean, RudpConfig::default(), 5);
+        let b = simulate_transfer(300_000, &lossy, RudpConfig::default(), 5);
+        assert!(b.completion > a.completion);
+    }
+
+    #[test]
+    fn transfer_is_deterministic_per_seed() {
+        let ch = ChannelModel::lossy(0.05);
+        let a = simulate_transfer(100_000, &ch, RudpConfig::default(), 11);
+        let b = simulate_transfer(100_000, &ch, RudpConfig::default(), 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_message_completes() {
+        let ch = ChannelModel::wifi_80211n();
+        let stats = simulate_transfer(0, &ch, RudpConfig::default(), 2);
+        assert_eq!(stats.bytes, 0);
+    }
+
+    #[test]
+    fn stale_ack_is_ignored() {
+        let mut tx = RudpSender::new(RudpConfig::default());
+        tx.enqueue(MTU * 3);
+        tx.poll_send(SimTime::ZERO);
+        tx.on_ack(2);
+        tx.on_ack(1); // stale
+        assert!(!tx.is_complete());
+        tx.on_ack(3);
+        assert!(tx.is_complete());
+    }
+}

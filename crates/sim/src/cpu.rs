@@ -1,0 +1,210 @@
+//! Multi-core CPU time and power model.
+//!
+//! Table I of the paper shows that phone CPUs comfortably exceed game
+//! requirements — the CPU is *not* the bottleneck — but GBooster still
+//! needs a CPU model for three reasons:
+//!
+//! * application game logic consumes CPU time per frame and bounds the
+//!   rate at which rendering requests can be generated (Section VI-A
+//!   attributes the 3-request buffer cap partly to the CPU);
+//! * offloading adds CPU work for serialization, compression and image
+//!   decoding (Section VII-G measures 68 % → 79 % on a Nexus 5);
+//! * the motivation experiment compares GPU power against CPU power
+//!   (≈3 W vs ≈0.6 W, Section II).
+
+use crate::time::SimDuration;
+
+/// Static description of a CPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuSpec {
+    /// Peak clock of one core in GHz.
+    pub clock_ghz: f64,
+    /// Number of cores.
+    pub cores: u32,
+    /// Power at full load across all cores, in watts.
+    pub max_power_w: f64,
+    /// Idle power, in watts.
+    pub idle_power_w: f64,
+}
+
+impl CpuSpec {
+    /// Creates a phone-class CPU with the paper's ≈0.6 W single-core-heavy
+    /// gaming draw scaled to full load.
+    pub fn phone(clock_ghz: f64, cores: u32) -> Self {
+        CpuSpec {
+            clock_ghz,
+            cores,
+            max_power_w: 2.0,
+            idle_power_w: 0.1,
+        }
+    }
+
+    /// Creates a desktop/console-class CPU.
+    pub fn desktop(clock_ghz: f64, cores: u32) -> Self {
+        CpuSpec {
+            clock_ghz,
+            cores,
+            max_power_w: 45.0,
+            idle_power_w: 5.0,
+        }
+    }
+
+    /// Aggregate throughput in giga-cycles per second.
+    pub fn total_gcycles_per_sec(&self) -> f64 {
+        self.clock_ghz * self.cores as f64
+    }
+}
+
+/// A stateful CPU tracking utilization and energy.
+///
+/// Work is expressed in *giga-cycles* (billions of clock cycles); a task
+/// with parallelism `p` may use up to `p` cores.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_sim::cpu::{CpuModel, CpuSpec};
+///
+/// let mut cpu = CpuModel::new(CpuSpec::phone(2.26, 4));
+/// // One giga-cycle of single-threaded work on a 2.26 GHz core:
+/// let t = cpu.execute(1.0, 1);
+/// assert!((t.as_secs_f64() - 1.0 / 2.26).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CpuModel {
+    spec: CpuSpec,
+    busy_core_time: SimDuration,
+    total_time: SimDuration,
+    energy_j: f64,
+}
+
+impl CpuModel {
+    /// Creates an idle CPU.
+    pub fn new(spec: CpuSpec) -> Self {
+        CpuModel {
+            spec,
+            busy_core_time: SimDuration::ZERO,
+            total_time: SimDuration::ZERO,
+            energy_j: 0.0,
+        }
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &CpuSpec {
+        &self.spec
+    }
+
+    /// Time to execute `gcycles` giga-cycles of work with at most
+    /// `parallelism` threads. Returns the wall-clock duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gcycles` is negative/non-finite or `parallelism` is zero.
+    pub fn execute(&mut self, gcycles: f64, parallelism: u32) -> SimDuration {
+        assert!(
+            gcycles.is_finite() && gcycles >= 0.0,
+            "invalid work: {gcycles}"
+        );
+        assert!(parallelism > 0, "parallelism must be nonzero");
+        let cores_used = parallelism.min(self.spec.cores) as f64;
+        let secs = gcycles / (self.spec.clock_ghz * cores_used);
+        let dur = SimDuration::from_secs_f64(secs);
+        self.busy_core_time += SimDuration::from_secs_f64(secs * cores_used);
+        dur
+    }
+
+    /// Advances wall time by `dt` at the given whole-chip utilization,
+    /// accruing energy. Returns joules consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is outside `[0, 1]`.
+    pub fn step(&mut self, dt: SimDuration, utilization: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&utilization),
+            "utilization out of range: {utilization}"
+        );
+        let power = self.power_w(utilization);
+        let energy = power * dt.as_secs_f64();
+        self.energy_j += energy;
+        self.total_time += dt;
+        energy
+    }
+
+    /// Instantaneous power at `utilization`, in watts.
+    pub fn power_w(&self, utilization: f64) -> f64 {
+        self.spec.idle_power_w + (self.spec.max_power_w - self.spec.idle_power_w) * utilization
+    }
+
+    /// Total energy consumed so far, in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Utilization implied by the recorded busy core-time over `dt` of
+    /// wall time, clamped to `[0, 1]`.
+    pub fn utilization_over(&self, dt: SimDuration) -> f64 {
+        if dt.is_zero() {
+            return 0.0;
+        }
+        (self.busy_core_time.as_secs_f64() / (dt.as_secs_f64() * self.spec.cores as f64)).min(1.0)
+    }
+
+    /// Clears accumulated counters.
+    pub fn reset(&mut self) {
+        self.busy_core_time = SimDuration::ZERO;
+        self.total_time = SimDuration::ZERO;
+        self.energy_j = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_threaded_speed_matches_clock() {
+        let mut cpu = CpuModel::new(CpuSpec::phone(2.0, 4));
+        let t = cpu.execute(4.0, 1);
+        assert!((t.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_work_scales_to_core_count() {
+        let mut cpu = CpuModel::new(CpuSpec::phone(2.0, 4));
+        let t = cpu.execute(4.0, 8); // asks for 8, capped at 4 cores
+        assert!((t.as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_interpolates_between_idle_and_max() {
+        let cpu = CpuModel::new(CpuSpec::phone(2.0, 4));
+        assert!((cpu.power_w(0.0) - 0.1).abs() < 1e-9);
+        assert!((cpu.power_w(1.0) - 2.0).abs() < 1e-9);
+        assert!((cpu.power_w(0.5) - 1.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_accrues_with_step() {
+        let mut cpu = CpuModel::new(CpuSpec::phone(2.0, 4));
+        let e = cpu.step(SimDuration::from_secs(10), 1.0);
+        assert!((e - 20.0).abs() < 1e-9);
+        cpu.reset();
+        assert_eq!(cpu.energy_joules(), 0.0);
+    }
+
+    #[test]
+    fn utilization_derived_from_busy_core_time() {
+        let mut cpu = CpuModel::new(CpuSpec::phone(2.0, 4));
+        cpu.execute(2.0, 1); // 1s on one of four cores
+        let u = cpu.utilization_over(SimDuration::from_secs(1));
+        assert!((u - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be nonzero")]
+    fn zero_parallelism_panics() {
+        let mut cpu = CpuModel::new(CpuSpec::phone(2.0, 4));
+        cpu.execute(1.0, 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! A deterministic discrete-event queue.
+//!
+//! The kernel is intentionally minimal: events are arbitrary payloads
+//! ordered by their scheduled [`SimTime`], with FIFO tie-breaking so that
+//! two events scheduled for the same instant pop in insertion order. This
+//! determinism is what makes every GBooster experiment reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first,
+        // lowest-sequence-first ordering.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_sim::event::EventQueue;
+/// use gbooster_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_millis(5), "second");
+/// q.push(SimTime::from_millis(1), "first");
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(5), "second")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Default)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    ///
+    /// Events scheduled in the past are clamped to the current clock so
+    /// they fire immediately rather than rewinding time.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// scheduled time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The scheduled time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// The current simulated clock (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains every event in time order, calling `f(now, event)`.
+    ///
+    /// Handlers may push further events through the returned handle.
+    pub fn run<F>(&mut self, mut f: F)
+    where
+        F: FnMut(SimTime, E, &mut Pusher<'_, E>),
+    {
+        while let Some(entry) = self.heap.pop() {
+            self.now = entry.at;
+            let mut staged = Vec::new();
+            {
+                let mut pusher = Pusher {
+                    now: self.now,
+                    staged: &mut staged,
+                };
+                f(entry.at, entry.event, &mut pusher);
+            }
+            for (at, ev) in staged {
+                self.push(at, ev);
+            }
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.heap.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+/// Handle given to [`EventQueue::run`] handlers to schedule follow-up events.
+#[derive(Debug)]
+pub struct Pusher<'a, E> {
+    now: SimTime,
+    staged: &'a mut Vec<(SimTime, E)>,
+}
+
+impl<E> Pusher<'_, E> {
+    /// Schedules `event` at `at` (clamped to now).
+    pub fn push(&mut self, at: SimTime, event: E) {
+        self.staged.push((at.max(self.now), event));
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), 3);
+        q.push(SimTime::from_millis(10), 1);
+        q.push(SimTime::from_millis(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_millis(7), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(10), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(10));
+        // Scheduling in the past clamps to now.
+        q.push(SimTime::from_millis(1), ());
+        let (at, _) = q.pop().unwrap();
+        assert_eq!(at, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn run_allows_cascading_events() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 0u32);
+        let mut fired = Vec::new();
+        q.run(|now, ev, pusher| {
+            fired.push((now, ev));
+            if ev < 3 {
+                pusher.push(now + SimDuration::from_millis(5), ev + 1);
+            }
+        });
+        assert_eq!(fired.len(), 4);
+        assert_eq!(fired[3].0, SimTime::from_millis(15));
+        assert_eq!(fired[3].1, 3);
+    }
+
+    #[test]
+    fn peek_does_not_advance_clock() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(9), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(9)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

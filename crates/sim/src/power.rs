@@ -1,0 +1,270 @@
+//! Component-level energy ledger.
+//!
+//! The paper measures whole-system power with a Monsoon power monitor
+//! (Section VII-C, ref \[10\]) and attributes it to CPU/GPU/radios using the
+//! techniques of refs \[10\] and \[11\]. [`PowerMeter`] is the simulated
+//! equivalent: every hardware model reports `(component, watts, duration)`
+//! samples and the meter integrates them into a per-component energy
+//! ledger, from which normalized comparisons (Fig. 6) are computed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// A power-drawing hardware component of a device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// Application processor.
+    Cpu,
+    /// Graphics processor.
+    Gpu,
+    /// WiFi radio, transmit state.
+    WifiTx,
+    /// WiFi radio, receive state.
+    WifiRx,
+    /// WiFi radio, idle/associated state.
+    WifiIdle,
+    /// Bluetooth radio (any active state; BT idle draw is negligible).
+    Bluetooth,
+    /// Display panel and backlight.
+    Display,
+    /// Everything else (SoC base, RAM, sensors).
+    Base,
+}
+
+impl Component {
+    /// All components, for exhaustive iteration in reports.
+    pub const ALL: [Component; 8] = [
+        Component::Cpu,
+        Component::Gpu,
+        Component::WifiTx,
+        Component::WifiRx,
+        Component::WifiIdle,
+        Component::Bluetooth,
+        Component::Display,
+        Component::Base,
+    ];
+
+    /// True for the radio states (WiFi + Bluetooth).
+    pub fn is_radio(self) -> bool {
+        matches!(
+            self,
+            Component::WifiTx | Component::WifiRx | Component::WifiIdle | Component::Bluetooth
+        )
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Component::Cpu => "cpu",
+            Component::Gpu => "gpu",
+            Component::WifiTx => "wifi-tx",
+            Component::WifiRx => "wifi-rx",
+            Component::WifiIdle => "wifi-idle",
+            Component::Bluetooth => "bluetooth",
+            Component::Display => "display",
+            Component::Base => "base",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Integrates per-component power samples into an energy ledger.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_sim::power::{Component, PowerMeter};
+/// use gbooster_sim::time::SimDuration;
+///
+/// let mut meter = PowerMeter::new();
+/// meter.record(Component::Gpu, 3.0, SimDuration::from_secs(10));
+/// meter.record(Component::Cpu, 0.6, SimDuration::from_secs(10));
+/// assert!((meter.total_joules() - 36.0).abs() < 1e-9);
+/// assert!((meter.joules(Component::Gpu) - 30.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PowerMeter {
+    ledger: BTreeMap<Component, f64>,
+    elapsed: SimDuration,
+}
+
+impl PowerMeter {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `watts` drawn by `component` for `duration`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `watts` is negative or not finite.
+    pub fn record(&mut self, component: Component, watts: f64, duration: SimDuration) {
+        assert!(
+            watts.is_finite() && watts >= 0.0,
+            "invalid power sample: {watts} W"
+        );
+        *self.ledger.entry(component).or_insert(0.0) += watts * duration.as_secs_f64();
+    }
+
+    /// Adds a pre-integrated energy amount in joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `joules` is negative or not finite.
+    pub fn record_joules(&mut self, component: Component, joules: f64) {
+        assert!(
+            joules.is_finite() && joules >= 0.0,
+            "invalid energy sample: {joules} J"
+        );
+        *self.ledger.entry(component).or_insert(0.0) += joules;
+    }
+
+    /// Notes that `duration` of wall-clock time elapsed (used for average
+    /// power). Independent of `record` calls.
+    pub fn advance(&mut self, duration: SimDuration) {
+        self.elapsed += duration;
+    }
+
+    /// Energy attributed to one component, in joules.
+    pub fn joules(&self, component: Component) -> f64 {
+        self.ledger.get(&component).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy across all components, in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.ledger.values().sum()
+    }
+
+    /// Energy attributed to the radios (WiFi states + Bluetooth).
+    pub fn radio_joules(&self) -> f64 {
+        self.ledger
+            .iter()
+            .filter(|(c, _)| c.is_radio())
+            .map(|(_, j)| j)
+            .sum()
+    }
+
+    /// Recorded wall-clock span.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Average whole-system power over the recorded span, in watts.
+    ///
+    /// Returns 0 if no time has been recorded via [`PowerMeter::advance`].
+    pub fn average_power_w(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total_joules() / secs
+        }
+    }
+
+    /// This ledger's total energy normalized to `baseline`'s total
+    /// (the presentation of Fig. 6: "normalized to local execution").
+    ///
+    /// Returns 1.0 when the baseline recorded no energy.
+    pub fn normalized_to(&self, baseline: &PowerMeter) -> f64 {
+        let base = baseline.total_joules();
+        if base == 0.0 {
+            1.0
+        } else {
+            self.total_joules() / base
+        }
+    }
+
+    /// Per-component breakdown, sorted by component.
+    pub fn breakdown(&self) -> Vec<(Component, f64)> {
+        self.ledger.iter().map(|(&c, &j)| (c, j)).collect()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &PowerMeter) {
+        for (&c, &j) in &other.ledger {
+            *self.ledger.entry(c).or_insert(0.0) += j;
+        }
+        self.elapsed += other.elapsed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_integrates_power_over_time() {
+        let mut m = PowerMeter::new();
+        m.record(Component::WifiTx, 2.0, SimDuration::from_secs(5));
+        m.record(Component::WifiTx, 2.0, SimDuration::from_secs(5));
+        assert!((m.joules(Component::WifiTx) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radio_total_excludes_compute() {
+        let mut m = PowerMeter::new();
+        m.record(Component::Gpu, 3.0, SimDuration::from_secs(1));
+        m.record(Component::Bluetooth, 0.1, SimDuration::from_secs(1));
+        m.record(Component::WifiIdle, 0.25, SimDuration::from_secs(1));
+        assert!((m.radio_joules() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let mut local = PowerMeter::new();
+        local.record(Component::Gpu, 3.0, SimDuration::from_secs(10));
+        let mut offloaded = PowerMeter::new();
+        offloaded.record(Component::WifiTx, 1.0, SimDuration::from_secs(9));
+        let ratio = offloaded.normalized_to(&local);
+        assert!((ratio - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization_with_empty_baseline_is_one() {
+        let empty = PowerMeter::new();
+        let mut m = PowerMeter::new();
+        m.record(Component::Cpu, 1.0, SimDuration::from_secs(1));
+        assert_eq!(m.normalized_to(&empty), 1.0);
+    }
+
+    #[test]
+    fn average_power_uses_advanced_time() {
+        let mut m = PowerMeter::new();
+        m.record(Component::Cpu, 2.0, SimDuration::from_secs(10));
+        m.advance(SimDuration::from_secs(10));
+        assert!((m.average_power_w() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_ledgers() {
+        let mut a = PowerMeter::new();
+        a.record_joules(Component::Cpu, 5.0);
+        let mut b = PowerMeter::new();
+        b.record_joules(Component::Cpu, 7.0);
+        b.record_joules(Component::Display, 1.0);
+        a.merge(&b);
+        assert!((a.joules(Component::Cpu) - 12.0).abs() < 1e-9);
+        assert!((a.total_joules() - 13.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_is_sorted_and_complete() {
+        let mut m = PowerMeter::new();
+        m.record_joules(Component::Display, 1.0);
+        m.record_joules(Component::Cpu, 2.0);
+        let bd = m.breakdown();
+        assert_eq!(bd.len(), 2);
+        assert_eq!(bd[0].0, Component::Cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid power sample")]
+    fn rejects_negative_power() {
+        let mut m = PowerMeter::new();
+        m.record(Component::Cpu, -1.0, SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,87 @@
+//! The non-gaming applications of Table III (Section VII-E).
+//!
+//! "We measure the effectiveness of application acceleration and power
+//! saving of three popular non-gaming applications including Ebook
+//! Reader, Yahoo Weather, and Tumblr." All three are UI-bound: no FPS
+//! boost, ≈7 % average energy saving.
+
+use crate::genre::{Genre, GenreProfile};
+
+/// One non-gaming application.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AppTitle {
+    /// Application name as in Table III.
+    pub name: &'static str,
+    /// The scripted interaction used for repeatable tests (the paper
+    /// drives these with MonkeyRunner).
+    pub scripted_interaction: &'static str,
+    /// Intensity scalar on the UI profile.
+    pub intensity: f64,
+}
+
+impl AppTitle {
+    /// Ebook Reader — "reading an article".
+    pub fn ebook_reader() -> Self {
+        AppTitle {
+            name: "Ebook Reader",
+            scripted_interaction: "reading an article",
+            intensity: 0.9,
+        }
+    }
+
+    /// Yahoo Weather — "viewing weather information".
+    pub fn yahoo_weather() -> Self {
+        AppTitle {
+            name: "Yahoo Weather",
+            scripted_interaction: "viewing weather information",
+            intensity: 1.1,
+        }
+    }
+
+    /// Tumblr — "browsing a post".
+    pub fn tumblr() -> Self {
+        AppTitle {
+            name: "Tumblr",
+            scripted_interaction: "browsing a post",
+            intensity: 1.0,
+        }
+    }
+
+    /// The Table III set, in order.
+    pub fn all() -> Vec<AppTitle> {
+        vec![Self::ebook_reader(), Self::yahoo_weather(), Self::tumblr()]
+    }
+
+    /// UI genre profile shared by all three.
+    pub fn profile(&self) -> GenreProfile {
+        GenreProfile::for_genre(Genre::AppUi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_lists_three_apps() {
+        let apps = AppTitle::all();
+        assert_eq!(apps.len(), 3);
+        assert_eq!(apps[0].name, "Ebook Reader");
+        assert_eq!(apps[1].name, "Yahoo Weather");
+        assert_eq!(apps[2].name, "Tumblr");
+    }
+
+    #[test]
+    fn apps_are_ui_genre() {
+        for app in AppTitle::all() {
+            assert_eq!(app.profile().genre, Genre::AppUi);
+        }
+    }
+
+    #[test]
+    fn ui_apps_are_far_lighter_than_games() {
+        let ui = AppTitle::tumblr().profile().effective_fill(1920, 1080, 1.0);
+        let action = GenreProfile::for_genre(Genre::Action).effective_fill(1920, 1080, 1.0);
+        assert!(action as f64 / ui as f64 > 15.0);
+    }
+}

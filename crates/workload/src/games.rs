@@ -1,0 +1,162 @@
+//! The six-game evaluation corpus (Table II of the paper).
+//!
+//! | id | title            | genre        | package size |
+//! |----|------------------|--------------|--------------|
+//! | G1 | GTA San Andreas  | action       | 2.41 GB      |
+//! | G2 | Modern Combat    | action       | 0.89 GB      |
+//! | G3 | Star Wars (KOTOR)| role playing | 2.4 GB       |
+//! | G4 | Final Fantasy    | role playing | 3.05 GB      |
+//! | G5 | Candy Crush      | puzzle       | 0.17 GB      |
+//! | G6 | Cut the Rope     | puzzle       | 0.12 GB      |
+
+use crate::genre::{Genre, GenreProfile};
+
+/// One game of the evaluation corpus.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GameTitle {
+    /// Paper identifier (G1–G6).
+    pub id: &'static str,
+    /// Commercial title.
+    pub name: &'static str,
+    /// Genre.
+    pub genre: Genre,
+    /// Installation package size in gigabytes (Table II).
+    pub package_gb: f64,
+    /// Per-title intensity scalar applied to the genre profile (titles
+    /// within a genre differ slightly; calibrated to Fig. 5's spread).
+    pub intensity: f64,
+}
+
+impl GameTitle {
+    /// G1: GTA San Andreas — the heaviest action title.
+    pub fn g1_gta_san_andreas() -> Self {
+        GameTitle {
+            id: "G1",
+            name: "GTA San Andreas",
+            genre: Genre::Action,
+            package_gb: 2.41,
+            intensity: 1.08,
+        }
+    }
+
+    /// G2: Modern Combat 5 — action, slightly lighter than G1.
+    pub fn g2_modern_combat() -> Self {
+        GameTitle {
+            id: "G2",
+            name: "Modern Combat",
+            genre: Genre::Action,
+            package_gb: 0.89,
+            intensity: 1.00,
+        }
+    }
+
+    /// G3: Star Wars: KOTOR — role playing.
+    pub fn g3_star_wars() -> Self {
+        GameTitle {
+            id: "G3",
+            name: "Star Wars",
+            genre: Genre::RolePlaying,
+            package_gb: 2.4,
+            intensity: 1.00,
+        }
+    }
+
+    /// G4: Final Fantasy — role playing, slightly heavier.
+    pub fn g4_final_fantasy() -> Self {
+        GameTitle {
+            id: "G4",
+            name: "Final Fantasy",
+            genre: Genre::RolePlaying,
+            package_gb: 3.05,
+            intensity: 1.06,
+        }
+    }
+
+    /// G5: Candy Crush — puzzle.
+    pub fn g5_candy_crush() -> Self {
+        GameTitle {
+            id: "G5",
+            name: "Candy Crush",
+            genre: Genre::Puzzle,
+            package_gb: 0.17,
+            intensity: 1.00,
+        }
+    }
+
+    /// G6: Cut the Rope — puzzle, lightest of the corpus.
+    pub fn g6_cut_the_rope() -> Self {
+        GameTitle {
+            id: "G6",
+            name: "Cut the Rope",
+            genre: Genre::Puzzle,
+            package_gb: 0.12,
+            intensity: 0.92,
+        }
+    }
+
+    /// The whole Table II corpus, in order.
+    pub fn corpus() -> Vec<GameTitle> {
+        vec![
+            Self::g1_gta_san_andreas(),
+            Self::g2_modern_combat(),
+            Self::g3_star_wars(),
+            Self::g4_final_fantasy(),
+            Self::g5_candy_crush(),
+            Self::g6_cut_the_rope(),
+        ]
+    }
+
+    /// The genre profile, already scaled by this title's intensity where
+    /// the scaling is multiplicative (fill work); other profile fields are
+    /// shared genre-wide.
+    pub fn profile(&self) -> GenreProfile {
+        GenreProfile::for_genre(self.genre)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_matches_table2() {
+        let corpus = GameTitle::corpus();
+        assert_eq!(corpus.len(), 6);
+        assert_eq!(corpus[0].id, "G1");
+        assert_eq!(corpus[0].package_gb, 2.41);
+        assert_eq!(corpus[3].name, "Final Fantasy");
+        assert_eq!(corpus[5].genre, Genre::Puzzle);
+    }
+
+    #[test]
+    fn genres_span_the_three_major_categories() {
+        let corpus = GameTitle::corpus();
+        let actions = corpus.iter().filter(|g| g.genre == Genre::Action).count();
+        let rpgs = corpus
+            .iter()
+            .filter(|g| g.genre == Genre::RolePlaying)
+            .count();
+        let puzzles = corpus.iter().filter(|g| g.genre == Genre::Puzzle).count();
+        assert_eq!((actions, rpgs, puzzles), (2, 2, 2));
+    }
+
+    #[test]
+    fn majority_have_large_packages() {
+        // "The majority of them have a large installation package size
+        // (above 500 MB)" — Section VII-A.
+        let over_half_gb = GameTitle::corpus()
+            .iter()
+            .filter(|g| g.package_gb > 0.5)
+            .count();
+        assert!(over_half_gb >= 4);
+    }
+
+    #[test]
+    fn profiles_follow_genres() {
+        assert_eq!(
+            GameTitle::g1_gta_san_andreas().profile().genre,
+            Genre::Action
+        );
+        assert_eq!(GameTitle::g5_candy_crush().profile().genre, Genre::Puzzle);
+    }
+}

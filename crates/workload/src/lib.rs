@@ -1,0 +1,29 @@
+//! # gbooster-workload
+//!
+//! Synthetic game and application workloads standing in for the paper's
+//! six commercial games (Table II) and three non-gaming apps (Table III).
+//!
+//! The evaluation discriminates by *genre GPU intensity*: action games
+//! (GTA San Andreas, Modern Combat 5) saturate the phone GPU, role-playing
+//! games (Star Wars KOTOR, Final Fantasy) are moderate, puzzle games
+//! (Candy Crush, Cut the Rope) are light, and non-gaming UI apps barely
+//! touch the GPU. Each [`genre::GenreProfile`] encodes that intensity as
+//! overdraw × shader complexity plus scene-change dynamics, calibrated so
+//! local median FPS on the simulated Nexus 5 / LG G5 matches Fig. 5.
+//!
+//! [`tracegen::TraceGenerator`] turns a profile into an actual OpenGL ES
+//! command stream per frame — with client-memory vertex pointers (to
+//! exercise deferred serialization), texture churn, and the inter-frame
+//! command redundancy the LRU cache exploits. [`touch::TouchGenerator`]
+//! supplies the bursty input stream that feeds the ARMAX predictor's
+//! exogenous attribute 1.
+
+pub mod apps;
+pub mod games;
+pub mod genre;
+pub mod touch;
+pub mod tracegen;
+
+pub use games::GameTitle;
+pub use genre::{Genre, GenreProfile};
+pub use tracegen::{FrameTrace, TraceGenerator};

@@ -1,0 +1,186 @@
+//! Touch input generation.
+//!
+//! Two generators:
+//!
+//! * [`TouchGenerator`] — stochastic, bursty gameplay input. Bursts are
+//!   the *exogenous shocks* of Section V-B: "burst touching events from
+//!   users may lead to drastic changes in game scenes and transmitting the
+//!   varying scenes may escalate the network traffic."
+//! * [`ScriptedTouches`] — a MonkeyRunner-style fixed schedule (ref \[42\])
+//!   for the repeatable non-gaming tests of Section VII-E.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Stochastic touch model: a base Poisson-ish rate plus occasional bursts.
+#[derive(Clone, Debug)]
+pub struct TouchGenerator {
+    rng: StdRng,
+    base_rate_hz: f64,
+    burst_remaining: u32,
+    burst_rate_hz: f64,
+    burst_prob_per_sec: f64,
+}
+
+impl TouchGenerator {
+    /// Creates a generator with the genre's mean `rate_hz`, seeded for
+    /// reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is negative or not finite.
+    pub fn new(rate_hz: f64, seed: u64) -> Self {
+        assert!(rate_hz.is_finite() && rate_hz >= 0.0, "invalid touch rate");
+        TouchGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            base_rate_hz: rate_hz,
+            burst_remaining: 0,
+            burst_rate_hz: rate_hz * 4.0,
+            burst_prob_per_sec: 0.1,
+        }
+    }
+
+    /// Touches occurring in the next window of `dt_secs` seconds.
+    ///
+    /// Returns the count (attribute 1 of the ARMAX predictor is this
+    /// count per window, read from `/proc/interrupts` in the real system).
+    pub fn next_window(&mut self, dt_secs: f64) -> u32 {
+        // Enter/exit bursts.
+        if self.burst_remaining == 0 && self.rng.gen_bool((self.burst_prob_per_sec * dt_secs).min(1.0))
+        {
+            self.burst_remaining = self.rng.gen_range(2..6);
+        }
+        let rate = if self.burst_remaining > 0 {
+            self.burst_remaining -= 1;
+            self.burst_rate_hz
+        } else {
+            self.base_rate_hz
+        };
+        let expected = rate * dt_secs;
+        // Poisson approximation via Bernoulli sum, adequate for small dt.
+        let whole = expected.floor() as u32;
+        let frac = expected - whole as f64;
+        whole + if frac > 0.0 && self.rng.gen_bool(frac.min(1.0)) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// True if a burst is in progress (used by tests and the traffic
+    /// generator to couple scene changes to input).
+    pub fn in_burst(&self) -> bool {
+        self.burst_remaining > 0
+    }
+}
+
+/// A fixed MonkeyRunner-style schedule: `(time_sec, touches)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_workload::touch::ScriptedTouches;
+///
+/// let script = ScriptedTouches::new(vec![(0.5, 2), (1.0, 1)]);
+/// assert_eq!(script.touches_between(0.0, 0.6), 2);
+/// assert_eq!(script.touches_between(0.6, 1.5), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScriptedTouches {
+    events: Vec<(f64, u32)>,
+}
+
+impl ScriptedTouches {
+    /// Creates a schedule; events are sorted by time.
+    pub fn new(mut events: Vec<(f64, u32)>) -> Self {
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        ScriptedTouches { events }
+    }
+
+    /// The paper's non-gaming script: a page turn / scroll every ~2 s for
+    /// a 60 s run, repeated identically across trials.
+    pub fn browsing_session() -> Self {
+        let events = (0..30).map(|i| (2.0 * i as f64 + 1.0, 1)).collect();
+        ScriptedTouches::new(events)
+    }
+
+    /// Touch count in the half-open interval `[from, to)` seconds.
+    pub fn touches_between(&self, from: f64, to: f64) -> u32 {
+        self.events
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Total scheduled touches.
+    pub fn total(&self) -> u32 {
+        self.events.iter().map(|(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_is_respected_on_average() {
+        let mut gen = TouchGenerator::new(5.0, 42);
+        let total: u32 = (0..1000).map(|_| gen.next_window(0.5)).sum();
+        let rate = total as f64 / 500.0;
+        // Bursts push the average above base but same order of magnitude.
+        assert!((4.0..=12.0).contains(&rate), "rate {rate}");
+    }
+
+    #[test]
+    fn zero_rate_without_bursts_can_still_burst() {
+        let mut gen = TouchGenerator::new(0.0, 1);
+        let total: u32 = (0..200).map(|_| gen.next_window(0.5)).sum();
+        // base 0 and burst 0 (4x0): always zero.
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TouchGenerator::new(3.0, 9);
+        let mut b = TouchGenerator::new(3.0, 9);
+        for _ in 0..100 {
+            assert_eq!(a.next_window(0.5), b.next_window(0.5));
+        }
+    }
+
+    #[test]
+    fn bursts_occur() {
+        let mut gen = TouchGenerator::new(2.0, 7);
+        let mut saw_burst = false;
+        for _ in 0..500 {
+            gen.next_window(0.5);
+            saw_burst |= gen.in_burst();
+        }
+        assert!(saw_burst);
+    }
+
+    #[test]
+    fn script_is_repeatable() {
+        let a = ScriptedTouches::browsing_session();
+        let b = ScriptedTouches::browsing_session();
+        for w in 0..60 {
+            let (f, t) = (w as f64, w as f64 + 1.0);
+            assert_eq!(a.touches_between(f, t), b.touches_between(f, t));
+        }
+        assert_eq!(a.total(), 30);
+    }
+
+    #[test]
+    fn script_sorts_events() {
+        let s = ScriptedTouches::new(vec![(3.0, 1), (1.0, 2)]);
+        assert_eq!(s.touches_between(0.0, 2.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid touch rate")]
+    fn negative_rate_panics() {
+        let _ = TouchGenerator::new(-1.0, 0);
+    }
+}

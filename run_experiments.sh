@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the GBooster paper (see
+# EXPERIMENTS.md). Outputs land in ./results/.
+set -euo pipefail
+mkdir -p results
+BINARIES=(
+  table1 table2 fig1_thermal motivation_power fig5_acceleration
+  fig6_energy fig7_multidevice table3_nongaming cloud_comparison
+  overhead prediction_quality traffic_reduction ablation_traffic
+  ablation_offload multiuser_queues battery_lifetime
+)
+for bin in "${BINARIES[@]}"; do
+  echo "== ${bin}"
+  cargo run --release -q -p gbooster-bench --bin "${bin}" | tee "results/${bin}.txt"
+done
+echo "All experiment outputs written to ./results/"

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the whole GBooster workspace.
+pub use gbooster_codec as codec;
+pub use gbooster_core as core;
+pub use gbooster_forecast as forecast;
+pub use gbooster_gles as gles;
+pub use gbooster_linker as linker;
+pub use gbooster_net as net;
+pub use gbooster_sim as sim;
+pub use gbooster_workload as workload;

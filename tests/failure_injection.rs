@@ -1,0 +1,213 @@
+//! Failure-injection tests: the system must degrade loudly and safely,
+//! never silently corrupt.
+
+use std::sync::Arc;
+
+use gbooster::core::forward::{CommandForwarder, ServiceReceiver};
+use gbooster::core::GBoosterError;
+use gbooster::gles::command::{ClientMemory, ClientPtr, GlCommand, VertexSource};
+use gbooster::gles::exec::{ExecMode, SoftGpu};
+use gbooster::gles::types::{AttribType, GlError, Primitive, ProgramId, TextureId, TextureTarget};
+use gbooster::net::channel::ChannelModel;
+use gbooster::net::rudp::{simulate_transfer, RudpConfig};
+use gbooster::workload::genre::GenreProfile;
+use gbooster::workload::tracegen::TraceGenerator;
+
+/// A forwarded frame with one flipped byte must decode to an error or a
+/// *different* command list — never panic, never silently pass corrupt
+/// state through unnoticed by the checksummed layers.
+#[test]
+fn corrupted_wire_frames_never_panic() {
+    let mut gen = TraceGenerator::new(GenreProfile::action(), 1.0, 160, 120, 5);
+    let mut fw = CommandForwarder::new();
+    let setup = gen.setup_trace();
+    let fwd = fw
+        .forward_frame(&setup.commands, gen.client_memory())
+        .unwrap();
+    // Sample ~128 corruption positions spread over the frame.
+    let step = (fwd.wire.len() / 128).max(1);
+    for corrupt_at in (0..fwd.wire.len()).step_by(step) {
+        let mut wire = fwd.wire.clone();
+        wire[corrupt_at] ^= 0x5a;
+        let mut rx = ServiceReceiver::new();
+        // Must return (Ok or Err), never panic.
+        let _ = rx.receive(&wire);
+    }
+}
+
+/// Truncation at every length must be detected or produce a prefix —
+/// never a panic.
+#[test]
+fn truncated_wire_frames_never_panic() {
+    let mut gen = TraceGenerator::new(GenreProfile::puzzle(), 1.0, 64, 64, 2);
+    let mut fw = CommandForwarder::new();
+    let frame = gen.setup_trace();
+    let fwd = fw.forward_frame(&frame.commands, gen.client_memory()).unwrap();
+    let step = (fwd.wire.len() / 200).max(1);
+    for cut in (0..fwd.wire.len()).step_by(step) {
+        let mut rx = ServiceReceiver::new();
+        let _ = rx.receive(&fwd.wire[..cut]);
+    }
+}
+
+/// A receiver that missed earlier frames reports desynchronization
+/// instead of replaying wrong cached commands.
+#[test]
+fn late_joining_receiver_detects_desync() {
+    let mem = ClientMemory::new();
+    let mut fw = CommandForwarder::new();
+    let frame = vec![GlCommand::clear_all(), GlCommand::SwapBuffers];
+    fw.forward_frame(&frame, &mem).unwrap(); // frame 1: receiver missed it
+    let second = fw.forward_frame(&frame, &mem).unwrap(); // all Ref tokens
+    let mut late_rx = ServiceReceiver::new();
+    match late_rx.receive(&second.wire) {
+        Err(GBoosterError::CacheDesync(_)) => {}
+        other => panic!("expected CacheDesync, got {other:?}"),
+    }
+}
+
+/// Dangling client pointers surface as errors at draw time — the exact
+/// crash class the deferred-serialization design avoids guessing about.
+#[test]
+fn dangling_client_pointer_is_reported_not_guessed() {
+    let mut mem = ClientMemory::new();
+    let ptr = mem.alloc(vec![0u8; 8]);
+    mem.free(ptr);
+    let mut fw = CommandForwarder::new();
+    let frame = vec![
+        GlCommand::VertexAttribPointer {
+            index: 0,
+            size: 2,
+            ty: AttribType::F32,
+            normalized: false,
+            stride: 0,
+            source: VertexSource::ClientMemory(ptr),
+        },
+        GlCommand::DrawArrays {
+            mode: Primitive::Triangles,
+            first: 0,
+            count: 3,
+        },
+    ];
+    let err = fw.forward_frame(&frame, &mem).unwrap_err();
+    assert!(matches!(err, GBoosterError::Wire(_)), "got {err:?}");
+}
+
+/// An undersized client region is caught when the draw reveals the true
+/// length requirement.
+#[test]
+fn undersized_client_region_is_caught() {
+    let mut mem = ClientMemory::new();
+    let ptr = mem.alloc(vec![0u8; 16]); // 2 vertices only
+    let mut fw = CommandForwarder::new();
+    let frame = vec![
+        GlCommand::VertexAttribPointer {
+            index: 0,
+            size: 2,
+            ty: AttribType::F32,
+            normalized: false,
+            stride: 0,
+            source: VertexSource::ClientMemory(ptr),
+        },
+        GlCommand::DrawArrays {
+            mode: Primitive::Triangles,
+            first: 0,
+            count: 6, // needs 48 bytes
+        },
+    ];
+    assert!(fw.forward_frame(&frame, &mem).is_err());
+}
+
+/// Replaying a stream that references objects the app never created must
+/// error on the service device, not corrupt its context.
+#[test]
+fn invalid_gl_stream_is_rejected_by_the_replica() {
+    let mut gpu = SoftGpu::new(32, 32, ExecMode::CostOnly);
+    let err = gpu
+        .execute(&GlCommand::BindTexture {
+            target: TextureTarget::Texture2D,
+            texture: TextureId(999),
+        })
+        .unwrap_err();
+    assert!(matches!(err, GlError::InvalidHandle(_)));
+    // Drawing without a program is equally rejected.
+    let err = gpu
+        .execute(&GlCommand::DrawArrays {
+            mode: Primitive::Triangles,
+            first: 0,
+            count: 3,
+        })
+        .unwrap_err();
+    assert!(matches!(err, GlError::InvalidOperation(_)));
+    // The context remains usable after errors.
+    gpu.execute(&GlCommand::CreateProgram(ProgramId(1))).unwrap();
+    gpu.execute(&GlCommand::LinkProgram(ProgramId(1))).unwrap();
+    gpu.execute(&GlCommand::UseProgram(ProgramId(1))).unwrap();
+}
+
+/// Reliability under severe loss: everything still arrives, in order.
+#[test]
+fn rudp_survives_brutal_channels() {
+    for (loss, seed) in [(0.2, 1u64), (0.3, 2), (0.25, 3)] {
+        let ch = ChannelModel::lossy(loss);
+        let stats = simulate_transfer(80_000, &ch, RudpConfig::default(), seed);
+        assert_eq!(stats.bytes, 80_000, "loss {loss} seed {seed}");
+        assert!(stats.retransmissions > 0);
+    }
+}
+
+/// A command with a huge (but bounded) payload flows through the whole
+/// pipeline without overflow.
+#[test]
+fn oversized_texture_uploads_round_trip() {
+    let mem = ClientMemory::new();
+    let mut fw = CommandForwarder::new();
+    let mut rx = ServiceReceiver::new();
+    let big = vec![7u8; 1024 * 1024 * 4];
+    let frame = vec![GlCommand::TexImage2D {
+        target: TextureTarget::Texture2D,
+        level: 0,
+        format: gbooster::gles::types::PixelFormat::Rgba8,
+        width: 1024,
+        height: 1024,
+        data: Arc::new(big.clone()),
+    }];
+    let fwd = fw.forward_frame(&frame, &mem).unwrap();
+    let decoded = rx.receive(&fwd.wire).unwrap();
+    let GlCommand::TexImage2D { data, .. } = &decoded[0] else {
+        panic!("wrong command decoded");
+    };
+    assert_eq!(data.len(), big.len());
+}
+
+/// Client-pointer reuse across frames: freeing memory *after* the frames
+/// that referenced it were forwarded is safe.
+#[test]
+fn pointer_lifetime_across_frames() {
+    let mut mem = ClientMemory::new();
+    let ptr = mem.alloc(vec![1u8; 48]);
+    let mut fw = CommandForwarder::new();
+    let frame = |p: ClientPtr| {
+        vec![
+            GlCommand::VertexAttribPointer {
+                index: 0,
+                size: 2,
+                ty: AttribType::F32,
+                normalized: false,
+                stride: 0,
+                source: VertexSource::ClientMemory(p),
+            },
+            GlCommand::DrawArrays {
+                mode: Primitive::Triangles,
+                first: 0,
+                count: 6,
+            },
+            GlCommand::SwapBuffers,
+        ]
+    };
+    fw.forward_frame(&frame(ptr), &mem).unwrap();
+    fw.forward_frame(&frame(ptr), &mem).unwrap();
+    mem.free(ptr);
+    // A later frame using the dead pointer errors cleanly.
+    assert!(fw.forward_frame(&frame(ptr), &mem).is_err());
+}

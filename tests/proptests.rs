@@ -1,0 +1,283 @@
+//! Property-based tests on the core data structures and invariants.
+
+use std::sync::Arc;
+
+use gbooster::codec::lru::CommandCache;
+use gbooster::codec::{jpeg, lz4};
+use gbooster::codec::turbo::{TurboDecoder, TurboEncoder};
+use gbooster::gles::command::{GlCommand, UniformValue, VertexSource};
+use gbooster::gles::serialize::{decode_command, decode_stream, encode_command, encode_stream};
+use gbooster::gles::types::{
+    AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, ClearMask,
+    IndexType, PixelFormat, Primitive, ProgramId, ShaderId, ShaderKind, TextureId,
+    TextureTarget, UniformLocation,
+};
+use gbooster::net::channel::ChannelModel;
+use gbooster::net::rudp::{simulate_transfer, RudpConfig};
+use gbooster::sim::display::FpsRecorder;
+use proptest::prelude::*;
+
+fn arb_primitive() -> impl Strategy<Value = Primitive> {
+    prop_oneof![
+        Just(Primitive::Points),
+        Just(Primitive::Lines),
+        Just(Primitive::Triangles),
+        Just(Primitive::TriangleStrip),
+        Just(Primitive::TriangleFan),
+    ]
+}
+
+fn arb_uniform() -> impl Strategy<Value = UniformValue> {
+    prop_oneof![
+        any::<f32>().prop_map(UniformValue::F1),
+        any::<[f32; 2]>().prop_map(UniformValue::F2),
+        any::<[f32; 3]>().prop_map(UniformValue::F3),
+        any::<[f32; 4]>().prop_map(UniformValue::F4),
+        any::<i32>().prop_map(UniformValue::I1),
+        prop::array::uniform16(any::<f32>()).prop_map(UniformValue::Mat4),
+    ]
+}
+
+/// Arbitrary *serializable* commands (no unresolved client pointers).
+fn arb_command() -> impl Strategy<Value = GlCommand> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| GlCommand::GenTexture(TextureId(v))),
+        any::<u32>().prop_map(|v| GlCommand::DeleteBuffer(BufferId(v))),
+        any::<u32>().prop_map(|v| GlCommand::UseProgram(ProgramId(v))),
+        (any::<u32>(), any::<bool>()).prop_map(|(id, vertex)| GlCommand::CreateShader(
+            ShaderId(id),
+            if vertex { ShaderKind::Vertex } else { ShaderKind::Fragment }
+        )),
+        "[ -~]{0,64}".prop_map(|source| GlCommand::ShaderSource {
+            shader: ShaderId(1),
+            source,
+        }),
+        (any::<bool>(), prop::collection::vec(any::<u8>(), 0..256)).prop_map(|(elem, data)| {
+            GlCommand::BufferData {
+                target: if elem {
+                    BufferTarget::ElementArray
+                } else {
+                    BufferTarget::Array
+                },
+                data: Arc::new(data),
+                usage: BufferUsage::DynamicDraw,
+            }
+        }),
+        (any::<u8>(), any::<u8>()).prop_map(|(w, h)| {
+            let (w, h) = (w as u32 % 8 + 1, h as u32 % 8 + 1);
+            GlCommand::TexImage2D {
+                target: TextureTarget::Texture2D,
+                level: 0,
+                format: PixelFormat::Rgba8,
+                width: w,
+                height: h,
+                data: Arc::new(vec![0xAB; (w * h * 4) as usize]),
+            }
+        }),
+        (any::<f32>(), any::<f32>(), any::<f32>(), any::<f32>()).prop_map(|(r, g, b, a)| {
+            GlCommand::ClearColor { r, g, b, a }
+        }),
+        (any::<u32>(), arb_uniform()).prop_map(|(loc, value)| GlCommand::Uniform {
+            location: UniformLocation(loc),
+            value,
+        }),
+        (arb_primitive(), any::<u16>(), 1u32..10_000).prop_map(|(mode, first, count)| {
+            GlCommand::DrawArrays {
+                mode,
+                first: first as u32,
+                count,
+            }
+        }),
+        (0u32..16, 1u8..=4, any::<bool>(), any::<u32>()).prop_map(
+            |(index, size, normalized, off)| GlCommand::VertexAttribPointer {
+                index,
+                size,
+                ty: AttribType::F32,
+                normalized,
+                stride: 0,
+                source: VertexSource::BufferOffset(off),
+            }
+        ),
+        prop::collection::vec(any::<u8>(), 0..128).prop_map(|data| {
+            GlCommand::VertexAttribPointer {
+                index: 0,
+                size: 2,
+                ty: AttribType::I16,
+                normalized: false,
+                stride: 4,
+                source: VertexSource::Materialized(Arc::new(data)),
+            }
+        }),
+        (any::<bool>(), any::<bool>(), any::<bool>()).prop_map(|(color, depth, stencil)| {
+            GlCommand::Clear(ClearMask {
+                color,
+                depth,
+                stencil,
+            })
+        }),
+        Just(GlCommand::Enable(Capability::Blend)),
+        Just(GlCommand::BlendFunc {
+            src: BlendFactor::SrcAlpha,
+            dst: BlendFactor::OneMinusSrcAlpha,
+        }),
+        (1u32..1000, prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(count, data)| {
+            GlCommand::DrawElements {
+                mode: Primitive::Triangles,
+                count,
+                index_type: IndexType::U16,
+                indices: gbooster::gles::command::IndexSource::Inline(Arc::new(data)),
+            }
+        }),
+        Just(GlCommand::SwapBuffers),
+        Just(GlCommand::Finish),
+    ]
+}
+
+fn bits_equal(a: &GlCommand, b: &GlCommand) -> bool {
+    // Float fields must survive bit-exactly (NaN != NaN under PartialEq).
+    format!("{a:?}") == format!("{b:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wire_roundtrip_single_command(cmd in arb_command()) {
+        let mut buf = Vec::new();
+        encode_command(&cmd, &mut buf).unwrap();
+        let (decoded, used) = decode_command(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert!(bits_equal(&decoded, &cmd), "{:?} != {:?}", decoded, cmd);
+    }
+
+    #[test]
+    fn wire_roundtrip_streams(cmds in prop::collection::vec(arb_command(), 0..40)) {
+        let bytes = encode_stream(&cmds).unwrap();
+        let decoded = decode_stream(&bytes).unwrap();
+        prop_assert_eq!(decoded.len(), cmds.len());
+        for (a, b) in decoded.iter().zip(cmds.iter()) {
+            prop_assert!(bits_equal(a, b));
+        }
+    }
+
+    #[test]
+    fn wire_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_stream(&bytes); // error or success, never a panic
+    }
+
+    #[test]
+    fn lz4_roundtrip_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let compressed = lz4::compress(&data);
+        let back = lz4::decompress(&compressed, data.len()).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn lz4_roundtrip_repetitive_bytes(
+        unit in prop::collection::vec(any::<u8>(), 1..16),
+        reps in 1usize..200,
+    ) {
+        let data: Vec<u8> = unit.iter().cycle().take(unit.len() * reps).copied().collect();
+        let compressed = lz4::compress(&data);
+        prop_assert_eq!(lz4::decompress(&compressed, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn lz4_decompress_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = lz4::decompress(&bytes, 1 << 16);
+    }
+
+    #[test]
+    fn jpeg_stays_within_lossy_bounds(
+        w in 1u32..40,
+        h in 1u32..40,
+        quality in 1u8..=100,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rgba = vec![0u8; (w * h * 4) as usize];
+        // Smooth content: lossy error must stay bounded.
+        for (i, b) in rgba.iter_mut().enumerate() {
+            let x = (i / 4) as u32 % w;
+            *b = ((x * 4) as u8).wrapping_add(rng.gen::<u8>() & 1);
+        }
+        let data = jpeg::compress(w, h, &rgba, quality);
+        let (dw, dh, back) = jpeg::decompress(&data).unwrap();
+        prop_assert_eq!((dw, dh), (w, h));
+        prop_assert_eq!(back.len(), rgba.len());
+    }
+
+    #[test]
+    fn turbo_roundtrip_reconstructs(
+        w in 17u32..70,
+        h in 17u32..70,
+        frames in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut enc = TurboEncoder::new(w, h, 90);
+        let mut dec = TurboDecoder::new(w, h);
+        let mut frame = vec![100u8; (w * h * 4) as usize];
+        for _ in 0..frames {
+            // Mutate a random block.
+            let bx = rng.gen_range(0..w);
+            let by = rng.gen_range(0..h);
+            for y in by..(by + 8).min(h) {
+                for x in bx..(bx + 8).min(w) {
+                    let i = ((y * w + x) * 4) as usize;
+                    frame[i] = rng.gen();
+                }
+            }
+            let (bytes, stats) = enc.encode(&frame);
+            let shown = dec.decode(&bytes).unwrap();
+            prop_assert_eq!(shown.len(), frame.len());
+            prop_assert!(stats.tiles_sent <= stats.tiles_total);
+        }
+    }
+
+    #[test]
+    fn lru_sender_receiver_never_desync(
+        stream in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..32), 1..300),
+        capacity in 2usize..64,
+    ) {
+        let mut tx = CommandCache::new(capacity);
+        let mut rx = CommandCache::new(capacity);
+        for msg in &stream {
+            let token = tx.offer(msg);
+            let out = rx.accept(&token);
+            prop_assert_eq!(out.as_deref(), Some(msg.as_slice()));
+        }
+        prop_assert_eq!(tx.len(), rx.len());
+    }
+
+    #[test]
+    fn rudp_delivers_everything_under_any_loss(
+        bytes in 0usize..200_000,
+        loss in 0.0f64..0.35,
+        seed in any::<u64>(),
+    ) {
+        let ch = ChannelModel::lossy(loss);
+        let stats = simulate_transfer(bytes, &ch, RudpConfig::default(), seed);
+        prop_assert_eq!(stats.bytes, bytes as u64);
+    }
+
+    #[test]
+    fn fps_recorder_median_is_bounded_by_samples(
+        intervals in prop::collection::vec(1_000u64..200_000, 10..300),
+    ) {
+        use gbooster::sim::time::SimTime;
+        let mut rec = FpsRecorder::new();
+        let mut t = 0u64;
+        for dt in &intervals {
+            t += dt;
+            rec.record(SimTime::from_micros(t));
+        }
+        let median = rec.median_fps();
+        prop_assert!(median >= 0.0);
+        prop_assert!(median <= 1_001.0, "median {} exceeds 1/min-interval", median);
+        let stability = rec.stability();
+        prop_assert!((0.0..=1.0).contains(&stability));
+    }
+}
