@@ -1,0 +1,161 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace benches use — [`Criterion`],
+//! benchmark groups with [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — as a simple
+//! wall-clock harness: warm up, time a fixed batch, report mean
+//! time-per-iteration (and derived throughput) on stdout. No statistics,
+//! plots or baselines.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Warm-up iterations before measurement.
+const WARMUP_ITERS: u32 = 3;
+
+/// Target measurement wall-time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    per_iter: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up then running a calibrated batch.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        // Calibrate batch size off one timed iteration.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.per_iter = start.elapsed() / iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we report eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            per_iter: Duration::ZERO,
+        };
+        f(&mut b);
+        report(id, b.per_iter, None);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+fn report(id: &str, per_iter: Duration, throughput: Option<Throughput>) {
+    let nanos = per_iter.as_nanos().max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MB/s", n as f64 / 1e6 / (nanos / 1e9))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.2} Melem/s", n as f64 / 1e6 / (nanos / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("bench {id:<44} {:>12.0} ns/iter{rate}", nanos);
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+    }
+}

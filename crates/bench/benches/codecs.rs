@@ -3,8 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use gbooster_codec::lru::CommandCache;
-use gbooster_codec::{jpeg, lz4};
 use gbooster_codec::turbo::TurboEncoder;
+use gbooster_codec::{jpeg, lz4};
 use gbooster_gles::serialize::encode_stream;
 use gbooster_workload::genre::GenreProfile;
 use gbooster_workload::tracegen::TraceGenerator;

@@ -34,7 +34,11 @@ fn main() {
             off_h,
             (off_h / local_h - 1.0) * 100.0
         );
-        assert!(off_h > local_h, "{}: offloading must extend battery life", game.id);
+        assert!(
+            off_h > local_h,
+            "{}: offloading must extend battery life",
+            game.id
+        );
     }
     println!();
     compare(

@@ -31,7 +31,11 @@ fn main() {
     let onset = throttle_onset_s.expect("the G4 must throttle under sustained load");
     println!();
     compare("initial frequency", "600 MHz", "600 MHz");
-    compare("throttled frequency", "100 MHz", &format!("{} MHz", gpu.current_freq_mhz()));
+    compare(
+        "throttled frequency",
+        "100 MHz",
+        &format!("{} MHz", gpu.current_freq_mhz()),
+    );
     compare(
         "throttle onset",
         "~10 minutes",
@@ -40,10 +44,7 @@ fn main() {
     compare(
         "post-onset behaviour",
         "drops drastically, stays low",
-        &format!(
-            "pinned at {} MHz through minute 20",
-            gpu.current_freq_mhz()
-        ),
+        &format!("pinned at {} MHz through minute 20", gpu.current_freq_mhz()),
     );
     assert_eq!(gpu.current_freq_mhz(), 100);
 }

@@ -1,9 +1,14 @@
 //! Fig. 5 (a–e): application acceleration — median FPS, FPS stability and
 //! average response time for G1–G6, local vs GBooster, on the
 //! old-generation Nexus 5 and new-generation LG G5.
+//!
+//! The per-frame overhead `t_p` and the per-stage latency breakdown are
+//! read from each session's telemetry registry snapshot, so the figures
+//! here are the same numbers the end-of-session report prints.
 
 use gbooster_bench::{compare, header, run_local, run_offloaded};
 use gbooster_sim::device::DeviceSpec;
+use gbooster_telemetry::names;
 use gbooster_workload::games::GameTitle;
 
 fn main() {
@@ -13,14 +18,32 @@ fn main() {
             device.name
         ));
         println!(
-            "{:<6} | {:>11} {:>11} | {:>10} {:>10} | {:>11} {:>11}",
-            "game", "fps local", "fps gb", "stab local", "stab gb", "resp local", "resp gb"
+            "{:<6} | {:>11} {:>11} | {:>10} {:>10} | {:>11} {:>11} | {:>8}",
+            "game",
+            "fps local",
+            "fps gb",
+            "stab local",
+            "stab gb",
+            "resp local",
+            "resp gb",
+            "tp p50"
         );
         for game in GameTitle::corpus() {
             let local = run_local(&game, &device);
             let off = run_offloaded(&game, &device);
+            // Eq. 5's per-frame overhead, from the telemetry registry: the
+            // median of the network + decode stages across all frames.
+            let tp_p50_ms: f64 = [
+                names::stage::UPLINK,
+                names::stage::DOWNLINK,
+                names::stage::DECODE,
+            ]
+            .iter()
+            .filter_map(|n| off.telemetry.histogram(n))
+            .map(|h| h.p50_ms())
+            .sum();
             println!(
-                "{:<6} | {:>11.1} {:>11.1} | {:>9.0}% {:>9.0}% | {:>9.1}ms {:>9.1}ms",
+                "{:<6} | {:>11.1} {:>11.1} | {:>9.0}% {:>9.0}% | {:>9.1}ms {:>9.1}ms | {:>6.1}ms",
                 game.id,
                 local.median_fps,
                 off.median_fps,
@@ -28,9 +51,37 @@ fn main() {
                 off.stability * 100.0,
                 local.response_time_ms,
                 off.response_time_ms,
+                tp_p50_ms,
             );
         }
     }
+
+    header("pipeline stage latencies, G1 on Nexus 5 (registry histograms)");
+    let g1 = run_offloaded(&GameTitle::g1_gta_san_andreas(), &DeviceSpec::nexus5());
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>9}",
+        "stage", "p50 ms", "p90 ms", "p99 ms", "max ms"
+    );
+    for stage in names::stage::PIPELINE {
+        if let Some(h) = g1.telemetry.histogram(stage) {
+            println!(
+                "{:<22} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+                stage,
+                h.p50_ms(),
+                h.p90_ms(),
+                h.p99_ms(),
+                h.max() as f64 / 1000.0
+            );
+        }
+    }
+    println!(
+        "\ncache hit rate {:.0}%, compression ratio {:.2}, retransmits {}, mispredictions {} ({} frames traced)",
+        g1.telemetry.cache_hit_rate() * 100.0,
+        g1.telemetry.compression_ratio(),
+        g1.telemetry.retransmit_count(),
+        g1.telemetry.misprediction_count(),
+        g1.trace.len(),
+    );
     println!();
     compare(
         "Nexus 5 action median FPS (G1, G2)",
@@ -57,6 +108,10 @@ fn main() {
         "barely any; response rises",
         "FPS gain <= 4; response rises ~10 ms",
     );
-    compare("max response time (all games)", "below 36 ms", "below 40 ms");
+    compare(
+        "max response time (all games)",
+        "below 36 ms",
+        "below 40 ms",
+    );
     compare("FPS boost (best case)", "up to 85%", "up to ~80%");
 }

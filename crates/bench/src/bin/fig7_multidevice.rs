@@ -36,7 +36,11 @@ fn main() {
         fps_by_n.push(report.median_fps);
     }
     println!();
-    compare("0 -> 1 device", "23 -> 40 FPS", &format!("{:.0} -> {:.0}", fps_by_n[0], fps_by_n[1]));
+    compare(
+        "0 -> 1 device",
+        "23 -> 40 FPS",
+        &format!("{:.0} -> {:.0}", fps_by_n[0], fps_by_n[1]),
+    );
     compare(
         "1 -> 3 devices",
         "40 -> 51 FPS",
@@ -45,7 +49,10 @@ fn main() {
     compare(
         "beyond 3 devices",
         "barely increases, stays stable",
-        &format!("{:.0} -> {:.0} (buffer holds at most 3)", fps_by_n[3], fps_by_n[5]),
+        &format!(
+            "{:.0} -> {:.0} (buffer holds at most 3)",
+            fps_by_n[3], fps_by_n[5]
+        ),
     );
     assert!(fps_by_n[1] > fps_by_n[0] * 1.4, "one device must boost");
     assert!(fps_by_n[3] >= fps_by_n[1], "three devices must not regress");

@@ -18,10 +18,12 @@ fn main() {
         // path to obtain its per-frame fill workload.
         let (w, h) = phone.display;
         let mut soft = SoftGpu::new(w.min(512), h.min(512), ExecMode::CostOnly);
-        soft.execute(&GlCommand::CreateProgram(ProgramId(1))).unwrap();
+        soft.execute(&GlCommand::CreateProgram(ProgramId(1)))
+            .unwrap();
         soft.execute(&GlCommand::LinkProgram(ProgramId(1))).unwrap();
         soft.execute(&GlCommand::UseProgram(ProgramId(1))).unwrap();
-        soft.execute(&GlCommand::EnableVertexAttribArray(0)).unwrap();
+        soft.execute(&GlCommand::EnableVertexAttribArray(0))
+            .unwrap();
         let tri = pack_f32(&[-0.5, -0.5, 0.5, -0.5, 0.0, 0.5]);
         soft.execute(&GlCommand::VertexAttribPointer {
             index: 0,
@@ -44,8 +46,7 @@ fn main() {
         // Scale the measured coverage to the panel and run 60 FPS for a
         // minute; the trivial shader still forces full-rate flips, which
         // is what keeps mobile GPUs hot.
-        let panel_scale =
-            (w as f64 * h as f64) / (frame.image.pixel_count() as f64).max(1.0);
+        let panel_scale = (w as f64 * h as f64) / (frame.image.pixel_count() as f64).max(1.0);
         let frame_pixels = (frame.workload.pixels_shaded as f64 * panel_scale) as u64;
         let mut gpu = GpuModel::new(phone.gpu.clone());
         let mut cpu = CpuModel::new(phone.cpu.clone());

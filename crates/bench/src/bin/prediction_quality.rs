@@ -53,13 +53,12 @@ fn trace(seed: u64, len: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
         // attributes are informative but imperfect predictors.
         let touch_gain = rng.gen_range(1.6..3.4);
         let stream_gain = rng.gen_range(1.2..2.4);
-        let mbps = (base + touch_gain * touch + stream_gain * streaming
-            + rng.gen_range(-3.5..3.5))
-        .max(0.0);
+        let mbps = (base + touch_gain * touch + stream_gain * streaming + rng.gen_range(-3.5..3.5))
+            .max(0.0);
         // Command-sequence length echoes the *previous* window's load:
         // by the time it is observable the traffic already moved.
-        let cmd_len = 150.0 + 2.0 * traffic.last().copied().unwrap_or(9.0)
-            + rng.gen_range(-30.0..30.0);
+        let cmd_len =
+            150.0 + 2.0 * traffic.last().copied().unwrap_or(9.0) + rng.gen_range(-30.0..30.0);
         let textures = 18.0 + 2.0 * streaming + 0.8 * touch + rng.gen_range(-2.0..2.0);
         let cmd_diff = (touch - prev_touch).abs() * 3.0 + rng.gen_range(0.0..6.0);
         prev_touch = touch;
@@ -79,12 +78,8 @@ fn main() {
     let arma = TrafficPredictor::arma(3, 2, threshold).evaluate(&traffic, &no_exo, 500);
 
     // The paper's final model: exogenous attributes 1 and 3.
-    let selected: Vec<Vec<f64>> = exo_rows
-        .iter()
-        .map(|row| vec![row[0], row[2]])
-        .collect();
-    let armax =
-        TrafficPredictor::armax(3, 2, 2, 2, threshold).evaluate(&traffic, &selected, 500);
+    let selected: Vec<Vec<f64>> = exo_rows.iter().map(|row| vec![row[0], row[2]]).collect();
+    let armax = TrafficPredictor::armax(3, 2, 2, 2, threshold).evaluate(&traffic, &selected, 500);
 
     println!(
         "EWMA  : FP {:>5.1}%  FN {:>5.1}%   (naive baseline, not in the paper)",
@@ -121,10 +116,26 @@ fn main() {
     }
     let best = &scores[0];
     println!();
-    compare("ARMA FN rate", "35.1%", &format!("{:.1}%", arma.fn_rate * 100.0));
-    compare("ARMA FP rate", "23.7%", &format!("{:.1}%", arma.fp_rate * 100.0));
-    compare("ARMAX FN rate", "17%", &format!("{:.1}%", armax.fn_rate * 100.0));
-    compare("ARMAX FP rate", "23%", &format!("{:.1}%", armax.fp_rate * 100.0));
+    compare(
+        "ARMA FN rate",
+        "35.1%",
+        &format!("{:.1}%", arma.fn_rate * 100.0),
+    );
+    compare(
+        "ARMA FP rate",
+        "23.7%",
+        &format!("{:.1}%", arma.fp_rate * 100.0),
+    );
+    compare(
+        "ARMAX FN rate",
+        "17%",
+        &format!("{:.1}%", armax.fn_rate * 100.0),
+    );
+    compare(
+        "ARMAX FP rate",
+        "23%",
+        &format!("{:.1}%", armax.fp_rate * 100.0),
+    );
     compare(
         "AIC-selected attributes",
         "{1, 3}",

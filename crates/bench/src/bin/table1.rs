@@ -49,8 +49,8 @@ fn main() {
         "year", "game", "req cpu", "phone cpu", "req gpu", "phone gpu"
     );
     for r in &rows {
-        let cpu_headroom = r.phone.cpu.total_gcycles_per_sec()
-            / (r.req_cpu_ghz * r.req_cpu_cores as f64);
+        let cpu_headroom =
+            r.phone.cpu.total_gcycles_per_sec() / (r.req_cpu_ghz * r.req_cpu_cores as f64);
         let gpu_headroom = r.phone.gpu.fillrate_gpixels_per_sec / r.req_gpu_gps;
         println!(
             "{:<6} {:<28} {:>9.2} GHzc {:>9.2} GHzc {:>9.1} GP/s {:>9.1} GP/s  cpu x{:.1}, gpu x{:.2}",

@@ -101,10 +101,7 @@ mod tests {
         let data = ramp_f32(2000);
         let plain = crate::lz4::compress(&data).len();
         let filtered = compress_filtered(&data, 4).len();
-        assert!(
-            filtered * 2 < plain,
-            "filtered {filtered} vs plain {plain}"
-        );
+        assert!(filtered * 2 < plain, "filtered {filtered} vs plain {plain}");
     }
 
     #[test]

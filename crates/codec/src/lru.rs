@@ -15,6 +15,8 @@
 
 use std::collections::HashMap;
 
+use gbooster_telemetry::{names, Counter, Registry};
+
 /// What the sender should transmit for one command.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CacheToken {
@@ -65,6 +67,7 @@ pub struct CommandCache {
     tail: usize, // least recent
     hits: u64,
     misses: u64,
+    counters: Option<(Counter, Counter)>,
 }
 
 impl std::fmt::Debug for CommandCache {
@@ -105,7 +108,22 @@ impl CommandCache {
             tail: NIL,
             hits: 0,
             misses: 0,
+            counters: None,
         }
+    }
+
+    /// Mirrors hit/miss events into `registry` (under
+    /// [`names::forward::CACHE_HITS`] / `CACHE_MISSES`) from now on;
+    /// prior events are backfilled so the counters always equal
+    /// [`CommandCache::hits`] / [`CommandCache::misses`]. Attach only on
+    /// the sender side — the receiver replays the same token stream and
+    /// would double-count.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let hits = registry.counter(names::forward::CACHE_HITS);
+        let misses = registry.counter(names::forward::CACHE_MISSES);
+        hits.add(self.hits);
+        misses.add(self.misses);
+        self.counters = Some((hits, misses));
     }
 
     /// Sender side: offers a command for transmission. Returns the token
@@ -114,10 +132,16 @@ impl CommandCache {
         let key = content_key(encoded);
         if let Some(&idx) = self.map.get(&key) {
             self.hits += 1;
+            if let Some((hits, _)) = &self.counters {
+                hits.inc();
+            }
             self.touch(idx);
             CacheToken::Ref(key)
         } else {
             self.misses += 1;
+            if let Some((_, misses)) = &self.counters {
+                misses.inc();
+            }
             self.insert(key, encoded.to_vec());
             CacheToken::Full(encoded.to_vec())
         }

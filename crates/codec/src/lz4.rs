@@ -240,8 +240,7 @@ mod tests {
 
     #[test]
     fn repetitive_data_compresses_well() {
-        let data: Vec<u8> = std::iter::repeat(b"glDrawArrays(TRIANGLES,0,3);")
-            .take(100)
+        let data: Vec<u8> = std::iter::repeat_n(b"glDrawArrays(TRIANGLES,0,3);", 100)
             .flatten()
             .copied()
             .collect();

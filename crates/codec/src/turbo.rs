@@ -18,6 +18,8 @@
 //!   { u16 tx | u16 ty | u32 len | jpeg bytes } * tile_count
 //! ```
 
+use gbooster_telemetry::{names, Counter, Registry};
+
 use crate::jpeg;
 
 /// Tile side in pixels (TurboVNC-style blocks).
@@ -144,6 +146,16 @@ pub struct TurboEncoder {
     quality: u8,
     /// Raw previous frame, for change detection.
     prev_raw: Option<Vec<u8>>,
+    counters: Option<TurboCounters>,
+}
+
+/// Pre-resolved registry handles for the encoder counters.
+#[derive(Clone, Debug)]
+struct TurboCounters {
+    tiles_sent: Counter,
+    tiles_total: Counter,
+    encoded_bytes: Counter,
+    raw_bytes: Counter,
 }
 
 impl TurboEncoder {
@@ -160,7 +172,20 @@ impl TurboEncoder {
             height,
             quality: quality.clamp(1, 100),
             prev_raw: None,
+            counters: None,
         }
+    }
+
+    /// Mirrors per-frame [`EncodeStats`] into `registry` (tile and byte
+    /// counters under `turbo.*`; the changed-tile fraction derives from
+    /// them in the telemetry report).
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.counters = Some(TurboCounters {
+            tiles_sent: registry.counter(names::service::TURBO_TILES_SENT),
+            tiles_total: registry.counter(names::service::TURBO_TILES_TOTAL),
+            encoded_bytes: registry.counter(names::service::TURBO_ENCODED_BYTES),
+            raw_bytes: registry.counter(names::service::TURBO_RAW_BYTES),
+        });
     }
 
     /// Grid dimensions in tiles.
@@ -222,6 +247,12 @@ impl TurboEncoder {
             encoded_bytes: out.len(),
             raw_bytes: rgba.len(),
         };
+        if let Some(c) = &self.counters {
+            c.tiles_sent.add(stats.tiles_sent as u64);
+            c.tiles_total.add(stats.tiles_total as u64);
+            c.encoded_bytes.add(stats.encoded_bytes as u64);
+            c.raw_bytes.add(stats.raw_bytes as u64);
+        }
         self.prev_raw = Some(rgba.to_vec());
         (out, stats)
     }
@@ -417,6 +448,22 @@ mod tests {
         enc.reset();
         let (_, stats) = enc.encode(&frame);
         assert_eq!(stats.tiles_sent, 4);
+    }
+
+    #[test]
+    fn registry_counters_accumulate_across_frames() {
+        let registry = Registry::new();
+        let mut enc = TurboEncoder::new(64, 64, 85);
+        enc.attach_registry(&registry);
+        enc.encode(&moving_box_frame(64, 64, 0));
+        enc.encode(&moving_box_frame(64, 64, 10));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::service::TURBO_TILES_TOTAL), 32);
+        let sent = snap.counter(names::service::TURBO_TILES_SENT);
+        assert!(sent >= 16, "keyframe alone sends 16 tiles, got {sent}");
+        let frac = snap.turbo_changed_tile_fraction();
+        assert!(frac > 0.0 && frac <= 1.0, "fraction {frac}");
+        assert!(snap.counter(names::service::TURBO_RAW_BYTES) == 2 * 64 * 64 * 4);
     }
 
     #[test]

@@ -99,7 +99,11 @@ mod tests {
     fn arm_cannot_sustain_25fps_at_600x480() {
         // The paper's low-quality setting: 600x480 @ 25 FPS = 7.2 MP/s.
         let arm = VideoEncoderModel::for_host(EncoderHost::Arm);
-        assert!(arm.max_fps(600, 480) < 25.0, "fps {}", arm.max_fps(600, 480));
+        assert!(
+            arm.max_fps(600, 480) < 25.0,
+            "fps {}",
+            arm.max_fps(600, 480)
+        );
     }
 
     #[test]

@@ -251,8 +251,8 @@ mod tests {
 
     #[test]
     fn builder_defaults_are_sane() {
-        let cfg = SessionConfig::builder(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5())
-            .build();
+        let cfg =
+            SessionConfig::builder(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5()).build();
         assert!(matches!(cfg.mode, ExecutionMode::Local));
         assert_eq!(cfg.local_render_resolution, (1920, 1080));
         assert_eq!(cfg.predictor_window_ms, 500);

@@ -79,7 +79,9 @@ mod tests {
         assert!(e.to_string().starts_with("wire: "));
         let e: GBoosterError = LinkError::UnresolvedSymbol("glFoo".into()).into();
         assert!(e.to_string().starts_with("link: "));
-        assert!(GBoosterError::CacheDesync(0xbeef).to_string().contains("beef"));
+        assert!(GBoosterError::CacheDesync(0xbeef)
+            .to_string()
+            .contains("beef"));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use gbooster_codec::lru::{CacheToken, CommandCache};
 use gbooster_codec::lz4;
 use gbooster_gles::command::{ClientMemory, GlCommand};
 use gbooster_gles::serialize::{decode_command, encode_command, DeferredResolver};
+use gbooster_telemetry::{names, Counter, Registry};
 
 use crate::error::GBoosterError;
 
@@ -42,6 +43,12 @@ pub struct ForwardedFrame {
 
 impl ForwardedFrame {
     /// Overall compression ratio (wire ÷ raw); lower is better.
+    ///
+    /// Convention: a frame with no serialized command bytes reports `1.0`
+    /// ("nothing gained, nothing lost") rather than dividing by zero. An
+    /// empty frame still carries the 4-byte wire header, so any other
+    /// definition would return `NaN` or `inf` and poison downstream
+    /// averages.
     pub fn ratio(&self) -> f64 {
         if self.raw_bytes == 0 {
             1.0
@@ -49,6 +56,15 @@ impl ForwardedFrame {
             self.wire.len() as f64 / self.raw_bytes as f64
         }
     }
+}
+
+/// Pre-resolved registry handles for the forwarder counters.
+#[derive(Clone, Debug)]
+struct ForwardCounters {
+    raw_bytes: Counter,
+    token_bytes: Counter,
+    wire_bytes: Counter,
+    commands: Counter,
 }
 
 /// The user-device forwarder.
@@ -71,6 +87,7 @@ impl ForwardedFrame {
 pub struct CommandForwarder {
     resolver: DeferredResolver,
     cache: CommandCache,
+    counters: Option<ForwardCounters>,
 }
 
 impl Default for CommandForwarder {
@@ -85,7 +102,21 @@ impl CommandForwarder {
         CommandForwarder {
             resolver: DeferredResolver::new(),
             cache: CommandCache::new(CACHE_CAPACITY),
+            counters: None,
         }
+    }
+
+    /// Mirrors per-frame forwarding statistics into `registry`
+    /// (`forward.*` byte/command counters plus the LRU cache's
+    /// `cache.hits` / `cache.misses`). Attach once, on the sender side.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.cache.attach_registry(registry);
+        self.counters = Some(ForwardCounters {
+            raw_bytes: registry.counter(names::forward::RAW_BYTES),
+            token_bytes: registry.counter(names::forward::TOKEN_BYTES),
+            wire_bytes: registry.counter(names::forward::WIRE_BYTES),
+            commands: registry.counter(names::forward::COMMANDS),
+        });
     }
 
     /// Serializes one frame of intercepted commands into wire bytes.
@@ -128,6 +159,12 @@ impl CommandForwarder {
         let mut wire = Vec::with_capacity(compressed.len() + 4);
         wire.extend_from_slice(&(token_bytes as u32).to_le_bytes());
         wire.extend_from_slice(&compressed);
+        if let Some(c) = &self.counters {
+            c.raw_bytes.add(raw_bytes as u64);
+            c.token_bytes.add(token_bytes as u64);
+            c.wire_bytes.add(wire.len() as u64);
+            c.commands.add(command_count as u64);
+        }
         Ok(ForwardedFrame {
             wire,
             raw_bytes,
@@ -208,9 +245,8 @@ impl ServiceReceiver {
                     let len_bytes = tokens
                         .get(i..i + 4)
                         .ok_or_else(|| GBoosterError::Codec("truncated full token".into()))?;
-                    let len =
-                        u32::from_le_bytes(len_bytes.try_into().expect("slice is 4 bytes"))
-                            as usize;
+                    let len = u32::from_le_bytes(len_bytes.try_into().expect("slice is 4 bytes"))
+                        as usize;
                     i += 4;
                     let body = tokens
                         .get(i..i + len)
@@ -221,15 +257,11 @@ impl ServiceReceiver {
                         .accept(&CacheToken::Full(body))
                         .expect("full tokens always decode")
                 }
-                other => {
-                    return Err(GBoosterError::Codec(format!("unknown token tag {other}")))
-                }
+                other => return Err(GBoosterError::Codec(format!("unknown token tag {other}"))),
             };
             let (cmd, used) = decode_command(&encoded)?;
             if used != encoded.len() {
-                return Err(GBoosterError::Codec(
-                    "trailing bytes after command".into(),
-                ));
+                return Err(GBoosterError::Codec("trailing bytes after command".into()));
             }
             commands.push(cmd);
         }
@@ -319,7 +351,9 @@ mod tests {
         let (mut tx, mut rx, _mem) = pipeline();
         let mut gen = TraceGenerator::new(GenreProfile::action(), 1.0, 640, 360, 3);
         let setup = gen.setup_trace();
-        let first = tx.forward_frame(&setup.commands, gen.client_memory()).unwrap();
+        let first = tx
+            .forward_frame(&setup.commands, gen.client_memory())
+            .unwrap();
         rx.receive(&first.wire).unwrap();
         let mut first_frame_wire = 0usize;
         let mut later_wire = 0usize;
@@ -344,7 +378,10 @@ mod tests {
             "steady-state {avg_later} vs first {first_frame_wire}"
         );
         let ratio = later_wire as f64 / later_raw as f64;
-        assert!(ratio < 0.7, "combined ratio {ratio} exceeds the paper's 70%");
+        assert!(
+            ratio < 0.7,
+            "combined ratio {ratio} exceeds the paper's 70%"
+        );
     }
 
     #[test]
@@ -363,9 +400,7 @@ mod tests {
     #[test]
     fn corrupt_wire_is_rejected() {
         let (mut tx, mut rx, mem) = pipeline();
-        let fwd = tx
-            .forward_frame(&[GlCommand::clear_all()], &mem)
-            .unwrap();
+        let fwd = tx.forward_frame(&[GlCommand::clear_all()], &mem).unwrap();
         assert!(rx.receive(&fwd.wire[..2]).is_err());
         let mut corrupted = fwd.wire.clone();
         let last = corrupted.len() - 1;
@@ -379,7 +414,8 @@ mod tests {
         let (mut tx, _, _) = pipeline();
         let mut gen = TraceGenerator::new(GenreProfile::puzzle(), 1.0, 320, 240, 5);
         let setup = gen.setup_trace();
-        tx.forward_frame(&setup.commands, gen.client_memory()).unwrap();
+        tx.forward_frame(&setup.commands, gen.client_memory())
+            .unwrap();
         for _ in 0..50 {
             let frame = gen.next_frame(1.0 / 60.0);
             tx.forward_frame(&frame.commands, gen.client_memory())
@@ -390,6 +426,57 @@ mod tests {
             "hit rate {}",
             tx.cache_hit_rate()
         );
+    }
+
+    #[test]
+    fn zero_command_frame_has_finite_unit_ratio() {
+        // A real empty frame (not a hand-built struct): the wire still
+        // carries the 4-byte header while raw_bytes is 0, so ratio() must
+        // fall back to the documented 1.0 convention instead of inf/NaN.
+        let (mut tx, _, mem) = pipeline();
+        let fwd = tx.forward_frame(&[], &mem).unwrap();
+        assert_eq!(fwd.raw_bytes, 0);
+        assert_eq!(fwd.command_count, 0);
+        assert!(!fwd.wire.is_empty(), "header is always present");
+        assert!(fwd.ratio().is_finite());
+        assert_eq!(fwd.ratio(), 1.0);
+    }
+
+    #[test]
+    fn registry_counters_mirror_forwarded_frames() {
+        let registry = Registry::new();
+        let (mut tx, _, mem) = pipeline();
+        tx.attach_registry(&registry);
+        let frame = vec![
+            GlCommand::UseProgram(ProgramId(0)),
+            GlCommand::clear_all(),
+            GlCommand::SwapBuffers,
+        ];
+        let a = tx.forward_frame(&frame, &mem).unwrap();
+        let b = tx.forward_frame(&frame, &mem).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(names::forward::RAW_BYTES),
+            (a.raw_bytes + b.raw_bytes) as u64
+        );
+        assert_eq!(
+            snap.counter(names::forward::WIRE_BYTES),
+            (a.wire.len() + b.wire.len()) as u64
+        );
+        assert_eq!(
+            snap.counter(names::forward::COMMANDS),
+            (a.command_count + b.command_count) as u64
+        );
+        assert_eq!(
+            snap.counter(names::forward::CACHE_HITS),
+            a.cache_hits + b.cache_hits
+        );
+        assert_eq!(
+            snap.counter(names::forward::CACHE_MISSES),
+            a.cache_misses + b.cache_misses
+        );
+        // Second identical frame is all hits, so the derived rate is real.
+        assert!(snap.cache_hit_rate() > 0.0);
     }
 
     #[test]

@@ -89,8 +89,17 @@ impl CpuLedger {
     }
 
     /// Adds `secs` of single-core busy time.
+    ///
+    /// Busy time cannot be negative; a negative argument indicates a
+    /// caller bug (e.g. a reversed time subtraction), so it trips a debug
+    /// assertion and is clamped to zero in release builds rather than
+    /// silently draining the ledger.
     pub fn add_busy(&mut self, secs: f64) {
-        self.busy_core_secs += secs;
+        debug_assert!(
+            secs >= 0.0,
+            "negative busy time {secs} — reversed duration subtraction?"
+        );
+        self.busy_core_secs += secs.max(0.0);
     }
 
     /// Whole-chip utilization over `elapsed_secs` of wall time, in [0, 1].
@@ -98,7 +107,7 @@ impl CpuLedger {
         if elapsed_secs <= 0.0 || self.cores == 0 {
             0.0
         } else {
-            (self.busy_core_secs / (elapsed_secs * self.cores as f64)).min(1.0)
+            (self.busy_core_secs / (elapsed_secs * self.cores as f64)).clamp(0.0, 1.0)
         }
     }
 
@@ -135,7 +144,12 @@ mod tests {
     #[test]
     fn degraded_fraction_counts() {
         let mut t = ResponseTracker::new();
-        t.record(SimDuration::ZERO, SimDuration::ZERO, SimDuration::ZERO, true);
+        t.record(
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            SimDuration::ZERO,
+            true,
+        );
         t.record(
             SimDuration::ZERO,
             SimDuration::ZERO,
@@ -162,5 +176,16 @@ mod tests {
         // Saturates at 1.
         c.add_busy(1000.0);
         assert_eq!(c.utilization(1.0), 1.0);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "negative busy time"))]
+    fn negative_busy_time_is_rejected() {
+        let mut c = CpuLedger::new(4);
+        c.add_busy(-1.0);
+        // Release builds clamp instead of panicking: the ledger never
+        // goes negative and utilization stays in [0, 1].
+        assert_eq!(c.busy_core_secs(), 0.0);
+        assert_eq!(c.utilization(10.0), 0.0);
     }
 }

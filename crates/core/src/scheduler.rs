@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 
 use gbooster_sim::device::DeviceSpec;
 use gbooster_sim::time::{SimDuration, SimTime};
+use gbooster_telemetry::{names, Counter, Histogram, Registry};
 
 /// One offloading destination as seen by the scheduler.
 #[derive(Clone, Debug)]
@@ -88,6 +89,7 @@ pub struct DispatchDecision {
 #[derive(Clone, Debug)]
 pub struct Dispatcher {
     nodes: Vec<ServiceNode>,
+    telemetry: Option<(Counter, Histogram)>,
 }
 
 impl Dispatcher {
@@ -98,7 +100,21 @@ impl Dispatcher {
     /// Panics if `nodes` is empty.
     pub fn new(nodes: Vec<ServiceNode>) -> Self {
         assert!(!nodes.is_empty(), "dispatcher needs at least one node");
-        Dispatcher { nodes }
+        Dispatcher {
+            nodes,
+            telemetry: None,
+        }
+    }
+
+    /// Mirrors dispatch activity into `registry`: a request counter under
+    /// [`names::sched::REQUESTS`] and a queue-wait histogram (request
+    /// arrival at the node until service start) under
+    /// [`names::sched::QUEUE_WAIT`].
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.telemetry = Some((
+            registry.counter(names::sched::REQUESTS),
+            registry.histogram(names::sched::QUEUE_WAIT),
+        ));
     }
 
     /// The managed nodes.
@@ -137,6 +153,10 @@ impl Dispatcher {
         let finish = start + render + extra_service;
         node.busy_until = finish;
         node.requests_served += 1;
+        if let Some((requests, queue_wait)) = &self.telemetry {
+            requests.inc();
+            queue_wait.record_duration(start - arrive);
+        }
         DispatchDecision {
             node: best,
             start,
@@ -299,6 +319,24 @@ mod tests {
         for &c in &counts {
             assert!((6..=14).contains(&c), "unbalanced: {counts:?}");
         }
+    }
+
+    #[test]
+    fn dispatch_telemetry_counts_requests_and_queue_waits() {
+        let registry = Registry::new();
+        let mut d = two_nodes();
+        d.attach_registry(&registry);
+        let big = 100_000_000u64;
+        for _ in 0..6 {
+            d.dispatch(big, SimDuration::ZERO, SimTime::ZERO);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::sched::REQUESTS), 6);
+        let waits = snap.histogram(names::sched::QUEUE_WAIT).unwrap();
+        assert_eq!(waits.count(), 6);
+        // Six heavy requests over two nodes at t=0: the later ones must
+        // queue behind the earlier, so some wait is strictly positive.
+        assert!(waits.max() > 0, "expected queueing, waits all zero");
     }
 
     #[test]

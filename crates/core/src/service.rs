@@ -15,6 +15,7 @@ use gbooster_gles::state::GlContext;
 use gbooster_sim::device::DeviceSpec;
 use gbooster_sim::gpu::GpuModel;
 use gbooster_sim::time::SimDuration;
+use gbooster_telemetry::{names, Counter, Histogram, Registry};
 
 use crate::error::GBoosterError;
 use crate::forward::ServiceReceiver;
@@ -50,6 +51,7 @@ pub struct ServiceRuntime {
     context: GlContext,
     receiver: ServiceReceiver,
     frames_rendered: u64,
+    telemetry: Option<(Counter, Histogram)>,
 }
 
 impl ServiceRuntime {
@@ -61,7 +63,18 @@ impl ServiceRuntime {
             context: GlContext::new(),
             receiver: ServiceReceiver::new(),
             frames_rendered: 0,
+            telemetry: None,
         }
+    }
+
+    /// Mirrors service-side activity into `registry`: applied-command
+    /// counts under [`names::service::COMMANDS_APPLIED`] and modeled
+    /// Turbo encode times under [`names::service::ENCODE_TIME`].
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.telemetry = Some((
+            registry.counter(names::service::COMMANDS_APPLIED),
+            registry.histogram(names::service::ENCODE_TIME),
+        ));
     }
 
     /// The hardware description.
@@ -120,6 +133,9 @@ impl ServiceRuntime {
             self.context.end_frame();
             self.frames_rendered += 1;
         }
+        if let Some((applied, _)) = &self.telemetry {
+            applied.add(stats.commands_applied as u64);
+        }
         Ok(stats)
     }
 
@@ -134,7 +150,11 @@ impl ServiceRuntime {
     pub fn encode_time(&self, frame_pixels: u64, changed_pixels: u64) -> SimDuration {
         let scan = frame_pixels as f64 / ENCODE_SCAN_PIXELS_PER_SEC;
         let jpeg = changed_pixels as f64 / ENCODE_JPEG_PIXELS_PER_SEC;
-        SimDuration::from_secs_f64(scan + jpeg)
+        let t = SimDuration::from_secs_f64(scan + jpeg);
+        if let Some((_, encode)) = &self.telemetry {
+            encode.record_duration(t);
+        }
+        t
     }
 
     /// Encoded frame size for `changed_pixels` of RGBA content.
@@ -176,10 +196,18 @@ mod tests {
         let mut fw = CommandForwarder::new();
         let mut frames = Vec::new();
         let setup = gen.setup_trace();
-        frames.push(fw.forward_frame(&setup.commands, gen.client_memory()).unwrap().wire);
+        frames.push(
+            fw.forward_frame(&setup.commands, gen.client_memory())
+                .unwrap()
+                .wire,
+        );
         for _ in 0..n {
             let f = gen.next_frame(1.0 / 30.0);
-            frames.push(fw.forward_frame(&f.commands, gen.client_memory()).unwrap().wire);
+            frames.push(
+                fw.forward_frame(&f.commands, gen.client_memory())
+                    .unwrap()
+                    .wire,
+            );
         }
         (frames, gen.client_memory().clone())
     }
@@ -246,7 +274,11 @@ mod tests {
         let rt = ServiceRuntime::new(DeviceSpec::nvidia_shield());
         let fill = GenreProfile::action().effective_fill(1280, 720, 1.0);
         let t = rt.render_time(fill);
-        assert!(t.as_millis_f64() < 5.0, "render {:.2} ms", t.as_millis_f64());
+        assert!(
+            t.as_millis_f64() < 5.0,
+            "render {:.2} ms",
+            t.as_millis_f64()
+        );
     }
 
     #[test]

@@ -23,6 +23,9 @@ use gbooster_sim::gpu::{GpuModel, ThermalParams};
 use gbooster_sim::power::{Component, PowerMeter};
 use gbooster_sim::rng::derived;
 use gbooster_sim::time::{SimDuration, SimTime};
+use gbooster_telemetry::{
+    names, FrameTrace, Histogram, Registry, SpanNode, TelemetrySnapshot, TraceLog,
+};
 use gbooster_workload::tracegen::TraceGenerator;
 use rand::Rng;
 
@@ -105,6 +108,12 @@ pub struct SessionReport {
     pub state_consistent: bool,
     /// Simulated wall-clock covered.
     pub duration: SimDuration,
+    /// End-of-session snapshot of every counter, gauge and per-stage
+    /// latency histogram recorded during the run.
+    pub telemetry: TelemetrySnapshot,
+    /// Per-displayed-frame span trees (offloaded mode only; empty for
+    /// local and cloud runs, which have no offload pipeline to trace).
+    pub trace: TraceLog,
 }
 
 impl SessionReport {
@@ -112,6 +121,16 @@ impl SessionReport {
     /// presentation).
     pub fn normalized_energy(&self, baseline: &SessionReport) -> f64 {
         self.energy.normalized_to(&baseline.energy)
+    }
+
+    /// The human-readable end-of-session telemetry report.
+    pub fn telemetry_report(&self) -> String {
+        self.telemetry.render_report()
+    }
+
+    /// The frame trace as JSON Lines (one span tree per displayed frame).
+    pub fn frame_trace_jsonl(&self) -> String {
+        self.trace.to_jsonl()
     }
 }
 
@@ -166,6 +185,51 @@ impl Session {
 fn encoded_bytes(runtimes: &[ServiceRuntime], changed_px: u64) -> usize {
     runtimes[0].encoded_bytes(changed_px)
 }
+
+/// Pre-resolved per-stage latency histogram handles for the offload
+/// pipeline (one per [`names::stage::PIPELINE`] entry plus the total).
+struct StageHists {
+    intercept: Histogram,
+    resolve: Histogram,
+    cache: Histogram,
+    lz4: Histogram,
+    uplink: Histogram,
+    dispatch_wait: Histogram,
+    render: Histogram,
+    encode: Histogram,
+    downlink: Histogram,
+    decode: Histogram,
+    display_wait: Histogram,
+    total: Histogram,
+}
+
+impl StageHists {
+    fn new(registry: &Registry) -> Self {
+        StageHists {
+            intercept: registry.histogram(names::stage::INTERCEPT),
+            resolve: registry.histogram(names::stage::RESOLVE),
+            cache: registry.histogram(names::stage::CACHE),
+            lz4: registry.histogram(names::stage::LZ4),
+            uplink: registry.histogram(names::stage::UPLINK),
+            dispatch_wait: registry.histogram(names::stage::DISPATCH_WAIT),
+            render: registry.histogram(names::stage::RENDER),
+            encode: registry.histogram(names::stage::ENCODE),
+            downlink: registry.histogram(names::stage::DOWNLINK),
+            decode: registry.histogram(names::stage::DECODE),
+            display_wait: registry.histogram(names::stage::DISPLAY_WAIT),
+            total: registry.histogram(names::stage::TOTAL),
+        }
+    }
+}
+
+/// Splits the variable (per-byte) part of the phone-side forwarding cost
+/// across its three sub-stages. The fractions attribute the measured
+/// profile of the pipeline — deferred resolution dominates, the LRU probe
+/// is cheap, LZ4 takes the rest — while the sum stays exactly the
+/// `forward_secs` the simulation already charges, so attribution never
+/// changes timing.
+const FORWARD_RESOLVE_FRAC: f64 = 0.45;
+const FORWARD_CACHE_FRAC: f64 = 0.15;
 
 fn scaled_thermal(base: ThermalParams, compression: f64) -> ThermalParams {
     ThermalParams {
@@ -271,6 +335,9 @@ fn run_local(config: &SessionConfig) -> SessionReport {
 
     let total = last_shown - SimTime::ZERO;
     meter.advance(total);
+    let cpu_util = ledger.utilization(total.as_secs_f64());
+    let registry = Registry::new();
+    record_session_counters(&registry, fps.frame_count() as u64, &ledger, cpu_util);
     SessionReport {
         workload: config.workload.name.clone(),
         device: dev.name.to_string(),
@@ -281,7 +348,7 @@ fn run_local(config: &SessionConfig) -> SessionReport {
         response_time_ms: ResponseTracker::new().response_time_ms(fps.median_fps()),
         mean_tp_ms: 0.0,
         energy: meter,
-        cpu_utilization: ledger.utilization(total.as_secs_f64()),
+        cpu_utilization: cpu_util,
         uplink_bytes: 0,
         downlink_bytes: 0,
         avg_mbps: 0.0,
@@ -294,7 +361,23 @@ fn run_local(config: &SessionConfig) -> SessionReport {
         per_device_requests: Vec::new(),
         state_consistent: true,
         duration: total,
+        telemetry: registry.snapshot(),
+        trace: TraceLog::default(),
     }
+}
+
+/// Records the session-level counters every mode shares: displayed
+/// frames, total busy core time, and the whole-chip utilization gauge.
+fn record_session_counters(registry: &Registry, frames: u64, ledger: &CpuLedger, cpu_util: f64) {
+    registry
+        .counter(names::session::FRAMES_DISPLAYED)
+        .add(frames);
+    registry
+        .counter(names::session::CPU_BUSY_US)
+        .add((ledger.busy_core_secs() * 1e6).round() as u64);
+    registry
+        .gauge(names::session::CPU_UTILIZATION)
+        .set(cpu_util);
 }
 
 fn run_offloaded(
@@ -335,9 +418,24 @@ fn run_offloaded(
     let mut fps = FpsRecorder::new();
     let mut meter = PowerMeter::new();
     let mut ledger = CpuLedger::new(dev.cpu.cores);
-    let mut response = ResponseTracker::new();
     let mut duty_rng = derived(config.seed, "duty");
     let mut phone_gpu = GpuModel::new(dev.gpu.clone());
+
+    // Observability: one registry for the whole pipeline plus a span-tree
+    // trace per displayed frame. Attaching is purely observational — every
+    // component mirrors the statistics it already keeps, so timing,
+    // routing and protocol behavior are byte-identical with or without it.
+    let registry = Registry::new();
+    let mut trace_log = TraceLog::new();
+    forwarder.attach_registry(&registry);
+    transport.attach_registry(&registry);
+    dispatcher.attach_registry(&registry);
+    for rt in &mut runtimes {
+        rt.attach_registry(&registry);
+    }
+    let stages = StageHists::new(&registry);
+    let c_degraded = registry.counter(names::session::FRAMES_DEGRADED);
+    let c_idle = registry.counter(names::session::FRAMES_IDLE);
 
     // 2. Ship the setup stream to every device (pure state: replicated).
     let setup = gen.setup_trace();
@@ -371,9 +469,9 @@ fn run_offloaded(
             // UI apps idle between interactions: the app still runs its
             // per-tick logic but issues no GL commands, so nothing is
             // offloaded and the previous frame stays on screen.
-            let idle_cpu =
-                config.workload.profile.cpu_gcycles_per_frame / dev.cpu.clock_ghz;
+            let idle_cpu = config.workload.profile.cpu_gcycles_per_frame / dev.cpu.clock_ghz;
             ledger.add_busy(idle_cpu);
+            c_idle.inc();
             let tick = start + display.vsync_period();
             app_free = tick;
             last_shown = last_shown.max(tick);
@@ -392,14 +490,13 @@ fn run_offloaded(
         app_free = app_done;
 
         // 4. Uplink over the predictor-managed radios.
-        let textures_used = config.workload.profile.texture_count
-            + if trace.scene_change { 2 } else { 0 };
+        let textures_used =
+            config.workload.profile.texture_count + if trace.scene_change { 2 } else { 0 };
         transport.on_frame(trace.touches, textures_used);
         let up = transport.send(fwd.wire.len(), app_done);
 
         // 5. Eq. 4 dispatch; replicate state to every device.
-        let changed_px =
-            (trace.changed_pixel_ratio * frame_pixels as f64).round() as u64;
+        let changed_px = (trace.changed_pixel_ratio * frame_pixels as f64).round() as u64;
         let encode = runtimes[0].encode_time(frame_pixels, changed_px);
         let decision = dispatcher.dispatch(trace.effective_fill, encode, up.delivered_at);
         for (j, rt) in runtimes.iter_mut().enumerate() {
@@ -420,13 +517,65 @@ fn run_offloaded(
         let decode_done = decode_start + SimDuration::from_secs_f64(decode_secs);
         decode_free = decode_done;
         let shown = display.present(decode_done);
+
+        // 8. Telemetry: the frame's span tree plus per-stage histograms.
+        // Attribution only — every boundary below is a sum the simulation
+        // already computed, so the spans reproduce the timing exactly.
+        // The phone-side forwarding cost splits into its sub-stages; the
+        // last one ends exactly at `app_done` so integer-microsecond
+        // rounding never leaks into the total.
+        let fwd_start = start + SimDuration::from_secs_f64(trace.cpu_gcycles / dev.cpu.clock_ghz);
+        let var_secs = fwd.raw_bytes as f64 / FORWARD_BYTES_PER_SEC;
+        let intercept_end = fwd_start + SimDuration::from_secs_f64(FORWARD_FIXED_SECS);
+        let resolve_end =
+            intercept_end + SimDuration::from_secs_f64(var_secs * FORWARD_RESOLVE_FRAC);
+        let cache_end = resolve_end + SimDuration::from_secs_f64(var_secs * FORWARD_CACHE_FRAC);
+        let render_end = decision.finish - encode;
+        // The root span covers all pipeline activity for the frame. That
+        // can extend slightly past the vsync display: Turbo tiles stream
+        // onto the downlink while later tiles still encode, so the encode
+        // tail may outlive the frame's presentation.
+        let mut root = SpanNode::new(names::stage::FRAME, start, shown.max(decision.finish));
+        root.stage(names::stage::INTERCEPT, fwd_start, intercept_end)
+            .stage(names::stage::RESOLVE, intercept_end, resolve_end)
+            .stage(names::stage::CACHE, resolve_end, cache_end)
+            .stage(names::stage::LZ4, cache_end, app_done)
+            .stage(names::stage::UPLINK, app_done, up.delivered_at)
+            .stage(names::stage::DISPATCH_WAIT, up.delivered_at, decision.start)
+            .stage(names::stage::RENDER, decision.start, render_end)
+            .stage(names::stage::ENCODE, render_end, decision.finish)
+            .stage(names::stage::DOWNLINK, down_start, down.delivered_at)
+            .stage(names::stage::DECODE, decode_start, decode_done)
+            .stage(names::stage::DISPLAY_WAIT, decode_done, shown);
+        for child in &root.children {
+            let hist = match child.name {
+                n if n == names::stage::INTERCEPT => &stages.intercept,
+                n if n == names::stage::RESOLVE => &stages.resolve,
+                n if n == names::stage::CACHE => &stages.cache,
+                n if n == names::stage::LZ4 => &stages.lz4,
+                n if n == names::stage::UPLINK => &stages.uplink,
+                n if n == names::stage::DISPATCH_WAIT => &stages.dispatch_wait,
+                n if n == names::stage::RENDER => &stages.render,
+                n if n == names::stage::ENCODE => &stages.encode,
+                n if n == names::stage::DOWNLINK => &stages.downlink,
+                n if n == names::stage::DECODE => &stages.decode,
+                _ => &stages.display_wait,
+            };
+            hist.record_duration(child.duration());
+        }
+        // The total latency is app start to vsync display (what the user
+        // perceives), not the root span's end, which may include the
+        // overlapped encode tail.
+        stages.total.record_duration(shown - start);
+        if up.degraded || down.degraded {
+            c_degraded.inc();
+        }
+        trace_log.push(FrameTrace {
+            seq: fps.frame_count() as u64,
+            root,
+        });
+
         fps.record(shown);
-        response.record(
-            up.duration,
-            down.duration,
-            SimDuration::from_secs_f64(decode_secs),
-            up.degraded || down.degraded,
-        );
         ledger.add_busy(app_secs + decode_secs);
         shown_times.push_back(shown);
         if shown_times.len() > off.buffer_depth + 2 {
@@ -461,7 +610,41 @@ fn run_offloaded(
 
     let digest0 = runtimes[0].state_digest();
     let state_consistent = runtimes.iter().all(|rt| rt.state_digest() == digest0);
-    let (up_bytes, down_bytes) = transport.traffic_totals();
+    record_session_counters(&registry, fps.frame_count() as u64, &ledger, cpu_util);
+    let telemetry = registry.snapshot();
+    let frames_displayed = telemetry.counter(names::session::FRAMES_DISPLAYED);
+    // Eq. 5's per-frame overhead t_p: the network transfers plus decode.
+    // The stage histograms sum the exact integer-microsecond durations
+    // the simulation produced, so this equals the former inline tracker.
+    let mean_tp_ms = if frames_displayed == 0 {
+        0.0
+    } else {
+        let sum_us: u64 = [
+            names::stage::UPLINK,
+            names::stage::DOWNLINK,
+            names::stage::DECODE,
+        ]
+        .iter()
+        .filter_map(|n| telemetry.histogram(n))
+        .map(|h| h.sum())
+        .sum();
+        sum_us as f64 / 1000.0 / frames_displayed as f64
+    };
+    let response_time_ms = if fps.median_fps() > 0.0 {
+        1000.0 / fps.median_fps() + mean_tp_ms
+    } else {
+        f64::INFINITY
+    };
+    let degraded_fraction = if frames_displayed == 0 {
+        0.0
+    } else {
+        telemetry.counter(names::session::FRAMES_DEGRADED) as f64 / frames_displayed as f64
+    };
+    let (up_bytes, down_bytes) = (
+        telemetry.counter(names::net::UPLINK_BYTES),
+        telemetry.counter(names::net::DOWNLINK_BYTES),
+    );
+    debug_assert_eq!((up_bytes, down_bytes), transport.traffic_totals());
     // Phone-side footprint: sender command cache, the double-buffered
     // display surfaces, the in-flight decode ring (one RGBA frame per
     // buffered request), and fixed runtime buffers (wire staging, codec
@@ -478,22 +661,24 @@ fn run_offloaded(
         median_fps: fps.median_fps(),
         stability: fps.stability(),
         frame_jitter_ms: fps.interval_jitter_ms(),
-        response_time_ms: response.response_time_ms(fps.median_fps()),
-        mean_tp_ms: response.mean_tp_ms(),
+        response_time_ms,
+        mean_tp_ms,
         energy: meter,
         cpu_utilization: cpu_util,
         uplink_bytes: up_bytes,
         downlink_bytes: down_bytes,
         avg_mbps: transport.average_mbps(total),
-        wifi_wakes: transport.switch_stats().wifi_wakes,
-        wifi_bytes: transport.switch_stats().wifi_bytes,
-        bt_bytes: transport.switch_stats().bt_bytes,
-        degraded_fraction: response.degraded_fraction(),
-        frames: fps.frame_count() as u64,
+        wifi_wakes: telemetry.counter(names::net::WIFI_WAKES) as u32,
+        wifi_bytes: telemetry.counter(names::net::WIFI_BYTES),
+        bt_bytes: telemetry.counter(names::net::BT_BYTES),
+        degraded_fraction,
+        frames: frames_displayed,
         extra_memory_mb,
         per_device_requests: dispatcher.served_counts(),
         state_consistent,
         duration: total,
+        telemetry,
+        trace: trace_log,
     })
 }
 
@@ -512,7 +697,7 @@ fn run_cloud(config: &SessionConfig, cloud: &CloudConfig) -> SessionReport {
     let mut ledger = CpuLedger::new(dev.cpu.cores);
 
     // The platform streams at its encoder cap regardless of game.
-    let cap = cloud.encoder_fps_cap.min(60).max(1);
+    let cap = cloud.encoder_fps_cap.clamp(1, 60);
     let frame_interval = SimDuration::from_secs_f64(1.0 / cap as f64);
     let stream_bytes_per_frame = (channel.bandwidth_bps * 0.9 / 8.0 / cap as f64) as usize;
     let duration = SimTime::from_secs(config.duration_secs);
@@ -561,6 +746,11 @@ fn run_cloud(config: &SessionConfig, cloud: &CloudConfig) -> SessionReport {
     meter.record(Component::Display, DISPLAY_POWER_W, total);
     meter.record(Component::Base, BASE_POWER_W, total);
     meter.advance(total);
+    let registry = Registry::new();
+    record_session_counters(&registry, fps.frame_count() as u64, &ledger, cpu_util);
+    registry
+        .counter(names::net::DOWNLINK_BYTES)
+        .add(downlink_bytes);
 
     SessionReport {
         workload: config.workload.name.clone(),
@@ -585,6 +775,8 @@ fn run_cloud(config: &SessionConfig, cloud: &CloudConfig) -> SessionReport {
         per_device_requests: Vec::new(),
         state_consistent: true,
         duration: total,
+        telemetry: registry.snapshot(),
+        trace: TraceLog::default(),
     }
 }
 
@@ -602,7 +794,8 @@ mod tests {
 
     #[test]
     fn local_action_on_nexus5_matches_paper_band() {
-        let report = Session::run(&short(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5()).build());
+        let report =
+            Session::run(&short(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5()).build());
         assert!(
             (18.0..=28.0).contains(&report.median_fps),
             "median {:.1}, paper ~23",
@@ -644,8 +837,7 @@ mod tests {
 
     #[test]
     fn puzzle_games_barely_benefit() {
-        let local =
-            Session::run(&short(GameTitle::g5_candy_crush(), DeviceSpec::nexus5()).build());
+        let local = Session::run(&short(GameTitle::g5_candy_crush(), DeviceSpec::nexus5()).build());
         let boosted = Session::run(
             &short(GameTitle::g5_candy_crush(), DeviceSpec::nexus5())
                 .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
@@ -665,7 +857,11 @@ mod tests {
                 .mode(ExecutionMode::Cloud(CloudConfig::default()))
                 .build(),
         );
-        assert!((report.median_fps - 30.0).abs() <= 2.0, "fps {}", report.median_fps);
+        assert!(
+            (report.median_fps - 30.0).abs() <= 2.0,
+            "fps {}",
+            report.median_fps
+        );
         assert!(
             report.response_time_ms > 100.0,
             "cloud response {:.0} ms, paper ~150",

@@ -8,12 +8,21 @@
 //! the WiFi radio accordingly.
 
 use gbooster_forecast::predictor::TrafficPredictor;
-use gbooster_net::switch::{InterfaceManager, SwitchStats, TxOutcome};
+use gbooster_net::switch::{InterfaceManager, Route, SwitchStats, TxOutcome};
 use gbooster_sim::time::{SimDuration, SimTime};
+use gbooster_telemetry::{names, Counter, Registry};
 
 /// Per-route propagation latency added on top of serialization.
 const WIFI_LATENCY: SimDuration = SimDuration::from_micros(800);
 const BT_LATENCY: SimDuration = SimDuration::from_millis(4);
+
+/// Link-layer datagram payload used by the retransmit estimator.
+const DATAGRAM_PAYLOAD: u64 = 1200;
+/// Expected datagram loss rates per route (matches the channel defaults
+/// in `gbooster-net`): losses are recovered by the reliable transport, so
+/// here they cost retransmissions, not data.
+const WIFI_LOSS: f64 = 0.002;
+const BT_LOSS: f64 = 0.005;
 
 /// A transmission outcome including propagation delay.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,6 +57,18 @@ pub struct TransportManager {
     uplink_bytes: u64,
     downlink_bytes: u64,
     windows_observed: u64,
+    /// Fractional expected retransmissions not yet surfaced as a whole
+    /// count (the estimator is deterministic: no RNG, no timing impact).
+    retransmit_carry: f64,
+    counters: Option<TransportCounters>,
+}
+
+/// Pre-resolved registry handles for the transport counters.
+#[derive(Clone, Debug)]
+struct TransportCounters {
+    uplink_bytes: Counter,
+    downlink_bytes: Counter,
+    retransmits: Counter,
 }
 
 impl TransportManager {
@@ -75,6 +96,41 @@ impl TransportManager {
             uplink_bytes: 0,
             downlink_bytes: 0,
             windows_observed: 0,
+            retransmit_carry: 0.0,
+            counters: None,
+        }
+    }
+
+    /// Mirrors transport activity into `registry`: per-direction byte
+    /// counters, the radio switcher's wake/misprediction/byte counters,
+    /// and the deterministic expected-retransmit estimator under
+    /// [`names::net::RETRANSMITS`]. Purely observational — attaching never
+    /// changes transfer timing or route decisions.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.mgr.attach_registry(registry);
+        self.counters = Some(TransportCounters {
+            uplink_bytes: registry.counter(names::net::UPLINK_BYTES),
+            downlink_bytes: registry.counter(names::net::DOWNLINK_BYTES),
+            retransmits: registry.counter(names::net::RETRANSMITS),
+        });
+    }
+
+    /// Accrues the expected retransmissions for a `bytes`-sized transfer
+    /// on `route`: `ceil(bytes / 1200)` datagrams times the route's loss
+    /// rate, with the fractional remainder carried to the next transfer
+    /// so long sessions converge on the true expectation.
+    fn account_retransmits(&mut self, bytes: usize, route: Route) {
+        let Some(c) = &self.counters else { return };
+        let datagrams = (bytes as u64).div_ceil(DATAGRAM_PAYLOAD).max(1);
+        let loss = match route {
+            Route::Wifi => WIFI_LOSS,
+            Route::Bluetooth => BT_LOSS,
+        };
+        self.retransmit_carry += datagrams as f64 * loss;
+        let whole = self.retransmit_carry.floor();
+        if whole >= 1.0 {
+            c.retransmits.add(whole as u64);
+            self.retransmit_carry -= whole;
         }
     }
 
@@ -130,6 +186,10 @@ impl TransportManager {
         let out = self.mgr.transmit(bytes, start);
         self.window_busy += out.done_at - start;
         self.uplink_free_at = out.done_at;
+        if let Some(c) = &self.counters {
+            c.uplink_bytes.add(bytes as u64);
+        }
+        self.account_retransmits(bytes, out.route);
         Self::finish(now, out)
     }
 
@@ -143,6 +203,10 @@ impl TransportManager {
         let out = self.mgr.receive(bytes, start);
         self.window_busy += out.done_at - start;
         self.downlink_free_at = out.done_at;
+        if let Some(c) = &self.counters {
+            c.downlink_bytes.add(bytes as u64);
+        }
+        self.account_retransmits(bytes, out.route);
         Self::finish(now, out)
     }
 
@@ -265,6 +329,34 @@ mod tests {
         t.send(100, SimTime::ZERO);
         t.send(100, SimTime::from_secs(3));
         assert!(t.windows_observed() >= 5, "{}", t.windows_observed());
+    }
+
+    #[test]
+    fn retransmit_estimator_is_deterministic_and_timing_neutral() {
+        let registry = Registry::new();
+        let mut traced = TransportManager::new(true, window());
+        traced.attach_registry(&registry);
+        let mut plain = TransportManager::new(true, window());
+        let mut now = SimTime::ZERO;
+        for _ in 0..200 {
+            // 600 KB ≈ 500 datagrams per transfer: enough expected loss to
+            // surface whole retransmit units at either loss rate.
+            let a = traced.send(600_000, now);
+            let b = plain.send(600_000, now);
+            assert_eq!(a, b, "telemetry must not perturb transfer timing");
+            now = a.delivered_at + SimDuration::from_millis(30);
+            traced.on_frame(1, 8);
+            plain.on_frame(1, 8);
+        }
+        let snap = registry.snapshot();
+        let retx = snap.counter(names::net::RETRANSMITS);
+        // 200 transfers x 500 datagrams x [0.002, 0.005] => 200..=500.
+        assert!((150..=600).contains(&retx), "retransmits {retx}");
+        assert_eq!(
+            snap.counter(names::net::UPLINK_BYTES),
+            200 * 600_000,
+            "uplink byte counter must mirror traffic_totals"
+        );
     }
 
     #[test]

@@ -21,9 +21,9 @@
 //!   evaluation protocol.
 
 pub mod aic;
-pub mod ewma;
 pub mod arma;
 pub mod armax;
+pub mod ewma;
 pub mod predictor;
 pub mod rls;
 pub mod series;

@@ -102,24 +102,24 @@ impl Rls {
         let d = self.dim;
         // px = P x
         let mut px = vec![0.0; d];
-        for i in 0..d {
+        for (i, pxi) in px.iter_mut().enumerate() {
             let row = &self.p[i * d..(i + 1) * d];
-            px[i] = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
+            *pxi = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
         }
         // g = P x / (λ + xᵀ P x)
         let denom = self.lambda + x.iter().zip(px.iter()).map(|(a, b)| a * b).sum::<f64>();
         let err = y - self.predict(x);
-        for i in 0..d {
-            self.theta[i] += px[i] / denom * err;
+        for (theta, pxi) in self.theta.iter_mut().zip(px.iter()) {
+            *theta += pxi / denom * err;
         }
         // P ← (P − g xᵀ P) / λ
         let mut xtp = vec![0.0; d]; // xᵀP (row vector)
-        for j in 0..d {
-            xtp[j] = (0..d).map(|i| x[i] * self.p[i * d + j]).sum();
+        for (j, xtpj) in xtp.iter_mut().enumerate() {
+            *xtpj = (0..d).map(|i| x[i] * self.p[i * d + j]).sum();
         }
-        for i in 0..d {
-            for j in 0..d {
-                self.p[i * d + j] = (self.p[i * d + j] - px[i] * xtp[j] / denom) / self.lambda;
+        for (i, pxi) in px.iter().enumerate() {
+            for (j, xtpj) in xtp.iter().enumerate() {
+                self.p[i * d + j] = (self.p[i * d + j] - pxi * xtpj / denom) / self.lambda;
             }
         }
         self.updates += 1;
@@ -161,7 +161,11 @@ mod tests {
             let x = [1.0 + (i % 3) as f64];
             rls.update(&x, 5.0 * x[0]);
         }
-        assert!((rls.theta()[0] - 5.0).abs() < 0.1, "theta {:?}", rls.theta());
+        assert!(
+            (rls.theta()[0] - 5.0).abs() < 0.1,
+            "theta {:?}",
+            rls.theta()
+        );
     }
 
     #[test]

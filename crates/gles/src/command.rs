@@ -21,9 +21,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::types::{
-    AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, ClearMask,
-    DepthFunc, FramebufferId, GlError, IndexType, PixelFormat, Primitive, ProgramId, ShaderId,
-    ShaderKind, TextureId, TextureTarget, UniformLocation,
+    AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, ClearMask, DepthFunc,
+    FramebufferId, GlError, IndexType, PixelFormat, Primitive, ProgramId, ShaderId, ShaderKind,
+    TextureId, TextureTarget, UniformLocation,
 };
 
 /// A value assigned to a shader uniform.
@@ -111,23 +111,43 @@ pub enum GlCommand {
     GenFramebuffer(FramebufferId),
     DeleteFramebuffer(FramebufferId),
     CreateShader(ShaderId, ShaderKind),
-    ShaderSource { shader: ShaderId, source: String },
+    ShaderSource {
+        shader: ShaderId,
+        source: String,
+    },
     CompileShader(ShaderId),
     DeleteShader(ShaderId),
     CreateProgram(ProgramId),
-    AttachShader { program: ProgramId, shader: ShaderId },
+    AttachShader {
+        program: ProgramId,
+        shader: ShaderId,
+    },
     LinkProgram(ProgramId),
     UseProgram(ProgramId),
     DeleteProgram(ProgramId),
 
     // -- buffers ----------------------------------------------------------
-    BindBuffer { target: BufferTarget, buffer: BufferId },
-    BufferData { target: BufferTarget, data: Arc<Vec<u8>>, usage: BufferUsage },
-    BufferSubData { target: BufferTarget, offset: u32, data: Arc<Vec<u8>> },
+    BindBuffer {
+        target: BufferTarget,
+        buffer: BufferId,
+    },
+    BufferData {
+        target: BufferTarget,
+        data: Arc<Vec<u8>>,
+        usage: BufferUsage,
+    },
+    BufferSubData {
+        target: BufferTarget,
+        offset: u32,
+        data: Arc<Vec<u8>>,
+    },
 
     // -- textures ---------------------------------------------------------
     ActiveTexture(u32),
-    BindTexture { target: TextureTarget, texture: TextureId },
+    BindTexture {
+        target: TextureTarget,
+        texture: TextureId,
+    },
     TexImage2D {
         target: TextureTarget,
         level: u8,
@@ -146,25 +166,51 @@ pub enum GlCommand {
         format: PixelFormat,
         data: Arc<Vec<u8>>,
     },
-    TexParameter { target: TextureTarget, param: TexParam },
+    TexParameter {
+        target: TextureTarget,
+        param: TexParam,
+    },
 
     // -- framebuffers -----------------------------------------------------
     BindFramebuffer(FramebufferId),
-    FramebufferTexture2D { texture: TextureId },
+    FramebufferTexture2D {
+        texture: TextureId,
+    },
 
     // -- fixed-function state ----------------------------------------------
     Enable(Capability),
     Disable(Capability),
-    BlendFunc { src: BlendFactor, dst: BlendFactor },
+    BlendFunc {
+        src: BlendFactor,
+        dst: BlendFactor,
+    },
     DepthFunc(DepthFunc),
     DepthMask(bool),
-    ClearColor { r: f32, g: f32, b: f32, a: f32 },
+    ClearColor {
+        r: f32,
+        g: f32,
+        b: f32,
+        a: f32,
+    },
     ClearDepth(f32),
-    Viewport { x: i32, y: i32, width: u32, height: u32 },
-    Scissor { x: i32, y: i32, width: u32, height: u32 },
+    Viewport {
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+    },
+    Scissor {
+        x: i32,
+        y: i32,
+        width: u32,
+        height: u32,
+    },
 
     // -- program state ------------------------------------------------------
-    Uniform { location: UniformLocation, value: UniformValue },
+    Uniform {
+        location: UniformLocation,
+        value: UniformValue,
+    },
 
     // -- vertex attributes --------------------------------------------------
     EnableVertexAttribArray(u32),
@@ -182,7 +228,11 @@ pub enum GlCommand {
 
     // -- rendering ----------------------------------------------------------
     Clear(ClearMask),
-    DrawArrays { mode: Primitive, first: u32, count: u32 },
+    DrawArrays {
+        mode: Primitive,
+        first: u32,
+        count: u32,
+    },
     DrawElements {
         mode: Primitive,
         count: u32,
@@ -382,10 +432,9 @@ impl ClientMemory {
     /// read overruns the region — the crash the real system would risk if
     /// it guessed vertex-array lengths instead of deferring.
     pub fn read(&self, ptr: ClientPtr, len: usize) -> Result<&[u8], GlError> {
-        let region = self
-            .regions
-            .get(&ptr.0)
-            .ok_or_else(|| GlError::InvalidValue(format!("dangling client pointer {:#x}", ptr.0)))?;
+        let region = self.regions.get(&ptr.0).ok_or_else(|| {
+            GlError::InvalidValue(format!("dangling client pointer {:#x}", ptr.0))
+        })?;
         region.get(..len).ok_or_else(|| {
             GlError::InvalidValue(format!(
                 "client read of {len} bytes overruns region of {} bytes",

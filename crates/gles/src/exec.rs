@@ -272,17 +272,16 @@ impl SoftGpu {
         let pos_size = pos_attrib.size as usize;
 
         let color_attrib = self.ctx.attrib(1)?;
-        let color_data = if color_attrib.enabled
-            && color_attrib.ty == AttribType::F32
-            && color_attrib.size == 4
-        {
-            Some((
-                self.attrib_bytes(1, mem)?,
-                color_attrib.effective_stride() as usize,
-            ))
-        } else {
-            None
-        };
+        let color_data =
+            if color_attrib.enabled && color_attrib.ty == AttribType::F32 && color_attrib.size == 4
+            {
+                Some((
+                    self.attrib_bytes(1, mem)?,
+                    color_attrib.effective_stride() as usize,
+                ))
+            } else {
+                None
+            };
 
         let mut out = Vec::with_capacity(count as usize);
         for i in first..first + count {
@@ -393,7 +392,9 @@ impl SoftGpu {
         let bytes: Arc<Vec<u8>> = match src {
             IndexSource::Inline(data) => Arc::clone(data),
             IndexSource::BufferOffset(off) => {
-                let id = self.ctx.buffer_binding(crate::types::BufferTarget::ElementArray);
+                let id = self
+                    .ctx
+                    .buffer_binding(crate::types::BufferTarget::ElementArray);
                 if id.is_null() {
                     return Err(GlError::InvalidOperation(
                         "glDrawElements with no element buffer".into(),
@@ -448,7 +449,8 @@ mod tests {
 
     /// Sets up a linked program and a full-screen triangle in attribute 0.
     fn scene(gpu: &mut SoftGpu) {
-        gpu.execute(&GlCommand::CreateProgram(ProgramId(1))).unwrap();
+        gpu.execute(&GlCommand::CreateProgram(ProgramId(1)))
+            .unwrap();
         gpu.execute(&GlCommand::LinkProgram(ProgramId(1))).unwrap();
         gpu.execute(&GlCommand::UseProgram(ProgramId(1))).unwrap();
         gpu.execute(&GlCommand::EnableVertexAttribArray(0)).unwrap();
@@ -532,7 +534,8 @@ mod tests {
     #[test]
     fn unmaterialized_pointer_on_server_is_rejected() {
         let mut gpu = SoftGpu::new(8, 8, ExecMode::Full);
-        gpu.execute(&GlCommand::CreateProgram(ProgramId(1))).unwrap();
+        gpu.execute(&GlCommand::CreateProgram(ProgramId(1)))
+            .unwrap();
         gpu.execute(&GlCommand::LinkProgram(ProgramId(1))).unwrap();
         gpu.execute(&GlCommand::UseProgram(ProgramId(1))).unwrap();
         gpu.execute(&GlCommand::EnableVertexAttribArray(0)).unwrap();
@@ -558,7 +561,8 @@ mod tests {
     #[test]
     fn client_memory_resolved_on_local_path() {
         let mut gpu = SoftGpu::new(16, 16, ExecMode::Full);
-        gpu.execute(&GlCommand::CreateProgram(ProgramId(1))).unwrap();
+        gpu.execute(&GlCommand::CreateProgram(ProgramId(1)))
+            .unwrap();
         gpu.execute(&GlCommand::LinkProgram(ProgramId(1))).unwrap();
         gpu.execute(&GlCommand::UseProgram(ProgramId(1))).unwrap();
         gpu.execute(&GlCommand::EnableVertexAttribArray(0)).unwrap();
@@ -632,7 +636,8 @@ mod tests {
     #[test]
     fn triangle_strip_assembles_n_minus_two() {
         let mut gpu = SoftGpu::new(16, 16, ExecMode::CostOnly);
-        gpu.execute(&GlCommand::CreateProgram(ProgramId(1))).unwrap();
+        gpu.execute(&GlCommand::CreateProgram(ProgramId(1)))
+            .unwrap();
         gpu.execute(&GlCommand::LinkProgram(ProgramId(1))).unwrap();
         gpu.execute(&GlCommand::UseProgram(ProgramId(1))).unwrap();
         gpu.execute(&GlCommand::EnableVertexAttribArray(0)).unwrap();

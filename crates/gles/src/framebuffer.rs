@@ -265,7 +265,7 @@ mod tests {
         assert_eq!(fb.tile_grid(), (3, 2));
         // Edge tile is 1 px wide, 16 tall.
         let t = fb.tile_bytes(2, 0).unwrap();
-        assert_eq!(t.len(), 1 * 16 * 4);
+        assert_eq!(t.len(), 16 * 4);
     }
 
     #[test]

@@ -21,13 +21,11 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use crate::command::{
-    ClientMemory, GlCommand, IndexSource, TexParam, UniformValue, VertexSource,
-};
+use crate::command::{ClientMemory, GlCommand, IndexSource, TexParam, UniformValue, VertexSource};
 use crate::types::{
-    AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, ClearMask,
-    DepthFunc, FramebufferId, IndexType, PixelFormat, Primitive, ProgramId, ShaderId, ShaderKind,
-    TextureId, TextureTarget, UniformLocation,
+    AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, ClearMask, DepthFunc,
+    FramebufferId, IndexType, PixelFormat, Primitive, ProgramId, ShaderId, ShaderKind, TextureId,
+    TextureTarget, UniformLocation,
 };
 
 /// Errors produced by the wire codec and the deferred resolver.
@@ -676,33 +674,30 @@ pub fn encode_command(cmd: &GlCommand, out: &mut Vec<u8>) -> Result<(), WireErro
             normalized,
             stride,
             source,
-        } => {
-            match source {
-                VertexSource::BufferOffset(off) => {
-                    put_u8(out, op::VERTEX_ATTRIB_POINTER_BUF);
-                    put_u32(out, *index);
-                    put_u8(out, *size);
-                    put_u8(out, attrib_type_byte(*ty));
-                    put_u8(out, *normalized as u8);
-                    put_u32(out, *stride);
-                    put_u32(out, *off);
-                }
-                VertexSource::Materialized(data) => {
-                    put_u8(out, op::VERTEX_ATTRIB_POINTER_MAT);
-                    put_u32(out, *index);
-                    put_u8(out, *size);
-                    put_u8(out, attrib_type_byte(*ty));
-                    put_u8(out, *normalized as u8);
-                    put_u32(out, *stride);
-                    put_bytes(out, data);
-                }
-                VertexSource::ClientMemory(_) => return Err(WireError::UnresolvedPointer),
+        } => match source {
+            VertexSource::BufferOffset(off) => {
+                put_u8(out, op::VERTEX_ATTRIB_POINTER_BUF);
+                put_u32(out, *index);
+                put_u8(out, *size);
+                put_u8(out, attrib_type_byte(*ty));
+                put_u8(out, *normalized as u8);
+                put_u32(out, *stride);
+                put_u32(out, *off);
             }
-        }
+            VertexSource::Materialized(data) => {
+                put_u8(out, op::VERTEX_ATTRIB_POINTER_MAT);
+                put_u32(out, *index);
+                put_u8(out, *size);
+                put_u8(out, attrib_type_byte(*ty));
+                put_u8(out, *normalized as u8);
+                put_u32(out, *stride);
+                put_bytes(out, data);
+            }
+            VertexSource::ClientMemory(_) => return Err(WireError::UnresolvedPointer),
+        },
         GlCommand::Clear(mask) => {
             put_u8(out, op::CLEAR);
-            let bits =
-                (mask.color as u8) | ((mask.depth as u8) << 1) | ((mask.stencil as u8) << 2);
+            let bits = (mask.color as u8) | ((mask.depth as u8) << 1) | ((mask.stencil as u8) << 2);
             put_u8(out, bits);
         }
         GlCommand::DrawArrays { mode, first, count } => {
@@ -1066,20 +1061,16 @@ impl DeferredResolver {
                 target: BufferTarget::ElementArray,
                 data,
                 ..
-            } => {
-                if !self.bound_element.is_null() {
-                    self.element_buffers
-                        .insert(self.bound_element.raw(), Arc::clone(data));
-                }
+            } if !self.bound_element.is_null() => {
+                self.element_buffers
+                    .insert(self.bound_element.raw(), Arc::clone(data));
             }
             _ => {}
         }
 
         match cmd {
             GlCommand::VertexAttribPointer {
-                index,
-                ref source,
-                ..
+                index, ref source, ..
             } if matches!(source, VertexSource::ClientMemory(_)) => {
                 // Defer: transmission postponed until a draw reveals size.
                 self.held.insert(index, cmd);
@@ -1160,21 +1151,14 @@ impl DeferredResolver {
         Ok(out)
     }
 
-    fn max_index(
-        &self,
-        count: u32,
-        ty: IndexType,
-        src: &IndexSource,
-    ) -> Result<u32, WireError> {
+    fn max_index(&self, count: u32, ty: IndexType, src: &IndexSource) -> Result<u32, WireError> {
         let bytes: &[u8] = match src {
             IndexSource::Inline(data) => data,
             IndexSource::BufferOffset(off) => {
                 let buf = self
                     .element_buffers
                     .get(&self.bound_element.raw())
-                    .ok_or_else(|| {
-                        WireError::ClientRead("element buffer not shadowed".into())
-                    })?;
+                    .ok_or_else(|| WireError::ClientRead("element buffer not shadowed".into()))?;
                 buf.get(*off as usize..).ok_or_else(|| {
                     WireError::ClientRead("index offset past element buffer".into())
                 })?

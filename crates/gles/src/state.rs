@@ -17,8 +17,7 @@ use std::sync::Arc;
 use crate::command::{GlCommand, TexParam, UniformValue, VertexSource};
 use crate::types::{
     AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, DepthFunc,
-    FramebufferId, GlError, PixelFormat, ProgramId, ShaderId, ShaderKind, TextureId,
-    TextureTarget,
+    FramebufferId, GlError, PixelFormat, ProgramId, ShaderId, ShaderKind, TextureId, TextureTarget,
 };
 
 /// A texture object's storage and parameters.
@@ -425,8 +424,11 @@ impl GlContext {
                     obj.target = *target;
                     self.frame_textures.insert(texture.raw());
                 }
-                self.texture_units[self.active_unit as usize] =
-                    if texture.is_null() { None } else { Some(*texture) };
+                self.texture_units[self.active_unit as usize] = if texture.is_null() {
+                    None
+                } else {
+                    Some(*texture)
+                };
             }
             GlCommand::TexImage2D {
                 format,
@@ -565,8 +567,7 @@ impl GlContext {
                 if !(1..=4).contains(size) {
                     return Err(GlError::InvalidValue(format!("attrib size {size}")));
                 }
-                if matches!(source, VertexSource::BufferOffset(_)) && self.array_buffer.is_null()
-                {
+                if matches!(source, VertexSource::BufferOffset(_)) && self.array_buffer.is_null() {
                     return Err(GlError::InvalidOperation(
                         "buffer-offset pointer with no GL_ARRAY_BUFFER bound".into(),
                     ));

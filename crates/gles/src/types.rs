@@ -336,8 +336,8 @@ mod tests {
 
     #[test]
     fn clear_mask_constants() {
-        assert!(ClearMask::ALL.depth);
-        assert!(!ClearMask::COLOR.depth);
-        assert!(ClearMask::COLOR.color);
+        const { assert!(ClearMask::ALL.depth) };
+        const { assert!(!ClearMask::COLOR.depth) };
+        const { assert!(ClearMask::COLOR.color) };
     }
 }

@@ -184,7 +184,9 @@ mod tests {
     #[test]
     fn route1_direct_link_is_intercepted() {
         let mut hooks = engine();
-        let ptr = hooks.lookup("glDrawElements", LookupRoute::DirectLink).unwrap();
+        let ptr = hooks
+            .lookup("glDrawElements", LookupRoute::DirectLink)
+            .unwrap();
         assert!(hooks.is_intercepted(&ptr));
     }
 
@@ -200,7 +202,9 @@ mod tests {
     #[test]
     fn route3_dlopen_dlsym_is_intercepted() {
         let mut hooks = engine();
-        let ptr = hooks.lookup("glTexImage2D", LookupRoute::DlopenDlsym).unwrap();
+        let ptr = hooks
+            .lookup("glTexImage2D", LookupRoute::DlopenDlsym)
+            .unwrap();
         assert!(hooks.is_intercepted(&ptr));
     }
 

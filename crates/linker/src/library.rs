@@ -77,8 +77,7 @@ impl SharedLibrary {
     {
         for s in symbols {
             let s = s.into();
-            self.symbols
-                .insert(s.clone(), FnPtr::new(&self.name, &s));
+            self.symbols.insert(s.clone(), FnPtr::new(&self.name, &s));
         }
         self
     }

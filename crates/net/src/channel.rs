@@ -114,8 +114,8 @@ mod tests {
 
     #[test]
     fn bluetooth_is_an_order_of_magnitude_slower_than_wifi() {
-        let ratio = ChannelModel::wifi_80211n().bandwidth_bps
-            / ChannelModel::bluetooth().bandwidth_bps;
+        let ratio =
+            ChannelModel::wifi_80211n().bandwidth_bps / ChannelModel::bluetooth().bandwidth_bps;
         assert!((5.0..=15.0).contains(&ratio), "ratio {ratio}");
     }
 

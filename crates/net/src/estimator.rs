@@ -103,10 +103,8 @@ impl LossEstimator {
 
     /// Records one packet outcome.
     pub fn record(&mut self, lost: bool) {
-        if self.outcomes.len() == self.window {
-            if self.outcomes.pop_front() == Some(true) {
-                self.lost_in_window -= 1;
-            }
+        if self.outcomes.len() == self.window && self.outcomes.pop_front() == Some(true) {
+            self.lost_in_window -= 1;
         }
         self.outcomes.push_back(lost);
         if lost {

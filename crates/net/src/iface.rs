@@ -285,7 +285,7 @@ mod tests {
         // Send 21 Mbit = 1 second at 21 Mbps -> 0.1 J.
         bt.transmit(21_000_000 / 8, SimTime::ZERO, &ch);
         assert!((bt.energy_joules() - 0.1).abs() < 0.001);
-        assert!(WifiIface::TX_POWER_W / BluetoothIface::ACTIVE_POWER_W >= 10.0);
+        const { assert!(WifiIface::TX_POWER_W / BluetoothIface::ACTIVE_POWER_W >= 10.0) };
     }
 
     #[test]

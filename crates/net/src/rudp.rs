@@ -18,6 +18,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use gbooster_sim::event::EventQueue;
 use gbooster_sim::time::{SimDuration, SimTime};
+use gbooster_telemetry::{names, Registry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -171,6 +172,16 @@ impl RudpSender {
             .min()
     }
 
+    /// Send timestamps of the in-flight datagrams a cumulative ACK for
+    /// `seq` would retire (for RTT sampling; uses the most recent
+    /// transmission of each datagram).
+    pub fn sent_times_below(&self, seq: u64) -> Vec<SimTime> {
+        self.inflight
+            .range(..seq)
+            .map(|(_, &(_, sent))| sent)
+            .collect()
+    }
+
     /// True once every queued datagram is acknowledged.
     pub fn is_complete(&self) -> bool {
         self.queue.is_empty() && self.inflight.is_empty()
@@ -261,6 +272,21 @@ pub fn simulate_transfer(
     config: RudpConfig,
     seed: u64,
 ) -> TransferStats {
+    simulate_transfer_traced(bytes, channel, config, seed, None)
+}
+
+/// [`simulate_transfer`] with optional telemetry: when `registry` is
+/// given, records datagram/retransmission counters, per-datagram ack
+/// RTT samples, and the whole-transfer completion time. Identical
+/// protocol behavior either way.
+pub fn simulate_transfer_traced(
+    bytes: usize,
+    channel: &ChannelModel,
+    config: RudpConfig,
+    seed: u64,
+    registry: Option<&Registry>,
+) -> TransferStats {
+    let rtt_hist = registry.map(|r| r.histogram(names::net::RUDP_RTT));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sender = RudpSender::new(config);
     let mut receiver = RudpReceiver::new();
@@ -278,7 +304,10 @@ pub fn simulate_transfer(
         let tx_end = link_free_at.max(SimTime::ZERO) + channel.tx_time(dg.len);
         link_free_at = tx_end;
         if !channel.should_drop(&mut rng) {
-            queue.push(tx_end + channel.sample_latency(&mut rng), NetEvent::DataArrives(dg));
+            queue.push(
+                tx_end + channel.sample_latency(&mut rng),
+                NetEvent::DataArrives(dg),
+            );
         }
     }
     queue.push(SimTime::ZERO + config.rto, NetEvent::RtoCheck);
@@ -297,10 +326,18 @@ pub fn simulate_transfer(
                 }
                 // ACK path (ACKs are tiny; serialization ignored).
                 if !channel.should_drop(&mut rng) {
-                    queue.push(now + channel.sample_latency(&mut rng), NetEvent::AckArrives(ack));
+                    queue.push(
+                        now + channel.sample_latency(&mut rng),
+                        NetEvent::AckArrives(ack),
+                    );
                 }
             }
             NetEvent::AckArrives(ack) => {
+                if let Some(h) = &rtt_hist {
+                    for sent_at in sender.sent_times_below(ack) {
+                        h.record_duration(now - sent_at);
+                    }
+                }
                 sender.on_ack(ack);
                 if sender.is_complete() {
                     break;
@@ -343,12 +380,21 @@ pub fn simulate_transfer(
         }
     }
 
-    TransferStats {
+    let stats = TransferStats {
         completion: finish - SimTime::ZERO,
         datagrams_sent: sent,
         retransmissions: sender.retransmissions(),
         bytes: receiver.delivered_bytes(),
+    };
+    if let Some(reg) = registry {
+        reg.counter(names::net::RUDP_DATAGRAMS)
+            .add(stats.datagrams_sent);
+        reg.counter(names::net::RUDP_RETRANSMITS)
+            .add(stats.retransmissions);
+        reg.histogram(names::net::RUDP_TRANSFER)
+            .record_duration(stats.completion);
     }
+    stats
 }
 
 #[cfg(test)]
@@ -471,6 +517,28 @@ mod tests {
         let a = simulate_transfer(100_000, &ch, RudpConfig::default(), 11);
         let b = simulate_transfer(100_000, &ch, RudpConfig::default(), 11);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn traced_transfer_matches_untraced_and_fills_registry() {
+        let ch = ChannelModel::lossy(0.05);
+        let registry = Registry::new();
+        let plain = simulate_transfer(200_000, &ch, RudpConfig::default(), 9);
+        let traced =
+            simulate_transfer_traced(200_000, &ch, RudpConfig::default(), 9, Some(&registry));
+        assert_eq!(plain, traced, "telemetry must not change the protocol");
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(names::net::RUDP_DATAGRAMS),
+            traced.datagrams_sent
+        );
+        assert_eq!(
+            snap.counter(names::net::RUDP_RETRANSMITS),
+            traced.retransmissions
+        );
+        let rtt = snap.histogram(names::net::RUDP_RTT).unwrap();
+        assert!(rtt.count() > 0, "ack RTTs must be sampled");
+        assert!(rtt.quantile(0.5) > 0);
     }
 
     #[test]

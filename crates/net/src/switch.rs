@@ -16,6 +16,7 @@
 //! latency a false negative costs.
 
 use gbooster_sim::time::{SimDuration, SimTime};
+use gbooster_telemetry::{names, Counter, Registry};
 
 use crate::channel::ChannelModel;
 use crate::iface::{BluetoothIface, WifiIface};
@@ -60,6 +61,16 @@ pub struct SwitchStats {
     pub bt_bytes: u64,
 }
 
+/// Pre-resolved registry handles for the switching counters, so the
+/// per-transfer path costs one atomic add per event.
+#[derive(Clone, Debug)]
+struct SwitchCounters {
+    wakes: Counter,
+    mispredictions: Counter,
+    wifi_bytes: Counter,
+    bt_bytes: Counter,
+}
+
 /// Dual-radio manager implementing the paper's switching policy.
 ///
 /// # Examples
@@ -84,6 +95,7 @@ pub struct InterfaceManager {
     want_wifi: bool,
     lull: u32,
     stats: SwitchStats,
+    counters: Option<SwitchCounters>,
 }
 
 impl InterfaceManager {
@@ -100,6 +112,7 @@ impl InterfaceManager {
             want_wifi: !switching_enabled,
             lull: 0,
             stats: SwitchStats::default(),
+            counters: None,
         };
         if !switching_enabled {
             // Ablated configuration: WiFi permanently on.
@@ -115,6 +128,26 @@ impl InterfaceManager {
         self.bt_channel.bandwidth_mbps() * BT_SAFETY
     }
 
+    /// Mirrors switch events into `registry` from now on. Events that
+    /// already happened (e.g. the boot wake of the ablated
+    /// configuration) are backfilled, so the registry counters always
+    /// equal [`InterfaceManager::stats`].
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        let counters = SwitchCounters {
+            wakes: registry.counter(names::net::WIFI_WAKES),
+            mispredictions: registry.counter(names::net::MISPREDICTIONS),
+            wifi_bytes: registry.counter(names::net::WIFI_BYTES),
+            bt_bytes: registry.counter(names::net::BT_BYTES),
+        };
+        counters.wakes.add(self.stats.wifi_wakes as u64);
+        counters
+            .mispredictions
+            .add(self.stats.degraded_sends as u64);
+        counters.wifi_bytes.add(self.stats.wifi_bytes);
+        counters.bt_bytes.add(self.stats.bt_bytes);
+        self.counters = Some(counters);
+    }
+
     /// Feeds the predicted demand (Mbps) for the next window; actuates
     /// radio power state. Call once per control interval (the paper
     /// forecasts 500 ms ahead).
@@ -127,6 +160,9 @@ impl InterfaceManager {
             if !self.want_wifi {
                 self.want_wifi = true;
                 self.stats.wifi_wakes += 1;
+                if let Some(c) = &self.counters {
+                    c.wakes.inc();
+                }
             }
             self.wifi.power_on(now);
         } else {
@@ -143,7 +179,7 @@ impl InterfaceManager {
         let wifi_ready = self.wifi.is_ready(now);
         if self.want_wifi && wifi_ready {
             let done_at = self.wifi.transmit(bytes, now, &self.wifi_channel);
-            self.stats.wifi_bytes += bytes as u64;
+            self.account(Route::Wifi, bytes, false);
             TxOutcome {
                 done_at,
                 route: Route::Wifi,
@@ -151,15 +187,31 @@ impl InterfaceManager {
             }
         } else {
             let degraded = self.want_wifi && !wifi_ready;
-            if degraded {
-                self.stats.degraded_sends += 1;
-            }
             let done_at = self.bt.transmit(bytes, now, &self.bt_channel);
-            self.stats.bt_bytes += bytes as u64;
+            self.account(Route::Bluetooth, bytes, degraded);
             TxOutcome {
                 done_at,
                 route: Route::Bluetooth,
                 degraded,
+            }
+        }
+    }
+
+    fn account(&mut self, route: Route, bytes: usize, degraded: bool) {
+        match route {
+            Route::Wifi => self.stats.wifi_bytes += bytes as u64,
+            Route::Bluetooth => self.stats.bt_bytes += bytes as u64,
+        }
+        if degraded {
+            self.stats.degraded_sends += 1;
+        }
+        if let Some(c) = &self.counters {
+            match route {
+                Route::Wifi => c.wifi_bytes.add(bytes as u64),
+                Route::Bluetooth => c.bt_bytes.add(bytes as u64),
+            }
+            if degraded {
+                c.mispredictions.inc();
             }
         }
     }
@@ -170,7 +222,7 @@ impl InterfaceManager {
         let wifi_ready = self.wifi.is_ready(now);
         if self.want_wifi && wifi_ready {
             let done_at = self.wifi.receive(bytes, now, &self.wifi_channel);
-            self.stats.wifi_bytes += bytes as u64;
+            self.account(Route::Wifi, bytes, false);
             TxOutcome {
                 done_at,
                 route: Route::Wifi,
@@ -178,11 +230,8 @@ impl InterfaceManager {
             }
         } else {
             let degraded = self.want_wifi && !wifi_ready;
-            if degraded {
-                self.stats.degraded_sends += 1;
-            }
             let done_at = self.bt.receive(bytes, now, &self.bt_channel);
-            self.stats.bt_bytes += bytes as u64;
+            self.account(Route::Bluetooth, bytes, degraded);
             TxOutcome {
                 done_at,
                 route: Route::Bluetooth,
@@ -319,6 +368,30 @@ mod tests {
             with.energy_joules(),
             without.energy_joules()
         );
+    }
+
+    #[test]
+    fn registry_counters_mirror_stats() {
+        let mut mgr = InterfaceManager::new(true);
+        mgr.transmit(1000, SimTime::ZERO); // before attach: backfilled
+        let registry = Registry::new();
+        mgr.attach_registry(&registry);
+        mgr.plan(40.0, SimTime::ZERO);
+        mgr.transmit(2000, SimTime::from_millis(10)); // degraded: WiFi waking
+        mgr.receive(3000, SimTime::from_secs(2));
+        let stats = mgr.stats();
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter(names::net::WIFI_WAKES),
+            stats.wifi_wakes as u64
+        );
+        assert_eq!(
+            snap.counter(names::net::MISPREDICTIONS),
+            stats.degraded_sends as u64
+        );
+        assert_eq!(snap.counter(names::net::WIFI_BYTES), stats.wifi_bytes);
+        assert_eq!(snap.counter(names::net::BT_BYTES), stats.bt_bytes);
+        assert!(stats.degraded_sends >= 1);
     }
 
     #[test]

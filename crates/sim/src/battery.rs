@@ -138,7 +138,10 @@ mod tests {
         b.drain_joules(3.6 * 3600.0 / 2.0); // half
         assert!((b.remaining_fraction() - 0.5).abs() < 1e-9);
         let rem = b.remaining_at(1.8).as_secs_f64() / 3600.0;
-        assert!((rem - 1.0).abs() < 1e-9, "1 h left at half capacity / 1.8 W");
+        assert!(
+            (rem - 1.0).abs() < 1e-9,
+            "1 h left at half capacity / 1.8 W"
+        );
     }
 
     #[test]

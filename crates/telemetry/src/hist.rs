@@ -1,0 +1,302 @@
+//! Fixed-bucket latency histograms.
+//!
+//! Values (microseconds by convention, but any `u64` works) land in
+//! log-linear buckets: exact below [`LINEAR_CUTOFF`], then 16 linear
+//! sub-buckets per power of two. Bucketing is a pure function of the
+//! value, so merging two histograms bucket-wise is *exactly* equivalent
+//! to recording the union of their samples — the property the test
+//! suite checks.
+//!
+//! Recording is a single atomic increment plus two atomic min/max
+//! updates; no locks anywhere on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values below this land in 1-unit-wide exact buckets.
+const LINEAR_CUTOFF: u64 = 128;
+
+/// Sub-buckets per power of two above the linear region.
+const SUB_BUCKETS: u64 = 16;
+
+/// log2 of [`LINEAR_CUTOFF`].
+const CUTOFF_BITS: u32 = 7;
+
+/// Highest representable power of two (values above clamp to the last
+/// bucket). 2^40 µs ≈ 12.7 days of sim time — far beyond any session.
+const MAX_BITS: u32 = 40;
+
+/// Total bucket count.
+pub const BUCKETS: usize =
+    LINEAR_CUTOFF as usize + ((MAX_BITS - CUTOFF_BITS) as usize) * SUB_BUCKETS as usize;
+
+/// Maps a value to its bucket index.
+fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    if msb >= MAX_BITS {
+        return BUCKETS - 1;
+    }
+    let sub = (v >> (msb - 4)) & (SUB_BUCKETS - 1);
+    LINEAR_CUTOFF as usize + ((msb - CUTOFF_BITS) as usize) * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Inclusive upper bound of a bucket (used as the quantile estimate).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < LINEAR_CUTOFF as usize {
+        return idx as u64;
+    }
+    if idx == BUCKETS - 1 {
+        // The overflow bucket absorbs everything above 2^40.
+        return u64::MAX;
+    }
+    let rel = idx - LINEAR_CUTOFF as usize;
+    let msb = CUTOFF_BITS + (rel / SUB_BUCKETS as usize) as u32;
+    let sub = (rel % SUB_BUCKETS as usize) as u64;
+    let width = 1u64 << (msb - 4);
+    (1u64 << msb) + (sub + 1) * width - 1
+}
+
+/// The lock-free histogram core. Shared behind an `Arc` by
+/// [`crate::registry::Histogram`] handles.
+pub struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramCore {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        HistogramCore {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for HistogramCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.snapshot();
+        f.debug_struct("HistogramCore")
+            .field("count", &s.count)
+            .field("p50", &s.quantile(0.50))
+            .field("p99", &s.quantile(0.99))
+            .field("max", &s.max())
+            .finish()
+    }
+}
+
+/// An immutable copy of a histogram's state, with quantile queries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile estimate, `q` in `[0, 1]`.
+    ///
+    /// Returns the upper bound of the bucket holding the `ceil(q·count)`-th
+    /// sample, clamped to the exact observed extremes so that
+    /// `min() ≤ quantile(q) ≤ max()` and quantiles are monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// p50 in milliseconds, treating samples as microseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile(0.50) as f64 / 1000.0
+    }
+
+    /// p90 in milliseconds, treating samples as microseconds.
+    pub fn p90_ms(&self) -> f64 {
+        self.quantile(0.90) as f64 / 1000.0
+    }
+
+    /// p99 in milliseconds, treating samples as microseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile(0.99) as f64 / 1000.0
+    }
+
+    /// Merges `other` into `self`, bucket-wise. Exactly equivalent to
+    /// having recorded the union of both sample sets.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_total() {
+        let mut last = 0usize;
+        for v in 0..100_000u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "bucket index regressed at {v}");
+            assert!(v <= bucket_upper(idx), "value {v} above bucket bound");
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn linear_region_is_exact() {
+        let h = HistogramCore::new();
+        for v in [0u64, 1, 17, 127] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.max(), 127);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 145);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = HistogramCore::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_bound_large_values() {
+        let h = HistogramCore::new();
+        h.record(1_000_000); // 1 s in µs
+        let s = h.snapshot();
+        // Bucket bound relative error is at most 1/16.
+        assert!(s.quantile(0.5) >= 1_000_000);
+        assert!(s.quantile(0.5) <= 1_000_000 + 1_000_000 / 16 + 1);
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let a = HistogramCore::new();
+        let b = HistogramCore::new();
+        let union = HistogramCore::new();
+        for v in [3u64, 900, 44_000, 7] {
+            a.record(v);
+            union.record(v);
+        }
+        for v in [88u64, 1_000_000, 2] {
+            b.record(v);
+            union.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, union.snapshot());
+    }
+}

@@ -1,0 +1,60 @@
+//! Unified observability for the GBooster offload pipeline.
+//!
+//! Three layers, all driven by **sim time** ([`gbooster_sim::time`]),
+//! never the wall clock:
+//!
+//! * [`Registry`] — a lock-cheap store of named counters, gauges, and
+//!   fixed-bucket latency histograms (p50/p90/p99/max). Registration
+//!   takes a mutex once; the returned handles are plain atomics, so
+//!   per-frame instrumentation costs an atomic add.
+//! * [`trace`] — per-frame span trees ([`SpanNode`]) recording a
+//!   frame's journey through intercept → resolve → cache → LZ4 →
+//!   uplink → dispatch → render → encode → downlink → decode → vsync,
+//!   accumulated in a [`TraceLog`] and exportable as JSON Lines.
+//! * [`report`] — [`TelemetrySnapshot`], a point-in-time copy of the
+//!   registry with derived pipeline metrics (cache hit rate,
+//!   compression ratio, retransmit and misprediction counts) and a
+//!   human-readable end-of-session report.
+//!
+//! Metric and stage names live in [`names`]; the full schema is
+//! documented in `docs/OBSERVABILITY.md`.
+//!
+//! ```
+//! use gbooster_sim::time::SimTime;
+//! use gbooster_telemetry::{names, FrameTrace, Registry, SpanNode, TraceLog};
+//!
+//! let reg = Registry::new();
+//! reg.histogram(names::stage::UPLINK).record(1_500); // µs
+//! reg.counter(names::forward::CACHE_HITS).add(40);
+//! reg.counter(names::forward::CACHE_MISSES).add(10);
+//!
+//! let mut trace = TraceLog::new();
+//! let mut root = SpanNode::new(
+//!     names::stage::FRAME,
+//!     SimTime::ZERO,
+//!     SimTime::from_micros(2_000),
+//! );
+//! root.stage(
+//!     names::stage::UPLINK,
+//!     SimTime::from_micros(100),
+//!     SimTime::from_micros(1_600),
+//! );
+//! trace.push(FrameTrace { seq: 0, root });
+//!
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.cache_hit_rate(), 0.8);
+//! assert!(snap.render_report().contains("stage.uplink"));
+//! assert_eq!(trace.to_jsonl().lines().count(), 1);
+//! ```
+
+pub mod hist;
+pub mod json;
+pub mod names;
+pub mod registry;
+pub mod report;
+pub mod trace;
+
+pub use hist::HistogramSnapshot;
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use report::TelemetrySnapshot;
+pub use trace::{FrameTrace, SpanNode, TraceLog};

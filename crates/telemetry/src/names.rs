@@ -1,0 +1,134 @@
+//! Canonical metric and span-stage names.
+//!
+//! Every instrumented crate registers under these constants so that the
+//! bench binaries, the end-of-session report, and the tests all agree on
+//! one vocabulary. Names are grouped by subsystem; histograms that
+//! record durations do so in microseconds of sim time.
+//!
+//! The full schema is documented in `docs/OBSERVABILITY.md`.
+
+/// Per-frame pipeline stage histograms (µs) and span names, in pipeline
+/// order. The root span of every frame is [`FRAME`].
+pub mod stage {
+    /// Root span covering the frame's whole journey.
+    pub const FRAME: &str = "frame";
+    /// GL call interception and bookkeeping.
+    pub const INTERCEPT: &str = "stage.intercept";
+    /// Deferred pointer resolution + wire encoding.
+    pub const RESOLVE: &str = "stage.resolve";
+    /// LRU command-cache tokenization.
+    pub const CACHE: &str = "stage.cache";
+    /// LZ4 compression of the token stream.
+    pub const LZ4: &str = "stage.lz4";
+    /// Radio uplink (commands to the service device).
+    pub const UPLINK: &str = "stage.uplink";
+    /// Queueing at the chosen service node before rendering starts.
+    pub const DISPATCH_WAIT: &str = "stage.dispatch_wait";
+    /// Remote rasterization.
+    pub const RENDER: &str = "stage.render";
+    /// Turbo tile encoding (the non-overlapped tail).
+    pub const ENCODE: &str = "stage.encode";
+    /// Radio downlink (encoded frame back to the phone).
+    pub const DOWNLINK: &str = "stage.downlink";
+    /// Phone-side Turbo decode.
+    pub const DECODE: &str = "stage.decode";
+    /// Wait for the next vsync after decode completes.
+    pub const DISPLAY_WAIT: &str = "stage.display_wait";
+    /// End-to-end frame latency histogram (µs).
+    pub const TOTAL: &str = "frame.total";
+
+    /// The child stages of every offloaded frame span, in order.
+    pub const PIPELINE: [&str; 11] = [
+        INTERCEPT,
+        RESOLVE,
+        CACHE,
+        LZ4,
+        UPLINK,
+        DISPATCH_WAIT,
+        RENDER,
+        ENCODE,
+        DOWNLINK,
+        DECODE,
+        DISPLAY_WAIT,
+    ];
+}
+
+/// Command forwarder + LRU cache + LZ4 (crates/core + crates/codec).
+pub mod forward {
+    /// LRU cache hits (counter).
+    pub const CACHE_HITS: &str = "cache.hits";
+    /// LRU cache misses (counter).
+    pub const CACHE_MISSES: &str = "cache.misses";
+    /// Serialized command bytes before caching/compression (counter).
+    pub const RAW_BYTES: &str = "forward.raw_bytes";
+    /// Token-stream bytes after caching, before LZ4 (counter).
+    pub const TOKEN_BYTES: &str = "forward.token_bytes";
+    /// Wire bytes after LZ4 (counter).
+    pub const WIRE_BYTES: &str = "forward.wire_bytes";
+    /// Commands forwarded after deferred resolution (counter).
+    pub const COMMANDS: &str = "forward.commands";
+}
+
+/// Dual-radio transport and the RUDP reliability layer (crates/net).
+pub mod net {
+    /// Uplink bytes offered to the transport (counter).
+    pub const UPLINK_BYTES: &str = "net.uplink_bytes";
+    /// Downlink bytes offered to the transport (counter).
+    pub const DOWNLINK_BYTES: &str = "net.downlink_bytes";
+    /// WiFi wake events (counter).
+    pub const WIFI_WAKES: &str = "net.wifi_wakes";
+    /// Sends degraded onto Bluetooth by a misprediction (counter).
+    pub const MISPREDICTIONS: &str = "net.mispredictions";
+    /// Bytes carried over WiFi (counter).
+    pub const WIFI_BYTES: &str = "net.wifi_bytes";
+    /// Bytes carried over Bluetooth (counter).
+    pub const BT_BYTES: &str = "net.bt_bytes";
+    /// Estimated datagram retransmissions on the session path (counter).
+    pub const RETRANSMITS: &str = "net.retransmits";
+    /// RUDP datagrams sent, including retransmissions (counter).
+    pub const RUDP_DATAGRAMS: &str = "rudp.datagrams";
+    /// RUDP retransmitted datagrams (counter).
+    pub const RUDP_RETRANSMITS: &str = "rudp.retransmits";
+    /// RUDP per-datagram ack round-trip time histogram (µs).
+    pub const RUDP_RTT: &str = "rudp.rtt";
+    /// RUDP whole-transfer completion time histogram (µs).
+    pub const RUDP_TRANSFER: &str = "rudp.transfer";
+}
+
+/// Eq. 4 dispatcher (crates/core/src/scheduler.rs).
+pub mod sched {
+    /// Rendering requests dispatched (counter).
+    pub const REQUESTS: &str = "sched.requests";
+    /// Queue wait at the chosen node histogram (µs).
+    pub const QUEUE_WAIT: &str = "sched.queue_wait";
+}
+
+/// Service-device runtime (crates/core/src/service.rs + crates/codec).
+pub mod service {
+    /// Commands applied to service GL replicas (counter).
+    pub const COMMANDS_APPLIED: &str = "service.commands_applied";
+    /// Turbo encode time histogram (µs).
+    pub const ENCODE_TIME: &str = "service.encode";
+    /// Turbo tiles transmitted (counter).
+    pub const TURBO_TILES_SENT: &str = "turbo.tiles_sent";
+    /// Turbo tiles in the full grid (counter).
+    pub const TURBO_TILES_TOTAL: &str = "turbo.tiles_total";
+    /// Turbo encoded bytes (counter).
+    pub const TURBO_ENCODED_BYTES: &str = "turbo.encoded_bytes";
+    /// Turbo raw RGBA bytes (counter).
+    pub const TURBO_RAW_BYTES: &str = "turbo.raw_bytes";
+}
+
+/// Session-level aggregates (crates/core/src/session.rs).
+pub mod session {
+    /// Frames displayed (counter).
+    pub const FRAMES_DISPLAYED: &str = "frames.displayed";
+    /// Frames whose transfers were degraded by a misprediction (counter).
+    pub const FRAMES_DEGRADED: &str = "frames.degraded";
+    /// Choreographer ticks with no redraw (counter).
+    pub const FRAMES_IDLE: &str = "frames.idle";
+    /// Busy single-core CPU time (counter, µs).
+    pub const CPU_BUSY_US: &str = "cpu.busy_core_us";
+    /// Whole-chip CPU utilization in `[0, 1]` (gauge).
+    pub const CPU_UTILIZATION: &str = "cpu.utilization";
+}

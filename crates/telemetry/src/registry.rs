@@ -1,0 +1,221 @@
+//! The lock-cheap metrics registry.
+//!
+//! A [`Registry`] is a cheaply clonable handle (an `Arc`) to a shared
+//! set of named counters, gauges, and histograms. Instruments are
+//! registered once under a `&'static str` name — the registration path
+//! takes a mutex, but the returned handles are plain atomics, so the
+//! hot path (increment a counter, record a latency) never locks.
+//!
+//! ```
+//! use gbooster_telemetry::Registry;
+//!
+//! let reg = Registry::new();
+//! let sent = reg.counter("net.datagrams");
+//! sent.add(3);
+//! assert_eq!(reg.snapshot().counter("net.datagrams"), 3);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use gbooster_sim::time::SimDuration;
+
+use crate::hist::HistogramCore;
+use crate::report::TelemetrySnapshot;
+
+/// A monotone event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins float gauge (stored as `f64` bits).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A handle to a registered fixed-bucket histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::detached()
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram not tied to any registry (tests, scratch use).
+    pub fn detached() -> Self {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+
+    /// Records one raw sample.
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// Records a sim-time duration in microseconds.
+    pub fn record_duration(&self, d: SimDuration) {
+        self.0.record(d.as_micros());
+    }
+
+    /// Takes a point-in-time copy.
+    pub fn snapshot(&self) -> crate::hist::HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<&'static str, Counter>>,
+    gauges: Mutex<BTreeMap<&'static str, Gauge>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+/// The shared metrics registry. Clones are handles to the same store.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first
+    /// use. Repeated calls with the same name share one counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .entry(name)
+            .or_default()
+            .clone()
+    }
+
+    /// Takes a point-in-time copy of every registered instrument.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+            .map(|(&k, v)| (k.to_string(), v.snapshot()))
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_shares_the_instrument() {
+        let reg = Registry::new();
+        reg.counter("x").add(2);
+        reg.counter("x").add(3);
+        assert_eq!(reg.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn clones_share_the_store() {
+        let reg = Registry::new();
+        let other = reg.clone();
+        other.gauge("g").set(0.25);
+        assert_eq!(reg.gauge("g").get(), 0.25);
+    }
+
+    #[test]
+    fn histogram_records_durations_in_micros() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        h.record_duration(SimDuration::from_millis(3));
+        assert_eq!(h.snapshot().max(), 3000);
+    }
+
+    #[test]
+    fn snapshot_is_a_copy() {
+        let reg = Registry::new();
+        reg.counter("c").inc();
+        let snap = reg.snapshot();
+        reg.counter("c").inc();
+        assert_eq!(snap.counter("c"), 1);
+        assert_eq!(reg.snapshot().counter("c"), 2);
+    }
+}

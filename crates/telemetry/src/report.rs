@@ -1,0 +1,237 @@
+//! Point-in-time telemetry snapshots and the end-of-session report.
+
+use std::collections::BTreeMap;
+
+use crate::hist::HistogramSnapshot;
+use crate::names;
+
+/// A copy of every instrument in a [`crate::Registry`] at one instant.
+///
+/// Missing names read as zero/empty, so report code never needs to care
+/// whether a subsystem was actually exercised.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// The counter registered under `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge registered under `name` (0.0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The histogram registered under `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// LRU command-cache hit rate in `[0, 1]` (0 when never exercised).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.counter(names::forward::CACHE_HITS);
+        let total = hits + self.counter(names::forward::CACHE_MISSES);
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Command-stream compression ratio, wire ÷ raw (1.0 when nothing
+    /// was forwarded; lower is better).
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = self.counter(names::forward::RAW_BYTES);
+        if raw == 0 {
+            1.0
+        } else {
+            self.counter(names::forward::WIRE_BYTES) as f64 / raw as f64
+        }
+    }
+
+    /// Turbo changed-tile fraction in `[0, 1]` (0 when never exercised).
+    pub fn turbo_changed_tile_fraction(&self) -> f64 {
+        let total = self.counter(names::service::TURBO_TILES_TOTAL);
+        if total == 0 {
+            0.0
+        } else {
+            self.counter(names::service::TURBO_TILES_SENT) as f64 / total as f64
+        }
+    }
+
+    /// Datagram retransmissions: the session-path estimate plus any RUDP
+    /// transfers measured directly.
+    pub fn retransmit_count(&self) -> u64 {
+        self.counter(names::net::RETRANSMITS) + self.counter(names::net::RUDP_RETRANSMITS)
+    }
+
+    /// Radio-switch mispredictions (sends degraded onto Bluetooth).
+    pub fn misprediction_count(&self) -> u64 {
+        self.counter(names::net::MISPREDICTIONS)
+    }
+
+    /// Renders the human-readable end-of-session report.
+    pub fn render_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== telemetry report ===\n");
+
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+                "latency (ms)", "count", "p50", "p90", "p99", "max"
+            ));
+            for (name, h) in &self.histograms {
+                if h.count() == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "{:<22} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                    name,
+                    h.count(),
+                    h.p50_ms(),
+                    h.p90_ms(),
+                    h.p99_ms(),
+                    h.max() as f64 / 1000.0,
+                ));
+            }
+        }
+
+        out.push_str(&format!(
+            "cache hit rate        {:>8.1}%\n",
+            self.cache_hit_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "compression ratio     {:>8.3}\n",
+            self.compression_ratio()
+        ));
+        if self.counter(names::service::TURBO_TILES_TOTAL) > 0 {
+            out.push_str(&format!(
+                "turbo changed tiles   {:>8.1}%\n",
+                self.turbo_changed_tile_fraction() * 100.0
+            ));
+        }
+        out.push_str(&format!(
+            "retransmits           {:>8}\n",
+            self.retransmit_count()
+        ));
+        out.push_str(&format!(
+            "radio mispredictions  {:>8}\n",
+            self.misprediction_count()
+        ));
+
+        if !self.counters.is_empty() {
+            out.push_str("--- counters ---\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<28} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("--- gauges ---\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<28} {v:.6}\n"));
+            }
+        }
+        out
+    }
+
+    /// Exports every instrument as one JSON object (a single line;
+    /// suitable as a trailer record after the frame JSONL stream).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::json::quote(k));
+            out.push(':');
+            out.push_str(&v.to_string());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::json::quote(k));
+            out.push(':');
+            out.push_str(&crate::json::number(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::json::quote(k));
+            out.push_str(&format!(
+                ":{{\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                h.count(),
+                h.sum(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max()
+            ));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn derived_rates_handle_empty_and_populated() {
+        let empty = TelemetrySnapshot::default();
+        assert_eq!(empty.cache_hit_rate(), 0.0);
+        assert_eq!(empty.compression_ratio(), 1.0);
+        assert_eq!(empty.retransmit_count(), 0);
+
+        let reg = Registry::new();
+        reg.counter(names::forward::CACHE_HITS).add(3);
+        reg.counter(names::forward::CACHE_MISSES).add(1);
+        reg.counter(names::forward::RAW_BYTES).add(1000);
+        reg.counter(names::forward::WIRE_BYTES).add(250);
+        reg.counter(names::net::MISPREDICTIONS).add(2);
+        let snap = reg.snapshot();
+        assert!((snap.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((snap.compression_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(snap.misprediction_count(), 2);
+    }
+
+    #[test]
+    fn report_renders_quantile_table() {
+        let reg = Registry::new();
+        let h = reg.histogram(names::stage::UPLINK);
+        for v in [1000u64, 2000, 3000, 50_000] {
+            h.record(v);
+        }
+        let report = reg.snapshot().render_report();
+        assert!(report.contains("stage.uplink"));
+        assert!(report.contains("p99"));
+        assert!(report.contains("cache hit rate"));
+        assert!(report.contains("radio mispredictions"));
+    }
+
+    #[test]
+    fn json_trailer_is_well_formed_enough() {
+        let reg = Registry::new();
+        reg.counter(names::session::FRAMES_DISPLAYED).add(7);
+        reg.gauge(names::session::CPU_UTILIZATION).set(0.5);
+        reg.histogram(names::stage::DECODE).record(123);
+        let json = reg.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"frames.displayed\":7"));
+        assert!(json.contains("\"cpu.utilization\":0.5"));
+        assert!(json.contains("\"stage.decode\""));
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the telemetry histograms (quantile ordering and
+//! the merge-equals-union law).
+
+use gbooster_telemetry::Histogram;
+use proptest::prelude::*;
+
+/// Samples spanning the linear region, the log region, and the clamp.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..128,
+            128u64..100_000,
+            100_000u64..10_000_000_000,
+            Just(u64::MAX),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantiles_are_ordered(values in samples()) {
+        let h = Histogram::detached();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p90 = s.quantile(0.90);
+        let p99 = s.quantile(0.99);
+        prop_assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        prop_assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        prop_assert!(p99 <= s.max(), "p99 {p99} > max {}", s.max());
+        prop_assert!(s.min() <= p50, "min {} > p50 {p50}", s.min());
+    }
+
+    #[test]
+    fn quantiles_bracket_true_order_statistics(values in samples()) {
+        // The estimate may round up within its bucket (≤ 1/16 relative
+        // error in the log region) but must never cross the neighboring
+        // order statistics' buckets.
+        let h = Histogram::detached();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let s = h.snapshot();
+        for &(q, pct) in &[(0.50f64, 50u64), (0.90, 90), (0.99, 99)] {
+            let rank = ((pct as f64 / 100.0 * sorted.len() as f64).ceil() as usize)
+                .clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let est = s.quantile(q);
+            prop_assert!(
+                est >= exact,
+                "q{pct} estimate {est} below exact {exact}"
+            );
+            // Upper bound: bucket width is at most max(1, exact/16) above
+            // the exact value, and never beyond the observed max.
+            let slack = (exact / 8).max(1);
+            prop_assert!(
+                est <= exact.saturating_add(slack).min(s.max().max(exact)),
+                "q{pct} estimate {est} too far above exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(a in samples(), b in samples()) {
+        let ha = Histogram::detached();
+        let hb = Histogram::detached();
+        let hu = Histogram::detached();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let union = hu.snapshot();
+        prop_assert_eq!(&merged, &union);
+        // Spot-check the derived views agree too.
+        prop_assert_eq!(merged.quantile(0.5), union.quantile(0.5));
+        prop_assert_eq!(merged.max(), union.max());
+        prop_assert_eq!(merged.count(), union.count());
+    }
+
+    #[test]
+    fn count_and_sum_are_exact(values in samples()) {
+        let h = Histogram::detached();
+        let mut sum = 0u128;
+        for &v in &values {
+            h.record(v);
+            sum += v as u128;
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        // Sum wraps at u64 in the store; compare modulo 2^64.
+        prop_assert_eq!(s.sum(), sum as u64);
+    }
+}

@@ -47,7 +47,10 @@ impl TouchGenerator {
     /// count per window, read from `/proc/interrupts` in the real system).
     pub fn next_window(&mut self, dt_secs: f64) -> u32 {
         // Enter/exit bursts.
-        if self.burst_remaining == 0 && self.rng.gen_bool((self.burst_prob_per_sec * dt_secs).min(1.0))
+        if self.burst_remaining == 0
+            && self
+                .rng
+                .gen_bool((self.burst_prob_per_sec * dt_secs).min(1.0))
         {
             self.burst_remaining = self.rng.gen_range(2..6);
         }
@@ -61,11 +64,12 @@ impl TouchGenerator {
         // Poisson approximation via Bernoulli sum, adequate for small dt.
         let whole = expected.floor() as u32;
         let frac = expected - whole as f64;
-        whole + if frac > 0.0 && self.rng.gen_bool(frac.min(1.0)) {
-            1
-        } else {
-            0
-        }
+        whole
+            + if frac > 0.0 && self.rng.gen_bool(frac.min(1.0)) {
+                1
+            } else {
+                0
+            }
     }
 
     /// True if a burst is in progress (used by tests and the traffic

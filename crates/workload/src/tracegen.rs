@@ -178,51 +178,52 @@ impl TraceGenerator {
     /// One-time context setup: shaders, program, quad buffer, initial
     /// texture set. Run through the system before the first frame.
     pub fn setup_trace(&mut self) -> FrameTrace {
-        let mut commands = Vec::new();
-        commands.push(GlCommand::CreateShader(ShaderId(1), ShaderKind::Vertex));
-        commands.push(GlCommand::ShaderSource {
-            shader: ShaderId(1),
-            source: "attribute vec2 pos; uniform mat4 mvp; void main() { \
-                     gl_Position = mvp * vec4(pos, 0.0, 1.0); }"
-                .into(),
-        });
-        commands.push(GlCommand::CompileShader(ShaderId(1)));
-        commands.push(GlCommand::CreateShader(ShaderId(2), ShaderKind::Fragment));
-        commands.push(GlCommand::ShaderSource {
-            shader: ShaderId(2),
-            source: "precision mediump float; uniform sampler2D tex; \
-                     void main() { gl_FragColor = vec4(0.5); }"
-                .into(),
-        });
-        commands.push(GlCommand::CompileShader(ShaderId(2)));
-        commands.push(GlCommand::CreateProgram(Self::PROGRAM));
-        commands.push(GlCommand::AttachShader {
-            program: Self::PROGRAM,
-            shader: ShaderId(1),
-        });
-        commands.push(GlCommand::AttachShader {
-            program: Self::PROGRAM,
-            shader: ShaderId(2),
-        });
-        commands.push(GlCommand::LinkProgram(Self::PROGRAM));
-        commands.push(GlCommand::UseProgram(Self::PROGRAM));
-        commands.push(GlCommand::GenBuffer(Self::QUAD_BUFFER));
-        commands.push(GlCommand::BindBuffer {
-            target: BufferTarget::Array,
-            buffer: Self::QUAD_BUFFER,
-        });
-        commands.push(GlCommand::BufferData {
-            target: BufferTarget::Array,
-            data: Arc::new(Self::quad_bytes()),
-            usage: BufferUsage::StaticDraw,
-        });
-        commands.push(GlCommand::EnableVertexAttribArray(0));
-        commands.push(GlCommand::Viewport {
-            x: 0,
-            y: 0,
-            width: self.width,
-            height: self.height,
-        });
+        let mut commands = vec![
+            GlCommand::CreateShader(ShaderId(1), ShaderKind::Vertex),
+            GlCommand::ShaderSource {
+                shader: ShaderId(1),
+                source: "attribute vec2 pos; uniform mat4 mvp; void main() { \
+                         gl_Position = mvp * vec4(pos, 0.0, 1.0); }"
+                    .into(),
+            },
+            GlCommand::CompileShader(ShaderId(1)),
+            GlCommand::CreateShader(ShaderId(2), ShaderKind::Fragment),
+            GlCommand::ShaderSource {
+                shader: ShaderId(2),
+                source: "precision mediump float; uniform sampler2D tex; \
+                         void main() { gl_FragColor = vec4(0.5); }"
+                    .into(),
+            },
+            GlCommand::CompileShader(ShaderId(2)),
+            GlCommand::CreateProgram(Self::PROGRAM),
+            GlCommand::AttachShader {
+                program: Self::PROGRAM,
+                shader: ShaderId(1),
+            },
+            GlCommand::AttachShader {
+                program: Self::PROGRAM,
+                shader: ShaderId(2),
+            },
+            GlCommand::LinkProgram(Self::PROGRAM),
+            GlCommand::UseProgram(Self::PROGRAM),
+            GlCommand::GenBuffer(Self::QUAD_BUFFER),
+            GlCommand::BindBuffer {
+                target: BufferTarget::Array,
+                buffer: Self::QUAD_BUFFER,
+            },
+            GlCommand::BufferData {
+                target: BufferTarget::Array,
+                data: Arc::new(Self::quad_bytes()),
+                usage: BufferUsage::StaticDraw,
+            },
+            GlCommand::EnableVertexAttribArray(0),
+            GlCommand::Viewport {
+                x: 0,
+                y: 0,
+                width: self.width,
+                height: self.height,
+            },
+        ];
         for _ in 0..self.profile.texture_count {
             let id = self.alloc_texture(&mut commands);
             self.scene_textures.push(id);
@@ -324,7 +325,7 @@ impl TraceGenerator {
                     *v = self.rng.gen_range(-1.0..1.0);
                 }
             }
-        } else if self.profile.texture_churn_bytes > 0 && self.frame_index % 10 == 0 {
+        } else if self.profile.texture_churn_bytes > 0 && self.frame_index.is_multiple_of(10) {
             // Background streaming (mip updates, atlas churn).
             let side = 32u32;
             let phase: u8 = self.rng.gen();

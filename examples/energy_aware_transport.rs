@@ -15,7 +15,7 @@ use gbooster::sim::time::{SimDuration, SimTime};
 fn phase_traffic(t_secs: f64) -> (usize, u32, u32) {
     // (bytes per 100 ms window, touches, textures)
     match t_secs as u64 % 30 {
-        0..=9 => (30_000, 0, 8),    // menu / lull: ~2.4 Mbps -> Bluetooth
+        0..=9 => (30_000, 0, 8),     // menu / lull: ~2.4 Mbps -> Bluetooth
         10..=19 => (150_000, 2, 18), // steady play: ~12 Mbps -> Bluetooth
         _ => (400_000, 7, 30),       // firefight: ~32 Mbps -> WiFi
     }
@@ -47,9 +47,7 @@ fn main() {
         stats.wifi_bytes as f64 / 1e6,
         stats.bt_bytes as f64 / 1e6
     );
-    println!(
-        "degraded transfers  : {degraded} of {sends} (surges that beat the wake-up)"
-    );
+    println!("degraded transfers  : {degraded} of {sends} (surges that beat the wake-up)");
     println!(
         "radio energy        : {:.1} J total, {:.1} J of it WiFi",
         transport.radio_energy_joules(),

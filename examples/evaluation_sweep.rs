@@ -26,7 +26,9 @@ fn main() {
                     .build(),
             );
             let cloud = Session::run(
-                &base().mode(ExecutionMode::Cloud(CloudConfig::default())).build(),
+                &base()
+                    .mode(ExecutionMode::Cloud(CloudConfig::default()))
+                    .build(),
             );
             println!(
                 "{:4}  local {:>5.1} fps {:>6.1} ms {:>5.2} W | gbooster {:>5.1} fps {:>6.1} ms {:>5.2} W | cloud {:>5.1} fps {:>6.1} ms",

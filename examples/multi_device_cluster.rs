@@ -31,7 +31,10 @@ fn main() {
             .seed(3)
             .build(),
     );
-    println!("  0 devices (local)            : {:>5.1} fps", local.median_fps);
+    println!(
+        "  0 devices (local)            : {:>5.1} fps",
+        local.median_fps
+    );
 
     let mut last_fps = local.median_fps;
     for n in 1..=pool.len() {

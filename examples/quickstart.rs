@@ -17,7 +17,10 @@ fn main() {
     let game = GameTitle::g1_gta_san_andreas();
     let phone = DeviceSpec::nexus5();
 
-    println!("Playing {} on a {} for 60 simulated seconds...\n", game.name, phone.name);
+    println!(
+        "Playing {} on a {} for 60 simulated seconds...\n",
+        game.name, phone.name
+    );
 
     // Baseline: everything renders on the phone GPU.
     let local = Session::run(

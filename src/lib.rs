@@ -6,4 +6,5 @@ pub use gbooster_gles as gles;
 pub use gbooster_linker as linker;
 pub use gbooster_net as net;
 pub use gbooster_sim as sim;
+pub use gbooster_telemetry as telemetry;
 pub use gbooster_workload as workload;

@@ -4,6 +4,7 @@
 use gbooster::core::config::{CloudConfig, ExecutionMode, OffloadConfig, SessionConfig};
 use gbooster::core::session::{Session, SessionReport};
 use gbooster::sim::device::DeviceSpec;
+use gbooster::telemetry::names;
 use gbooster::workload::apps::AppTitle;
 use gbooster::workload::games::GameTitle;
 
@@ -32,7 +33,10 @@ fn offloaded(game: GameTitle, dev: DeviceSpec) -> SessionReport {
 fn abstract_claim_fps_boost_up_to_85_percent() {
     // "it can boost applications' frame rates by up to 85%"
     let mut best = 0.0f64;
-    for game in [GameTitle::g1_gta_san_andreas(), GameTitle::g2_modern_combat()] {
+    for game in [
+        GameTitle::g1_gta_san_andreas(),
+        GameTitle::g2_modern_combat(),
+    ] {
         let l = local(game.clone(), DeviceSpec::nexus5());
         let o = offloaded(game, DeviceSpec::nexus5());
         best = best.max(o.median_fps / l.median_fps - 1.0);
@@ -64,7 +68,10 @@ fn genre_ordering_of_benefit() {
     let action = gain(GameTitle::g2_modern_combat());
     let rpg = gain(GameTitle::g3_star_wars());
     let puzzle = gain(GameTitle::g5_candy_crush());
-    assert!(action > puzzle + 5.0, "action {action:.1} vs puzzle {puzzle:.1}");
+    assert!(
+        action > puzzle + 5.0,
+        "action {action:.1} vs puzzle {puzzle:.1}"
+    );
     assert!(rpg > puzzle, "rpg {rpg:.1} vs puzzle {puzzle:.1}");
 }
 
@@ -74,7 +81,11 @@ fn offloading_restores_fps_stability() {
     // actively-cooled service device does not (Section VII-B).
     let l = local(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5());
     let o = offloaded(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5());
-    assert!(l.stability < 0.80, "local stability {:.2} (paper: 60%)", l.stability);
+    assert!(
+        l.stability < 0.80,
+        "local stability {:.2} (paper: 60%)",
+        l.stability
+    );
     assert!(
         o.stability > l.stability + 0.05,
         "offloaded stability {:.2} must beat local {:.2} (paper: 75% vs 60%)",
@@ -123,7 +134,11 @@ fn cloud_baseline_matches_section_7f() {
             .mode(ExecutionMode::Cloud(CloudConfig::default()))
             .build(),
     );
-    assert!((report.median_fps - 30.0).abs() <= 2.0, "fps {}", report.median_fps);
+    assert!(
+        (report.median_fps - 30.0).abs() <= 2.0,
+        "fps {}",
+        report.median_fps
+    );
     assert!(
         (120.0..=260.0).contains(&report.response_time_ms),
         "cloud response {:.0} ms (paper ~150)",
@@ -179,7 +194,10 @@ fn multi_device_scaling_saturates_at_buffer_depth() {
     let one = fps_at(1);
     let three = fps_at(3);
     let four = fps_at(4);
-    assert!(three > one, "3 devices {three:.1} must beat 1 device {one:.1}");
+    assert!(
+        three > one,
+        "3 devices {three:.1} must beat 1 device {one:.1}"
+    );
     assert!(
         (four - three).abs() <= 4.0,
         "4th device must not help: {three:.1} vs {four:.1}"
@@ -250,6 +268,79 @@ fn different_seeds_vary_but_stay_in_band() {
     let max = fps.iter().cloned().fold(f64::MIN, f64::max);
     assert!(max - min < 10.0, "seed variance too high: {fps:?}");
     assert!(min > 30.0, "all seeds must show a solid boost: {fps:?}");
+}
+
+#[test]
+fn offloaded_run_emits_one_root_span_per_displayed_frame() {
+    let o = offloaded(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5());
+    assert_eq!(
+        o.trace.len() as u64 + o.trace.dropped(),
+        o.frames,
+        "exactly one span tree per displayed frame"
+    );
+    assert!(!o.trace.is_empty());
+    for frame in o.trace.frames() {
+        let root = &frame.root;
+        assert_eq!(root.name, names::stage::FRAME);
+        assert_eq!(
+            root.children.len(),
+            names::stage::PIPELINE.len(),
+            "frame {} has {} stages",
+            frame.seq,
+            root.children.len()
+        );
+        for stage in names::stage::PIPELINE {
+            let child = root
+                .child(stage)
+                .unwrap_or_else(|| panic!("frame {} missing stage {stage}", frame.seq));
+            // Every stage nests inside its frame's root interval.
+            assert!(child.start >= root.start && child.end <= root.end);
+        }
+    }
+    // Sequence numbers are the display order, 0-based and strictly rising.
+    for (i, frame) in o.trace.frames().iter().enumerate() {
+        assert_eq!(frame.seq, i as u64);
+    }
+}
+
+#[test]
+fn telemetry_report_covers_the_acceptance_metrics() {
+    let o = offloaded(GameTitle::g2_modern_combat(), DeviceSpec::nexus5());
+    // The registry snapshot must expose every headline metric.
+    let snap = &o.telemetry;
+    assert!(
+        snap.cache_hit_rate() > 0.5,
+        "hit rate {}",
+        snap.cache_hit_rate()
+    );
+    let ratio = snap.compression_ratio();
+    assert!(ratio > 0.0 && ratio < 0.7, "compression ratio {ratio}");
+    assert!(snap.retransmit_count() > 0, "expected-loss retransmits");
+    for stage in names::stage::PIPELINE {
+        let h = snap
+            .histogram(stage)
+            .unwrap_or_else(|| panic!("no histogram for {stage}"));
+        assert_eq!(h.count(), o.frames, "{stage} must record every frame");
+        assert!(h.p50_ms() <= h.p90_ms() && h.p90_ms() <= h.p99_ms());
+    }
+    // JSONL trace: one line per retained frame, each a frame object.
+    let jsonl = o.frame_trace_jsonl();
+    assert_eq!(jsonl.lines().count(), o.trace.len());
+    assert!(jsonl.starts_with("{\"seq\":0,"));
+    // Human-readable report mentions the derived metrics.
+    let report = o.telemetry_report();
+    for needle in [
+        "cache hit rate",
+        "compression ratio",
+        "retransmits",
+        "radio mispredictions",
+        names::stage::UPLINK,
+    ] {
+        assert!(
+            report.contains(needle),
+            "report missing {needle:?}:\n{report}"
+        );
+    }
 }
 
 #[test]

@@ -42,7 +42,9 @@ fn truncated_wire_frames_never_panic() {
     let mut gen = TraceGenerator::new(GenreProfile::puzzle(), 1.0, 64, 64, 2);
     let mut fw = CommandForwarder::new();
     let frame = gen.setup_trace();
-    let fwd = fw.forward_frame(&frame.commands, gen.client_memory()).unwrap();
+    let fwd = fw
+        .forward_frame(&frame.commands, gen.client_memory())
+        .unwrap();
     let step = (fwd.wire.len() / 200).max(1);
     for cut in (0..fwd.wire.len()).step_by(step) {
         let mut rx = ServiceReceiver::new();
@@ -140,7 +142,8 @@ fn invalid_gl_stream_is_rejected_by_the_replica() {
         .unwrap_err();
     assert!(matches!(err, GlError::InvalidOperation(_)));
     // The context remains usable after errors.
-    gpu.execute(&GlCommand::CreateProgram(ProgramId(1))).unwrap();
+    gpu.execute(&GlCommand::CreateProgram(ProgramId(1)))
+        .unwrap();
     gpu.execute(&GlCommand::LinkProgram(ProgramId(1))).unwrap();
     gpu.execute(&GlCommand::UseProgram(ProgramId(1))).unwrap();
 }

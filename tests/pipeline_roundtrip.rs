@@ -20,11 +20,11 @@ fn assert_pixel_exact(genre: Genre, frames: usize, seed: u64) {
     let mut receiver = ServiceReceiver::new();
 
     let run_frame = |commands: &[GlCommand],
-                         app: &TraceGenerator,
-                         local_gpu: &mut SoftGpu,
-                         remote_gpu: &mut SoftGpu,
-                         forwarder: &mut CommandForwarder,
-                         receiver: &mut ServiceReceiver| {
+                     app: &TraceGenerator,
+                     local_gpu: &mut SoftGpu,
+                     remote_gpu: &mut SoftGpu,
+                     forwarder: &mut CommandForwarder,
+                     receiver: &mut ServiceReceiver| {
         // Local path: the driver reads client memory directly.
         for cmd in commands {
             if cmd.is_swap() {

@@ -3,14 +3,14 @@
 use std::sync::Arc;
 
 use gbooster::codec::lru::CommandCache;
-use gbooster::codec::{jpeg, lz4};
 use gbooster::codec::turbo::{TurboDecoder, TurboEncoder};
+use gbooster::codec::{jpeg, lz4};
 use gbooster::gles::command::{GlCommand, UniformValue, VertexSource};
 use gbooster::gles::serialize::{decode_command, decode_stream, encode_command, encode_stream};
 use gbooster::gles::types::{
-    AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, ClearMask,
-    IndexType, PixelFormat, Primitive, ProgramId, ShaderId, ShaderKind, TextureId,
-    TextureTarget, UniformLocation,
+    AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, ClearMask, IndexType,
+    PixelFormat, Primitive, ProgramId, ShaderId, ShaderKind, TextureId, TextureTarget,
+    UniformLocation,
 };
 use gbooster::net::channel::ChannelModel;
 use gbooster::net::rudp::{simulate_transfer, RudpConfig};
@@ -46,7 +46,11 @@ fn arb_command() -> impl Strategy<Value = GlCommand> {
         any::<u32>().prop_map(|v| GlCommand::UseProgram(ProgramId(v))),
         (any::<u32>(), any::<bool>()).prop_map(|(id, vertex)| GlCommand::CreateShader(
             ShaderId(id),
-            if vertex { ShaderKind::Vertex } else { ShaderKind::Fragment }
+            if vertex {
+                ShaderKind::Vertex
+            } else {
+                ShaderKind::Fragment
+            }
         )),
         "[ -~]{0,64}".prop_map(|source| GlCommand::ShaderSource {
             shader: ShaderId(1),
@@ -74,9 +78,8 @@ fn arb_command() -> impl Strategy<Value = GlCommand> {
                 data: Arc::new(vec![0xAB; (w * h * 4) as usize]),
             }
         }),
-        (any::<f32>(), any::<f32>(), any::<f32>(), any::<f32>()).prop_map(|(r, g, b, a)| {
-            GlCommand::ClearColor { r, g, b, a }
-        }),
+        (any::<f32>(), any::<f32>(), any::<f32>(), any::<f32>())
+            .prop_map(|(r, g, b, a)| { GlCommand::ClearColor { r, g, b, a } }),
         (any::<u32>(), arb_uniform()).prop_map(|(loc, value)| GlCommand::Uniform {
             location: UniformLocation(loc),
             value,
