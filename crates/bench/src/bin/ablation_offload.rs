@@ -2,7 +2,7 @@
 //! rendering-request buffer depth (the non-blocking SwapBuffers rewrite)
 //! and streaming resolution — and what each buys.
 
-use gbooster_bench::{compare, header, SEED, SESSION_SECS};
+use gbooster_bench::{compare, header, session_secs, SEED};
 use gbooster_core::config::{ExecutionMode, OffloadConfig, SessionConfig};
 use gbooster_core::session::Session;
 use gbooster_sim::device::DeviceSpec;
@@ -11,7 +11,7 @@ use gbooster_workload::games::GameTitle;
 fn run(depth: usize, resolution: (u32, u32)) -> gbooster_core::session::SessionReport {
     Session::run(
         &SessionConfig::builder(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5())
-            .duration_secs(SESSION_SECS)
+            .duration_secs(session_secs())
             .seed(SEED)
             .mode(ExecutionMode::Offloaded(OffloadConfig {
                 buffer_depth: depth,

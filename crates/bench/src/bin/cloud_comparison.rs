@@ -2,7 +2,7 @@
 //! 1280×720 at 30 FPS with ~150 ms response over a 10 Mbps Internet link,
 //! versus GBooster's LAN offloading.
 
-use gbooster_bench::{compare, header, run_offloaded, SEED, SESSION_SECS};
+use gbooster_bench::{compare, header, run_offloaded, session_secs, SEED};
 use gbooster_core::config::{CloudConfig, ExecutionMode, SessionConfig};
 use gbooster_core::session::Session;
 use gbooster_sim::device::DeviceSpec;
@@ -18,7 +18,7 @@ fn main() {
     for game in GameTitle::corpus() {
         let report = Session::run(
             &SessionConfig::builder(game.clone(), nexus.clone())
-                .duration_secs(SESSION_SECS)
+                .duration_secs(session_secs())
                 .seed(SEED)
                 .mode(ExecutionMode::Cloud(CloudConfig::default()))
                 .build(),

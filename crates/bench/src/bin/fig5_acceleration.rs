@@ -6,13 +6,27 @@
 //! read from each session's telemetry registry snapshot, so the figures
 //! here are the same numbers the end-of-session report prints.
 
-use gbooster_bench::{compare, header, run_local, run_offloaded};
+use gbooster_bench::{
+    compare, header, run_local, run_offloaded, smoke, write_bench_json, write_chrome_trace,
+};
 use gbooster_sim::device::DeviceSpec;
 use gbooster_telemetry::names;
 use gbooster_workload::games::GameTitle;
 
 fn main() {
-    for device in [DeviceSpec::nexus5(), DeviceSpec::lg_g5()] {
+    // The smoke gate covers the old-generation device and the two action
+    // titles — the figure's headline comparison — at a shortened length.
+    let devices = if smoke() {
+        vec![DeviceSpec::nexus5()]
+    } else {
+        vec![DeviceSpec::nexus5(), DeviceSpec::lg_g5()]
+    };
+    let games: Vec<GameTitle> = if smoke() {
+        GameTitle::corpus().into_iter().take(2).collect()
+    } else {
+        GameTitle::corpus()
+    };
+    for device in devices {
         header(&format!(
             "Fig. 5: application acceleration on {}",
             device.name
@@ -28,7 +42,8 @@ fn main() {
             "resp gb",
             "tp p50"
         );
-        for game in GameTitle::corpus() {
+        for game in &games {
+            let game = game.clone();
             let local = run_local(&game, &device);
             let off = run_offloaded(&game, &device);
             // Eq. 5's per-frame overhead, from the telemetry registry: the
@@ -58,6 +73,31 @@ fn main() {
 
     header("pipeline stage latencies, G1 on Nexus 5 (registry histograms)");
     let g1 = run_offloaded(&GameTitle::g1_gta_san_andreas(), &DeviceSpec::nexus5());
+    let g1_local = run_local(&GameTitle::g1_gta_san_andreas(), &DeviceSpec::nexus5());
+    // Machine-readable artifacts for the CI smoke gate: headline metrics
+    // plus the stitched two-device Chrome trace.
+    write_bench_json(
+        "fig5_acceleration",
+        &[
+            ("g1_local_fps", g1_local.median_fps),
+            ("g1_offloaded_fps", g1.median_fps),
+            ("g1_fps_boost", g1.median_fps / g1_local.median_fps - 1.0),
+            ("g1_response_time_ms", g1.response_time_ms),
+            ("g1_mean_tp_ms", g1.mean_tp_ms),
+            ("g1_stability", g1.stability),
+            (
+                "g1_stitched_frames",
+                g1.telemetry.counter(names::tracing::STITCHED_FRAMES) as f64,
+            ),
+            (
+                "g1_orphan_spans",
+                g1.telemetry.counter(names::tracing::ORPHAN_SPANS) as f64,
+            ),
+            ("g1_clock_offset_us", g1.clock_offset_us.unwrap_or(0) as f64),
+        ],
+    )
+    .expect("write BENCH_fig5_acceleration.json");
+    write_chrome_trace("fig5_acceleration", &g1).expect("write fig5 chrome trace");
     println!(
         "{:<22} {:>9} {:>9} {:>9} {:>9}",
         "stage", "p50 ms", "p90 ms", "p99 ms", "max ms"

@@ -2,7 +2,7 @@
 //! (Ebook Reader, Yahoo Weather, Tumblr) — no FPS boost, ≈7 % average
 //! energy saving.
 
-use gbooster_bench::{compare, header, SEED, SESSION_SECS};
+use gbooster_bench::{compare, header, session_secs, SEED};
 use gbooster_core::config::{ExecutionMode, OffloadConfig, SessionConfig};
 use gbooster_core::session::Session;
 use gbooster_sim::device::DeviceSpec;
@@ -19,13 +19,13 @@ fn main() {
     for app in AppTitle::all() {
         let local = Session::run(
             &SessionConfig::builder(app.clone(), device.clone())
-                .duration_secs(SESSION_SECS)
+                .duration_secs(session_secs())
                 .seed(SEED)
                 .build(),
         );
         let off = Session::run(
             &SessionConfig::builder(app.clone(), device.clone())
-                .duration_secs(SESSION_SECS)
+                .duration_secs(session_secs())
                 .seed(SEED)
                 .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
                 .build(),

@@ -7,7 +7,7 @@
 
 use std::time::Instant;
 
-use gbooster_bench::{compare, header};
+use gbooster_bench::{compare, header, write_bench_json};
 use gbooster_codec::stats::megapixels_per_sec;
 use gbooster_codec::turbo::TurboEncoder;
 use gbooster_codec::video::{EncoderHost, VideoEncoderModel};
@@ -194,4 +194,20 @@ fn main() {
         cmd.len() + 5,
         token.wire_bytes()
     );
+
+    // Machine-readable artifact for the CI smoke gate.
+    write_bench_json(
+        "traffic_reduction",
+        &[
+            ("raw_traffic_mbps", raw_mbps),
+            ("lz4_ratio", lz4_ratio),
+            ("pipeline_ratio", pipe_wire as f64 / pipe_raw as f64),
+            ("cache_hit_rate", snap.cache_hit_rate()),
+            ("turbo_mpixels_per_sec", turbo_mps),
+            ("turbo_ratio", turbo_ratio),
+            ("rudp_completion_ms", rudp.completion.as_millis_f64()),
+            ("tcp_completion_ms", tcp.as_millis_f64()),
+        ],
+    )
+    .expect("write BENCH_traffic_reduction.json");
 }

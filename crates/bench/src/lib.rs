@@ -13,24 +13,87 @@
 //! cargo run --release -p gbooster-bench --bin fig5_acceleration
 //! ```
 
+use std::path::PathBuf;
+
 use gbooster_core::config::{ExecutionMode, OffloadConfig, SessionConfig};
 use gbooster_core::session::{Session, SessionReport};
 use gbooster_sim::device::DeviceSpec;
 use gbooster_workload::games::GameTitle;
 
-/// Default simulated session length for evaluation runs. The paper plays
+/// Simulated session length for full evaluation runs. The paper plays
 /// 15 minutes; we play 60 s with thermal time compression so the Fig. 1
 /// throttle arc lands at the same proportional position.
-pub const SESSION_SECS: u64 = 60;
+pub const FULL_SESSION_SECS: u64 = 60;
+
+/// Session length under smoke mode — long enough for the pipeline to
+/// reach steady state, short enough for a CI gate.
+pub const SMOKE_SESSION_SECS: u64 = 12;
 
 /// Shared seed so every binary is reproducible.
 pub const SEED: u64 = 20170605; // ICDCS 2017 conference date
+
+/// True when `GBOOSTER_BENCH_SMOKE=1`: the CI smoke gate, which runs
+/// shortened sessions and still writes the `BENCH_*.json` artifacts.
+pub fn smoke() -> bool {
+    std::env::var("GBOOSTER_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// The session length benches should use (smoke-aware).
+pub fn session_secs() -> u64 {
+    if smoke() {
+        SMOKE_SESSION_SECS
+    } else {
+        FULL_SESSION_SECS
+    }
+}
+
+/// Writes `BENCH_<name>.json` in the working directory: a flat object of
+/// headline metrics plus the run parameters, machine-readable for CI
+/// trend tracking. Non-finite values serialize as `null` so the artifact
+/// always parses as JSON.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bench_json(name: &str, metrics: &[(&str, f64)]) -> std::io::Result<PathBuf> {
+    let mut out = format!(
+        "{{\"bench\":\"{name}\",\"smoke\":{},\"session_secs\":{},\"seed\":{SEED},\"metrics\":{{",
+        smoke(),
+        session_secs()
+    );
+    for (i, (key, v)) in metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if v.is_finite() {
+            out.push_str(&format!("\"{key}\":{v}"));
+        } else {
+            out.push_str(&format!("\"{key}\":null"));
+        }
+    }
+    out.push_str("}}\n");
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, out)?;
+    Ok(path)
+}
+
+/// Exports a session's stitched frame traces as Chrome trace-event JSON
+/// (`BENCH_<name>_trace.json`), loadable in `chrome://tracing`/Perfetto.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chrome_trace(name: &str, report: &SessionReport) -> std::io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}_trace.json"));
+    std::fs::write(&path, gbooster_telemetry::chrome_trace(&report.trace))?;
+    Ok(path)
+}
 
 /// Runs a game locally on a device.
 pub fn run_local(game: &GameTitle, device: &DeviceSpec) -> SessionReport {
     Session::run(
         &SessionConfig::builder(game.clone(), device.clone())
-            .duration_secs(SESSION_SECS)
+            .duration_secs(session_secs())
             .seed(SEED)
             .build(),
     )
@@ -40,7 +103,7 @@ pub fn run_local(game: &GameTitle, device: &DeviceSpec) -> SessionReport {
 pub fn run_offloaded(game: &GameTitle, device: &DeviceSpec) -> SessionReport {
     Session::run(
         &SessionConfig::builder(game.clone(), device.clone())
-            .duration_secs(SESSION_SECS)
+            .duration_secs(session_secs())
             .seed(SEED)
             .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
             .build(),
@@ -51,7 +114,7 @@ pub fn run_offloaded(game: &GameTitle, device: &DeviceSpec) -> SessionReport {
 pub fn run_offloaded_no_switching(game: &GameTitle, device: &DeviceSpec) -> SessionReport {
     Session::run(
         &SessionConfig::builder(game.clone(), device.clone())
-            .duration_secs(SESSION_SECS)
+            .duration_secs(session_secs())
             .seed(SEED)
             .mode(ExecutionMode::Offloaded(OffloadConfig {
                 interface_switching: false,
@@ -74,7 +137,7 @@ pub fn run_multi_device(game: &GameTitle, device: &DeviceSpec, n: usize) -> Sess
     let devices: Vec<DeviceSpec> = pool.iter().take(n.max(1)).cloned().collect();
     Session::run(
         &SessionConfig::builder(game.clone(), device.clone())
-            .duration_secs(SESSION_SECS)
+            .duration_secs(session_secs())
             .seed(SEED)
             .mode(ExecutionMode::Offloaded(OffloadConfig {
                 service_devices: devices,

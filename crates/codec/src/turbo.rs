@@ -29,6 +29,36 @@ pub const TILE: u32 = 16;
 /// unchanged (raw-vs-raw comparison; 0.5 tolerates sub-quantum noise).
 const CHANGE_THRESHOLD: f64 = 0.5;
 
+/// Turbo encoder scan throughput on service-class ARM/x86 hardware:
+/// the full frame is compared against the previous one at this rate
+/// (the paper's ref \[25\] reports up to 90 MP/s for the whole pipeline).
+pub const ENCODE_SCAN_PIXELS_PER_SEC: f64 = 90e6;
+
+/// JPEG stage throughput applied to *changed* pixels only.
+pub const ENCODE_JPEG_PIXELS_PER_SEC: f64 = 40e6;
+
+/// Turbo JPEG compression ratio on game content ("up to 25:1").
+pub const ENCODE_COMPRESSION: f64 = 25.0;
+
+/// Fixed per-frame container overhead, bytes.
+pub const ENCODE_HEADER_BYTES: usize = 64;
+
+/// Modeled wall time (seconds) to Turbo-encode a frame of
+/// `frame_pixels` total pixels of which `changed_pixels` changed: a
+/// full-frame scan plus JPEG work on the changed pixels only. This is
+/// the cost model the service runtime charges per frame; the actual
+/// [`TurboEncoder`] produces the bytes, this predicts the time.
+pub fn model_encode_secs(frame_pixels: u64, changed_pixels: u64) -> f64 {
+    frame_pixels as f64 / ENCODE_SCAN_PIXELS_PER_SEC
+        + changed_pixels as f64 / ENCODE_JPEG_PIXELS_PER_SEC
+}
+
+/// Modeled encoded size for `changed_pixels` of RGBA content under the
+/// 25:1 Turbo ratio, plus the fixed container header.
+pub fn model_encoded_bytes(changed_pixels: u64) -> usize {
+    (changed_pixels as f64 * 4.0 / ENCODE_COMPRESSION) as usize + ENCODE_HEADER_BYTES
+}
+
 /// Errors from the Turbo codec.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TurboError {

@@ -64,6 +64,11 @@ pub struct OffloadConfig {
     pub buffer_depth: usize,
     /// Resolution rendered remotely and streamed back.
     pub render_resolution: (u32, u32),
+    /// Stitched frame traces retained by the flight recorder (the last N
+    /// frames dumped on a fault).
+    pub flight_recorder_depth: usize,
+    /// Deterministic fault-injection schedule (all disabled by default).
+    pub faults: FaultInjection,
 }
 
 impl Default for OffloadConfig {
@@ -73,7 +78,34 @@ impl Default for OffloadConfig {
             interface_switching: true,
             buffer_depth: 3,
             render_resolution: (1280, 720),
+            flight_recorder_depth: 32,
+            faults: FaultInjection::default(),
         }
+    }
+}
+
+/// Deterministic fault-injection schedule for flight-recorder drills.
+/// Each knob names the displayed-frame index at which the fault is
+/// forced; `None` leaves the session fault-free (the recorder still
+/// arms and triggers on organically detected faults).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultInjection {
+    /// Inject a datagram loss storm before this frame: a burst of
+    /// retransmissions large enough to trip the loss-storm detector.
+    pub loss_storm_at_frame: Option<u64>,
+    /// Stall dispatch before this frame: the frame's dispatch wait is
+    /// inflated past the dispatch-timeout threshold.
+    pub dispatch_stall_at_frame: Option<u64>,
+    /// Rapidly power-cycle the WiFi interface before this frame.
+    pub iface_flap_at_frame: Option<u64>,
+}
+
+impl FaultInjection {
+    /// True if any fault is scheduled.
+    pub fn any(&self) -> bool {
+        self.loss_storm_at_frame.is_some()
+            || self.dispatch_stall_at_frame.is_some()
+            || self.iface_flap_at_frame.is_some()
     }
 }
 

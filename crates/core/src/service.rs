@@ -14,25 +14,17 @@ use gbooster_gles::command::GlCommand;
 use gbooster_gles::state::GlContext;
 use gbooster_sim::device::DeviceSpec;
 use gbooster_sim::gpu::GpuModel;
-use gbooster_sim::time::SimDuration;
-use gbooster_telemetry::{names, Counter, Histogram, Registry};
+use gbooster_sim::time::{SimDuration, SimTime};
+use gbooster_telemetry::{names, Counter, Histogram, Registry, RemoteSpanLog, TraceContext};
 
 use crate::error::GBoosterError;
 use crate::forward::ServiceReceiver;
 
-/// Turbo encoder scan throughput on service-class ARM/x86 hardware:
-/// the full frame is compared against the previous one at this rate
-/// (the paper's ref \[25\] reports up to 90 MP/s for the whole pipeline).
-pub const ENCODE_SCAN_PIXELS_PER_SEC: f64 = 90e6;
-
-/// JPEG stage throughput applied to *changed* pixels only.
-pub const ENCODE_JPEG_PIXELS_PER_SEC: f64 = 40e6;
-
-/// Turbo JPEG compression ratio on game content ("up to 25:1").
-pub const ENCODE_COMPRESSION: f64 = 25.0;
-
-/// Fixed per-frame container overhead, bytes.
-pub const ENCODE_HEADER_BYTES: usize = 64;
+// The Turbo encode-cost model lives with the codec; re-exported here so
+// existing consumers keep their import paths.
+pub use gbooster_codec::turbo::{
+    ENCODE_COMPRESSION, ENCODE_HEADER_BYTES, ENCODE_JPEG_PIXELS_PER_SEC, ENCODE_SCAN_PIXELS_PER_SEC,
+};
 
 /// Outcome of replaying one frame's commands on a service device.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -52,6 +44,11 @@ pub struct ServiceRuntime {
     receiver: ServiceReceiver,
     frames_rendered: u64,
     telemetry: Option<(Counter, Histogram)>,
+    /// Distributed-tracing capture: spans this device records are
+    /// stamped on *its* clock (sim time shifted by `clock_skew_us`) and
+    /// shipped back tagged with the originating [`TraceContext`].
+    remote_log: Option<RemoteSpanLog>,
+    clock_skew_us: i64,
 }
 
 impl ServiceRuntime {
@@ -64,7 +61,40 @@ impl ServiceRuntime {
             receiver: ServiceReceiver::new(),
             frames_rendered: 0,
             telemetry: None,
+            remote_log: None,
+            clock_skew_us: 0,
         }
+    }
+
+    /// Attaches the span log this device appends its service-clock spans
+    /// to, and the ground-truth (service − user) clock skew in µs. The
+    /// skew shapes only the recorded timestamps; nothing on the user
+    /// device may read it — stitching must rely on the estimated offset.
+    pub fn attach_remote_log(&mut self, log: RemoteSpanLog, clock_skew_us: i64) {
+        self.remote_log = Some(log);
+        self.clock_skew_us = clock_skew_us;
+    }
+
+    /// Records one service-side span for the frame identified by `ctx`.
+    /// `start`/`end` are the simulator's ground-truth instants; the span
+    /// is stamped as this device's clock would see them.
+    pub fn record_remote_span(
+        &self,
+        ctx: TraceContext,
+        name: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let Some(log) = &self.remote_log else { return };
+        if ctx.is_none() {
+            return;
+        }
+        log.record(gbooster_telemetry::RemoteSpan {
+            ctx,
+            name,
+            start_us: start.as_micros() as i64 + self.clock_skew_us,
+            end_us: end.as_micros() as i64 + self.clock_skew_us,
+        });
     }
 
     /// Mirrors service-side activity into `registry`: applied-command
@@ -148,9 +178,10 @@ impl ServiceRuntime {
     /// Turbo encode time for a frame of `frame_pixels` total pixels of
     /// which `changed_pixels` changed.
     pub fn encode_time(&self, frame_pixels: u64, changed_pixels: u64) -> SimDuration {
-        let scan = frame_pixels as f64 / ENCODE_SCAN_PIXELS_PER_SEC;
-        let jpeg = changed_pixels as f64 / ENCODE_JPEG_PIXELS_PER_SEC;
-        let t = SimDuration::from_secs_f64(scan + jpeg);
+        let t = SimDuration::from_secs_f64(gbooster_codec::turbo::model_encode_secs(
+            frame_pixels,
+            changed_pixels,
+        ));
         if let Some((_, encode)) = &self.telemetry {
             encode.record_duration(t);
         }
@@ -159,7 +190,7 @@ impl ServiceRuntime {
 
     /// Encoded frame size for `changed_pixels` of RGBA content.
     pub fn encoded_bytes(&self, changed_pixels: u64) -> usize {
-        (changed_pixels as f64 * 4.0 / ENCODE_COMPRESSION) as usize + ENCODE_HEADER_BYTES
+        gbooster_codec::turbo::model_encoded_bytes(changed_pixels)
     }
 
     /// Context digest for replica-consistency checks.
@@ -279,6 +310,32 @@ mod tests {
             "render {:.2} ms",
             t.as_millis_f64()
         );
+    }
+
+    #[test]
+    fn remote_spans_are_stamped_on_the_service_clock() {
+        let mut rt = ServiceRuntime::new(DeviceSpec::nvidia_shield());
+        let log = RemoteSpanLog::new();
+        rt.attach_remote_log(log.clone(), -30_000);
+        let ctx = TraceContext::new(7, 12, 3);
+        rt.record_remote_span(
+            ctx,
+            names::remote::REPLAY,
+            SimTime::from_micros(100_000),
+            SimTime::from_micros(104_000),
+        );
+        // Context-less packets (handshakes, acks) never produce spans.
+        rt.record_remote_span(
+            TraceContext::NONE,
+            names::remote::REPLAY,
+            SimTime::ZERO,
+            SimTime::from_micros(1),
+        );
+        let spans = log.take_frame(7, 12);
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].start_us, 70_000);
+        assert_eq!(spans[0].end_us, 74_000);
+        assert!(log.is_empty());
     }
 
     #[test]

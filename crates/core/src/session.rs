@@ -24,7 +24,8 @@ use gbooster_sim::power::{Component, PowerMeter};
 use gbooster_sim::rng::derived;
 use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::{
-    names, FrameTrace, Histogram, Registry, SpanNode, TelemetrySnapshot, TraceLog,
+    names, stitch_remote, Fault, FlightDump, FlightRecorder, FrameTrace, Histogram, Registry,
+    RemoteSpanLog, SpanNode, TelemetrySnapshot, TraceContext, TraceLog,
 };
 use gbooster_workload::tracegen::TraceGenerator;
 use rand::Rng;
@@ -59,6 +60,24 @@ const BASE_POWER_W: f64 = 0.2;
 
 /// RTT between user device and a service device on the evaluation LAN.
 const LAN_RTT: SimDuration = SimDuration::from_millis(2);
+
+/// Retransmit burst within a single frame that counts as a loss storm.
+const LOSS_STORM_RETX: u64 = 50;
+
+/// Dispatch wait beyond this budget is a dispatch-timeout fault.
+const DISPATCH_TIMEOUT: SimDuration = SimDuration::from_millis(50);
+
+/// WiFi wake events within a single frame that count as flapping.
+const FLAP_WAKES: u64 = 3;
+
+/// Modeled retransmit burst a scheduled loss storm injects.
+const INJECTED_STORM_RETX: u64 = 80;
+
+/// Dispatch delay a scheduled stall injects (past [`DISPATCH_TIMEOUT`]).
+const INJECTED_STALL: SimDuration = SimDuration::from_millis(80);
+
+/// WiFi power cycles a scheduled interface flap injects.
+const INJECTED_FLAP_CYCLES: u32 = 4;
 
 /// Results of one played session.
 #[derive(Clone, Debug)]
@@ -114,6 +133,12 @@ pub struct SessionReport {
     /// Per-displayed-frame span trees (offloaded mode only; empty for
     /// local and cloud runs, which have no offload pipeline to trace).
     pub trace: TraceLog,
+    /// The (service − user) clock offset the transport estimated from
+    /// RUDP ack timestamps, µs (offloaded mode only).
+    pub clock_offset_us: Option<i64>,
+    /// The flight recorder's postmortem, if a fault fired during the
+    /// session (offloaded mode only; at most one by construction).
+    pub flight: Option<FlightDump>,
 }
 
 impl SessionReport {
@@ -363,6 +388,8 @@ fn run_local(config: &SessionConfig) -> SessionReport {
         duration: total,
         telemetry: registry.snapshot(),
         trace: TraceLog::default(),
+        clock_offset_us: None,
+        flight: None,
     }
 }
 
@@ -430,12 +457,35 @@ fn run_offloaded(
     forwarder.attach_registry(&registry);
     transport.attach_registry(&registry);
     dispatcher.attach_registry(&registry);
+
+    // Distributed tracing: the session identity rides inside every RUDP
+    // datagram as a TraceContext; service devices stamp their spans on
+    // their *own* (skewed) clock into the shared remote log. The skew is
+    // ground truth derived from the seed — the user device never reads
+    // it, stitching relies solely on the transport's ack-based estimate.
+    let session_id = config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let true_skew_us: i64 = derived(config.seed, "clock-skew").gen_range(-150_000..=150_000);
+    transport.set_true_clock_offset_us(true_skew_us);
+    let remote_log = RemoteSpanLog::new();
     for rt in &mut runtimes {
         rt.attach_registry(&registry);
+        rt.attach_remote_log(remote_log.clone(), true_skew_us);
     }
     let stages = StageHists::new(&registry);
+    let remote_hists: Vec<Histogram> = names::remote::STAGES
+        .iter()
+        .map(|&n| registry.histogram(n))
+        .collect();
     let c_degraded = registry.counter(names::session::FRAMES_DEGRADED);
     let c_idle = registry.counter(names::session::FRAMES_IDLE);
+    let c_stitched = registry.counter(names::tracing::STITCHED_FRAMES);
+    let c_orphans = registry.counter(names::tracing::ORPHAN_SPANS);
+    let c_clamped = registry.counter(names::tracing::CLAMPED_SPANS);
+    let c_faults = registry.counter(names::flight::FAULTS);
+    let c_dumps = registry.counter(names::flight::DUMPS);
+    let c_retx = registry.counter(names::net::RETRANSMITS);
+    let c_wakes = registry.counter(names::net::WIFI_WAKES);
+    let mut flight = FlightRecorder::new(off.flight_recorder_depth);
 
     // 2. Ship the setup stream to every device (pure state: replicated).
     let setup = gen.setup_trace();
@@ -481,6 +531,25 @@ fn run_offloaded(
         for cmd in &trace.commands {
             interceptor.intercept(cmd);
         }
+        // This displayed frame's trace context, carried (conceptually) in
+        // every datagram the frame produces on the wire.
+        let seq = fps.frame_count() as u64;
+        let ctx = TraceContext::new(session_id, seq, 1);
+        let retx_before = c_retx.get();
+        let wakes_before = c_wakes.get();
+        // Scheduled fault injection (all knobs default to None).
+        if off.faults.loss_storm_at_frame == Some(seq) {
+            // The storm's recovery cost surfaces as a retransmit burst.
+            c_retx.add(INJECTED_STORM_RETX);
+        }
+        let stall = if off.faults.dispatch_stall_at_frame == Some(seq) {
+            INJECTED_STALL
+        } else {
+            SimDuration::ZERO
+        };
+        if off.faults.iface_flap_at_frame == Some(seq) {
+            transport.force_flap(start, INJECTED_FLAP_CYCLES);
+        }
 
         // 3. Phone CPU: game logic + interception + serialization + LZ4.
         let fwd = forwarder.forward_frame(&trace.commands, gen.client_memory())?;
@@ -498,7 +567,8 @@ fn run_offloaded(
         // 5. Eq. 4 dispatch; replicate state to every device.
         let changed_px = (trace.changed_pixel_ratio * frame_pixels as f64).round() as u64;
         let encode = runtimes[0].encode_time(frame_pixels, changed_px);
-        let decision = dispatcher.dispatch(trace.effective_fill, encode, up.delivered_at);
+        let dispatch_at = up.delivered_at + stall;
+        let decision = dispatcher.dispatch(trace.effective_fill, encode, dispatch_at);
         for (j, rt) in runtimes.iter_mut().enumerate() {
             let cmds = rt.decode(&fwd.wire)?;
             rt.apply_frame(&cmds, j == decision.node)?;
@@ -531,6 +601,24 @@ fn run_offloaded(
             intercept_end + SimDuration::from_secs_f64(var_secs * FORWARD_RESOLVE_FRAC);
         let cache_end = resolve_end + SimDuration::from_secs_f64(var_secs * FORWARD_CACHE_FRAC);
         let render_end = decision.finish - encode;
+        // The dispatched service device records its side of the frame on
+        // its own clock, tagged with the frame's trace context exactly as
+        // the datagrams carried it.
+        let remote_rt = &runtimes[decision.node];
+        remote_rt.record_remote_span(
+            ctx,
+            names::remote::DISPATCH_WAIT,
+            up.delivered_at,
+            decision.start,
+        );
+        remote_rt.record_remote_span(ctx, names::remote::REPLAY, decision.start, render_end);
+        remote_rt.record_remote_span(ctx, names::remote::ENCODE, render_end, decision.finish);
+        remote_rt.record_remote_span(
+            ctx,
+            names::remote::DOWNLINK_SEND,
+            down_start,
+            down.delivered_at,
+        );
         // The root span covers all pipeline activity for the frame. That
         // can extend slightly past the vsync display: Turbo tiles stream
         // onto the downlink while later tiles still encode, so the encode
@@ -570,10 +658,42 @@ fn run_offloaded(
         if up.degraded || down.degraded {
             c_degraded.inc();
         }
-        trace_log.push(FrameTrace {
-            seq: fps.frame_count() as u64,
-            root,
-        });
+
+        // Stitch the service device's spans into this frame's tree using
+        // the *estimated* clock offset (never the ground-truth skew).
+        let remote_spans = remote_log.take_frame(session_id, seq);
+        for s in &remote_spans {
+            if let Some(i) = names::remote::STAGES.iter().position(|&n| n == s.name) {
+                remote_hists[i].record((s.end_us - s.start_us).max(0) as u64);
+            }
+        }
+        let offset_us = transport.clock_offset_estimate_us().unwrap_or(0);
+        let outcome = stitch_remote(&mut root, &remote_spans, offset_us);
+        if outcome.stitched > 0 {
+            c_stitched.inc();
+        }
+        c_clamped.add(outcome.clamped as u64);
+
+        // Flight recorder: retain the stitched trace, then run the fault
+        // detectors over this frame's deltas.
+        let frame_trace = FrameTrace { seq, root };
+        flight.on_frame(&frame_trace);
+        let detected = if c_retx.get() - retx_before >= LOSS_STORM_RETX {
+            Some(Fault::LossStorm)
+        } else if decision.start - up.delivered_at >= DISPATCH_TIMEOUT {
+            Some(Fault::DispatchTimeout)
+        } else if c_wakes.get() - wakes_before >= FLAP_WAKES {
+            Some(Fault::InterfaceFlap)
+        } else {
+            None
+        };
+        if let Some(fault) = detected {
+            c_faults.inc();
+            if flight.trigger(fault, shown, registry.snapshot()) {
+                c_dumps.inc();
+            }
+        }
+        trace_log.push(frame_trace);
 
         fps.record(shown);
         ledger.add_busy(app_secs + decode_secs);
@@ -611,6 +731,12 @@ fn run_offloaded(
     let digest0 = runtimes[0].state_digest();
     let state_consistent = runtimes.iter().all(|rt| rt.state_digest() == digest0);
     record_session_counters(&registry, fps.frame_count() as u64, &ledger, cpu_util);
+    // Remote spans nobody claimed (a frame that never displayed, or a
+    // context mismatch) would linger in the log: count them as orphans.
+    c_orphans.add(remote_log.len() as u64);
+    registry
+        .gauge(names::tracing::CLOCK_OFFSET_US)
+        .set(transport.clock_offset_estimate_us().unwrap_or(0) as f64);
     let telemetry = registry.snapshot();
     let frames_displayed = telemetry.counter(names::session::FRAMES_DISPLAYED);
     // Eq. 5's per-frame overhead t_p: the network transfers plus decode.
@@ -679,6 +805,8 @@ fn run_offloaded(
         duration: total,
         telemetry,
         trace: trace_log,
+        clock_offset_us: transport.clock_offset_estimate_us(),
+        flight: flight.dumps().first().cloned(),
     })
 }
 
@@ -777,6 +905,8 @@ fn run_cloud(config: &SessionConfig, cloud: &CloudConfig) -> SessionReport {
         duration: total,
         telemetry: registry.snapshot(),
         trace: TraceLog::default(),
+        clock_offset_us: None,
+        flight: None,
     }
 }
 
@@ -902,6 +1032,61 @@ mod tests {
         assert_eq!(a.median_fps, b.median_fps);
         assert_eq!(a.uplink_bytes, b.uplink_bytes);
         assert_eq!(a.frames, b.frames);
+    }
+
+    #[test]
+    fn every_displayed_frame_carries_a_stitched_remote_subtree() {
+        let report = Session::run(
+            &short(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+                .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
+                .build(),
+        );
+        assert!(report.frames > 0);
+        for frame in report.trace.frames() {
+            let remote = frame
+                .root
+                .children
+                .iter()
+                .find(|c| c.name == names::remote::SUBTREE)
+                .unwrap_or_else(|| panic!("frame {} lost its remote subtree", frame.seq));
+            assert_eq!(
+                remote.children.len(),
+                names::remote::STAGES.len(),
+                "frame {} remote spans",
+                frame.seq
+            );
+            // Stitched spans stay inside the frame root and are monotone.
+            let mut prev = remote.children[0].start;
+            for child in &remote.children {
+                assert!(child.start >= frame.root.start && child.end <= frame.root.end);
+                assert!(child.start >= prev, "remote spans out of order");
+                prev = child.start;
+            }
+        }
+        assert_eq!(
+            report.telemetry.counter(names::tracing::STITCHED_FRAMES),
+            report.trace.frames().len() as u64
+        );
+        assert_eq!(report.telemetry.counter(names::tracing::ORPHAN_SPANS), 0);
+        assert!(report.flight.is_none(), "no faults were scheduled");
+    }
+
+    #[test]
+    fn estimated_clock_offset_tracks_the_seeded_skew() {
+        for seed in [7u64, 91, 1234] {
+            let cfg = SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+                .duration_secs(12)
+                .seed(seed)
+                .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
+                .build();
+            let report = Session::run(&cfg);
+            let truth: i64 = derived(seed, "clock-skew").gen_range(-150_000..=150_000);
+            let est = report.clock_offset_us.expect("offloaded runs estimate");
+            assert!(
+                (est - truth).abs() < 2_000,
+                "seed {seed}: skew {truth} estimated {est}"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! the WiFi radio accordingly.
 
 use gbooster_forecast::predictor::TrafficPredictor;
-use gbooster_net::switch::{InterfaceManager, Route, SwitchStats, TxOutcome};
+use gbooster_net::switch::{IfaceTime, InterfaceManager, Route, SwitchStats, TxOutcome};
 use gbooster_sim::time::{SimDuration, SimTime};
-use gbooster_telemetry::{names, Counter, Registry};
+use gbooster_telemetry::{names, ClockOffsetEstimator, Counter, Gauge, Registry};
 
 /// Per-route propagation latency added on top of serialization.
 const WIFI_LATENCY: SimDuration = SimDuration::from_micros(800);
@@ -60,6 +60,12 @@ pub struct TransportManager {
     /// Fractional expected retransmissions not yet surfaced as a whole
     /// count (the estimator is deterministic: no RNG, no timing impact).
     retransmit_carry: f64,
+    /// Ground-truth (service − user) clock skew applied to the ack
+    /// timestamps the service device stamps (µs; set by the session
+    /// from its seed, never read by the estimator).
+    true_clock_offset_us: i64,
+    /// NTP-style offset recovery from the modeled RUDP ack feedback.
+    clock: ClockOffsetEstimator,
     counters: Option<TransportCounters>,
 }
 
@@ -69,6 +75,8 @@ struct TransportCounters {
     uplink_bytes: Counter,
     downlink_bytes: Counter,
     retransmits: Counter,
+    clock_offset: Gauge,
+    clock_samples: Counter,
 }
 
 impl TransportManager {
@@ -97,7 +105,46 @@ impl TransportManager {
             downlink_bytes: 0,
             windows_observed: 0,
             retransmit_carry: 0.0,
+            true_clock_offset_us: 0,
+            clock: ClockOffsetEstimator::new(),
             counters: None,
+        }
+    }
+
+    /// Sets the ground-truth service-clock skew (µs, may be negative).
+    /// The skew only shapes the timestamps the far side stamps into its
+    /// acks; the estimator must recover it from those alone.
+    pub fn set_true_clock_offset_us(&mut self, offset_us: i64) {
+        self.true_clock_offset_us = offset_us;
+    }
+
+    /// The estimated (service − user) clock offset in µs, or `None`
+    /// before the first acked transfer.
+    pub fn clock_offset_estimate_us(&self) -> Option<i64> {
+        self.clock.offset_us()
+    }
+
+    /// Feeds one NTP quadruple per transfer, modeling the RUDP
+    /// cumulative-ack feedback: the service device stamps its (skewed)
+    /// clock at delivery, the ack returns after the route's propagation
+    /// latency. The forward path includes serialization while the ack
+    /// is latency-only, so individual samples carry a small asymmetry
+    /// bias — the estimator's min-RTT filter keeps the least-biased
+    /// (smallest) transfer's sample.
+    fn observe_clock(&mut self, start: SimTime, delivered_at: SimTime, route: Route) {
+        let ack_latency = match route {
+            Route::Wifi => WIFI_LATENCY,
+            Route::Bluetooth => BT_LATENCY,
+        };
+        let t1 = start.as_micros() as i64;
+        let t2 = delivered_at.as_micros() as i64 + self.true_clock_offset_us;
+        let t4 = (delivered_at + ack_latency).as_micros() as i64;
+        self.clock.observe(t1, t2, t2, t4);
+        if let Some(c) = &self.counters {
+            c.clock_samples.inc();
+            if let Some(est) = self.clock.offset_us() {
+                c.clock_offset.set(est as f64);
+            }
         }
     }
 
@@ -112,6 +159,8 @@ impl TransportManager {
             uplink_bytes: registry.counter(names::net::UPLINK_BYTES),
             downlink_bytes: registry.counter(names::net::DOWNLINK_BYTES),
             retransmits: registry.counter(names::net::RETRANSMITS),
+            clock_offset: registry.gauge(names::tracing::CLOCK_OFFSET_US),
+            clock_samples: registry.counter(names::tracing::CLOCK_SAMPLES),
         });
     }
 
@@ -190,7 +239,12 @@ impl TransportManager {
             c.uplink_bytes.add(bytes as u64);
         }
         self.account_retransmits(bytes, out.route);
-        Self::finish(now, out)
+        let transfer = Self::finish(now, out);
+        // Uplink acks are the clock-sync signal (the service stamps its
+        // clock at delivery). Downlink acks flow the other way and are
+        // not observable here.
+        self.observe_clock(start, transfer.delivered_at, out.route);
+        transfer
     }
 
     /// Receives `bytes` downstream (frames) at `now`, queueing behind any
@@ -236,6 +290,17 @@ impl TransportManager {
     /// Switch statistics.
     pub fn switch_stats(&self) -> SwitchStats {
         self.mgr.stats()
+    }
+
+    /// Accumulated per-interface time-in-state totals.
+    pub fn iface_time(&self) -> IfaceTime {
+        self.mgr.time_in_state()
+    }
+
+    /// Forces `cycles` rapid WiFi power cycles at `now` (fault injection
+    /// for interface-flap drills). See [`InterfaceManager::force_flap`].
+    pub fn force_flap(&mut self, now: SimTime, cycles: u32) {
+        self.mgr.force_flap(now, cycles);
     }
 
     /// Lifetime (uplink, downlink) byte totals.
@@ -357,6 +422,54 @@ mod tests {
             200 * 600_000,
             "uplink byte counter must mirror traffic_totals"
         );
+    }
+
+    #[test]
+    fn clock_offset_is_recovered_on_the_session_path() {
+        for true_offset in [250_000i64, -90_000, 0] {
+            let mut t = TransportManager::new(true, window());
+            t.set_true_clock_offset_us(true_offset);
+            let mut now = SimTime::ZERO;
+            for _ in 0..60 {
+                let xfer = t.send(2_000, now);
+                now = xfer.delivered_at + SimDuration::from_millis(30);
+                t.on_frame(0, 8);
+            }
+            let est = t.clock_offset_estimate_us().expect("acked transfers");
+            // The forward path carries serialization the ack doesn't, so
+            // the min-RTT sample is biased by half the smallest transfer's
+            // serialization time — well under the 2 ms acceptance bound.
+            assert!(
+                (est - true_offset).abs() < 2_000,
+                "offset {true_offset}: estimated {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_sampling_never_perturbs_transfers() {
+        let mut skewed = TransportManager::new(true, window());
+        skewed.set_true_clock_offset_us(500_000);
+        let mut plain = TransportManager::new(true, window());
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let a = skewed.send(30_000, now);
+            let b = plain.send(30_000, now);
+            assert_eq!(a, b, "clock sampling must be observational");
+            now = a.delivered_at + SimDuration::from_millis(40);
+            skewed.on_frame(1, 8);
+            plain.on_frame(1, 8);
+        }
+        assert!(skewed.clock_offset_estimate_us().is_some());
+        assert!(plain.clock_offset_estimate_us().is_some());
+    }
+
+    #[test]
+    fn forced_flap_surfaces_in_wake_counters() {
+        let mut t = TransportManager::new(true, window());
+        let before = t.switch_stats().wifi_wakes;
+        t.force_flap(SimTime::from_secs(1), 4);
+        assert_eq!(t.switch_stats().wifi_wakes, before + 4);
     }
 
     #[test]

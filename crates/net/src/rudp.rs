@@ -13,12 +13,20 @@
 //! [`RudpReceiver`] are pure state machines (no I/O), and
 //! [`simulate_transfer`] drives them through an event-driven lossy channel
 //! to measure end-to-end completion times.
+//!
+//! Every datagram also carries a 20-byte [`TraceContext`] so the far
+//! side can attribute its spans to the right frame. Retransmissions
+//! reuse the original datagram's context — a retransmit is the same
+//! logical send and must attach to the same span — and acks are
+//! timestamped on the receiver's clock, which is what
+//! [`ClockOffsetEstimator`] consumes to recover the inter-device clock
+//! offset (see [`simulate_transfer_ctx`]).
 
 use std::collections::{BTreeMap, VecDeque};
 
 use gbooster_sim::event::EventQueue;
 use gbooster_sim::time::{SimDuration, SimTime};
-use gbooster_telemetry::{names, Registry};
+use gbooster_telemetry::{names, ClockOffsetEstimator, Registry, TraceContext};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,6 +65,10 @@ pub struct Datagram {
     pub len: usize,
     /// True if this is a retransmission.
     pub retransmit: bool,
+    /// Distributed-tracing context riding in the header
+    /// ([`TraceContext::NONE`] when untraced). Retransmissions carry
+    /// the original context verbatim.
+    pub ctx: TraceContext,
 }
 
 /// Sender-side protocol machine.
@@ -78,10 +90,10 @@ pub struct Datagram {
 pub struct RudpSender {
     config: RudpConfig,
     next_seq: u64,
-    /// Datagram lengths waiting to enter the window.
-    queue: VecDeque<usize>,
-    /// In-flight: seq → (len, last send time).
-    inflight: BTreeMap<u64, (usize, SimTime)>,
+    /// Datagram lengths + trace contexts waiting to enter the window.
+    queue: VecDeque<(usize, TraceContext)>,
+    /// In-flight: seq → (len, last send time, trace context).
+    inflight: BTreeMap<u64, (usize, SimTime, TraceContext)>,
     /// Lowest unacknowledged sequence number.
     base: u64,
     retransmissions: u64,
@@ -105,16 +117,24 @@ impl RudpSender {
         }
     }
 
-    /// Splits a `bytes`-long message into datagrams and queues them.
+    /// Splits a `bytes`-long message into untraced datagrams and queues
+    /// them.
     pub fn enqueue(&mut self, bytes: usize) {
+        self.enqueue_traced(bytes, TraceContext::NONE);
+    }
+
+    /// Splits a `bytes`-long message into datagrams carrying `ctx` and
+    /// queues them. Every datagram of the message — including any later
+    /// retransmission — will carry this context on the wire.
+    pub fn enqueue_traced(&mut self, bytes: usize, ctx: TraceContext) {
         let mut remaining = bytes;
         while remaining > 0 {
             let take = remaining.min(self.config.mtu);
-            self.queue.push_back(take);
+            self.queue.push_back((take, ctx));
             remaining -= take;
         }
         if bytes == 0 {
-            self.queue.push_back(0);
+            self.queue.push_back((0, ctx));
         }
     }
 
@@ -122,16 +142,17 @@ impl RudpSender {
     pub fn poll_send(&mut self, now: SimTime) -> Vec<Datagram> {
         let mut out = Vec::new();
         while self.inflight.len() < self.config.window {
-            let Some(len) = self.queue.pop_front() else {
+            let Some((len, ctx)) = self.queue.pop_front() else {
                 break;
             };
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.inflight.insert(seq, (len, now));
+            self.inflight.insert(seq, (len, now, ctx));
             out.push(Datagram {
                 seq,
                 len,
                 retransmit: false,
+                ctx,
             });
         }
         out
@@ -146,7 +167,8 @@ impl RudpSender {
         self.base = ack_seq;
     }
 
-    /// Datagrams whose RTO expired; re-stamps their send time.
+    /// Datagrams whose RTO expired; re-stamps their send time. The
+    /// retransmitted datagrams carry the original trace context.
     pub fn poll_retransmit(&mut self, now: SimTime) -> Vec<Datagram> {
         let rto = self.config.rto;
         let mut out = Vec::new();
@@ -157,6 +179,7 @@ impl RudpSender {
                     seq,
                     len: entry.0,
                     retransmit: true,
+                    ctx: entry.2,
                 });
             }
         }
@@ -168,7 +191,7 @@ impl RudpSender {
     pub fn next_rto_deadline(&self) -> Option<SimTime> {
         self.inflight
             .values()
-            .map(|&(_, sent)| sent + self.config.rto)
+            .map(|&(_, sent, _)| sent + self.config.rto)
             .min()
     }
 
@@ -178,7 +201,7 @@ impl RudpSender {
     pub fn sent_times_below(&self, seq: u64) -> Vec<SimTime> {
         self.inflight
             .range(..seq)
-            .map(|(_, &(_, sent))| sent)
+            .map(|(_, &(_, sent, _))| sent)
             .collect()
     }
 
@@ -199,7 +222,7 @@ pub struct RudpReceiver {
     /// Next sequence number expected in order.
     expected: u64,
     /// Out-of-order datagrams held for reassembly.
-    buffer: BTreeMap<u64, usize>,
+    buffer: BTreeMap<u64, Datagram>,
     delivered_bytes: u64,
     duplicates: u64,
 }
@@ -213,15 +236,24 @@ impl RudpReceiver {
     /// Processes an arriving datagram; returns the cumulative ACK to send
     /// back and the lengths of datagrams newly delivered in order.
     pub fn on_datagram(&mut self, dg: Datagram) -> (u64, Vec<usize>) {
+        let (ack, delivered) = self.on_datagram_full(dg);
+        (ack, delivered.into_iter().map(|d| d.len).collect())
+    }
+
+    /// [`RudpReceiver::on_datagram`], but delivery yields the full
+    /// datagrams — sequence, length *and* trace context — so a traced
+    /// consumer can attribute every in-order delivery to its frame even
+    /// when the arrival that completed it was a retransmission.
+    pub fn on_datagram_full(&mut self, dg: Datagram) -> (u64, Vec<Datagram>) {
         let mut delivered = Vec::new();
         if dg.seq < self.expected || self.buffer.contains_key(&dg.seq) {
             self.duplicates += 1;
         } else {
-            self.buffer.insert(dg.seq, dg.len);
+            self.buffer.insert(dg.seq, dg);
         }
-        while let Some(len) = self.buffer.remove(&self.expected) {
-            self.delivered_bytes += len as u64;
-            delivered.push(len);
+        while let Some(held) = self.buffer.remove(&self.expected) {
+            self.delivered_bytes += held.len as u64;
+            delivered.push(held);
             self.expected += 1;
         }
         (self.expected, delivered)
@@ -258,9 +290,36 @@ pub struct TransferStats {
 
 #[derive(Debug)]
 enum NetEvent {
-    DataArrives(Datagram),
-    AckArrives(u64),
+    /// A datagram reaches the receiver; `sent_at` is when its (most
+    /// recent) transmission left the sender, kept for ack timestamping.
+    DataArrives {
+        dg: Datagram,
+        sent_at: SimTime,
+    },
+    /// A cumulative ACK reaches the sender. `t1` is the send time of
+    /// the datagram that triggered the ack, `t2_us` the receiver-clock
+    /// timestamp stamped into the ack at delivery — together with the
+    /// arrival time they form the NTP quadruple (acks are immediate,
+    /// so t3 == t2).
+    AckArrives {
+        ack: u64,
+        t1: SimTime,
+        t2_us: i64,
+    },
     RtoCheck,
+}
+
+/// Clock-synchronization hookup for [`simulate_transfer_ctx`].
+///
+/// `true_offset_us` is the (service − user) skew the simulation applies
+/// when stamping receiver timestamps into acks; the `estimator` sees
+/// only the timestamps — never the true offset — and must recover it.
+#[derive(Debug)]
+pub struct ClockSync<'a> {
+    /// Ground-truth receiver-clock skew in µs (may be negative).
+    pub true_offset_us: i64,
+    /// Estimator fed one quadruple per received ack.
+    pub estimator: &'a mut ClockOffsetEstimator,
 }
 
 /// Simulates transferring one `bytes`-long message over `channel`,
@@ -286,11 +345,38 @@ pub fn simulate_transfer_traced(
     seed: u64,
     registry: Option<&Registry>,
 ) -> TransferStats {
+    simulate_transfer_ctx(
+        bytes,
+        channel,
+        config,
+        seed,
+        registry,
+        TraceContext::NONE,
+        None,
+    )
+}
+
+/// The fully-traced transfer simulation: datagrams carry `ctx` on the
+/// wire (retransmissions included), and when `clock` is given the
+/// receiver stamps its skewed clock into every ack so the caller's
+/// [`ClockOffsetEstimator`] can recover the offset. Channel sampling is
+/// identical to the untraced path — tracing never changes protocol
+/// behavior or timing.
+pub fn simulate_transfer_ctx(
+    bytes: usize,
+    channel: &ChannelModel,
+    config: RudpConfig,
+    seed: u64,
+    registry: Option<&Registry>,
+    ctx: TraceContext,
+    mut clock: Option<ClockSync<'_>>,
+) -> TransferStats {
     let rtt_hist = registry.map(|r| r.histogram(names::net::RUDP_RTT));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sender = RudpSender::new(config);
     let mut receiver = RudpReceiver::new();
-    sender.enqueue(bytes);
+    sender.enqueue_traced(bytes, ctx);
+    let true_offset_us = clock.as_ref().map_or(0, |c| c.true_offset_us);
 
     let mut queue: EventQueue<NetEvent> = EventQueue::new();
     let mut sent: u64 = 0;
@@ -301,12 +387,13 @@ pub fn simulate_transfer_traced(
     let initial = sender.poll_send(SimTime::ZERO);
     for dg in initial {
         sent += 1;
-        let tx_end = link_free_at.max(SimTime::ZERO) + channel.tx_time(dg.len);
+        let start = link_free_at.max(SimTime::ZERO);
+        let tx_end = start + channel.tx_time(dg.len);
         link_free_at = tx_end;
         if !channel.should_drop(&mut rng) {
             queue.push(
                 tx_end + channel.sample_latency(&mut rng),
-                NetEvent::DataArrives(dg),
+                NetEvent::DataArrives { dg, sent_at: start },
             );
         }
     }
@@ -319,20 +406,36 @@ pub fn simulate_transfer_traced(
             panic!("rudp simulation failed to converge");
         }
         match event {
-            NetEvent::DataArrives(dg) => {
-                let (ack, delivered) = receiver.on_datagram(dg);
+            NetEvent::DataArrives { dg, sent_at } => {
+                let (ack, delivered) = receiver.on_datagram_full(dg);
+                for d in &delivered {
+                    debug_assert_eq!(d.ctx, ctx, "context must survive the wire");
+                }
                 if !delivered.is_empty() {
                     finish = now;
                 }
-                // ACK path (ACKs are tiny; serialization ignored).
+                // ACK path (ACKs are tiny; serialization ignored). The
+                // receiver stamps its own (skewed) clock into the ack.
                 if !channel.should_drop(&mut rng) {
                     queue.push(
                         now + channel.sample_latency(&mut rng),
-                        NetEvent::AckArrives(ack),
+                        NetEvent::AckArrives {
+                            ack,
+                            t1: sent_at,
+                            t2_us: now.as_micros() as i64 + true_offset_us,
+                        },
                     );
                 }
             }
-            NetEvent::AckArrives(ack) => {
+            NetEvent::AckArrives { ack, t1, t2_us } => {
+                if let Some(c) = clock.as_mut() {
+                    c.estimator.observe(
+                        t1.as_micros() as i64,
+                        t2_us,
+                        t2_us,
+                        now.as_micros() as i64,
+                    );
+                }
                 if let Some(h) = &rtt_hist {
                     for sent_at in sender.sent_times_below(ack) {
                         h.record_duration(now - sent_at);
@@ -350,7 +453,7 @@ pub fn simulate_transfer_traced(
                     if !channel.should_drop(&mut rng) {
                         queue.push(
                             tx_end + channel.sample_latency(&mut rng),
-                            NetEvent::DataArrives(dg),
+                            NetEvent::DataArrives { dg, sent_at: start },
                         );
                     }
                 }
@@ -367,7 +470,7 @@ pub fn simulate_transfer_traced(
                     if !channel.should_drop(&mut rng) {
                         queue.push(
                             tx_end + channel.sample_latency(&mut rng),
-                            NetEvent::DataArrives(dg),
+                            NetEvent::DataArrives { dg, sent_at: start },
                         );
                     }
                 }
@@ -431,6 +534,7 @@ mod tests {
             seq,
             len: 100,
             retransmit: false,
+            ctx: TraceContext::NONE,
         };
         let (ack, delivered) = rx.on_datagram(dg(1));
         assert_eq!(ack, 0);
@@ -448,6 +552,7 @@ mod tests {
             seq: 0,
             len: 10,
             retransmit: false,
+            ctx: TraceContext::NONE,
         };
         rx.on_datagram(dg);
         rx.on_datagram(dg);
@@ -546,6 +651,95 @@ mod tests {
         let ch = ChannelModel::wifi_80211n();
         let stats = simulate_transfer(0, &ch, RudpConfig::default(), 2);
         assert_eq!(stats.bytes, 0);
+    }
+
+    #[test]
+    fn retransmissions_carry_the_original_context() {
+        let cfg = RudpConfig::default();
+        let mut tx = RudpSender::new(cfg);
+        let ctx = TraceContext::new(42, 7, 1);
+        tx.enqueue_traced(MTU * 2, ctx);
+        let first = tx.poll_send(SimTime::ZERO);
+        assert!(first.iter().all(|d| d.ctx == ctx && !d.retransmit));
+        let re = tx.poll_retransmit(SimTime::ZERO + cfg.rto);
+        assert_eq!(re.len(), 2);
+        assert!(
+            re.iter().all(|d| d.ctx == ctx && d.retransmit),
+            "retransmit must reuse the original span's context"
+        );
+        // Seqs unchanged: same logical sends.
+        assert_eq!(
+            re.iter().map(|d| d.seq).collect::<Vec<_>>(),
+            first.iter().map(|d| d.seq).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn out_of_order_delivery_keeps_ctx_to_seq_mapping() {
+        let mut rx = RudpReceiver::new();
+        // Three datagrams, each with a distinct frame id; deliver 2, 0, 1.
+        let dg = |seq: u64| Datagram {
+            seq,
+            len: 10,
+            retransmit: false,
+            ctx: TraceContext::new(1, seq, 0),
+        };
+        let (_, d) = rx.on_datagram_full(dg(2));
+        assert!(d.is_empty());
+        let (_, d) = rx.on_datagram_full(dg(0));
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].ctx.frame_id, 0);
+        let (ack, d) = rx.on_datagram_full(dg(1));
+        assert_eq!(ack, 3);
+        let frames: Vec<u64> = d.iter().map(|x| x.ctx.frame_id).collect();
+        assert_eq!(frames, [1, 2], "in-order delivery, contexts intact");
+    }
+
+    #[test]
+    fn clock_offset_is_recovered_through_a_lossy_channel() {
+        for (true_offset, seed) in [(35_000i64, 4u64), (-80_000, 5), (0, 6)] {
+            let ch = ChannelModel::lossy(0.1);
+            let mut est = ClockOffsetEstimator::new();
+            let stats = simulate_transfer_ctx(
+                200_000,
+                &ch,
+                RudpConfig::default(),
+                seed,
+                None,
+                TraceContext::new(9, 0, 0),
+                Some(ClockSync {
+                    true_offset_us: true_offset,
+                    estimator: &mut est,
+                }),
+            );
+            assert_eq!(stats.bytes, 200_000);
+            let got = est.offset_us().expect("acks must produce samples");
+            let err = (got - true_offset).abs();
+            assert!(
+                err < 2_000,
+                "offset {true_offset} seed {seed}: estimated {got}, error {err} µs"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_sync_does_not_change_the_transfer() {
+        let ch = ChannelModel::lossy(0.08);
+        let plain = simulate_transfer(150_000, &ch, RudpConfig::default(), 13);
+        let mut est = ClockOffsetEstimator::new();
+        let synced = simulate_transfer_ctx(
+            150_000,
+            &ch,
+            RudpConfig::default(),
+            13,
+            None,
+            TraceContext::new(3, 1, 0),
+            Some(ClockSync {
+                true_offset_us: 123_456,
+                estimator: &mut est,
+            }),
+        );
+        assert_eq!(plain, synced, "tracing must be purely observational");
     }
 
     #[test]

@@ -16,10 +16,10 @@
 //! latency a false negative costs.
 
 use gbooster_sim::time::{SimDuration, SimTime};
-use gbooster_telemetry::{names, Counter, Registry};
+use gbooster_telemetry::{names, Counter, Gauge, Registry};
 
 use crate::channel::ChannelModel;
-use crate::iface::{BluetoothIface, WifiIface};
+use crate::iface::{BluetoothIface, RadioState, WifiIface};
 
 /// Which radio carried a transmission.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +61,18 @@ pub struct SwitchStats {
     pub bt_bytes: u64,
 }
 
+/// Accumulated per-interface time-in-state (from the manager's idle
+/// ticks — the session's regular time advancement).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IfaceTime {
+    /// Time the WiFi radio spent powered (waking, idle or active).
+    pub wifi_up: SimDuration,
+    /// Time the WiFi radio spent off.
+    pub wifi_off: SimDuration,
+    /// Time the always-on Bluetooth radio has been up.
+    pub bt_up: SimDuration,
+}
+
 /// Pre-resolved registry handles for the switching counters, so the
 /// per-transfer path costs one atomic add per event.
 #[derive(Clone, Debug)]
@@ -69,6 +81,10 @@ struct SwitchCounters {
     mispredictions: Counter,
     wifi_bytes: Counter,
     bt_bytes: Counter,
+    wifi_up_secs: Gauge,
+    wifi_off_secs: Gauge,
+    wifi_state: Gauge,
+    bt_up_secs: Gauge,
 }
 
 /// Dual-radio manager implementing the paper's switching policy.
@@ -95,6 +111,7 @@ pub struct InterfaceManager {
     want_wifi: bool,
     lull: u32,
     stats: SwitchStats,
+    time_in_state: IfaceTime,
     counters: Option<SwitchCounters>,
 }
 
@@ -112,6 +129,7 @@ impl InterfaceManager {
             want_wifi: !switching_enabled,
             lull: 0,
             stats: SwitchStats::default(),
+            time_in_state: IfaceTime::default(),
             counters: None,
         };
         if !switching_enabled {
@@ -138,6 +156,10 @@ impl InterfaceManager {
             mispredictions: registry.counter(names::net::MISPREDICTIONS),
             wifi_bytes: registry.counter(names::net::WIFI_BYTES),
             bt_bytes: registry.counter(names::net::BT_BYTES),
+            wifi_up_secs: registry.gauge(names::iface::WIFI_UP_SECS),
+            wifi_off_secs: registry.gauge(names::iface::WIFI_OFF_SECS),
+            wifi_state: registry.gauge(names::iface::WIFI_STATE),
+            bt_up_secs: registry.gauge(names::iface::BT_UP_SECS),
         };
         counters.wakes.add(self.stats.wifi_wakes as u64);
         counters
@@ -146,6 +168,21 @@ impl InterfaceManager {
         counters.wifi_bytes.add(self.stats.wifi_bytes);
         counters.bt_bytes.add(self.stats.bt_bytes);
         self.counters = Some(counters);
+        self.publish_iface_gauges();
+    }
+
+    /// Pushes the per-interface time-in-state and power-state gauges.
+    fn publish_iface_gauges(&self) {
+        let Some(c) = &self.counters else { return };
+        c.wifi_up_secs.set(self.time_in_state.wifi_up.as_secs_f64());
+        c.wifi_off_secs
+            .set(self.time_in_state.wifi_off.as_secs_f64());
+        c.bt_up_secs.set(self.time_in_state.bt_up.as_secs_f64());
+        c.wifi_state.set(match self.wifi.state() {
+            RadioState::Off => 0.0,
+            RadioState::Waking(_) => 0.5,
+            RadioState::Idle | RadioState::Active => 1.0,
+        });
     }
 
     /// Feeds the predicted demand (Mbps) for the next window; actuates
@@ -172,6 +209,28 @@ impl InterfaceManager {
                 self.wifi.power_off(now);
             }
         }
+        self.publish_iface_gauges();
+    }
+
+    /// Forces `cycles` rapid off→on cycles of the WiFi radio at `now` —
+    /// the interface-flap fault for failure injection. Each cycle books
+    /// a wake (the real energy/latency cost of flapping) and leaves the
+    /// radio waking, so the next send pays the degraded-to-Bluetooth
+    /// penalty exactly as a genuine flap would.
+    pub fn force_flap(&mut self, now: SimTime, cycles: u32) {
+        for _ in 0..cycles {
+            self.wifi.power_off(now);
+            self.wifi.power_on(now);
+            self.stats.wifi_wakes += 1;
+            if let Some(c) = &self.counters {
+                c.wakes.inc();
+            }
+        }
+        if cycles > 0 {
+            self.want_wifi = true;
+            self.lull = 0;
+        }
+        self.publish_iface_gauges();
     }
 
     /// Transmits `bytes` at `now` over the best available radio.
@@ -240,10 +299,23 @@ impl InterfaceManager {
         }
     }
 
-    /// Accrues idle energy on both radios for `dt`.
+    /// Accrues idle energy on both radios for `dt` and advances the
+    /// per-interface time-in-state ledger.
     pub fn idle_tick(&mut self, dt: SimDuration) {
         self.wifi.idle_tick(dt);
         self.bt.idle_tick(dt);
+        if matches!(self.wifi.state(), RadioState::Off) {
+            self.time_in_state.wifi_off += dt;
+        } else {
+            self.time_in_state.wifi_up += dt;
+        }
+        self.time_in_state.bt_up += dt;
+        self.publish_iface_gauges();
+    }
+
+    /// Accumulated per-interface time-in-state.
+    pub fn time_in_state(&self) -> IfaceTime {
+        self.time_in_state
     }
 
     /// Total radio energy consumed so far, in joules.
@@ -392,6 +464,59 @@ mod tests {
         assert_eq!(snap.counter(names::net::WIFI_BYTES), stats.wifi_bytes);
         assert_eq!(snap.counter(names::net::BT_BYTES), stats.bt_bytes);
         assert!(stats.degraded_sends >= 1);
+    }
+
+    #[test]
+    fn time_in_state_gauges_are_visible_in_the_registry() {
+        let mut mgr = InterfaceManager::new(true);
+        let registry = Registry::new();
+        mgr.attach_registry(&registry);
+        // 4 s with WiFi off, then wake and 6 s powered.
+        for _ in 0..8 {
+            mgr.idle_tick(SimDuration::from_millis(500));
+        }
+        mgr.plan(40.0, SimTime::from_secs(4));
+        for _ in 0..12 {
+            mgr.idle_tick(SimDuration::from_millis(500));
+        }
+        let t = mgr.time_in_state();
+        assert_eq!(t.wifi_off, SimDuration::from_secs(4));
+        assert_eq!(t.wifi_up, SimDuration::from_secs(6));
+        assert_eq!(t.bt_up, SimDuration::from_secs(10));
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge(names::iface::WIFI_OFF_SECS), 4.0);
+        assert_eq!(snap.gauge(names::iface::WIFI_UP_SECS), 6.0);
+        assert_eq!(snap.gauge(names::iface::BT_UP_SECS), 10.0);
+        // Nothing has polled readiness since the wake, so the state
+        // machine still reports Waking — powered either way.
+        assert!(snap.gauge(names::iface::WIFI_STATE) >= 0.5);
+    }
+
+    #[test]
+    fn wifi_state_gauge_tracks_power_transitions() {
+        let mut mgr = InterfaceManager::new(true);
+        let registry = Registry::new();
+        mgr.attach_registry(&registry);
+        assert_eq!(registry.snapshot().gauge(names::iface::WIFI_STATE), 0.0);
+        mgr.plan(40.0, SimTime::ZERO); // waking
+        assert_eq!(registry.snapshot().gauge(names::iface::WIFI_STATE), 0.5);
+        mgr.transmit(100, SimTime::from_secs(1)); // wake finished
+        mgr.idle_tick(SimDuration::from_millis(1));
+        assert_eq!(registry.snapshot().gauge(names::iface::WIFI_STATE), 1.0);
+    }
+
+    #[test]
+    fn forced_flap_books_wakes_and_degrades_the_next_send() {
+        let mut mgr = InterfaceManager::new(true);
+        let registry = Registry::new();
+        mgr.attach_registry(&registry);
+        mgr.force_flap(SimTime::from_secs(1), 3);
+        assert_eq!(mgr.stats().wifi_wakes, 3);
+        assert_eq!(registry.snapshot().counter(names::net::WIFI_WAKES), 3);
+        // Radio is mid-wake: traffic degrades onto Bluetooth.
+        let out = mgr.transmit(1_000, SimTime::from_millis(1_010));
+        assert_eq!(out.route, Route::Bluetooth);
+        assert!(out.degraded);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! The compact trace context carried inside RUDP datagrams.
+//!
+//! Cross-device tracing needs every datagram to say which frame (and
+//! which uplink attempt) it belongs to, so the service device can tag
+//! its spans and the user device can stitch them back into the right
+//! frame tree. [`TraceContext`] is the 20-byte little-endian triple
+//! `(session id, frame id, span id)` that rides in each datagram
+//! header. Retransmissions reuse the original datagram's context
+//! verbatim — a retransmit is the *same* logical send, so it must
+//! attach to the same span.
+
+/// Identifies one frame's uplink within one session.
+///
+/// `session_id` disambiguates traces from concurrent or restarted
+/// sessions, `frame_id` is the display sequence number the spans stitch
+/// under, and `span_id` distinguishes multiple traced transfers within
+/// one frame (uplink vs. downlink, or future parallel streams).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceContext {
+    /// Session identity (derived from the session seed).
+    pub session_id: u64,
+    /// Frame display sequence, 0-based.
+    pub frame_id: u64,
+    /// Transfer index within the frame.
+    pub span_id: u32,
+}
+
+impl TraceContext {
+    /// The absent context: all zeros. Untraced datagrams carry this.
+    pub const NONE: TraceContext = TraceContext {
+        session_id: 0,
+        frame_id: 0,
+        span_id: 0,
+    };
+
+    /// Encoded size on the wire.
+    pub const WIRE_BYTES: usize = 20;
+
+    /// Creates a context for `frame_id` of `session_id`.
+    pub fn new(session_id: u64, frame_id: u64, span_id: u32) -> Self {
+        TraceContext {
+            session_id,
+            frame_id,
+            span_id,
+        }
+    }
+
+    /// True for the all-zero "no context" value.
+    pub fn is_none(&self) -> bool {
+        *self == Self::NONE
+    }
+
+    /// Serializes to the 20-byte wire form (all fields little-endian).
+    pub fn encode(&self) -> [u8; Self::WIRE_BYTES] {
+        let mut out = [0u8; Self::WIRE_BYTES];
+        out[0..8].copy_from_slice(&self.session_id.to_le_bytes());
+        out[8..16].copy_from_slice(&self.frame_id.to_le_bytes());
+        out[16..20].copy_from_slice(&self.span_id.to_le_bytes());
+        out
+    }
+
+    /// Parses the wire form; `None` if `bytes` is too short.
+    pub fn decode(bytes: &[u8]) -> Option<TraceContext> {
+        if bytes.len() < Self::WIRE_BYTES {
+            return None;
+        }
+        Some(TraceContext {
+            session_id: u64::from_le_bytes(bytes[0..8].try_into().ok()?),
+            frame_id: u64::from_le_bytes(bytes[8..16].try_into().ok()?),
+            span_id: u32::from_le_bytes(bytes[16..20].try_into().ok()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let ctx = TraceContext::new(0xDEAD_BEEF_0102_0304, 41, 2);
+        let wire = ctx.encode();
+        assert_eq!(wire.len(), TraceContext::WIRE_BYTES);
+        assert_eq!(TraceContext::decode(&wire), Some(ctx));
+    }
+
+    #[test]
+    fn decode_rejects_short_input() {
+        let wire = TraceContext::new(1, 2, 3).encode();
+        assert_eq!(TraceContext::decode(&wire[..19]), None);
+        assert_eq!(TraceContext::decode(&[]), None);
+    }
+
+    #[test]
+    fn decode_ignores_trailing_bytes() {
+        let ctx = TraceContext::new(7, 8, 9);
+        let mut wire = ctx.encode().to_vec();
+        wire.extend_from_slice(&[0xAA; 4]);
+        assert_eq!(TraceContext::decode(&wire), Some(ctx));
+    }
+
+    #[test]
+    fn none_is_all_zeros_and_default() {
+        assert!(TraceContext::NONE.is_none());
+        assert!(TraceContext::default().is_none());
+        assert_eq!(TraceContext::NONE.encode(), [0u8; 20]);
+        assert!(!TraceContext::new(1, 0, 0).is_none());
+    }
+}

@@ -1,0 +1,217 @@
+//! Trace and metrics exporters.
+//!
+//! Two stable external formats:
+//!
+//! * [`chrome_trace`] — the Chrome trace-event JSON format (the
+//!   `chrome://tracing` / Perfetto "JSON Array Format"), one complete
+//!   `"X"` event per span. User-device spans render under pid 1,
+//!   stitched service-device spans (`remote.*`) under pid 2, so a
+//!   flamegraph shows both devices on one timeline.
+//! * [`prometheus_text`] — the Prometheus text exposition format for a
+//!   registry snapshot: counters and gauges verbatim, histograms as
+//!   summaries with `quantile` labels. Metric names are prefixed with
+//!   `gbooster_` and sanitized (`.`/`-` → `_`); duration summaries are
+//!   in microseconds, matching the registry convention.
+
+use crate::json;
+use crate::report::TelemetrySnapshot;
+use crate::trace::{SpanNode, TraceLog};
+
+/// Process id used for user-device spans in the Chrome export.
+pub const CHROME_PID_USER: u32 = 1;
+/// Process id used for service-device (`remote.*`) spans.
+pub const CHROME_PID_SERVICE: u32 = 2;
+
+fn span_pid(name: &str) -> u32 {
+    if name == "remote" || name.starts_with("remote.") {
+        CHROME_PID_SERVICE
+    } else {
+        CHROME_PID_USER
+    }
+}
+
+fn write_span_events(span: &SpanNode, seq: u64, out: &mut String) {
+    out.push_str(",{\"name\":");
+    out.push_str(&json::quote(span.name));
+    out.push_str(",\"ph\":\"X\",\"ts\":");
+    out.push_str(&span.start.as_micros().to_string());
+    out.push_str(",\"dur\":");
+    out.push_str(&span.duration().as_micros().to_string());
+    out.push_str(&format!(
+        ",\"pid\":{},\"tid\":1,\"args\":{{\"seq\":{seq}}}}}",
+        span_pid(span.name)
+    ));
+    for child in &span.children {
+        write_span_events(child, seq, out);
+    }
+}
+
+/// Exports a trace log as Chrome trace-event JSON.
+///
+/// The output is a single JSON object `{"traceEvents":[...],
+/// "displayTimeUnit":"ms"}`; `ts`/`dur` are absolute sim-time
+/// microseconds, which is exactly the unit the format specifies.
+pub fn chrome_trace(log: &TraceLog) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{CHROME_PID_USER},\
+         \"args\":{{\"name\":\"user-device\"}}}}"
+    ));
+    out.push_str(&format!(
+        ",{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{CHROME_PID_SERVICE},\
+         \"args\":{{\"name\":\"service-device\"}}}}"
+    ));
+    for frame in log.frames() {
+        write_span_events(&frame.root, frame.seq, &mut out);
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Maps a registry name onto the Prometheus metric-name grammar.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("gbooster_");
+    for (i, c) in name.chars().enumerate() {
+        match c {
+            'a'..='z' | 'A'..='Z' | '_' => out.push(c),
+            '0'..='9' if i > 0 => out.push(c),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+fn write_float(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+/// Exports a snapshot in the Prometheus text exposition format.
+///
+/// Counters become `counter`, gauges `gauge`, histograms `summary`
+/// metrics with `{quantile="0.5"|"0.9"|"0.99"}` sample lines plus
+/// `_sum` / `_count`. Quantile and sum values are microseconds.
+pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let metric = sanitize(name);
+        out.push_str(&format!("# TYPE {metric} counter\n{metric} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let metric = sanitize(name);
+        out.push_str(&format!("# TYPE {metric} gauge\n{metric} "));
+        write_float(*v, &mut out);
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        let metric = sanitize(name);
+        out.push_str(&format!("# TYPE {metric} summary\n"));
+        for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+            out.push_str(&format!(
+                "{metric}{{quantile=\"{label}\"}} {}\n",
+                h.quantile(q)
+            ));
+        }
+        out.push_str(&format!("{metric}_sum {}\n", h.sum()));
+        out.push_str(&format!("{metric}_count {}\n", h.count()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+    use crate::registry::Registry;
+    use crate::trace::FrameTrace;
+    use gbooster_sim::time::SimTime;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn sample_log() -> TraceLog {
+        let mut log = TraceLog::new();
+        for seq in 0..2u64 {
+            let base = seq * 10_000;
+            let mut root = SpanNode::new(names::stage::FRAME, t(base), t(base + 9_000));
+            root.stage(names::stage::UPLINK, t(base + 100), t(base + 1_000));
+            let mut remote =
+                SpanNode::new(names::remote::SUBTREE, t(base + 1_000), t(base + 6_000));
+            remote.stage(names::remote::REPLAY, t(base + 1_000), t(base + 4_000));
+            root.push(remote);
+            log.push(FrameTrace { seq, root });
+        }
+        log
+    }
+
+    #[test]
+    fn chrome_export_routes_remote_spans_to_pid_2() {
+        let json = chrome_trace(&sample_log());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"name\":\"user-device\""));
+        assert!(json.contains("\"name\":\"service-device\""));
+        assert!(json.contains("\"name\":\"remote.replay\",\"ph\":\"X\""));
+        // Remote spans carry pid 2, local spans pid 1.
+        let remote_evt = json.split("\"name\":\"remote.replay\"").nth(1).unwrap();
+        assert!(remote_evt.split('}').next().unwrap().contains("\"pid\":2"));
+        let local_evt = json.split("\"name\":\"stage.uplink\"").nth(1).unwrap();
+        assert!(local_evt.split('}').next().unwrap().contains("\"pid\":1"));
+    }
+
+    #[test]
+    fn chrome_export_counts_one_event_per_span_plus_metadata() {
+        let json = chrome_trace(&sample_log());
+        let x_events = json.matches("\"ph\":\"X\"").count();
+        // 2 frames × (frame + uplink + remote subtree + remote.replay).
+        assert_eq!(x_events, 8);
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+    }
+
+    #[test]
+    fn prometheus_text_exposes_all_three_kinds() {
+        let reg = Registry::new();
+        reg.counter(names::net::WIFI_WAKES).add(4);
+        reg.gauge(names::session::CPU_UTILIZATION).set(0.25);
+        let h = reg.histogram(names::stage::DECODE);
+        for v in [10u64, 20, 30] {
+            h.record(v); // linear-region values: quantiles are exact
+        }
+        let text = prometheus_text(&reg.snapshot());
+        assert!(text.contains("# TYPE gbooster_net_wifi_wakes counter\n"));
+        assert!(text.contains("gbooster_net_wifi_wakes 4\n"));
+        assert!(text.contains("# TYPE gbooster_cpu_utilization gauge\n"));
+        assert!(text.contains("gbooster_cpu_utilization 0.25\n"));
+        assert!(text.contains("# TYPE gbooster_stage_decode summary\n"));
+        assert!(text.contains("gbooster_stage_decode{quantile=\"0.5\"} 20\n"));
+        assert!(text.contains("gbooster_stage_decode_sum 60\n"));
+        assert!(text.contains("gbooster_stage_decode_count 3\n"));
+    }
+
+    #[test]
+    fn sanitized_names_match_the_prometheus_grammar() {
+        for raw in ["rudp.rtt", "iface.wifi.up_secs", "trace.clock_offset_us"] {
+            let m = sanitize(raw);
+            assert!(m
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
+            assert!(!m.starts_with(|c: char| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_style() {
+        let mut s = String::new();
+        write_float(f64::NAN, &mut s);
+        s.push(' ');
+        write_float(f64::INFINITY, &mut s);
+        assert_eq!(s, "NaN +Inf");
+    }
+}

@@ -1,0 +1,246 @@
+//! The fault-triggered flight recorder.
+//!
+//! Like an aircraft's, the recorder runs continuously and cheaply — a
+//! bounded ring of the last N fully-stitched frame traces — and only
+//! *emits* anything when a fault fires. The dump is a structured
+//! postmortem: the fault, when it fired, the retained frame traces, and
+//! a full registry snapshot. A one-shot latch guarantees **exactly
+//! one** dump per recorder no matter how many faults follow the first,
+//! so a storm of secondary faults cannot bury the primary evidence.
+
+use std::collections::VecDeque;
+
+use gbooster_sim::time::SimTime;
+
+use crate::report::TelemetrySnapshot;
+use crate::trace::FrameTrace;
+
+/// The fault classes the session engine detects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// A burst of datagram retransmissions above the storm threshold.
+    LossStorm,
+    /// A frame's dispatch wait exceeded the timeout budget.
+    DispatchTimeout,
+    /// The WiFi interface flapped (rapid off/on cycling).
+    InterfaceFlap,
+}
+
+impl Fault {
+    /// Stable machine-readable name, used in dump headers.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Fault::LossStorm => "loss_storm",
+            Fault::DispatchTimeout => "dispatch_timeout",
+            Fault::InterfaceFlap => "interface_flap",
+        }
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One emitted postmortem.
+#[derive(Clone, Debug)]
+pub struct FlightDump {
+    /// What fired.
+    pub fault: Fault,
+    /// Sim time of the trigger.
+    pub at: SimTime,
+    /// The last-N stitched frame traces, oldest first.
+    pub frames: Vec<FrameTrace>,
+    /// Registry snapshot taken at trigger time.
+    pub snapshot: TelemetrySnapshot,
+}
+
+impl FlightDump {
+    /// Serializes the dump as JSON Lines: a fault header, one line per
+    /// retained frame (same schema as the session trace JSONL), and a
+    /// snapshot trailer.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"fault\":\"{}\",\"at_us\":{},\"frames\":{}}}\n",
+            self.fault.as_str(),
+            self.at.as_micros(),
+            self.frames.len()
+        ));
+        for f in &self.frames {
+            out.push_str(&format!("{{\"seq\":{},\"span\":", f.seq));
+            f.root.write_json(&mut out);
+            out.push_str("}\n");
+        }
+        out.push_str("{\"snapshot\":");
+        out.push_str(&self.snapshot.to_json());
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The always-on ring + one-shot trigger.
+#[derive(Clone, Debug)]
+pub struct FlightRecorder {
+    ring: VecDeque<FrameTrace>,
+    depth: usize,
+    fired: bool,
+    faults_seen: u64,
+    dumps: Vec<FlightDump>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the last `depth` frames (minimum 1).
+    pub fn new(depth: usize) -> Self {
+        FlightRecorder {
+            ring: VecDeque::with_capacity(depth.max(1)),
+            depth: depth.max(1),
+            fired: false,
+            faults_seen: 0,
+            dumps: Vec::new(),
+        }
+    }
+
+    /// Ring depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Records a stitched frame trace, evicting the oldest past `depth`.
+    pub fn on_frame(&mut self, trace: &FrameTrace) {
+        if self.ring.len() == self.depth {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(trace.clone());
+    }
+
+    /// Reports a fault. The first call emits a dump and returns `true`;
+    /// every later call only bumps [`FlightRecorder::faults_seen`] —
+    /// the latch keeps the dump describing the *primary* fault.
+    pub fn trigger(&mut self, fault: Fault, at: SimTime, snapshot: TelemetrySnapshot) -> bool {
+        self.faults_seen += 1;
+        if self.fired {
+            return false;
+        }
+        self.fired = true;
+        self.dumps.push(FlightDump {
+            fault,
+            at,
+            frames: self.ring.iter().cloned().collect(),
+            snapshot,
+        });
+        true
+    }
+
+    /// True once a dump has been emitted.
+    pub fn has_fired(&self) -> bool {
+        self.fired
+    }
+
+    /// Faults reported, including latched-out ones.
+    pub fn faults_seen(&self) -> u64 {
+        self.faults_seen
+    }
+
+    /// The emitted dumps (length 0 or 1 by construction).
+    pub fn dumps(&self) -> &[FlightDump] {
+        &self.dumps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+    use crate::trace::SpanNode;
+
+    fn frame(seq: u64) -> FrameTrace {
+        FrameTrace {
+            seq,
+            root: SpanNode::new(
+                names::stage::FRAME,
+                SimTime::from_micros(seq * 1_000),
+                SimTime::from_micros(seq * 1_000 + 900),
+            ),
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_n() {
+        let mut rec = FlightRecorder::new(3);
+        for seq in 0..10 {
+            rec.on_frame(&frame(seq));
+        }
+        assert!(rec.trigger(
+            Fault::LossStorm,
+            SimTime::from_micros(99),
+            TelemetrySnapshot::default()
+        ));
+        let dump = &rec.dumps()[0];
+        let seqs: Vec<u64> = dump.frames.iter().map(|f| f.seq).collect();
+        assert_eq!(seqs, [7, 8, 9]);
+    }
+
+    #[test]
+    fn latch_emits_exactly_one_dump() {
+        let mut rec = FlightRecorder::new(2);
+        rec.on_frame(&frame(0));
+        assert!(rec.trigger(
+            Fault::DispatchTimeout,
+            SimTime::from_micros(5),
+            TelemetrySnapshot::default()
+        ));
+        assert!(!rec.trigger(
+            Fault::LossStorm,
+            SimTime::from_micros(6),
+            TelemetrySnapshot::default()
+        ));
+        assert!(!rec.trigger(
+            Fault::InterfaceFlap,
+            SimTime::from_micros(7),
+            TelemetrySnapshot::default()
+        ));
+        assert_eq!(rec.dumps().len(), 1);
+        assert_eq!(rec.dumps()[0].fault, Fault::DispatchTimeout);
+        assert_eq!(rec.faults_seen(), 3);
+        assert!(rec.has_fired());
+    }
+
+    #[test]
+    fn dump_jsonl_has_header_frames_and_trailer() {
+        let mut rec = FlightRecorder::new(4);
+        for seq in 0..2 {
+            rec.on_frame(&frame(seq));
+        }
+        rec.trigger(
+            Fault::InterfaceFlap,
+            SimTime::from_micros(2_500),
+            TelemetrySnapshot::default(),
+        );
+        let jsonl = rec.dumps()[0].to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 2 frames + snapshot
+        assert_eq!(
+            lines[0],
+            "{\"fault\":\"interface_flap\",\"at_us\":2500,\"frames\":2}"
+        );
+        assert!(lines[1].starts_with("{\"seq\":0,\"span\":{\"name\":\"frame\""));
+        assert!(lines[3].starts_with("{\"snapshot\":{\"counters\""));
+    }
+
+    #[test]
+    fn zero_depth_is_promoted_to_one() {
+        let mut rec = FlightRecorder::new(0);
+        assert_eq!(rec.depth(), 1);
+        rec.on_frame(&frame(0));
+        rec.on_frame(&frame(1));
+        rec.trigger(
+            Fault::LossStorm,
+            SimTime::ZERO,
+            TelemetrySnapshot::default(),
+        );
+        assert_eq!(rec.dumps()[0].frames.len(), 1);
+        assert_eq!(rec.dumps()[0].frames[0].seq, 1);
+    }
+}

@@ -219,14 +219,25 @@ impl HistogramSnapshot {
         self.quantile(0.99) as f64 / 1000.0
     }
 
-    /// Merges `other` into `self`, bucket-wise. Exactly equivalent to
-    /// having recorded the union of both sample sets.
+    /// Merges `other` into `self`, bucket-wise. Because bucketing is a
+    /// pure function of the value, the merge is exactly equivalent to
+    /// having recorded the union of both sample sets — p50/p90/p99 of
+    /// the merged snapshot equal the quantiles of a single combined
+    /// recording, not just "within bucket resolution".
+    ///
+    /// Robust against snapshots from a different bucket layout (the
+    /// longer layout wins) and against `count`/`sum` overflow
+    /// (saturating), so merging a corrupted or future-versioned
+    /// snapshot can never panic.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(*b);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);
     }
@@ -298,5 +309,64 @@ mod tests {
         let mut merged = a.snapshot();
         merged.merge(&b.snapshot());
         assert_eq!(merged, union.snapshot());
+    }
+
+    #[test]
+    fn merged_quantiles_match_a_single_combined_recording() {
+        // Two disjoint latency populations — a fast mode and a heavy
+        // tail — recorded separately, then merged. The merged snapshot's
+        // p50/p90/p99 must equal those of one histogram that saw every
+        // sample, exactly (same buckets ⇒ same quantile estimates).
+        let a = HistogramCore::new();
+        let b = HistogramCore::new();
+        let combined = HistogramCore::new();
+        for i in 0..900u64 {
+            let v = 500 + i; // ~0.5–1.4 ms
+            a.record(v);
+            combined.record(v);
+        }
+        for i in 0..100u64 {
+            let v = 40_000 + i * 700; // 40–110 ms tail
+            b.record(v);
+            combined.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        let reference = combined.snapshot();
+        for q in [0.50, 0.90, 0.99] {
+            assert_eq!(merged.quantile(q), reference.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.sum(), reference.sum());
+        assert_eq!(merged.min(), reference.min());
+        assert_eq!(merged.max(), reference.max());
+        // Merge order doesn't matter.
+        let mut flipped = b.snapshot();
+        flipped.merge(&a.snapshot());
+        assert_eq!(flipped, merged);
+    }
+
+    #[test]
+    fn merge_tolerates_foreign_bucket_layouts_and_saturates() {
+        let mut short = HistogramSnapshot {
+            buckets: vec![1, 2],
+            count: 3,
+            sum: u64::MAX - 1,
+            max: 1,
+            min: 0,
+        };
+        let long = HistogramSnapshot {
+            buckets: vec![0, 0, 0, 5],
+            count: 5,
+            sum: 10,
+            max: 9,
+            min: 2,
+        };
+        short.merge(&long);
+        assert_eq!(short.buckets, vec![1, 2, 0, 5]);
+        assert_eq!(short.count, 8);
+        assert_eq!(short.sum, u64::MAX, "sum must saturate, not wrap");
+        assert_eq!(short.max(), 9);
+        assert_eq!(short.min(), 0);
     }
 }

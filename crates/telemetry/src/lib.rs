@@ -16,6 +16,21 @@
 //!   compression ratio, retransmit and misprediction counts) and a
 //!   human-readable end-of-session report.
 //!
+//! On top of those, the distributed-tracing layer spans the device
+//! boundary:
+//!
+//! * [`context`] — the 20-byte [`TraceContext`] carried in every RUDP
+//!   datagram so both devices agree which frame a packet serves.
+//! * [`remote`] — service-clock span capture ([`RemoteSpanLog`]) and
+//!   NTP-style offset recovery from ack timestamps
+//!   ([`ClockOffsetEstimator`]).
+//! * [`stitch`] — rebases remote spans onto the user clock and grafts
+//!   them under the frame root as a monotone `remote` subtree.
+//! * [`export`] — Chrome trace-event JSON ([`chrome_trace`]) and
+//!   Prometheus text exposition ([`prometheus_text`]).
+//! * [`flight`] — a bounded ring of stitched traces that dumps a
+//!   structured postmortem when a fault fires ([`FlightRecorder`]).
+//!
 //! Metric and stage names live in [`names`]; the full schema is
 //! documented in `docs/OBSERVABILITY.md`.
 //!
@@ -47,14 +62,24 @@
 //! assert_eq!(trace.to_jsonl().lines().count(), 1);
 //! ```
 
+pub mod context;
+pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod names;
 pub mod registry;
+pub mod remote;
 pub mod report;
+pub mod stitch;
 pub mod trace;
 
+pub use context::TraceContext;
+pub use export::{chrome_trace, prometheus_text};
+pub use flight::{Fault, FlightDump, FlightRecorder};
 pub use hist::HistogramSnapshot;
 pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use remote::{ClockOffsetEstimator, RemoteSpan, RemoteSpanLog};
 pub use report::TelemetrySnapshot;
+pub use stitch::{stitch_remote, StitchOutcome};
 pub use trace::{FrameTrace, SpanNode, TraceLog};

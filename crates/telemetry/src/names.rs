@@ -53,6 +53,66 @@ pub mod stage {
     ];
 }
 
+/// Service-device spans recorded remotely and stitched into the frame
+/// tree (crates/core/src/service.rs → crates/telemetry/src/stitch.rs).
+/// Timestamps originate on the service clock and are rebased onto the
+/// user clock with the estimated offset before stitching.
+pub mod remote {
+    /// Subtree root grouping the service-side spans under the frame.
+    pub const SUBTREE: &str = "remote";
+    /// Eq. 4 queueing measured on the service device.
+    pub const DISPATCH_WAIT: &str = "remote.dispatch_wait";
+    /// GL command replay (rasterization) on the service GPU.
+    pub const REPLAY: &str = "remote.replay";
+    /// Turbo tile encoding measured on the service device.
+    pub const ENCODE: &str = "remote.encode";
+    /// Downlink send occupancy on the service radio.
+    pub const DOWNLINK_SEND: &str = "remote.downlink_send";
+
+    /// The service-side stages of every stitched frame, in order.
+    pub const STAGES: [&str; 4] = [DISPATCH_WAIT, REPLAY, ENCODE, DOWNLINK_SEND];
+}
+
+/// Distributed-tracing plumbing (crates/telemetry/src/{context,remote,
+/// stitch}.rs).
+pub mod tracing {
+    /// Estimated service−user clock offset in µs (gauge; may be
+    /// negative).
+    pub const CLOCK_OFFSET_US: &str = "trace.clock_offset_us";
+    /// NTP-style offset samples folded into the estimate (counter).
+    pub const CLOCK_SAMPLES: &str = "trace.clock_samples";
+    /// Frames whose remote spans were fully stitched (counter).
+    pub const STITCHED_FRAMES: &str = "trace.stitched_frames";
+    /// Remote spans left unmatched after a session (counter).
+    pub const ORPHAN_SPANS: &str = "trace.orphan_spans";
+    /// Remote spans clamped into the frame root's bounds (counter).
+    pub const CLAMPED_SPANS: &str = "trace.clamped_spans";
+}
+
+/// Fault-triggered flight recorder (crates/telemetry/src/flight.rs).
+pub mod flight {
+    /// Faults detected, whether or not a dump fired (counter).
+    pub const FAULTS: &str = "flight.faults";
+    /// Postmortem dumps emitted — the one-shot latch caps this at 1
+    /// per recorder (counter).
+    pub const DUMPS: &str = "flight.dumps";
+}
+
+/// Per-interface radio gauges (crates/net/src/switch.rs). Time-in-state
+/// is accumulated from the manager's idle ticks and transfer accounting.
+pub mod iface {
+    /// Seconds the WiFi radio has spent powered (waking/idle/active)
+    /// (gauge).
+    pub const WIFI_UP_SECS: &str = "iface.wifi.up_secs";
+    /// Seconds the WiFi radio has spent powered off (gauge).
+    pub const WIFI_OFF_SECS: &str = "iface.wifi.off_secs";
+    /// Instantaneous WiFi power state: 0 off, 0.5 waking, 1 on (gauge).
+    pub const WIFI_STATE: &str = "iface.wifi.state";
+    /// Seconds the Bluetooth radio has been up — always-on, so this
+    /// tracks session time (gauge).
+    pub const BT_UP_SECS: &str = "iface.bt.up_secs";
+}
+
 /// Command forwarder + LRU cache + LZ4 (crates/core + crates/codec).
 pub mod forward {
     /// LRU cache hits (counter).

@@ -78,6 +78,23 @@ impl TelemetrySnapshot {
         self.counter(names::net::MISPREDICTIONS)
     }
 
+    /// Merges `other` into `self`: counters add, histograms merge
+    /// union-exactly (see [`HistogramSnapshot::merge`]), gauges take
+    /// `other`'s value (a gauge is a last-observation instrument).
+    /// Useful for aggregating per-device or per-section registries into
+    /// one fleet view.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            self.gauges.insert(name.clone(), *v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
     /// Renders the human-readable end-of-session report.
     pub fn render_report(&self) -> String {
         let mut out = String::new();
@@ -220,6 +237,28 @@ mod tests {
         assert!(report.contains("p99"));
         assert!(report.contains("cache hit rate"));
         assert!(report.contains("radio mispredictions"));
+    }
+
+    #[test]
+    fn snapshot_merge_aggregates_per_kind() {
+        let a_reg = Registry::new();
+        a_reg.counter(names::net::WIFI_WAKES).add(2);
+        a_reg.gauge(names::session::CPU_UTILIZATION).set(0.3);
+        a_reg.histogram(names::stage::UPLINK).record(1_000);
+        let b_reg = Registry::new();
+        b_reg.counter(names::net::WIFI_WAKES).add(5);
+        b_reg.counter(names::net::BT_BYTES).add(100);
+        b_reg.gauge(names::session::CPU_UTILIZATION).set(0.6);
+        b_reg.histogram(names::stage::UPLINK).record(3_000);
+
+        let mut merged = a_reg.snapshot();
+        merged.merge(&b_reg.snapshot());
+        assert_eq!(merged.counter(names::net::WIFI_WAKES), 7);
+        assert_eq!(merged.counter(names::net::BT_BYTES), 100);
+        assert_eq!(merged.gauge(names::session::CPU_UTILIZATION), 0.6);
+        let h = merged.histogram(names::stage::UPLINK).unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4_000);
     }
 
     #[test]

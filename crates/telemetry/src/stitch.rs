@@ -1,0 +1,186 @@
+//! Stitching service-device spans into the user-device frame tree.
+//!
+//! Remote spans arrive in service-clock µs ([`crate::remote`]); the
+//! stitcher rebases them onto the user clock with the estimated offset
+//! (`user = service − offset`), orders them by the canonical remote
+//! pipeline, and grafts them under the frame root as one
+//! [`crate::names::remote::SUBTREE`] child. Because the offset is an
+//! *estimate*, a rebased span can poke slightly outside the root's
+//! `[start, end]` or invert against its neighbor; the stitcher clamps
+//! both ways — the output timeline is always monotone and nested — and
+//! counts every clamp so estimation error stays visible.
+
+use gbooster_sim::time::SimTime;
+
+use crate::names;
+use crate::remote::RemoteSpan;
+use crate::trace::SpanNode;
+
+/// What one stitch did, for the session-level counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StitchOutcome {
+    /// Remote spans grafted under the frame root.
+    pub stitched: u32,
+    /// Spans whose rebased interval needed clamping (root bounds or
+    /// monotonicity against the previous sibling).
+    pub clamped: u32,
+}
+
+fn pipeline_rank(name: &str) -> usize {
+    names::remote::STAGES
+        .iter()
+        .position(|&s| s == name)
+        .unwrap_or(names::remote::STAGES.len())
+}
+
+/// Rebases `spans` onto the user clock and grafts them under `root` as
+/// a single `remote` subtree. No-op (returning zeros) when `spans` is
+/// empty.
+///
+/// `offset_us` is the estimated (service − user) clock offset; it may
+/// be negative. Spans are sorted by canonical stage order, then start.
+pub fn stitch_remote(root: &mut SpanNode, spans: &[RemoteSpan], offset_us: i64) -> StitchOutcome {
+    if spans.is_empty() {
+        return StitchOutcome::default();
+    }
+    let mut ordered: Vec<&RemoteSpan> = spans.iter().collect();
+    ordered.sort_by_key(|s| (pipeline_rank(s.name), s.start_us));
+
+    let (lo, hi) = (root.start, root.end);
+    let mut outcome = StitchOutcome::default();
+    let mut subtree = SpanNode::new(names::remote::SUBTREE, hi, lo.max(hi));
+    let mut floor = lo;
+    for span in ordered {
+        let raw_start = rebase(span.start_us, offset_us);
+        let raw_end = rebase(span.end_us, offset_us);
+        // Clamp into the root interval, then enforce monotone ordering
+        // against the previous sibling (floor).
+        let start = raw_start.clamp(lo, hi).max(floor);
+        let end = raw_end.clamp(lo, hi).max(start);
+        if start != raw_start || end != raw_end {
+            outcome.clamped += 1;
+        }
+        floor = start;
+        subtree.stage(span.name, start, end);
+        outcome.stitched += 1;
+    }
+    subtree.start = subtree.children.iter().map(|c| c.start).min().unwrap_or(lo);
+    subtree.end = subtree
+        .children
+        .iter()
+        .map(|c| c.end)
+        .max()
+        .unwrap_or(subtree.start)
+        .max(subtree.start);
+    root.push(subtree);
+    outcome
+}
+
+/// Service-clock µs → user-clock [`SimTime`], clamping below zero.
+fn rebase(service_us: i64, offset_us: i64) -> SimTime {
+    let user = service_us - offset_us;
+    SimTime::from_micros(user.max(0) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TraceContext;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    fn span(name: &'static str, start_us: i64, end_us: i64) -> RemoteSpan {
+        RemoteSpan {
+            ctx: TraceContext::new(1, 0, 0),
+            name,
+            start_us,
+            end_us,
+        }
+    }
+
+    #[test]
+    fn exact_offset_stitches_without_clamping() {
+        let mut root = SpanNode::new(names::stage::FRAME, t(1_000), t(20_000));
+        // Service clock runs +5 ms ahead; spans at user-time 2..8 ms.
+        let off = 5_000i64;
+        let spans = [
+            span(names::remote::REPLAY, 4_000 + off, 6_000 + off),
+            span(names::remote::DISPATCH_WAIT, 2_000 + off, 4_000 + off),
+            span(names::remote::ENCODE, 6_000 + off, 8_000 + off),
+        ];
+        let out = stitch_remote(&mut root, &spans, off);
+        assert_eq!(
+            out,
+            StitchOutcome {
+                stitched: 3,
+                clamped: 0
+            }
+        );
+        let sub = root.child(names::remote::SUBTREE).unwrap();
+        assert_eq!(sub.start, t(2_000));
+        assert_eq!(sub.end, t(8_000));
+        // Canonical order despite shuffled input.
+        let kids: Vec<&str> = sub.children.iter().map(|c| c.name).collect();
+        assert_eq!(
+            kids,
+            [
+                names::remote::DISPATCH_WAIT,
+                names::remote::REPLAY,
+                names::remote::ENCODE,
+            ]
+        );
+        // Monotone, nested.
+        let mut prev = sub.start;
+        for c in &sub.children {
+            assert!(c.start >= prev && c.end >= c.start && c.end <= root.end);
+            prev = c.start;
+        }
+    }
+
+    #[test]
+    fn offset_error_is_clamped_into_the_root() {
+        let mut root = SpanNode::new(names::stage::FRAME, t(10_000), t(12_000));
+        // Estimated offset is 3 ms short: rebased spans land after root end.
+        let spans = [span(names::remote::ENCODE, 14_000, 16_000)];
+        let out = stitch_remote(&mut root, &spans, 0);
+        assert_eq!(out.clamped, 1);
+        let sub = root.child(names::remote::SUBTREE).unwrap();
+        assert_eq!(sub.children[0].start, t(12_000));
+        assert_eq!(sub.children[0].end, t(12_000));
+    }
+
+    #[test]
+    fn negative_rebased_time_clamps_to_zero_then_root_start() {
+        let mut root = SpanNode::new(names::stage::FRAME, t(100), t(500));
+        // Huge positive offset drives user time negative.
+        let spans = [span(names::remote::REPLAY, 50, 80)];
+        let out = stitch_remote(&mut root, &spans, 1_000_000);
+        assert_eq!(out.clamped, 1);
+        let c = &root.child(names::remote::SUBTREE).unwrap().children[0];
+        assert_eq!(c.start, t(100));
+    }
+
+    #[test]
+    fn inverted_siblings_are_forced_monotone() {
+        let mut root = SpanNode::new(names::stage::FRAME, t(0), t(10_000));
+        let spans = [
+            span(names::remote::DISPATCH_WAIT, 5_000, 6_000),
+            span(names::remote::REPLAY, 1_000, 2_000), // starts before its predecessor
+        ];
+        let out = stitch_remote(&mut root, &spans, 0);
+        assert_eq!(out.stitched, 2);
+        assert!(out.clamped >= 1);
+        let sub = root.child(names::remote::SUBTREE).unwrap();
+        assert!(sub.children[1].start >= sub.children[0].start);
+    }
+
+    #[test]
+    fn empty_input_adds_nothing() {
+        let mut root = SpanNode::new(names::stage::FRAME, t(0), t(100));
+        let out = stitch_remote(&mut root, &[], 0);
+        assert_eq!(out, StitchOutcome::default());
+        assert!(root.child(names::remote::SUBTREE).is_none());
+    }
+}

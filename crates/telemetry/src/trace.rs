@@ -55,7 +55,7 @@ impl SpanNode {
         self.children.iter().find(|c| c.name == name)
     }
 
-    fn write_json(&self, out: &mut String) {
+    pub(crate) fn write_json(&self, out: &mut String) {
         out.push_str("{\"name\":\"");
         crate::json::escape_into(self.name, out);
         out.push_str("\",\"start_us\":");

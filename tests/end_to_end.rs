@@ -282,9 +282,10 @@ fn offloaded_run_emits_one_root_span_per_displayed_frame() {
     for frame in o.trace.frames() {
         let root = &frame.root;
         assert_eq!(root.name, names::stage::FRAME);
+        // Eleven user-device stages plus the stitched remote subtree.
         assert_eq!(
             root.children.len(),
-            names::stage::PIPELINE.len(),
+            names::stage::PIPELINE.len() + 1,
             "frame {} has {} stages",
             frame.seq,
             root.children.len()
@@ -295,6 +296,13 @@ fn offloaded_run_emits_one_root_span_per_displayed_frame() {
                 .unwrap_or_else(|| panic!("frame {} missing stage {stage}", frame.seq));
             // Every stage nests inside its frame's root interval.
             assert!(child.start >= root.start && child.end <= root.end);
+        }
+        let remote = root
+            .child(names::remote::SUBTREE)
+            .unwrap_or_else(|| panic!("frame {} missing the remote subtree", frame.seq));
+        assert_eq!(remote.children.len(), names::remote::STAGES.len());
+        for span in &remote.children {
+            assert!(span.start >= root.start && span.end <= root.end);
         }
     }
     // Sequence numbers are the display order, 0-based and strictly rising.
@@ -340,6 +348,29 @@ fn telemetry_report_covers_the_acceptance_metrics() {
             report.contains(needle),
             "report missing {needle:?}:\n{report}"
         );
+    }
+}
+
+#[test]
+fn exporters_render_both_devices_from_one_session() {
+    let o = offloaded(GameTitle::g2_modern_combat(), DeviceSpec::nexus5());
+    let chrome = gbooster::telemetry::chrome_trace(&o.trace);
+    // Both device timelines are present: user spans on pid 1, the
+    // stitched service spans on pid 2.
+    assert!(chrome.contains("\"name\":\"user-device\""));
+    assert!(chrome.contains("\"name\":\"service-device\""));
+    assert!(chrome.contains("\"name\":\"stage.uplink\",\"ph\":\"X\""));
+    assert!(chrome.contains("\"name\":\"remote.replay\",\"ph\":\"X\""));
+    assert!(chrome.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    let prom = gbooster::telemetry::prometheus_text(&o.telemetry);
+    for metric in [
+        "# TYPE gbooster_trace_stitched_frames counter",
+        "# TYPE gbooster_trace_clock_offset_us gauge",
+        "# TYPE gbooster_remote_replay summary",
+        "gbooster_remote_encode{quantile=\"0.99\"}",
+        "gbooster_stage_uplink_count",
+    ] {
+        assert!(prom.contains(metric), "prometheus text missing {metric}");
     }
 }
 

@@ -3,15 +3,32 @@
 
 use std::sync::Arc;
 
+use gbooster::core::config::{ExecutionMode, FaultInjection, OffloadConfig, SessionConfig};
 use gbooster::core::forward::{CommandForwarder, ServiceReceiver};
+use gbooster::core::session::Session;
 use gbooster::core::GBoosterError;
 use gbooster::gles::command::{ClientMemory, ClientPtr, GlCommand, VertexSource};
 use gbooster::gles::exec::{ExecMode, SoftGpu};
 use gbooster::gles::types::{AttribType, GlError, Primitive, ProgramId, TextureId, TextureTarget};
 use gbooster::net::channel::ChannelModel;
-use gbooster::net::rudp::{simulate_transfer, RudpConfig};
+use gbooster::net::rudp::{simulate_transfer, simulate_transfer_ctx, ClockSync, RudpConfig};
+use gbooster::sim::device::DeviceSpec;
+use gbooster::telemetry::{names, ClockOffsetEstimator, Fault, TraceContext};
+use gbooster::workload::games::GameTitle;
 use gbooster::workload::genre::GenreProfile;
 use gbooster::workload::tracegen::TraceGenerator;
+
+fn faulted_config(faults: FaultInjection) -> SessionConfig {
+    SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+        .duration_secs(12)
+        .seed(7)
+        .mode(ExecutionMode::Offloaded(OffloadConfig {
+            flight_recorder_depth: 8,
+            faults,
+            ..OffloadConfig::default()
+        }))
+        .build()
+}
 
 /// A forwarded frame with one flipped byte must decode to an error or a
 /// *different* command list — never panic, never silently pass corrupt
@@ -157,6 +174,122 @@ fn rudp_survives_brutal_channels() {
         assert_eq!(stats.bytes, 80_000, "loss {loss} seed {seed}");
         assert!(stats.retransmissions > 0);
     }
+}
+
+/// A loss storm trips the flight recorder exactly once: one dump,
+/// carrying the last N stitched traces up to and including the faulted
+/// frame, with the registry snapshot frozen at trigger time.
+#[test]
+fn loss_storm_triggers_exactly_one_flight_dump() {
+    let report = Session::run(&faulted_config(FaultInjection {
+        loss_storm_at_frame: Some(40),
+        ..FaultInjection::default()
+    }));
+    let dump = report.flight.expect("storm must trigger the recorder");
+    assert_eq!(dump.fault, Fault::LossStorm);
+    assert_eq!(report.telemetry.counter(names::flight::DUMPS), 1);
+    assert!(report.telemetry.counter(names::flight::FAULTS) >= 1);
+    // The ring holds the last N frames ending at the faulted one.
+    assert_eq!(dump.frames.len(), 8);
+    assert_eq!(dump.frames.last().unwrap().seq, 40);
+    for pair in dump.frames.windows(2) {
+        assert_eq!(pair[1].seq, pair[0].seq + 1, "ring must be contiguous");
+    }
+    // Every retained trace is stitched (remote subtree present).
+    for f in &dump.frames {
+        assert!(f.root.child(names::remote::SUBTREE).is_some());
+    }
+    // The dump parses as JSONL: header, one line per frame, trailer.
+    let jsonl = dump.to_jsonl();
+    assert_eq!(jsonl.lines().count(), 2 + dump.frames.len());
+    assert!(jsonl.starts_with("{\"fault\":\"loss_storm\""));
+    // The snapshot was taken at the fault, not session end.
+    assert!(
+        dump.snapshot.counter(names::session::FRAMES_DISPLAYED)
+            < report.telemetry.counter(names::session::FRAMES_DISPLAYED)
+    );
+}
+
+/// A dispatch stall past the timeout budget fires the dispatch-timeout
+/// detector; later faults are latched out.
+#[test]
+fn dispatch_stall_triggers_the_timeout_detector_once() {
+    let report = Session::run(&faulted_config(FaultInjection {
+        dispatch_stall_at_frame: Some(25),
+        // A second scheduled fault after the first must NOT produce a
+        // second dump: the latch keeps the primary evidence.
+        loss_storm_at_frame: Some(60),
+        ..FaultInjection::default()
+    }));
+    let dump = report.flight.expect("stall must trigger the recorder");
+    assert_eq!(dump.fault, Fault::DispatchTimeout);
+    assert_eq!(dump.frames.last().unwrap().seq, 25);
+    assert_eq!(report.telemetry.counter(names::flight::DUMPS), 1);
+    assert!(report.telemetry.counter(names::flight::FAULTS) >= 2);
+}
+
+/// Rapid WiFi power cycling fires the interface-flap detector.
+#[test]
+fn interface_flap_triggers_the_flap_detector() {
+    let report = Session::run(&faulted_config(FaultInjection {
+        iface_flap_at_frame: Some(30),
+        ..FaultInjection::default()
+    }));
+    let dump = report.flight.expect("flap must trigger the recorder");
+    assert_eq!(dump.fault, Fault::InterfaceFlap);
+    assert_eq!(report.telemetry.counter(names::flight::DUMPS), 1);
+}
+
+/// A fault-free session never fires the recorder.
+#[test]
+fn fault_free_sessions_emit_no_dump() {
+    let report = Session::run(&faulted_config(FaultInjection::default()));
+    assert!(report.flight.is_none());
+    assert_eq!(report.telemetry.counter(names::flight::FAULTS), 0);
+    assert_eq!(report.telemetry.counter(names::flight::DUMPS), 0);
+}
+
+/// Trace-context propagation is loss-proof: under heavy loss (forcing
+/// retransmission and out-of-order arrival) every delivered datagram
+/// still carries the original context, the clock offset is still
+/// recovered, and the faulted session strands no orphan remote spans.
+#[test]
+fn trace_context_survives_loss_without_orphan_spans() {
+    for (loss, seed, skew) in [(0.25, 11u64, 70_000i64), (0.3, 12, -40_000)] {
+        let ch = ChannelModel::lossy(loss);
+        let mut est = ClockOffsetEstimator::new();
+        let ctx = TraceContext::new(0xFEED, 9, 1);
+        let stats = simulate_transfer_ctx(
+            60_000,
+            &ch,
+            RudpConfig::default(),
+            seed,
+            None,
+            ctx,
+            Some(ClockSync {
+                true_offset_us: skew,
+                estimator: &mut est,
+            }),
+        );
+        assert_eq!(stats.bytes, 60_000);
+        assert!(stats.retransmissions > 0, "loss {loss} must retransmit");
+        let recovered = est.offset_us().expect("acks observed");
+        assert!(
+            (recovered - skew).abs() < 2_000,
+            "loss {loss}: skew {skew} recovered {recovered}"
+        );
+    }
+    // Session-level: even with a loss storm mid-run, every remote span
+    // finds its frame — no orphans.
+    let report = Session::run(&faulted_config(FaultInjection {
+        loss_storm_at_frame: Some(20),
+        ..FaultInjection::default()
+    }));
+    assert_eq!(report.telemetry.counter(names::tracing::ORPHAN_SPANS), 0);
+    assert_eq!(
+        report.telemetry.counter(names::tracing::STITCHED_FRAMES),
+        report.frames
+    );
 }
 
 /// A command with a huge (but bounded) payload flows through the whole
