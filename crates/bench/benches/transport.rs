@@ -58,9 +58,18 @@ fn bench_dispatcher(c: &mut Criterion) {
                 .collect(),
         );
         let mut now = SimTime::ZERO;
+        let mut seq = 0u64;
         b.iter(|| {
             now += SimDuration::from_millis(5);
-            black_box(d.dispatch(black_box(64_000_000), SimDuration::from_millis(10), now))
+            seq += 1;
+            let decision = d.dispatch(
+                seq,
+                black_box(64_000_000),
+                SimDuration::from_millis(10),
+                now,
+            );
+            d.complete(decision.node, seq);
+            black_box(decision)
         })
     });
 }

@@ -7,7 +7,8 @@
 //! here are the same numbers the end-of-session report prints.
 
 use gbooster_bench::{
-    compare, header, run_local, run_offloaded, smoke, write_bench_json, write_chrome_trace,
+    compare, header, run_local, run_offloaded, run_service_pool, smoke, write_bench_json,
+    write_chrome_trace,
 };
 use gbooster_sim::device::DeviceSpec;
 use gbooster_telemetry::names;
@@ -71,6 +72,35 @@ fn main() {
         }
     }
 
+    // Pipelined multi-device sweep: G2 at 1080p on a homogeneous pool
+    // of weak Minix Neo U1 nodes, where the per-frame service + encode
+    // time dominates the pipeline and each added node adds real render
+    // parallelism inside the in-flight window. Throughput = presented
+    // frames per simulated second; the CI smoke gate asserts 2 devices
+    // reach >= 1.3x the single-device rate.
+    header("pipelined multi-device sweep (G2 @ 1080p, Nexus 5, Minix pool)");
+    let game = GameTitle::g2_modern_combat();
+    let nexus = DeviceSpec::nexus5();
+    println!(
+        "{:>8} {:>12} {:>14} {:>24}",
+        "devices", "median fps", "tput f/s", "requests per device"
+    );
+    let mut sweep: Vec<(usize, f64, f64)> = Vec::new();
+    for n in [1usize, 2, 4] {
+        let pool = vec![DeviceSpec::minix_neo_u1(); n];
+        let report = run_service_pool(&game, &nexus, pool, (1920, 1080));
+        assert!(report.state_consistent, "replica digests diverged at n={n}");
+        let tput = report.frames as f64 / report.duration.as_secs_f64();
+        println!(
+            "{:>8} {:>12.1} {:>14.1} {:>24}",
+            n,
+            report.median_fps,
+            tput,
+            format!("{:?}", report.per_device_requests)
+        );
+        sweep.push((n, report.median_fps, tput));
+    }
+
     header("pipeline stage latencies, G1 on Nexus 5 (registry histograms)");
     let g1 = run_offloaded(&GameTitle::g1_gta_san_andreas(), &DeviceSpec::nexus5());
     let g1_local = run_local(&GameTitle::g1_gta_san_andreas(), &DeviceSpec::nexus5());
@@ -94,6 +124,12 @@ fn main() {
                 g1.telemetry.counter(names::tracing::ORPHAN_SPANS) as f64,
             ),
             ("g1_clock_offset_us", g1.clock_offset_us.unwrap_or(0) as f64),
+            ("g2_fps_1dev", sweep[0].1),
+            ("g2_fps_2dev", sweep[1].1),
+            ("g2_fps_4dev", sweep[2].1),
+            ("g2_tput_1dev", sweep[0].2),
+            ("g2_tput_2dev", sweep[1].2),
+            ("g2_tput_4dev", sweep[2].2),
         ],
     )
     .expect("write BENCH_fig5_acceleration.json");

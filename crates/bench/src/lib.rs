@@ -147,6 +147,31 @@ pub fn run_multi_device(game: &GameTitle, device: &DeviceSpec, n: usize) -> Sess
     )
 }
 
+/// Runs a game offloaded to an explicit service-device pool at an
+/// explicit remote render resolution. The scaling benches use this with
+/// homogeneous pools and a heavy resolution, where each added node
+/// contributes service parallelism the pipelined in-flight window can
+/// actually exploit (a pool led by a fast node saturates on the display
+/// path instead).
+pub fn run_service_pool(
+    game: &GameTitle,
+    device: &DeviceSpec,
+    devices: Vec<DeviceSpec>,
+    render_resolution: (u32, u32),
+) -> SessionReport {
+    Session::run(
+        &SessionConfig::builder(game.clone(), device.clone())
+            .duration_secs(session_secs())
+            .seed(SEED)
+            .mode(ExecutionMode::Offloaded(OffloadConfig {
+                service_devices: devices,
+                render_resolution,
+                ..OffloadConfig::default()
+            }))
+            .build(),
+    )
+}
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!();

@@ -62,6 +62,20 @@ pub struct OffloadConfig {
     /// Maximum rendering requests in flight (the paper observes the
     /// internal buffer holds at most 3 — Section VI-A / Fig. 7).
     pub buffer_depth: usize,
+    /// Hard cap on frames between SwapBuffers return and vsync
+    /// presentation (dispatched, in transit, or held for reordering).
+    /// Issuing stalls at this bound; stalls are counted under
+    /// `sched.window_stalls`. Must be ≥ 1.
+    pub max_inflight: usize,
+    /// How long after a node failure its orphaned frames wait before
+    /// being re-dispatched to the next-best node (detection delay of the
+    /// keep-alive protocol).
+    pub redispatch_timeout_ms: u64,
+    /// Multiplier on the channel's datagram loss rate (1.0 = the profiled
+    /// link). Values above 1.0 model a lossy link: retransmit accounting
+    /// scales with it and each transfer pays a deterministic recovery
+    /// delay. Must be finite and ≥ 1.0.
+    pub loss_scale: f64,
     /// Resolution rendered remotely and streamed back.
     pub render_resolution: (u32, u32),
     /// Stitched frame traces retained by the flight recorder (the last N
@@ -77,6 +91,9 @@ impl Default for OffloadConfig {
             service_devices: vec![DeviceSpec::nvidia_shield()],
             interface_switching: true,
             buffer_depth: 3,
+            max_inflight: 4,
+            redispatch_timeout_ms: 30,
+            loss_scale: 1.0,
             render_resolution: (1280, 720),
             flight_recorder_depth: 32,
             faults: FaultInjection::default(),
@@ -98,6 +115,12 @@ pub struct FaultInjection {
     pub dispatch_stall_at_frame: Option<u64>,
     /// Rapidly power-cycle the WiFi interface before this frame.
     pub iface_flap_at_frame: Option<u64>,
+    /// Kill service node `.1` (index into `service_devices`) when frame
+    /// `.0` is dispatched: the node stops serving, its in-flight frames
+    /// are re-dispatched to the next-best node after the re-dispatch
+    /// timeout, and the flight recorder latches a `node_loss` fault.
+    /// Requires at least two service devices.
+    pub kill_node_at_frame: Option<(u64, usize)>,
 }
 
 impl FaultInjection {
@@ -106,6 +129,7 @@ impl FaultInjection {
         self.loss_storm_at_frame.is_some()
             || self.dispatch_stall_at_frame.is_some()
             || self.iface_flap_at_frame.is_some()
+            || self.kill_node_at_frame.is_some()
     }
 }
 
@@ -188,6 +212,27 @@ impl SessionConfig {
             }
             if off.buffer_depth == 0 {
                 return Err(GBoosterError::Config("buffer depth is zero".into()));
+            }
+            if off.max_inflight == 0 {
+                return Err(GBoosterError::Config("max_inflight is zero".into()));
+            }
+            if !off.loss_scale.is_finite() || off.loss_scale < 1.0 {
+                return Err(GBoosterError::Config(format!(
+                    "loss_scale must be finite and >= 1.0, got {}",
+                    off.loss_scale
+                )));
+            }
+            if let Some((_, node)) = off.faults.kill_node_at_frame {
+                if off.service_devices.len() < 2 {
+                    return Err(GBoosterError::Config(
+                        "kill_node_at_frame needs at least two service devices".into(),
+                    ));
+                }
+                if node >= off.service_devices.len() {
+                    return Err(GBoosterError::Config(format!(
+                        "kill_node_at_frame node index {node} out of range",
+                    )));
+                }
             }
             for dev in &off.service_devices {
                 if dev.class == DeviceClass::Phone {
@@ -320,6 +365,62 @@ mod tests {
     fn zero_duration_is_rejected() {
         let err = SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
             .duration_secs(0)
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+    }
+
+    #[test]
+    fn invalid_pipeline_knobs_are_rejected() {
+        let base = |off: OffloadConfig| {
+            SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+                .mode(ExecutionMode::Offloaded(off))
+                .try_build()
+        };
+        let err = base(OffloadConfig {
+            max_inflight: 0,
+            ..OffloadConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        let err = base(OffloadConfig {
+            loss_scale: 0.5,
+            ..OffloadConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        let err = base(OffloadConfig {
+            loss_scale: f64::NAN,
+            ..OffloadConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+    }
+
+    #[test]
+    fn kill_node_fault_requires_a_spare_device() {
+        // One device: nobody to re-dispatch to.
+        let err = SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+            .mode(ExecutionMode::Offloaded(OffloadConfig {
+                faults: FaultInjection {
+                    kill_node_at_frame: Some((10, 0)),
+                    ..FaultInjection::default()
+                },
+                ..OffloadConfig::default()
+            }))
+            .try_build()
+            .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        // Out-of-range node index.
+        let err = SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+            .mode(ExecutionMode::Offloaded(OffloadConfig {
+                service_devices: vec![DeviceSpec::nvidia_shield(), DeviceSpec::minix_neo_u1()],
+                faults: FaultInjection {
+                    kill_node_at_frame: Some((10, 2)),
+                    ..FaultInjection::default()
+                },
+                ..OffloadConfig::default()
+            }))
             .try_build()
             .unwrap_err();
         assert!(matches!(err, GBoosterError::Config(_)));

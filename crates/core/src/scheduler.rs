@@ -3,7 +3,14 @@
 //! * [`Dispatcher`] — Eq. 4: each rendering request goes to the node
 //!   minimizing `(w_j + r) / c_j + l_j`, with `r` the request workload,
 //!   `c_j` the node's capability, `w_j` its queued workload and `l_j` the
-//!   round-trip delay.
+//!   round-trip delay. The capability used for *scoring* is predicted
+//!   from an EWMA over each node's observed effective service rate
+//!   (render + encode), so a node whose encoder dominates its service
+//!   time is scored by what it actually delivers, not its raw fillrate.
+//! * Per-node outstanding-request queues: every dispatched frame stays
+//!   on the node's queue until [`Dispatcher::complete`] retires it, so a
+//!   failed node knows exactly which in-flight frames to orphan
+//!   ([`Dispatcher::fail_node`]).
 //! * [`ReorderBuffer`] — "our system keeps track of the sequence numbers
 //!   of the requests, such that we can display their results in a proper
 //!   order" (Section VI-C).
@@ -11,11 +18,20 @@
 //!   multicasts state-mutating commands to every node
 //!   ([`crate::wrapper::Disposition::ReplicateAll`]).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
+use gbooster_forecast::ewma::Ewma;
 use gbooster_sim::device::DeviceSpec;
 use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::{names, Counter, Histogram, Registry};
+
+/// Smoothing factor for the per-node effective-rate forecaster.
+const RATE_EWMA_ALPHA: f64 = 0.2;
+
+/// Upper clamp on a single request's booked service time. Keeps
+/// `busy_until` finite for adversarial capabilities (see the scoring
+/// totality property test) without affecting any realistic workload.
+const MAX_SERVICE_SECS: f64 = 3600.0;
 
 /// One offloading destination as seen by the scheduler.
 #[derive(Clone, Debug)]
@@ -28,6 +44,13 @@ pub struct ServiceNode {
     pub rtt: SimDuration,
     busy_until: SimTime,
     requests_served: u64,
+    /// Frames dispatched to this node and not yet retired, oldest first.
+    outstanding: VecDeque<u64>,
+    /// Forecast of the node's *effective* service rate (workload per
+    /// second including encode overhead), learned from completed
+    /// bookings.
+    rate_ewma: Ewma,
+    alive: bool,
 }
 
 impl ServiceNode {
@@ -43,6 +66,9 @@ impl ServiceNode {
             rtt,
             busy_until: SimTime::ZERO,
             requests_served: 0,
+            outstanding: VecDeque::new(),
+            rate_ewma: Ewma::new(RATE_EWMA_ALPHA),
+            alive: true,
         }
     }
 
@@ -54,6 +80,63 @@ impl ServiceNode {
     /// The instant this node's queue drains.
     pub fn busy_until(&self) -> SimTime {
         self.busy_until
+    }
+
+    /// Frames dispatched here and not yet retired via
+    /// [`Dispatcher::complete`].
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Whether the node is still accepting requests.
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// The service rate used for Eq. 4 scoring: the EWMA forecast once
+    /// observations exist, the profiled capability before that.
+    pub fn predicted_rate(&self) -> f64 {
+        let forecast = self.rate_ewma.forecast_next();
+        if forecast > 0.0 && forecast.is_finite() {
+            forecast
+        } else {
+            self.capability
+        }
+    }
+
+    /// Eq. 4 score `(w_j + r)/ĉ_j + l_j` for a request of workload
+    /// `r_fill` arriving at `now`, against the *predicted* rate `ĉ_j`.
+    ///
+    /// Total for every input: dead nodes and nodes whose rate is
+    /// non-positive or non-finite score `f64::INFINITY`; the result is
+    /// never NaN.
+    pub fn score(&self, r_fill: u64, now: SimTime) -> f64 {
+        if !self.alive {
+            return f64::INFINITY;
+        }
+        let rate = self.predicted_rate();
+        if !rate.is_finite() || rate <= 0.0 {
+            return f64::INFINITY;
+        }
+        // w_j / c_j: queued workload already expressed in seconds.
+        let backlog_secs = self.busy_until.saturating_duration_since(now).as_secs_f64();
+        let score = backlog_secs + r_fill as f64 / rate + self.rtt.as_secs_f64();
+        if score.is_nan() {
+            f64::INFINITY
+        } else {
+            score
+        }
+    }
+
+    /// Ground-truth service seconds for `r_fill` on this node, clamped
+    /// to a finite sane range for adversarial capabilities.
+    fn service_secs(&self, r_fill: u64) -> f64 {
+        let secs = r_fill as f64 / self.capability;
+        if secs.is_finite() && secs > 0.0 {
+            secs.min(MAX_SERVICE_SECS)
+        } else {
+            0.0
+        }
     }
 }
 
@@ -83,8 +166,12 @@ pub struct DispatchDecision {
 ///     ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_millis(2)),
 /// ]);
 /// // With equal queues and latency, the faster Shield wins.
-/// let decision = d.dispatch(10_000_000, SimDuration::ZERO, SimTime::ZERO);
+/// let decision = d.dispatch(0, 10_000_000, SimDuration::ZERO, SimTime::ZERO);
 /// assert_eq!(decision.node, 0);
+/// // The frame stays on the node's outstanding queue until retired.
+/// assert_eq!(d.nodes()[0].outstanding(), 1);
+/// d.complete(decision.node, 0);
+/// assert_eq!(d.nodes()[0].outstanding(), 0);
 /// ```
 #[derive(Clone, Debug)]
 pub struct Dispatcher {
@@ -122,37 +209,60 @@ impl Dispatcher {
         &self.nodes
     }
 
-    /// Dispatches a request of workload `r_fill` (complexity-weighted
+    /// Nodes still accepting requests.
+    pub fn alive_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Dispatches frame `seq` with workload `r_fill` (complexity-weighted
     /// pixels) arriving at `now`; `extra_service` is per-request work
     /// beyond raster fill (frame encoding) spent on the chosen node.
     ///
-    /// Applies Eq. 4 and books the chosen node's queue.
+    /// Applies Eq. 4 against each node's *predicted* rate, books the
+    /// chosen node's queue with its ground-truth service time, and
+    /// appends `seq` to its outstanding queue. The booking is fed back
+    /// into the node's rate forecaster so future scores track the
+    /// effective (render + encode) rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every node has failed.
     pub fn dispatch(
         &mut self,
+        seq: u64,
         r_fill: u64,
         extra_service: SimDuration,
         now: SimTime,
     ) -> DispatchDecision {
-        let r = r_fill as f64;
-        let mut best = 0usize;
+        let mut best: Option<usize> = None;
         let mut best_score = f64::INFINITY;
         for (j, node) in self.nodes.iter().enumerate() {
-            // w_j: queued workload expressed in capability units.
-            let backlog_secs = node.busy_until.saturating_duration_since(now).as_secs_f64();
-            let w_j = backlog_secs * node.capability;
-            let score = (w_j + r) / node.capability + node.rtt.as_secs_f64();
+            let score = node.score(r_fill, now);
             if score < best_score {
                 best_score = score;
-                best = j;
+                best = Some(j);
             }
         }
+        // Every finite score lost (e.g. adversarial capabilities make all
+        // scores infinite): fall back to the first live node.
+        let best = best
+            .or_else(|| self.nodes.iter().position(|n| n.alive))
+            .expect("dispatch with no live service node");
         let node = &mut self.nodes[best];
         let arrive = now + node.rtt / 2;
         let start = arrive.max(node.busy_until);
-        let render = SimDuration::from_secs_f64(r / node.capability);
+        let render = SimDuration::from_secs_f64(node.service_secs(r_fill));
         let finish = start + render + extra_service;
+        let total_secs = (finish - start).as_secs_f64();
+        if r_fill > 0 && total_secs > 0.0 {
+            let rate = r_fill as f64 / total_secs;
+            if rate.is_finite() {
+                node.rate_ewma.observe(rate);
+            }
+        }
         node.busy_until = finish;
         node.requests_served += 1;
+        node.outstanding.push_back(seq);
         if let Some((requests, queue_wait)) = &self.telemetry {
             requests.inc();
             queue_wait.record_duration(start - arrive);
@@ -162,6 +272,26 @@ impl Dispatcher {
             start,
             finish,
         }
+    }
+
+    /// Retires frame `seq` from node `node`'s outstanding queue (its
+    /// result has been received back on the user device).
+    pub fn complete(&mut self, node: usize, seq: u64) {
+        self.nodes[node].outstanding.retain(|&s| s != seq);
+    }
+
+    /// Marks node `node` failed at `now` and returns its orphaned
+    /// in-flight frames (oldest first) for re-dispatch.
+    ///
+    /// The node's booked backlog is clamped to `now`: the orphaned work
+    /// leaves with the frames, so `busy_until` must not keep growing past
+    /// the failure instant (a saturated node would otherwise carry its
+    /// phantom queue forever — see the regression test).
+    pub fn fail_node(&mut self, node: usize, now: SimTime) -> Vec<u64> {
+        let n = &mut self.nodes[node];
+        n.alive = false;
+        n.busy_until = now.min(n.busy_until);
+        n.outstanding.drain(..).collect()
     }
 
     /// Per-node request counts (load-balance telemetry).
@@ -262,7 +392,7 @@ mod tests {
             ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_millis(2)),
             ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
         ]);
-        let decision = d.dispatch(50_000_000, SimDuration::ZERO, SimTime::ZERO);
+        let decision = d.dispatch(0, 50_000_000, SimDuration::ZERO, SimTime::ZERO);
         assert_eq!(decision.node, 1, "shield (16 GP/s) beats minix (6 GP/s)");
     }
 
@@ -271,8 +401,8 @@ mod tests {
         let mut d = two_nodes();
         // Saturate node 0 with several big requests.
         let big = 100_000_000u64;
-        let first = d.dispatch(big, SimDuration::ZERO, SimTime::ZERO);
-        let second = d.dispatch(big, SimDuration::ZERO, SimTime::ZERO);
+        let first = d.dispatch(0, big, SimDuration::ZERO, SimTime::ZERO);
+        let second = d.dispatch(1, big, SimDuration::ZERO, SimTime::ZERO);
         assert_ne!(
             first.node, second.node,
             "Eq. 4 must divert around the backlog"
@@ -287,14 +417,14 @@ mod tests {
         ]);
         // A tiny request: render-time difference (micros) is dwarfed by
         // the 50 ms RTT, so the slower-but-closer node wins.
-        let decision = d.dispatch(10_000, SimDuration::ZERO, SimTime::ZERO);
+        let decision = d.dispatch(0, 10_000, SimDuration::ZERO, SimTime::ZERO);
         assert_eq!(decision.node, 1);
     }
 
     #[test]
     fn queue_advances_busy_until() {
         let mut d = two_nodes();
-        let a = d.dispatch(16_000_000, SimDuration::from_millis(5), SimTime::ZERO);
+        let a = d.dispatch(0, 16_000_000, SimDuration::from_millis(5), SimTime::ZERO);
         assert!(a.finish > a.start);
         let served: u64 = d.served_counts().iter().sum();
         assert_eq!(served, 1);
@@ -311,8 +441,8 @@ mod tests {
         let mut now = SimTime::ZERO;
         // Requests arrive faster than any single node can serve them
         // (14 ms service, 5 ms spacing), so Eq. 4 must fan out to all 3.
-        for _ in 0..30 {
-            d.dispatch(64_000_000, SimDuration::from_millis(10), now);
+        for seq in 0..30 {
+            d.dispatch(seq, 64_000_000, SimDuration::from_millis(10), now);
             now += SimDuration::from_millis(5);
         }
         let counts = d.served_counts();
@@ -322,13 +452,88 @@ mod tests {
     }
 
     #[test]
+    fn ewma_scoring_learns_effective_rate_including_encode() {
+        let mut d = Dispatcher::new(vec![ServiceNode::new(
+            DeviceSpec::nvidia_shield(),
+            SimDuration::from_millis(2),
+        )]);
+        let raw = d.nodes()[0].capability;
+        // Heavy encode overhead dominates the service time; the forecast
+        // must converge well below the raw fillrate.
+        let mut now = SimTime::ZERO;
+        for seq in 0..40 {
+            let dec = d.dispatch(seq, 64_000_000, SimDuration::from_millis(20), now);
+            now = dec.finish;
+        }
+        let predicted = d.nodes()[0].predicted_rate();
+        assert!(
+            predicted < raw * 0.5,
+            "forecast {predicted:.3e} should sit well under raw capability {raw:.3e}"
+        );
+    }
+
+    #[test]
+    fn outstanding_queue_tracks_in_flight_frames() {
+        let mut d = two_nodes();
+        let a = d.dispatch(0, 16_000_000, SimDuration::ZERO, SimTime::ZERO);
+        let b = d.dispatch(1, 16_000_000, SimDuration::ZERO, SimTime::ZERO);
+        let total: usize = d.nodes().iter().map(|n| n.outstanding()).sum();
+        assert_eq!(total, 2);
+        d.complete(a.node, 0);
+        d.complete(b.node, 1);
+        let total: usize = d.nodes().iter().map(|n| n.outstanding()).sum();
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn failed_node_backlog_is_clamped_when_frames_redispatch_away() {
+        let mut d = two_nodes();
+        // Saturate node 0 far beyond the failure instant.
+        let big = 200_000_000u64;
+        let mut on_zero = Vec::new();
+        for seq in 0..8 {
+            let dec = d.dispatch(seq, big, SimDuration::from_millis(5), SimTime::ZERO);
+            if dec.node == 0 {
+                on_zero.push(seq);
+            }
+        }
+        let t_fail = SimTime::from_millis(10);
+        assert!(
+            d.nodes()[0].busy_until() > t_fail,
+            "node 0 must be saturated past the failure instant"
+        );
+        let orphans = d.fail_node(0, t_fail);
+        assert_eq!(orphans, on_zero, "every in-flight frame is orphaned");
+        assert!(!d.nodes()[0].alive());
+        assert_eq!(d.nodes()[0].outstanding(), 0);
+        // The regression: the phantom backlog must not survive the
+        // failure — busy_until is clamped to the failure instant.
+        assert_eq!(d.nodes()[0].busy_until(), t_fail);
+        // Orphans re-dispatch onto the surviving node only.
+        for seq in orphans {
+            let dec = d.dispatch(seq, big, SimDuration::ZERO, t_fail);
+            assert_eq!(dec.node, 1, "dead node must never win a dispatch");
+        }
+    }
+
+    #[test]
+    fn fail_node_before_any_backlog_keeps_busy_until_monotone() {
+        let mut d = two_nodes();
+        // Node never dispatched to: busy_until is ZERO and must not be
+        // dragged *forward* by the clamp.
+        let orphans = d.fail_node(1, SimTime::from_secs(5));
+        assert!(orphans.is_empty());
+        assert_eq!(d.nodes()[1].busy_until(), SimTime::ZERO);
+    }
+
+    #[test]
     fn dispatch_telemetry_counts_requests_and_queue_waits() {
         let registry = Registry::new();
         let mut d = two_nodes();
         d.attach_registry(&registry);
         let big = 100_000_000u64;
-        for _ in 0..6 {
-            d.dispatch(big, SimDuration::ZERO, SimTime::ZERO);
+        for seq in 0..6 {
+            d.dispatch(seq, big, SimDuration::ZERO, SimTime::ZERO);
         }
         let snap = registry.snapshot();
         assert_eq!(snap.counter(names::sched::REQUESTS), 6);

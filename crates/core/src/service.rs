@@ -169,6 +169,36 @@ impl ServiceRuntime {
         Ok(stats)
     }
 
+    /// Re-executes the draw commands of a frame this device originally
+    /// skipped as a replica, because the dispatch target failed and the
+    /// frame was re-dispatched here.
+    ///
+    /// The frame's state-mutating commands were already replicated (every
+    /// node ingests them in stream order — Section VI-B), so only the
+    /// draws are missing; draws never touch replicated state, which keeps
+    /// the replica digests consistent. The context may have advanced past
+    /// the frame by the time recovery runs, so draws that no longer apply
+    /// (for example against an object a later frame deleted) are skipped
+    /// best-effort rather than failing the session — their frame is
+    /// already superseded on screen.
+    pub fn execute_recovered_draws(&mut self, commands: &[GlCommand]) -> ReplayStats {
+        let mut stats = ReplayStats::default();
+        for cmd in commands {
+            if !cmd.is_state_mutating() && self.context.apply(cmd).is_ok() {
+                stats.commands_applied += 1;
+                if cmd.is_draw() {
+                    stats.draws_executed += 1;
+                }
+            }
+        }
+        self.context.end_frame();
+        self.frames_rendered += 1;
+        if let Some((applied, _)) = &self.telemetry {
+            applied.add(stats.commands_applied as u64);
+        }
+        stats
+    }
+
     /// Render time for a request of `effective_fill` complexity-weighted
     /// pixels on this device's GPU.
     pub fn render_time(&self, effective_fill: u64) -> SimDuration {

@@ -18,25 +18,27 @@
 
 use std::collections::VecDeque;
 
+use gbooster_gles::command::GlCommand;
 use gbooster_sim::display::{Display, FpsRecorder};
 use gbooster_sim::gpu::{GpuModel, ThermalParams};
 use gbooster_sim::power::{Component, PowerMeter};
 use gbooster_sim::rng::derived;
 use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::{
-    names, stitch_remote, Fault, FlightDump, FlightRecorder, FrameTrace, Histogram, Registry,
-    RemoteSpanLog, SpanNode, TelemetrySnapshot, TraceContext, TraceLog,
+    names, stitch_remote, Counter, Fault, FlightDump, FlightRecorder, FrameTrace, Histogram,
+    Registry, RemoteSpanLog, SpanNode, TelemetrySnapshot, TraceContext, TraceLog,
 };
 use gbooster_workload::tracegen::TraceGenerator;
+use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::config::{CloudConfig, ExecutionMode, OffloadConfig, SessionConfig};
+use crate::config::{CloudConfig, ExecutionMode, FaultInjection, OffloadConfig, SessionConfig};
 use crate::error::GBoosterError;
 use crate::forward::CommandForwarder;
 use crate::metrics::{CpuLedger, ResponseTracker};
-use crate::scheduler::{Dispatcher, ServiceNode};
+use crate::scheduler::{Dispatcher, ReorderBuffer, ServiceNode};
 use crate::service::ServiceRuntime;
-use crate::transport::TransportManager;
+use crate::transport::{Transfer, TransportManager};
 use crate::wrapper::Interceptor;
 
 /// Local compositor/driver overhead per drawn frame (the phone GPU also
@@ -64,7 +66,9 @@ const LAN_RTT: SimDuration = SimDuration::from_millis(2);
 /// Retransmit burst within a single frame that counts as a loss storm.
 const LOSS_STORM_RETX: u64 = 50;
 
-/// Dispatch wait beyond this budget is a dispatch-timeout fault.
+/// Unscheduled dispatch wait — wait the Eq. 4 scorer did not predict,
+/// i.e. injected stalls or re-dispatch delays, never ordinary backlog
+/// queueing — beyond this budget is a dispatch-timeout fault.
 const DISPATCH_TIMEOUT: SimDuration = SimDuration::from_millis(50);
 
 /// WiFi wake events within a single frame that count as flapping.
@@ -407,6 +411,466 @@ fn record_session_counters(registry: &Registry, frames: u64, ledger: &CpuLedger,
         .set(cpu_util);
 }
 
+/// One frame issued into the offload pipeline and not yet presented.
+///
+/// Everything needed to present the frame later travels with it: the
+/// phone-side span boundaries, the uplink transfer, the dispatch
+/// booking, and the dispatch target's decoded commands (kept so a node
+/// failure can re-execute the draws on the next-best node).
+struct PendingFrame {
+    seq: u64,
+    ctx: TraceContext,
+    start: SimTime,
+    fwd_start: SimTime,
+    intercept_end: SimTime,
+    resolve_end: SimTime,
+    cache_end: SimTime,
+    app_done: SimTime,
+    up: Transfer,
+    /// Dispatch wait the Eq. 4 scheduler did *not* predict: injected
+    /// stalls at issue time plus any extra wait a mid-flight re-dispatch
+    /// added. Predicted backlog queueing on a busy node is normal under
+    /// pipelining and never counts toward the timeout detector.
+    unscheduled_wait: SimDuration,
+    dispatch_start: SimTime,
+    finish: SimTime,
+    node: usize,
+    encode: SimDuration,
+    changed_px: u64,
+    down_bytes: usize,
+    fill: u64,
+    app_secs: f64,
+    commands: Vec<GlCommand>,
+}
+
+impl PendingFrame {
+    /// When the frame's downlink starts. Turbo tiles stream out as they
+    /// are encoded, so the transfer overlaps all but the encode tail.
+    fn down_start(&self) -> SimTime {
+        self.finish - self.encode * 0.7
+    }
+}
+
+/// A frame whose downlink completed, waiting in the reorder buffer for
+/// its predecessors (Section VI-C's in-order presentation).
+struct ArrivedFrame {
+    p: PendingFrame,
+    down: Transfer,
+}
+
+/// The pipelined offload engine (Section VI-A's non-blocking
+/// `SwapBuffers`).
+///
+/// Frames are *issued* — game logic, serialization, uplink, Eq. 4
+/// dispatch — ahead of their presentation, bounded by two windows: the
+/// driver's internal buffer (`buffer_depth`, gates the modeled start
+/// time) and the hard in-flight cap (`max_inflight`, stalls issuing and
+/// counts under `sched.window_stalls`). Results are received in
+/// network-completion order — with several service devices a fast node
+/// can finish frame `s+1` before a slow node finishes `s` — and pass
+/// through a [`ReorderBuffer`] so presentation is always in sequence
+/// order with no gaps.
+struct OffloadEngine {
+    // Pipeline components.
+    gen: TraceGenerator,
+    interceptor: Interceptor,
+    forwarder: CommandForwarder,
+    runtimes: Vec<ServiceRuntime>,
+    dispatcher: Dispatcher,
+    transport: TransportManager,
+    display: Display,
+    fps: FpsRecorder,
+    ledger: CpuLedger,
+    duty_rng: StdRng,
+    // Observability.
+    registry: Registry,
+    trace_log: TraceLog,
+    remote_log: RemoteSpanLog,
+    stages: StageHists,
+    remote_hists: Vec<Histogram>,
+    flight: FlightRecorder,
+    c_degraded: Counter,
+    c_idle: Counter,
+    c_stitched: Counter,
+    c_clamped: Counter,
+    c_faults: Counter,
+    c_dumps: Counter,
+    c_retx: Counter,
+    c_wakes: Counter,
+    c_redispatch: Counter,
+    c_window_stalls: Counter,
+    c_node_failures: Counter,
+    // Session constants.
+    session_id: u64,
+    frame_pixels: u64,
+    animation_duty: f64,
+    idle_cpu_secs: f64,
+    cpu_clock_ghz: f64,
+    texture_count: u32,
+    buffer_depth: usize,
+    max_inflight: usize,
+    redispatch_timeout: SimDuration,
+    faults: FaultInjection,
+    duration: SimTime,
+    // Pipeline state.
+    node_dead: Vec<bool>,
+    node_loss_pending: bool,
+    retx_base: u64,
+    wakes_base: u64,
+    pending: Vec<PendingFrame>,
+    arrived: ReorderBuffer<ArrivedFrame>,
+    presented: Vec<SimTime>,
+    next_seq: u64,
+    app_free: SimTime,
+    decode_free: SimTime,
+    last_shown: SimTime,
+    dt_est: f64,
+}
+
+impl OffloadEngine {
+    /// One choreographer tick: enforce the two run-ahead windows, then
+    /// either idle (no redraw) or issue the next frame into the pipeline.
+    fn tick(&mut self) -> Result<(), GBoosterError> {
+        let mut start = self.app_free;
+        let s = self.next_seq;
+        // Non-blocking SwapBuffers: the app may run ahead, but frame `s`
+        // cannot start before frame `s - buffer_depth` was presented
+        // (the driver's internal buffer holds at most `buffer_depth`
+        // rendering requests — Section VI-A).
+        let bd = self.buffer_depth as u64;
+        if s >= bd {
+            while (self.presented.len() as u64) < s - bd + 1 {
+                self.retire_one();
+            }
+            start = start.max(self.presented[(s - bd) as usize]);
+        }
+        // The hard in-flight cap: dispatched, in transit, or held for
+        // reordering. Retiring a frame to free a slot is a window stall.
+        let wi = self.max_inflight as u64;
+        if s >= wi {
+            while (self.presented.len() as u64) < s - wi + 1 {
+                self.c_window_stalls.inc();
+                self.retire_one();
+            }
+            start = start.max(self.presented[(s - wi) as usize]);
+        }
+        let animate = self.duty_rng.gen_bool(self.animation_duty);
+        if !animate {
+            // UI apps idle between interactions: the app still runs its
+            // per-tick logic but issues no GL commands, so nothing is
+            // offloaded and the previous frame stays on screen.
+            self.ledger.add_busy(self.idle_cpu_secs);
+            self.c_idle.inc();
+            let tick = start + self.display.vsync_period();
+            self.app_free = tick;
+            self.last_shown = self.last_shown.max(tick);
+            return Ok(());
+        }
+        self.issue_frame(start)
+    }
+
+    /// Issues frame `next_seq`: game logic, interception, serialization,
+    /// LZ4, uplink, Eq. 4 dispatch, and state replication to every *live*
+    /// device. The frame then stays pending until its downlink is retired.
+    fn issue_frame(&mut self, start: SimTime) -> Result<(), GBoosterError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let trace = self.gen.next_frame(self.dt_est);
+        for cmd in &trace.commands {
+            self.interceptor.intercept(cmd);
+        }
+        // This frame's trace context, carried (conceptually) in every
+        // datagram the frame produces on the wire.
+        let ctx = TraceContext::new(self.session_id, seq, 1);
+        let stall = if self.faults.dispatch_stall_at_frame == Some(seq) {
+            INJECTED_STALL
+        } else {
+            SimDuration::ZERO
+        };
+
+        // Phone CPU: game logic + interception + serialization + LZ4.
+        let fwd = self
+            .forwarder
+            .forward_frame(&trace.commands, self.gen.client_memory())?;
+        let forward_secs = FORWARD_FIXED_SECS + fwd.raw_bytes as f64 / FORWARD_BYTES_PER_SEC;
+        let app_secs = trace.cpu_gcycles / self.cpu_clock_ghz + forward_secs;
+        let app_done = start + SimDuration::from_secs_f64(app_secs);
+        self.app_free = app_done;
+
+        // Uplink over the predictor-managed radios.
+        let textures_used = self.texture_count + if trace.scene_change { 2 } else { 0 };
+        self.transport.on_frame(trace.touches, textures_used);
+        let up = self.transport.send(fwd.wire.len(), app_done);
+        self.transport.begin_frame_transfer(ctx);
+
+        // Eq. 4 dispatch; replicate state to every live device.
+        let changed_px = (trace.changed_pixel_ratio * self.frame_pixels as f64).round() as u64;
+        let encode = self.runtimes[0].encode_time(self.frame_pixels, changed_px);
+        let dispatch_at = up.delivered_at + stall;
+        if let Some((kill_frame, node)) = self.faults.kill_node_at_frame {
+            if seq == kill_frame && !self.node_dead[node] {
+                self.kill_node(node, dispatch_at);
+            }
+        }
+        let decision = self
+            .dispatcher
+            .dispatch(seq, trace.effective_fill, encode, dispatch_at);
+        let mut commands = Vec::new();
+        for (j, rt) in self.runtimes.iter_mut().enumerate() {
+            if self.node_dead[j] {
+                continue;
+            }
+            let cmds = rt.decode(&fwd.wire)?;
+            rt.apply_frame(&cmds, j == decision.node)?;
+            if j == decision.node {
+                commands = cmds;
+            }
+        }
+
+        // Phone-side span boundaries. The forwarding cost splits into its
+        // sub-stages; the last one ends exactly at `app_done` so integer-
+        // microsecond rounding never leaks into the total.
+        let fwd_start = start + SimDuration::from_secs_f64(trace.cpu_gcycles / self.cpu_clock_ghz);
+        let var_secs = fwd.raw_bytes as f64 / FORWARD_BYTES_PER_SEC;
+        let intercept_end = fwd_start + SimDuration::from_secs_f64(FORWARD_FIXED_SECS);
+        let resolve_end =
+            intercept_end + SimDuration::from_secs_f64(var_secs * FORWARD_RESOLVE_FRAC);
+        let cache_end = resolve_end + SimDuration::from_secs_f64(var_secs * FORWARD_CACHE_FRAC);
+
+        self.pending.push(PendingFrame {
+            seq,
+            ctx,
+            start,
+            fwd_start,
+            intercept_end,
+            resolve_end,
+            cache_end,
+            app_done,
+            up,
+            unscheduled_wait: stall,
+            dispatch_start: decision.start,
+            finish: decision.finish,
+            node: decision.node,
+            encode,
+            changed_px,
+            down_bytes: encoded_bytes(&self.runtimes, changed_px),
+            fill: trace.effective_fill,
+            app_secs,
+            commands,
+        });
+        Ok(())
+    }
+
+    /// Declares `node` dead at `at` and re-dispatches its orphaned
+    /// in-flight frames to the next-best node after the detection delay.
+    ///
+    /// Re-dispatch is digest-safe: every node already ingested the
+    /// orphaned frames' state-mutating commands in stream order (Section
+    /// VI-B), so the new node only re-executes the draws, which never
+    /// touch replicated state.
+    fn kill_node(&mut self, node: usize, at: SimTime) {
+        self.node_dead[node] = true;
+        self.c_node_failures.inc();
+        let orphans = self.dispatcher.fail_node(node, at);
+        let redispatch_at = at + self.redispatch_timeout;
+        for seq in orphans {
+            let idx = self
+                .pending
+                .iter()
+                .position(|p| p.seq == seq)
+                .expect("orphaned frame must still be in flight");
+            let (fill, encode) = (self.pending[idx].fill, self.pending[idx].encode);
+            let decision = self.dispatcher.dispatch(seq, fill, encode, redispatch_at);
+            let commands = std::mem::take(&mut self.pending[idx].commands);
+            self.runtimes[decision.node].execute_recovered_draws(&commands);
+            self.pending[idx].commands = commands;
+            let p = &mut self.pending[idx];
+            p.node = decision.node;
+            // `SimTime::sub` saturates, so an earlier restart adds zero.
+            p.unscheduled_wait += decision.start - p.dispatch_start;
+            p.dispatch_start = decision.start;
+            p.finish = decision.finish;
+            self.c_redispatch.inc();
+        }
+        self.node_loss_pending = true;
+    }
+
+    /// Retires the in-flight frame whose downlink completes next: its
+    /// transfer is received (serializing on the shared downlink in
+    /// completion order, not issue order), the dispatcher's outstanding
+    /// entry is cleared, and any frames now contiguous at the head of the
+    /// reorder buffer are presented.
+    fn retire_one(&mut self) {
+        assert!(!self.pending.is_empty(), "retire with no frames in flight");
+        let idx = (0..self.pending.len())
+            .min_by_key(|&i| (self.pending[i].down_start(), self.pending[i].seq))
+            .expect("pending is non-empty");
+        let p = self.pending.swap_remove(idx);
+        let down = self.transport.recv(p.down_bytes, p.down_start());
+        self.dispatcher.complete(p.node, p.seq);
+        self.arrived.insert(p.seq, ArrivedFrame { p, down });
+        for af in self.arrived.pop_ready() {
+            self.present_frame(af);
+        }
+    }
+
+    /// Presents one frame (in sequence order, by construction): decode,
+    /// vsync display, span tree + per-stage histograms, remote-span
+    /// stitching, and the fault-detector chain.
+    fn present_frame(&mut self, af: ArrivedFrame) {
+        let ArrivedFrame { p, down } = af;
+        // Decode on the phone and present at the next vsync.
+        let decode_secs = p.changed_px as f64 / DECODE_PIXELS_PER_SEC;
+        let decode_start = down.delivered_at.max(self.decode_free);
+        let decode_done = decode_start + SimDuration::from_secs_f64(decode_secs);
+        self.decode_free = decode_done;
+        let shown = self.display.present(decode_done);
+        self.transport.end_frame_transfer(p.seq);
+
+        // Scheduled fault injection lands when the scheduled frame
+        // *presents* (all knobs default to None). Injecting at
+        // presentation keeps the detector deterministic under
+        // pipelining: the dump's last retained trace is always the
+        // scheduled frame itself, never an unrelated in-flight one.
+        if self.faults.loss_storm_at_frame == Some(p.seq) {
+            // The storm's recovery cost surfaces as a retransmit burst.
+            self.c_retx.add(INJECTED_STORM_RETX);
+        }
+        if self.faults.iface_flap_at_frame == Some(p.seq) {
+            self.transport.force_flap(shown, INJECTED_FLAP_CYCLES);
+        }
+
+        // Telemetry: the frame's span tree plus per-stage histograms.
+        // Attribution only — every boundary below is a sum the simulation
+        // already computed, so the spans reproduce the timing exactly.
+        let down_start = p.down_start();
+        let render_end = p.finish - p.encode;
+        // The dispatched service device records its side of the frame on
+        // its own clock, tagged with the frame's trace context exactly as
+        // the datagrams carried it.
+        let remote_rt = &self.runtimes[p.node];
+        remote_rt.record_remote_span(
+            p.ctx,
+            names::remote::DISPATCH_WAIT,
+            p.up.delivered_at,
+            p.dispatch_start,
+        );
+        remote_rt.record_remote_span(p.ctx, names::remote::REPLAY, p.dispatch_start, render_end);
+        remote_rt.record_remote_span(p.ctx, names::remote::ENCODE, render_end, p.finish);
+        remote_rt.record_remote_span(
+            p.ctx,
+            names::remote::DOWNLINK_SEND,
+            down_start,
+            down.delivered_at,
+        );
+        // The root span covers all pipeline activity for the frame. That
+        // can extend slightly past the vsync display: Turbo tiles stream
+        // onto the downlink while later tiles still encode, so the encode
+        // tail may outlive the frame's presentation.
+        let mut root = SpanNode::new(names::stage::FRAME, p.start, shown.max(p.finish));
+        root.stage(names::stage::INTERCEPT, p.fwd_start, p.intercept_end)
+            .stage(names::stage::RESOLVE, p.intercept_end, p.resolve_end)
+            .stage(names::stage::CACHE, p.resolve_end, p.cache_end)
+            .stage(names::stage::LZ4, p.cache_end, p.app_done)
+            .stage(names::stage::UPLINK, p.app_done, p.up.delivered_at)
+            .stage(
+                names::stage::DISPATCH_WAIT,
+                p.up.delivered_at,
+                p.dispatch_start,
+            )
+            .stage(names::stage::RENDER, p.dispatch_start, render_end)
+            .stage(names::stage::ENCODE, render_end, p.finish)
+            .stage(names::stage::DOWNLINK, down_start, down.delivered_at)
+            .stage(names::stage::DECODE, decode_start, decode_done)
+            .stage(names::stage::DISPLAY_WAIT, decode_done, shown);
+        for child in &root.children {
+            let hist = match child.name {
+                n if n == names::stage::INTERCEPT => &self.stages.intercept,
+                n if n == names::stage::RESOLVE => &self.stages.resolve,
+                n if n == names::stage::CACHE => &self.stages.cache,
+                n if n == names::stage::LZ4 => &self.stages.lz4,
+                n if n == names::stage::UPLINK => &self.stages.uplink,
+                n if n == names::stage::DISPATCH_WAIT => &self.stages.dispatch_wait,
+                n if n == names::stage::RENDER => &self.stages.render,
+                n if n == names::stage::ENCODE => &self.stages.encode,
+                n if n == names::stage::DOWNLINK => &self.stages.downlink,
+                n if n == names::stage::DECODE => &self.stages.decode,
+                _ => &self.stages.display_wait,
+            };
+            hist.record_duration(child.duration());
+        }
+        // The total latency is app start to vsync display (what the user
+        // perceives), not the root span's end, which may include the
+        // overlapped encode tail.
+        self.stages.total.record_duration(shown - p.start);
+        if p.up.degraded || down.degraded {
+            self.c_degraded.inc();
+        }
+
+        // Stitch the service device's spans into this frame's tree using
+        // the *estimated* clock offset (never the ground-truth skew).
+        let remote_spans = self.remote_log.take_frame(self.session_id, p.seq);
+        for s in &remote_spans {
+            if let Some(i) = names::remote::STAGES.iter().position(|&n| n == s.name) {
+                self.remote_hists[i].record((s.end_us - s.start_us).max(0) as u64);
+            }
+        }
+        let offset_us = self.transport.clock_offset_estimate_us().unwrap_or(0);
+        let outcome = stitch_remote(&mut root, &remote_spans, offset_us);
+        if outcome.stitched > 0 {
+            self.c_stitched.inc();
+        }
+        self.c_clamped.add(outcome.clamped as u64);
+
+        // Flight recorder: retain the stitched trace, then run the fault
+        // detectors over this presentation's deltas. A node loss outranks
+        // the secondary symptoms it causes (timeouts on re-dispatched
+        // frames), so it is checked first.
+        let frame_trace = FrameTrace { seq: p.seq, root };
+        self.flight.on_frame(&frame_trace);
+        let retx_now = self.c_retx.get();
+        let wakes_now = self.c_wakes.get();
+        let detected = if self.node_loss_pending {
+            self.node_loss_pending = false;
+            Some(Fault::NodeLoss)
+        } else if retx_now - self.retx_base >= LOSS_STORM_RETX {
+            Some(Fault::LossStorm)
+        } else if p.unscheduled_wait >= DISPATCH_TIMEOUT {
+            Some(Fault::DispatchTimeout)
+        } else if wakes_now - self.wakes_base >= FLAP_WAKES {
+            Some(Fault::InterfaceFlap)
+        } else {
+            None
+        };
+        self.retx_base = retx_now;
+        self.wakes_base = wakes_now;
+        if let Some(fault) = detected {
+            self.c_faults.inc();
+            if self.flight.trigger(fault, shown, self.registry.snapshot()) {
+                self.c_dumps.inc();
+            }
+        }
+        self.trace_log.push(frame_trace);
+
+        self.fps.record(shown);
+        self.ledger.add_busy(p.app_secs + decode_secs);
+        let interval = (shown - self.last_shown).as_secs_f64();
+        if interval > 0.0 {
+            self.dt_est = 0.9 * self.dt_est + 0.1 * interval;
+        }
+        self.last_shown = self.last_shown.max(shown);
+        self.presented.push(shown);
+    }
+
+    /// Presents every frame still in flight (end of session).
+    fn drain(&mut self) {
+        while !self.pending.is_empty() {
+            self.retire_one();
+        }
+        debug_assert_eq!(self.arrived.held(), 0, "reorder buffer must drain");
+    }
+}
+
 fn run_offloaded(
     config: &SessionConfig,
     off: &OffloadConfig,
@@ -441,11 +905,12 @@ fn run_offloaded(
         off.interface_switching,
         SimDuration::from_millis(config.predictor_window_ms),
     );
-    let mut display = Display::new(60, w, h);
-    let mut fps = FpsRecorder::new();
+    transport.set_loss_scale(off.loss_scale);
+    let display = Display::new(60, w, h);
+    let fps = FpsRecorder::new();
     let mut meter = PowerMeter::new();
-    let mut ledger = CpuLedger::new(dev.cpu.cores);
-    let mut duty_rng = derived(config.seed, "duty");
+    let ledger = CpuLedger::new(dev.cpu.cores);
+    let duty_rng = derived(config.seed, "duty");
     let mut phone_gpu = GpuModel::new(dev.gpu.clone());
 
     // Observability: one registry for the whole pipeline plus a span-tree
@@ -453,7 +918,7 @@ fn run_offloaded(
     // component mirrors the statistics it already keeps, so timing,
     // routing and protocol behavior are byte-identical with or without it.
     let registry = Registry::new();
-    let mut trace_log = TraceLog::new();
+    let trace_log = TraceLog::new();
     forwarder.attach_registry(&registry);
     transport.attach_registry(&registry);
     dispatcher.attach_registry(&registry);
@@ -471,21 +936,9 @@ fn run_offloaded(
         rt.attach_registry(&registry);
         rt.attach_remote_log(remote_log.clone(), true_skew_us);
     }
-    let stages = StageHists::new(&registry);
-    let remote_hists: Vec<Histogram> = names::remote::STAGES
-        .iter()
-        .map(|&n| registry.histogram(n))
-        .collect();
-    let c_degraded = registry.counter(names::session::FRAMES_DEGRADED);
-    let c_idle = registry.counter(names::session::FRAMES_IDLE);
-    let c_stitched = registry.counter(names::tracing::STITCHED_FRAMES);
-    let c_orphans = registry.counter(names::tracing::ORPHAN_SPANS);
-    let c_clamped = registry.counter(names::tracing::CLAMPED_SPANS);
-    let c_faults = registry.counter(names::flight::FAULTS);
-    let c_dumps = registry.counter(names::flight::DUMPS);
     let c_retx = registry.counter(names::net::RETRANSMITS);
     let c_wakes = registry.counter(names::net::WIFI_WAKES);
-    let mut flight = FlightRecorder::new(off.flight_recorder_depth);
+    let flight = FlightRecorder::new(off.flight_recorder_depth);
 
     // 2. Ship the setup stream to every device (pure state: replicated).
     let setup = gen.setup_trace();
@@ -499,216 +952,88 @@ fn run_offloaded(
         rt.apply_frame(&cmds, false)?;
     }
 
-    let duration = SimTime::from_secs(config.duration_secs);
-    let mut app_free = first_up.delivered_at;
-    let mut decode_free = SimTime::ZERO;
-    let mut shown_times: VecDeque<SimTime> = VecDeque::new();
-    let mut last_shown = SimTime::ZERO;
-    let mut dt_est = 1.0 / 30.0;
-
-    while last_shown < duration {
-        // Non-blocking SwapBuffers: the app may run ahead, but at most
-        // `buffer_depth` requests are in flight (Section VI-A).
-        let mut start = app_free;
-        if shown_times.len() >= off.buffer_depth {
-            start = start.max(shown_times[shown_times.len() - off.buffer_depth]);
-        }
-
-        let animate = duty_rng.gen_bool(config.workload.profile.animation_duty);
-        if !animate {
-            // UI apps idle between interactions: the app still runs its
-            // per-tick logic but issues no GL commands, so nothing is
-            // offloaded and the previous frame stays on screen.
-            let idle_cpu = config.workload.profile.cpu_gcycles_per_frame / dev.cpu.clock_ghz;
-            ledger.add_busy(idle_cpu);
-            c_idle.inc();
-            let tick = start + display.vsync_period();
-            app_free = tick;
-            last_shown = last_shown.max(tick);
-            continue;
-        }
-        let trace = gen.next_frame(dt_est);
-        for cmd in &trace.commands {
-            interceptor.intercept(cmd);
-        }
-        // This displayed frame's trace context, carried (conceptually) in
-        // every datagram the frame produces on the wire.
-        let seq = fps.frame_count() as u64;
-        let ctx = TraceContext::new(session_id, seq, 1);
-        let retx_before = c_retx.get();
-        let wakes_before = c_wakes.get();
-        // Scheduled fault injection (all knobs default to None).
-        if off.faults.loss_storm_at_frame == Some(seq) {
-            // The storm's recovery cost surfaces as a retransmit burst.
-            c_retx.add(INJECTED_STORM_RETX);
-        }
-        let stall = if off.faults.dispatch_stall_at_frame == Some(seq) {
-            INJECTED_STALL
-        } else {
-            SimDuration::ZERO
-        };
-        if off.faults.iface_flap_at_frame == Some(seq) {
-            transport.force_flap(start, INJECTED_FLAP_CYCLES);
-        }
-
-        // 3. Phone CPU: game logic + interception + serialization + LZ4.
-        let fwd = forwarder.forward_frame(&trace.commands, gen.client_memory())?;
-        let forward_secs = FORWARD_FIXED_SECS + fwd.raw_bytes as f64 / FORWARD_BYTES_PER_SEC;
-        let app_secs = trace.cpu_gcycles / dev.cpu.clock_ghz + forward_secs;
-        let app_done = start + SimDuration::from_secs_f64(app_secs);
-        app_free = app_done;
-
-        // 4. Uplink over the predictor-managed radios.
-        let textures_used =
-            config.workload.profile.texture_count + if trace.scene_change { 2 } else { 0 };
-        transport.on_frame(trace.touches, textures_used);
-        let up = transport.send(fwd.wire.len(), app_done);
-
-        // 5. Eq. 4 dispatch; replicate state to every device.
-        let changed_px = (trace.changed_pixel_ratio * frame_pixels as f64).round() as u64;
-        let encode = runtimes[0].encode_time(frame_pixels, changed_px);
-        let dispatch_at = up.delivered_at + stall;
-        let decision = dispatcher.dispatch(trace.effective_fill, encode, dispatch_at);
-        for (j, rt) in runtimes.iter_mut().enumerate() {
-            let cmds = rt.decode(&fwd.wire)?;
-            rt.apply_frame(&cmds, j == decision.node)?;
-        }
-
-        // 6. Downlink the Turbo-encoded frame. Tiles stream out as they
-        // are encoded, so most of the encode latency hides behind the
-        // transfer; only the tail (last tiles) serializes with it.
-        let stream_overlap = encode * 0.7;
-        let down_start = decision.finish - stream_overlap;
-        let down = transport.recv(encoded_bytes(&runtimes, changed_px), down_start);
-
-        // 7. Decode on the phone and present at the next vsync.
-        let decode_secs = changed_px as f64 / DECODE_PIXELS_PER_SEC;
-        let decode_start = down.delivered_at.max(decode_free);
-        let decode_done = decode_start + SimDuration::from_secs_f64(decode_secs);
-        decode_free = decode_done;
-        let shown = display.present(decode_done);
-
-        // 8. Telemetry: the frame's span tree plus per-stage histograms.
-        // Attribution only — every boundary below is a sum the simulation
-        // already computed, so the spans reproduce the timing exactly.
-        // The phone-side forwarding cost splits into its sub-stages; the
-        // last one ends exactly at `app_done` so integer-microsecond
-        // rounding never leaks into the total.
-        let fwd_start = start + SimDuration::from_secs_f64(trace.cpu_gcycles / dev.cpu.clock_ghz);
-        let var_secs = fwd.raw_bytes as f64 / FORWARD_BYTES_PER_SEC;
-        let intercept_end = fwd_start + SimDuration::from_secs_f64(FORWARD_FIXED_SECS);
-        let resolve_end =
-            intercept_end + SimDuration::from_secs_f64(var_secs * FORWARD_RESOLVE_FRAC);
-        let cache_end = resolve_end + SimDuration::from_secs_f64(var_secs * FORWARD_CACHE_FRAC);
-        let render_end = decision.finish - encode;
-        // The dispatched service device records its side of the frame on
-        // its own clock, tagged with the frame's trace context exactly as
-        // the datagrams carried it.
-        let remote_rt = &runtimes[decision.node];
-        remote_rt.record_remote_span(
-            ctx,
-            names::remote::DISPATCH_WAIT,
-            up.delivered_at,
-            decision.start,
-        );
-        remote_rt.record_remote_span(ctx, names::remote::REPLAY, decision.start, render_end);
-        remote_rt.record_remote_span(ctx, names::remote::ENCODE, render_end, decision.finish);
-        remote_rt.record_remote_span(
-            ctx,
-            names::remote::DOWNLINK_SEND,
-            down_start,
-            down.delivered_at,
-        );
-        // The root span covers all pipeline activity for the frame. That
-        // can extend slightly past the vsync display: Turbo tiles stream
-        // onto the downlink while later tiles still encode, so the encode
-        // tail may outlive the frame's presentation.
-        let mut root = SpanNode::new(names::stage::FRAME, start, shown.max(decision.finish));
-        root.stage(names::stage::INTERCEPT, fwd_start, intercept_end)
-            .stage(names::stage::RESOLVE, intercept_end, resolve_end)
-            .stage(names::stage::CACHE, resolve_end, cache_end)
-            .stage(names::stage::LZ4, cache_end, app_done)
-            .stage(names::stage::UPLINK, app_done, up.delivered_at)
-            .stage(names::stage::DISPATCH_WAIT, up.delivered_at, decision.start)
-            .stage(names::stage::RENDER, decision.start, render_end)
-            .stage(names::stage::ENCODE, render_end, decision.finish)
-            .stage(names::stage::DOWNLINK, down_start, down.delivered_at)
-            .stage(names::stage::DECODE, decode_start, decode_done)
-            .stage(names::stage::DISPLAY_WAIT, decode_done, shown);
-        for child in &root.children {
-            let hist = match child.name {
-                n if n == names::stage::INTERCEPT => &stages.intercept,
-                n if n == names::stage::RESOLVE => &stages.resolve,
-                n if n == names::stage::CACHE => &stages.cache,
-                n if n == names::stage::LZ4 => &stages.lz4,
-                n if n == names::stage::UPLINK => &stages.uplink,
-                n if n == names::stage::DISPATCH_WAIT => &stages.dispatch_wait,
-                n if n == names::stage::RENDER => &stages.render,
-                n if n == names::stage::ENCODE => &stages.encode,
-                n if n == names::stage::DOWNLINK => &stages.downlink,
-                n if n == names::stage::DECODE => &stages.decode,
-                _ => &stages.display_wait,
-            };
-            hist.record_duration(child.duration());
-        }
-        // The total latency is app start to vsync display (what the user
-        // perceives), not the root span's end, which may include the
-        // overlapped encode tail.
-        stages.total.record_duration(shown - start);
-        if up.degraded || down.degraded {
-            c_degraded.inc();
-        }
-
-        // Stitch the service device's spans into this frame's tree using
-        // the *estimated* clock offset (never the ground-truth skew).
-        let remote_spans = remote_log.take_frame(session_id, seq);
-        for s in &remote_spans {
-            if let Some(i) = names::remote::STAGES.iter().position(|&n| n == s.name) {
-                remote_hists[i].record((s.end_us - s.start_us).max(0) as u64);
-            }
-        }
-        let offset_us = transport.clock_offset_estimate_us().unwrap_or(0);
-        let outcome = stitch_remote(&mut root, &remote_spans, offset_us);
-        if outcome.stitched > 0 {
-            c_stitched.inc();
-        }
-        c_clamped.add(outcome.clamped as u64);
-
-        // Flight recorder: retain the stitched trace, then run the fault
-        // detectors over this frame's deltas.
-        let frame_trace = FrameTrace { seq, root };
-        flight.on_frame(&frame_trace);
-        let detected = if c_retx.get() - retx_before >= LOSS_STORM_RETX {
-            Some(Fault::LossStorm)
-        } else if decision.start - up.delivered_at >= DISPATCH_TIMEOUT {
-            Some(Fault::DispatchTimeout)
-        } else if c_wakes.get() - wakes_before >= FLAP_WAKES {
-            Some(Fault::InterfaceFlap)
-        } else {
-            None
-        };
-        if let Some(fault) = detected {
-            c_faults.inc();
-            if flight.trigger(fault, shown, registry.snapshot()) {
-                c_dumps.inc();
-            }
-        }
-        trace_log.push(frame_trace);
-
-        fps.record(shown);
-        ledger.add_busy(app_secs + decode_secs);
-        shown_times.push_back(shown);
-        if shown_times.len() > off.buffer_depth + 2 {
-            shown_times.pop_front();
-        }
-        let interval = (shown - last_shown).as_secs_f64();
-        if interval > 0.0 {
-            dt_est = 0.9 * dt_est + 0.1 * interval;
-        }
-        last_shown = shown;
+    // 3. Run the pipelined engine: issue ahead, receive in completion
+    // order, present in sequence order, until the session clock expires;
+    // then drain the frames still in flight.
+    let mut engine = OffloadEngine {
+        gen,
+        interceptor,
+        forwarder,
+        runtimes,
+        dispatcher,
+        transport,
+        display,
+        fps,
+        ledger,
+        duty_rng,
+        trace_log,
+        remote_log,
+        stages: StageHists::new(&registry),
+        remote_hists: names::remote::STAGES
+            .iter()
+            .map(|&n| registry.histogram(n))
+            .collect(),
+        flight,
+        c_degraded: registry.counter(names::session::FRAMES_DEGRADED),
+        c_idle: registry.counter(names::session::FRAMES_IDLE),
+        c_stitched: registry.counter(names::tracing::STITCHED_FRAMES),
+        c_clamped: registry.counter(names::tracing::CLAMPED_SPANS),
+        c_faults: registry.counter(names::flight::FAULTS),
+        c_dumps: registry.counter(names::flight::DUMPS),
+        c_retx,
+        c_wakes,
+        c_redispatch: registry.counter(names::sched::REDISPATCHES),
+        c_window_stalls: registry.counter(names::sched::WINDOW_STALLS),
+        c_node_failures: registry.counter(names::sched::NODE_FAILURES),
+        registry,
+        session_id,
+        frame_pixels,
+        animation_duty: config.workload.profile.animation_duty,
+        idle_cpu_secs: config.workload.profile.cpu_gcycles_per_frame / dev.cpu.clock_ghz,
+        cpu_clock_ghz: dev.cpu.clock_ghz,
+        texture_count: config.workload.profile.texture_count,
+        buffer_depth: off.buffer_depth,
+        max_inflight: off.max_inflight,
+        redispatch_timeout: SimDuration::from_millis(off.redispatch_timeout_ms),
+        faults: off.faults,
+        duration: SimTime::from_secs(config.duration_secs),
+        node_dead: vec![false; off.service_devices.len()],
+        node_loss_pending: false,
+        retx_base: 0,
+        wakes_base: 0,
+        pending: Vec::new(),
+        arrived: ReorderBuffer::new(),
+        presented: Vec::new(),
+        next_seq: 0,
+        app_free: first_up.delivered_at,
+        decode_free: SimTime::ZERO,
+        last_shown: SimTime::ZERO,
+        dt_est: 1.0 / 30.0,
+    };
+    // Detector baselines start after the setup stream's transfers.
+    engine.retx_base = engine.c_retx.get();
+    engine.wakes_base = engine.c_wakes.get();
+    while engine.last_shown < engine.duration {
+        engine.tick()?;
     }
+    engine.drain();
 
-    // 8. Phone energy over the whole session.
+    // 4. Phone energy over the whole session.
+    let OffloadEngine {
+        forwarder,
+        runtimes,
+        dispatcher,
+        transport,
+        fps,
+        ledger,
+        registry,
+        trace_log,
+        remote_log,
+        flight,
+        node_dead,
+        last_shown,
+        ..
+    } = engine;
     let total = last_shown - SimTime::ZERO;
     let secs = total.as_secs_f64();
     let cpu_util = ledger.utilization(secs);
@@ -728,15 +1053,30 @@ fn run_offloaded(
     meter.record_joules(Component::Bluetooth, bt_j.max(0.0));
     meter.advance(total);
 
-    let digest0 = runtimes[0].state_digest();
-    let state_consistent = runtimes.iter().all(|rt| rt.state_digest() == digest0);
+    // Replica digests must agree across the *surviving* nodes; a killed
+    // node stopped ingesting the stream at its failure instant and is
+    // excluded (Section VI-B's consistency check).
+    let mut alive_digests = runtimes
+        .iter()
+        .zip(&node_dead)
+        .filter(|(_, &dead)| !dead)
+        .map(|(rt, _)| rt.state_digest());
+    let state_consistent = match alive_digests.next() {
+        Some(first) => alive_digests.all(|d| d == first),
+        None => true,
+    };
     record_session_counters(&registry, fps.frame_count() as u64, &ledger, cpu_util);
     // Remote spans nobody claimed (a frame that never displayed, or a
     // context mismatch) would linger in the log: count them as orphans.
-    c_orphans.add(remote_log.len() as u64);
+    registry
+        .counter(names::tracing::ORPHAN_SPANS)
+        .add(remote_log.len() as u64);
     registry
         .gauge(names::tracing::CLOCK_OFFSET_US)
         .set(transport.clock_offset_estimate_us().unwrap_or(0) as f64);
+    registry
+        .gauge(names::sched::INFLIGHT_PEAK)
+        .set(transport.inflight_peak() as f64);
     let telemetry = registry.snapshot();
     let frames_displayed = telemetry.counter(names::session::FRAMES_DISPLAYED);
     // Eq. 5's per-frame overhead t_p: the network transfers plus decode.

@@ -7,10 +7,12 @@
 //! forecasts the next window's demand and the manager pre-wakes or parks
 //! the WiFi radio accordingly.
 
+use std::collections::BTreeMap;
+
 use gbooster_forecast::predictor::TrafficPredictor;
-use gbooster_net::switch::{IfaceTime, InterfaceManager, Route, SwitchStats, TxOutcome};
+use gbooster_net::switch::{IfaceTime, InterfaceManager, Route, SwitchStats};
 use gbooster_sim::time::{SimDuration, SimTime};
-use gbooster_telemetry::{names, ClockOffsetEstimator, Counter, Gauge, Registry};
+use gbooster_telemetry::{names, ClockOffsetEstimator, Counter, Gauge, Registry, TraceContext};
 
 /// Per-route propagation latency added on top of serialization.
 const WIFI_LATENCY: SimDuration = SimDuration::from_micros(800);
@@ -23,6 +25,11 @@ const DATAGRAM_PAYLOAD: u64 = 1200;
 /// here they cost retransmissions, not data.
 const WIFI_LOSS: f64 = 0.002;
 const BT_LOSS: f64 = 0.005;
+
+/// Mean loss-recovery stall per *excess* expected retransmission when
+/// the link is scaled lossy (one RTO-sized round trip, matching the
+/// RUDP default in `gbooster-net`).
+const RETX_RECOVERY: SimDuration = SimDuration::from_millis(20);
 
 /// A transmission outcome including propagation delay.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +67,15 @@ pub struct TransportManager {
     /// Fractional expected retransmissions not yet surfaced as a whole
     /// count (the estimator is deterministic: no RNG, no timing impact).
     retransmit_carry: f64,
+    /// Multiplier on the profiled loss rate (1.0 = clean link). Above
+    /// 1.0 the excess expected retransmissions cost a deterministic
+    /// recovery stall on every transfer.
+    loss_scale: f64,
+    /// Frames with traced transfers currently in flight on this path,
+    /// keyed by display sequence (the pipelined session overlaps
+    /// several).
+    inflight: BTreeMap<u64, TraceContext>,
+    inflight_peak: usize,
     /// Ground-truth (service − user) clock skew applied to the ack
     /// timestamps the service device stamps (µs; set by the session
     /// from its seed, never read by the estimator).
@@ -105,10 +121,70 @@ impl TransportManager {
             downlink_bytes: 0,
             windows_observed: 0,
             retransmit_carry: 0.0,
+            loss_scale: 1.0,
+            inflight: BTreeMap::new(),
+            inflight_peak: 0,
             true_clock_offset_us: 0,
             clock: ClockOffsetEstimator::new(),
             counters: None,
         }
+    }
+
+    /// Scales the link's datagram loss rate (1.0 = the profiled link).
+    /// Values above 1.0 make the retransmit estimator accrue
+    /// proportionally more and charge every transfer a deterministic
+    /// recovery stall for the excess losses. At exactly 1.0 transfer
+    /// timing is bit-identical to the unscaled transport.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite or below 1.0.
+    pub fn set_loss_scale(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale >= 1.0,
+            "loss scale must be finite and >= 1.0: {scale}"
+        );
+        self.loss_scale = scale;
+    }
+
+    /// Recovery stall for the *excess* expected retransmissions of a
+    /// `bytes`-sized transfer on `route`. Zero on a clean link, so the
+    /// baseline path never pays it.
+    fn loss_recovery(&self, bytes: usize, route: Route) -> SimDuration {
+        if self.loss_scale <= 1.0 {
+            return SimDuration::ZERO;
+        }
+        let datagrams = (bytes as u64).div_ceil(DATAGRAM_PAYLOAD).max(1);
+        let loss = match route {
+            Route::Wifi => WIFI_LOSS,
+            Route::Bluetooth => BT_LOSS,
+        };
+        let extra = datagrams as f64 * loss * (self.loss_scale - 1.0);
+        SimDuration::from_secs_f64(extra * RETX_RECOVERY.as_secs_f64())
+    }
+
+    /// Registers frame `ctx` as having transfers in flight on this path.
+    /// The pipelined session keeps several frames open at once; each is
+    /// retired by [`TransportManager::end_frame_transfer`] when its
+    /// result is presented.
+    pub fn begin_frame_transfer(&mut self, ctx: TraceContext) {
+        self.inflight.insert(ctx.frame_id, ctx);
+        self.inflight_peak = self.inflight_peak.max(self.inflight.len());
+    }
+
+    /// Retires frame `seq`'s transfers from the in-flight set.
+    pub fn end_frame_transfer(&mut self, seq: u64) {
+        self.inflight.remove(&seq);
+    }
+
+    /// Frames with transfers currently in flight.
+    pub fn inflight_frames(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// High-water mark of concurrently in-flight frames.
+    pub fn inflight_peak(&self) -> usize {
+        self.inflight_peak
     }
 
     /// Sets the ground-truth service-clock skew (µs, may be negative).
@@ -174,7 +250,7 @@ impl TransportManager {
         let loss = match route {
             Route::Wifi => WIFI_LOSS,
             Route::Bluetooth => BT_LOSS,
-        };
+        } * self.loss_scale;
         self.retransmit_carry += datagrams as f64 * loss;
         let whole = self.retransmit_carry.floor();
         if whole >= 1.0 {
@@ -233,13 +309,14 @@ impl TransportManager {
         self.uplink_bytes += bytes as u64;
         let start = now.max(self.uplink_free_at);
         let out = self.mgr.transmit(bytes, start);
-        self.window_busy += out.done_at - start;
-        self.uplink_free_at = out.done_at;
+        let done_at = out.done_at + self.loss_recovery(bytes, out.route);
+        self.window_busy += done_at - start;
+        self.uplink_free_at = done_at;
         if let Some(c) = &self.counters {
             c.uplink_bytes.add(bytes as u64);
         }
         self.account_retransmits(bytes, out.route);
-        let transfer = Self::finish(now, out);
+        let transfer = Self::finish(now, done_at, out.route, out.degraded);
         // Uplink acks are the clock-sync signal (the service stamps its
         // clock at delivery). Downlink acks flow the other way and are
         // not observable here.
@@ -255,25 +332,26 @@ impl TransportManager {
         self.downlink_bytes += bytes as u64;
         let start = now.max(self.downlink_free_at);
         let out = self.mgr.receive(bytes, start);
-        self.window_busy += out.done_at - start;
-        self.downlink_free_at = out.done_at;
+        let done_at = out.done_at + self.loss_recovery(bytes, out.route);
+        self.window_busy += done_at - start;
+        self.downlink_free_at = done_at;
         if let Some(c) = &self.counters {
             c.downlink_bytes.add(bytes as u64);
         }
         self.account_retransmits(bytes, out.route);
-        Self::finish(now, out)
+        Self::finish(now, done_at, out.route, out.degraded)
     }
 
-    fn finish(now: SimTime, out: TxOutcome) -> Transfer {
-        let latency = match out.route {
-            gbooster_net::switch::Route::Wifi => WIFI_LATENCY,
-            gbooster_net::switch::Route::Bluetooth => BT_LATENCY,
+    fn finish(now: SimTime, done_at: SimTime, route: Route, degraded: bool) -> Transfer {
+        let latency = match route {
+            Route::Wifi => WIFI_LATENCY,
+            Route::Bluetooth => BT_LATENCY,
         };
-        let delivered_at = out.done_at + latency;
+        let delivered_at = done_at + latency;
         Transfer {
             delivered_at,
             duration: delivered_at - now,
-            degraded: out.degraded,
+            degraded,
         }
     }
 
@@ -462,6 +540,79 @@ mod tests {
         }
         assert!(skewed.clock_offset_estimate_us().is_some());
         assert!(plain.clock_offset_estimate_us().is_some());
+    }
+
+    #[test]
+    fn unit_loss_scale_is_bit_identical_to_default() {
+        let mut scaled = TransportManager::new(true, window());
+        scaled.set_loss_scale(1.0);
+        let mut plain = TransportManager::new(true, window());
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let a = scaled.send(80_000, now);
+            let b = plain.send(80_000, now);
+            assert_eq!(a, b, "loss_scale 1.0 must be the identity");
+            now = a.delivered_at + SimDuration::from_millis(25);
+            scaled.on_frame(1, 8);
+            plain.on_frame(1, 8);
+        }
+    }
+
+    #[test]
+    fn lossy_link_slows_transfers_and_accrues_retransmits() {
+        // Switching disabled pins both transports to WiFi, so the only
+        // difference between them is the scaled loss.
+        let registry = Registry::new();
+        let mut lossy = TransportManager::new(false, window());
+        lossy.set_loss_scale(5.0);
+        lossy.attach_registry(&registry);
+        let clean_registry = Registry::new();
+        let mut clean = TransportManager::new(false, window());
+        clean.attach_registry(&clean_registry);
+        let mut now = SimTime::ZERO;
+        for _ in 0..100 {
+            let a = lossy.send(120_000, now);
+            let b = clean.send(120_000, now);
+            assert!(
+                a.duration > b.duration,
+                "excess losses must cost recovery time"
+            );
+            now = a.delivered_at.max(b.delivered_at) + SimDuration::from_millis(25);
+            lossy.on_frame(1, 8);
+            clean.on_frame(1, 8);
+        }
+        let lossy_retx = registry.snapshot().counter(names::net::RETRANSMITS);
+        let clean_retx = clean_registry.snapshot().counter(names::net::RETRANSMITS);
+        assert!(
+            lossy_retx >= clean_retx * 4,
+            "scaled loss must accrue ~5x retransmits: {lossy_retx} vs {clean_retx}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "loss scale")]
+    fn sub_unit_loss_scale_panics() {
+        TransportManager::new(true, window()).set_loss_scale(0.5);
+    }
+
+    #[test]
+    fn inflight_frame_contexts_track_the_pipeline_window() {
+        let mut t = TransportManager::new(true, window());
+        assert_eq!(t.inflight_frames(), 0);
+        for seq in 0..4u64 {
+            t.begin_frame_transfer(TraceContext::new(7, seq, 1));
+        }
+        assert_eq!(t.inflight_frames(), 4);
+        t.end_frame_transfer(0);
+        t.end_frame_transfer(2);
+        assert_eq!(t.inflight_frames(), 2);
+        // Re-registering an open frame is idempotent.
+        t.begin_frame_transfer(TraceContext::new(7, 3, 2));
+        assert_eq!(t.inflight_frames(), 2);
+        t.end_frame_transfer(1);
+        t.end_frame_transfer(3);
+        assert_eq!(t.inflight_frames(), 0);
+        assert_eq!(t.inflight_peak(), 4);
     }
 
     #[test]

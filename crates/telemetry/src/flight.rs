@@ -24,6 +24,9 @@ pub enum Fault {
     DispatchTimeout,
     /// The WiFi interface flapped (rapid off/on cycling).
     InterfaceFlap,
+    /// A service node stopped responding and its in-flight frames were
+    /// re-dispatched.
+    NodeLoss,
 }
 
 impl Fault {
@@ -33,6 +36,7 @@ impl Fault {
             Fault::LossStorm => "loss_storm",
             Fault::DispatchTimeout => "dispatch_timeout",
             Fault::InterfaceFlap => "interface_flap",
+            Fault::NodeLoss => "node_loss",
         }
     }
 }

@@ -157,10 +157,20 @@ pub mod net {
 
 /// Eq. 4 dispatcher (crates/core/src/scheduler.rs).
 pub mod sched {
-    /// Rendering requests dispatched (counter).
+    /// Rendering requests dispatched, including re-dispatches (counter).
     pub const REQUESTS: &str = "sched.requests";
     /// Queue wait at the chosen node histogram (µs).
     pub const QUEUE_WAIT: &str = "sched.queue_wait";
+    /// Frames re-dispatched away from a failed node (counter).
+    pub const REDISPATCHES: &str = "sched.redispatches";
+    /// Issue-side stalls waiting for a free slot in the in-flight
+    /// window (counter).
+    pub const WINDOW_STALLS: &str = "sched.window_stalls";
+    /// Service nodes declared dead mid-session (counter).
+    pub const NODE_FAILURES: &str = "sched.node_failures";
+    /// High-water mark of frames concurrently in flight between
+    /// SwapBuffers return and presentation (gauge).
+    pub const INFLIGHT_PEAK: &str = "sched.inflight_peak";
 }
 
 /// Service-device runtime (crates/core/src/service.rs + crates/codec).

@@ -240,6 +240,66 @@ fn interface_flap_triggers_the_flap_detector() {
     assert_eq!(report.telemetry.counter(names::flight::DUMPS), 1);
 }
 
+/// Killing one of N service nodes mid-stream must drain via re-dispatch:
+/// the dead node's in-flight frames finish on the next-best node, the
+/// presented sequence has no gap, and the flight recorder captures the
+/// node loss as the primary fault.
+#[test]
+fn node_loss_redispatches_in_flight_frames_without_a_gap() {
+    let config = SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+        .duration_secs(12)
+        .seed(7)
+        .mode(ExecutionMode::Offloaded(OffloadConfig {
+            service_devices: vec![
+                DeviceSpec::nvidia_shield(),
+                DeviceSpec::dell_optiplex_9010(),
+                DeviceSpec::dell_m4600(),
+            ],
+            flight_recorder_depth: 8,
+            faults: FaultInjection {
+                kill_node_at_frame: Some((50, 0)),
+                ..FaultInjection::default()
+            },
+            ..OffloadConfig::default()
+        }))
+        .build();
+    let report = Session::run(&config);
+
+    // The stream drains: every frame up to session end presents, in
+    // order, with no gap where the dead node's frames were.
+    let seqs: Vec<u64> = report.trace.frames().iter().map(|f| f.seq).collect();
+    assert_eq!(seqs.len() as u64, report.frames);
+    for (i, &seq) in seqs.iter().enumerate() {
+        assert_eq!(seq, i as u64, "no gap in presented frames");
+    }
+
+    // The kill was detected and handled.
+    assert_eq!(report.telemetry.counter(names::sched::NODE_FAILURES), 1);
+    assert!(
+        report.telemetry.counter(names::sched::REDISPATCHES) >= 1,
+        "in-flight frames on the dead node must re-dispatch"
+    );
+    // The dead node served nothing after frame 50's dispatch; the
+    // survivors carried the rest of the stream.
+    assert_eq!(report.per_device_requests.len(), 3);
+    let survivors: u64 = report.per_device_requests[1..].iter().sum();
+    assert!(survivors > 0, "surviving nodes must take over");
+    // A re-dispatched frame counts at both its original and its rescue
+    // node, so the per-node totals exceed the frame count by exactly the
+    // number of re-dispatches.
+    assert_eq!(
+        report.per_device_requests.iter().sum::<u64>(),
+        report.frames + report.telemetry.counter(names::sched::REDISPATCHES),
+    );
+
+    // The flight recorder's one dump names the node loss — not the
+    // secondary dispatch-delay symptoms the re-dispatch causes.
+    let dump = report.flight.expect("node loss must trigger the recorder");
+    assert_eq!(dump.fault, Fault::NodeLoss);
+    assert_eq!(report.telemetry.counter(names::flight::DUMPS), 1);
+    assert!(report.telemetry.counter(names::flight::FAULTS) >= 1);
+}
+
 /// A fault-free session never fires the recorder.
 #[test]
 fn fault_free_sessions_emit_no_dump() {

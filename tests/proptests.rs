@@ -5,6 +5,7 @@ use std::sync::Arc;
 use gbooster::codec::lru::CommandCache;
 use gbooster::codec::turbo::{TurboDecoder, TurboEncoder};
 use gbooster::codec::{jpeg, lz4};
+use gbooster::core::scheduler::{Dispatcher, ReorderBuffer, ServiceNode};
 use gbooster::gles::command::{GlCommand, UniformValue, VertexSource};
 use gbooster::gles::serialize::{decode_command, decode_stream, encode_command, encode_stream};
 use gbooster::gles::types::{
@@ -14,7 +15,9 @@ use gbooster::gles::types::{
 };
 use gbooster::net::channel::ChannelModel;
 use gbooster::net::rudp::{simulate_transfer, RudpConfig};
+use gbooster::sim::device::DeviceSpec;
 use gbooster::sim::display::FpsRecorder;
+use gbooster::sim::time::{SimDuration, SimTime};
 use proptest::prelude::*;
 
 fn arb_primitive() -> impl Strategy<Value = Primitive> {
@@ -264,6 +267,83 @@ proptest! {
         let ch = ChannelModel::lossy(loss);
         let stats = simulate_transfer(bytes, &ch, RudpConfig::default(), seed);
         prop_assert_eq!(stats.bytes, bytes as u64);
+    }
+
+    /// A [`ReorderBuffer`] fed any arrival order drawn from a sliding
+    /// window of `w` in-flight frames — the pipelined engine's invariant:
+    /// frame `s` can only be in flight once everything below `s − w` has
+    /// arrived — presents every frame exactly once, strictly in order,
+    /// and never buffers more than `w − 1` frames.
+    #[test]
+    fn reorder_buffer_presents_in_order_within_any_window(
+        n in 1usize..80,
+        w in 1usize..8,
+        picks in prop::collection::vec(any::<usize>(), 80),
+    ) {
+        let mut buf: ReorderBuffer<u64> = ReorderBuffer::new();
+        let mut presented: Vec<u64> = Vec::new();
+        let mut next_issue = 0u64;
+        let mut in_flight: Vec<u64> = Vec::new();
+        let mut step = 0usize;
+        while presented.len() < n {
+            // Keep the window full: issue while the oldest unarrived
+            // frame is within `w` of the newest.
+            while next_issue < n as u64 && next_issue < buf.awaiting() + w as u64 {
+                in_flight.push(next_issue);
+                next_issue += 1;
+            }
+            // Deliver one in-flight frame in arbitrary order.
+            let pick = picks[step % picks.len()] % in_flight.len();
+            step += 1;
+            let seq = in_flight.swap_remove(pick);
+            buf.insert(seq, seq);
+            presented.extend(buf.pop_ready());
+            prop_assert!(
+                buf.held() < w,
+                "buffer held {} with window {w}", buf.held()
+            );
+        }
+        prop_assert_eq!(presented, (0..n as u64).collect::<Vec<_>>());
+        prop_assert_eq!(buf.held(), 0);
+    }
+
+    /// Eq. 4 scoring is total: for arbitrary backlogs `w_j`, workloads
+    /// `r`, and capabilities `c_j` — including zero, negative, infinite
+    /// and NaN — every score is non-NaN, dispatch always picks a valid
+    /// node, and the booking never runs backwards in time.
+    #[test]
+    fn dispatcher_scoring_is_total_for_arbitrary_inputs(
+        caps in prop::collection::vec(any::<f64>(), 1..6),
+        fills in prop::collection::vec(any::<u64>(), 1..30),
+        rtt_us in 0u64..1_000_000,
+        step_us in 0u64..100_000,
+    ) {
+        let nodes: Vec<ServiceNode> = caps
+            .iter()
+            .map(|&c| {
+                let mut n = ServiceNode::new(
+                    DeviceSpec::nvidia_shield(),
+                    SimDuration::from_micros(rtt_us),
+                );
+                n.capability = c;
+                n
+            })
+            .collect();
+        let n_nodes = nodes.len();
+        let mut d = Dispatcher::new(nodes);
+        let mut now = SimTime::ZERO;
+        for (seq, &fill) in fills.iter().enumerate() {
+            for node in d.nodes() {
+                let score = node.score(fill, now);
+                prop_assert!(!score.is_nan(), "score must never be NaN");
+            }
+            let decision = d.dispatch(seq as u64, fill, SimDuration::ZERO, now);
+            prop_assert!(decision.node < n_nodes);
+            prop_assert!(decision.finish >= decision.start);
+            prop_assert!(decision.start >= now);
+            d.complete(decision.node, seq as u64);
+            now += SimDuration::from_micros(step_us);
+        }
     }
 
     #[test]
