@@ -39,6 +39,7 @@ impl CacheToken {
 /// Doubly-linked-list node indices for O(1) LRU maintenance.
 const NIL: usize = usize::MAX;
 
+#[derive(Clone)]
 struct Node {
     key: u64,
     value: Vec<u8>,
@@ -58,6 +59,11 @@ struct Node {
 /// assert!(matches!(sender.offer(&cmd), CacheToken::Full(_)));
 /// assert!(matches!(sender.offer(&cmd), CacheToken::Ref(_)));
 /// ```
+///
+/// The cache is `Clone`: a rejoining service device is brought current
+/// by copying a synchronized peer's cache state in one resync transfer
+/// instead of replaying the whole token history.
+#[derive(Clone)]
 pub struct CommandCache {
     capacity: usize,
     map: HashMap<u64, usize>,
@@ -382,5 +388,24 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_panics() {
         let _ = CommandCache::new(0);
+    }
+
+    #[test]
+    fn cloned_receiver_cache_tracks_the_sender_from_the_clone_point() {
+        let mut sender = CommandCache::new(32);
+        let mut receiver = CommandCache::new(32);
+        for i in 0..20u8 {
+            let token = sender.offer(&[i; 6]);
+            receiver.accept(&token).unwrap();
+        }
+        // A late joiner cloned from the live receiver must expand every
+        // subsequent token, including refs to pre-clone content.
+        let mut joiner = receiver.clone();
+        for i in 0..20u8 {
+            let token = sender.offer(&[i; 6]);
+            assert!(matches!(token, CacheToken::Ref(_)));
+            assert_eq!(joiner.accept(&token).as_deref(), Some(&[i; 6][..]));
+        }
+        assert_eq!(joiner.len(), sender.len());
     }
 }

@@ -40,6 +40,9 @@ impl From<AppTitle> for Workload {
 }
 
 /// How the session executes its GPU work.
+// One config per session: the size gap between variants is irrelevant,
+// and boxing would clutter every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum ExecutionMode {
     /// Everything on the phone (the paper's baseline).
@@ -81,6 +84,8 @@ pub struct OffloadConfig {
     /// Stitched frame traces retained by the flight recorder (the last N
     /// frames dumped on a fault).
     pub flight_recorder_depth: usize,
+    /// Frame-latency SLO driving the local-render fallback.
+    pub slo: SloConfig,
     /// Deterministic fault-injection schedule (all disabled by default).
     pub faults: FaultInjection,
 }
@@ -96,16 +101,124 @@ impl Default for OffloadConfig {
             loss_scale: 1.0,
             render_resolution: (1280, 720),
             flight_recorder_depth: 32,
+            slo: SloConfig::default(),
             faults: FaultInjection::default(),
         }
     }
+}
+
+/// Frame-latency SLO and fallback hysteresis. The engine tracks an EWMA
+/// of end-to-end frame latency; when it exceeds `engage_ms` for
+/// `breach_frames` consecutive presented frames (or the service pool
+/// empties), SwapBuffers flips to local rendering. Offloading resumes
+/// only after `min_fallback_frames` locally rendered frames AND the pool
+/// reporting healthy again — the engage/release split plus the dwell is
+/// the hysteresis that stops the switch from flapping.
+#[derive(Clone, Copy, Debug)]
+pub struct SloConfig {
+    /// EWMA frame latency (ms) above which the SLO counts a breach.
+    pub engage_ms: f64,
+    /// EWMA frame latency (ms) the *local* path must beat before the
+    /// engine considers re-offloading. Must not exceed `engage_ms`.
+    pub release_ms: f64,
+    /// Consecutive breaching frames required to engage the fallback.
+    pub breach_frames: u32,
+    /// Minimum locally rendered frames before release is considered.
+    pub min_fallback_frames: u32,
+    /// EWMA smoothing factor in `(0, 1]`.
+    pub alpha: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        // Default thresholds sit far above the ~30–60 ms latencies of a
+        // healthy session, so the fallback only fires on real trouble.
+        SloConfig {
+            engage_ms: 250.0,
+            release_ms: 120.0,
+            breach_frames: 4,
+            min_fallback_frames: 30,
+            alpha: 0.2,
+        }
+    }
+}
+
+/// One scheduled change to a service node's availability, keyed by the
+/// frame index at whose dispatch the event applies.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NodeEvent {
+    /// Hard-kill the node: in-flight frames orphan and re-dispatch, the
+    /// health monitor marks it dead without waiting for probe timeouts.
+    Kill {
+        /// Displayed-frame index at which the node drops.
+        frame: u64,
+        /// Index into `service_devices`.
+        node: usize,
+    },
+    /// Bring a previously killed node back: probes start succeeding, and
+    /// once the health monitor walks it through rejoin it receives a
+    /// one-shot state resync and re-enters the dispatch pool.
+    Revive {
+        /// Displayed-frame index at which the node returns.
+        frame: u64,
+        /// Index into `service_devices`.
+        node: usize,
+    },
+    /// Multiply the node's effective GPU capability by `factor` (in
+    /// `(0, 1]`) — a thermal or contention brownout. The dispatcher's
+    /// Eq. 4 score shifts load away organically.
+    Degrade {
+        /// Displayed-frame index at which the slowdown begins.
+        frame: u64,
+        /// Index into `service_devices`.
+        node: usize,
+        /// Capability multiplier in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl NodeEvent {
+    /// The frame index the event fires at.
+    pub fn frame(&self) -> u64 {
+        match *self {
+            NodeEvent::Kill { frame, .. }
+            | NodeEvent::Revive { frame, .. }
+            | NodeEvent::Degrade { frame, .. } => frame,
+        }
+    }
+
+    /// The node the event targets.
+    pub fn node(&self) -> usize {
+        match *self {
+            NodeEvent::Kill { node, .. }
+            | NodeEvent::Revive { node, .. }
+            | NodeEvent::Degrade { node, .. } => node,
+        }
+    }
+}
+
+/// A window of frames during which a node's link drops all liveness
+/// probes without the node itself dying. The health monitor sees probe
+/// timeouts, walks Healthy → Suspect → Dead, and evicts the node; when
+/// the window closes, probes succeed again and the node rejoins via
+/// resync. Frames already dispatched to the node still complete — only
+/// the control channel is cut, which is exactly what distinguishes a
+/// partition drill from a kill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkPartition {
+    /// Index into `service_devices`.
+    pub node: usize,
+    /// First frame index whose probes are lost (inclusive).
+    pub from_frame: u64,
+    /// First frame index whose probes succeed again (exclusive).
+    pub until_frame: u64,
 }
 
 /// Deterministic fault-injection schedule for flight-recorder drills.
 /// Each knob names the displayed-frame index at which the fault is
 /// forced; `None` leaves the session fault-free (the recorder still
 /// arms and triggers on organically detected faults).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct FaultInjection {
     /// Inject a datagram loss storm before this frame: a burst of
     /// retransmissions large enough to trip the loss-storm detector.
@@ -119,8 +232,16 @@ pub struct FaultInjection {
     /// `.0` is dispatched: the node stops serving, its in-flight frames
     /// are re-dispatched to the next-best node after the re-dispatch
     /// timeout, and the flight recorder latches a `node_loss` fault.
-    /// Requires at least two service devices.
+    /// Requires at least two service devices. Sugar for a lone
+    /// [`NodeEvent::Kill`] in `node_events`.
     pub kill_node_at_frame: Option<(u64, usize)>,
+    /// Scheduled node kills / revivals / degradations. Unlike the
+    /// `kill_node_at_frame` sugar, a `Kill` here is allowed with a
+    /// single service device: the session survives via the local-render
+    /// fallback instead of re-dispatching.
+    pub node_events: Vec<NodeEvent>,
+    /// Link-partition windows cutting a node's probe channel.
+    pub partitions: Vec<LinkPartition>,
 }
 
 impl FaultInjection {
@@ -130,6 +251,19 @@ impl FaultInjection {
             || self.dispatch_stall_at_frame.is_some()
             || self.iface_flap_at_frame.is_some()
             || self.kill_node_at_frame.is_some()
+            || !self.node_events.is_empty()
+            || !self.partitions.is_empty()
+    }
+
+    /// The full node-event schedule with the `kill_node_at_frame` sugar
+    /// folded in, sorted by (frame, node) for deterministic application.
+    pub fn node_schedule(&self) -> Vec<NodeEvent> {
+        let mut events = self.node_events.clone();
+        if let Some((frame, node)) = self.kill_node_at_frame {
+            events.push(NodeEvent::Kill { frame, node });
+        }
+        events.sort_by_key(|e| (e.frame(), e.node()));
+        events
     }
 }
 
@@ -233,6 +367,64 @@ impl SessionConfig {
                         "kill_node_at_frame node index {node} out of range",
                     )));
                 }
+            }
+            for ev in &off.faults.node_events {
+                if ev.node() >= off.service_devices.len() {
+                    return Err(GBoosterError::Config(format!(
+                        "node event targets node {} but only {} service devices exist",
+                        ev.node(),
+                        off.service_devices.len()
+                    )));
+                }
+                if let NodeEvent::Degrade { factor, .. } = *ev {
+                    if !factor.is_finite() || factor <= 0.0 || factor > 1.0 {
+                        return Err(GBoosterError::Config(format!(
+                            "degrade factor must be in (0, 1], got {factor}"
+                        )));
+                    }
+                }
+            }
+            for p in &off.faults.partitions {
+                if p.node >= off.service_devices.len() {
+                    return Err(GBoosterError::Config(format!(
+                        "partition targets node {} but only {} service devices exist",
+                        p.node,
+                        off.service_devices.len()
+                    )));
+                }
+                if p.from_frame >= p.until_frame {
+                    return Err(GBoosterError::Config(format!(
+                        "partition window [{}, {}) is empty",
+                        p.from_frame, p.until_frame
+                    )));
+                }
+            }
+            let slo = &off.slo;
+            if !slo.engage_ms.is_finite() || slo.engage_ms <= 0.0 {
+                return Err(GBoosterError::Config(format!(
+                    "SLO engage_ms must be finite and positive, got {}",
+                    slo.engage_ms
+                )));
+            }
+            if !slo.release_ms.is_finite()
+                || slo.release_ms <= 0.0
+                || slo.release_ms > slo.engage_ms
+            {
+                return Err(GBoosterError::Config(format!(
+                    "SLO release_ms must be in (0, engage_ms], got {}",
+                    slo.release_ms
+                )));
+            }
+            if slo.breach_frames == 0 || slo.min_fallback_frames == 0 {
+                return Err(GBoosterError::Config(
+                    "SLO breach_frames and min_fallback_frames must be >= 1".into(),
+                ));
+            }
+            if !slo.alpha.is_finite() || slo.alpha <= 0.0 || slo.alpha > 1.0 {
+                return Err(GBoosterError::Config(format!(
+                    "SLO alpha must be in (0, 1], got {}",
+                    slo.alpha
+                )));
             }
             for dev in &off.service_devices {
                 if dev.class == DeviceClass::Phone {
@@ -424,6 +616,136 @@ mod tests {
             .try_build()
             .unwrap_err();
         assert!(matches!(err, GBoosterError::Config(_)));
+    }
+
+    #[test]
+    fn node_event_schedule_folds_in_the_kill_sugar_and_sorts() {
+        let faults = FaultInjection {
+            kill_node_at_frame: Some((50, 1)),
+            node_events: vec![
+                NodeEvent::Revive { frame: 90, node: 1 },
+                NodeEvent::Kill { frame: 20, node: 0 },
+            ],
+            ..FaultInjection::default()
+        };
+        assert!(faults.any());
+        let sched = faults.node_schedule();
+        assert_eq!(
+            sched,
+            vec![
+                NodeEvent::Kill { frame: 20, node: 0 },
+                NodeEvent::Kill { frame: 50, node: 1 },
+                NodeEvent::Revive { frame: 90, node: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn node_events_and_partitions_are_validated() {
+        let base = |faults: FaultInjection| {
+            SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+                .mode(ExecutionMode::Offloaded(OffloadConfig {
+                    service_devices: vec![DeviceSpec::nvidia_shield(), DeviceSpec::minix_neo_u1()],
+                    faults,
+                    ..OffloadConfig::default()
+                }))
+                .try_build()
+        };
+        // Out-of-range node index.
+        let err = base(FaultInjection {
+            node_events: vec![NodeEvent::Kill { frame: 5, node: 7 }],
+            ..FaultInjection::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        // Degrade factor outside (0, 1].
+        let err = base(FaultInjection {
+            node_events: vec![NodeEvent::Degrade {
+                frame: 5,
+                node: 0,
+                factor: 1.5,
+            }],
+            ..FaultInjection::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        // Empty partition window.
+        let err = base(FaultInjection {
+            partitions: vec![LinkPartition {
+                node: 0,
+                from_frame: 10,
+                until_frame: 10,
+            }],
+            ..FaultInjection::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        // A well-formed schedule passes.
+        assert!(base(FaultInjection {
+            node_events: vec![
+                NodeEvent::Kill { frame: 5, node: 0 },
+                NodeEvent::Revive { frame: 40, node: 0 },
+                NodeEvent::Degrade {
+                    frame: 8,
+                    node: 1,
+                    factor: 0.5
+                },
+            ],
+            partitions: vec![LinkPartition {
+                node: 1,
+                from_frame: 60,
+                until_frame: 80,
+            }],
+            ..FaultInjection::default()
+        })
+        .is_ok());
+        // Unlike the sugar, a scheduled Kill is fine with one device:
+        // the local-render fallback absorbs an empty pool.
+        assert!(
+            SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+                .mode(ExecutionMode::Offloaded(OffloadConfig {
+                    faults: FaultInjection {
+                        node_events: vec![NodeEvent::Kill { frame: 5, node: 0 }],
+                        ..FaultInjection::default()
+                    },
+                    ..OffloadConfig::default()
+                }))
+                .try_build()
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn slo_thresholds_are_validated() {
+        let base = |slo: SloConfig| {
+            SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+                .mode(ExecutionMode::Offloaded(OffloadConfig {
+                    slo,
+                    ..OffloadConfig::default()
+                }))
+                .try_build()
+        };
+        // Release above engage breaks the hysteresis ordering.
+        let err = base(SloConfig {
+            engage_ms: 100.0,
+            release_ms: 200.0,
+            ..SloConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        let err = base(SloConfig {
+            breach_frames: 0,
+            ..SloConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        let err = base(SloConfig {
+            alpha: 0.0,
+            ..SloConfig::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, GBoosterError::Config(_)));
+        assert!(base(SloConfig::default()).is_ok());
     }
 
     #[test]

@@ -187,7 +187,12 @@ impl CommandForwarder {
 }
 
 /// The service-device receiver: the inverse pipeline.
-#[derive(Debug)]
+///
+/// `Clone` supports node rejoin: every synchronized receiver holds the
+/// same deterministic cache state, so a rejoining device is brought
+/// current by copying a live peer's receiver (or the sender-side mirror)
+/// instead of replaying the token history it missed.
+#[derive(Clone, Debug)]
 pub struct ServiceReceiver {
     cache: CommandCache,
 }
@@ -395,6 +400,24 @@ mod tests {
         let mut fresh_rx = ServiceReceiver::new();
         let err = fresh_rx.receive(&second.wire).unwrap_err();
         assert!(matches!(err, GBoosterError::CacheDesync(_)));
+    }
+
+    #[test]
+    fn cloned_receiver_rejoins_where_a_fresh_one_desyncs() {
+        let (mut tx, mut rx, mem) = pipeline();
+        let frame = vec![GlCommand::clear_all(), GlCommand::SwapBuffers];
+        let first = tx.forward_frame(&frame, &mem).unwrap();
+        rx.receive(&first.wire).unwrap();
+        // Resync-by-clone: the rejoining receiver copies the live peer's
+        // cache and expands the all-Ref second frame a fresh receiver
+        // cannot.
+        let mut rejoined = rx.clone();
+        let second = tx.forward_frame(&frame, &mem).unwrap();
+        assert!(matches!(
+            ServiceReceiver::new().receive(&second.wire).unwrap_err(),
+            GBoosterError::CacheDesync(_)
+        ));
+        assert_eq!(rejoined.receive(&second.wire).unwrap(), frame);
     }
 
     #[test]

@@ -1,0 +1,493 @@
+//! Service-pool health monitoring.
+//!
+//! Tracks per-node liveness from RUDP ack/heartbeat probes and drives
+//! the `Healthy → Suspect → Dead → Rejoining` state machine that feeds
+//! the dispatcher ([`crate::scheduler::Dispatcher::fail_node`] /
+//! [`crate::scheduler::Dispatcher::revive_node`]) and the local-render
+//! fallback in the session engine.
+//!
+//! * **Adaptive timeout** — each node keeps a TCP-style smoothed RTT
+//!   (`srtt`) and mean deviation (`rttvar`); a probe counts as missed
+//!   when its measured RTT exceeds `srtt + 4·rttvar` (clamped to a sane
+//!   floor/ceiling), so a chatty-but-slow link is not confused with a
+//!   dead one and a normally snappy link is declared suspect quickly.
+//! * **Probe backoff** — probes to an unresponsive node retry on a
+//!   capped exponential backoff with deterministic per-(node, attempt)
+//!   jitter, mirroring the RUDP retransmit policy: a dead node is not
+//!   hammered at full cadence, yet recovery is noticed within a bounded
+//!   interval.
+//! * **Determinism** — no wall clock and no RNG; everything is a pure
+//!   function of the observation sequence, so chaos drills replay
+//!   byte-identically.
+//!
+//! The full state machine and threshold rationale are documented in
+//! `docs/RESILIENCE.md`.
+
+use gbooster_sim::time::{SimDuration, SimTime};
+use gbooster_telemetry::{names, Counter, Registry};
+
+/// Liveness states of one service node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeState {
+    /// Answering probes within the adaptive timeout.
+    Healthy,
+    /// Missed a probe; not yet evicted from the pool.
+    Suspect,
+    /// Missed enough consecutive probes to be evicted.
+    Dead,
+    /// Answered a probe after death; awaiting the one-shot state resync
+    /// before re-admission.
+    Rejoining,
+}
+
+/// State-machine transitions surfaced to the session engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HealthEvent {
+    /// Healthy → Suspect: a probe missed its adaptive deadline.
+    Suspected(usize),
+    /// Suspect → Healthy: the node answered before being declared dead.
+    Recovered(usize),
+    /// Suspect → Dead: evict the node and orphan its in-flight frames.
+    Died(usize),
+    /// Dead → Rejoining: the node answered a probe; ship it a state
+    /// resync and call [`HealthMonitor::rejoined`] when that lands.
+    RejoinReady(usize),
+}
+
+/// Health-monitor tuning. The defaults match the session engine's frame
+/// cadence: one probe opportunity per issued frame, eviction after three
+/// consecutive misses.
+#[derive(Clone, Copy, Debug)]
+pub struct HealthConfig {
+    /// Probe cadence while a node is answering.
+    pub probe_interval: SimDuration,
+    /// Floor on the adaptive timeout (guards the cold-start estimate).
+    pub min_timeout: SimDuration,
+    /// Ceiling on the adaptive timeout.
+    pub max_timeout: SimDuration,
+    /// Consecutive misses before a Suspect node is declared Dead (the
+    /// first miss always moves Healthy → Suspect).
+    pub dead_misses: u32,
+    /// Cap on the probe-backoff exponent (`interval << shift`).
+    pub max_backoff_shift: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            probe_interval: SimDuration::from_millis(16),
+            min_timeout: SimDuration::from_millis(5),
+            max_timeout: SimDuration::from_millis(200),
+            dead_misses: 3,
+            max_backoff_shift: 3,
+        }
+    }
+}
+
+/// Deterministic per-(node, attempt) jitter hash (FNV-1a), matching the
+/// RUDP retransmit jitter construction.
+fn probe_jitter_hash(node: usize, attempts: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in (node as u64)
+        .to_le_bytes()
+        .into_iter()
+        .chain(attempts.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-node probe bookkeeping.
+#[derive(Clone, Debug)]
+struct NodeProbe {
+    state: NodeState,
+    /// Smoothed RTT estimate in seconds (0 before the first sample).
+    srtt: f64,
+    /// RTT mean deviation in seconds.
+    rttvar: f64,
+    /// Consecutive missed probes.
+    misses: u32,
+    /// Probe attempts since the last successful ack — selects the
+    /// backoff step for the next probe.
+    attempts: u32,
+    next_probe_at: SimTime,
+}
+
+impl NodeProbe {
+    fn new() -> Self {
+        NodeProbe {
+            state: NodeState::Healthy,
+            srtt: 0.0,
+            rttvar: 0.0,
+            misses: 0,
+            attempts: 0,
+            next_probe_at: SimTime::ZERO,
+        }
+    }
+}
+
+/// Liveness monitor over the service pool.
+///
+/// The session engine drives it: [`HealthMonitor::probe_due`] says
+/// whether a node should be probed at `now`;
+/// [`HealthMonitor::observe`] feeds the outcome back (the measured RTT,
+/// or `None` when nothing came back) and returns the transitions that
+/// observation caused.
+///
+/// # Examples
+///
+/// ```
+/// use gbooster_core::health::{HealthConfig, HealthEvent, HealthMonitor, NodeState};
+/// use gbooster_sim::time::{SimDuration, SimTime};
+///
+/// let mut hm = HealthMonitor::new(1, HealthConfig::default());
+/// let now = SimTime::ZERO;
+/// assert!(hm.probe_due(0, now));
+/// // Three missed probes walk the node to Dead.
+/// assert_eq!(hm.observe(0, now, None), vec![HealthEvent::Suspected(0)]);
+/// hm.observe(0, now, None);
+/// assert_eq!(hm.observe(0, now, None), vec![HealthEvent::Died(0)]);
+/// assert_eq!(hm.state(0), NodeState::Dead);
+/// // An answered probe starts the rejoin handshake.
+/// let ev = hm.observe(0, now, Some(SimDuration::from_millis(2)));
+/// assert_eq!(ev, vec![HealthEvent::RejoinReady(0)]);
+/// hm.rejoined(0);
+/// assert_eq!(hm.state(0), NodeState::Healthy);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HealthMonitor {
+    nodes: Vec<NodeProbe>,
+    config: HealthConfig,
+    telemetry: Option<HealthCounters>,
+}
+
+#[derive(Clone, Debug)]
+struct HealthCounters {
+    probes: Counter,
+    probe_timeouts: Counter,
+    suspects: Counter,
+    deaths: Counter,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor for `n` nodes, all initially healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the config is degenerate.
+    pub fn new(n: usize, config: HealthConfig) -> Self {
+        assert!(n > 0, "health monitor needs at least one node");
+        assert!(
+            !config.probe_interval.is_zero() && config.dead_misses >= 2,
+            "degenerate health config"
+        );
+        HealthMonitor {
+            nodes: vec![NodeProbe::new(); n],
+            config,
+            telemetry: None,
+        }
+    }
+
+    /// Mirrors probe activity into `registry` under the
+    /// [`names::health`] vocabulary.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.telemetry = Some(HealthCounters {
+            probes: registry.counter(names::health::PROBES),
+            probe_timeouts: registry.counter(names::health::PROBE_TIMEOUTS),
+            suspects: registry.counter(names::health::SUSPECT_TRANSITIONS),
+            deaths: registry.counter(names::health::DEAD_TRANSITIONS),
+        });
+    }
+
+    /// Current state of node `j`.
+    pub fn state(&self, j: usize) -> NodeState {
+        self.nodes[j].state
+    }
+
+    /// Nodes currently counted in the dispatch pool (Healthy or
+    /// Suspect — a suspect node still serves until declared dead).
+    pub fn pool_size(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.state, NodeState::Healthy | NodeState::Suspect))
+            .count()
+    }
+
+    /// The adaptive probe deadline for node `j`: `srtt + 4·rttvar`
+    /// clamped to the configured floor/ceiling. Before any RTT sample
+    /// the ceiling applies (the conservative cold start of RFC 6298 —
+    /// an unmeasured link must not have its first ack misread as slow).
+    pub fn timeout(&self, j: usize) -> SimDuration {
+        let n = &self.nodes[j];
+        if n.srtt == 0.0 {
+            return self.config.max_timeout;
+        }
+        let raw = SimDuration::from_secs_f64((n.srtt + 4.0 * n.rttvar).max(0.0));
+        raw.max(self.config.min_timeout)
+            .min(self.config.max_timeout)
+    }
+
+    /// Whether node `j`'s next probe is due at `now`. Probes to an
+    /// unresponsive node back off exponentially (capped, jittered), so
+    /// this stays `false` for most of a dead node's downtime.
+    pub fn probe_due(&self, j: usize, now: SimTime) -> bool {
+        now >= self.nodes[j].next_probe_at
+    }
+
+    /// Interval until node `j`'s next probe after `attempts` consecutive
+    /// unanswered ones: base cadence doubled per miss (capped) plus a
+    /// deterministic jitter of up to a quarter interval. The first
+    /// retry keeps the bare cadence so a one-off miss is re-checked
+    /// immediately.
+    fn probe_backoff(&self, j: usize, attempts: u32) -> SimDuration {
+        let base =
+            self.config.probe_interval.as_micros() << attempts.min(self.config.max_backoff_shift);
+        let jitter = if attempts == 0 {
+            0
+        } else {
+            probe_jitter_hash(j, attempts) % (self.config.probe_interval.as_micros() / 4).max(1)
+        };
+        SimDuration::from_micros(base + jitter)
+    }
+
+    /// Feeds the outcome of a probe of node `j` issued at `now`:
+    /// `Some(rtt)` when an ack arrived (an ack slower than the adaptive
+    /// timeout still counts as a miss), `None` when nothing came back.
+    /// Returns the state transitions this observation caused, in order.
+    pub fn observe(
+        &mut self,
+        j: usize,
+        now: SimTime,
+        rtt: Option<SimDuration>,
+    ) -> Vec<HealthEvent> {
+        let deadline = self.timeout(j);
+        let answered = match rtt {
+            Some(r) => r <= deadline,
+            None => false,
+        };
+        if let Some(t) = &self.telemetry {
+            t.probes.inc();
+            if !answered {
+                t.probe_timeouts.inc();
+            }
+        }
+        let mut events = Vec::new();
+        let node = &mut self.nodes[j];
+        if answered {
+            let sample = rtt.expect("answered implies a sample").as_secs_f64();
+            if node.srtt == 0.0 {
+                node.srtt = sample;
+                node.rttvar = sample / 2.0;
+            } else {
+                node.rttvar = 0.75 * node.rttvar + 0.25 * (node.srtt - sample).abs();
+                node.srtt = 0.875 * node.srtt + 0.125 * sample;
+            }
+            node.misses = 0;
+            node.attempts = 0;
+            match node.state {
+                NodeState::Healthy | NodeState::Rejoining => {}
+                NodeState::Suspect => {
+                    node.state = NodeState::Healthy;
+                    events.push(HealthEvent::Recovered(j));
+                }
+                NodeState::Dead => {
+                    node.state = NodeState::Rejoining;
+                    events.push(HealthEvent::RejoinReady(j));
+                }
+            }
+        } else {
+            node.misses += 1;
+            node.attempts += 1;
+            match node.state {
+                NodeState::Healthy => {
+                    node.state = NodeState::Suspect;
+                    events.push(HealthEvent::Suspected(j));
+                    if let Some(t) = &self.telemetry {
+                        t.suspects.inc();
+                    }
+                }
+                NodeState::Suspect => {
+                    if node.misses >= self.config.dead_misses {
+                        node.state = NodeState::Dead;
+                        events.push(HealthEvent::Died(j));
+                        if let Some(t) = &self.telemetry {
+                            t.deaths.inc();
+                        }
+                    }
+                }
+                NodeState::Rejoining => {
+                    // The resync window closed on us: back to Dead.
+                    node.state = NodeState::Dead;
+                }
+                NodeState::Dead => {}
+            }
+        }
+        let attempts = self.nodes[j].attempts;
+        let backoff = self.probe_backoff(j, attempts);
+        self.nodes[j].next_probe_at = now + backoff;
+        events
+    }
+
+    /// Marks node `j`'s state resync complete: Rejoining → Healthy.
+    /// No-op unless the node is actually rejoining.
+    pub fn rejoined(&mut self, j: usize) {
+        if self.nodes[j].state == NodeState::Rejoining {
+            self.nodes[j].state = NodeState::Healthy;
+        }
+    }
+
+    /// Forces node `j` straight to Dead (an injected kill observed by
+    /// the engine out-of-band — no probe round-trip needed). Returns
+    /// whether the node was previously serving.
+    pub fn force_dead(&mut self, j: usize, now: SimTime) -> bool {
+        let node = &mut self.nodes[j];
+        let was_serving = matches!(node.state, NodeState::Healthy | NodeState::Suspect);
+        if was_serving {
+            if let Some(t) = &self.telemetry {
+                // A hard kill still walks the ranks for the counters:
+                // one suspect transition, one death.
+                t.suspects.inc();
+                t.deaths.inc();
+            }
+        }
+        node.state = NodeState::Dead;
+        node.misses = self.config.dead_misses;
+        node.attempts = node.attempts.max(1);
+        let attempts = node.attempts;
+        self.nodes[j].next_probe_at = now + self.probe_backoff(j, attempts);
+        was_serving
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(n: usize) -> HealthMonitor {
+        HealthMonitor::new(n, HealthConfig::default())
+    }
+
+    #[test]
+    fn misses_walk_healthy_suspect_dead_and_ack_rejoins() {
+        let mut hm = monitor(2);
+        let mut now = SimTime::ZERO;
+        assert_eq!(hm.observe(0, now, None), vec![HealthEvent::Suspected(0)]);
+        assert_eq!(hm.state(0), NodeState::Suspect);
+        assert_eq!(hm.pool_size(), 2, "suspect still serves");
+        now += SimDuration::from_millis(16);
+        assert!(hm.observe(0, now, None).is_empty());
+        now += SimDuration::from_millis(32);
+        assert_eq!(hm.observe(0, now, None), vec![HealthEvent::Died(0)]);
+        assert_eq!(hm.state(0), NodeState::Dead);
+        assert_eq!(hm.pool_size(), 1);
+        // The node comes back: ack → Rejoining, resync → Healthy.
+        now += SimDuration::from_secs(1);
+        let ev = hm.observe(0, now, Some(SimDuration::from_millis(2)));
+        assert_eq!(ev, vec![HealthEvent::RejoinReady(0)]);
+        assert_eq!(hm.pool_size(), 1, "rejoining is not yet in the pool");
+        hm.rejoined(0);
+        assert_eq!(hm.state(0), NodeState::Healthy);
+        assert_eq!(hm.pool_size(), 2);
+    }
+
+    #[test]
+    fn suspect_recovers_on_a_timely_ack() {
+        let mut hm = monitor(1);
+        hm.observe(0, SimTime::ZERO, None);
+        assert_eq!(hm.state(0), NodeState::Suspect);
+        let ev = hm.observe(
+            0,
+            SimTime::from_millis(16),
+            Some(SimDuration::from_millis(2)),
+        );
+        assert_eq!(ev, vec![HealthEvent::Recovered(0)]);
+        assert_eq!(hm.state(0), NodeState::Healthy);
+    }
+
+    #[test]
+    fn adaptive_timeout_tracks_rtt_and_its_variance() {
+        let mut hm = monitor(1);
+        // Cold start: the conservative ceiling applies.
+        assert_eq!(hm.timeout(0), HealthConfig::default().max_timeout);
+        let mut now = SimTime::ZERO;
+        for _ in 0..20 {
+            hm.observe(0, now, Some(SimDuration::from_millis(10)));
+            now += SimDuration::from_millis(16);
+        }
+        // Stable 10 ms RTT: srtt → 10 ms, rttvar decays, timeout settles
+        // between the RTT itself and the initial 3x spread.
+        let t = hm.timeout(0).as_secs_f64();
+        assert!(t > 0.010 && t < 0.030, "timeout {t:.4}s out of band");
+        // A slow ack beyond the learned deadline counts as a miss.
+        let ev = hm.observe(0, now, Some(SimDuration::from_millis(150)));
+        assert_eq!(ev, vec![HealthEvent::Suspected(0)]);
+    }
+
+    #[test]
+    fn probe_backoff_grows_and_caps_deterministically() {
+        let cfg = HealthConfig::default();
+        let mut hm = HealthMonitor::new(1, cfg);
+        let base = cfg.probe_interval.as_micros();
+        let mut now = SimTime::ZERO;
+        let mut prev = SimTime::ZERO;
+        let mut spacings = Vec::new();
+        for i in 0..7 {
+            assert!(hm.probe_due(0, now));
+            hm.observe(0, now, None);
+            let next = hm.nodes[0].next_probe_at;
+            if i > 0 {
+                spacings.push((now - prev).as_micros());
+            }
+            prev = now;
+            now = next;
+        }
+        for pair in spacings[..cfg.max_backoff_shift as usize].windows(2) {
+            assert!(pair[1] > pair[0], "backoff must grow: {spacings:?}");
+        }
+        for &s in &spacings[cfg.max_backoff_shift as usize - 1..] {
+            assert!(
+                s >= base << cfg.max_backoff_shift
+                    && s < (base << cfg.max_backoff_shift) + base / 4,
+                "capped spacing out of range: {spacings:?}"
+            );
+        }
+        // A second monitor replays the identical schedule.
+        let mut hm2 = HealthMonitor::new(1, cfg);
+        let mut now2 = SimTime::ZERO;
+        for _ in 0..7 {
+            hm2.observe(0, now2, None);
+            now2 = hm2.nodes[0].next_probe_at;
+        }
+        assert_eq!(now, now2);
+    }
+
+    #[test]
+    fn force_dead_skips_the_probe_walk() {
+        let mut hm = monitor(2);
+        assert!(hm.force_dead(1, SimTime::ZERO));
+        assert_eq!(hm.state(1), NodeState::Dead);
+        assert_eq!(hm.pool_size(), 1);
+        // Idempotent: a second kill reports the node already down.
+        assert!(!hm.force_dead(1, SimTime::ZERO));
+    }
+
+    #[test]
+    fn telemetry_counts_probes_and_transitions() {
+        let registry = Registry::new();
+        let mut hm = monitor(1);
+        hm.attach_registry(&registry);
+        let mut now = SimTime::ZERO;
+        for _ in 0..3 {
+            hm.observe(0, now, None);
+            now += SimDuration::from_secs(1);
+        }
+        hm.observe(0, now, Some(SimDuration::from_millis(2)));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter(names::health::PROBES), 4);
+        assert_eq!(snap.counter(names::health::PROBE_TIMEOUTS), 3);
+        assert_eq!(snap.counter(names::health::SUSPECT_TRANSITIONS), 1);
+        assert_eq!(snap.counter(names::health::DEAD_TRANSITIONS), 1);
+    }
+}

@@ -16,6 +16,10 @@
 //!   ARMAX traffic forecasting (Section V-B).
 //! * [`scheduler`] — multi-device request dispatch (Eq. 4), state
 //!   replication over multicast, and result re-sequencing (Section VI).
+//! * [`health`] — per-node liveness (adaptive probe timeouts, the
+//!   `Healthy → Suspect → Dead → Rejoining` machine) feeding node
+//!   eviction, GL-state resync on rejoin, and the local-render fallback
+//!   (`docs/RESILIENCE.md`).
 //! * [`queue`] — FCFS and priority service queues for multi-user serving
 //!   (Section VIII's future-work extension, implemented here).
 //! * [`metrics`] — median FPS, FPS stability and response time
@@ -43,6 +47,7 @@
 pub mod config;
 pub mod error;
 pub mod forward;
+pub mod health;
 pub mod metrics;
 pub mod queue;
 pub mod scheduler;

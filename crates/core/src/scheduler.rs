@@ -51,6 +51,11 @@ pub struct ServiceNode {
     /// bookings.
     rate_ewma: Ewma,
     alive: bool,
+    /// End of the rejoin warm-up window: until this instant the node's
+    /// Eq. 4 score carries an extra penalty so a freshly resynced node
+    /// (cold caches, unwarmed clocks) eases back in instead of instantly
+    /// winning every dispatch. `SimTime::ZERO` means no warm-up pending.
+    warmup_until: SimTime,
 }
 
 impl ServiceNode {
@@ -69,6 +74,7 @@ impl ServiceNode {
             outstanding: VecDeque::new(),
             rate_ewma: Ewma::new(RATE_EWMA_ALPHA),
             alive: true,
+            warmup_until: SimTime::ZERO,
         }
     }
 
@@ -120,7 +126,13 @@ impl ServiceNode {
         }
         // w_j / c_j: queued workload already expressed in seconds.
         let backlog_secs = self.busy_until.saturating_duration_since(now).as_secs_f64();
-        let score = backlog_secs + r_fill as f64 / rate + self.rtt.as_secs_f64();
+        // Rejoin warm-up: the remaining warm-up window is charged as
+        // phantom backlog, decaying to zero as the node proves itself.
+        let warmup_secs = self
+            .warmup_until
+            .saturating_duration_since(now)
+            .as_secs_f64();
+        let score = backlog_secs + warmup_secs + r_fill as f64 / rate + self.rtt.as_secs_f64();
         if score.is_nan() {
             f64::INFINITY
         } else {
@@ -292,6 +304,29 @@ impl Dispatcher {
         n.alive = false;
         n.busy_until = now.min(n.busy_until);
         n.outstanding.drain(..).collect()
+    }
+
+    /// Re-admits a previously failed node at `now` after a state resync.
+    /// For the next `warmup` of sim time the node's Eq. 4 score carries
+    /// the remaining warm-up window as phantom backlog, so traffic ramps
+    /// onto the rejoined node instead of slamming it.
+    pub fn revive_node(&mut self, node: usize, now: SimTime, warmup: SimDuration) {
+        let n = &mut self.nodes[node];
+        n.alive = true;
+        n.busy_until = now.max(n.busy_until);
+        n.warmup_until = now + warmup;
+    }
+
+    /// Scales node `node`'s ground-truth capability by `factor` (a
+    /// thermal or contention brownout; `factor` in `(0, 1]`). The rate
+    /// forecaster keeps learning, so Eq. 4 scoring tracks the slowdown
+    /// within a few dispatches.
+    pub fn degrade_node(&mut self, node: usize, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor <= 1.0,
+            "degrade factor must be in (0, 1], got {factor}"
+        );
+        self.nodes[node].capability *= factor;
     }
 
     /// Per-node request counts (load-balance telemetry).
@@ -524,6 +559,51 @@ mod tests {
         let orphans = d.fail_node(1, SimTime::from_secs(5));
         assert!(orphans.is_empty());
         assert_eq!(d.nodes()[1].busy_until(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn revived_node_warms_up_before_winning_dispatches() {
+        let mut d = Dispatcher::new(vec![
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+            ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_millis(2)),
+        ]);
+        let t0 = SimTime::from_millis(100);
+        d.fail_node(0, t0);
+        assert_eq!(d.alive_nodes(), 1);
+        // Rejoin the fast node with a 200 ms warm-up.
+        let warmup = SimDuration::from_millis(200);
+        d.revive_node(0, t0, warmup);
+        assert_eq!(d.alive_nodes(), 2);
+        // Inside the warm-up window the phantom backlog keeps traffic on
+        // the slower-but-settled node...
+        let early = d.dispatch(0, 50_000_000, SimDuration::ZERO, t0);
+        assert_eq!(early.node, 1, "warm-up must shield the rejoined node");
+        // ...and once it expires the faster node wins again.
+        let late = d.dispatch(1, 50_000_000, SimDuration::ZERO, t0 + warmup * 2);
+        assert_eq!(late.node, 0, "warm-up must decay, not persist");
+    }
+
+    #[test]
+    fn degraded_node_loses_dispatches_it_used_to_win() {
+        let mut d = Dispatcher::new(vec![
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+            ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_millis(2)),
+        ]);
+        let before = d.dispatch(0, 50_000_000, SimDuration::ZERO, SimTime::ZERO);
+        assert_eq!(before.node, 0, "shield wins at full capability");
+        d.complete(0, 0);
+        // Brown the shield out to 10%: slower than the minix now. The
+        // forecaster needs a few bookings to track the new ground truth.
+        d.degrade_node(0, 0.1);
+        let mut now = SimTime::from_secs(1);
+        let mut last = 0;
+        for seq in 1..12 {
+            let dec = d.dispatch(seq, 50_000_000, SimDuration::ZERO, now);
+            d.complete(dec.node, seq);
+            now = dec.finish.max(now);
+            last = dec.node;
+        }
+        assert_eq!(last, 1, "Eq. 4 must learn the brownout and divert");
     }
 
     #[test]

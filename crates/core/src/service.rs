@@ -228,6 +228,22 @@ impl ServiceRuntime {
         self.context.digest()
     }
 
+    /// One-shot rejoin resync: replaces this device's GL replica with a
+    /// restored `snapshot` of the reference state and adopts `receiver`
+    /// (a clone of a synchronized peer's decoder, so LRU `Ref` tokens in
+    /// subsequent frames resolve). After this call the device is current
+    /// without replaying any command history — the wire cost is the
+    /// snapshot transfer, accounted by the caller from
+    /// `StateSnapshot::wire_bytes`.
+    pub fn resync(
+        &mut self,
+        snapshot: &gbooster_gles::state::StateSnapshot,
+        receiver: ServiceReceiver,
+    ) {
+        self.context = GlContext::restore(snapshot);
+        self.receiver = receiver;
+    }
+
     /// Advances the service GPU's thermal/energy model (it never throttles
     /// thanks to active cooling; asserted in tests).
     pub fn gpu_tick(&mut self, dt: SimDuration, utilization: f64) {
@@ -306,6 +322,33 @@ mod tests {
         let stats = replica.apply_frame(&cmds, false).unwrap();
         assert_eq!(stats.draws_executed, 0);
         assert!(stats.commands_applied > 0);
+    }
+
+    #[test]
+    fn resynced_replacement_tracks_the_stream_without_history_replay() {
+        let (frames, _) = forwarded_frames(30);
+        let mut veteran = ServiceRuntime::new(DeviceSpec::nvidia_shield());
+        // The veteran ingests the whole history; cache Refs abound.
+        let (head, tail) = frames.split_at(frames.len() - 5);
+        for wire in head {
+            let cmds = veteran.decode(wire).unwrap();
+            veteran.apply_frame(&cmds, true).unwrap();
+        }
+        // A replacement node joins late: one snapshot + receiver clone,
+        // zero history replay.
+        let mut rookie = ServiceRuntime::new(DeviceSpec::minix_neo_u1());
+        let snap = veteran.context().snapshot();
+        rookie.resync(&snap, veteran.receiver.clone());
+        assert_eq!(rookie.state_digest(), veteran.state_digest());
+        // Both stay in lockstep across the remaining frames, Refs and all.
+        for wire in tail {
+            let a = veteran.decode(wire).unwrap();
+            let b = rookie.decode(wire).unwrap();
+            assert_eq!(a, b);
+            veteran.apply_frame(&a, true).unwrap();
+            rookie.apply_frame(&b, true).unwrap();
+        }
+        assert_eq!(rookie.state_digest(), veteran.state_digest());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use std::collections::VecDeque;
 
 use gbooster_gles::command::GlCommand;
+use gbooster_gles::state::GlContext;
 use gbooster_sim::display::{Display, FpsRecorder};
 use gbooster_sim::gpu::{GpuModel, ThermalParams};
 use gbooster_sim::power::{Component, PowerMeter};
@@ -32,9 +33,13 @@ use gbooster_workload::tracegen::TraceGenerator;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::config::{CloudConfig, ExecutionMode, FaultInjection, OffloadConfig, SessionConfig};
+use crate::config::{
+    CloudConfig, ExecutionMode, FaultInjection, LinkPartition, NodeEvent, OffloadConfig,
+    SessionConfig, SloConfig,
+};
 use crate::error::GBoosterError;
-use crate::forward::CommandForwarder;
+use crate::forward::{CommandForwarder, ServiceReceiver};
+use crate::health::{HealthConfig, HealthEvent, HealthMonitor};
 use crate::metrics::{CpuLedger, ResponseTracker};
 use crate::scheduler::{Dispatcher, ReorderBuffer, ServiceNode};
 use crate::service::ServiceRuntime;
@@ -82,6 +87,11 @@ const INJECTED_STALL: SimDuration = SimDuration::from_millis(80);
 
 /// WiFi power cycles a scheduled interface flap injects.
 const INJECTED_FLAP_CYCLES: u32 = 4;
+
+/// Warm-up window a rejoined node serves under an Eq. 4 score penalty
+/// after its state resync lands (see
+/// [`crate::scheduler::Dispatcher::revive_node`]).
+const REJOIN_WARMUP: SimDuration = SimDuration::from_millis(50);
 
 /// Results of one played session.
 #[derive(Clone, Debug)]
@@ -441,11 +451,16 @@ struct PendingFrame {
     fill: u64,
     app_secs: f64,
     commands: Vec<GlCommand>,
+    /// True when the frame rendered on the phone GPU — the graceful-
+    /// degradation path. Local frames never cross the radio: no
+    /// downlink receive, no dispatcher completion, no remote spans.
+    local: bool,
 }
 
 impl PendingFrame {
     /// When the frame's downlink starts. Turbo tiles stream out as they
     /// are encoded, so the transfer overlaps all but the encode tail.
+    /// (Local frames have a zero encode: this is their finish instant.)
     fn down_start(&self) -> SimTime {
         self.finish - self.encode * 0.7
     }
@@ -500,6 +515,11 @@ struct OffloadEngine {
     c_redispatch: Counter,
     c_window_stalls: Counter,
     c_node_failures: Counter,
+    c_frames_local: Counter,
+    c_rejoins: Counter,
+    c_resync_bytes: Counter,
+    c_fallback_engagements: Counter,
+    local_render_hist: Histogram,
     // Session constants.
     session_id: u64,
     frame_pixels: u64,
@@ -525,6 +545,42 @@ struct OffloadEngine {
     decode_free: SimTime,
     last_shown: SimTime,
     dt_est: f64,
+    // Session resilience: health-monitored pool, rejoin resync, and the
+    // local-render fallback (docs/RESILIENCE.md).
+    health: HealthMonitor,
+    /// Ground-truth node power state driven by the injected event
+    /// schedule (a partitioned node stays up — only its probes drop).
+    node_up: Vec<bool>,
+    /// Fault schedule sorted by (frame, node); `next_event` indexes the
+    /// first not-yet-applied entry.
+    node_events: Vec<NodeEvent>,
+    next_event: usize,
+    partitions: Vec<LinkPartition>,
+    /// Phone-side reference GL state: every forwarded wire frame is also
+    /// decoded here (and, with the radio fully down, raw state commands
+    /// apply directly), so a rejoining node can be brought current with
+    /// one snapshot transfer instead of a history replay.
+    reference_ctx: GlContext,
+    /// Phone-side mirror of the sender's LRU dictionary; a clone hands a
+    /// rejoining node a decoder that resolves future `Ref` tokens.
+    reference_rx: ServiceReceiver,
+    slo: SloConfig,
+    /// Frame-latency EWMA in ms (0 = no samples yet / reset on release).
+    latency_ewma: f64,
+    breach_streak: u32,
+    fallback: bool,
+    fallback_since: SimTime,
+    /// Local frames issued since the fallback engaged (the release dwell).
+    fallback_frames: u32,
+    fallback_secs: f64,
+    /// Phone GPU queue for local renders.
+    local_gpu_free: SimTime,
+    phone_gpu: GpuModel,
+    phone_gpu_busy_secs: f64,
+    // One-shot detector flags consumed by the next presented frame.
+    all_lost_pending: bool,
+    fallback_pending: bool,
+    rejoin_pending: bool,
 }
 
 impl OffloadEngine {
@@ -569,9 +625,13 @@ impl OffloadEngine {
         self.issue_frame(start)
     }
 
-    /// Issues frame `next_seq`: game logic, interception, serialization,
-    /// LZ4, uplink, Eq. 4 dispatch, and state replication to every *live*
-    /// device. The frame then stays pending until its downlink is retired.
+    /// Issues frame `next_seq`. The resilience layer runs first — the
+    /// injected event schedule, liveness probes (with node rejoin), and
+    /// the SLO hysteresis — then the frame takes one of two paths:
+    /// the offload pipeline (game logic, interception, serialization,
+    /// LZ4, uplink, Eq. 4 dispatch, state replication to every live
+    /// device), or the local-render fallback. Either way the frame stays
+    /// pending until it is retired.
     fn issue_frame(&mut self, start: SimTime) -> Result<(), GBoosterError> {
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -582,6 +642,18 @@ impl OffloadEngine {
         // This frame's trace context, carried (conceptually) in every
         // datagram the frame produces on the wire.
         let ctx = TraceContext::new(self.session_id, seq, 1);
+        self.apply_node_events(seq, start);
+        self.run_health(seq, start)?;
+        self.maybe_release_fallback(start);
+        if self.dispatcher.alive_nodes() == 0 && !self.fallback {
+            // An empty pool engages the fallback immediately — there is
+            // nobody left to render, so waiting out the SLO streak would
+            // just stall the display.
+            self.engage_fallback(start);
+        }
+        if self.fallback {
+            return self.issue_local_frame(seq, ctx, start, &trace);
+        }
         let stall = if self.faults.dispatch_stall_at_frame == Some(seq) {
             INJECTED_STALL
         } else {
@@ -603,15 +675,11 @@ impl OffloadEngine {
         let up = self.transport.send(fwd.wire.len(), app_done);
         self.transport.begin_frame_transfer(ctx);
 
-        // Eq. 4 dispatch; replicate state to every live device.
+        // Eq. 4 dispatch; replicate state to every live device and to the
+        // phone-side reference (the resync source for rejoining nodes).
         let changed_px = (trace.changed_pixel_ratio * self.frame_pixels as f64).round() as u64;
         let encode = self.runtimes[0].encode_time(self.frame_pixels, changed_px);
         let dispatch_at = up.delivered_at + stall;
-        if let Some((kill_frame, node)) = self.faults.kill_node_at_frame {
-            if seq == kill_frame && !self.node_dead[node] {
-                self.kill_node(node, dispatch_at);
-            }
-        }
         let decision = self
             .dispatcher
             .dispatch(seq, trace.effective_fill, encode, dispatch_at);
@@ -626,6 +694,7 @@ impl OffloadEngine {
                 commands = cmds;
             }
         }
+        self.reference_ingest_wire(&fwd.wire)?;
 
         // Phone-side span boundaries. The forwarding cost splits into its
         // sub-stages; the last one ends exactly at `app_done` so integer-
@@ -657,6 +726,230 @@ impl OffloadEngine {
             fill: trace.effective_fill,
             app_secs,
             commands,
+            local: false,
+        });
+        Ok(())
+    }
+
+    /// Applies every scheduled node event whose frame has arrived: hard
+    /// kills (observed out-of-band — no probe walk), revivals (probes
+    /// start answering; the health monitor drives the actual rejoin),
+    /// and capability brownouts.
+    fn apply_node_events(&mut self, seq: u64, now: SimTime) {
+        while let Some(&ev) = self.node_events.get(self.next_event) {
+            if ev.frame() > seq {
+                break;
+            }
+            self.next_event += 1;
+            match ev {
+                NodeEvent::Kill { node, .. } => {
+                    self.node_up[node] = false;
+                    if !self.node_dead[node] {
+                        self.health.force_dead(node, now);
+                        self.kill_node(node, now);
+                    }
+                }
+                NodeEvent::Revive { node, .. } => {
+                    self.node_up[node] = true;
+                }
+                NodeEvent::Degrade { node, factor, .. } => {
+                    self.dispatcher.degrade_node(node, factor);
+                }
+            }
+        }
+    }
+
+    /// True when node `j`'s probe channel is inside a scheduled
+    /// partition window at frame `seq`.
+    fn partitioned(&self, j: usize, seq: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| p.node == j && p.from_frame <= seq && seq < p.until_frame)
+    }
+
+    /// Runs one round of liveness probes (those whose backoff deadline
+    /// arrived) and reacts to the transitions: probe-detected deaths
+    /// evict the node and orphan its frames; answered probes from a dead
+    /// node trigger the rejoin resync.
+    fn run_health(&mut self, seq: u64, now: SimTime) -> Result<(), GBoosterError> {
+        for j in 0..self.node_up.len() {
+            if !self.health.probe_due(j, now) {
+                continue;
+            }
+            let responsive = self.node_up[j] && !self.partitioned(j, seq);
+            let rtt = responsive.then(|| {
+                // The LAN RTT plus a deterministic sub-millisecond spread
+                // (no RNG: replays must be byte-identical).
+                LAN_RTT + SimDuration::from_micros((seq * 31 + j as u64 * 17) % 500)
+            });
+            for ev in self.health.observe(j, now, rtt) {
+                match ev {
+                    HealthEvent::Suspected(_) | HealthEvent::Recovered(_) => {}
+                    HealthEvent::Died(n) => {
+                        if !self.node_dead[n] {
+                            self.kill_node(n, now);
+                        }
+                    }
+                    HealthEvent::RejoinReady(n) => self.rejoin_node(n, now)?,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Brings a dead-but-responsive node current with a one-shot state
+    /// resync — a snapshot of the phone-side reference GL state plus a
+    /// clone of the reference receiver (so future LRU `Ref` tokens
+    /// resolve) — and re-admits it to the dispatch pool with a warm-up
+    /// penalty once the transfer lands. O(state), not O(history): the
+    /// command log since the node died is never replayed.
+    fn rejoin_node(&mut self, node: usize, now: SimTime) -> Result<(), GBoosterError> {
+        let snap = self.reference_ctx.snapshot();
+        let resync_bytes = snap.wire_bytes();
+        let tx = self.transport.send(resync_bytes as usize, now);
+        self.c_resync_bytes.add(resync_bytes);
+        self.runtimes[node].resync(&snap, self.reference_rx.clone());
+        debug_assert_eq!(
+            self.runtimes[node].state_digest(),
+            self.reference_ctx.digest(),
+            "resynced node must match the reference state"
+        );
+        self.node_dead[node] = false;
+        self.dispatcher
+            .revive_node(node, tx.delivered_at, REJOIN_WARMUP);
+        self.health.rejoined(node);
+        self.c_rejoins.inc();
+        self.rejoin_pending = true;
+        Ok(())
+    }
+
+    /// Decodes a forwarded wire frame into the phone-side reference
+    /// state, exactly as every replica does (state-mutating commands
+    /// only — draws never touch replicated state).
+    fn reference_ingest_wire(&mut self, wire: &[u8]) -> Result<(), GBoosterError> {
+        let cmds = self.reference_rx.receive(wire)?;
+        for cmd in &cmds {
+            if cmd.is_state_mutating() {
+                self.reference_ctx.apply(cmd)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Engages the local-render fallback: subsequent frames render on
+    /// the phone GPU until the pool is healthy and the latency EWMA has
+    /// recovered below the release threshold.
+    fn engage_fallback(&mut self, now: SimTime) {
+        self.fallback = true;
+        self.fallback_since = now;
+        self.fallback_frames = 0;
+        self.breach_streak = 0;
+        self.c_fallback_engagements.inc();
+        self.fallback_pending = true;
+    }
+
+    /// Releases the fallback once the hysteresis allows: a minimum dwell
+    /// in local rendering AND a live pool AND the latency EWMA back
+    /// under the (lower) release threshold. The engage/release split
+    /// plus the dwell is what stops the switch from flapping.
+    fn maybe_release_fallback(&mut self, now: SimTime) {
+        if !self.fallback
+            || self.fallback_frames < self.slo.min_fallback_frames
+            || self.dispatcher.alive_nodes() == 0
+            || self.latency_ewma > self.slo.release_ms
+        {
+            return;
+        }
+        self.fallback = false;
+        self.fallback_secs += (now - self.fallback_since).as_secs_f64();
+        // Fresh hysteresis state: the EWMA restarts from the offloaded
+        // path's own samples, so stale local-render latencies cannot
+        // immediately re-trip the engage streak.
+        self.latency_ewma = 0.0;
+        self.breach_streak = 0;
+    }
+
+    /// Issues one frame down the graceful-degradation path: rendered on
+    /// the phone GPU, presented through the same reorder machinery.
+    /// While live nodes remain (an SLO fallback, not a pool loss), state
+    /// replication continues so releasing needs no resync; with the pool
+    /// empty nothing crosses the radio and only the phone-side reference
+    /// ingests the state stream.
+    fn issue_local_frame(
+        &mut self,
+        seq: u64,
+        ctx: TraceContext,
+        start: SimTime,
+        trace: &gbooster_workload::tracegen::FrameTrace,
+    ) -> Result<(), GBoosterError> {
+        let cpu_secs = trace.cpu_gcycles / self.cpu_clock_ghz;
+        let (app_secs, app_done, up) = if self.dispatcher.alive_nodes() > 0 {
+            // Live nodes keep replicating state so the eventual release
+            // resumes offloading without a resync.
+            let fwd = self
+                .forwarder
+                .forward_frame(&trace.commands, self.gen.client_memory())?;
+            let forward_secs = FORWARD_FIXED_SECS + fwd.raw_bytes as f64 / FORWARD_BYTES_PER_SEC;
+            let app_secs = cpu_secs + forward_secs;
+            let app_done = start + SimDuration::from_secs_f64(app_secs);
+            let textures_used = self.texture_count + if trace.scene_change { 2 } else { 0 };
+            self.transport.on_frame(trace.touches, textures_used);
+            let up = self.transport.send(fwd.wire.len(), app_done);
+            for (j, rt) in self.runtimes.iter_mut().enumerate() {
+                if self.node_dead[j] {
+                    continue;
+                }
+                let cmds = rt.decode(&fwd.wire)?;
+                rt.apply_frame(&cmds, false)?;
+            }
+            self.reference_ingest_wire(&fwd.wire)?;
+            (app_secs, app_done, up)
+        } else {
+            // Radio dark: the sender cache is frozen (nothing is
+            // forwarded), so the reference receiver stays consistent;
+            // raw state-mutating commands keep the reference current for
+            // the next rejoin's snapshot.
+            let app_done = start + SimDuration::from_secs_f64(cpu_secs);
+            for cmd in &trace.commands {
+                if cmd.is_state_mutating() {
+                    self.reference_ctx.apply(cmd)?;
+                }
+            }
+            let up = Transfer {
+                delivered_at: app_done,
+                duration: SimDuration::ZERO,
+                degraded: false,
+            };
+            (cpu_secs, app_done, up)
+        };
+        self.app_free = app_done;
+        let render = self.phone_gpu.render_time(trace.effective_fill, 1.0) + COMPOSITOR;
+        let render_start = app_done.max(self.local_gpu_free);
+        let finish = render_start + render;
+        self.local_gpu_free = finish;
+        self.phone_gpu_busy_secs += render.as_secs_f64();
+        self.fallback_frames += 1;
+        self.pending.push(PendingFrame {
+            seq,
+            ctx,
+            start,
+            fwd_start: start,
+            intercept_end: start,
+            resolve_end: start,
+            cache_end: start,
+            app_done,
+            up,
+            unscheduled_wait: SimDuration::ZERO,
+            dispatch_start: render_start,
+            finish,
+            node: 0,
+            encode: SimDuration::ZERO,
+            changed_px: 0,
+            down_bytes: 0,
+            fill: trace.effective_fill,
+            app_secs,
+            commands: Vec::new(),
+            local: true,
         });
         Ok(())
     }
@@ -673,12 +966,33 @@ impl OffloadEngine {
         self.c_node_failures.inc();
         let orphans = self.dispatcher.fail_node(node, at);
         let redispatch_at = at + self.redispatch_timeout;
+        let pool_empty = self.dispatcher.alive_nodes() == 0;
+        let mut orphans = orphans;
+        orphans.sort_unstable();
         for seq in orphans {
             let idx = self
                 .pending
                 .iter()
                 .position(|p| p.seq == seq)
                 .expect("orphaned frame must still be in flight");
+            if pool_empty {
+                // No live node to take the frame: recover it on the
+                // phone GPU instead, chained on the local render queue.
+                let p = &mut self.pending[idx];
+                let render = self.phone_gpu.render_time(p.fill, 1.0) + COMPOSITOR;
+                let render_start = redispatch_at.max(self.local_gpu_free);
+                p.unscheduled_wait += render_start - p.dispatch_start;
+                p.dispatch_start = render_start;
+                p.finish = render_start + render;
+                p.encode = SimDuration::ZERO;
+                p.changed_px = 0;
+                p.down_bytes = 0;
+                p.local = true;
+                self.local_gpu_free = p.finish;
+                self.phone_gpu_busy_secs += render.as_secs_f64();
+                self.c_redispatch.inc();
+                continue;
+            }
             let (fill, encode) = (self.pending[idx].fill, self.pending[idx].encode);
             let decision = self.dispatcher.dispatch(seq, fill, encode, redispatch_at);
             let commands = std::mem::take(&mut self.pending[idx].commands);
@@ -692,7 +1006,13 @@ impl OffloadEngine {
             p.finish = decision.finish;
             self.c_redispatch.inc();
         }
-        self.node_loss_pending = true;
+        if pool_empty {
+            // Total pool loss outranks the single-node symptom.
+            self.all_lost_pending = true;
+            self.node_loss_pending = false;
+        } else {
+            self.node_loss_pending = true;
+        }
     }
 
     /// Retires the in-flight frame whose downlink completes next: its
@@ -706,8 +1026,20 @@ impl OffloadEngine {
             .min_by_key(|&i| (self.pending[i].down_start(), self.pending[i].seq))
             .expect("pending is non-empty");
         let p = self.pending.swap_remove(idx);
-        let down = self.transport.recv(p.down_bytes, p.down_start());
-        self.dispatcher.complete(p.node, p.seq);
+        let down = if p.local {
+            // Local frames never cross the radio: synthesize a zero-cost
+            // "transfer" landing when the phone GPU finished.
+            Transfer {
+                delivered_at: p.finish,
+                duration: SimDuration::ZERO,
+                degraded: false,
+            }
+        } else {
+            self.transport.recv(p.down_bytes, p.down_start())
+        };
+        if !p.local {
+            self.dispatcher.complete(p.node, p.seq);
+        }
         self.arrived.insert(p.seq, ArrivedFrame { p, down });
         for af in self.arrived.pop_ready() {
             self.present_frame(af);
@@ -718,6 +1050,9 @@ impl OffloadEngine {
     /// vsync display, span tree + per-stage histograms, remote-span
     /// stitching, and the fault-detector chain.
     fn present_frame(&mut self, af: ArrivedFrame) {
+        if af.p.local {
+            return self.present_local_frame(af);
+        }
         let ArrivedFrame { p, down } = af;
         // Decode on the phone and present at the next vsync.
         let decode_secs = p.changed_px as f64 / DECODE_PIXELS_PER_SEC;
@@ -828,14 +1163,80 @@ impl OffloadEngine {
         // frames), so it is checked first.
         let frame_trace = FrameTrace { seq: p.seq, root };
         self.flight.on_frame(&frame_trace);
+        self.run_detectors(shown, p.unscheduled_wait);
+        self.trace_log.push(frame_trace);
+
+        self.note_latency(shown, p.start);
+        self.fps.record(shown);
+        self.ledger.add_busy(p.app_secs + decode_secs);
+        let interval = (shown - self.last_shown).as_secs_f64();
+        if interval > 0.0 {
+            self.dt_est = 0.9 * self.dt_est + 0.1 * interval;
+        }
+        self.last_shown = self.last_shown.max(shown);
+        self.presented.push(shown);
+    }
+
+    /// Presents one phone-rendered fallback frame. The span tree carries
+    /// only the stages that actually ran — the root, the local render,
+    /// and the vsync wait — and nothing touches the transport, the
+    /// dispatcher, or the remote span log.
+    fn present_local_frame(&mut self, af: ArrivedFrame) {
+        let ArrivedFrame { p, .. } = af;
+        let shown = self.display.present(p.finish);
+        // A frame issued offloaded and recovered locally after a total
+        // pool loss still holds an inflight-transfer entry; retiring it
+        // is a no-op for frames issued on the fallback path.
+        self.transport.end_frame_transfer(p.seq);
+        let mut root = SpanNode::new(names::stage::FRAME, p.start, shown);
+        root.stage(names::stage::LOCAL_RENDER, p.dispatch_start, p.finish)
+            .stage(names::stage::DISPLAY_WAIT, p.finish, shown);
+        self.local_render_hist
+            .record_duration(p.finish - p.dispatch_start);
+        self.stages.total.record_duration(shown - p.start);
+        self.c_frames_local.inc();
+
+        let frame_trace = FrameTrace { seq: p.seq, root };
+        self.flight.on_frame(&frame_trace);
+        self.run_detectors(shown, p.unscheduled_wait);
+        self.trace_log.push(frame_trace);
+
+        self.note_latency(shown, p.start);
+        self.fps.record(shown);
+        self.ledger.add_busy(p.app_secs);
+        let interval = (shown - self.last_shown).as_secs_f64();
+        if interval > 0.0 {
+            self.dt_est = 0.9 * self.dt_est + 0.1 * interval;
+        }
+        self.last_shown = self.last_shown.max(shown);
+        self.presented.push(shown);
+    }
+
+    /// Runs the fault-detector chain over this presentation's deltas and
+    /// fires the flight recorder on the highest-ranked hit. Causes
+    /// outrank the symptoms they produce: a total pool loss outranks the
+    /// single-node loss it subsumes, which outranks re-dispatch
+    /// timeouts; the fallback/rejoin mode switches outrank the transport
+    /// noise around them.
+    fn run_detectors(&mut self, shown: SimTime, unscheduled_wait: SimDuration) {
         let retx_now = self.c_retx.get();
         let wakes_now = self.c_wakes.get();
-        let detected = if self.node_loss_pending {
+        let detected = if self.all_lost_pending {
+            self.all_lost_pending = false;
+            self.node_loss_pending = false;
+            Some(Fault::AllNodesLost)
+        } else if self.node_loss_pending {
             self.node_loss_pending = false;
             Some(Fault::NodeLoss)
+        } else if self.fallback_pending {
+            self.fallback_pending = false;
+            Some(Fault::FallbackEngaged)
+        } else if self.rejoin_pending {
+            self.rejoin_pending = false;
+            Some(Fault::NodeRejoined)
         } else if retx_now - self.retx_base >= LOSS_STORM_RETX {
             Some(Fault::LossStorm)
-        } else if p.unscheduled_wait >= DISPATCH_TIMEOUT {
+        } else if unscheduled_wait >= DISPATCH_TIMEOUT {
             Some(Fault::DispatchTimeout)
         } else if wakes_now - self.wakes_base >= FLAP_WAKES {
             Some(Fault::InterfaceFlap)
@@ -850,16 +1251,29 @@ impl OffloadEngine {
                 self.c_dumps.inc();
             }
         }
-        self.trace_log.push(frame_trace);
+    }
 
-        self.fps.record(shown);
-        self.ledger.add_busy(p.app_secs + decode_secs);
-        let interval = (shown - self.last_shown).as_secs_f64();
-        if interval > 0.0 {
-            self.dt_est = 0.9 * self.dt_est + 0.1 * interval;
+    /// Feeds one presented frame's start-to-vsync latency into the SLO
+    /// EWMA and, when not already in fallback, advances the breach
+    /// streak that engages it.
+    fn note_latency(&mut self, shown: SimTime, start: SimTime) {
+        let ms = (shown - start).as_millis_f64();
+        self.latency_ewma = if self.latency_ewma == 0.0 {
+            ms
+        } else {
+            (1.0 - self.slo.alpha) * self.latency_ewma + self.slo.alpha * ms
+        };
+        if self.fallback {
+            return;
         }
-        self.last_shown = self.last_shown.max(shown);
-        self.presented.push(shown);
+        if self.latency_ewma > self.slo.engage_ms {
+            self.breach_streak += 1;
+            if self.breach_streak >= self.slo.breach_frames {
+                self.engage_fallback(shown);
+            }
+        } else {
+            self.breach_streak = 0;
+        }
     }
 
     /// Presents every frame still in flight (end of session).
@@ -911,7 +1325,7 @@ fn run_offloaded(
     let mut meter = PowerMeter::new();
     let ledger = CpuLedger::new(dev.cpu.cores);
     let duty_rng = derived(config.seed, "duty");
-    let mut phone_gpu = GpuModel::new(dev.gpu.clone());
+    let phone_gpu = GpuModel::new(dev.gpu.clone());
 
     // Observability: one registry for the whole pipeline plus a span-tree
     // trace per displayed frame. Attaching is purely observational — every
@@ -939,6 +1353,8 @@ fn run_offloaded(
     let c_retx = registry.counter(names::net::RETRANSMITS);
     let c_wakes = registry.counter(names::net::WIFI_WAKES);
     let flight = FlightRecorder::new(off.flight_recorder_depth);
+    let mut health = HealthMonitor::new(off.service_devices.len(), HealthConfig::default());
+    health.attach_registry(&registry);
 
     // 2. Ship the setup stream to every device (pure state: replicated).
     let setup = gen.setup_trace();
@@ -950,6 +1366,15 @@ fn run_offloaded(
     for rt in &mut runtimes {
         let cmds = rt.decode(&setup_wire.wire)?;
         rt.apply_frame(&cmds, false)?;
+    }
+    // Phone-side reference: decodes the same wire stream the replicas
+    // do, so a rejoin snapshot is always current (docs/RESILIENCE.md).
+    let mut reference_rx = ServiceReceiver::new();
+    let mut reference_ctx = GlContext::new();
+    for cmd in &reference_rx.receive(&setup_wire.wire)? {
+        if cmd.is_state_mutating() {
+            reference_ctx.apply(cmd)?;
+        }
     }
 
     // 3. Run the pipelined engine: issue ahead, receive in completion
@@ -985,6 +1410,31 @@ fn run_offloaded(
         c_redispatch: registry.counter(names::sched::REDISPATCHES),
         c_window_stalls: registry.counter(names::sched::WINDOW_STALLS),
         c_node_failures: registry.counter(names::sched::NODE_FAILURES),
+        c_frames_local: registry.counter(names::session::FRAMES_LOCAL),
+        c_rejoins: registry.counter(names::health::REJOINS),
+        c_resync_bytes: registry.counter(names::health::RESYNC_BYTES),
+        c_fallback_engagements: registry.counter(names::health::FALLBACK_ENGAGEMENTS),
+        local_render_hist: registry.histogram(names::stage::LOCAL_RENDER),
+        health,
+        node_up: vec![true; off.service_devices.len()],
+        node_events: off.faults.node_schedule(),
+        next_event: 0,
+        partitions: off.faults.partitions.clone(),
+        reference_ctx,
+        reference_rx,
+        slo: off.slo,
+        latency_ewma: 0.0,
+        breach_streak: 0,
+        fallback: false,
+        fallback_since: SimTime::ZERO,
+        fallback_frames: 0,
+        fallback_secs: 0.0,
+        local_gpu_free: SimTime::ZERO,
+        phone_gpu,
+        phone_gpu_busy_secs: 0.0,
+        all_lost_pending: false,
+        fallback_pending: false,
+        rejoin_pending: false,
         registry,
         session_id,
         frame_pixels,
@@ -995,7 +1445,7 @@ fn run_offloaded(
         buffer_depth: off.buffer_depth,
         max_inflight: off.max_inflight,
         redispatch_timeout: SimDuration::from_millis(off.redispatch_timeout_ms),
-        faults: off.faults,
+        faults: off.faults.clone(),
         duration: SimTime::from_secs(config.duration_secs),
         node_dead: vec![false; off.service_devices.len()],
         node_loss_pending: false,
@@ -1032,6 +1482,12 @@ fn run_offloaded(
         flight,
         node_dead,
         last_shown,
+        health,
+        mut phone_gpu,
+        phone_gpu_busy_secs,
+        fallback,
+        fallback_since,
+        mut fallback_secs,
         ..
     } = engine;
     let total = last_shown - SimTime::ZERO;
@@ -1042,9 +1498,25 @@ fn run_offloaded(
         dev.cpu.idle_power_w + (dev.cpu.max_power_w - dev.cpu.idle_power_w) * cpu_util,
         total,
     );
-    // The phone GPU only idles (frames come from the network).
-    let gpu_joules = phone_gpu.step(total, 0.0);
+    // The phone GPU idles except for the fallback's local renders (with
+    // no fallback the busy fraction is exactly zero, as before).
+    let gpu_util = if secs > 0.0 {
+        (phone_gpu_busy_secs / secs).min(1.0)
+    } else {
+        0.0
+    };
+    let gpu_joules = phone_gpu.step(total, gpu_util);
     meter.record_joules(Component::Gpu, gpu_joules);
+    if fallback {
+        // Session ended while still rendering locally.
+        fallback_secs += (last_shown - fallback_since).as_secs_f64();
+    }
+    registry
+        .gauge(names::health::POOL_SIZE)
+        .set(health.pool_size() as f64);
+    registry
+        .gauge(names::health::FALLBACK_SECS)
+        .set(fallback_secs);
     meter.record(Component::Display, DISPLAY_POWER_W, total);
     meter.record(Component::Base, BASE_POWER_W, total);
     let wifi_j = transport.wifi_energy_joules();

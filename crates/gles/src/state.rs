@@ -762,6 +762,71 @@ impl GlContext {
         h.finish()
     }
 
+    /// Captures the complete context state for a one-shot resync
+    /// transfer: everything a rejoining replica needs to become
+    /// bit-identical to the donor without replaying the command history
+    /// (cf. the record-and-replay reconstruction in GPUReplay, but
+    /// shipped as a state image rather than a log).
+    pub fn snapshot(&self) -> StateSnapshot {
+        StateSnapshot {
+            textures: self.textures.clone(),
+            buffers: self.buffers.clone(),
+            shaders: self.shaders.clone(),
+            programs: self.programs.clone(),
+            framebuffers: self.framebuffers.clone(),
+            array_buffer: self.array_buffer,
+            element_buffer: self.element_buffer,
+            texture_units: self.texture_units,
+            active_unit: self.active_unit,
+            bound_framebuffer: self.bound_framebuffer,
+            current_program: self.current_program,
+            caps: self.caps.clone(),
+            blend_src: self.blend_src,
+            blend_dst: self.blend_dst,
+            depth_func: self.depth_func,
+            depth_mask: self.depth_mask,
+            clear_color: self.clear_color,
+            clear_depth: self.clear_depth,
+            viewport: self.viewport,
+            scissor: self.scissor,
+            attribs: self.attribs.clone(),
+            frame_textures: self.frame_textures.clone(),
+            frame_stats: self.frame_stats.clone(),
+        }
+    }
+
+    /// Reconstructs a context from a [`StateSnapshot`]. The result is
+    /// bit-identical to the donor at capture time: same
+    /// [`GlContext::digest`], same [`GlContext::resident_bytes`], and it
+    /// responds to subsequent commands exactly as the donor would.
+    pub fn restore(snap: &StateSnapshot) -> GlContext {
+        GlContext {
+            textures: snap.textures.clone(),
+            buffers: snap.buffers.clone(),
+            shaders: snap.shaders.clone(),
+            programs: snap.programs.clone(),
+            framebuffers: snap.framebuffers.clone(),
+            array_buffer: snap.array_buffer,
+            element_buffer: snap.element_buffer,
+            texture_units: snap.texture_units,
+            active_unit: snap.active_unit,
+            bound_framebuffer: snap.bound_framebuffer,
+            current_program: snap.current_program,
+            caps: snap.caps.clone(),
+            blend_src: snap.blend_src,
+            blend_dst: snap.blend_dst,
+            depth_func: snap.depth_func,
+            depth_mask: snap.depth_mask,
+            clear_color: snap.clear_color,
+            clear_depth: snap.clear_depth,
+            viewport: snap.viewport,
+            scissor: snap.scissor,
+            attribs: snap.attribs.clone(),
+            frame_textures: snap.frame_textures.clone(),
+            frame_stats: snap.frame_stats.clone(),
+        }
+    }
+
     fn require_nonnull(&self, raw: u32, what: &str) -> Result<(), GlError> {
         if raw == 0 {
             Err(GlError::InvalidValue(format!("cannot create {what} 0")))
@@ -810,6 +875,102 @@ impl GlContext {
             return Err(GlError::InvalidOperation("draw with no program".into()));
         }
         Ok(())
+    }
+}
+
+/// A serializable image of a [`GlContext`] — every texture, buffer,
+/// shader, program, attrib slot, and binding — used to bring a
+/// rejoining service device current in one transfer (Section VI-B's
+/// replication invariant, re-established without history replay).
+///
+/// Fields stay private: consumers go through [`GlContext::restore`] and
+/// the wire-cost accessor below.
+#[derive(Clone, Debug)]
+pub struct StateSnapshot {
+    textures: BTreeMap<u32, TextureObject>,
+    buffers: BTreeMap<u32, BufferObject>,
+    shaders: BTreeMap<u32, ShaderObject>,
+    programs: BTreeMap<u32, ProgramObject>,
+    framebuffers: BTreeSet<u32>,
+    array_buffer: BufferId,
+    element_buffer: BufferId,
+    texture_units: [Option<TextureId>; MAX_TEXTURE_UNITS],
+    active_unit: u32,
+    bound_framebuffer: FramebufferId,
+    current_program: ProgramId,
+    caps: BTreeSet<CapabilityKey>,
+    blend_src: BlendFactor,
+    blend_dst: BlendFactor,
+    depth_func: DepthFunc,
+    depth_mask: bool,
+    clear_color: [f32; 4],
+    clear_depth: f32,
+    viewport: (i32, i32, u32, u32),
+    scissor: (i32, i32, u32, u32),
+    attribs: Vec<VertexAttrib>,
+    frame_textures: BTreeSet<u32>,
+    frame_stats: FrameStats,
+}
+
+/// Serialized per-object header overheads for the wire-cost model: a
+/// resync ships each object's payload plus a fixed header (id, kind,
+/// dimensions, parameters), and a fixed block for scalar state.
+const SNAP_TEXTURE_HEADER: u64 = 32;
+const SNAP_BUFFER_HEADER: u64 = 16;
+const SNAP_SHADER_HEADER: u64 = 12;
+const SNAP_PROGRAM_HEADER: u64 = 12;
+const SNAP_UNIFORM_BYTES: u64 = 8 + 64;
+const SNAP_ATTRIB_BYTES: u64 = 24;
+const SNAP_SCALAR_BLOCK: u64 = 128;
+
+impl StateSnapshot {
+    /// Deterministic wire cost of shipping this snapshot: object
+    /// payloads (texture texels, buffer contents, shader source) plus
+    /// per-object headers and the scalar-state block. This is what the
+    /// session charges the uplink for a rejoin resync.
+    pub fn wire_bytes(&self) -> u64 {
+        let textures: u64 = self
+            .textures
+            .values()
+            .map(|t| SNAP_TEXTURE_HEADER + t.data.len() as u64)
+            .sum();
+        let buffers: u64 = self
+            .buffers
+            .values()
+            .map(|b| SNAP_BUFFER_HEADER + b.data.len() as u64)
+            .sum();
+        let shaders: u64 = self
+            .shaders
+            .values()
+            .map(|s| SNAP_SHADER_HEADER + s.source.len() as u64)
+            .sum();
+        let programs: u64 = self
+            .programs
+            .values()
+            .map(|p| {
+                SNAP_PROGRAM_HEADER
+                    + p.shaders.len() as u64 * 4
+                    + p.uniforms.len() as u64 * SNAP_UNIFORM_BYTES
+            })
+            .sum();
+        textures
+            + buffers
+            + shaders
+            + programs
+            + self.framebuffers.len() as u64 * 8
+            + self.attribs.len() as u64 * SNAP_ATTRIB_BYTES
+            + SNAP_SCALAR_BLOCK
+    }
+
+    /// Number of captured objects of each kind: `(textures, buffers,
+    /// shaders, programs)`.
+    pub fn object_counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.textures.len(),
+            self.buffers.len(),
+            self.shaders.len(),
+            self.programs.len(),
+        )
     }
 }
 
@@ -1099,6 +1260,100 @@ mod tests {
         .unwrap();
         assert_eq!(ctx.resident_bytes(), 64);
         assert_eq!(ctx.object_counts(), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical_and_stays_in_lockstep() {
+        let mut ctx = GlContext::new();
+        linked_program(&mut ctx, 1);
+        ctx.apply(&GlCommand::GenTexture(TextureId(4))).unwrap();
+        ctx.apply(&GlCommand::BindTexture {
+            target: TextureTarget::Texture2D,
+            texture: TextureId(4),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::TexImage2D {
+            target: TextureTarget::Texture2D,
+            level: 0,
+            format: PixelFormat::Rgba8,
+            width: 2,
+            height: 2,
+            data: Arc::new(vec![7; 16]),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::GenBuffer(BufferId(2))).unwrap();
+        ctx.apply(&GlCommand::BindBuffer {
+            target: BufferTarget::Array,
+            buffer: BufferId(2),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::BufferData {
+            target: BufferTarget::Array,
+            data: Arc::new(vec![1, 2, 3, 4]),
+            usage: BufferUsage::DynamicDraw,
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::Enable(Capability::DepthTest))
+            .unwrap();
+
+        let snap = ctx.snapshot();
+        let mut restored = GlContext::restore(&snap);
+        assert_eq!(restored.digest(), ctx.digest());
+        assert_eq!(restored.resident_bytes(), ctx.resident_bytes());
+        assert_eq!(restored.object_counts(), ctx.object_counts());
+
+        // The restored context must track the donor through further
+        // commands — bindings and per-frame counters included.
+        for c in [
+            GlCommand::ClearColor {
+                r: 0.1,
+                g: 0.2,
+                b: 0.3,
+                a: 1.0,
+            },
+            GlCommand::BufferSubData {
+                target: BufferTarget::Array,
+                offset: 0,
+                data: Arc::new(vec![9, 9]),
+            },
+            GlCommand::SwapBuffers,
+        ] {
+            ctx.apply(&c).unwrap();
+            restored.apply(&c).unwrap();
+        }
+        assert_eq!(restored.digest(), ctx.digest());
+        assert_eq!(restored.end_frame(), ctx.end_frame());
+    }
+
+    #[test]
+    fn snapshot_wire_bytes_cover_payloads_plus_headers() {
+        let empty = GlContext::new().snapshot();
+        let base = empty.wire_bytes();
+        assert!(base >= 128, "scalar block must always be charged");
+
+        let mut ctx = GlContext::new();
+        ctx.apply(&GlCommand::GenTexture(TextureId(1))).unwrap();
+        ctx.apply(&GlCommand::BindTexture {
+            target: TextureTarget::Texture2D,
+            texture: TextureId(1),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::TexImage2D {
+            target: TextureTarget::Texture2D,
+            level: 0,
+            format: PixelFormat::Rgba8,
+            width: 4,
+            height: 4,
+            data: Arc::new(vec![0; 64]),
+        })
+        .unwrap();
+        let snap = ctx.snapshot();
+        assert!(
+            snap.wire_bytes() >= base + 64,
+            "texel payload must be charged: {} vs {base}",
+            snap.wire_bytes()
+        );
+        assert_eq!(snap.object_counts(), (1, 0, 0, 0));
     }
 
     #[test]

@@ -71,6 +71,23 @@ pub struct Datagram {
     pub ctx: TraceContext,
 }
 
+/// Exponential-backoff cap: a datagram's RTO doubles on each expiry up
+/// to `base << MAX_BACKOFF_SHIFT` (8× the configured RTO). A sick link
+/// thus backs off instead of hammering retransmissions at a fixed
+/// cadence, without ever stalling longer than a bounded interval.
+const MAX_BACKOFF_SHIFT: u32 = 3;
+
+/// One unacknowledged datagram tracked by the sender.
+#[derive(Clone, Copy, Debug)]
+struct Inflight {
+    len: usize,
+    /// Most recent transmission time (re-stamped on retransmit).
+    sent: SimTime,
+    /// Retransmissions so far; selects the backoff step.
+    attempts: u32,
+    ctx: TraceContext,
+}
+
 /// Sender-side protocol machine.
 ///
 /// # Examples
@@ -92,11 +109,22 @@ pub struct RudpSender {
     next_seq: u64,
     /// Datagram lengths + trace contexts waiting to enter the window.
     queue: VecDeque<(usize, TraceContext)>,
-    /// In-flight: seq → (len, last send time, trace context).
-    inflight: BTreeMap<u64, (usize, SimTime, TraceContext)>,
+    /// In-flight datagrams by sequence number.
+    inflight: BTreeMap<u64, Inflight>,
     /// Lowest unacknowledged sequence number.
     base: u64,
     retransmissions: u64,
+}
+
+/// Deterministic per-(seq, attempt) jitter hash (FNV-1a). No RNG: the
+/// sender must behave identically across runs for a given input.
+fn backoff_jitter_hash(seq: u64, attempts: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in seq.to_le_bytes().into_iter().chain(attempts.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 impl RudpSender {
@@ -147,7 +175,15 @@ impl RudpSender {
             };
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.inflight.insert(seq, (len, now, ctx));
+            self.inflight.insert(
+                seq,
+                Inflight {
+                    len,
+                    sent: now,
+                    attempts: 0,
+                    ctx,
+                },
+            );
             out.push(Datagram {
                 seq,
                 len,
@@ -167,19 +203,44 @@ impl RudpSender {
         self.base = ack_seq;
     }
 
-    /// Datagrams whose RTO expired; re-stamps their send time. The
-    /// retransmitted datagrams carry the original trace context.
+    /// Effective RTO for a datagram on its `attempts`-th retransmission:
+    /// the configured base doubled per prior expiry (capped at
+    /// `<< MAX_BACKOFF_SHIFT`) plus a deterministic jitter of up to a
+    /// quarter RTO. The first timeout uses the bare base RTO so a single
+    /// loss recovers as fast as the fixed-RTO design did; jitter only
+    /// kicks in once a datagram has already been retransmitted, spreading
+    /// repeat offenders apart instead of synchronizing them.
+    fn backoff_rto(&self, seq: u64, attempts: u32) -> SimDuration {
+        let base = self.config.rto.as_micros() << attempts.min(MAX_BACKOFF_SHIFT);
+        let jitter = if attempts == 0 {
+            0
+        } else {
+            backoff_jitter_hash(seq, attempts) % (self.config.rto.as_micros() / 4).max(1)
+        };
+        SimDuration::from_micros(base + jitter)
+    }
+
+    /// Datagrams whose backoff deadline expired; re-stamps their send
+    /// time and bumps their attempt counter so the next deadline is
+    /// further out. The retransmitted datagrams carry the original trace
+    /// context.
     pub fn poll_retransmit(&mut self, now: SimTime) -> Vec<Datagram> {
-        let rto = self.config.rto;
         let mut out = Vec::new();
-        for (&seq, entry) in self.inflight.iter_mut() {
-            if now - entry.1 >= rto {
-                entry.1 = now;
+        let deadlines: Vec<(u64, SimDuration)> = self
+            .inflight
+            .iter()
+            .map(|(&seq, e)| (seq, self.backoff_rto(seq, e.attempts)))
+            .collect();
+        for (seq, rto) in deadlines {
+            let entry = self.inflight.get_mut(&seq).expect("inflight entry");
+            if now - entry.sent >= rto {
+                entry.sent = now;
+                entry.attempts += 1;
                 out.push(Datagram {
                     seq,
-                    len: entry.0,
+                    len: entry.len,
                     retransmit: true,
-                    ctx: entry.2,
+                    ctx: entry.ctx,
                 });
             }
         }
@@ -187,11 +248,11 @@ impl RudpSender {
         out
     }
 
-    /// Earliest pending RTO deadline, if any packet is in flight.
+    /// Earliest pending backoff deadline, if any packet is in flight.
     pub fn next_rto_deadline(&self) -> Option<SimTime> {
         self.inflight
-            .values()
-            .map(|&(_, sent, _)| sent + self.config.rto)
+            .iter()
+            .map(|(&seq, e)| e.sent + self.backoff_rto(seq, e.attempts))
             .min()
     }
 
@@ -199,10 +260,7 @@ impl RudpSender {
     /// `seq` would retire (for RTT sampling; uses the most recent
     /// transmission of each datagram).
     pub fn sent_times_below(&self, seq: u64) -> Vec<SimTime> {
-        self.inflight
-            .range(..seq)
-            .map(|(_, &(_, sent, _))| sent)
-            .collect()
+        self.inflight.range(..seq).map(|(_, e)| e.sent).collect()
     }
 
     /// True once every queued datagram is acknowledged.
@@ -741,6 +799,48 @@ mod tests {
         assert_eq!(re.len(), 1);
         assert!(re[0].retransmit);
         assert_eq!(tx.retransmissions(), 1);
+    }
+
+    #[test]
+    fn retransmit_spacing_backs_off_exponentially_and_caps() {
+        let cfg = RudpConfig::default();
+        let mut tx = RudpSender::new(cfg);
+        tx.enqueue(100); // one datagram, never acked
+        tx.poll_send(SimTime::ZERO);
+        let base = cfg.rto.as_micros();
+        let mut prev = SimTime::ZERO;
+        let mut spacings = Vec::new();
+        for _ in 0..8 {
+            let deadline = tx.next_rto_deadline().expect("packet in flight");
+            let re = tx.poll_retransmit(deadline);
+            assert_eq!(re.len(), 1, "deadline must fire exactly one retransmit");
+            spacings.push((deadline - prev).as_micros());
+            prev = deadline;
+        }
+        // First timeout is the bare configured RTO: a one-off loss must
+        // recover exactly as fast as the fixed-RTO design.
+        assert_eq!(spacings[0], base);
+        // Backoff grows strictly until the cap...
+        for pair in spacings[..=MAX_BACKOFF_SHIFT as usize].windows(2) {
+            assert!(pair[1] > pair[0], "spacing must grow: {spacings:?}");
+        }
+        // ...then every later spacing sits at 8x the base plus at most a
+        // quarter-RTO of deterministic jitter.
+        for &s in &spacings[MAX_BACKOFF_SHIFT as usize..] {
+            assert!(
+                s >= base << MAX_BACKOFF_SHIFT && s < (base << MAX_BACKOFF_SHIFT) + base / 4,
+                "capped spacing out of range: {spacings:?}"
+            );
+        }
+        // Deterministic: an identical sender replays identical deadlines.
+        let mut tx2 = RudpSender::new(cfg);
+        tx2.enqueue(100);
+        tx2.poll_send(SimTime::ZERO);
+        for _ in 0..8 {
+            let d = tx2.next_rto_deadline().unwrap();
+            tx2.poll_retransmit(d);
+        }
+        assert_eq!(tx.next_rto_deadline(), tx2.next_rto_deadline());
     }
 
     #[test]

@@ -16,6 +16,12 @@ use crate::report::TelemetrySnapshot;
 use crate::trace::FrameTrace;
 
 /// The fault classes the session engine detects.
+///
+/// The engine's detector chain ranks these by severity when several
+/// symptoms coincide on one frame: pool-wide loss outranks a single
+/// node's death, which outranks the fallback flip it caused, which
+/// outranks the rejoin that healed it, which outranks the transport
+/// symptoms (storm, timeout, flap) that ride along as side effects.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Fault {
     /// A burst of datagram retransmissions above the storm threshold.
@@ -27,6 +33,13 @@ pub enum Fault {
     /// A service node stopped responding and its in-flight frames were
     /// re-dispatched.
     NodeLoss,
+    /// Every service node is dead: the session has no remote pool left.
+    AllNodesLost,
+    /// The engine flipped SwapBuffers to the local-render path (pool
+    /// empty or SLO breached for K consecutive frames).
+    FallbackEngaged,
+    /// A dead node completed its state resync and re-entered the pool.
+    NodeRejoined,
 }
 
 impl Fault {
@@ -37,6 +50,9 @@ impl Fault {
             Fault::DispatchTimeout => "dispatch_timeout",
             Fault::InterfaceFlap => "interface_flap",
             Fault::NodeLoss => "node_loss",
+            Fault::AllNodesLost => "all_nodes_lost",
+            Fault::FallbackEngaged => "fallback_engaged",
+            Fault::NodeRejoined => "node_rejoined",
         }
     }
 }

@@ -34,6 +34,9 @@ pub mod stage {
     pub const DECODE: &str = "stage.decode";
     /// Wait for the next vsync after decode completes.
     pub const DISPLAY_WAIT: &str = "stage.display_wait";
+    /// Phone-GPU rasterization on the fallback path (not part of
+    /// [`PIPELINE`]: fallback frames never cross the radio).
+    pub const LOCAL_RENDER: &str = "stage.local_render";
     /// End-to-end frame latency histogram (µs).
     pub const TOTAL: &str = "frame.total";
 
@@ -96,6 +99,29 @@ pub mod flight {
     /// Postmortem dumps emitted — the one-shot latch caps this at 1
     /// per recorder (counter).
     pub const DUMPS: &str = "flight.dumps";
+}
+
+/// Service-pool health monitor and local-render fallback
+/// (crates/core/src/health.rs + crates/core/src/session.rs).
+pub mod health {
+    /// Service nodes currently Healthy (gauge).
+    pub const POOL_SIZE: &str = "health.pool_size";
+    /// Healthy → Suspect transitions observed (counter).
+    pub const SUSPECT_TRANSITIONS: &str = "health.suspect_transitions";
+    /// Suspect → Dead transitions observed (counter).
+    pub const DEAD_TRANSITIONS: &str = "health.dead_transitions";
+    /// Nodes re-admitted to the pool after a state resync (counter).
+    pub const REJOINS: &str = "health.rejoins";
+    /// Bytes shipped in one-shot rejoin resync transfers (counter).
+    pub const RESYNC_BYTES: &str = "health.resync_bytes";
+    /// Liveness probes issued (counter).
+    pub const PROBES: &str = "health.probes";
+    /// Probes that timed out against the adaptive deadline (counter).
+    pub const PROBE_TIMEOUTS: &str = "health.probe_timeouts";
+    /// Times the engine flipped SwapBuffers to local rendering (counter).
+    pub const FALLBACK_ENGAGEMENTS: &str = "health.fallback_engagements";
+    /// Accumulated seconds spent in the local-render fallback (gauge).
+    pub const FALLBACK_SECS: &str = "health.fallback_secs";
 }
 
 /// Per-interface radio gauges (crates/net/src/switch.rs). Time-in-state
@@ -197,6 +223,8 @@ pub mod session {
     pub const FRAMES_DEGRADED: &str = "frames.degraded";
     /// Choreographer ticks with no redraw (counter).
     pub const FRAMES_IDLE: &str = "frames.idle";
+    /// Frames rendered on the phone GPU by the fallback path (counter).
+    pub const FRAMES_LOCAL: &str = "frames.local_fallback";
     /// Busy single-core CPU time (counter, µs).
     pub const CPU_BUSY_US: &str = "cpu.busy_core_us";
     /// Whole-chip CPU utilization in `[0, 1]` (gauge).

@@ -8,6 +8,7 @@ use gbooster::codec::{jpeg, lz4};
 use gbooster::core::scheduler::{Dispatcher, ReorderBuffer, ServiceNode};
 use gbooster::gles::command::{GlCommand, UniformValue, VertexSource};
 use gbooster::gles::serialize::{decode_command, decode_stream, encode_command, encode_stream};
+use gbooster::gles::state::GlContext;
 use gbooster::gles::types::{
     AttribType, BlendFactor, BufferId, BufferTarget, BufferUsage, Capability, ClearMask, IndexType,
     PixelFormat, Primitive, ProgramId, ShaderId, ShaderKind, TextureId, TextureTarget,
@@ -169,6 +170,26 @@ proptest! {
     #[test]
     fn wire_decoder_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
         let _ = decode_stream(&bytes); // error or success, never a panic
+    }
+
+    /// The rejoin resync path (docs/RESILIENCE.md) hands a node a
+    /// snapshot instead of the command history: for any command prefix,
+    /// restoring the snapshot must reproduce the context bit-exactly —
+    /// same state digest, same resident GPU memory.
+    #[test]
+    fn snapshot_restore_preserves_digest_and_residency(
+        cmds in prop::collection::vec(arb_command(), 0..60)
+    ) {
+        let mut ctx = GlContext::new();
+        for cmd in &cmds {
+            // Arbitrary prefixes are not always valid GL: apply errors
+            // are fine, panics are not.
+            let _ = ctx.apply(cmd);
+        }
+        let snap = ctx.snapshot();
+        let restored = GlContext::restore(&snap);
+        prop_assert_eq!(restored.digest(), ctx.digest());
+        prop_assert_eq!(restored.resident_bytes(), ctx.resident_bytes());
     }
 
     #[test]

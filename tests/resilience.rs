@@ -1,0 +1,264 @@
+//! Deterministic chaos matrix for the session-resilience path: the
+//! health-monitored pool, rejoin-via-resync, and the local-render
+//! fallback (docs/RESILIENCE.md).
+//!
+//! Three fault shapes — a node flap (kill then revive), a probe-link
+//! partition window, and a total pool loss followed by recovery — each
+//! across {1, 2, 4} service nodes, each run twice from the same seed.
+//! Every scenario must present frames strictly in order with no gaps or
+//! duplicates, keep the surviving-and-rejoined GL replicas
+//! bit-identical, engage/release the fallback without oscillating, and
+//! reproduce byte-for-byte on the second run. Run with
+//! `--test-threads=1` in CI to keep failure output readable.
+
+use gbooster::core::config::{
+    ExecutionMode, FaultInjection, LinkPartition, NodeEvent, OffloadConfig, SessionConfig,
+};
+use gbooster::core::session::{Session, SessionReport};
+use gbooster::sim::device::DeviceSpec;
+use gbooster::telemetry::{names, Fault};
+use gbooster::workload::games::GameTitle;
+
+fn pool(nodes: usize) -> Vec<DeviceSpec> {
+    let all = [
+        DeviceSpec::nvidia_shield(),
+        DeviceSpec::dell_optiplex_9010(),
+        DeviceSpec::dell_m4600(),
+        DeviceSpec::minix_neo_u1(),
+    ];
+    all[..nodes].to_vec()
+}
+
+fn scenario(nodes: usize, seed: u64, faults: FaultInjection) -> SessionConfig {
+    SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+        .duration_secs(6)
+        .seed(seed)
+        .mode(ExecutionMode::Offloaded(OffloadConfig {
+            service_devices: pool(nodes),
+            faults,
+            ..OffloadConfig::default()
+        }))
+        .build()
+}
+
+/// A node drops off the network and comes back: probes detect the
+/// death, the node rejoins via one state resync once it answers again.
+fn flap(nodes: usize) -> FaultInjection {
+    let victim = nodes - 1;
+    FaultInjection {
+        node_events: vec![
+            NodeEvent::Kill {
+                frame: 40,
+                node: victim,
+            },
+            NodeEvent::Revive {
+                frame: 120,
+                node: victim,
+            },
+        ],
+        ..FaultInjection::default()
+    }
+}
+
+/// The node itself stays up but its probe link is partitioned for a
+/// window: the health monitor must declare it dead (its stale GL state
+/// is untrusted) and resync it when the partition heals.
+fn partition(_nodes: usize) -> FaultInjection {
+    FaultInjection {
+        partitions: vec![LinkPartition {
+            node: 0,
+            from_frame: 40,
+            until_frame: 110,
+        }],
+        ..FaultInjection::default()
+    }
+}
+
+/// Every node dies at once, then the whole pool recovers: the engine
+/// must flip to local rendering immediately, keep presenting, and
+/// re-offload after the rejoins and the release hysteresis.
+fn all_dead_then_recover(nodes: usize) -> FaultInjection {
+    let mut node_events = Vec::new();
+    for node in 0..nodes {
+        node_events.push(NodeEvent::Kill { frame: 50, node });
+        node_events.push(NodeEvent::Revive { frame: 150, node });
+    }
+    FaultInjection {
+        node_events,
+        ..FaultInjection::default()
+    }
+}
+
+/// Invariants every chaos scenario must uphold.
+fn assert_invariants(report: &SessionReport, label: &str) {
+    assert!(report.frames > 0, "{label}: session must present frames");
+
+    // Every frame presented exactly once, in order, with no gaps: the
+    // trace log records frames in display order.
+    let seqs: Vec<u64> = report.trace.frames().iter().map(|f| f.seq).collect();
+    assert_eq!(
+        seqs.len() as u64,
+        report.frames,
+        "{label}: one trace per frame"
+    );
+    for (i, &seq) in seqs.iter().enumerate() {
+        assert_eq!(
+            seq, i as u64,
+            "{label}: presentation must be gapless, in order, duplicate-free"
+        );
+    }
+
+    // Surviving and rejoined replicas end bit-identical: the resync
+    // path must hand back exactly the reference state.
+    assert!(report.state_consistent, "{label}: GL replicas must agree");
+
+    // The fallback never oscillates: at most one engagement per fault
+    // shape (hysteresis + release dwell).
+    assert!(
+        report
+            .telemetry
+            .counter(names::health::FALLBACK_ENGAGEMENTS)
+            <= 1,
+        "{label}: fallback must not oscillate"
+    );
+}
+
+fn assert_reproducible(a: &SessionReport, b: &SessionReport, label: &str) {
+    assert_eq!(
+        a.frame_trace_jsonl(),
+        b.frame_trace_jsonl(),
+        "{label}: frame traces must be byte-identical across runs"
+    );
+    assert_eq!(a.frames, b.frames, "{label}");
+    assert_eq!(a.per_device_requests, b.per_device_requests, "{label}");
+    assert_eq!(a.median_fps.to_bits(), b.median_fps.to_bits(), "{label}");
+    assert_eq!(a.uplink_bytes, b.uplink_bytes, "{label}");
+    assert_eq!(a.downlink_bytes, b.downlink_bytes, "{label}");
+    assert_eq!(
+        a.telemetry.counter(names::health::REJOINS),
+        b.telemetry.counter(names::health::REJOINS),
+        "{label}"
+    );
+    assert_eq!(
+        a.telemetry.counter(names::session::FRAMES_LOCAL),
+        b.telemetry.counter(names::session::FRAMES_LOCAL),
+        "{label}"
+    );
+}
+
+fn run_twice(nodes: usize, seed: u64, faults: FaultInjection, label: &str) -> SessionReport {
+    let config = scenario(nodes, seed, faults);
+    let first = Session::run(&config);
+    assert_invariants(&first, label);
+    let second = Session::run(&config);
+    assert_reproducible(&first, &second, label);
+    first
+}
+
+#[test]
+fn node_flap_is_detected_rejoined_and_reproducible() {
+    for (i, nodes) in [1usize, 2, 4].into_iter().enumerate() {
+        let label = format!("flap, {nodes} node(s)");
+        let report = run_twice(nodes, 11_000 + i as u64, flap(nodes), &label);
+        assert!(
+            report.telemetry.counter(names::sched::NODE_FAILURES) >= 1,
+            "{label}: the kill must be detected"
+        );
+        assert_eq!(
+            report.telemetry.counter(names::health::REJOINS),
+            1,
+            "{label}: the revived node must resync exactly once"
+        );
+        assert!(
+            report.telemetry.counter(names::health::RESYNC_BYTES) > 0,
+            "{label}: the resync must cost wire bytes"
+        );
+        if nodes == 1 {
+            // Killing the only node empties the pool: frames must keep
+            // presenting from the phone GPU until the rejoin.
+            assert!(
+                report.telemetry.counter(names::session::FRAMES_LOCAL) > 0,
+                "{label}: fallback must carry the outage"
+            );
+        } else {
+            assert_eq!(
+                report
+                    .telemetry
+                    .counter(names::health::FALLBACK_ENGAGEMENTS),
+                0,
+                "{label}: survivors must absorb the load without fallback"
+            );
+        }
+    }
+}
+
+#[test]
+fn probe_partition_window_evicts_then_resyncs_the_node() {
+    for (i, nodes) in [1usize, 2, 4].into_iter().enumerate() {
+        let label = format!("partition, {nodes} node(s)");
+        let report = run_twice(nodes, 12_000 + i as u64, partition(nodes), &label);
+        assert!(
+            report.telemetry.counter(names::sched::NODE_FAILURES) >= 1,
+            "{label}: the probe misses must evict the node"
+        );
+        assert!(
+            report.telemetry.counter(names::health::PROBE_TIMEOUTS) >= 3,
+            "{label}: the eviction must come from the probe walk"
+        );
+        assert_eq!(
+            report.telemetry.counter(names::health::REJOINS),
+            1,
+            "{label}: the healed node must resync exactly once"
+        );
+    }
+}
+
+#[test]
+fn total_pool_loss_falls_back_locally_and_recovers() {
+    for (i, nodes) in [1usize, 2, 4].into_iter().enumerate() {
+        let label = format!("all-dead, {nodes} node(s)");
+        let report = run_twice(
+            nodes,
+            13_000 + i as u64,
+            all_dead_then_recover(nodes),
+            &label,
+        );
+        assert!(
+            report.telemetry.counter(names::session::FRAMES_LOCAL) > 0,
+            "{label}: the outage must be carried by local rendering"
+        );
+        assert_eq!(
+            report
+                .telemetry
+                .counter(names::health::FALLBACK_ENGAGEMENTS),
+            1,
+            "{label}: one engagement, one release — no oscillation"
+        );
+        assert_eq!(
+            report.telemetry.counter(names::health::REJOINS),
+            nodes as u64,
+            "{label}: every node must rejoin via resync"
+        );
+        // Offloading must actually resume after the recovery: local
+        // frames cover the outage, not the remainder of the session.
+        assert!(
+            report.telemetry.counter(names::session::FRAMES_LOCAL) < report.frames,
+            "{label}: offloading must resume after recovery"
+        );
+        // The highest-ranked fault wins the first dump: a total pool
+        // loss, not the per-node losses it subsumes.
+        let dump = report
+            .flight
+            .as_ref()
+            .expect("total pool loss must trigger a flight dump");
+        assert_eq!(
+            dump.fault,
+            Fault::AllNodesLost,
+            "{label}: total loss must outrank its symptoms"
+        );
+        assert!(
+            report.telemetry.gauge(names::health::FALLBACK_SECS) > 0.0,
+            "{label}: time-in-fallback must be accounted"
+        );
+    }
+}
