@@ -1,0 +1,38 @@
+//! Regenerates the committed bench baselines: deterministic multi-seed
+//! runs of the `fig5` and `traffic` benches, written as
+//! `BENCH_fig5.json` and `BENCH_traffic.json` in the working directory
+//! (the repo root, when run via `run_experiments.sh`).
+//!
+//! The committed baselines are collected under `GBOOSTER_BENCH_SMOKE=1`
+//! so the CI gate compares like for like; `benchdiff` refuses to compare
+//! across a smoke-mode mismatch. See docs/OBSERVABILITY.md for the
+//! baseline refresh policy.
+
+use gbooster_bench::baseline::{baseline_seeds, collect, Baseline};
+use gbooster_bench::{header, smoke};
+
+fn main() {
+    for bench in ["fig5", "traffic"] {
+        header(&format!(
+            "collecting {bench} baseline (seeds {:?}, smoke={})",
+            baseline_seeds(),
+            smoke()
+        ));
+        let run = collect(bench);
+        let base = Baseline::from_run(&run);
+        for (name, m) in &base.metrics {
+            println!(
+                "  {name:<24} mean {:>12.4}  sd {:>10.4}  ci95 ±{:>10.4}  [{}{}]",
+                m.mean,
+                m.sd,
+                m.ci95,
+                m.direction.tag(),
+                if m.gated { ", gated" } else { "" },
+            );
+        }
+        let path = format!("BENCH_{bench}.json");
+        std::fs::write(&path, base.to_json()).expect("write baseline");
+        println!("\nwrote {path}");
+        println!("{}", run.attribution.render_top(5));
+    }
+}

@@ -1,0 +1,170 @@
+//! The bench regression gate.
+//!
+//! Default mode re-runs the `fig5` and `traffic` benches with the
+//! baseline seeds and compares every gated metric against the committed
+//! `BENCH_fig5.json` / `BENCH_traffic.json` baselines. A statistically
+//! significant regression beyond the metric's configured tolerance
+//! prints the attribution diff that explains the shift and exits
+//! non-zero. The committed baselines are smoke-mode runs, so the gate
+//! must run under `GBOOSTER_BENCH_SMOKE=1`; a smoke-flag mismatch is a
+//! hard error rather than a silent apples-to-oranges comparison.
+//!
+//! `benchdiff report-diff <a.json> <b.json>` instead diffs the
+//! attribution tables of two report files (bench baselines, or any JSON
+//! carrying an `attribution` object) and prints what changed.
+//!
+//! `GBOOSTER_BENCH_INJECT_LATENCY_PCT=<pct>` skews every
+//! latency-direction metric and the fresh attribution time table by
+//! `<pct>` percent — the CI self-test that proves the gate trips.
+
+use std::process::ExitCode;
+
+use gbooster_bench::baseline::{
+    apply_latency_injection, collect, compare_runs, injected_latency_pct, Baseline,
+};
+use gbooster_bench::{header, smoke};
+use gbooster_telemetry::json;
+use gbooster_telemetry::{attribution_diff, AttributionSnapshot};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report-diff") => report_diff(&args[1..]),
+        Some("gate") | None => gate(),
+        Some(other) => {
+            eprintln!("unknown mode {other:?}; usage: benchdiff [gate | report-diff <a> <b>]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Loads an attribution snapshot from a report file: either a bench
+/// baseline (attribution under the `attribution` key) or a bare
+/// attribution object.
+fn load_attribution(path: &str) -> Result<AttributionSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let v = json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let node = match v.as_obj().and_then(|o| o.get("attribution")) {
+        Some(inner) => inner,
+        None => &v,
+    };
+    AttributionSnapshot::from_json_value(node).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `report-diff <a> <b>`: explain what changed between two reports.
+fn report_diff(paths: &[String]) -> ExitCode {
+    let [a, b] = paths else {
+        eprintln!("usage: benchdiff report-diff <before.json> <after.json>");
+        return ExitCode::from(2);
+    };
+    let before = match load_attribution(a) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let after = match load_attribution(b) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diff = attribution_diff(&before, &after);
+    if diff.is_empty() {
+        println!("no attribution changes between {a} and {b}");
+    } else {
+        println!("attribution changes, {a} -> {b}:\n");
+        println!("{}", diff.render(10));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Default mode: fresh runs vs the committed baselines.
+fn gate() -> ExitCode {
+    let inject = injected_latency_pct();
+    let mut failed = false;
+    for bench in ["fig5", "traffic"] {
+        let path = format!("BENCH_{bench}.json");
+        let base = match std::fs::read_to_string(&path)
+            .map_err(|e| format!("read {path}: {e} (run bench_baseline to create it)"))
+            .and_then(|text| Baseline::from_json(&text).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if base.smoke != smoke() {
+            eprintln!(
+                "error: {path} was collected with smoke={}, this run has smoke={} — \
+                 set GBOOSTER_BENCH_SMOKE accordingly or refresh the baseline",
+                base.smoke,
+                smoke()
+            );
+            return ExitCode::from(2);
+        }
+        header(&format!("benchdiff: {bench} vs {path}"));
+        if inject != 0.0 {
+            println!("  !! synthetic latency injection active: +{inject}%\n");
+        }
+        let mut fresh = collect(bench);
+        if inject != 0.0 {
+            apply_latency_injection(&mut fresh, inject);
+        }
+        let regressions = compare_runs(&base, &fresh);
+        for (name, m) in &base.metrics {
+            let fresh_mean = fresh
+                .samples
+                .get(name)
+                .map_or(f64::NAN, |s| s.iter().sum::<f64>() / s.len() as f64);
+            let delta_pct = (fresh_mean - m.mean) / m.mean.abs() * 100.0;
+            let flag = if regressions.iter().any(|r| &r.metric == name) {
+                "  << REGRESSION"
+            } else if !m.gated {
+                "  (ungated)"
+            } else {
+                ""
+            };
+            println!(
+                "  {name:<24} base {:>12.4} ±{:>9.4}  fresh {:>12.4}  Δ {:>+7.2}%{flag}",
+                m.mean, m.ci95, fresh_mean, delta_pct
+            );
+        }
+        if regressions.is_empty() {
+            println!("\n  {bench}: OK — all gated metrics within tolerance");
+            continue;
+        }
+        failed = true;
+        println!();
+        for r in &regressions {
+            println!(
+                "  REGRESSION {}: {:.4} -> {:.4} ({:+.1}% in the bad direction, tolerance {:.0}%, Welch t {:.2})",
+                r.metric,
+                r.base_mean,
+                r.fresh_mean,
+                r.bad_delta * 100.0,
+                r.tolerance * 100.0,
+                r.welch_t
+            );
+        }
+        let diff = attribution_diff(&base.attribution, &fresh.attribution);
+        if diff.is_empty() {
+            println!(
+                "\n  (no attribution shift recorded — the change is outside the attributed axes)"
+            );
+        } else {
+            println!("\n  attribution diff (baseline -> fresh) for the offending metrics:\n");
+            println!("{}", diff.render(10));
+        }
+    }
+    if failed {
+        eprintln!("benchdiff: regression gate FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("\nbenchdiff: regression gate passed");
+        ExitCode::SUCCESS
+    }
+}

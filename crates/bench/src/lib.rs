@@ -13,6 +13,9 @@
 //! cargo run --release -p gbooster-bench --bin fig5_acceleration
 //! ```
 
+pub mod baseline;
+pub mod stats;
+
 use std::path::PathBuf;
 
 use gbooster_core::config::{ExecutionMode, OffloadConfig, SessionConfig};

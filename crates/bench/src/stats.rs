@@ -1,0 +1,153 @@
+//! Small-sample statistics for the self-baselining bench suite: mean,
+//! sample standard deviation, 95 % confidence intervals (Student's t),
+//! and Welch's two-sample t-test.
+//!
+//! Everything is hand-rolled because the workspace has no stats
+//! dependency; the t-distribution critical values are tabulated for the
+//! small degree-of-freedom range the three-seed bench runs produce.
+
+/// Two-sided 95 % critical values of Student's t for df = 1..=30.
+/// Beyond the table the normal approximation (1.96) is close enough.
+const T95: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// Two-sided 95 % t critical value for (possibly fractional) degrees of
+/// freedom, as produced by the Welch–Satterthwaite approximation.
+/// Fractional df conservatively round *down* (a larger critical value).
+#[must_use]
+pub fn t_crit_95(df: f64) -> f64 {
+    if !df.is_finite() || df < 1.0 {
+        return T95[0];
+    }
+    let idx = (df.floor() as usize).min(30);
+    if idx >= 30 {
+        1.96
+    } else {
+        T95[idx - 1]
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n − 1 denominator); 0.0 for n < 2.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of the two-sided 95 % confidence interval of the mean
+/// (`t · s/√n`); 0.0 for n < 2.
+#[must_use]
+pub fn ci95(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let df = (xs.len() - 1) as f64;
+    t_crit_95(df) * stddev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Result of Welch's t-test comparing two sample means.
+#[derive(Clone, Copy, Debug)]
+pub struct Welch {
+    /// The t statistic (0.0 when both variances are zero).
+    pub t: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub df: f64,
+    /// True when the means differ at the 95 % level. When both samples
+    /// have zero variance (fully deterministic runs) any difference in
+    /// means is significant by construction.
+    pub significant: bool,
+}
+
+/// Welch's unequal-variance t-test between samples `a` and `b`.
+#[must_use]
+pub fn welch(a: &[f64], b: &[f64]) -> Welch {
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    if a.len() < 2 || b.len() < 2 {
+        let differ = mean(a) != mean(b);
+        return Welch {
+            t: if differ { f64::INFINITY } else { 0.0 },
+            df: 1.0,
+            significant: differ,
+        };
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (stddev(a).powi(2), stddev(b).powi(2));
+    let se2 = va / na + vb / nb;
+    if se2 == 0.0 {
+        // Deterministic samples: identical seeds always reproduce the
+        // same values, so any mean shift is a real change.
+        let differ = ma != mb;
+        return Welch {
+            t: if differ { f64::INFINITY } else { 0.0 },
+            df: f64::INFINITY,
+            significant: differ,
+        };
+    }
+    let t = (ma - mb) / se2.sqrt();
+    let df = se2.powi(2)
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0)).max(f64::MIN_POSITIVE);
+    Welch {
+        t,
+        df,
+        significant: t.abs() > t_crit_95(df),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_sd_ci_match_hand_computed_values() {
+        let xs = [2.0, 4.0, 6.0];
+        assert!((mean(&xs) - 4.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+        // t(df=2) = 4.303, s/sqrt(n) = 2/sqrt(3)
+        let expected = 4.303 * 2.0 / 3.0_f64.sqrt();
+        assert!((ci95(&xs) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welch_flags_a_clear_shift_and_ignores_noise() {
+        let a = [10.0, 10.1, 9.9];
+        let b = [12.0, 12.1, 11.9];
+        assert!(welch(&a, &b).significant, "clear 20% shift");
+        let c = [10.0, 10.1, 9.9];
+        assert!(!welch(&a, &c).significant, "same distribution");
+    }
+
+    #[test]
+    fn welch_treats_deterministic_shift_as_significant() {
+        let a = [5.0, 5.0, 5.0];
+        let b = [5.5, 5.5, 5.5];
+        let w = welch(&a, &b);
+        assert!(w.significant);
+        assert!(!welch(&a, &a.clone()).significant);
+    }
+
+    #[test]
+    fn t_table_covers_small_df_and_falls_back_to_normal() {
+        assert!((t_crit_95(1.0) - 12.706).abs() < 1e-9);
+        assert!(
+            (t_crit_95(2.9) - 4.303).abs() < 1e-9,
+            "fractional df rounds down"
+        );
+        assert!((t_crit_95(100.0) - 1.96).abs() < 1e-9);
+    }
+}

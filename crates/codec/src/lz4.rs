@@ -41,6 +41,33 @@ impl std::fmt::Display for Lz4Error {
 
 impl std::error::Error for Lz4Error {}
 
+/// Per-call accounting emitted by [`compress_framed`], consumed by the
+/// uplink attribution profiler to report the LZ4 residual.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Lz4Frame {
+    /// Bytes fed to the compressor (the token stream).
+    pub input_bytes: u64,
+    /// Bytes produced (the LZ4 block, before any transport framing).
+    pub output_bytes: u64,
+}
+
+impl Lz4Frame {
+    /// Bytes removed by compression (zero when the block grew).
+    pub fn savings(&self) -> u64 {
+        self.input_bytes.saturating_sub(self.output_bytes)
+    }
+}
+
+/// [`compress`] plus exact input/output byte accounting for attribution.
+pub fn compress_framed(input: &[u8]) -> (Vec<u8>, Lz4Frame) {
+    let out = compress(input);
+    let frame = Lz4Frame {
+        input_bytes: input.len() as u64,
+        output_bytes: out.len() as u64,
+    };
+    (out, frame)
+}
+
 #[inline]
 fn hash(word: u32) -> usize {
     // Fibonacci hashing on the 4-byte window.

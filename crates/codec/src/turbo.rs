@@ -18,7 +18,7 @@
 //!   { u16 tx | u16 ty | u32 len | jpeg bytes } * tile_count
 //! ```
 
-use gbooster_telemetry::{names, Counter, Registry};
+use gbooster_telemetry::{names, AttributionLog, Counter, Registry};
 
 use crate::jpeg;
 
@@ -177,6 +177,7 @@ pub struct TurboEncoder {
     /// Raw previous frame, for change detection.
     prev_raw: Option<Vec<u8>>,
     counters: Option<TurboCounters>,
+    attr: Option<AttributionLog>,
 }
 
 /// Pre-resolved registry handles for the encoder counters.
@@ -203,6 +204,7 @@ impl TurboEncoder {
             quality: quality.clamp(1, 100),
             prev_raw: None,
             counters: None,
+            attr: None,
         }
     }
 
@@ -216,6 +218,13 @@ impl TurboEncoder {
             encoded_bytes: registry.counter(names::service::TURBO_ENCODED_BYTES),
             raw_bytes: registry.counter(names::service::TURBO_RAW_BYTES),
         });
+    }
+
+    /// Mirrors every encode into `log`'s downlink table: keyframes
+    /// under `jpeg.keyframe`, delta frames under `turbo.tile_delta`.
+    /// Purely observational — encoded output is unchanged.
+    pub fn attach_attribution(&mut self, log: AttributionLog) {
+        self.attr = Some(log);
     }
 
     /// Grid dimensions in tiles.
@@ -282,6 +291,14 @@ impl TurboEncoder {
             c.tiles_total.add(stats.tiles_total as u64);
             c.encoded_bytes.add(stats.encoded_bytes as u64);
             c.raw_bytes.add(stats.raw_bytes as u64);
+        }
+        if let Some(attr) = &self.attr {
+            let kind = if is_key {
+                names::attr::KIND_KEYFRAME
+            } else {
+                names::attr::KIND_TILE_DELTA
+            };
+            attr.record_downlink(kind, stats.encoded_bytes as u64);
         }
         self.prev_raw = Some(rgba.to_vec());
         (out, stats)
@@ -478,6 +495,26 @@ mod tests {
         enc.reset();
         let (_, stats) = enc.encode(&frame);
         assert_eq!(stats.tiles_sent, 4);
+    }
+
+    #[test]
+    fn attribution_splits_keyframes_from_deltas() {
+        let log = AttributionLog::new();
+        let mut enc = TurboEncoder::new(64, 64, 85);
+        enc.attach_attribution(log.clone());
+        let (key, key_stats) = enc.encode(&moving_box_frame(64, 64, 0));
+        let (delta, delta_stats) = enc.encode(&moving_box_frame(64, 64, 10));
+        let snap = log.snapshot();
+        let keyframe = snap.downlink[names::attr::KIND_KEYFRAME];
+        let tile_delta = snap.downlink[names::attr::KIND_TILE_DELTA];
+        assert_eq!(keyframe.frames, 1);
+        assert_eq!(keyframe.bytes, key.len() as u64);
+        assert_eq!(tile_delta.frames, 1);
+        assert_eq!(tile_delta.bytes, delta.len() as u64);
+        assert_eq!(
+            snap.downlink_total(),
+            (key_stats.encoded_bytes + delta_stats.encoded_bytes) as u64
+        );
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! violation surfaced as [`GBoosterError::CacheDesync`].
 
 use gbooster_codec::lru::{CacheToken, CommandCache};
-use gbooster_codec::lz4;
+use gbooster_codec::lz4::{self, Lz4Frame};
 use gbooster_gles::command::{ClientMemory, GlCommand};
-use gbooster_gles::serialize::{decode_command, encode_command, DeferredResolver};
-use gbooster_telemetry::{names, Counter, Registry};
+use gbooster_gles::serialize::{
+    command_category, decode_command, encode_command, DeferredResolver,
+};
+use gbooster_telemetry::{names, AttributionLog, Counter, Registry, UplinkFrameEntry};
 
 use crate::error::GBoosterError;
 
@@ -39,6 +41,8 @@ pub struct ForwardedFrame {
     pub cache_hits: u64,
     /// Cache misses this frame.
     pub cache_misses: u64,
+    /// LZ4 input/output accounting for the token stream.
+    pub lz4: Lz4Frame,
 }
 
 impl ForwardedFrame {
@@ -88,6 +92,7 @@ pub struct CommandForwarder {
     resolver: DeferredResolver,
     cache: CommandCache,
     counters: Option<ForwardCounters>,
+    attr: Option<AttributionLog>,
 }
 
 impl Default for CommandForwarder {
@@ -103,7 +108,16 @@ impl CommandForwarder {
             resolver: DeferredResolver::new(),
             cache: CommandCache::new(CACHE_CAPACITY),
             counters: None,
+            attr: None,
         }
+    }
+
+    /// Attributes every forwarded frame's wire bytes along
+    /// `GL category × cache outcome` into `log`. Like
+    /// [`Self::attach_registry`], purely observational: wire output and
+    /// cache state are unchanged.
+    pub fn attach_attribution(&mut self, log: AttributionLog) {
+        self.attr = Some(log);
     }
 
     /// Mirrors per-frame forwarding statistics into `registry`
@@ -135,13 +149,19 @@ impl CommandForwarder {
         let mut tokens = Vec::new();
         let mut raw_bytes = 0usize;
         let mut command_count = 0usize;
+        // Per-(category, outcome) accounting for the attribution tap;
+        // first-seen order keeps apportionment deterministic.
+        let mut attr_entries: Vec<UplinkFrameEntry> = Vec::new();
         for cmd in commands {
             for resolved in self.resolver.push(cmd.clone(), mem)? {
                 let mut encoded = Vec::new();
                 encode_command(&resolved, &mut encoded)?;
                 raw_bytes += encoded.len();
                 command_count += 1;
-                match self.cache.offer(&encoded) {
+                let token = self.cache.offer(&encoded);
+                let cache_hit = token.is_ref();
+                let token_len = token.wire_bytes();
+                match token {
                     CacheToken::Ref(key) => {
                         tokens.push(0x00);
                         tokens.extend_from_slice(&key.to_le_bytes());
@@ -152,10 +172,32 @@ impl CommandForwarder {
                         tokens.extend_from_slice(&bytes);
                     }
                 }
+                if self.attr.is_some() {
+                    let category = command_category(&resolved);
+                    let entry = match attr_entries
+                        .iter_mut()
+                        .find(|e| e.category == category && e.cache_hit == cache_hit)
+                    {
+                        Some(entry) => entry,
+                        None => {
+                            attr_entries.push(UplinkFrameEntry {
+                                category,
+                                cache_hit,
+                                commands: 0,
+                                raw_bytes: 0,
+                                token_bytes: 0,
+                            });
+                            attr_entries.last_mut().unwrap()
+                        }
+                    };
+                    entry.commands += 1;
+                    entry.raw_bytes += encoded.len() as u64;
+                    entry.token_bytes += token_len as u64;
+                }
             }
         }
         let token_bytes = tokens.len();
-        let compressed = lz4::compress(&tokens);
+        let (compressed, lz4_frame) = lz4::compress_framed(&tokens);
         let mut wire = Vec::with_capacity(compressed.len() + 4);
         wire.extend_from_slice(&(token_bytes as u32).to_le_bytes());
         wire.extend_from_slice(&compressed);
@@ -165,6 +207,9 @@ impl CommandForwarder {
             c.wire_bytes.add(wire.len() as u64);
             c.commands.add(command_count as u64);
         }
+        if let Some(attr) = &self.attr {
+            attr.record_uplink_frame(&attr_entries, wire.len() as u64);
+        }
         Ok(ForwardedFrame {
             wire,
             raw_bytes,
@@ -172,6 +217,7 @@ impl CommandForwarder {
             command_count,
             cache_hits: self.cache.hits() - hits_before,
             cache_misses: self.cache.misses() - misses_before,
+            lz4: lz4_frame,
         })
     }
 
@@ -511,7 +557,79 @@ mod tests {
             command_count: 0,
             cache_hits: 0,
             cache_misses: 0,
+            lz4: Lz4Frame::default(),
         };
         assert_eq!(f.ratio(), 1.0);
+    }
+
+    #[test]
+    fn attribution_reconciles_with_wire_and_cache_counters() {
+        let mem = ClientMemory::new();
+        let log = AttributionLog::new();
+        let mut tx = CommandForwarder::new();
+        tx.attach_attribution(log.clone());
+        let frame = vec![
+            GlCommand::UseProgram(ProgramId(1)),
+            GlCommand::clear_all(),
+            GlCommand::clear_all(),
+            GlCommand::SwapBuffers,
+        ];
+        let mut wire_total = 0u64;
+        let mut raw_total = 0u64;
+        let mut token_total = 0u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for _ in 0..3 {
+            let fwd = tx.forward_frame(&frame, &mem).unwrap();
+            wire_total += fwd.wire.len() as u64;
+            raw_total += fwd.raw_bytes as u64;
+            token_total += fwd.token_bytes as u64;
+            hits += fwd.cache_hits;
+            misses += fwd.cache_misses;
+            assert_eq!(fwd.lz4.output_bytes + 4, fwd.wire.len() as u64);
+            assert_eq!(fwd.lz4.input_bytes, fwd.token_bytes as u64);
+        }
+        let snap = log.snapshot();
+        // Apportioned wire bytes sum exactly to the frames' wire bytes.
+        assert_eq!(snap.uplink_wire_total(), wire_total);
+        let raw: u64 = snap.uplink.values().map(|c| c.raw_bytes).sum();
+        let tok: u64 = snap.uplink.values().map(|c| c.token_bytes).sum();
+        assert_eq!(raw, raw_total);
+        assert_eq!(tok, token_total);
+        // Per-outcome command counts match the cache's own hit/miss view.
+        let hit_cmds: u64 = snap
+            .uplink
+            .iter()
+            .filter(|((_, o), _)| o == "hit")
+            .map(|(_, c)| c.commands)
+            .sum();
+        let miss_cmds: u64 = snap
+            .uplink
+            .iter()
+            .filter(|((_, o), _)| o == "miss")
+            .map(|(_, c)| c.commands)
+            .sum();
+        assert_eq!(hit_cmds, hits);
+        assert_eq!(miss_cmds, misses);
+        // Repeated frames hit the cache, so hit rows must exist.
+        assert!(hit_cmds > 0);
+    }
+
+    #[test]
+    fn attribution_tap_does_not_change_wire_output() {
+        let mem = ClientMemory::new();
+        let mut plain = CommandForwarder::new();
+        let mut tapped = CommandForwarder::new();
+        tapped.attach_attribution(AttributionLog::new());
+        let frame = vec![
+            GlCommand::UseProgram(ProgramId(2)),
+            GlCommand::clear_all(),
+            GlCommand::SwapBuffers,
+        ];
+        for _ in 0..3 {
+            let a = plain.forward_frame(&frame, &mem).unwrap();
+            let b = tapped.forward_frame(&frame, &mem).unwrap();
+            assert_eq!(a.wire, b.wire);
+        }
     }
 }

@@ -26,8 +26,9 @@ use gbooster_sim::power::{Component, PowerMeter};
 use gbooster_sim::rng::derived;
 use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::{
-    names, stitch_remote, Counter, Fault, FlightDump, FlightRecorder, FrameTrace, Histogram,
-    Registry, RemoteSpanLog, SpanNode, TelemetrySnapshot, TraceContext, TraceLog,
+    names, stitch_remote, AttributionLog, AttributionSnapshot, Counter, Fault, FlightDump,
+    FlightRecorder, FrameTrace, Histogram, Registry, RemoteSpanLog, SpanNode, TelemetrySnapshot,
+    TraceContext, TraceLog,
 };
 use gbooster_workload::tracegen::TraceGenerator;
 use rand::rngs::StdRng;
@@ -153,6 +154,10 @@ pub struct SessionReport {
     /// The flight recorder's postmortem, if a fault fired during the
     /// session (offloaded mode only; at most one by construction).
     pub flight: Option<FlightDump>,
+    /// Resource attribution: uplink bytes by GL category × cache
+    /// outcome, downlink bytes by frame kind, sim time and joules by
+    /// stage × node × interface (offloaded mode only; empty otherwise).
+    pub attribution: AttributionSnapshot,
 }
 
 impl SessionReport {
@@ -170,6 +175,12 @@ impl SessionReport {
     /// The frame trace as JSON Lines (one span tree per displayed frame).
     pub fn frame_trace_jsonl(&self) -> String {
         self.trace.to_jsonl()
+    }
+
+    /// Top-N attribution tables: where the session's bytes,
+    /// microseconds, and joules went.
+    pub fn attribution_report(&self) -> String {
+        self.attribution.render_top(10)
     }
 }
 
@@ -404,6 +415,7 @@ fn run_local(config: &SessionConfig) -> SessionReport {
         trace: TraceLog::default(),
         clock_offset_us: None,
         flight: None,
+        attribution: AttributionSnapshot::default(),
     }
 }
 
@@ -448,6 +460,9 @@ struct PendingFrame {
     encode: SimDuration,
     changed_px: u64,
     down_bytes: usize,
+    /// True when the frame's downlink carries a JPEG-style keyframe
+    /// (scene change) rather than a Turbo tile-delta.
+    keyframe: bool,
     fill: u64,
     app_secs: f64,
     commands: Vec<GlCommand>,
@@ -520,6 +535,9 @@ struct OffloadEngine {
     c_resync_bytes: Counter,
     c_fallback_engagements: Counter,
     local_render_hist: Histogram,
+    /// Resource-attribution sink shared with the forwarder and transport
+    /// taps; the engine adds the stage-time and downlink-kind axes.
+    attr: AttributionLog,
     // Session constants.
     session_id: u64,
     frame_pixels: u64,
@@ -723,6 +741,7 @@ impl OffloadEngine {
             encode,
             changed_px,
             down_bytes: encoded_bytes(&self.runtimes, changed_px),
+            keyframe: trace.scene_change,
             fill: trace.effective_fill,
             app_secs,
             commands,
@@ -919,6 +938,7 @@ impl OffloadEngine {
                 delivered_at: app_done,
                 duration: SimDuration::ZERO,
                 degraded: false,
+                route: None,
             };
             (cpu_secs, app_done, up)
         };
@@ -946,6 +966,7 @@ impl OffloadEngine {
             encode: SimDuration::ZERO,
             changed_px: 0,
             down_bytes: 0,
+            keyframe: false,
             fill: trace.effective_fill,
             app_secs,
             commands: Vec::new(),
@@ -1033,6 +1054,7 @@ impl OffloadEngine {
                 delivered_at: p.finish,
                 duration: SimDuration::ZERO,
                 degraded: false,
+                route: None,
             }
         } else {
             self.transport.recv(p.down_bytes, p.down_start())
@@ -1118,6 +1140,7 @@ impl OffloadEngine {
             .stage(names::stage::DOWNLINK, down_start, down.delivered_at)
             .stage(names::stage::DECODE, decode_start, decode_done)
             .stage(names::stage::DISPLAY_WAIT, decode_done, shown);
+        let service_node = format!("node{}", p.node);
         for child in &root.children {
             let hist = match child.name {
                 n if n == names::stage::INTERCEPT => &self.stages.intercept,
@@ -1133,7 +1156,33 @@ impl OffloadEngine {
                 _ => &self.stages.display_wait,
             };
             hist.record_duration(child.duration());
+            // Attribution mirrors the exact per-stage micros the
+            // histograms record, adding the node and interface axes.
+            let (node, iface) = match child.name {
+                n if n == names::stage::UPLINK => (names::attr::NODE_PHONE, p.up.iface_label()),
+                n if n == names::stage::DOWNLINK => (names::attr::NODE_PHONE, down.iface_label()),
+                n if n == names::stage::DISPATCH_WAIT
+                    || n == names::stage::RENDER
+                    || n == names::stage::ENCODE =>
+                {
+                    (service_node.as_str(), names::attr::IFACE_NONE)
+                }
+                _ => (names::attr::NODE_PHONE, names::attr::IFACE_NONE),
+            };
+            self.attr
+                .record_stage(child.name, node, iface, child.duration().as_micros());
         }
+        // Downlink byte attribution by frame kind: every received byte
+        // belongs to exactly one presented frame, so this table sums to
+        // the transport's downlink counter.
+        self.attr.record_downlink(
+            if p.keyframe {
+                names::attr::KIND_KEYFRAME
+            } else {
+                names::attr::KIND_TILE_DELTA
+            },
+            p.down_bytes as u64,
+        );
         // The total latency is app start to vsync display (what the user
         // perceives), not the root span's end, which may include the
         // overlapped encode tail.
@@ -1193,6 +1242,18 @@ impl OffloadEngine {
             .stage(names::stage::DISPLAY_WAIT, p.finish, shown);
         self.local_render_hist
             .record_duration(p.finish - p.dispatch_start);
+        self.attr.record_stage(
+            names::stage::LOCAL_RENDER,
+            names::attr::NODE_PHONE,
+            names::attr::IFACE_NONE,
+            (p.finish - p.dispatch_start).as_micros(),
+        );
+        self.attr.record_stage(
+            names::stage::DISPLAY_WAIT,
+            names::attr::NODE_PHONE,
+            names::attr::IFACE_NONE,
+            (shown - p.finish).as_micros(),
+        );
         self.stages.total.record_duration(shown - p.start);
         self.c_frames_local.inc();
 
@@ -1337,6 +1398,13 @@ fn run_offloaded(
     transport.attach_registry(&registry);
     dispatcher.attach_registry(&registry);
 
+    // Resource attribution: the same tap points feed a second, axis-rich
+    // sink. Attached before the setup stream ships so the attributed
+    // uplink bytes reconcile exactly with the forwarder's wire counter.
+    let attr = AttributionLog::new();
+    forwarder.attach_attribution(attr.clone());
+    transport.attach_attribution(attr.clone());
+
     // Distributed tracing: the session identity rides inside every RUDP
     // datagram as a TraceContext; service devices stamp their spans on
     // their *own* (skewed) clock into the shared remote log. The skew is
@@ -1415,6 +1483,7 @@ fn run_offloaded(
         c_resync_bytes: registry.counter(names::health::RESYNC_BYTES),
         c_fallback_engagements: registry.counter(names::health::FALLBACK_ENGAGEMENTS),
         local_render_hist: registry.histogram(names::stage::LOCAL_RENDER),
+        attr: attr.clone(),
         health,
         node_up: vec![true; off.service_devices.len()],
         node_events: off.faults.node_schedule(),
@@ -1525,6 +1594,59 @@ fn run_offloaded(
     meter.record_joules(Component::Bluetooth, bt_j.max(0.0));
     meter.advance(total);
 
+    // Energy attribution: split each meter component along the same
+    // stage × node × interface axes as the time table. Radio joules are
+    // apportioned per interface across uplink and downlink by byte share
+    // (the link table the transport tap filled in), so the attributed
+    // total reconciles with the meter to within rounding.
+    {
+        let snap = attr.snapshot();
+        for (iface, joules) in [
+            (names::attr::IFACE_WIFI, wifi_j),
+            (names::attr::IFACE_BT, bt_j.max(0.0)),
+        ] {
+            let up = snap.link_iface_bytes(names::attr::DIR_UPLINK, iface) as f64;
+            let down = snap.link_iface_bytes(names::attr::DIR_DOWNLINK, iface) as f64;
+            let total_bytes = up + down;
+            if total_bytes > 0.0 {
+                attr.record_energy(
+                    names::stage::UPLINK,
+                    names::attr::NODE_PHONE,
+                    iface,
+                    joules * up / total_bytes,
+                );
+                attr.record_energy(
+                    names::stage::DOWNLINK,
+                    names::attr::NODE_PHONE,
+                    iface,
+                    joules * down / total_bytes,
+                );
+            } else if joules > 0.0 {
+                // Radio energy with no attributed transfer (e.g. idle
+                // tail power): keep it visible on the uplink row.
+                attr.record_energy(names::stage::UPLINK, names::attr::NODE_PHONE, iface, joules);
+            }
+        }
+        attr.record_energy(
+            names::stage::LOCAL_RENDER,
+            names::attr::NODE_PHONE,
+            names::attr::IFACE_NONE,
+            gpu_joules,
+        );
+        for (label, component) in [
+            (names::attr::ENERGY_CPU, Component::Cpu),
+            (names::attr::ENERGY_DISPLAY, Component::Display),
+            (names::attr::ENERGY_BASE, Component::Base),
+        ] {
+            attr.record_energy(
+                label,
+                names::attr::NODE_PHONE,
+                names::attr::IFACE_NONE,
+                meter.joules(component),
+            );
+        }
+    }
+
     // Replica digests must agree across the *surviving* nodes; a killed
     // node stopped ingesting the stream at its failure instant and is
     // excluded (Section VI-B's consistency check).
@@ -1619,6 +1741,7 @@ fn run_offloaded(
         trace: trace_log,
         clock_offset_us: transport.clock_offset_estimate_us(),
         flight: flight.dumps().first().cloned(),
+        attribution: attr.snapshot(),
     })
 }
 
@@ -1719,6 +1842,7 @@ fn run_cloud(config: &SessionConfig, cloud: &CloudConfig) -> SessionReport {
         trace: TraceLog::default(),
         clock_offset_us: None,
         flight: None,
+        attribution: AttributionSnapshot::default(),
     }
 }
 

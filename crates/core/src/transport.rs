@@ -12,7 +12,9 @@ use std::collections::BTreeMap;
 use gbooster_forecast::predictor::TrafficPredictor;
 use gbooster_net::switch::{IfaceTime, InterfaceManager, Route, SwitchStats};
 use gbooster_sim::time::{SimDuration, SimTime};
-use gbooster_telemetry::{names, ClockOffsetEstimator, Counter, Gauge, Registry, TraceContext};
+use gbooster_telemetry::{
+    names, AttributionLog, ClockOffsetEstimator, Counter, Gauge, Registry, TraceContext,
+};
 
 /// Per-route propagation latency added on top of serialization.
 const WIFI_LATENCY: SimDuration = SimDuration::from_micros(800);
@@ -41,6 +43,20 @@ pub struct Transfer {
     /// True if the send was degraded onto Bluetooth by a mispredicted
     /// surge (elevated latency — the FN cost).
     pub degraded: bool,
+    /// Radio the bytes rode, or `None` for synthesized transfers that
+    /// never crossed a link (local-render fallback paths).
+    pub route: Option<Route>,
+}
+
+impl Transfer {
+    /// Attribution interface label for this transfer's route.
+    pub fn iface_label(&self) -> &'static str {
+        match self.route {
+            Some(Route::Wifi) => names::attr::IFACE_WIFI,
+            Some(Route::Bluetooth) => names::attr::IFACE_BT,
+            None => names::attr::IFACE_NONE,
+        }
+    }
 }
 
 /// The predictor-driven transport.
@@ -83,6 +99,7 @@ pub struct TransportManager {
     /// NTP-style offset recovery from the modeled RUDP ack feedback.
     clock: ClockOffsetEstimator,
     counters: Option<TransportCounters>,
+    attr: Option<AttributionLog>,
 }
 
 /// Pre-resolved registry handles for the transport counters.
@@ -127,7 +144,15 @@ impl TransportManager {
             true_clock_offset_us: 0,
             clock: ClockOffsetEstimator::new(),
             counters: None,
+            attr: None,
         }
+    }
+
+    /// Attributes every transfer into `log`'s link table along
+    /// `direction × interface` (bytes, latency micros, transfer count).
+    /// Purely observational, like [`Self::attach_registry`].
+    pub fn attach_attribution(&mut self, log: AttributionLog) {
+        self.attr = Some(log);
     }
 
     /// Scales the link's datagram loss rate (1.0 = the profiled link).
@@ -317,6 +342,14 @@ impl TransportManager {
         }
         self.account_retransmits(bytes, out.route);
         let transfer = Self::finish(now, done_at, out.route, out.degraded);
+        if let Some(attr) = &self.attr {
+            attr.record_link(
+                names::attr::DIR_UPLINK,
+                transfer.iface_label(),
+                bytes as u64,
+                transfer.duration.as_micros(),
+            );
+        }
         // Uplink acks are the clock-sync signal (the service stamps its
         // clock at delivery). Downlink acks flow the other way and are
         // not observable here.
@@ -339,7 +372,16 @@ impl TransportManager {
             c.downlink_bytes.add(bytes as u64);
         }
         self.account_retransmits(bytes, out.route);
-        Self::finish(now, done_at, out.route, out.degraded)
+        let transfer = Self::finish(now, done_at, out.route, out.degraded);
+        if let Some(attr) = &self.attr {
+            attr.record_link(
+                names::attr::DIR_DOWNLINK,
+                transfer.iface_label(),
+                bytes as u64,
+                transfer.duration.as_micros(),
+            );
+        }
+        transfer
     }
 
     fn finish(now: SimTime, done_at: SimTime, route: Route, degraded: bool) -> Transfer {
@@ -352,6 +394,7 @@ impl TransportManager {
             delivered_at,
             duration: delivered_at - now,
             degraded,
+            route: Some(route),
         }
     }
 

@@ -982,6 +982,68 @@ pub fn decode_stream(data: &[u8]) -> Result<Vec<GlCommand>, WireError> {
     Ok(out)
 }
 
+/// The attribution categories [`command_category`] can return, sorted.
+pub const CATEGORIES: [&str; 10] = [
+    "buffer",
+    "draw",
+    "frame",
+    "framebuffer",
+    "object",
+    "shader",
+    "state",
+    "texture",
+    "uniform",
+    "vertex",
+];
+
+/// Coarse GL command category used by the uplink attribution profiler
+/// to explain which part of the API surface the wire bytes serve.
+pub fn command_category(cmd: &GlCommand) -> &'static str {
+    match cmd {
+        GlCommand::GenTexture(_)
+        | GlCommand::DeleteTexture(_)
+        | GlCommand::GenBuffer(_)
+        | GlCommand::DeleteBuffer(_)
+        | GlCommand::GenFramebuffer(_)
+        | GlCommand::DeleteFramebuffer(_)
+        | GlCommand::CreateShader(..)
+        | GlCommand::DeleteShader(_)
+        | GlCommand::CreateProgram(_)
+        | GlCommand::DeleteProgram(_)
+        | GlCommand::AttachShader { .. } => "object",
+        GlCommand::ShaderSource { .. }
+        | GlCommand::CompileShader(_)
+        | GlCommand::LinkProgram(_)
+        | GlCommand::UseProgram(_) => "shader",
+        GlCommand::BindBuffer { .. }
+        | GlCommand::BufferData { .. }
+        | GlCommand::BufferSubData { .. } => "buffer",
+        GlCommand::ActiveTexture(_)
+        | GlCommand::BindTexture { .. }
+        | GlCommand::TexImage2D { .. }
+        | GlCommand::TexSubImage2D { .. }
+        | GlCommand::TexParameter { .. } => "texture",
+        GlCommand::BindFramebuffer(_) | GlCommand::FramebufferTexture2D { .. } => "framebuffer",
+        GlCommand::Enable(_)
+        | GlCommand::Disable(_)
+        | GlCommand::BlendFunc { .. }
+        | GlCommand::DepthFunc(_)
+        | GlCommand::DepthMask(_)
+        | GlCommand::ClearColor { .. }
+        | GlCommand::ClearDepth(_)
+        | GlCommand::Viewport { .. }
+        | GlCommand::Scissor { .. } => "state",
+        GlCommand::Uniform { .. } => "uniform",
+        GlCommand::EnableVertexAttribArray(_)
+        | GlCommand::DisableVertexAttribArray(_)
+        | GlCommand::VertexAttribPointer { .. } => "vertex",
+        GlCommand::Clear(_) | GlCommand::DrawArrays { .. } | GlCommand::DrawElements { .. } => {
+            "draw"
+        }
+        GlCommand::Finish | GlCommand::Flush | GlCommand::SwapBuffers => "frame",
+    }
+}
+
 /// Resolves deferred client-memory pointers (Section IV-B).
 ///
 /// Commands flow through [`DeferredResolver::push`]; `VertexAttribPointer`
@@ -1195,6 +1257,34 @@ mod tests {
         let (decoded, used) = decode_command(&buf).unwrap();
         assert_eq!(used, buf.len());
         assert_eq!(decoded, cmd);
+    }
+
+    #[test]
+    fn command_categories_are_declared_and_sorted() {
+        let mut sorted = CATEGORIES;
+        sorted.sort_unstable();
+        assert_eq!(sorted, CATEGORIES, "CATEGORIES must stay sorted");
+        for cmd in [
+            GlCommand::GenTexture(TextureId(1)),
+            GlCommand::UseProgram(ProgramId(1)),
+            GlCommand::BindBuffer {
+                target: BufferTarget::Array,
+                buffer: BufferId(1),
+            },
+            GlCommand::ActiveTexture(0),
+            GlCommand::BindFramebuffer(FramebufferId(0)),
+            GlCommand::Enable(Capability::Blend),
+            GlCommand::Uniform {
+                location: UniformLocation(0),
+                value: UniformValue::F1(1.0),
+            },
+            GlCommand::EnableVertexAttribArray(0),
+            GlCommand::clear_all(),
+            GlCommand::SwapBuffers,
+        ] {
+            let cat = command_category(&cmd);
+            assert!(CATEGORIES.contains(&cat), "{cat} missing from CATEGORIES");
+        }
     }
 
     #[test]

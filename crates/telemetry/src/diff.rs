@@ -1,0 +1,234 @@
+//! Attribution diffing: explains *what changed* between two sessions.
+//!
+//! Takes two [`AttributionSnapshot`]s (typically parsed back from bench
+//! baseline artifacts or session reports) and produces per-row deltas
+//! for each table, sorted so the biggest movers surface first. The
+//! bench regression gate prints this next to any failing metric so a
+//! regression arrives with its explanation attached.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::attr::AttributionSnapshot;
+
+/// One row's movement between two snapshots. Units depend on the
+/// table: bytes for `uplink`/`downlink`/`link`, microseconds or joules
+/// for `time`/`energy`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiffRow {
+    /// Which table this row belongs to: `uplink`, `downlink`, `time`,
+    /// `energy`, or `link`.
+    pub table: &'static str,
+    /// Human-readable row key, e.g. `draw/miss` or
+    /// `stage.uplink/phone/wifi`.
+    pub key: String,
+    /// Value in the baseline snapshot.
+    pub before: f64,
+    /// Value in the fresh snapshot.
+    pub after: f64,
+}
+
+impl DiffRow {
+    /// Absolute movement (`after - before`).
+    pub fn delta(&self) -> f64 {
+        self.after - self.before
+    }
+
+    /// Relative movement; infinite when the row is new.
+    pub fn rel(&self) -> f64 {
+        if self.before == 0.0 {
+            if self.after == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.after - self.before) / self.before
+        }
+    }
+}
+
+/// All row-level movement between two snapshots.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AttributionDiff {
+    /// Rows with any movement, grouped by table and sorted by absolute
+    /// delta (descending) within each table.
+    pub rows: Vec<DiffRow>,
+}
+
+impl AttributionDiff {
+    /// True when the two snapshots were identical.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the top `n` movers per table as indented text.
+    pub fn render(&self, n: usize) -> String {
+        if self.rows.is_empty() {
+            return "  (no attribution movement)\n".to_string();
+        }
+        let mut out = String::new();
+        for table in ["uplink", "downlink", "time", "energy", "link"] {
+            let movers: Vec<&DiffRow> = self.rows.iter().filter(|r| r.table == table).collect();
+            if movers.is_empty() {
+                continue;
+            }
+            let unit = match table {
+                "time" => "us",
+                "energy" => "J",
+                _ => "B",
+            };
+            let _ = writeln!(out, "  {table} movers ({unit}):");
+            for row in movers.into_iter().take(n) {
+                let rel = row.rel();
+                let rel_text = if rel.is_finite() {
+                    format!("{:+.1}%", rel * 100.0)
+                } else {
+                    "new".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "    {:<36} {:>14.2} -> {:>14.2}  ({:+.2}, {})",
+                    row.key,
+                    row.before,
+                    row.after,
+                    row.delta(),
+                    rel_text
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Computes per-row movement from `before` to `after`. Rows present in
+/// only one snapshot are compared against zero; unchanged rows are
+/// dropped.
+pub fn diff(before: &AttributionSnapshot, after: &AttributionSnapshot) -> AttributionDiff {
+    let mut rows = Vec::new();
+
+    let keys: BTreeSet<_> = before.uplink.keys().chain(after.uplink.keys()).collect();
+    for key in keys {
+        let a = before.uplink.get(key).map(|c| c.wire_bytes).unwrap_or(0);
+        let b = after.uplink.get(key).map(|c| c.wire_bytes).unwrap_or(0);
+        push_row(
+            &mut rows,
+            "uplink",
+            format!("{}/{}", key.0, key.1),
+            a as f64,
+            b as f64,
+        );
+    }
+
+    let keys: BTreeSet<_> = before
+        .downlink
+        .keys()
+        .chain(after.downlink.keys())
+        .collect();
+    for key in keys {
+        let a = before.downlink.get(key).map(|c| c.bytes).unwrap_or(0);
+        let b = after.downlink.get(key).map(|c| c.bytes).unwrap_or(0);
+        push_row(&mut rows, "downlink", key.clone(), a as f64, b as f64);
+    }
+
+    let keys: BTreeSet<_> = before.stages.keys().chain(after.stages.keys()).collect();
+    for key in keys {
+        let a = before.stages.get(key).copied().unwrap_or_default();
+        let b = after.stages.get(key).copied().unwrap_or_default();
+        let label = format!("{}/{}/{}", key.0, key.1, key.2);
+        push_row(
+            &mut rows,
+            "time",
+            label.clone(),
+            a.micros as f64,
+            b.micros as f64,
+        );
+        push_row(&mut rows, "energy", label, a.joules, b.joules);
+    }
+
+    let keys: BTreeSet<_> = before.link.keys().chain(after.link.keys()).collect();
+    for key in keys {
+        let a = before.link.get(key).map(|c| c.bytes).unwrap_or(0);
+        let b = after.link.get(key).map(|c| c.bytes).unwrap_or(0);
+        push_row(
+            &mut rows,
+            "link",
+            format!("{}/{}", key.0, key.1),
+            a as f64,
+            b as f64,
+        );
+    }
+
+    // Biggest absolute movement first within each table; table order is
+    // re-imposed at render time, key order breaks exact ties.
+    rows.sort_by(|x, y| {
+        x.table
+            .cmp(y.table)
+            .then(
+                y.delta()
+                    .abs()
+                    .partial_cmp(&x.delta().abs())
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(x.key.cmp(&y.key))
+    });
+    AttributionDiff { rows }
+}
+
+fn push_row(rows: &mut Vec<DiffRow>, table: &'static str, key: String, before: f64, after: f64) {
+    if before != after {
+        rows.push(DiffRow {
+            table,
+            key,
+            before,
+            after,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AttributionLog;
+    use crate::names::attr as names;
+
+    fn sample(bytes: u64, micros: u64) -> AttributionSnapshot {
+        let log = AttributionLog::new();
+        log.record_downlink(names::KIND_TILE_DELTA, bytes);
+        log.record_stage("stage.uplink", names::NODE_PHONE, names::IFACE_WIFI, micros);
+        log.record_link(names::DIR_UPLINK, names::IFACE_WIFI, bytes / 2, micros);
+        log.snapshot()
+    }
+
+    #[test]
+    fn identical_snapshots_diff_empty() {
+        let a = sample(1000, 500);
+        let b = sample(1000, 500);
+        assert!(diff(&a, &b).is_empty());
+        assert!(diff(&a, &b).render(5).contains("no attribution movement"));
+    }
+
+    #[test]
+    fn movement_is_reported_per_table() {
+        let a = sample(1000, 500);
+        let b = sample(1500, 800);
+        let d = diff(&a, &b);
+        assert!(!d.is_empty());
+        let tables: Vec<_> = d.rows.iter().map(|r| r.table).collect();
+        assert!(tables.contains(&"downlink"));
+        assert!(tables.contains(&"time"));
+        assert!(tables.contains(&"link"));
+        let text = d.render(5);
+        assert!(text.contains("downlink movers"));
+        assert!(text.contains("+50.0%"));
+    }
+
+    #[test]
+    fn new_rows_compare_against_zero() {
+        let a = AttributionSnapshot::default();
+        let b = sample(100, 10);
+        let d = diff(&a, &b);
+        assert!(d.rows.iter().all(|r| r.before == 0.0));
+        assert!(d.render(5).contains("new"));
+    }
+}

@@ -30,6 +30,11 @@
 //!   Prometheus text exposition ([`prometheus_text`]).
 //! * [`flight`] — a bounded ring of stitched traces that dumps a
 //!   structured postmortem when a fault fires ([`FlightRecorder`]).
+//! * [`attr`] — resource attribution ([`AttributionLog`]): uplink
+//!   bytes by GL category × cache outcome, downlink bytes by frame
+//!   kind, sim time and joules by stage × node × interface.
+//! * [`diff`] — row-level movement between two attribution snapshots,
+//!   printed by the bench regression gate next to failing metrics.
 //!
 //! Metric and stage names live in [`names`]; the full schema is
 //! documented in `docs/OBSERVABILITY.md`.
@@ -62,7 +67,9 @@
 //! assert_eq!(trace.to_jsonl().lines().count(), 1);
 //! ```
 
+pub mod attr;
 pub mod context;
+pub mod diff;
 pub mod export;
 pub mod flight;
 pub mod hist;
@@ -74,7 +81,9 @@ pub mod report;
 pub mod stitch;
 pub mod trace;
 
+pub use attr::{AttributionLog, AttributionSnapshot, UplinkFrameEntry};
 pub use context::TraceContext;
+pub use diff::{diff as attribution_diff, AttributionDiff};
 pub use export::{chrome_trace, prometheus_text};
 pub use flight::{Fault, FlightDump, FlightRecorder};
 pub use hist::HistogramSnapshot;

@@ -215,6 +215,40 @@ pub mod service {
     pub const TURBO_RAW_BYTES: &str = "turbo.raw_bytes";
 }
 
+/// Attribution-table axis labels (crates/telemetry/src/attr.rs). These
+/// are row keys inside [`crate::attr::AttributionSnapshot`] tables, not
+/// registry metric names; they are centralized here so taps, reports,
+/// and the regression gate agree on spelling.
+pub mod attr {
+    /// Cache outcome: the LRU command cache replaced the body with a
+    /// reference token.
+    pub const OUTCOME_HIT: &str = "hit";
+    /// Cache outcome: the full command body went on the wire.
+    pub const OUTCOME_MISS: &str = "miss";
+    /// Downlink frame kind: JPEG-style keyframe (full image).
+    pub const KIND_KEYFRAME: &str = "jpeg.keyframe";
+    /// Downlink frame kind: Turbo tile-delta update.
+    pub const KIND_TILE_DELTA: &str = "turbo.tile_delta";
+    /// Node label for the user device.
+    pub const NODE_PHONE: &str = "phone";
+    /// Interface label for Wi-Fi Direct transfers.
+    pub const IFACE_WIFI: &str = "wifi";
+    /// Interface label for Bluetooth transfers.
+    pub const IFACE_BT: &str = "bt";
+    /// Interface label for stages that never touch a radio.
+    pub const IFACE_NONE: &str = "-";
+    /// Link direction: phone → service device.
+    pub const DIR_UPLINK: &str = "uplink";
+    /// Link direction: service device → phone.
+    pub const DIR_DOWNLINK: &str = "downlink";
+    /// Energy row for CPU joules (no pipeline stage).
+    pub const ENERGY_CPU: &str = "cpu";
+    /// Energy row for display joules.
+    pub const ENERGY_DISPLAY: &str = "display";
+    /// Energy row for baseline platform draw.
+    pub const ENERGY_BASE: &str = "base";
+}
+
 /// Session-level aggregates (crates/core/src/session.rs).
 pub mod session {
     /// Frames displayed (counter).

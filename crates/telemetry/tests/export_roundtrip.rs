@@ -1,0 +1,197 @@
+//! Exporter round-trips: parse the Prometheus text exposition back into
+//! values and assert it reproduces the registry snapshot it came from —
+//! including the quantiles of merged histograms — and validate the
+//! Chrome trace export as real JSON whose event names are exactly the
+//! attribution span names.
+
+use std::collections::BTreeMap;
+
+use gbooster_sim::time::SimTime;
+use gbooster_telemetry::json::{self, JsonValue};
+use gbooster_telemetry::trace::{FrameTrace, SpanNode, TraceLog};
+use gbooster_telemetry::{chrome_trace, names, prometheus_text, Registry, TelemetrySnapshot};
+
+/// Prometheus metric-name sanitization, mirrored from the exporter's
+/// documented contract (`gbooster_` prefix, non-alnum → `_`).
+fn sanitize(name: &str) -> String {
+    let mut out = String::from("gbooster_");
+    out.extend(
+        name.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }),
+    );
+    out
+}
+
+/// A parsed Prometheus text page: plain samples and `# TYPE` lines.
+struct PromPage {
+    /// `metric{labels}` → value, labels kept verbatim in the key.
+    samples: BTreeMap<String, f64>,
+    /// metric → declared type.
+    types: BTreeMap<String, String>,
+}
+
+/// Parses the subset of the text exposition format the exporter emits.
+fn parse_prometheus(text: &str) -> PromPage {
+    let mut samples = BTreeMap::new();
+    let mut types = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (name, kind) = (it.next().expect("type name"), it.next().expect("type kind"));
+            types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment form: {line}");
+        let (key, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let parsed = match value {
+            "NaN" => f64::NAN,
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            v => v.parse().expect("numeric sample value"),
+        };
+        let prior = samples.insert(key.to_string(), parsed);
+        assert!(prior.is_none(), "duplicate sample {key}");
+    }
+    PromPage { samples, types }
+}
+
+/// Builds a registry with all three instrument kinds exercised.
+fn sample_snapshot(scale: u64) -> TelemetrySnapshot {
+    let reg = Registry::new();
+    reg.counter(names::net::UPLINK_BYTES).add(1000 * scale);
+    reg.counter(names::net::RETRANSMITS).add(3 * scale);
+    reg.gauge(names::session::CPU_UTILIZATION)
+        .set(0.25 * scale as f64);
+    let h = reg.histogram(names::stage::DECODE);
+    for i in 1..=40 {
+        h.record(i * 100 * scale);
+    }
+    let u = reg.histogram(names::stage::UPLINK);
+    for i in 1..=10 {
+        u.record(i * scale);
+    }
+    reg.snapshot()
+}
+
+#[test]
+fn prometheus_text_round_trips_the_snapshot() {
+    let snap = sample_snapshot(1);
+    let page = parse_prometheus(&prometheus_text(&snap));
+
+    for (name, v) in &snap.counters {
+        let metric = sanitize(name);
+        assert_eq!(page.types[&metric], "counter");
+        assert_eq!(page.samples[&metric], *v as f64, "counter {name}");
+    }
+    for (name, v) in &snap.gauges {
+        let metric = sanitize(name);
+        assert_eq!(page.types[&metric], "gauge");
+        assert_eq!(page.samples[&metric], *v, "gauge {name}");
+    }
+    for (name, h) in &snap.histograms {
+        let metric = sanitize(name);
+        assert_eq!(page.types[&metric], "summary");
+        for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+            assert_eq!(
+                page.samples[&format!("{metric}{{quantile=\"{label}\"}}")],
+                h.quantile(q) as f64,
+                "histogram {name} q{label}"
+            );
+        }
+        assert_eq!(page.samples[&format!("{metric}_sum")], h.sum() as f64);
+        assert_eq!(page.samples[&format!("{metric}_count")], h.count() as f64);
+    }
+    // Nothing in the page beyond what the snapshot holds: every sample
+    // accounted for (counters + gauges + 5 summary lines per histogram).
+    let expected = snap.counters.len() + snap.gauges.len() + 5 * snap.histograms.len();
+    assert_eq!(page.samples.len(), expected);
+}
+
+#[test]
+fn merged_histogram_quantiles_survive_the_text_round_trip() {
+    // Merge two snapshots, then assert the exported summary quantiles
+    // are the *merged* distribution's, not either input's.
+    let mut merged = sample_snapshot(1);
+    merged.merge(&sample_snapshot(7));
+    let page = parse_prometheus(&prometheus_text(&merged));
+    let decode = &merged.histograms[names::stage::DECODE];
+    let metric = sanitize(names::stage::DECODE);
+    assert_eq!(decode.count(), 80, "40 samples from each side");
+    for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+        assert_eq!(
+            page.samples[&format!("{metric}{{quantile=\"{label}\"}}")],
+            decode.quantile(q) as f64
+        );
+    }
+    assert_eq!(page.samples[&format!("{metric}_count")], 80.0);
+    assert_eq!(page.samples[&format!("{metric}_sum")], decode.sum() as f64);
+}
+
+fn t(us: u64) -> SimTime {
+    SimTime::from_micros(us)
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_attribution_span_names() {
+    let mut log = TraceLog::new();
+    for seq in 0..3u64 {
+        let base = seq * 16_000;
+        let mut root = SpanNode::new(names::stage::FRAME, t(base), t(base + 15_000));
+        let mut at = base;
+        for stage in names::stage::PIPELINE {
+            root.stage(stage, t(at), t(at + 1_000));
+            at += 1_000;
+        }
+        let mut remote = SpanNode::new(names::remote::SUBTREE, t(base + 4_000), t(base + 9_000));
+        for name in names::remote::STAGES {
+            remote.stage(name, t(base + 4_000), t(base + 5_000));
+        }
+        root.push(remote);
+        log.push(FrameTrace { seq, root });
+    }
+
+    let exported = chrome_trace(&log);
+    let doc = json::parse(&exported).expect("chrome trace parses as JSON");
+    let obj = doc.as_obj().expect("trace root is an object");
+    assert_eq!(
+        obj.get("displayTimeUnit").and_then(JsonValue::as_str),
+        Some("ms")
+    );
+    let events = obj
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+
+    // The allowed span vocabulary: exactly the attribution span names.
+    let mut allowed: Vec<&str> = vec![names::stage::FRAME, names::remote::SUBTREE];
+    allowed.extend(names::stage::PIPELINE);
+    allowed.extend(names::remote::STAGES);
+
+    let mut span_events = 0;
+    for ev in events {
+        let ev = ev.as_obj().expect("event object");
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .expect("event name");
+        match ev.get("ph").and_then(JsonValue::as_str) {
+            Some("M") => assert_eq!(name, "process_name"),
+            Some("X") => {
+                span_events += 1;
+                assert!(allowed.contains(&name), "unknown span name {name:?}");
+                let ts = ev.get("ts").and_then(JsonValue::as_f64).expect("ts");
+                let dur = ev.get("dur").and_then(JsonValue::as_f64).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0);
+                let pid = ev.get("pid").and_then(JsonValue::as_f64).expect("pid");
+                let expect_remote = name.starts_with("remote");
+                assert_eq!(pid as u32, if expect_remote { 2 } else { 1 }, "{name}");
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    // 3 frames × (frame root + 11 pipeline stages + subtree + 4 remote).
+    assert_eq!(span_events, 3 * (1 + 11 + 1 + 4));
+}

@@ -13,4 +13,14 @@ for bin in "${BINARIES[@]}"; do
   echo "== ${bin}"
   cargo run --release -q -p gbooster-bench --bin "${bin}" | tee "results/${bin}.txt"
 done
+
+# Refresh the committed regression-gate baselines (BENCH_fig5.json /
+# BENCH_traffic.json). They are collected under smoke mode so the CI
+# bench-gate job compares like for like; commit the refreshed files
+# together with the change that legitimately moved the numbers
+# (docs/OBSERVABILITY.md, "Baseline refresh policy").
+echo "== bench_baseline (regression-gate baselines, smoke mode)"
+GBOOSTER_BENCH_SMOKE=1 cargo run --release -q -p gbooster-bench --bin bench_baseline \
+  | tee "results/bench_baseline.txt"
+
 echo "All experiment outputs written to ./results/"

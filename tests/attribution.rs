@@ -1,0 +1,129 @@
+//! End-to-end attribution reconciliation: the resource-attribution
+//! tables in a session report must agree with the aggregate telemetry
+//! counters the pipeline already kept — byte-for-byte on the wire axes,
+//! microsecond-for-microsecond on the stage axis, and to within 0.1 %
+//! on energy (float summation order is the only slack).
+
+use gbooster_core::config::{ExecutionMode, OffloadConfig, SessionConfig};
+use gbooster_core::session::{Session, SessionReport};
+use gbooster_sim::device::DeviceSpec;
+use gbooster_telemetry::names;
+use gbooster_workload::games::GameTitle;
+
+fn offloaded_report() -> SessionReport {
+    Session::run(
+        &SessionConfig::builder(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5())
+            .duration_secs(10)
+            .seed(77)
+            .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
+            .build(),
+    )
+}
+
+#[test]
+fn attribution_reconciles_with_aggregate_counters() {
+    let report = offloaded_report();
+    let attr = &report.attribution;
+    assert!(!attr.is_empty(), "offloaded session must attribute");
+
+    // Uplink: the per-(category, outcome) wire bytes were apportioned
+    // from the same frames the forwarder's counter summed — exact.
+    assert_eq!(
+        attr.uplink_wire_total(),
+        report.telemetry.counter(names::forward::WIRE_BYTES),
+        "uplink attribution vs forward.wire_bytes"
+    );
+    let raw_total: u64 = attr.uplink.values().map(|c| c.raw_bytes).sum();
+    assert_eq!(
+        raw_total,
+        report.telemetry.counter(names::forward::RAW_BYTES),
+        "uplink raw bytes vs forward.raw_bytes"
+    );
+
+    // Link table: every radio transfer was tapped where the transport
+    // counted it — exact per direction.
+    assert_eq!(
+        attr.link_bytes(names::attr::DIR_UPLINK),
+        report.uplink_bytes,
+        "link uplink bytes vs net.uplink_bytes"
+    );
+    assert_eq!(
+        attr.link_bytes(names::attr::DIR_DOWNLINK),
+        report.downlink_bytes,
+        "link downlink bytes vs net.downlink_bytes"
+    );
+
+    // Downlink kinds: every received byte belongs to one presented
+    // frame, keyframe or tile delta — exact in a fault-free session.
+    assert_eq!(
+        attr.downlink_total(),
+        report.downlink_bytes,
+        "downlink kind attribution vs net.downlink_bytes"
+    );
+    let key_frames = attr
+        .downlink
+        .get(names::attr::KIND_KEYFRAME)
+        .map_or(0, |c| c.frames);
+    let delta_frames = attr
+        .downlink
+        .get(names::attr::KIND_TILE_DELTA)
+        .map_or(0, |c| c.frames);
+    assert!(key_frames >= 1, "at least the first frame is a keyframe");
+    assert!(delta_frames > key_frames, "steady state is tile deltas");
+    assert_eq!(report.frames, key_frames + delta_frames);
+
+    // Stage time: attribution mirrors the per-stage histograms sample
+    // for sample, adding node and interface — sums must match exactly.
+    for stage in names::stage::PIPELINE {
+        let hist_sum = report.telemetry.histogram(stage).map_or(0, |h| h.sum());
+        assert_eq!(
+            attr.stage_micros(stage),
+            hist_sum,
+            "stage micros vs histogram sum for {stage}"
+        );
+    }
+
+    // Energy: the component split re-buckets the meter's joules along
+    // stage x node x iface; only float summation order may differ.
+    let meter_total = report.energy.total_joules();
+    let attr_total = attr.energy_total();
+    assert!(
+        (attr_total - meter_total).abs() <= meter_total * 0.001,
+        "energy attribution {attr_total} vs meter {meter_total}"
+    );
+
+    // The human-readable top-N tables actually render the data.
+    let rendered = report.attribution_report();
+    for needle in [
+        "uplink bytes by GL category",
+        names::attr::KIND_TILE_DELTA,
+        names::stage::RENDER,
+        names::attr::IFACE_WIFI,
+    ] {
+        assert!(rendered.contains(needle), "report missing {needle:?}");
+    }
+}
+
+#[test]
+fn attribution_snapshot_round_trips_and_diffs_clean() {
+    let report = offloaded_report();
+    let attr = &report.attribution;
+    let parsed = gbooster_telemetry::AttributionSnapshot::from_json(&attr.to_json())
+        .expect("attribution JSON parses back");
+    assert_eq!(&parsed, attr, "JSON round trip preserves every cell");
+    assert!(
+        gbooster_telemetry::attribution_diff(attr, &parsed).is_empty(),
+        "identical snapshots diff empty"
+    );
+}
+
+#[test]
+fn local_sessions_report_no_attribution() {
+    let report = Session::run(
+        &SessionConfig::builder(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5())
+            .duration_secs(5)
+            .seed(77)
+            .build(),
+    );
+    assert!(report.attribution.is_empty());
+}

@@ -1,0 +1,120 @@
+//! Metric-name audit: every counter/gauge/histogram name emitted as a
+//! string literal anywhere in the workspace's library code must be
+//! declared in `crates/telemetry/src/names.rs`. Production code goes
+//! through the `names::` constants; this grep-based sweep catches the
+//! ad-hoc literal that would silently fork the namespace.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under `dir`, recursively.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in fs::read_dir(dir).expect("read src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The set of metric-name values declared in names.rs: every string
+/// literal assigned to a `pub const`.
+fn declared_names(names_rs: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in names_rs.lines() {
+        let line = line.trim();
+        if !line.starts_with("pub const") {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(start) = rest.find('"') {
+            let tail = &rest[start + 1..];
+            let Some(end) = tail.find('"') else { break };
+            out.insert(tail[..end].to_string());
+            rest = &tail[end + 1..];
+        }
+    }
+    out
+}
+
+/// Extracts the string-literal argument of `.counter("…")`-style calls
+/// on `line`, for each of the three registration methods.
+fn literal_registrations(line: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    for method in [".counter(\"", ".gauge(\"", ".histogram(\""] {
+        let mut rest = line;
+        while let Some(pos) = rest.find(method) {
+            let tail = &rest[pos + method.len()..];
+            if let Some(end) = tail.find('"') {
+                found.push(tail[..end].to_string());
+            }
+            rest = &rest[pos + method.len()..];
+        }
+    }
+    found
+}
+
+#[test]
+fn every_emitted_metric_name_is_declared() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let names_rs =
+        fs::read_to_string(repo.join("crates/telemetry/src/names.rs")).expect("read names.rs");
+    let declared = declared_names(&names_rs);
+    assert!(
+        declared.len() > 50,
+        "names.rs parse looks broken: only {} names found",
+        declared.len()
+    );
+
+    let mut files = Vec::new();
+    for entry in fs::read_dir(repo.join("crates")).expect("read crates/") {
+        let src = entry.expect("crate dir").path().join("src");
+        if src.is_dir() {
+            rust_files(&src, &mut files);
+        }
+    }
+    assert!(files.len() > 20, "workspace sweep found too few files");
+
+    let mut violations = Vec::new();
+    for file in &files {
+        let text = fs::read_to_string(file).expect("read source file");
+        for (lineno, line) in text.lines().enumerate() {
+            // Unit-test modules sit at the bottom of each file; names
+            // minted inside them never reach a production registry.
+            if line.trim_start().starts_with("#[cfg(test)]") {
+                break;
+            }
+            // Strip `//` comments (covers `///` and `//!` too).
+            let code = line.split("//").next().unwrap_or("");
+            for name in literal_registrations(code) {
+                if !declared.contains(&name) {
+                    violations.push(format!(
+                        "{}:{}: metric name {name:?} is not declared in names.rs",
+                        file.display(),
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "undeclared metric names:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn audit_helpers_catch_a_planted_violation() {
+    let declared = declared_names("pub const GOOD: &str = \"net.good\";");
+    assert_eq!(declared.len(), 1);
+    let hits = literal_registrations("registry.counter(\"net.bad\").inc();");
+    assert_eq!(hits, vec!["net.bad".to_string()]);
+    assert!(!declared.contains(&hits[0]));
+    // Comment-stripping keeps doc examples out of the sweep.
+    let line = "// registry.counter(\"net.doc_example\")";
+    assert!(literal_registrations(line.split("//").next().unwrap_or("")).is_empty());
+}
