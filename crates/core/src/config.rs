@@ -1,6 +1,8 @@
 //! Session configuration (builder-style).
 
 use gbooster_sim::device::{DeviceClass, DeviceSpec};
+use gbooster_sim::time::SimDuration;
+use gbooster_telemetry::{names, AlertConfig, SloObjective};
 use gbooster_workload::apps::AppTitle;
 use gbooster_workload::games::GameTitle;
 use gbooster_workload::genre::GenreProfile;
@@ -86,6 +88,9 @@ pub struct OffloadConfig {
     pub flight_recorder_depth: usize,
     /// Frame-latency SLO driving the local-render fallback.
     pub slo: SloConfig,
+    /// Live-ops layer: streaming SLO objectives, alerting, anomaly
+    /// detection, and incident correlation.
+    pub ops: OpsConfig,
     /// Deterministic fault-injection schedule (all disabled by default).
     pub faults: FaultInjection,
 }
@@ -102,7 +107,91 @@ impl Default for OffloadConfig {
             render_resolution: (1280, 720),
             flight_recorder_depth: 32,
             slo: SloConfig::default(),
+            ops: OpsConfig::default(),
             faults: FaultInjection::default(),
+        }
+    }
+}
+
+/// Live-ops layer tuning: which SLO objectives are evaluated during the
+/// run, how their alerts dwell, and how incidents correlate. The
+/// defaults are scaled to the simulator's seconds-long sessions (the
+/// Google-SRE structure with sub-second windows) and sit far enough
+/// above healthy behavior that a fault-free run raises nothing.
+#[derive(Clone, Debug)]
+pub struct OpsConfig {
+    /// Master switch: `false` runs the session with no ops layer at
+    /// all (no streams, no alerts, no incidents).
+    pub enabled: bool,
+    /// SLO objectives evaluated once per presented frame.
+    pub objectives: Vec<SloObjective>,
+    /// Dwell/hysteresis shared by every objective's alert machine.
+    pub alert: AlertConfig,
+    /// z-score bound for the anomaly detectors on objective-less
+    /// streams (per-interface power draw).
+    pub anomaly_z: f64,
+    /// Incident timeline lookback before the trigger, in milliseconds.
+    pub incident_lookback_ms: u64,
+    /// Minimum incident open time before quiescence closes it, in
+    /// milliseconds.
+    pub incident_min_open_ms: u64,
+}
+
+impl Default for OpsConfig {
+    fn default() -> Self {
+        let fast = SimDuration::from_millis(800);
+        let slow = SimDuration::from_millis(2_500);
+        OpsConfig {
+            enabled: true,
+            objectives: vec![
+                // End-to-end frame latency: a healthy offloaded session
+                // presents in ~30–60 ms; 100 ms is user-visible jank.
+                SloObjective {
+                    name: names::slo::FRAME_LATENCY,
+                    stream: names::ops::WIN_FRAME_LATENCY,
+                    unit: "us",
+                    threshold: 100_000,
+                    budget: 0.05,
+                    fast_window: fast,
+                    slow_window: slow,
+                    fast_burn: 4.0,
+                    slow_burn: 2.0,
+                    warmup: SimDuration::from_millis(1_500),
+                },
+                // Presented fps, as the inter-frame gap: a 60 ms gap is
+                // a drop below ~17 fps.
+                SloObjective {
+                    name: names::slo::PRESENTED_FPS,
+                    stream: names::ops::WIN_FRAME_INTERVAL,
+                    unit: "us",
+                    threshold: 60_000,
+                    budget: 0.05,
+                    fast_window: fast,
+                    slow_window: slow,
+                    fast_burn: 4.0,
+                    slow_burn: 2.0,
+                    warmup: SimDuration::from_millis(1_500),
+                },
+                // Command-cache effectiveness, as per-frame miss
+                // permille: the warmed cache hits ~95%; sustained
+                // >70% misses means the cache stopped carrying traffic.
+                SloObjective {
+                    name: names::slo::CACHE_HIT,
+                    stream: names::ops::WIN_CACHE_MISS,
+                    unit: "permille",
+                    threshold: 700,
+                    budget: 0.15,
+                    fast_window: fast,
+                    slow_window: slow,
+                    fast_burn: 4.0,
+                    slow_burn: 2.0,
+                    warmup: SimDuration::from_millis(2_000),
+                },
+            ],
+            alert: AlertConfig::default(),
+            anomaly_z: 5.0,
+            incident_lookback_ms: 500,
+            incident_min_open_ms: 500,
         }
     }
 }
@@ -424,6 +513,17 @@ impl SessionConfig {
                 return Err(GBoosterError::Config(format!(
                     "SLO alpha must be in (0, 1], got {}",
                     slo.alpha
+                )));
+            }
+            for obj in &off.ops.objectives {
+                if let Err(e) = obj.validate() {
+                    return Err(GBoosterError::Config(format!("ops objective {e}")));
+                }
+            }
+            if !off.ops.anomaly_z.is_finite() || off.ops.anomaly_z <= 0.0 {
+                return Err(GBoosterError::Config(format!(
+                    "ops anomaly_z must be finite and positive, got {}",
+                    off.ops.anomaly_z
                 )));
             }
             for dev in &off.service_devices {

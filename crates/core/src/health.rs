@@ -24,7 +24,7 @@
 //! `docs/RESILIENCE.md`.
 
 use gbooster_sim::time::{SimDuration, SimTime};
-use gbooster_telemetry::{names, Counter, Registry};
+use gbooster_telemetry::{names, Counter, Gauge, OpsEventKind, OpsLog, Registry};
 
 /// Liveness states of one service node.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +38,28 @@ pub enum NodeState {
     /// Answered a probe after death; awaiting the one-shot state resync
     /// before re-admission.
     Rejoining,
+}
+
+impl NodeState {
+    /// Stable machine-readable name, used in ops event payloads.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            NodeState::Healthy => "healthy",
+            NodeState::Suspect => "suspect",
+            NodeState::Dead => "dead",
+            NodeState::Rejoining => "rejoining",
+        }
+    }
+
+    /// Index into the per-state time accumulators.
+    fn index(self) -> usize {
+        match self {
+            NodeState::Healthy => 0,
+            NodeState::Suspect => 1,
+            NodeState::Dead => 2,
+            NodeState::Rejoining => 3,
+        }
+    }
 }
 
 /// State-machine transitions surfaced to the session engine.
@@ -103,6 +125,9 @@ fn probe_jitter_hash(node: usize, attempts: u32) -> u64 {
 #[derive(Clone, Debug)]
 struct NodeProbe {
     state: NodeState,
+    /// When the node entered its current state (drives the per-state
+    /// time accounting and the `in_state_us` field of transition events).
+    since: SimTime,
     /// Smoothed RTT estimate in seconds (0 before the first sample).
     srtt: f64,
     /// RTT mean deviation in seconds.
@@ -119,6 +144,7 @@ impl NodeProbe {
     fn new() -> Self {
         NodeProbe {
             state: NodeState::Healthy,
+            since: SimTime::ZERO,
             srtt: 0.0,
             rttvar: 0.0,
             misses: 0,
@@ -153,7 +179,7 @@ impl NodeProbe {
 /// // An answered probe starts the rejoin handshake.
 /// let ev = hm.observe(0, now, Some(SimDuration::from_millis(2)));
 /// assert_eq!(ev, vec![HealthEvent::RejoinReady(0)]);
-/// hm.rejoined(0);
+/// hm.rejoined(0, now);
 /// assert_eq!(hm.state(0), NodeState::Healthy);
 /// ```
 #[derive(Clone, Debug)]
@@ -161,6 +187,11 @@ pub struct HealthMonitor {
     nodes: Vec<NodeProbe>,
     config: HealthConfig,
     telemetry: Option<HealthCounters>,
+    /// Structured-event journal for state transitions (live-ops layer).
+    ops: Option<OpsLog>,
+    /// Accumulated node-seconds per state, indexed by
+    /// [`NodeState::index`]; finalized into the `health.*_secs` gauges.
+    state_secs: [f64; 4],
 }
 
 #[derive(Clone, Debug)]
@@ -169,6 +200,8 @@ struct HealthCounters {
     probe_timeouts: Counter,
     suspects: Counter,
     deaths: Counter,
+    /// Node-seconds gauges, same order as `HealthMonitor::state_secs`.
+    state_secs: [Gauge; 4],
 }
 
 impl HealthMonitor {
@@ -187,6 +220,8 @@ impl HealthMonitor {
             nodes: vec![NodeProbe::new(); n],
             config,
             telemetry: None,
+            ops: None,
+            state_secs: [0.0; 4],
         }
     }
 
@@ -198,7 +233,45 @@ impl HealthMonitor {
             probe_timeouts: registry.counter(names::health::PROBE_TIMEOUTS),
             suspects: registry.counter(names::health::SUSPECT_TRANSITIONS),
             deaths: registry.counter(names::health::DEAD_TRANSITIONS),
+            state_secs: [
+                registry.gauge(names::health::HEALTHY_SECS),
+                registry.gauge(names::health::SUSPECT_SECS),
+                registry.gauge(names::health::DEAD_SECS),
+                registry.gauge(names::health::REJOINING_SECS),
+            ],
         });
+    }
+
+    /// Journals every state transition into `ops` as a structured
+    /// [`OpsEventKind::HealthTransition`] event, so incident timelines
+    /// can link the probe walk that preceded a death or rejoin.
+    pub fn attach_ops(&mut self, ops: OpsLog) {
+        self.ops = Some(ops);
+    }
+
+    /// Moves node `j` to `to` at `now`: accounts the time spent in the
+    /// state being left and journals the transition. No-op when the
+    /// node is already in `to`.
+    fn transition(&mut self, j: usize, now: SimTime, to: NodeState) {
+        let from = self.nodes[j].state;
+        if from == to {
+            return;
+        }
+        let in_state = now.saturating_duration_since(self.nodes[j].since);
+        self.nodes[j].state = to;
+        self.nodes[j].since = now;
+        self.state_secs[from.index()] += in_state.as_secs_f64();
+        if let Some(ops) = &self.ops {
+            ops.push(
+                now,
+                OpsEventKind::HealthTransition {
+                    node: j,
+                    from: from.as_str(),
+                    to: to.as_str(),
+                    in_state_us: in_state.as_micros(),
+                },
+            );
+        }
     }
 
     /// Current state of node `j`.
@@ -274,9 +347,10 @@ impl HealthMonitor {
             }
         }
         let mut events = Vec::new();
-        let node = &mut self.nodes[j];
+        let state = self.nodes[j].state;
         if answered {
             let sample = rtt.expect("answered implies a sample").as_secs_f64();
+            let node = &mut self.nodes[j];
             if node.srtt == 0.0 {
                 node.srtt = sample;
                 node.rttvar = sample / 2.0;
@@ -286,31 +360,31 @@ impl HealthMonitor {
             }
             node.misses = 0;
             node.attempts = 0;
-            match node.state {
+            match state {
                 NodeState::Healthy | NodeState::Rejoining => {}
                 NodeState::Suspect => {
-                    node.state = NodeState::Healthy;
+                    self.transition(j, now, NodeState::Healthy);
                     events.push(HealthEvent::Recovered(j));
                 }
                 NodeState::Dead => {
-                    node.state = NodeState::Rejoining;
+                    self.transition(j, now, NodeState::Rejoining);
                     events.push(HealthEvent::RejoinReady(j));
                 }
             }
         } else {
-            node.misses += 1;
-            node.attempts += 1;
-            match node.state {
+            self.nodes[j].misses += 1;
+            self.nodes[j].attempts += 1;
+            match state {
                 NodeState::Healthy => {
-                    node.state = NodeState::Suspect;
+                    self.transition(j, now, NodeState::Suspect);
                     events.push(HealthEvent::Suspected(j));
                     if let Some(t) = &self.telemetry {
                         t.suspects.inc();
                     }
                 }
                 NodeState::Suspect => {
-                    if node.misses >= self.config.dead_misses {
-                        node.state = NodeState::Dead;
+                    if self.nodes[j].misses >= self.config.dead_misses {
+                        self.transition(j, now, NodeState::Dead);
                         events.push(HealthEvent::Died(j));
                         if let Some(t) = &self.telemetry {
                             t.deaths.inc();
@@ -319,7 +393,7 @@ impl HealthMonitor {
                 }
                 NodeState::Rejoining => {
                     // The resync window closed on us: back to Dead.
-                    node.state = NodeState::Dead;
+                    self.transition(j, now, NodeState::Dead);
                 }
                 NodeState::Dead => {}
             }
@@ -330,11 +404,11 @@ impl HealthMonitor {
         events
     }
 
-    /// Marks node `j`'s state resync complete: Rejoining → Healthy.
-    /// No-op unless the node is actually rejoining.
-    pub fn rejoined(&mut self, j: usize) {
+    /// Marks node `j`'s state resync complete at `now`: Rejoining →
+    /// Healthy. No-op unless the node is actually rejoining.
+    pub fn rejoined(&mut self, j: usize, now: SimTime) {
         if self.nodes[j].state == NodeState::Rejoining {
-            self.nodes[j].state = NodeState::Healthy;
+            self.transition(j, now, NodeState::Healthy);
         }
     }
 
@@ -342,8 +416,7 @@ impl HealthMonitor {
     /// the engine out-of-band — no probe round-trip needed). Returns
     /// whether the node was previously serving.
     pub fn force_dead(&mut self, j: usize, now: SimTime) -> bool {
-        let node = &mut self.nodes[j];
-        let was_serving = matches!(node.state, NodeState::Healthy | NodeState::Suspect);
+        let was_serving = matches!(self.nodes[j].state, NodeState::Healthy | NodeState::Suspect);
         if was_serving {
             if let Some(t) = &self.telemetry {
                 // A hard kill still walks the ranks for the counters:
@@ -352,12 +425,37 @@ impl HealthMonitor {
                 t.deaths.inc();
             }
         }
-        node.state = NodeState::Dead;
+        self.transition(j, now, NodeState::Dead);
+        let node = &mut self.nodes[j];
         node.misses = self.config.dead_misses;
         node.attempts = node.attempts.max(1);
         let attempts = node.attempts;
         self.nodes[j].next_probe_at = now + self.probe_backoff(j, attempts);
         was_serving
+    }
+
+    /// Accumulated node-seconds spent in each state so far, in
+    /// `[healthy, suspect, dead, rejoining]` order. Time in the current
+    /// states is not included until [`HealthMonitor::finalize`] runs.
+    pub fn state_secs(&self) -> [f64; 4] {
+        self.state_secs
+    }
+
+    /// Closes the per-state time accounting at `now` (session end):
+    /// folds each node's open interval into the accumulators and
+    /// publishes the four `health.*_secs` gauges. Safe to call more
+    /// than once — intervals are folded up to the latest `now` only.
+    pub fn finalize(&mut self, now: SimTime) {
+        for j in 0..self.nodes.len() {
+            let open = now.saturating_duration_since(self.nodes[j].since);
+            self.state_secs[self.nodes[j].state.index()] += open.as_secs_f64();
+            self.nodes[j].since = now;
+        }
+        if let Some(t) = &self.telemetry {
+            for (gauge, secs) in t.state_secs.iter().zip(self.state_secs) {
+                gauge.set(secs);
+            }
+        }
     }
 }
 
@@ -387,9 +485,62 @@ mod tests {
         let ev = hm.observe(0, now, Some(SimDuration::from_millis(2)));
         assert_eq!(ev, vec![HealthEvent::RejoinReady(0)]);
         assert_eq!(hm.pool_size(), 1, "rejoining is not yet in the pool");
-        hm.rejoined(0);
+        hm.rejoined(0, now);
         assert_eq!(hm.state(0), NodeState::Healthy);
         assert_eq!(hm.pool_size(), 2);
+    }
+
+    #[test]
+    fn transitions_journal_into_ops_and_account_time_in_state() {
+        let ops = OpsLog::new();
+        let mut hm = monitor(1);
+        hm.attach_ops(ops.clone());
+        // Healthy for 100 ms, then three misses walk to Dead, then an
+        // ack at 1 s starts the rejoin, completed 50 ms later.
+        let mut now = SimTime::from_millis(100);
+        hm.observe(0, now, None); // healthy -> suspect
+        now = SimTime::from_millis(150);
+        hm.observe(0, now, None);
+        hm.observe(0, now, None); // suspect -> dead
+        now = SimTime::from_millis(1_000);
+        hm.observe(0, now, Some(SimDuration::from_millis(2))); // dead -> rejoining
+        now = SimTime::from_millis(1_050);
+        hm.rejoined(0, now); // rejoining -> healthy
+        let events = ops.events();
+        let walk: Vec<(&str, &str, u64)> = events
+            .iter()
+            .map(|e| match e.kind {
+                OpsEventKind::HealthTransition {
+                    from,
+                    to,
+                    in_state_us,
+                    ..
+                } => (from, to, in_state_us),
+                ref other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            walk,
+            vec![
+                ("healthy", "suspect", 100_000),
+                ("suspect", "dead", 50_000),
+                ("dead", "rejoining", 850_000),
+                ("rejoining", "healthy", 50_000),
+            ]
+        );
+        // Finalize folds the open healthy interval and fills the gauges
+        // — including Rejoining, which matches the other states.
+        let registry = Registry::new();
+        hm.attach_registry(&registry);
+        hm.finalize(SimTime::from_millis(2_050));
+        let secs = hm.state_secs();
+        assert!((secs[0] - 1.1).abs() < 1e-9, "healthy: {secs:?}");
+        assert!((secs[1] - 0.05).abs() < 1e-9, "suspect: {secs:?}");
+        assert!((secs[2] - 0.85).abs() < 1e-9, "dead: {secs:?}");
+        assert!((secs[3] - 0.05).abs() < 1e-9, "rejoining: {secs:?}");
+        let snap = registry.snapshot();
+        assert!((snap.gauge(names::health::REJOINING_SECS) - 0.05).abs() < 1e-9);
+        assert!((snap.gauge(names::health::HEALTHY_SECS) - 1.1).abs() < 1e-9);
     }
 
     #[test]

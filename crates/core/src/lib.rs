@@ -20,6 +20,9 @@
 //!   `Healthy → Suspect → Dead → Rejoining` machine) feeding node
 //!   eviction, GL-state resync on rejoin, and the local-render fallback
 //!   (`docs/RESILIENCE.md`).
+//! * [`ops`] — the live-ops runtime: streaming SLO burn-rate
+//!   evaluation, alerting, anomaly detection, and correlated incident
+//!   timelines over the running session (`docs/OBSERVABILITY.md`).
 //! * [`queue`] — FCFS and priority service queues for multi-user serving
 //!   (Section VIII's future-work extension, implemented here).
 //! * [`metrics`] — median FPS, FPS stability and response time
@@ -49,6 +52,7 @@ pub mod error;
 pub mod forward;
 pub mod health;
 pub mod metrics;
+pub mod ops;
 pub mod queue;
 pub mod scheduler;
 pub mod service;

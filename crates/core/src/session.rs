@@ -27,8 +27,8 @@ use gbooster_sim::rng::derived;
 use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::{
     names, stitch_remote, AttributionLog, AttributionSnapshot, Counter, Fault, FlightDump,
-    FlightRecorder, FrameTrace, Histogram, Registry, RemoteSpanLog, SpanNode, TelemetrySnapshot,
-    TraceContext, TraceLog,
+    FlightRecorder, FrameTrace, Histogram, OpsReport, Registry, RemoteSpanLog, SpanNode,
+    TelemetrySnapshot, TraceContext, TraceLog,
 };
 use gbooster_workload::tracegen::TraceGenerator;
 use rand::rngs::StdRng;
@@ -42,6 +42,7 @@ use crate::error::GBoosterError;
 use crate::forward::{CommandForwarder, ServiceReceiver};
 use crate::health::{HealthConfig, HealthEvent, HealthMonitor};
 use crate::metrics::{CpuLedger, ResponseTracker};
+use crate::ops::OpsRuntime;
 use crate::scheduler::{Dispatcher, ReorderBuffer, ServiceNode};
 use crate::service::ServiceRuntime;
 use crate::transport::{Transfer, TransportManager};
@@ -158,6 +159,10 @@ pub struct SessionReport {
     /// outcome, downlink bytes by frame kind, sim time and joules by
     /// stage × node × interface (offloaded mode only; empty otherwise).
     pub attribution: AttributionSnapshot,
+    /// Live-ops output: correlated incident records, the structured
+    /// event journal, per-alert summaries, and the anomaly count
+    /// (offloaded mode only; empty for local and cloud runs).
+    pub ops: OpsReport,
 }
 
 impl SessionReport {
@@ -181,6 +186,22 @@ impl SessionReport {
     /// microseconds, and joules went.
     pub fn attribution_report(&self) -> String {
         self.attribution.render_top(10)
+    }
+
+    /// The human-readable incident postmortem (alert summaries plus one
+    /// causally-ordered timeline per correlated incident).
+    pub fn ops_postmortem(&self) -> String {
+        self.ops.render_postmortem()
+    }
+
+    /// The session's incident records as JSON Lines (one per incident).
+    pub fn incidents_jsonl(&self) -> String {
+        self.ops.incidents_jsonl()
+    }
+
+    /// The full structured ops-event journal as JSON Lines.
+    pub fn ops_events_jsonl(&self) -> String {
+        self.ops.events_jsonl()
     }
 }
 
@@ -416,6 +437,7 @@ fn run_local(config: &SessionConfig) -> SessionReport {
         clock_offset_us: None,
         flight: None,
         attribution: AttributionSnapshot::default(),
+        ops: OpsReport::default(),
     }
 }
 
@@ -538,6 +560,10 @@ struct OffloadEngine {
     /// Resource-attribution sink shared with the forwarder and transport
     /// taps; the engine adds the stage-time and downlink-kind axes.
     attr: AttributionLog,
+    /// The live-ops runtime: windowed streams, SLO burn-rate alerting,
+    /// anomaly detection, and incident correlation (`None` when the
+    /// ops layer is disabled in config).
+    ops: Option<OpsRuntime>,
     // Session constants.
     session_id: u64,
     frame_pixels: u64,
@@ -667,7 +693,7 @@ impl OffloadEngine {
             // An empty pool engages the fallback immediately — there is
             // nobody left to render, so waiting out the SLO streak would
             // just stall the display.
-            self.engage_fallback(start);
+            self.engage_fallback(start, "pool_empty");
         }
         if self.fallback {
             return self.issue_local_frame(seq, ctx, start, &trace);
@@ -773,6 +799,9 @@ impl OffloadEngine {
                 }
                 NodeEvent::Degrade { node, factor, .. } => {
                     self.dispatcher.degrade_node(node, factor);
+                    if let Some(ops) = &mut self.ops {
+                        ops.on_degrade(now, node, factor);
+                    }
                 }
             }
         }
@@ -836,7 +865,7 @@ impl OffloadEngine {
         self.node_dead[node] = false;
         self.dispatcher
             .revive_node(node, tx.delivered_at, REJOIN_WARMUP);
-        self.health.rejoined(node);
+        self.health.rejoined(node, now);
         self.c_rejoins.inc();
         self.rejoin_pending = true;
         Ok(())
@@ -858,13 +887,16 @@ impl OffloadEngine {
     /// Engages the local-render fallback: subsequent frames render on
     /// the phone GPU until the pool is healthy and the latency EWMA has
     /// recovered below the release threshold.
-    fn engage_fallback(&mut self, now: SimTime) {
+    fn engage_fallback(&mut self, now: SimTime, reason: &'static str) {
         self.fallback = true;
         self.fallback_since = now;
         self.fallback_frames = 0;
         self.breach_streak = 0;
         self.c_fallback_engagements.inc();
         self.fallback_pending = true;
+        if let Some(ops) = &mut self.ops {
+            ops.on_fallback_engaged(now, reason);
+        }
     }
 
     /// Releases the fallback once the hysteresis allows: a minimum dwell
@@ -886,6 +918,9 @@ impl OffloadEngine {
         // immediately re-trip the engage streak.
         self.latency_ewma = 0.0;
         self.breach_streak = 0;
+        if let Some(ops) = &mut self.ops {
+            ops.on_fallback_released(now);
+        }
     }
 
     /// Issues one frame down the graceful-degradation path: rendered on
@@ -990,6 +1025,7 @@ impl OffloadEngine {
         let pool_empty = self.dispatcher.alive_nodes() == 0;
         let mut orphans = orphans;
         orphans.sort_unstable();
+        let orphan_count = orphans.len() as u64;
         for seq in orphans {
             let idx = self
                 .pending
@@ -1026,6 +1062,11 @@ impl OffloadEngine {
             p.dispatch_start = decision.start;
             p.finish = decision.finish;
             self.c_redispatch.inc();
+        }
+        if orphan_count > 0 {
+            if let Some(ops) = &mut self.ops {
+                ops.on_redispatch(at, node, orphan_count);
+            }
         }
         if pool_empty {
             // Total pool loss outranks the single-node symptom.
@@ -1224,6 +1265,7 @@ impl OffloadEngine {
         }
         self.last_shown = self.last_shown.max(shown);
         self.presented.push(shown);
+        self.sample_ops(shown, shown - p.start);
     }
 
     /// Presents one phone-rendered fallback frame. The span tree carries
@@ -1271,6 +1313,22 @@ impl OffloadEngine {
         }
         self.last_shown = self.last_shown.max(shown);
         self.presented.push(shown);
+        self.sample_ops(shown, shown - p.start);
+    }
+
+    /// Feeds the live-ops layer at one presentation: windowed samples
+    /// (latency, inter-frame gap, cache misses, per-interface power),
+    /// then one burn-rate evaluation pass over every objective. A no-op
+    /// with the ops layer disabled.
+    fn sample_ops(&mut self, shown: SimTime, latency: SimDuration) {
+        let Some(ops) = &mut self.ops else {
+            return;
+        };
+        let wifi_j = self.transport.wifi_energy_joules();
+        let bt_j = self.transport.radio_energy_joules() - wifi_j;
+        ops.on_present(shown, latency, wifi_j, bt_j);
+        let pool_healthy = self.dispatcher.alive_nodes() == self.node_up.len() && !self.fallback;
+        ops.evaluate(shown, pool_healthy);
     }
 
     /// Runs the fault-detector chain over this presentation's deltas and
@@ -1311,6 +1369,9 @@ impl OffloadEngine {
             if self.flight.trigger(fault, shown, self.registry.snapshot()) {
                 self.c_dumps.inc();
             }
+            if let Some(ops) = &mut self.ops {
+                ops.on_fault(shown, fault);
+            }
         }
     }
 
@@ -1330,7 +1391,7 @@ impl OffloadEngine {
         if self.latency_ewma > self.slo.engage_ms {
             self.breach_streak += 1;
             if self.breach_streak >= self.slo.breach_frames {
-                self.engage_fallback(shown);
+                self.engage_fallback(shown, "slo_breach");
             }
         } else {
             self.breach_streak = 0;
@@ -1420,9 +1481,19 @@ fn run_offloaded(
     }
     let c_retx = registry.counter(names::net::RETRANSMITS);
     let c_wakes = registry.counter(names::net::WIFI_WAKES);
-    let flight = FlightRecorder::new(off.flight_recorder_depth);
+    let mut flight = FlightRecorder::new(off.flight_recorder_depth);
     let mut health = HealthMonitor::new(off.service_devices.len(), HealthConfig::default());
     health.attach_registry(&registry);
+    // The live-ops runtime: windowed streams, burn-rate alerting, and
+    // incident correlation. Every other producer journals into its
+    // shared ops log so incident timelines interleave health
+    // transitions, flight dumps, and transport events causally.
+    let ops = OpsRuntime::new(&off.ops, &registry, attr.clone());
+    if let Some(o) = &ops {
+        flight.attach_ops(o.log());
+        health.attach_ops(o.log());
+        transport.attach_ops(o.log());
+    }
 
     // 2. Ship the setup stream to every device (pure state: replicated).
     let setup = gen.setup_trace();
@@ -1484,6 +1555,7 @@ fn run_offloaded(
         c_fallback_engagements: registry.counter(names::health::FALLBACK_ENGAGEMENTS),
         local_render_hist: registry.histogram(names::stage::LOCAL_RENDER),
         attr: attr.clone(),
+        ops,
         health,
         node_up: vec![true; off.service_devices.len()],
         node_events: off.faults.node_schedule(),
@@ -1551,7 +1623,9 @@ fn run_offloaded(
         flight,
         node_dead,
         last_shown,
-        health,
+        mut health,
+        ops,
+        node_up,
         mut phone_gpu,
         phone_gpu_busy_secs,
         fallback,
@@ -1671,6 +1745,15 @@ fn run_offloaded(
     registry
         .gauge(names::sched::INFLIGHT_PEAK)
         .set(transport.inflight_peak() as f64);
+    // Seal the live-ops layer before the snapshot so its counters and
+    // time-in-state gauges land in the report's telemetry: fold every
+    // node's open health interval, close (or seal unresolved) the open
+    // incident, and bundle the incident/alert/anomaly report.
+    health.finalize(last_shown);
+    let pool_healthy = dispatcher.alive_nodes() == node_up.len() && !fallback;
+    let ops_report = ops
+        .map(|mut o| o.finalize(last_shown, pool_healthy))
+        .unwrap_or_default();
     let telemetry = registry.snapshot();
     let frames_displayed = telemetry.counter(names::session::FRAMES_DISPLAYED);
     // Eq. 5's per-frame overhead t_p: the network transfers plus decode.
@@ -1742,6 +1825,7 @@ fn run_offloaded(
         clock_offset_us: transport.clock_offset_estimate_us(),
         flight: flight.dumps().first().cloned(),
         attribution: attr.snapshot(),
+        ops: ops_report,
     })
 }
 
@@ -1843,6 +1927,7 @@ fn run_cloud(config: &SessionConfig, cloud: &CloudConfig) -> SessionReport {
         clock_offset_us: None,
         flight: None,
         attribution: AttributionSnapshot::default(),
+        ops: OpsReport::default(),
     }
 }
 

@@ -13,7 +13,8 @@ use gbooster_forecast::predictor::TrafficPredictor;
 use gbooster_net::switch::{IfaceTime, InterfaceManager, Route, SwitchStats};
 use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::{
-    names, AttributionLog, ClockOffsetEstimator, Counter, Gauge, Registry, TraceContext,
+    names, AttributionLog, ClockOffsetEstimator, Counter, Gauge, OpsEventKind, OpsLog, Registry,
+    TraceContext,
 };
 
 /// Per-route propagation latency added on top of serialization.
@@ -100,6 +101,9 @@ pub struct TransportManager {
     clock: ClockOffsetEstimator,
     counters: Option<TransportCounters>,
     attr: Option<AttributionLog>,
+    /// Structured-event journal for injected interface flaps
+    /// (live-ops layer).
+    ops: Option<OpsLog>,
 }
 
 /// Pre-resolved registry handles for the transport counters.
@@ -145,7 +149,15 @@ impl TransportManager {
             clock: ClockOffsetEstimator::new(),
             counters: None,
             attr: None,
+            ops: None,
         }
+    }
+
+    /// Journals injected interface flaps into `ops`, so incident
+    /// timelines can link the radio churn to the frames it degraded.
+    /// Purely observational, like [`Self::attach_registry`].
+    pub fn attach_ops(&mut self, ops: OpsLog) {
+        self.ops = Some(ops);
     }
 
     /// Attributes every transfer into `log`'s link table along
@@ -422,6 +434,14 @@ impl TransportManager {
     /// for interface-flap drills). See [`InterfaceManager::force_flap`].
     pub fn force_flap(&mut self, now: SimTime, cycles: u32) {
         self.mgr.force_flap(now, cycles);
+        if let Some(ops) = &self.ops {
+            ops.push(
+                now,
+                OpsEventKind::IfaceFlap {
+                    cycles: cycles as u64,
+                },
+            );
+        }
     }
 
     /// Lifetime (uplink, downlink) byte totals.

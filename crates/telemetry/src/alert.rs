@@ -1,0 +1,278 @@
+//! The alert state machine driven by SLO burn verdicts.
+//!
+//! One [`AlertMachine`] per objective, stepped once per evaluation with
+//! a boolean breach verdict. Three defenses against flapping:
+//!
+//! * **Dwell** — a breach must hold for `pending_for` before the alert
+//!   fires (Pending → Firing); a blip shorter than the dwell is
+//!   cancelled silently.
+//! * **Hysteresis** — a firing alert resolves only after the breach has
+//!   stayed clear for `resolve_after`; brief recoveries do not resolve.
+//! * **Dedup** — a breach that returns while the alert is still firing
+//!   (inside the resolve dwell) re-arms the same alert and bumps a
+//!   dedup counter instead of emitting a second firing.
+//!
+//! Transitions are returned to the caller as [`AlertTransition`]s so
+//! the ops layer can journal them as structured events; the machine
+//! itself keeps no event log.
+
+use gbooster_sim::time::{SimDuration, SimTime};
+
+/// Externally visible alert states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertState {
+    /// No breach in progress.
+    Idle,
+    /// Breaching, inside the firing dwell.
+    Pending,
+    /// Fired and not yet resolved.
+    Firing,
+}
+
+impl AlertState {
+    /// Stable machine-readable name, used in event payloads.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertState::Idle => "idle",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+        }
+    }
+}
+
+/// A state change worth journaling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertTransition {
+    /// Idle → Pending: a breach appeared, the dwell clock started.
+    Pending,
+    /// Pending → Firing: the breach outlived the dwell.
+    Fired,
+    /// Pending → Idle: the breach vanished inside the dwell.
+    Cancelled,
+    /// Firing → Idle: the breach stayed clear through the resolve dwell.
+    Resolved,
+}
+
+impl AlertTransition {
+    /// Stable machine-readable name, used in event payloads.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AlertTransition::Pending => "pending",
+            AlertTransition::Fired => "firing",
+            AlertTransition::Cancelled => "cancelled",
+            AlertTransition::Resolved => "resolved",
+        }
+    }
+}
+
+/// Dwell/hysteresis tuning shared by every alert in a session.
+#[derive(Clone, Copy, Debug)]
+pub struct AlertConfig {
+    /// How long a breach must hold before the alert fires.
+    pub pending_for: SimDuration,
+    /// How long the breach must stay clear before a firing alert
+    /// resolves.
+    pub resolve_after: SimDuration,
+}
+
+impl Default for AlertConfig {
+    fn default() -> Self {
+        AlertConfig {
+            pending_for: SimDuration::from_millis(150),
+            resolve_after: SimDuration::from_millis(400),
+        }
+    }
+}
+
+/// Per-objective alert lifecycle tracker.
+#[derive(Clone, Debug)]
+pub struct AlertMachine {
+    /// The objective this alert covers.
+    pub name: &'static str,
+    config: AlertConfig,
+    state: AlertState,
+    /// When the current Pending episode started.
+    pending_since: SimTime,
+    /// When the breach last went clear while Firing (None = breaching).
+    clear_since: Option<SimTime>,
+    fired: u64,
+    deduped: u64,
+    resolved: u64,
+}
+
+impl AlertMachine {
+    /// Creates an idle machine for `name`.
+    pub fn new(name: &'static str, config: AlertConfig) -> Self {
+        AlertMachine {
+            name,
+            config,
+            state: AlertState::Idle,
+            pending_since: SimTime::ZERO,
+            clear_since: None,
+            fired: 0,
+            deduped: 0,
+            resolved: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AlertState {
+        self.state
+    }
+
+    /// Whether the alert is Pending or Firing (blocks incident closure).
+    pub fn is_active(&self) -> bool {
+        self.state != AlertState::Idle
+    }
+
+    /// Firing episodes emitted.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Re-breaches absorbed by an already-firing alert.
+    pub fn deduped(&self) -> u64 {
+        self.deduped
+    }
+
+    /// Resolutions emitted.
+    pub fn resolved(&self) -> u64 {
+        self.resolved
+    }
+
+    /// Feeds one breach verdict at `now`; returns the transition it
+    /// caused, if any. `now` must be monotone across calls.
+    pub fn step(&mut self, now: SimTime, breaching: bool) -> Option<AlertTransition> {
+        match self.state {
+            AlertState::Idle => {
+                if breaching {
+                    self.state = AlertState::Pending;
+                    self.pending_since = now;
+                    Some(AlertTransition::Pending)
+                } else {
+                    None
+                }
+            }
+            AlertState::Pending => {
+                if !breaching {
+                    self.state = AlertState::Idle;
+                    Some(AlertTransition::Cancelled)
+                } else if now.saturating_duration_since(self.pending_since)
+                    >= self.config.pending_for
+                {
+                    self.state = AlertState::Firing;
+                    self.clear_since = None;
+                    self.fired += 1;
+                    Some(AlertTransition::Fired)
+                } else {
+                    None
+                }
+            }
+            AlertState::Firing => {
+                if breaching {
+                    // A re-breach inside the resolve dwell folds into
+                    // the ongoing firing: dedup, don't re-fire.
+                    if self.clear_since.take().is_some() {
+                        self.deduped += 1;
+                    }
+                    None
+                } else {
+                    let since = *self.clear_since.get_or_insert(now);
+                    if now.saturating_duration_since(since) >= self.config.resolve_after {
+                        self.state = AlertState::Idle;
+                        self.clear_since = None;
+                        self.resolved += 1;
+                        Some(AlertTransition::Resolved)
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> AlertMachine {
+        AlertMachine::new(
+            "slo.test",
+            AlertConfig {
+                pending_for: SimDuration::from_millis(100),
+                resolve_after: SimDuration::from_millis(300),
+            },
+        )
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn sustained_breach_fires_once_and_resolves_once() {
+        let mut m = machine();
+        assert_eq!(m.step(at(0), true), Some(AlertTransition::Pending));
+        assert_eq!(m.step(at(50), true), None);
+        assert_eq!(m.step(at(100), true), Some(AlertTransition::Fired));
+        assert_eq!(m.step(at(150), true), None, "no duplicate firing");
+        assert_eq!(m.step(at(200), false), None, "resolve dwell starts");
+        assert_eq!(m.step(at(400), false), None, "still inside the dwell");
+        assert_eq!(m.step(at(500), false), Some(AlertTransition::Resolved));
+        assert_eq!(m.state(), AlertState::Idle);
+        assert_eq!(m.fired(), 1);
+        assert_eq!(m.resolved(), 1);
+        assert_eq!(m.deduped(), 0);
+    }
+
+    #[test]
+    fn oscillating_breach_never_fires() {
+        // Hysteresis no-flap: a breach that toggles every 30 ms never
+        // survives the 100 ms firing dwell, so the alert never fires no
+        // matter how long the oscillation lasts.
+        let mut m = machine();
+        let mut transitions = Vec::new();
+        for i in 0..200u64 {
+            let breaching = i % 2 == 0;
+            if let Some(t) = m.step(at(i * 30), breaching) {
+                transitions.push(t);
+            }
+        }
+        assert_eq!(m.fired(), 0, "oscillation must not fire");
+        assert!(transitions
+            .iter()
+            .all(|t| matches!(t, AlertTransition::Pending | AlertTransition::Cancelled)));
+    }
+
+    #[test]
+    fn rebreach_inside_resolve_dwell_is_deduped() {
+        let mut m = machine();
+        m.step(at(0), true);
+        assert_eq!(m.step(at(100), true), Some(AlertTransition::Fired));
+        // Clear, then re-breach before the 300 ms resolve dwell elapses
+        // — three times. Same firing, three dedups, zero new events.
+        let mut events = 0;
+        for cycle in 0..3u64 {
+            let base = 200 + cycle * 200;
+            events += m.step(at(base), false).iter().count();
+            events += m.step(at(base + 100), true).iter().count();
+        }
+        assert_eq!(events, 0, "dedup must be silent");
+        assert_eq!(m.fired(), 1);
+        assert_eq!(m.deduped(), 3);
+        assert_eq!(m.state(), AlertState::Firing);
+        // A real recovery still resolves.
+        m.step(at(1_000), false);
+        assert_eq!(m.step(at(1_300), false), Some(AlertTransition::Resolved));
+    }
+
+    #[test]
+    fn blip_inside_firing_dwell_is_cancelled() {
+        let mut m = machine();
+        assert_eq!(m.step(at(0), true), Some(AlertTransition::Pending));
+        assert_eq!(m.step(at(50), false), Some(AlertTransition::Cancelled));
+        assert_eq!(m.fired(), 0);
+        assert!(!m.is_active());
+    }
+}

@@ -12,6 +12,7 @@ use std::collections::VecDeque;
 
 use gbooster_sim::time::SimTime;
 
+use crate::incident::{OpsEventKind, OpsLog};
 use crate::report::TelemetrySnapshot;
 use crate::trace::FrameTrace;
 
@@ -108,6 +109,7 @@ pub struct FlightRecorder {
     fired: bool,
     faults_seen: u64,
     dumps: Vec<FlightDump>,
+    ops: Option<OpsLog>,
 }
 
 impl FlightRecorder {
@@ -119,7 +121,14 @@ impl FlightRecorder {
             fired: false,
             faults_seen: 0,
             dumps: Vec::new(),
+            ops: None,
         }
+    }
+
+    /// Journals the one-shot dump emission into `ops`, so incident
+    /// timelines can link the postmortem that fired inside them.
+    pub fn attach_ops(&mut self, ops: OpsLog) {
+        self.ops = Some(ops);
     }
 
     /// Ring depth.
@@ -144,6 +153,14 @@ impl FlightRecorder {
             return false;
         }
         self.fired = true;
+        if let Some(ops) = &self.ops {
+            ops.push(
+                at,
+                OpsEventKind::FlightDump {
+                    fault: fault.as_str(),
+                },
+            );
+        }
         self.dumps.push(FlightDump {
             fault,
             at,
@@ -247,6 +264,31 @@ mod tests {
         );
         assert!(lines[1].starts_with("{\"seq\":0,\"span\":{\"name\":\"frame\""));
         assert!(lines[3].starts_with("{\"snapshot\":{\"counters\""));
+    }
+
+    #[test]
+    fn trigger_journals_the_dump_once_into_an_attached_ops_log() {
+        let ops = OpsLog::new();
+        let mut rec = FlightRecorder::new(2);
+        rec.attach_ops(ops.clone());
+        rec.trigger(
+            Fault::NodeLoss,
+            SimTime::from_micros(1_000),
+            TelemetrySnapshot::default(),
+        );
+        rec.trigger(
+            Fault::LossStorm,
+            SimTime::from_micros(2_000),
+            TelemetrySnapshot::default(),
+        );
+        // One dump, one journal entry — the latch gates both.
+        let events = ops.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            OpsEventKind::FlightDump { fault: "node_loss" }
+        );
+        assert_eq!(events[0].at, SimTime::from_micros(1_000));
     }
 
     #[test]

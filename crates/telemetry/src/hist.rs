@@ -10,7 +10,10 @@
 //! Recording is a single atomic increment plus two atomic min/max
 //! updates; no locks anywhere on the hot path.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use gbooster_sim::time::{SimDuration, SimTime};
 
 /// Values below this land in 1-unit-wide exact buckets.
 const LINEAR_CUTOFF: u64 = 128;
@@ -219,6 +222,31 @@ impl HistogramSnapshot {
         self.quantile(0.99) as f64 / 1000.0
     }
 
+    /// Records one sample into this snapshot directly (the non-atomic
+    /// twin of [`HistogramCore::record`], for single-owner state such as
+    /// the slots of a [`WindowedHistogramCore`]).
+    pub fn record_one(&mut self, v: u64) {
+        if self.buckets.len() < BUCKETS {
+            self.buckets.resize(BUCKETS, 0);
+        }
+        self.buckets[bucket_index(v)] += 1;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Samples strictly above `threshold`, at bucket resolution: counts
+    /// every bucket past the one holding `threshold`. Samples sharing
+    /// the threshold's bucket count as *not* over — the estimate is
+    /// conservative by at most one bucket width (≤ 1/16 relative), and,
+    /// being a pure function of the buckets, it is deterministic and
+    /// merge-consistent like the quantiles.
+    pub fn count_over(&self, threshold: u64) -> u64 {
+        let cut = bucket_index(threshold);
+        self.buckets.iter().skip(cut + 1).sum()
+    }
+
     /// Merges `other` into `self`, bucket-wise. Because bucketing is a
     /// pure function of the value, the merge is exactly equivalent to
     /// having recorded the union of both sample sets — p50/p90/p99 of
@@ -240,6 +268,99 @@ impl HistogramSnapshot {
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);
+    }
+}
+
+/// A histogram sliced into fixed-width sim-time slots, supporting
+/// rolling-window snapshots: "the latency distribution over the last
+/// 800 ms" rather than since the session began. The SLO burn-rate
+/// evaluator ([`crate::slo`]) consumes these windows.
+///
+/// Slots rotate as time advances; the ring retains the last `retain`
+/// non-empty slots, so a window query can reach back up to
+/// `retain × slot_width`. An all-time merged view is kept alongside —
+/// because bucket merging is exact (see [`HistogramSnapshot::merge`]),
+/// merging every slot reproduces the merged view bit-for-bit, which the
+/// consistency tests assert.
+#[derive(Clone, Debug)]
+pub struct WindowedHistogramCore {
+    slot_width_us: u64,
+    retain: usize,
+    /// `(slot index, samples landed in that slot)`, oldest first.
+    slots: VecDeque<(u64, HistogramSnapshot)>,
+    merged: HistogramSnapshot,
+}
+
+impl WindowedHistogramCore {
+    /// Creates an empty windowed histogram with `retain` slots of
+    /// `slot_width` each (both forced to at least 1).
+    pub fn new(slot_width: SimDuration, retain: usize) -> Self {
+        WindowedHistogramCore {
+            slot_width_us: slot_width.as_micros().max(1),
+            retain: retain.max(1),
+            slots: VecDeque::new(),
+            merged: HistogramSnapshot::default(),
+        }
+    }
+
+    /// Widest window a query can cover, `retain × slot_width`.
+    pub fn span(&self) -> SimDuration {
+        SimDuration::from_micros(self.slot_width_us * self.retain as u64)
+    }
+
+    /// Records one sample observed at sim time `at`. Timestamps are
+    /// expected to be monotone (presentation order); a late sample folds
+    /// into the newest slot rather than resurrecting an evicted one.
+    pub fn record(&mut self, at: SimTime, v: u64) {
+        let idx = at.as_micros() / self.slot_width_us;
+        match self.slots.back() {
+            Some(&(back, _)) if back >= idx => {}
+            _ => {
+                self.slots.push_back((idx, HistogramSnapshot::default()));
+                while self.slots.len() > self.retain {
+                    self.slots.pop_front();
+                }
+            }
+        }
+        self.slots
+            .back_mut()
+            .expect("slot pushed above")
+            .1
+            .record_one(v);
+        self.merged.record_one(v);
+    }
+
+    /// Merged distribution of the samples whose slot intersects
+    /// `(now − window, now]`. Slot granularity applies: a slot is
+    /// included as soon as any part of it falls inside the window.
+    pub fn window(&self, now: SimTime, window: SimDuration) -> HistogramSnapshot {
+        let now_us = now.as_micros();
+        let start_us = now_us.saturating_sub(window.as_micros());
+        let mut out = HistogramSnapshot::default();
+        for (idx, slot) in &self.slots {
+            let slot_start = idx * self.slot_width_us;
+            if slot_start + self.slot_width_us > start_us && slot_start <= now_us {
+                out.merge(slot);
+            }
+        }
+        out
+    }
+
+    /// The all-time merged view (every sample ever recorded, including
+    /// ones whose slots have been evicted from the ring).
+    pub fn merged(&self) -> &HistogramSnapshot {
+        &self.merged
+    }
+
+    /// Merge of the retained slots only (what the widest window query
+    /// can still see). Equals [`WindowedHistogramCore::merged`] while no
+    /// slot has been evicted — the consistency property under test.
+    pub fn retained(&self) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for (_, slot) in &self.slots {
+            out.merge(slot);
+        }
+        out
     }
 }
 
@@ -344,6 +465,100 @@ mod tests {
         let mut flipped = b.snapshot();
         flipped.merge(&a.snapshot());
         assert_eq!(flipped, merged);
+    }
+
+    #[test]
+    fn count_over_is_conservative_and_merge_consistent() {
+        let h = HistogramCore::new();
+        for v in [10u64, 50, 100, 5_000, 9_000, 40_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Linear region: exact.
+        assert_eq!(s.count_over(100), 3);
+        assert_eq!(s.count_over(99), 4);
+        // Log region: conservative by at most the threshold's bucket.
+        assert_eq!(s.count_over(9_500), 1);
+        assert_eq!(s.count_over(u64::MAX), 0);
+        // Splitting the samples across two histograms and merging gives
+        // the same answer: count_over is a pure function of the buckets.
+        let a = HistogramCore::new();
+        let b = HistogramCore::new();
+        for v in [10u64, 5_000, 40_000] {
+            a.record(v);
+        }
+        for v in [50u64, 100, 9_000] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count_over(100), s.count_over(100));
+    }
+
+    #[test]
+    fn windowed_slots_rotate_and_queries_respect_the_window() {
+        // 100 ms slots, plenty retained. Three bursts a slot apart.
+        let mut w = WindowedHistogramCore::new(SimDuration::from_millis(100), 64);
+        for i in 0..3u64 {
+            let at = SimTime::from_micros(i * 100_000 + 50_000);
+            for k in 0..10u64 {
+                w.record(at, 1_000 * (i + 1) + k);
+            }
+        }
+        let now = SimTime::from_micros(250_000);
+        // A window reaching back only into the newest slot sees only
+        // the newest burst.
+        let last = w.window(now, SimDuration::from_millis(50));
+        assert_eq!(last.count(), 10);
+        assert!(last.min() >= 3_000);
+        // A full-span window sees everything.
+        let all = w.window(now, SimDuration::from_millis(300));
+        assert_eq!(all.count(), 30);
+        // Far in the future, every slot has aged out of the window.
+        let later = w.window(SimTime::from_secs(10), SimDuration::from_millis(100));
+        assert_eq!(later.count(), 0);
+    }
+
+    #[test]
+    fn windowed_merge_matches_a_plain_histogram_of_the_same_samples() {
+        // The merged-vs-windowed consistency contract: recording one
+        // deterministic sample stream through the windowed core and
+        // through a plain histogram must agree exactly — for the
+        // all-time merged view, the retained-slot merge (no eviction
+        // here), and a window query covering the whole stream.
+        let mut w = WindowedHistogramCore::new(SimDuration::from_millis(50), 256);
+        let plain = HistogramCore::new();
+        let mut t_us = 0u64;
+        for i in 0..2_000u64 {
+            t_us += 3_000 + (i * 7) % 1_100;
+            let v = 200 + (i * i) % 90_000;
+            w.record(SimTime::from_micros(t_us), v);
+            plain.record(v);
+        }
+        let reference = plain.snapshot();
+        assert_eq!(w.merged(), &reference, "all-time merge must be exact");
+        assert_eq!(w.retained(), reference, "slot merge must be exact");
+        let windowed = w.window(
+            SimTime::from_micros(t_us),
+            SimDuration::from_micros(t_us + 1),
+        );
+        assert_eq!(windowed, reference, "full-span window must be exact");
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(windowed.quantile(q), reference.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn windowed_eviction_drops_old_slots_but_keeps_the_merged_view() {
+        let mut w = WindowedHistogramCore::new(SimDuration::from_millis(10), 2);
+        for i in 0..5u64 {
+            w.record(SimTime::from_millis(i * 10), 100 + i);
+        }
+        // Only the last two slots are retained...
+        assert_eq!(w.retained().count(), 2);
+        // ...but the merged view still has all five samples.
+        assert_eq!(w.merged().count(), 5);
+        assert_eq!(w.merged().min(), 100);
     }
 
     #[test]

@@ -1,0 +1,870 @@
+//! Ops event journal and correlated incident timelines.
+//!
+//! Three pieces:
+//!
+//! * [`OpsLog`] — a shared, append-only journal of structured
+//!   [`OpsEvent`]s: health transitions, fallback flips, alert state
+//!   changes, anomalies, detector faults, flight dumps. Producers all
+//!   over the engine (session, health monitor, transport, flight
+//!   recorder) hold clones and push; sequence numbers are assigned at
+//!   the journal, so the causal order is total and deterministic.
+//! * [`IncidentManager`] — folds triggers into **incidents**. At most
+//!   one incident is open at a time: a trigger that lands while one is
+//!   open *correlates* into it (escalating its kind if the new trigger
+//!   is more severe) instead of opening a second — an injected kill and
+//!   the fallback flip, redispatch storm, and SLO burn it causes are
+//!   one story, not four. The incident closes once the system is
+//!   quiescent again (pool healthy, no alert active) and a minimum
+//!   open time has passed.
+//! * [`OpsReport`] — the session-end bundle: all incidents, the full
+//!   event journal, and per-alert summaries, exportable as JSONL and
+//!   renderable as a human postmortem.
+//!
+//! An incident's timeline is cut from the journal at close: every event
+//! from `lookback` before the trigger (catching the cause: the probe
+//! misses that preceded the death) through the close. Its attribution
+//! diff spans open → close, so "what moved while things were bad" is
+//! answered from the same table the bench gate uses.
+
+use std::sync::{Arc, Mutex};
+
+use gbooster_sim::time::{SimDuration, SimTime};
+
+use crate::attr::AttributionSnapshot;
+use crate::diff::{diff as attribution_diff, AttributionDiff};
+use crate::json::{number, quote};
+use crate::slo::BurnState;
+
+/// One structured ops event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpsEventKind {
+    /// A health-monitor node state change, with the time spent in the
+    /// state being left.
+    HealthTransition {
+        /// Node index.
+        node: usize,
+        /// State being left ("healthy", "suspect", "dead", "rejoining").
+        from: &'static str,
+        /// State being entered.
+        to: &'static str,
+        /// Microseconds spent in `from`.
+        in_state_us: u64,
+    },
+    /// The engine flipped SwapBuffers to local rendering.
+    FallbackEngaged {
+        /// What forced the flip ("pool_empty" or "slo_breach").
+        reason: &'static str,
+    },
+    /// The engine released the fallback and resumed offloading.
+    FallbackReleased,
+    /// In-flight frames were re-dispatched away from a dead node.
+    Redispatch {
+        /// The node the frames were rescued from.
+        node: usize,
+        /// How many frames moved.
+        frames: u64,
+    },
+    /// A node's render throughput was degraded by fault injection.
+    NodeDegraded {
+        /// Node index.
+        node: usize,
+        /// Remaining throughput fraction, in permille.
+        factor_permille: u64,
+    },
+    /// The detector chain classified a fault.
+    FaultDetected {
+        /// [`crate::flight::Fault::as_str`] of the classified fault.
+        fault: &'static str,
+    },
+    /// The flight recorder emitted its one-shot postmortem dump.
+    FlightDump {
+        /// The primary fault the dump describes.
+        fault: &'static str,
+    },
+    /// An alert machine changed state.
+    Alert {
+        /// The objective/alert name.
+        alert: &'static str,
+        /// The transition ("pending", "firing", "cancelled",
+        /// "resolved").
+        transition: &'static str,
+        /// Fast-window burn rate at the transition.
+        fast_burn: f64,
+        /// Slow-window burn rate at the transition.
+        slow_burn: f64,
+    },
+    /// An anomaly detector flagged an outlier.
+    Anomaly {
+        /// The watched stream.
+        metric: &'static str,
+        /// The outlying sample.
+        value: f64,
+        /// The EWMA mean it deviated from.
+        mean: f64,
+        /// The z-score.
+        z: f64,
+    },
+    /// The WiFi interface was forced through an off/on flap.
+    IfaceFlap {
+        /// Flap cycles applied.
+        cycles: u64,
+    },
+}
+
+impl OpsEventKind {
+    /// Stable machine-readable event type name.
+    pub fn type_str(&self) -> &'static str {
+        match self {
+            OpsEventKind::HealthTransition { .. } => "health_transition",
+            OpsEventKind::FallbackEngaged { .. } => "fallback_engaged",
+            OpsEventKind::FallbackReleased => "fallback_released",
+            OpsEventKind::Redispatch { .. } => "redispatch",
+            OpsEventKind::NodeDegraded { .. } => "node_degraded",
+            OpsEventKind::FaultDetected { .. } => "fault_detected",
+            OpsEventKind::FlightDump { .. } => "flight_dump",
+            OpsEventKind::Alert { .. } => "alert",
+            OpsEventKind::Anomaly { .. } => "anomaly",
+            OpsEventKind::IfaceFlap { .. } => "iface_flap",
+        }
+    }
+}
+
+/// A journaled event: when, in what order, and what happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpsEvent {
+    /// Journal sequence number (total order across all producers).
+    pub seq: u64,
+    /// Sim time of the event.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: OpsEventKind,
+}
+
+impl OpsEvent {
+    /// Serializes the event as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"at_us\":{},\"event\":{}",
+            self.seq,
+            self.at.as_micros(),
+            quote(self.kind.type_str())
+        );
+        match &self.kind {
+            OpsEventKind::HealthTransition {
+                node,
+                from,
+                to,
+                in_state_us,
+            } => {
+                out.push_str(&format!(
+                    ",\"node\":{node},\"from\":{},\"to\":{},\"in_state_us\":{in_state_us}",
+                    quote(from),
+                    quote(to)
+                ));
+            }
+            OpsEventKind::FallbackEngaged { reason } => {
+                out.push_str(&format!(",\"reason\":{}", quote(reason)));
+            }
+            OpsEventKind::FallbackReleased => {}
+            OpsEventKind::Redispatch { node, frames } => {
+                out.push_str(&format!(",\"node\":{node},\"frames\":{frames}"));
+            }
+            OpsEventKind::NodeDegraded {
+                node,
+                factor_permille,
+            } => {
+                out.push_str(&format!(
+                    ",\"node\":{node},\"factor_permille\":{factor_permille}"
+                ));
+            }
+            OpsEventKind::FaultDetected { fault } | OpsEventKind::FlightDump { fault } => {
+                out.push_str(&format!(",\"fault\":{}", quote(fault)));
+            }
+            OpsEventKind::Alert {
+                alert,
+                transition,
+                fast_burn,
+                slow_burn,
+            } => {
+                out.push_str(&format!(
+                    ",\"alert\":{},\"transition\":{},\"fast_burn\":{},\"slow_burn\":{}",
+                    quote(alert),
+                    quote(transition),
+                    number(*fast_burn),
+                    number(*slow_burn)
+                ));
+            }
+            OpsEventKind::Anomaly {
+                metric,
+                value,
+                mean,
+                z,
+            } => {
+                out.push_str(&format!(
+                    ",\"metric\":{},\"value\":{},\"mean\":{},\"z\":{}",
+                    quote(metric),
+                    number(*value),
+                    number(*mean),
+                    number(*z)
+                ));
+            }
+            OpsEventKind::IfaceFlap { cycles } => {
+                out.push_str(&format!(",\"cycles\":{cycles}"));
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// One human-readable timeline line.
+    pub fn render(&self) -> String {
+        let t = self.at.as_micros() as f64 / 1_000.0;
+        let what = match &self.kind {
+            OpsEventKind::HealthTransition {
+                node,
+                from,
+                to,
+                in_state_us,
+            } => format!(
+                "node {node}: {from} -> {to} (after {:.1} ms)",
+                *in_state_us as f64 / 1_000.0
+            ),
+            OpsEventKind::FallbackEngaged { reason } => {
+                format!("fallback engaged ({reason})")
+            }
+            OpsEventKind::FallbackReleased => "fallback released".to_string(),
+            OpsEventKind::Redispatch { node, frames } => {
+                format!("redispatched {frames} frame(s) off node {node}")
+            }
+            OpsEventKind::NodeDegraded {
+                node,
+                factor_permille,
+            } => format!(
+                "node {node} degraded to {:.1}% throughput",
+                *factor_permille as f64 / 10.0
+            ),
+            OpsEventKind::FaultDetected { fault } => format!("fault detected: {fault}"),
+            OpsEventKind::FlightDump { fault } => {
+                format!("flight recorder dumped (primary fault: {fault})")
+            }
+            OpsEventKind::Alert {
+                alert,
+                transition,
+                fast_burn,
+                slow_burn,
+            } => format!(
+                "alert {alert} -> {transition} (burn fast {fast_burn:.2} / slow {slow_burn:.2})"
+            ),
+            OpsEventKind::Anomaly {
+                metric, value, z, ..
+            } => {
+                format!("anomaly on {metric}: value {value:.2}, z {z:.1}")
+            }
+            OpsEventKind::IfaceFlap { cycles } => {
+                format!("wifi interface flapped ({cycles} cycle(s))")
+            }
+        };
+        format!("  [{t:>10.3} ms] #{:<4} {what}", self.seq)
+    }
+}
+
+/// The shared, append-only ops journal. Clones are handles to the same
+/// journal; pushes are totally ordered by the assigned sequence number.
+#[derive(Clone, Debug, Default)]
+pub struct OpsLog(Arc<Mutex<Vec<OpsEvent>>>);
+
+impl OpsLog {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event, returning its sequence number.
+    pub fn push(&self, at: SimTime, kind: OpsEventKind) -> u64 {
+        let mut events = self.0.lock().expect("ops log poisoned");
+        let seq = events.len() as u64;
+        events.push(OpsEvent { seq, at, kind });
+        seq
+    }
+
+    /// Events journaled so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("ops log poisoned").len()
+    }
+
+    /// Whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the journal, in order.
+    pub fn events(&self) -> Vec<OpsEvent> {
+        self.0.lock().expect("ops log poisoned").clone()
+    }
+
+    /// The journal as JSON Lines, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.0.lock().expect("ops log poisoned").iter() {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An objective's burn state captured when an incident opened.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloWindowState {
+    /// The objective.
+    pub objective: &'static str,
+    /// Fast-window burn rate.
+    pub fast_burn: f64,
+    /// Slow-window burn rate.
+    pub slow_burn: f64,
+    /// Whether the objective was breaching.
+    pub breaching: bool,
+}
+
+impl From<&BurnState> for SloWindowState {
+    fn from(b: &BurnState) -> Self {
+        SloWindowState {
+            objective: b.objective,
+            fast_burn: b.fast_burn,
+            slow_burn: b.slow_burn,
+            breaching: b.breaching,
+        }
+    }
+}
+
+/// One correlated incident: a causally-ordered slice of the session's
+/// bad time, from the triggering fault or alert through recovery.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// Incident number within the session, from 0.
+    pub id: u64,
+    /// Classified kind ("node_loss", "all_nodes_lost", "node_degraded",
+    /// "slo_burn", …) — escalates if a worse trigger correlates in.
+    pub kind: &'static str,
+    /// Severity rank of `kind` (higher = worse).
+    pub severity: u8,
+    /// When the first trigger landed.
+    pub opened_at: SimTime,
+    /// When the system went quiescent again (`None` = still open at
+    /// session end).
+    pub closed_at: Option<SimTime>,
+    /// Human description of the opening trigger.
+    pub trigger: String,
+    /// Triggers folded into this incident after it opened.
+    pub correlated: u64,
+    /// Burn state of every objective when the incident opened.
+    pub slo_at_open: Vec<SloWindowState>,
+    /// Journal slice from `lookback` before the trigger to the close.
+    pub timeline: Vec<OpsEvent>,
+    /// Attribution movement between open and close.
+    pub attribution: AttributionDiff,
+}
+
+impl Incident {
+    /// The primary flight-recorder fault linked into the timeline, if
+    /// the dump fired during this incident.
+    pub fn flight_fault(&self) -> Option<&'static str> {
+        self.timeline.iter().find_map(|e| match e.kind {
+            OpsEventKind::FlightDump { fault } => Some(fault),
+            _ => None,
+        })
+    }
+
+    /// The health transitions linked into the timeline.
+    pub fn health_transitions(&self) -> Vec<&OpsEvent> {
+        self.timeline
+            .iter()
+            .filter(|e| matches!(e.kind, OpsEventKind::HealthTransition { .. }))
+            .collect()
+    }
+
+    /// Serializes the incident as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"id\":{},\"kind\":{},\"severity\":{},\"opened_at_us\":{}",
+            self.id,
+            quote(self.kind),
+            self.severity,
+            self.opened_at.as_micros()
+        );
+        match self.closed_at {
+            Some(t) => out.push_str(&format!(",\"closed_at_us\":{}", t.as_micros())),
+            None => out.push_str(",\"closed_at_us\":null"),
+        }
+        out.push_str(&format!(
+            ",\"trigger\":{},\"correlated\":{}",
+            quote(&self.trigger),
+            self.correlated
+        ));
+        match self.flight_fault() {
+            Some(f) => out.push_str(&format!(",\"flight_fault\":{}", quote(f))),
+            None => out.push_str(",\"flight_fault\":null"),
+        }
+        out.push_str(",\"slo\":[");
+        for (i, s) in self.slo_at_open.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"objective\":{},\"fast_burn\":{},\"slow_burn\":{},\"breaching\":{}}}",
+                quote(s.objective),
+                number(s.fast_burn),
+                number(s.slow_burn),
+                s.breaching
+            ));
+        }
+        out.push_str("],\"timeline\":[");
+        for (i, e) in self.timeline.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("],\"attribution\":[");
+        for (i, row) in self.attribution.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"table\":{},\"key\":{},\"before\":{},\"after\":{}}}",
+                quote(row.table),
+                quote(&row.key),
+                number(row.before),
+                number(row.after)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the incident as a human-readable postmortem section.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let span = match self.closed_at {
+            Some(t) => format!(
+                "{:.1} ms -> {:.1} ms ({:.1} ms)",
+                self.opened_at.as_micros() as f64 / 1_000.0,
+                t.as_micros() as f64 / 1_000.0,
+                t.saturating_duration_since(self.opened_at).as_micros() as f64 / 1_000.0
+            ),
+            None => format!(
+                "{:.1} ms -> (unresolved at session end)",
+                self.opened_at.as_micros() as f64 / 1_000.0
+            ),
+        };
+        out.push_str(&format!(
+            "incident #{} [{}] severity {}  {span}\n",
+            self.id, self.kind, self.severity
+        ));
+        out.push_str(&format!("  trigger: {}\n", self.trigger));
+        if self.correlated > 0 {
+            out.push_str(&format!(
+                "  correlated triggers folded in: {}\n",
+                self.correlated
+            ));
+        }
+        if let Some(f) = self.flight_fault() {
+            out.push_str(&format!("  flight dump: {f}\n"));
+        }
+        for s in &self.slo_at_open {
+            out.push_str(&format!(
+                "  slo {}: burn fast {:.2} / slow {:.2}{}\n",
+                s.objective,
+                s.fast_burn,
+                s.slow_burn,
+                if s.breaching { "  << breaching" } else { "" }
+            ));
+        }
+        out.push_str(&format!("  timeline ({} events):\n", self.timeline.len()));
+        for e in &self.timeline {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        if !self.attribution.is_empty() {
+            out.push_str("  attribution movement over the incident:\n");
+            for line in self.attribution.render(8).lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Incident-correlation tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct IncidentConfig {
+    /// How far before the trigger the timeline reaches (to catch the
+    /// cause: the probe misses before the death).
+    pub lookback: SimDuration,
+    /// Minimum open time before quiescence may close the incident
+    /// (debounces triggers whose symptoms clear instantly).
+    pub min_open: SimDuration,
+}
+
+impl Default for IncidentConfig {
+    fn default() -> Self {
+        IncidentConfig {
+            lookback: SimDuration::from_millis(500),
+            min_open: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// State of the one open incident.
+#[derive(Clone, Debug)]
+struct OpenIncident {
+    id: u64,
+    kind: &'static str,
+    severity: u8,
+    opened_at: SimTime,
+    trigger: String,
+    correlated: u64,
+    slo_at_open: Vec<SloWindowState>,
+    attr_at_open: AttributionSnapshot,
+}
+
+/// Folds triggers into at-most-one open incident and closes it on
+/// quiescence. See the module docs for the correlation rules.
+#[derive(Clone, Debug)]
+pub struct IncidentManager {
+    config: IncidentConfig,
+    open: Option<OpenIncident>,
+    closed: Vec<Incident>,
+    next_id: u64,
+    correlated_total: u64,
+}
+
+impl Default for IncidentManager {
+    fn default() -> Self {
+        Self::new(IncidentConfig::default())
+    }
+}
+
+impl IncidentManager {
+    /// Creates an empty manager.
+    pub fn new(config: IncidentConfig) -> Self {
+        IncidentManager {
+            config,
+            open: None,
+            closed: Vec::new(),
+            next_id: 0,
+            correlated_total: 0,
+        }
+    }
+
+    /// Whether an incident is currently open.
+    pub fn has_open(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Incidents opened so far (closed + open).
+    pub fn opened(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Triggers folded into already-open incidents.
+    pub fn correlated(&self) -> u64 {
+        self.correlated_total
+    }
+
+    /// Reports a trigger. Opens a new incident when none is open
+    /// (returns `true`); otherwise correlates into the open one,
+    /// escalating its kind/severity if the new trigger outranks it
+    /// (returns `false`).
+    pub fn on_trigger(
+        &mut self,
+        now: SimTime,
+        kind: &'static str,
+        severity: u8,
+        trigger: String,
+        slo: Vec<SloWindowState>,
+        attr: &AttributionSnapshot,
+    ) -> bool {
+        match &mut self.open {
+            Some(open) => {
+                open.correlated += 1;
+                self.correlated_total += 1;
+                if severity > open.severity {
+                    open.kind = kind;
+                    open.severity = severity;
+                    open.trigger = format!("{} (escalated: {trigger})", open.trigger);
+                }
+                false
+            }
+            None => {
+                self.open = Some(OpenIncident {
+                    id: self.next_id,
+                    kind,
+                    severity,
+                    opened_at: now,
+                    trigger,
+                    correlated: 0,
+                    slo_at_open: slo,
+                    attr_at_open: attr.clone(),
+                });
+                self.next_id += 1;
+                true
+            }
+        }
+    }
+
+    /// Closes the open incident if the system is quiescent and the
+    /// minimum open time has passed. Returns `true` if it closed.
+    pub fn maybe_close(
+        &mut self,
+        now: SimTime,
+        quiescent: bool,
+        attr: &AttributionSnapshot,
+        log: &OpsLog,
+    ) -> bool {
+        let ready = match &self.open {
+            Some(open) => {
+                quiescent && now.saturating_duration_since(open.opened_at) >= self.config.min_open
+            }
+            None => false,
+        };
+        if ready {
+            let open = self.open.take().expect("checked above");
+            self.closed.push(self.seal(open, Some(now), attr, log));
+        }
+        ready
+    }
+
+    /// Seals any still-open incident (leaving it marked unresolved) and
+    /// returns every incident of the session, in open order.
+    pub fn finalize(&mut self, attr: &AttributionSnapshot, log: &OpsLog) -> Vec<Incident> {
+        if let Some(open) = self.open.take() {
+            let sealed = self.seal(open, None, attr, log);
+            self.closed.push(sealed);
+        }
+        self.closed.clone()
+    }
+
+    fn seal(
+        &self,
+        open: OpenIncident,
+        closed_at: Option<SimTime>,
+        attr: &AttributionSnapshot,
+        log: &OpsLog,
+    ) -> Incident {
+        let from = SimTime::from_micros(
+            open.opened_at
+                .as_micros()
+                .saturating_sub(self.config.lookback.as_micros()),
+        );
+        let timeline: Vec<OpsEvent> = log
+            .events()
+            .into_iter()
+            .filter(|e| e.at >= from && closed_at.is_none_or(|c| e.at <= c))
+            .collect();
+        Incident {
+            id: open.id,
+            kind: open.kind,
+            severity: open.severity,
+            opened_at: open.opened_at,
+            closed_at,
+            trigger: open.trigger,
+            correlated: open.correlated,
+            slo_at_open: open.slo_at_open,
+            timeline,
+            attribution: attribution_diff(&open.attr_at_open, attr),
+        }
+    }
+}
+
+/// Per-alert lifecycle summary for the session report.
+#[derive(Clone, Copy, Debug)]
+pub struct AlertSummary {
+    /// The objective/alert name.
+    pub name: &'static str,
+    /// Firing episodes.
+    pub fired: u64,
+    /// Re-breaches deduped into an ongoing firing.
+    pub deduped: u64,
+    /// Resolutions.
+    pub resolved: u64,
+    /// State at session end ("idle", "pending", "firing").
+    pub final_state: &'static str,
+}
+
+/// The session-end ops bundle carried in `SessionReport`.
+#[derive(Clone, Debug, Default)]
+pub struct OpsReport {
+    /// Every incident of the session, in open order.
+    pub incidents: Vec<Incident>,
+    /// The full ops event journal.
+    pub events: Vec<OpsEvent>,
+    /// Per-alert lifecycle summaries.
+    pub alerts: Vec<AlertSummary>,
+    /// Anomalies flagged across all detectors.
+    pub anomalies: u64,
+}
+
+impl OpsReport {
+    /// The incidents as JSON Lines, one incident per line.
+    pub fn incidents_jsonl(&self) -> String {
+        let mut out = String::new();
+        for i in &self.incidents {
+            out.push_str(&i.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The event journal as JSON Lines, one event per line.
+    pub fn events_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the postmortem: alert summaries plus every incident's
+    /// timeline, or a clean bill of health.
+    pub fn render_postmortem(&self) -> String {
+        let mut out = String::from("== ops postmortem ==\n");
+        if self.incidents.is_empty() {
+            out.push_str("no incidents: every objective held through the session\n");
+        }
+        for a in &self.alerts {
+            if a.fired > 0 || a.final_state != "idle" {
+                out.push_str(&format!(
+                    "alert {}: fired {}, deduped {}, resolved {}, final state {}\n",
+                    a.name, a.fired, a.deduped, a.resolved, a.final_state
+                ));
+            }
+        }
+        if self.anomalies > 0 {
+            out.push_str(&format!("anomalies flagged: {}\n", self.anomalies));
+        }
+        for i in &self.incidents {
+            out.push_str(&i.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> IncidentManager {
+        IncidentManager::new(IncidentConfig {
+            lookback: SimDuration::from_millis(100),
+            min_open: SimDuration::from_millis(200),
+        })
+    }
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn journal_orders_events_and_serializes_them() {
+        let log = OpsLog::new();
+        log.push(
+            at(10),
+            OpsEventKind::HealthTransition {
+                node: 1,
+                from: "healthy",
+                to: "suspect",
+                in_state_us: 10_000,
+            },
+        );
+        log.push(
+            at(12),
+            OpsEventKind::FallbackEngaged {
+                reason: "pool_empty",
+            },
+        );
+        assert_eq!(log.len(), 2);
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"event\":\"health_transition\""));
+        assert!(lines[0].contains("\"seq\":0"));
+        assert!(lines[1].contains("\"reason\":\"pool_empty\""));
+        // Each line parses as JSON.
+        for line in lines {
+            crate::json::parse(line).expect("event line must parse");
+        }
+    }
+
+    #[test]
+    fn concurrent_triggers_correlate_into_one_incident() {
+        let log = OpsLog::new();
+        let attr = AttributionSnapshot::default();
+        let mut m = manager();
+        assert!(m.on_trigger(at(100), "node_loss", 5, "node 0 died".into(), vec![], &attr));
+        // The fallback flip it caused folds in, with escalation off.
+        assert!(!m.on_trigger(
+            at(110),
+            "fallback_engaged",
+            4,
+            "pool empty".into(),
+            vec![],
+            &attr
+        ));
+        // A pool-wide loss escalates the open incident.
+        assert!(!m.on_trigger(
+            at(120),
+            "all_nodes_lost",
+            6,
+            "pool gone".into(),
+            vec![],
+            &attr
+        ));
+        assert_eq!(m.opened(), 1);
+        assert_eq!(m.correlated(), 2);
+        let incidents = m.finalize(&attr, &log);
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].kind, "all_nodes_lost");
+        assert_eq!(incidents[0].severity, 6);
+        assert_eq!(incidents[0].correlated, 2);
+        assert!(incidents[0].closed_at.is_none(), "finalize leaves it open");
+    }
+
+    #[test]
+    fn close_requires_quiescence_and_min_open_and_cuts_the_timeline() {
+        let log = OpsLog::new();
+        let attr = AttributionSnapshot::default();
+        let mut m = manager();
+        // An event 50 ms before the trigger: inside the 100 ms lookback.
+        log.push(
+            at(60),
+            OpsEventKind::HealthTransition {
+                node: 0,
+                from: "healthy",
+                to: "suspect",
+                in_state_us: 60_000,
+            },
+        );
+        m.on_trigger(at(100), "node_loss", 5, "kill".into(), vec![], &attr);
+        log.push(at(150), OpsEventKind::FaultDetected { fault: "node_loss" });
+        // Too early and not quiescent: no close.
+        assert!(!m.maybe_close(at(150), false, &attr, &log));
+        assert!(!m.maybe_close(at(150), true, &attr, &log), "min_open gate");
+        // Quiescent past min_open: closes, timeline spans lookback→close.
+        assert!(m.maybe_close(at(400), true, &attr, &log));
+        log.push(at(450), OpsEventKind::FallbackReleased);
+        let incidents = m.finalize(&attr, &log);
+        assert_eq!(incidents.len(), 1);
+        let inc = &incidents[0];
+        assert_eq!(inc.closed_at, Some(at(400)));
+        assert_eq!(inc.timeline.len(), 2, "pre-trigger + in-incident only");
+        assert_eq!(inc.health_transitions().len(), 1);
+        // JSONL line parses.
+        crate::json::parse(inc.to_json().trim()).expect("incident json must parse");
+        // After a close, a new trigger opens a fresh incident.
+        assert!(m.on_trigger(at(600), "slo_burn", 1, "burn".into(), vec![], &attr));
+        assert_eq!(m.opened(), 2);
+    }
+}

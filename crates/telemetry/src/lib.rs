@@ -36,6 +36,23 @@
 //! * [`diff`] — row-level movement between two attribution snapshots,
 //!   printed by the bench regression gate next to failing metrics.
 //!
+//! The **live-ops layer** evaluates the session while it runs instead
+//! of after it ends:
+//!
+//! * [`hist::WindowedHistogramCore`] / [`registry::WindowedHistogram`]
+//!   — time-slotted histograms answering "the distribution over the
+//!   last N ms".
+//! * [`slo`] — SLO objectives with Google-SRE multi-window burn-rate
+//!   evaluation ([`SloObjective`]) and EWMA z-score anomaly detection
+//!   ([`AnomalyDetector`]) for streams without hard objectives.
+//! * [`alert`] — the Pending → Firing → Resolved machine with dwell,
+//!   hysteresis, and dedup ([`AlertMachine`]).
+//! * [`incident`] — the shared structured-event journal ([`OpsLog`])
+//!   and the correlator folding concurrent faults, alerts, health
+//!   transitions, and flight dumps into causally-ordered incident
+//!   records with postmortem rendering ([`IncidentManager`],
+//!   [`OpsReport`]).
+//!
 //! Metric and stage names live in [`names`]; the full schema is
 //! documented in `docs/OBSERVABILITY.md`.
 //!
@@ -67,28 +84,37 @@
 //! assert_eq!(trace.to_jsonl().lines().count(), 1);
 //! ```
 
+pub mod alert;
 pub mod attr;
 pub mod context;
 pub mod diff;
 pub mod export;
 pub mod flight;
 pub mod hist;
+pub mod incident;
 pub mod json;
 pub mod names;
 pub mod registry;
 pub mod remote;
 pub mod report;
+pub mod slo;
 pub mod stitch;
 pub mod trace;
 
+pub use alert::{AlertConfig, AlertMachine, AlertState, AlertTransition};
 pub use attr::{AttributionLog, AttributionSnapshot, UplinkFrameEntry};
 pub use context::TraceContext;
 pub use diff::{diff as attribution_diff, AttributionDiff};
 pub use export::{chrome_trace, prometheus_text};
 pub use flight::{Fault, FlightDump, FlightRecorder};
 pub use hist::HistogramSnapshot;
-pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use incident::{
+    AlertSummary, Incident, IncidentConfig, IncidentManager, OpsEvent, OpsEventKind, OpsLog,
+    OpsReport, SloWindowState,
+};
+pub use registry::{Counter, Gauge, Histogram, Registry, WindowedHistogram};
 pub use remote::{ClockOffsetEstimator, RemoteSpan, RemoteSpanLog};
 pub use report::TelemetrySnapshot;
+pub use slo::{Anomaly, AnomalyDetector, BurnState, SloObjective};
 pub use stitch::{stitch_remote, StitchOutcome};
 pub use trace::{FrameTrace, SpanNode, TraceLog};

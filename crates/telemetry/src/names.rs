@@ -122,6 +122,57 @@ pub mod health {
     pub const FALLBACK_ENGAGEMENTS: &str = "health.fallback_engagements";
     /// Accumulated seconds spent in the local-render fallback (gauge).
     pub const FALLBACK_SECS: &str = "health.fallback_secs";
+    /// Node-seconds spent Healthy, summed across the pool (gauge).
+    pub const HEALTHY_SECS: &str = "health.healthy_secs";
+    /// Node-seconds spent Suspect, summed across the pool (gauge).
+    pub const SUSPECT_SECS: &str = "health.suspect_secs";
+    /// Node-seconds spent Dead, summed across the pool (gauge).
+    pub const DEAD_SECS: &str = "health.dead_secs";
+    /// Node-seconds spent Rejoining, summed across the pool (gauge).
+    pub const REJOINING_SECS: &str = "health.rejoining_secs";
+}
+
+/// Live-ops layer: windowed metric streams, SLO alerting, anomaly
+/// detection, and incident correlation (crates/telemetry/src/{slo,
+/// alert,incident}.rs + crates/core/src/ops.rs).
+pub mod ops {
+    /// Presented-frame end-to-end latency stream (windowed, µs).
+    pub const WIN_FRAME_LATENCY: &str = "win.frame_latency_us";
+    /// Gap between consecutive presented frames (windowed, µs) — the
+    /// stream behind the presented-fps objective.
+    pub const WIN_FRAME_INTERVAL: &str = "win.frame_interval_us";
+    /// Per-frame LRU miss ratio (windowed, permille).
+    pub const WIN_CACHE_MISS: &str = "win.cache_miss_permille";
+    /// WiFi energy drain rate between presents (windowed, milliwatts).
+    pub const WIN_WIFI_POWER: &str = "win.wifi_power_mw";
+    /// Bluetooth energy drain rate between presents (windowed,
+    /// milliwatts).
+    pub const WIN_BT_POWER: &str = "win.bt_power_mw";
+    /// Structured ops events journaled (counter).
+    pub const EVENTS: &str = "ops.events";
+    /// Incidents opened (counter).
+    pub const INCIDENTS: &str = "ops.incidents";
+    /// Triggers correlated into an already-open incident (counter).
+    pub const INCIDENTS_CORRELATED: &str = "ops.incidents_correlated";
+    /// Alert firing episodes across all objectives (counter).
+    pub const ALERTS_FIRED: &str = "ops.alerts_fired";
+    /// Re-breaches deduped into an ongoing firing (counter).
+    pub const ALERTS_DEDUPED: &str = "ops.alerts_deduped";
+    /// Anomalies flagged across all detectors (counter).
+    pub const ANOMALIES: &str = "ops.anomalies";
+}
+
+/// SLO objective (and alert) names (crates/telemetry/src/slo.rs).
+pub mod slo {
+    /// Frame end-to-end latency objective over
+    /// [`super::ops::WIN_FRAME_LATENCY`].
+    pub const FRAME_LATENCY: &str = "slo.frame_latency";
+    /// Presented-fps objective, expressed over the inter-frame gap
+    /// stream [`super::ops::WIN_FRAME_INTERVAL`].
+    pub const PRESENTED_FPS: &str = "slo.presented_fps";
+    /// Command-cache hit-rate objective, expressed over the miss-ratio
+    /// stream [`super::ops::WIN_CACHE_MISS`].
+    pub const CACHE_HIT: &str = "slo.cache_hit";
 }
 
 /// Per-interface radio gauges (crates/net/src/switch.rs). Time-in-state

@@ -19,9 +19,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use gbooster_sim::time::SimDuration;
+use gbooster_sim::time::{SimDuration, SimTime};
 
-use crate::hist::HistogramCore;
+use crate::hist::{HistogramCore, HistogramSnapshot, WindowedHistogramCore};
 use crate::report::TelemetrySnapshot;
 
 /// A monotone event counter.
@@ -93,11 +93,55 @@ impl Histogram {
     }
 }
 
+/// A handle to a registered sliding-window histogram: a time-slotted
+/// ring supporting "distribution over the last N ms" queries, consumed
+/// by the SLO burn-rate evaluator ([`crate::slo`]). Recording takes the
+/// instrument's own mutex — windowed streams are fed once per presented
+/// frame, not per packet, so contention is a non-issue.
+#[derive(Clone, Debug)]
+pub struct WindowedHistogram(Arc<Mutex<WindowedHistogramCore>>);
+
+impl WindowedHistogram {
+    /// Creates a windowed histogram not tied to any registry.
+    pub fn detached(slot_width: SimDuration, retain: usize) -> Self {
+        WindowedHistogram(Arc::new(Mutex::new(WindowedHistogramCore::new(
+            slot_width, retain,
+        ))))
+    }
+
+    /// Records one sample observed at sim time `at`.
+    pub fn record(&self, at: SimTime, v: u64) {
+        self.0
+            .lock()
+            .expect("windowed histogram poisoned")
+            .record(at, v);
+    }
+
+    /// Merged distribution of the samples in `(now − window, now]`, at
+    /// slot granularity.
+    pub fn window(&self, now: SimTime, window: SimDuration) -> HistogramSnapshot {
+        self.0
+            .lock()
+            .expect("windowed histogram poisoned")
+            .window(now, window)
+    }
+
+    /// The all-time merged view.
+    pub fn merged(&self) -> HistogramSnapshot {
+        self.0
+            .lock()
+            .expect("windowed histogram poisoned")
+            .merged()
+            .clone()
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     counters: Mutex<BTreeMap<&'static str, Counter>>,
     gauges: Mutex<BTreeMap<&'static str, Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    windowed: Mutex<BTreeMap<&'static str, WindowedHistogram>>,
 }
 
 /// The shared metrics registry. Clones are handles to the same store.
@@ -147,6 +191,24 @@ impl Registry {
             .clone()
     }
 
+    /// Returns the sliding-window histogram registered under `name`,
+    /// creating it with the given geometry on first use. Later calls
+    /// with the same name share the first registration's geometry.
+    pub fn windowed(
+        &self,
+        name: &'static str,
+        slot_width: SimDuration,
+        retain: usize,
+    ) -> WindowedHistogram {
+        self.inner
+            .windowed
+            .lock()
+            .expect("windowed registry poisoned")
+            .entry(name)
+            .or_insert_with(|| WindowedHistogram::detached(slot_width, retain))
+            .clone()
+    }
+
     /// Takes a point-in-time copy of every registered instrument.
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let counters = self
@@ -165,14 +227,27 @@ impl Registry {
             .iter()
             .map(|(&k, v)| (k.to_string(), v.get()))
             .collect();
-        let histograms = self
+        let mut histograms: std::collections::BTreeMap<String, crate::hist::HistogramSnapshot> =
+            self.inner
+                .histograms
+                .lock()
+                .expect("histogram registry poisoned")
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.snapshot()))
+                .collect();
+        // Windowed streams contribute their all-time merged view, so
+        // the end-of-session report and exporters see them alongside
+        // the plain histograms (the rolling windows themselves are
+        // query-time constructs, not snapshot state).
+        for (&k, v) in self
             .inner
-            .histograms
+            .windowed
             .lock()
-            .expect("histogram registry poisoned")
+            .expect("windowed registry poisoned")
             .iter()
-            .map(|(&k, v)| (k.to_string(), v.snapshot()))
-            .collect();
+        {
+            histograms.insert(k.to_string(), v.merged());
+        }
         TelemetrySnapshot {
             counters,
             gauges,
@@ -207,6 +282,24 @@ mod tests {
         let h = reg.histogram("lat");
         h.record_duration(SimDuration::from_millis(3));
         assert_eq!(h.snapshot().max(), 3000);
+    }
+
+    #[test]
+    fn windowed_shares_geometry_and_surfaces_in_snapshots() {
+        let reg = Registry::new();
+        let w = reg.windowed("win.lat", SimDuration::from_millis(100), 8);
+        w.record(SimTime::from_millis(50), 1_000);
+        w.record(SimTime::from_millis(250), 3_000);
+        // Same name → same instrument, later geometry ignored.
+        let again = reg.windowed("win.lat", SimDuration::from_millis(1), 1);
+        assert_eq!(again.merged().count(), 2);
+        // Recent window sees only the newest sample.
+        let recent = again.window(SimTime::from_millis(250), SimDuration::from_millis(100));
+        assert_eq!(recent.count(), 1);
+        assert_eq!(recent.max(), 3_000);
+        // The merged view rides along in the registry snapshot.
+        let snap = reg.snapshot();
+        assert_eq!(snap.histogram("win.lat").map(|h| h.count()), Some(2));
     }
 
     #[test]

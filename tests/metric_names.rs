@@ -41,10 +41,10 @@ fn declared_names(names_rs: &str) -> BTreeSet<String> {
 }
 
 /// Extracts the string-literal argument of `.counter("…")`-style calls
-/// on `line`, for each of the three registration methods.
+/// on `line`, for each of the four registration methods.
 fn literal_registrations(line: &str) -> Vec<String> {
     let mut found = Vec::new();
-    for method in [".counter(\"", ".gauge(\"", ".histogram(\""] {
+    for method in [".counter(\"", ".gauge(\"", ".histogram(\"", ".windowed(\""] {
         let mut rest = line;
         while let Some(pos) = rest.find(method) {
             let tail = &rest[pos + method.len()..];
@@ -114,6 +114,9 @@ fn audit_helpers_catch_a_planted_violation() {
     let hits = literal_registrations("registry.counter(\"net.bad\").inc();");
     assert_eq!(hits, vec!["net.bad".to_string()]);
     assert!(!declared.contains(&hits[0]));
+    // Windowed-stream registrations are swept like the other three.
+    let hits = literal_registrations("registry.windowed(\"win.bad\", slot, 64);");
+    assert_eq!(hits, vec!["win.bad".to_string()]);
     // Comment-stripping keeps doc examples out of the sweep.
     let line = "// registry.counter(\"net.doc_example\")";
     assert!(literal_registrations(line.split("//").next().unwrap_or("")).is_empty());

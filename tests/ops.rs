@@ -1,0 +1,147 @@
+//! The ops-smoke suite: one chaos scenario and one clean scenario,
+//! asserting the live-ops layer's end-to-end contract — an injected
+//! fault yields exactly the expected correlated incident, a clean run
+//! yields none, and both reproduce byte-for-byte from the same seed
+//! (docs/OBSERVABILITY.md). CI runs exactly this file as its
+//! `ops-smoke` job.
+
+use gbooster::core::config::{
+    ExecutionMode, FaultInjection, NodeEvent, OffloadConfig, SessionConfig,
+};
+use gbooster::core::session::{Session, SessionReport};
+use gbooster::sim::device::DeviceSpec;
+use gbooster::telemetry::names;
+use gbooster::workload::games::GameTitle;
+
+fn session(seed: u64, faults: FaultInjection) -> SessionConfig {
+    SessionConfig::builder(GameTitle::g2_modern_combat(), DeviceSpec::nexus5())
+        .duration_secs(6)
+        .seed(seed)
+        .mode(ExecutionMode::Offloaded(OffloadConfig {
+            service_devices: vec![
+                DeviceSpec::nvidia_shield(),
+                DeviceSpec::dell_optiplex_9010(),
+            ],
+            faults,
+            ..OffloadConfig::default()
+        }))
+        .build()
+}
+
+/// A node flap with a survivor absorbing the load: the canonical chaos
+/// scenario for the smoke job.
+fn chaos() -> FaultInjection {
+    FaultInjection {
+        node_events: vec![
+            NodeEvent::Kill { frame: 40, node: 1 },
+            NodeEvent::Revive {
+                frame: 120,
+                node: 1,
+            },
+        ],
+        ..FaultInjection::default()
+    }
+}
+
+fn run_twice(seed: u64, faults: FaultInjection) -> (SessionReport, SessionReport) {
+    let config = session(seed, faults);
+    (Session::run(&config), Session::run(&config))
+}
+
+#[test]
+fn chaos_run_yields_exactly_one_node_loss_incident() {
+    let (report, again) = run_twice(21_000, chaos());
+    let kinds: Vec<&str> = report.ops.incidents.iter().map(|i| i.kind).collect();
+    assert_eq!(kinds, vec!["node_loss"], "one incident, the right kind");
+    let inc = &report.ops.incidents[0];
+    // The record is causally complete: the health walk that evicted the
+    // node, the detector's flight dump, and a resource-attribution diff
+    // spanning the violation window.
+    assert!(
+        !inc.health_transitions().is_empty(),
+        "health transitions must link into the incident"
+    );
+    assert_eq!(inc.flight_fault(), Some("node_loss"));
+    assert!(
+        !inc.attribution.is_empty(),
+        "attribution must move over the violation window"
+    );
+    assert!(
+        !inc.timeline.is_empty(),
+        "the incident timeline must not be empty"
+    );
+    // The events counter audits the journal the report carries.
+    assert_eq!(
+        report.telemetry.counter(names::ops::EVENTS),
+        report.ops.events.len() as u64
+    );
+    assert_eq!(report.telemetry.counter(names::ops::INCIDENTS), 1);
+    // Byte-identical incident records and journal across the double run.
+    assert_eq!(report.incidents_jsonl(), again.incidents_jsonl());
+    assert_eq!(report.ops_events_jsonl(), again.ops_events_jsonl());
+    // The postmortem renders the incident, not the all-clear banner.
+    let postmortem = report.ops_postmortem();
+    assert!(postmortem.contains("node_loss"), "{postmortem}");
+    assert!(!postmortem.contains("no incidents"), "{postmortem}");
+}
+
+#[test]
+fn clean_run_yields_zero_incidents() {
+    let (report, again) = run_twice(22_000, FaultInjection::default());
+    assert!(
+        report.ops.incidents.is_empty(),
+        "a clean run must open no incidents: {:?}",
+        report
+            .ops
+            .incidents
+            .iter()
+            .map(|i| i.kind)
+            .collect::<Vec<_>>()
+    );
+    assert!(
+        report.ops.alerts.iter().all(|a| a.fired == 0),
+        "no objective may fire on a clean run: {:?}",
+        report.ops.alerts
+    );
+    assert_eq!(report.telemetry.counter(names::ops::INCIDENTS), 0);
+    assert_eq!(report.telemetry.counter(names::ops::ALERTS_FIRED), 0);
+    // Still deterministic, still byte-identical.
+    assert_eq!(report.incidents_jsonl(), again.incidents_jsonl());
+    assert_eq!(report.ops_events_jsonl(), again.ops_events_jsonl());
+    assert!(
+        report.ops_postmortem().contains("no incidents"),
+        "the postmortem must state the all-clear"
+    );
+}
+
+#[test]
+fn ops_layer_can_be_disabled_without_changing_the_session() {
+    let on = session(23_000, FaultInjection::default());
+    let off_report = {
+        let mut cfg = session(23_000, FaultInjection::default());
+        if let ExecutionMode::Offloaded(off) = &mut cfg.mode {
+            off.ops.enabled = false;
+        }
+        Session::run(&cfg)
+    };
+    let on_report = Session::run(&on);
+    // The ops layer is attribution-only: frame timing, energy, and
+    // traffic are bit-identical with it on or off.
+    assert_eq!(
+        on_report.frame_trace_jsonl(),
+        off_report.frame_trace_jsonl()
+    );
+    assert_eq!(
+        on_report.median_fps.to_bits(),
+        off_report.median_fps.to_bits()
+    );
+    assert_eq!(on_report.uplink_bytes, off_report.uplink_bytes);
+    assert_eq!(
+        on_report.energy.total_joules().to_bits(),
+        off_report.energy.total_joules().to_bits()
+    );
+    // And the disabled side reports nothing.
+    assert!(off_report.ops.incidents.is_empty());
+    assert!(off_report.ops.events.is_empty());
+    assert!(off_report.ops.alerts.is_empty());
+}

@@ -89,6 +89,33 @@ fn all_dead_then_recover(nodes: usize) -> FaultInjection {
     }
 }
 
+/// Every injected fault must correlate into exactly one incident of the
+/// expected kind: the live-ops layer folds the detector fault, the
+/// health transitions around it, and any concurrent alerts into a
+/// single causally-ordered record (docs/OBSERVABILITY.md).
+fn assert_incident(report: &SessionReport, expected_kind: &str, label: &str) {
+    let kinds: Vec<&str> = report.ops.incidents.iter().map(|i| i.kind).collect();
+    assert_eq!(
+        kinds.len(),
+        1,
+        "{label}: exactly one correlated incident, got {kinds:?}"
+    );
+    let inc = &report.ops.incidents[0];
+    assert_eq!(inc.kind, expected_kind, "{label}: incident kind");
+    assert!(
+        !inc.health_transitions().is_empty(),
+        "{label}: the incident must link the health transitions around it"
+    );
+    assert!(
+        !inc.attribution.is_empty(),
+        "{label}: the attribution diff over the violation window must move"
+    );
+    assert!(
+        inc.flight_fault().is_some(),
+        "{label}: the flight dump must land on the incident timeline"
+    );
+}
+
 /// Invariants every chaos scenario must uphold.
 fn assert_invariants(report: &SessionReport, label: &str) {
     assert!(report.frames > 0, "{label}: session must present frames");
@@ -144,6 +171,16 @@ fn assert_reproducible(a: &SessionReport, b: &SessionReport, label: &str) {
         b.telemetry.counter(names::session::FRAMES_LOCAL),
         "{label}"
     );
+    assert_eq!(
+        a.incidents_jsonl(),
+        b.incidents_jsonl(),
+        "{label}: incident records must be byte-identical across runs"
+    );
+    assert_eq!(
+        a.ops_events_jsonl(),
+        b.ops_events_jsonl(),
+        "{label}: the ops journal must be byte-identical across runs"
+    );
 }
 
 fn run_twice(nodes: usize, seed: u64, faults: FaultInjection, label: &str) -> SessionReport {
@@ -160,6 +197,14 @@ fn node_flap_is_detected_rejoined_and_reproducible() {
     for (i, nodes) in [1usize, 2, 4].into_iter().enumerate() {
         let label = format!("flap, {nodes} node(s)");
         let report = run_twice(nodes, 11_000 + i as u64, flap(nodes), &label);
+        // Killing the only node is a total pool loss; with survivors it
+        // is a single-node loss. Either way: exactly one incident.
+        let expected = if nodes == 1 {
+            "all_nodes_lost"
+        } else {
+            "node_loss"
+        };
+        assert_incident(&report, expected, &label);
         assert!(
             report.telemetry.counter(names::sched::NODE_FAILURES) >= 1,
             "{label}: the kill must be detected"
@@ -197,6 +242,12 @@ fn probe_partition_window_evicts_then_resyncs_the_node() {
     for (i, nodes) in [1usize, 2, 4].into_iter().enumerate() {
         let label = format!("partition, {nodes} node(s)");
         let report = run_twice(nodes, 12_000 + i as u64, partition(nodes), &label);
+        let expected = if nodes == 1 {
+            "all_nodes_lost"
+        } else {
+            "node_loss"
+        };
+        assert_incident(&report, expected, &label);
         assert!(
             report.telemetry.counter(names::sched::NODE_FAILURES) >= 1,
             "{label}: the probe misses must evict the node"
@@ -260,5 +311,34 @@ fn total_pool_loss_falls_back_locally_and_recovers() {
             report.telemetry.gauge(names::health::FALLBACK_SECS) > 0.0,
             "{label}: time-in-fallback must be accounted"
         );
+        assert_incident(&report, "all_nodes_lost", &label);
     }
+}
+
+#[test]
+fn capability_brownout_opens_a_node_degraded_incident() {
+    let faults = FaultInjection {
+        node_events: vec![NodeEvent::Degrade {
+            frame: 40,
+            node: 0,
+            factor: 0.5,
+        }],
+        ..FaultInjection::default()
+    };
+    let label = "degrade, 2 nodes";
+    let report = run_twice(2, 14_000, faults, label);
+    let kinds: Vec<&str> = report.ops.incidents.iter().map(|i| i.kind).collect();
+    assert_eq!(
+        kinds.len(),
+        1,
+        "{label}: exactly one correlated incident, got {kinds:?}"
+    );
+    // A brownout moves no health state (the node stays responsive), so
+    // the incident carries no transitions — just the degradation event
+    // and whatever the burn windows did around it.
+    assert_eq!(report.ops.incidents[0].kind, "node_degraded", "{label}");
+    assert!(
+        !report.ops.incidents[0].attribution.is_empty(),
+        "{label}: attribution must move over the violation window"
+    );
 }
