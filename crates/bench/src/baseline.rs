@@ -12,19 +12,19 @@
 //! shift a real change rather than noise).
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use gbooster_codec::stats::megapixels_per_sec;
 use gbooster_core::config::{ExecutionMode, OffloadConfig, SessionConfig};
 use gbooster_core::forward::CommandForwarder;
-use gbooster_core::session::Session;
+use gbooster_core::session::{Session, SessionReport};
 use gbooster_gles::serialize::encode_stream;
 use gbooster_net::channel::ChannelModel;
 use gbooster_net::rudp::{simulate_transfer, RudpConfig};
 use gbooster_sim::device::DeviceSpec;
 use gbooster_sim::rng::derived;
 use gbooster_telemetry::json::{self, JsonValue};
-use gbooster_telemetry::{names, AttributionLog, AttributionSnapshot, Registry};
+use gbooster_telemetry::{names, AttributionLog, AttributionSnapshot, Exemplar, Registry};
 use gbooster_workload::games::GameTitle;
 use gbooster_workload::genre::GenreProfile;
 use gbooster_workload::tracegen::TraceGenerator;
@@ -149,6 +149,27 @@ pub const FIG5_METRICS: &[MetricDef] = &[
         gated: true,
         latency: false,
     },
+    MetricDef {
+        // Wall-clock speed of the simulator process itself. Gated
+        // loosely: machine-to-machine variance passes, but a change
+        // that makes the simulator >2x slower fails the gate.
+        name: names::host::FRAMES_PER_SEC,
+        direction: Direction::HigherIsBetter,
+        tolerance: 0.50,
+        gated: true,
+        latency: false,
+    },
+    MetricDef {
+        // Heap churn per displayed frame (non-zero only when the
+        // counting allocator is compiled in via `host-prof`). Unlike
+        // wall clock this is near-deterministic, so the tolerance is
+        // tighter.
+        name: names::host::ALLOC_BYTES_PER_FRAME,
+        direction: Direction::LowerIsBetter,
+        tolerance: 0.30,
+        gated: true,
+        latency: false,
+    },
 ];
 
 /// Metric definitions for the `traffic` (codec pipeline) bench.
@@ -197,6 +218,22 @@ pub const TRAFFIC_METRICS: &[MetricDef] = &[
         gated: true,
         latency: true,
     },
+    MetricDef {
+        // Wall-clock speed of one offloaded smoke session (see the
+        // fig5 twin for the gating rationale).
+        name: names::host::FRAMES_PER_SEC,
+        direction: Direction::HigherIsBetter,
+        tolerance: 0.50,
+        gated: true,
+        latency: false,
+    },
+    MetricDef {
+        name: names::host::ALLOC_BYTES_PER_FRAME,
+        direction: Direction::LowerIsBetter,
+        tolerance: 0.30,
+        gated: true,
+        latency: false,
+    },
 ];
 
 /// The metric definitions for a named bench.
@@ -222,6 +259,10 @@ pub struct BenchRun {
     /// Attribution snapshot from the first seed's run: the explanation
     /// `benchdiff` prints when a metric regresses.
     pub attribution: AttributionSnapshot,
+    /// Worst end-to-end frame latency exemplar from the first seed's
+    /// offloaded run (`frame.total`): the frame seq `benchdiff` points
+    /// at when a latency metric regresses.
+    pub worst_frame: Option<Exemplar>,
 }
 
 /// Runs the named bench across [`baseline_seeds`].
@@ -230,14 +271,16 @@ pub fn collect(bench: &str) -> BenchRun {
     let seeds = baseline_seeds();
     let mut samples: BTreeMap<String, Vec<f64>> = BTreeMap::new();
     let mut attribution = AttributionSnapshot::default();
+    let mut worst_frame = None;
     for (i, &seed) in seeds.iter().enumerate() {
-        let (metrics, attr) = match bench {
+        let (metrics, attr, worst) = match bench {
             "fig5" => collect_fig5(seed),
             "traffic" => collect_traffic(seed),
             other => panic!("unknown bench {other:?}"),
         };
         if i == 0 {
             attribution = attr;
+            worst_frame = worst;
         }
         for (name, v) in metrics {
             samples.entry(name.to_string()).or_default().push(v);
@@ -248,11 +291,26 @@ pub fn collect(bench: &str) -> BenchRun {
         seeds: seeds.to_vec(),
         samples,
         attribution,
+        worst_frame,
     }
 }
 
+/// The worst `frame.total` latency exemplar of one session.
+fn total_latency_exemplar(report: &SessionReport) -> Option<Exemplar> {
+    report
+        .telemetry
+        .histogram(names::stage::TOTAL)
+        .and_then(|h| h.exemplar())
+}
+
 /// One seed of the `fig5` bench: G1 on the Nexus 5, local and offloaded.
-fn collect_fig5(seed: u64) -> (Vec<(&'static str, f64)>, AttributionSnapshot) {
+fn collect_fig5(
+    seed: u64,
+) -> (
+    Vec<(&'static str, f64)>,
+    AttributionSnapshot,
+    Option<Exemplar>,
+) {
     let game = GameTitle::g1_gta_san_andreas();
     let device = DeviceSpec::nexus5();
     let local = Session::run(
@@ -268,7 +326,7 @@ fn collect_fig5(seed: u64) -> (Vec<(&'static str, f64)>, AttributionSnapshot) {
             .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
             .build(),
     );
-    let metrics = vec![
+    let mut metrics = vec![
         ("local_fps", local.median_fps),
         ("offloaded_fps", off.median_fps),
         ("response_time_ms", off.response_time_ms),
@@ -278,14 +336,22 @@ fn collect_fig5(seed: u64) -> (Vec<(&'static str, f64)>, AttributionSnapshot) {
         ("downlink_bytes", off.downlink_bytes as f64),
         ("energy_j", off.energy.total_joules()),
     ];
-    (metrics, off.attribution)
+    metrics.extend(host_metrics(&off));
+    let worst = total_latency_exemplar(&off);
+    (metrics, off.attribution, worst)
 }
 
 /// One seed of the `traffic` bench: the codec pipeline in isolation —
 /// LZ4 alone, cache + LZ4 through the real forwarder (with the uplink
 /// attribution tap attached), the Turbo encoder (downlink tap), and one
 /// reliable-UDP transfer.
-fn collect_traffic(seed: u64) -> (Vec<(&'static str, f64)>, AttributionSnapshot) {
+fn collect_traffic(
+    seed: u64,
+) -> (
+    Vec<(&'static str, f64)>,
+    AttributionSnapshot,
+    Option<Exemplar>,
+) {
     use gbooster_codec::lz4;
     use gbooster_codec::turbo::TurboEncoder;
 
@@ -364,7 +430,17 @@ fn collect_traffic(seed: u64) -> (Vec<(&'static str, f64)>, AttributionSnapshot)
     let mut ch = ChannelModel::wifi_80211n();
     ch.loss_rate = 0.0;
     let rudp = simulate_transfer(20_000, &ch, RudpConfig::default(), seed);
-    let metrics = vec![
+
+    // One offloaded session under the host profiler: the wall-clock and
+    // allocation-rate rows the bench gate guards.
+    let off = Session::run(
+        &SessionConfig::builder(GameTitle::g1_gta_san_andreas(), DeviceSpec::nexus5())
+            .duration_secs(session_secs())
+            .seed(seed)
+            .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
+            .build(),
+    );
+    let mut metrics = vec![
         ("lz4_ratio", lz4_ratio),
         ("pipeline_ratio", pipeline_ratio),
         ("cache_hit_rate", cache_hit_rate),
@@ -372,7 +448,70 @@ fn collect_traffic(seed: u64) -> (Vec<(&'static str, f64)>, AttributionSnapshot)
         ("turbo_mpixels_per_sec", turbo_mps),
         ("rudp_completion_ms", rudp.completion.as_millis_f64()),
     ];
-    (metrics, attr.snapshot())
+    metrics.extend(host_metrics(&off));
+    let worst = total_latency_exemplar(&off);
+    (metrics, attr.snapshot(), worst)
+}
+
+/// Host-time samples from one offloaded session's wall-clock profile.
+///
+/// `GBOOSTER_BENCH_INJECT_HOST_SPIN` (the gate self-test) is applied
+/// here as a *real* perturbation — the process actually spins the CPU
+/// and churns the heap in proportion to the session's frame count —
+/// never as an arithmetic skew, so a passing self-test proves the gate
+/// catches genuine slowdowns.
+fn host_metrics(report: &SessionReport) -> Vec<(&'static str, f64)> {
+    let prof = report
+        .host_profile
+        .as_ref()
+        .expect("offloaded sessions carry a host profile");
+    let frames = report.frames as f64;
+    let mut wall = prof.wall_secs;
+    let mut alloc_bytes = prof.total_alloc_bytes as f64;
+    let spin_us = injected_host_spin_us();
+    if spin_us > 0 && frames > 0.0 {
+        // Double the session's own churn (floored well above any real
+        // per-frame rate) and stretch the wall clock far past the 50 %
+        // tolerance, whatever this machine's absolute speed.
+        let per_frame = ((2.0 * alloc_bytes / frames) as usize).max(256 * 1024);
+        let start = Instant::now();
+        for _ in 0..report.frames {
+            let buf = std::hint::black_box(vec![17u8; per_frame]);
+            std::hint::black_box(buf.last().copied());
+        }
+        let target =
+            Duration::from_secs_f64((frames * spin_us as f64 / 1e6).max((7.0 * wall).min(10.0)));
+        while start.elapsed() < target {
+            std::hint::black_box(0u64);
+        }
+        wall += start.elapsed().as_secs_f64();
+        alloc_bytes += frames * per_frame as f64;
+    }
+    vec![
+        (
+            names::host::FRAMES_PER_SEC,
+            if wall > 0.0 { frames / wall } else { 0.0 },
+        ),
+        (
+            names::host::ALLOC_BYTES_PER_FRAME,
+            if frames > 0.0 {
+                alloc_bytes / frames
+            } else {
+                0.0
+            },
+        ),
+    ]
+}
+
+/// The injected per-frame host spin in µs from
+/// `GBOOSTER_BENCH_INJECT_HOST_SPIN` (0 when unset; a set-but-unparsable
+/// value, e.g. `1`, still means a definite injection and uses 2000 µs).
+#[must_use]
+pub fn injected_host_spin_us() -> u64 {
+    match std::env::var("GBOOSTER_BENCH_INJECT_HOST_SPIN") {
+        Err(_) => 0,
+        Ok(v) => v.parse().ok().filter(|&us| us >= 100).unwrap_or(2000),
+    }
 }
 
 /// Applies the synthetic latency regression the gate self-test injects:
@@ -676,6 +815,7 @@ mod tests {
             seeds: baseline_seeds().to_vec(),
             samples,
             attribution: AttributionSnapshot::default(),
+            worst_frame: None,
         }
     }
 

@@ -139,6 +139,7 @@ fn gate() -> ExitCode {
         }
         failed = true;
         println!();
+        let defs = gbooster_bench::baseline::metric_defs(bench);
         for r in &regressions {
             println!(
                 "  REGRESSION {}: {:.4} -> {:.4} ({:+.1}% in the bad direction, tolerance {:.0}%, Welch t {:.2})",
@@ -149,6 +150,19 @@ fn gate() -> ExitCode {
                 r.tolerance * 100.0,
                 r.welch_t
             );
+            // A latency regression points at the worst offender: the
+            // frame the `frame.total` histogram's trace exemplar tagged.
+            let is_latency = defs.iter().any(|d| d.name == r.metric && d.latency);
+            if is_latency {
+                if let Some(ex) = &fresh.worst_frame {
+                    println!(
+                        "    worst frame this run: seq {} at {:.1} ms — start there \
+                         (frame trace / flight recorder)",
+                        ex.tag,
+                        ex.value as f64 / 1000.0
+                    );
+                }
+            }
         }
         let diff = attribution_diff(&base.attribution, &fresh.attribution);
         if diff.is_empty() {

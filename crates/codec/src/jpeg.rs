@@ -151,6 +151,7 @@ const EOB: u8 = 0xff;
 ///
 /// Panics if `rgba.len() != width * height * 4` or a dimension is zero.
 pub fn compress(width: u32, height: u32, rgba: &[u8], quality: u8) -> Vec<u8> {
+    gbooster_telemetry::prof_scope!(gbooster_telemetry::names::host::JPEG);
     assert!(width > 0 && height > 0, "image must be non-empty");
     assert_eq!(
         rgba.len(),
@@ -218,6 +219,7 @@ pub fn compress(width: u32, height: u32, rgba: &[u8], quality: u8) -> Vec<u8> {
 ///
 /// Returns [`JpegError`] on truncated or malformed input.
 pub fn decompress(data: &[u8]) -> Result<(u32, u32, Vec<u8>), JpegError> {
+    gbooster_telemetry::prof_scope!(gbooster_telemetry::names::host::JPEG_DECODE);
     if data.len() < 5 {
         return Err(JpegError::Truncated);
     }

@@ -140,6 +140,7 @@ impl CommandCache {
     /// Sender side: offers a command for transmission. Returns the token
     /// to put on the wire and updates the cache deterministically.
     pub fn offer(&mut self, encoded: &[u8]) -> CacheToken {
+        gbooster_telemetry::prof_alloc_scope!(names::host::CACHE);
         let key = content_key(encoded);
         if let Some(&idx) = self.map.get(&key) {
             self.hits += 1;
@@ -164,6 +165,7 @@ impl CommandCache {
     /// — a protocol desynchronization (impossible when both sides start
     /// empty and see the same token stream).
     pub fn accept(&mut self, token: &CacheToken) -> Option<Vec<u8>> {
+        gbooster_telemetry::prof_alloc_scope!(names::host::CACHE);
         match token {
             CacheToken::Ref(key) => {
                 let idx = *self.map.get(key)?;

@@ -94,6 +94,7 @@ fn read_u32(data: &[u8], i: usize) -> u32 {
 /// assert_eq!(back, data);
 /// ```
 pub fn compress(input: &[u8]) -> Vec<u8> {
+    gbooster_telemetry::prof_scope!(gbooster_telemetry::names::host::LZ4);
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
     let n = input.len();
     if n < MIN_MATCH + 1 {
@@ -181,6 +182,7 @@ fn write_len_ext(out: &mut Vec<u8>, mut rest: usize) {
 ///
 /// Returns [`Lz4Error`] on truncated input or invalid match offsets.
 pub fn decompress(input: &[u8], max_size: usize) -> Result<Vec<u8>, Lz4Error> {
+    gbooster_telemetry::prof_scope!(gbooster_telemetry::names::host::LZ4_DECODE);
     let mut out = Vec::with_capacity(max_size);
     let mut i = 0usize;
     while i < input.len() {

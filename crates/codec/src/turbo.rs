@@ -241,6 +241,7 @@ impl TurboEncoder {
     ///
     /// Panics if `rgba` is not exactly `width * height * 4` bytes.
     pub fn encode(&mut self, rgba: &[u8]) -> (Vec<u8>, EncodeStats) {
+        gbooster_telemetry::prof_scope!(names::host::TURBO_ENCODE);
         assert_eq!(
             rgba.len(),
             (self.width * self.height * 4) as usize,
@@ -341,6 +342,7 @@ impl TurboDecoder {
     /// Returns [`TurboError`] on malformed input, dimension changes, or a
     /// delta frame arriving before any keyframe.
     pub fn decode(&mut self, data: &[u8]) -> Result<Vec<u8>, TurboError> {
+        gbooster_telemetry::prof_scope!(names::host::TURBO_DECODE);
         if data.len() < 7 {
             return Err(TurboError::Truncated);
         }

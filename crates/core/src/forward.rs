@@ -144,6 +144,7 @@ impl CommandForwarder {
         commands: &[GlCommand],
         mem: &ClientMemory,
     ) -> Result<ForwardedFrame, GBoosterError> {
+        gbooster_telemetry::prof_scope!(names::host::FORWARD);
         let hits_before = self.cache.hits();
         let misses_before = self.cache.misses();
         let mut tokens = Vec::new();
@@ -264,6 +265,7 @@ impl ServiceReceiver {
     /// Returns [`GBoosterError`] on corrupt input or cache
     /// desynchronization.
     pub fn receive(&mut self, wire: &[u8]) -> Result<Vec<GlCommand>, GBoosterError> {
+        gbooster_telemetry::prof_scope!(names::host::GLES_DECODE);
         if wire.len() < 4 {
             return Err(GBoosterError::Codec("frame shorter than header".into()));
         }

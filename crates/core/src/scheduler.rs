@@ -246,6 +246,7 @@ impl Dispatcher {
         extra_service: SimDuration,
         now: SimTime,
     ) -> DispatchDecision {
+        gbooster_telemetry::prof_scope!(names::host::DISPATCH);
         let mut best: Option<usize> = None;
         let mut best_score = f64::INFINITY;
         for (j, node) in self.nodes.iter().enumerate() {

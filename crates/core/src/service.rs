@@ -146,6 +146,7 @@ impl ServiceRuntime {
         commands: &[GlCommand],
         execute_draws: bool,
     ) -> Result<ReplayStats, GBoosterError> {
+        gbooster_telemetry::prof_scope!(names::host::REPLAY);
         let mut stats = ReplayStats::default();
         for cmd in commands {
             if cmd.is_state_mutating() {

@@ -26,9 +26,9 @@ use gbooster_sim::power::{Component, PowerMeter};
 use gbooster_sim::rng::derived;
 use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::{
-    names, stitch_remote, AttributionLog, AttributionSnapshot, Counter, Fault, FlightDump,
-    FlightRecorder, FrameTrace, Histogram, OpsReport, Registry, RemoteSpanLog, SpanNode,
-    TelemetrySnapshot, TraceContext, TraceLog,
+    names, prof, stitch_remote, AttributionLog, AttributionSnapshot, Counter, Fault, FlightDump,
+    FlightRecorder, FrameTrace, Histogram, HostProfileSnapshot, HostProfiler, OpsReport, Registry,
+    RemoteSpanLog, SpanNode, TelemetrySnapshot, TraceContext, TraceLog,
 };
 use gbooster_workload::tracegen::TraceGenerator;
 use rand::rngs::StdRng;
@@ -163,6 +163,11 @@ pub struct SessionReport {
     /// event journal, per-alert summaries, and the anomaly count
     /// (offloaded mode only; empty for local and cloud runs).
     pub ops: OpsReport,
+    /// Host-time (wall-clock) profile of the simulator process itself:
+    /// collapsed scope paths with self/total wall time plus allocation
+    /// counts when the `host-prof` feature is on (offloaded mode only;
+    /// `None` for local and cloud runs).
+    pub host_profile: Option<HostProfileSnapshot>,
 }
 
 impl SessionReport {
@@ -202,6 +207,27 @@ impl SessionReport {
     /// The full structured ops-event journal as JSON Lines.
     pub fn ops_events_jsonl(&self) -> String {
         self.ops.events_jsonl()
+    }
+
+    /// Top-N host-cost table: where the simulator's own wall-clock
+    /// microseconds and heap allocations went (the wall-clock mirror of
+    /// [`attribution_report`](Self::attribution_report); empty unless
+    /// the session was offloaded).
+    pub fn host_report(&self) -> String {
+        match &self.host_profile {
+            Some(p) => p.render_top(10),
+            None => String::new(),
+        }
+    }
+
+    /// The host profile as collapsed-stack text, one `path;sub weight`
+    /// line per scope path (flamegraph.pl / inferno compatible; empty
+    /// unless the session was offloaded).
+    pub fn host_collapsed_stack(&self) -> String {
+        match &self.host_profile {
+            Some(p) => gbooster_telemetry::collapsed_stack(p),
+            None => String::new(),
+        }
     }
 }
 
@@ -438,6 +464,7 @@ fn run_local(config: &SessionConfig) -> SessionReport {
         flight: None,
         attribution: AttributionSnapshot::default(),
         ops: OpsReport::default(),
+        host_profile: None,
     }
 }
 
@@ -631,6 +658,7 @@ impl OffloadEngine {
     /// One choreographer tick: enforce the two run-ahead windows, then
     /// either idle (no redraw) or issue the next frame into the pipeline.
     fn tick(&mut self) -> Result<(), GBoosterError> {
+        gbooster_telemetry::prof_scope!(names::host::TICK);
         let mut start = self.app_free;
         let s = self.next_seq;
         // Non-blocking SwapBuffers: the app may run ahead, but frame `s`
@@ -677,6 +705,7 @@ impl OffloadEngine {
     /// device), or the local-render fallback. Either way the frame stays
     /// pending until it is retired.
     fn issue_frame(&mut self, start: SimTime) -> Result<(), GBoosterError> {
+        gbooster_telemetry::prof_scope!(names::host::ISSUE);
         let seq = self.next_seq;
         self.next_seq += 1;
         let trace = self.gen.next_frame(self.dt_est);
@@ -1083,6 +1112,7 @@ impl OffloadEngine {
     /// entry is cleared, and any frames now contiguous at the head of the
     /// reorder buffer are presented.
     fn retire_one(&mut self) {
+        gbooster_telemetry::prof_scope!(names::host::RETIRE);
         assert!(!self.pending.is_empty(), "retire with no frames in flight");
         let idx = (0..self.pending.len())
             .min_by_key(|&i| (self.pending[i].down_start(), self.pending[i].seq))
@@ -1113,6 +1143,7 @@ impl OffloadEngine {
     /// vsync display, span tree + per-stage histograms, remote-span
     /// stitching, and the fault-detector chain.
     fn present_frame(&mut self, af: ArrivedFrame) {
+        gbooster_telemetry::prof_scope!(names::host::PRESENT);
         if af.p.local {
             return self.present_local_frame(af);
         }
@@ -1196,7 +1227,7 @@ impl OffloadEngine {
                 n if n == names::stage::DECODE => &self.stages.decode,
                 _ => &self.stages.display_wait,
             };
-            hist.record_duration(child.duration());
+            hist.record_duration_tagged(child.duration(), p.seq);
             // Attribution mirrors the exact per-stage micros the
             // histograms record, adding the node and interface axes.
             let (node, iface) = match child.name {
@@ -1227,7 +1258,9 @@ impl OffloadEngine {
         // The total latency is app start to vsync display (what the user
         // perceives), not the root span's end, which may include the
         // overlapped encode tail.
-        self.stages.total.record_duration(shown - p.start);
+        self.stages
+            .total
+            .record_duration_tagged(shown - p.start, p.seq);
         if p.up.degraded || down.degraded {
             self.c_degraded.inc();
         }
@@ -1283,7 +1316,7 @@ impl OffloadEngine {
         root.stage(names::stage::LOCAL_RENDER, p.dispatch_start, p.finish)
             .stage(names::stage::DISPLAY_WAIT, p.finish, shown);
         self.local_render_hist
-            .record_duration(p.finish - p.dispatch_start);
+            .record_duration_tagged(p.finish - p.dispatch_start, p.seq);
         self.attr.record_stage(
             names::stage::LOCAL_RENDER,
             names::attr::NODE_PHONE,
@@ -1296,7 +1329,9 @@ impl OffloadEngine {
             names::attr::IFACE_NONE,
             (shown - p.finish).as_micros(),
         );
-        self.stages.total.record_duration(shown - p.start);
+        self.stages
+            .total
+            .record_duration_tagged(shown - p.start, p.seq);
         self.c_frames_local.inc();
 
         let frame_trace = FrameTrace { seq: p.seq, root };
@@ -1411,6 +1446,12 @@ fn run_offloaded(
     config: &SessionConfig,
     off: &OffloadConfig,
 ) -> Result<SessionReport, GBoosterError> {
+    // Host-time profiling: wall-clock scopes (and, with the `host-prof`
+    // feature, the counting allocator) observe the simulator process
+    // itself — the one clock the sim-time telemetry cannot see.
+    let host_prof = HostProfiler::new();
+    let host_prof_install = prof::install(&host_prof);
+
     // 1. Install hooks and verify complete interception coverage.
     let mut interceptor = Interceptor::install();
     interceptor.verify_coverage()?;
@@ -1604,10 +1645,13 @@ fn run_offloaded(
     // Detector baselines start after the setup stream's transfers.
     engine.retx_base = engine.c_retx.get();
     engine.wakes_base = engine.c_wakes.get();
-    while engine.last_shown < engine.duration {
-        engine.tick()?;
+    {
+        gbooster_telemetry::prof_scope!(names::host::SESSION);
+        while engine.last_shown < engine.duration {
+            engine.tick()?;
+        }
+        engine.drain();
     }
-    engine.drain();
 
     // 4. Phone energy over the whole session.
     let OffloadEngine {
@@ -1754,6 +1798,40 @@ fn run_offloaded(
     let ops_report = ops
         .map(|mut o| o.finalize(last_shown, pool_healthy))
         .unwrap_or_default();
+    // Host-time gauges: the simulator process's own wall-clock cost,
+    // normalized per displayed frame and split by pipeline group. These
+    // feed the bench wall-clock gates; everything else in the snapshot
+    // stays bit-deterministic.
+    drop(host_prof_install);
+    let host_snapshot = host_prof.snapshot();
+    {
+        let host_frames = fps.frame_count() as f64;
+        let wall = host_snapshot.wall_secs;
+        if wall > 0.0 {
+            registry
+                .gauge(names::host::FRAMES_PER_SEC)
+                .set(host_frames / wall);
+        }
+        if host_frames > 0.0 {
+            registry
+                .gauge(names::host::ALLOC_BYTES_PER_FRAME)
+                .set(host_snapshot.total_alloc_bytes as f64 / host_frames);
+            let groups = host_snapshot.group_self_ns();
+            let profiled_ns: u64 = groups.values().sum();
+            registry
+                .gauge(names::host::NS_PER_FRAME)
+                .set(profiled_ns as f64 / host_frames);
+            for (gauge, group) in [
+                (names::host::NS_PER_FRAME_SERIALIZE, "serialize"),
+                (names::host::NS_PER_FRAME_CODEC, "codec"),
+                (names::host::NS_PER_FRAME_NET, "net"),
+                (names::host::NS_PER_FRAME_CORE, "core"),
+            ] {
+                let ns = groups.get(group).copied().unwrap_or(0);
+                registry.gauge(gauge).set(ns as f64 / host_frames);
+            }
+        }
+    }
     let telemetry = registry.snapshot();
     let frames_displayed = telemetry.counter(names::session::FRAMES_DISPLAYED);
     // Eq. 5's per-frame overhead t_p: the network transfers plus decode.
@@ -1826,6 +1904,7 @@ fn run_offloaded(
         flight: flight.dumps().first().cloned(),
         attribution: attr.snapshot(),
         ops: ops_report,
+        host_profile: Some(host_snapshot),
     })
 }
 
@@ -1928,6 +2007,7 @@ fn run_cloud(config: &SessionConfig, cloud: &CloudConfig) -> SessionReport {
         flight: None,
         attribution: AttributionSnapshot::default(),
         ops: OpsReport::default(),
+        host_profile: None,
     }
 }
 

@@ -341,6 +341,7 @@ impl TransportManager {
     /// Sends `bytes` upstream (commands) at `now`. The transfer queues
     /// behind any transfer still occupying the half-duplex medium.
     pub fn send(&mut self, bytes: usize, now: SimTime) -> Transfer {
+        gbooster_telemetry::prof_scope!(names::host::TRANSPORT_SEND);
         self.maybe_rollover(now);
         self.window_bytes += bytes as u64;
         self.uplink_bytes += bytes as u64;
@@ -372,6 +373,7 @@ impl TransportManager {
     /// Receives `bytes` downstream (frames) at `now`, queueing behind any
     /// transfer occupying the medium.
     pub fn recv(&mut self, bytes: usize, now: SimTime) -> Transfer {
+        gbooster_telemetry::prof_scope!(names::host::TRANSPORT_RECV);
         self.maybe_rollover(now);
         self.window_bytes += bytes as u64;
         self.downlink_bytes += bytes as u64;

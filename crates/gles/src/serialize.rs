@@ -959,6 +959,7 @@ pub fn decode_command(data: &[u8]) -> Result<(GlCommand, usize), WireError> {
 ///
 /// Fails on the first command that cannot be encoded.
 pub fn encode_stream(cmds: &[GlCommand]) -> Result<Vec<u8>, WireError> {
+    gbooster_telemetry::prof_scope!(gbooster_telemetry::names::host::GLES_ENCODE);
     let mut out = Vec::new();
     for cmd in cmds {
         encode_command(cmd, &mut out)?;
@@ -972,6 +973,7 @@ pub fn encode_stream(cmds: &[GlCommand]) -> Result<Vec<u8>, WireError> {
 ///
 /// Fails on truncated or malformed input.
 pub fn decode_stream(data: &[u8]) -> Result<Vec<GlCommand>, WireError> {
+    gbooster_telemetry::prof_scope!(gbooster_telemetry::names::host::GLES_DECODE);
     let mut out = Vec::new();
     let mut r = Reader::new(data);
     while !r.is_empty() {

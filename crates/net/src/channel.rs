@@ -76,6 +76,7 @@ impl ChannelModel {
 
     /// Samples a one-way latency.
     pub fn sample_latency<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        gbooster_telemetry::prof_scope!(gbooster_telemetry::names::host::CHANNEL);
         let jitter_us = if self.jitter.is_zero() {
             0
         } else {

@@ -429,6 +429,7 @@ pub fn simulate_transfer_ctx(
     ctx: TraceContext,
     mut clock: Option<ClockSync<'_>>,
 ) -> TransferStats {
+    gbooster_telemetry::prof_scope!(names::host::RUDP);
     let rtt_hist = registry.map(|r| r.histogram(names::net::RUDP_RTT));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sender = RudpSender::new(config);
@@ -601,6 +602,7 @@ pub fn simulate_pipelined_transfer(
     config: RudpConfig,
     seed: u64,
 ) -> PipelinedStats {
+    gbooster_telemetry::prof_scope!(names::host::RUDP);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sender = RudpSender::new(config);
     let mut receiver = RudpReceiver::new();

@@ -82,6 +82,39 @@ fn sanitize(name: &str) -> String {
     out
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed must be written as `\\`,
+/// `\"`, and `\n` respectively (anything else passes through verbatim).
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a `{k="v",…}` label block (empty string for no labels),
+/// escaping every value.
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    out.push('}');
+    out
+}
+
 fn write_float(v: f64, out: &mut String) {
     if v.is_nan() {
         out.push_str("NaN");
@@ -98,14 +131,26 @@ fn write_float(v: f64, out: &mut String) {
 /// metrics with `{quantile="0.5"|"0.9"|"0.99"}` sample lines plus
 /// `_sum` / `_count`. Quantile and sum values are microseconds.
 pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
+    prometheus_text_with_labels(snap, &[])
+}
+
+/// Like [`prometheus_text`], attaching `base_labels` to every sample —
+/// the target-labels idiom for multi-session scrapes (session name,
+/// device id, …). Label values go through [`escape_label_value`], so
+/// arbitrary text (quotes, backslashes, newlines) survives exposition.
+pub fn prometheus_text_with_labels(
+    snap: &TelemetrySnapshot,
+    base_labels: &[(&str, &str)],
+) -> String {
+    let base = label_block(base_labels);
     let mut out = String::new();
     for (name, v) in &snap.counters {
         let metric = sanitize(name);
-        out.push_str(&format!("# TYPE {metric} counter\n{metric} {v}\n"));
+        out.push_str(&format!("# TYPE {metric} counter\n{metric}{base} {v}\n"));
     }
     for (name, v) in &snap.gauges {
         let metric = sanitize(name);
-        out.push_str(&format!("# TYPE {metric} gauge\n{metric} "));
+        out.push_str(&format!("# TYPE {metric} gauge\n{metric}{base} "));
         write_float(*v, &mut out);
         out.push('\n');
     }
@@ -113,13 +158,16 @@ pub fn prometheus_text(snap: &TelemetrySnapshot) -> String {
         let metric = sanitize(name);
         out.push_str(&format!("# TYPE {metric} summary\n"));
         for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+            let mut labels: Vec<(&str, &str)> = base_labels.to_vec();
+            labels.push(("quantile", label));
             out.push_str(&format!(
-                "{metric}{{quantile=\"{label}\"}} {}\n",
+                "{metric}{} {}\n",
+                label_block(&labels),
                 h.quantile(q)
             ));
         }
-        out.push_str(&format!("{metric}_sum {}\n", h.sum()));
-        out.push_str(&format!("{metric}_count {}\n", h.count()));
+        out.push_str(&format!("{metric}_sum{base} {}\n", h.sum()));
+        out.push_str(&format!("{metric}_count{base} {}\n", h.count()));
     }
     out
 }
@@ -203,6 +251,37 @@ mod tests {
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'));
             assert!(!m.starts_with(|c: char| c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn label_values_escape_per_the_exposition_format() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(
+            escape_label_value("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd",
+            "backslash, quote, and newline must all be escaped"
+        );
+        // Escaped output never contains a raw line feed: sample lines
+        // stay one physical line each.
+        assert!(!escape_label_value("x\ny\nz").contains('\n'));
+    }
+
+    #[test]
+    fn base_labels_attach_to_every_sample_escaped() {
+        let reg = Registry::new();
+        reg.counter(names::net::WIFI_WAKES).add(1);
+        let h = reg.histogram(names::stage::DECODE);
+        h.record(10);
+        let text = prometheus_text_with_labels(&reg.snapshot(), &[("session", "ab\"c\\d\ne")]);
+        assert!(text.contains("gbooster_net_wifi_wakes{session=\"ab\\\"c\\\\d\\ne\"} 1\n"));
+        // Histogram quantile lines merge base labels with `quantile`.
+        assert!(text
+            .contains("gbooster_stage_decode{session=\"ab\\\"c\\\\d\\ne\",quantile=\"0.5\"} 10\n"));
+        assert!(text.contains("gbooster_stage_decode_count{session=\"ab\\\"c\\\\d\\ne\"} 1\n"));
+        // No raw newline sneaks into the page mid-sample.
+        for line in text.lines() {
+            assert!(line.starts_with('#') || line.rsplit_once(' ').is_some());
         }
     }
 

@@ -69,6 +69,10 @@ pub struct HistogramCore {
     sum: AtomicU64,
     max: AtomicU64,
     min: AtomicU64,
+    /// Worst tagged sample so far (exemplar value / tag / present flag).
+    ex_value: AtomicU64,
+    ex_tag: AtomicU64,
+    ex_has: AtomicU64,
 }
 
 impl Default for HistogramCore {
@@ -86,6 +90,9 @@ impl HistogramCore {
             sum: AtomicU64::new(0),
             max: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
+            ex_value: AtomicU64::new(0),
+            ex_tag: AtomicU64::new(0),
+            ex_has: AtomicU64::new(0),
         }
     }
 
@@ -96,6 +103,23 @@ impl HistogramCore {
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
         self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Records one sample carrying a trace exemplar tag (a frame seq).
+    /// The histogram remembers the tag of the worst tagged sample seen
+    /// over its lifetime — cumulative, *not* reset by snapshots, so a
+    /// mid-run flight-recorder snapshot cannot erase the exemplar the
+    /// end-of-session report will point at. Untagged [`Self::record`]
+    /// calls never produce or displace an exemplar.
+    pub fn record_tagged(&self, v: u64, tag: u64) {
+        self.record(v);
+        // Last-writer-wins races are acceptable: streams feeding tags
+        // are recorded from the single engine thread.
+        if self.ex_has.load(Ordering::Relaxed) == 0 || v >= self.ex_value.load(Ordering::Relaxed) {
+            self.ex_value.store(v, Ordering::Relaxed);
+            self.ex_tag.store(tag, Ordering::Relaxed);
+            self.ex_has.store(1, Ordering::Relaxed);
+        }
     }
 
     /// Takes a point-in-time copy.
@@ -110,6 +134,14 @@ impl HistogramCore {
             sum: self.sum.load(Ordering::Relaxed),
             max: self.max.load(Ordering::Relaxed),
             min: self.min.load(Ordering::Relaxed),
+            exemplar: if self.ex_has.load(Ordering::Relaxed) != 0 {
+                Some(Exemplar {
+                    value: self.ex_value.load(Ordering::Relaxed),
+                    tag: self.ex_tag.load(Ordering::Relaxed),
+                })
+            } else {
+                None
+            },
         }
     }
 }
@@ -126,6 +158,17 @@ impl std::fmt::Debug for HistogramCore {
     }
 }
 
+/// A trace exemplar: the worst tagged sample a histogram has seen and
+/// the frame sequence number that produced it, so a regressed quantile
+/// points at a concrete frame trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The sample value (µs by convention).
+    pub value: u64,
+    /// The tag recorded with it (a frame seq by convention).
+    pub tag: u64,
+}
+
 /// An immutable copy of a histogram's state, with quantile queries.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
@@ -134,6 +177,7 @@ pub struct HistogramSnapshot {
     sum: u64,
     max: u64,
     min: u64,
+    exemplar: Option<Exemplar>,
 }
 
 impl Default for HistogramSnapshot {
@@ -144,6 +188,7 @@ impl Default for HistogramSnapshot {
             sum: 0,
             max: 0,
             min: u64::MAX,
+            exemplar: None,
         }
     }
 }
@@ -175,6 +220,12 @@ impl HistogramSnapshot {
         } else {
             self.min
         }
+    }
+
+    /// The worst tagged sample and its frame tag, if any sample was
+    /// recorded through [`HistogramCore::record_tagged`].
+    pub fn exemplar(&self) -> Option<Exemplar> {
+        self.exemplar
     }
 
     /// Mean sample value (0 when empty).
@@ -268,6 +319,13 @@ impl HistogramSnapshot {
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);
+        // The merged exemplar is the worse of the two sides' (an
+        // untagged side contributes none), keeping "worst tagged
+        // sample of the union" exact under any merge order.
+        self.exemplar = match (self.exemplar, other.exemplar) {
+            (Some(a), Some(b)) => Some(if b.value > a.value { b } else { a }),
+            (a, b) => a.or(b),
+        };
     }
 }
 
@@ -569,6 +627,7 @@ mod tests {
             sum: u64::MAX - 1,
             max: 1,
             min: 0,
+            exemplar: None,
         };
         let long = HistogramSnapshot {
             buckets: vec![0, 0, 0, 5],
@@ -576,6 +635,7 @@ mod tests {
             sum: 10,
             max: 9,
             min: 2,
+            exemplar: None,
         };
         short.merge(&long);
         assert_eq!(short.buckets, vec![1, 2, 0, 5]);
@@ -583,5 +643,43 @@ mod tests {
         assert_eq!(short.sum, u64::MAX, "sum must saturate, not wrap");
         assert_eq!(short.max(), 9);
         assert_eq!(short.min(), 0);
+    }
+
+    #[test]
+    fn exemplar_tracks_the_worst_tagged_sample() {
+        let h = HistogramCore::new();
+        // Untagged samples never mint an exemplar.
+        h.record(99_999);
+        assert_eq!(h.snapshot().exemplar(), None);
+        h.record_tagged(1_000, 7);
+        h.record_tagged(5_000, 42);
+        h.record_tagged(2_000, 8);
+        let s = h.snapshot();
+        let ex = s.exemplar().expect("exemplar set");
+        assert_eq!((ex.value, ex.tag), (5_000, 42));
+        // Snapshots do not reset it: the worst frame survives mid-run
+        // flight-recorder snapshots.
+        let again = h.snapshot().exemplar().expect("still set");
+        assert_eq!(again.tag, 42);
+    }
+
+    #[test]
+    fn exemplar_merge_keeps_the_worse_side() {
+        let a = HistogramCore::new();
+        let b = HistogramCore::new();
+        a.record_tagged(10_000, 3);
+        b.record_tagged(90_000, 11);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.exemplar().map(|e| e.tag), Some(11));
+        // Order independence.
+        let mut flipped = b.snapshot();
+        flipped.merge(&a.snapshot());
+        assert_eq!(flipped.exemplar(), m.exemplar());
+        // Merging an untagged side preserves the exemplar.
+        let untagged = HistogramCore::new();
+        untagged.record(500_000);
+        m.merge(&untagged.snapshot());
+        assert_eq!(m.exemplar().map(|e| e.tag), Some(11));
     }
 }

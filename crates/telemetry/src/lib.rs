@@ -53,6 +53,13 @@
 //!   records with postmortem rendering ([`IncidentManager`],
 //!   [`OpsReport`]).
 //!
+//! One layer deliberately breaks the sim-time rule: [`prof`] /
+//! [`flame`] profile the **simulator's own wall-clock cost** — scoped
+//! host-time accounting with per-scope allocation counts (under the
+//! `host-prof` feature) and flamegraph-compatible collapsed-stack
+//! export — so hot-path optimizations are judged against measured
+//! numbers.
+//!
 //! Metric and stage names live in [`names`]; the full schema is
 //! documented in `docs/OBSERVABILITY.md`.
 //!
@@ -89,11 +96,13 @@ pub mod attr;
 pub mod context;
 pub mod diff;
 pub mod export;
+pub mod flame;
 pub mod flight;
 pub mod hist;
 pub mod incident;
 pub mod json;
 pub mod names;
+pub mod prof;
 pub mod registry;
 pub mod remote;
 pub mod report;
@@ -105,13 +114,15 @@ pub use alert::{AlertConfig, AlertMachine, AlertState, AlertTransition};
 pub use attr::{AttributionLog, AttributionSnapshot, UplinkFrameEntry};
 pub use context::TraceContext;
 pub use diff::{diff as attribution_diff, AttributionDiff};
-pub use export::{chrome_trace, prometheus_text};
+pub use export::{chrome_trace, prometheus_text, prometheus_text_with_labels};
+pub use flame::{collapsed_stack, parse_collapsed, CollapsedLine};
 pub use flight::{Fault, FlightDump, FlightRecorder};
-pub use hist::HistogramSnapshot;
+pub use hist::{Exemplar, HistogramSnapshot};
 pub use incident::{
     AlertSummary, Incident, IncidentConfig, IncidentManager, OpsEvent, OpsEventKind, OpsLog,
     OpsReport, SloWindowState,
 };
+pub use prof::{HostProfileSnapshot, HostProfiler};
 pub use registry::{Counter, Gauge, Histogram, Registry, WindowedHistogram};
 pub use remote::{ClockOffsetEstimator, RemoteSpan, RemoteSpanLog};
 pub use report::TelemetrySnapshot;

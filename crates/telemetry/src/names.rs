@@ -300,6 +300,73 @@ pub mod attr {
     pub const ENERGY_BASE: &str = "base";
 }
 
+/// Host-time (wall-clock) profiler scopes and metrics
+/// (crates/telemetry/src/prof.rs). Unlike every other module in this
+/// file, these measure the *simulator's own* cost on the host machine,
+/// not modeled device time. Scope constants mirror the sim-time stage
+/// vocabulary where a direct counterpart exists; metrics are gauges set
+/// once at session teardown.
+pub mod host {
+    /// Root scope wrapping the whole engine run loop.
+    pub const SESSION: &str = "host.session";
+    /// One choreographer tick of the offload engine.
+    pub const TICK: &str = "host.tick";
+    /// Frame issue: intercept → forward → uplink modeling.
+    pub const ISSUE: &str = "host.issue";
+    /// Frame retire: service render/encode/downlink modeling.
+    pub const RETIRE: &str = "host.retire";
+    /// Frame presentation: decode, stitch, SLO/ops feeds.
+    pub const PRESENT: &str = "host.present";
+    /// Command forwarding (resolve + cache + compress) on the phone.
+    pub const FORWARD: &str = "host.forward";
+    /// GL wire encoding (crates/gles serialize path).
+    pub const GLES_ENCODE: &str = "host.gles.encode";
+    /// GL wire decoding (crates/gles deserialize path).
+    pub const GLES_DECODE: &str = "host.gles.decode";
+    /// LRU command-cache tokenization (offer/accept).
+    pub const CACHE: &str = "host.cache";
+    /// LZ4 compression.
+    pub const LZ4: &str = "host.lz4";
+    /// LZ4 decompression.
+    pub const LZ4_DECODE: &str = "host.lz4_decode";
+    /// Turbo tile encoding.
+    pub const TURBO_ENCODE: &str = "host.turbo_encode";
+    /// Turbo tile decoding.
+    pub const TURBO_DECODE: &str = "host.turbo_decode";
+    /// JPEG keyframe compression.
+    pub const JPEG: &str = "host.jpeg";
+    /// JPEG keyframe decompression.
+    pub const JPEG_DECODE: &str = "host.jpeg_decode";
+    /// Transport uplink send modeling.
+    pub const TRANSPORT_SEND: &str = "host.transport_send";
+    /// Transport downlink receive modeling.
+    pub const TRANSPORT_RECV: &str = "host.transport_recv";
+    /// RUDP transfer simulation (datagram loop).
+    pub const RUDP: &str = "host.rudp";
+    /// Per-datagram channel sampling.
+    pub const CHANNEL: &str = "host.channel";
+    /// Eq. 4 dispatcher node selection.
+    pub const DISPATCH: &str = "host.dispatch";
+    /// Service-side GL replay.
+    pub const REPLAY: &str = "host.replay";
+
+    /// Wall-clock frames simulated per second (gauge, set at teardown).
+    pub const FRAMES_PER_SEC: &str = "host.frames_per_sec";
+    /// Heap bytes allocated per simulated frame (gauge; 0 unless the
+    /// `host-prof` counting allocator is compiled in).
+    pub const ALLOC_BYTES_PER_FRAME: &str = "host.alloc_bytes_per_frame";
+    /// Host nanoseconds per simulated frame, whole loop (gauge).
+    pub const NS_PER_FRAME: &str = "host.ns_per_frame";
+    /// Host ns/frame spent in GL wire (de)serialization (gauge).
+    pub const NS_PER_FRAME_SERIALIZE: &str = "host.ns_per_frame.serialize";
+    /// Host ns/frame spent in codecs (cache/LZ4/Turbo/JPEG) (gauge).
+    pub const NS_PER_FRAME_CODEC: &str = "host.ns_per_frame.codec";
+    /// Host ns/frame spent in transport/RUDP/channel modeling (gauge).
+    pub const NS_PER_FRAME_NET: &str = "host.ns_per_frame.net";
+    /// Host ns/frame spent in the core engine itself (gauge).
+    pub const NS_PER_FRAME_CORE: &str = "host.ns_per_frame.core";
+}
+
 /// Session-level aggregates (crates/core/src/session.rs).
 pub mod session {
     /// Frames displayed (counter).

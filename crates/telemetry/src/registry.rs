@@ -87,6 +87,19 @@ impl Histogram {
         self.0.record(d.as_micros());
     }
 
+    /// Records one raw sample carrying a trace-exemplar tag (a frame
+    /// seq); the histogram remembers the tag of its worst tagged
+    /// sample. See [`crate::hist::HistogramCore::record_tagged`].
+    pub fn record_tagged(&self, v: u64, tag: u64) {
+        self.0.record_tagged(v, tag);
+    }
+
+    /// Records a sim-time duration in microseconds, tagged with the
+    /// frame seq that produced it.
+    pub fn record_duration_tagged(&self, d: SimDuration, tag: u64) {
+        self.0.record_tagged(d.as_micros(), tag);
+    }
+
     /// Takes a point-in-time copy.
     pub fn snapshot(&self) -> crate::hist::HistogramSnapshot {
         self.0.snapshot()

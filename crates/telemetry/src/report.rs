@@ -102,21 +102,26 @@ impl TelemetrySnapshot {
 
         if !self.histograms.is_empty() {
             out.push_str(&format!(
-                "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
-                "latency (ms)", "count", "p50", "p90", "p99", "max"
+                "{:<22} {:>8} {:>9} {:>9} {:>9} {:>9}  {}\n",
+                "latency (ms)", "count", "p50", "p90", "p99", "max", "worst frame"
             ));
             for (name, h) in &self.histograms {
                 if h.count() == 0 {
                     continue;
                 }
+                let worst = match h.exemplar() {
+                    Some(ex) => format!("seq {}", ex.tag),
+                    None => "-".to_string(),
+                };
                 out.push_str(&format!(
-                    "{:<22} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3}\n",
+                    "{:<22} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3}  {}\n",
                     name,
                     h.count(),
                     h.p50_ms(),
                     h.p90_ms(),
                     h.p99_ms(),
                     h.max() as f64 / 1000.0,
+                    worst,
                 ));
             }
         }
@@ -186,8 +191,12 @@ impl TelemetrySnapshot {
                 out.push(',');
             }
             out.push_str(&crate::json::quote(k));
+            let exemplar = match h.exemplar() {
+                Some(ex) => format!(",\"worst_frame\":{},\"worst_us\":{}", ex.tag, ex.value),
+                None => String::new(),
+            };
             out.push_str(&format!(
-                ":{{\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                ":{{\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}{exemplar}}}",
                 h.count(),
                 h.sum(),
                 h.quantile(0.50),
@@ -237,6 +246,26 @@ mod tests {
         assert!(report.contains("p99"));
         assert!(report.contains("cache hit rate"));
         assert!(report.contains("radio mispredictions"));
+    }
+
+    #[test]
+    fn report_surfaces_worst_frame_exemplars() {
+        let reg = Registry::new();
+        let h = reg.histogram(names::stage::TOTAL);
+        h.record_tagged(8_000, 3);
+        h.record_tagged(120_000, 57);
+        h.record_tagged(9_000, 4);
+        reg.histogram(names::stage::UPLINK).record(2_000); // untagged
+        let snap = reg.snapshot();
+        let report = snap.render_report();
+        assert!(report.contains("worst frame"));
+        assert!(report.contains("seq 57"));
+        let json = snap.to_json();
+        assert!(json.contains("\"worst_frame\":57"));
+        assert!(json.contains("\"worst_us\":120000"));
+        // The untagged histogram carries no exemplar fields.
+        let uplink = json.split("\"stage.uplink\"").nth(1).unwrap();
+        assert!(!uplink.split('}').next().unwrap().contains("worst_frame"));
     }
 
     #[test]

@@ -9,7 +9,9 @@ use std::collections::BTreeMap;
 use gbooster_sim::time::SimTime;
 use gbooster_telemetry::json::{self, JsonValue};
 use gbooster_telemetry::trace::{FrameTrace, SpanNode, TraceLog};
-use gbooster_telemetry::{chrome_trace, names, prometheus_text, Registry, TelemetrySnapshot};
+use gbooster_telemetry::{
+    chrome_trace, names, prometheus_text, prometheus_text_with_labels, Registry, TelemetrySnapshot,
+};
 
 /// Prometheus metric-name sanitization, mirrored from the exporter's
 /// documented contract (`gbooster_` prefix, non-alnum → `_`).
@@ -128,6 +130,70 @@ fn merged_histogram_quantiles_survive_the_text_round_trip() {
     }
     assert_eq!(page.samples[&format!("{metric}_count")], 80.0);
     assert_eq!(page.samples[&format!("{metric}_sum")], decode.sum() as f64);
+}
+
+/// Undoes Prometheus label-value escaping: `\\` → `\`, `\"` → `"`,
+/// `\n` → line feed — the inverse a scraper applies.
+fn unescape_label_value(v: &str) -> String {
+    let mut out = String::new();
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            other => panic!("invalid escape \\{other:?}"),
+        }
+    }
+    out
+}
+
+#[test]
+fn hostile_label_values_survive_the_text_round_trip() {
+    // A label value containing all three characters the exposition
+    // format requires escaping: backslash, double-quote, newline.
+    let hostile = "sess\\01\"quoted\"\nsecond-line";
+    let reg = Registry::new();
+    reg.counter(names::net::UPLINK_BYTES).add(5);
+    reg.gauge(names::session::CPU_UTILIZATION).set(0.5);
+    reg.histogram(names::stage::DECODE).record(30);
+    let text = prometheus_text_with_labels(&reg.snapshot(), &[("session", hostile)]);
+
+    // The raw newline inside the value must not fracture any sample
+    // line: the page still parses line-by-line.
+    let page = parse_prometheus(&text);
+    assert_eq!(page.samples.len(), 2 + 5, "2 scalars + 5 summary lines");
+
+    // Every sample carries the label, and unescaping the emitted
+    // label block recovers the original hostile value exactly.
+    let mut labeled = 0;
+    for key in page.samples.keys() {
+        let (_, block) = key.split_once('{').expect("sample has labels");
+        let start = block.find("session=\"").expect("session label") + "session=\"".len();
+        // The value runs to the next unescaped quote.
+        let mut end = start;
+        let bytes = block.as_bytes();
+        while bytes[end] != b'"' || bytes[end - 1] == b'\\' {
+            end += 1;
+        }
+        assert_eq!(unescape_label_value(&block[start..end]), hostile, "{key}");
+        labeled += 1;
+    }
+    assert_eq!(labeled, 7);
+
+    // Quantile lines additionally keep their quantile label.
+    let metric = sanitize(names::stage::DECODE);
+    let q_keys: Vec<&String> = page
+        .samples
+        .keys()
+        .filter(|k| k.starts_with(&format!("{metric}{{")) && k.contains("quantile=\"0.5\""))
+        .collect();
+    assert_eq!(q_keys.len(), 1);
+    assert_eq!(page.samples[q_keys[0]], 30.0);
 }
 
 fn t(us: u64) -> SimTime {

@@ -16,11 +16,23 @@ done
 
 # Refresh the committed regression-gate baselines (BENCH_fig5.json /
 # BENCH_traffic.json). They are collected under smoke mode so the CI
-# bench-gate job compares like for like; commit the refreshed files
-# together with the change that legitimately moved the numbers
-# (docs/OBSERVABILITY.md, "Baseline refresh policy").
+# bench-gate job compares like for like, and with host-prof on so the
+# host.alloc_bytes_per_frame row counts real heap traffic; commit the
+# refreshed files together with the change that legitimately moved the
+# numbers (docs/OBSERVABILITY.md, "Baseline refresh policy").
 echo "== bench_baseline (regression-gate baselines, smoke mode)"
-GBOOSTER_BENCH_SMOKE=1 cargo run --release -q -p gbooster-bench --bin bench_baseline \
-  | tee "results/bench_baseline.txt"
+GBOOSTER_BENCH_SMOKE=1 cargo run --release -q -p gbooster-bench --features host-prof \
+  --bin bench_baseline | tee "results/bench_baseline.txt"
+
+# Profile the simulator itself: one offloaded smoke session under the
+# scoped host profiler + counting allocator. Prints the top-N host-cost
+# table (wall self/total µs, allocs, bytes per collapsed call path) and
+# writes BENCH_profile.collapsed — render it with
+# `flamegraph.pl BENCH_profile.collapsed > results/flame.svg`
+# (docs/OBSERVABILITY.md, "Host-time profiling & flamegraphs").
+echo "== profile_smoke (host-time top-N table + collapsed stacks)"
+GBOOSTER_BENCH_SMOKE=1 cargo run --release -q -p gbooster-bench --features host-prof \
+  --bin profile_smoke | tee "results/profile_smoke.txt"
+cp BENCH_profile.collapsed results/
 
 echo "All experiment outputs written to ./results/"
