@@ -234,6 +234,17 @@ pub const TRAFFIC_METRICS: &[MetricDef] = &[
         gated: true,
         latency: false,
     },
+    MetricDef {
+        // Fabric scaling headroom: admitted sessions meeting their p99
+        // SLO per pool node on the 64-session / 2-node ladder rung
+        // (docs/FABRIC.md). Purely simulated time, so the tolerance
+        // only absorbs admission/schedule changes, not host noise.
+        name: names::fabric::SESSIONS_PER_NODE_AT_SLO,
+        direction: Direction::HigherIsBetter,
+        tolerance: 0.15,
+        gated: true,
+        latency: false,
+    },
 ];
 
 /// The metric definitions for a named bench.
@@ -440,6 +451,10 @@ fn collect_traffic(
             .mode(ExecutionMode::Offloaded(OffloadConfig::default()))
             .build(),
     );
+    // The fabric scaling rung: how many sessions one pool node can
+    // host at SLO under the multi-tenant scheduler.
+    let fabric = crate::run_fabric_rung(64, 2, seed);
+
     let mut metrics = vec![
         ("lz4_ratio", lz4_ratio),
         ("pipeline_ratio", pipeline_ratio),
@@ -447,6 +462,10 @@ fn collect_traffic(
         ("turbo_ratio", turbo_ratio),
         ("turbo_mpixels_per_sec", turbo_mps),
         ("rudp_completion_ms", rudp.completion.as_millis_f64()),
+        (
+            names::fabric::SESSIONS_PER_NODE_AT_SLO,
+            fabric.sessions_per_node_at_slo,
+        ),
     ];
     metrics.extend(host_metrics(&off));
     let worst = total_latency_exemplar(&off);

@@ -175,6 +175,30 @@ pub fn run_service_pool(
     )
 }
 
+/// One rung of the fabric scaling ladder (docs/FABRIC.md): `sessions`
+/// offered tenants over a `nodes`-strong shared pool, returning the
+/// aggregate SLO report. The gated scaling row
+/// (`sessions_per_node_at_slo`) comes from the 64-session / 2-node
+/// rung — large enough to exercise admission and fair share, small
+/// enough for the CI smoke gate.
+#[must_use]
+pub fn run_fabric_rung(
+    sessions: usize,
+    nodes: usize,
+    seed: u64,
+) -> gbooster_core::fabric::FabricReport {
+    use gbooster_core::fabric::{FabricConfig, SessionManager};
+    let pool = [
+        DeviceSpec::nvidia_shield(),
+        DeviceSpec::dell_optiplex_9010(),
+        DeviceSpec::dell_m4600(),
+        DeviceSpec::minix_neo_u1(),
+    ];
+    let mut cfg = FabricConfig::uniform(sessions, pool[..nodes].to_vec(), seed);
+    cfg.duration = gbooster_sim::time::SimDuration::from_secs(if smoke() { 3 } else { 10 });
+    SessionManager::run(&cfg).expect("fabric rung config is valid")
+}
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!();

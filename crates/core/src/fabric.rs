@@ -1,0 +1,1174 @@
+//! The multi-tenant service fabric: hundreds of concurrent phone
+//! sessions multiplexed over one shared service pool (docs/FABRIC.md).
+//!
+//! Everything below `SessionManager` is the same machinery the
+//! single-session engine uses — Eq. 4 scoring and per-node bookings via
+//! [`crate::scheduler::Dispatcher`], the forwarder's LRU + LZ4 wire
+//! model, the Turbo encode model — lifted one level: the *tenant*
+//! becomes the scheduling unit.
+//!
+//! * **Admission control** — each tenant's steady-state node demand
+//!   (render + encode seconds per second) is estimated from a real
+//!   calibration run of its title; tenants are admitted until the pool
+//!   reaches its configured utilization cap, the rest are rejected and
+//!   counted (the gated `fabric.rejected_rate`).
+//! * **Per-tenant queues + fair share** — issued frames wait in their
+//!   own session's queue. When a node goes idle, the *session* is
+//!   chosen max-min (least GPU time attained in the current 1 s
+//!   window), then the *node* is chosen by Eq. 4 over the idle nodes.
+//!   No admitted tenant can be starved while another hogs the pool.
+//! * **Partitioned command caches with a shared-segment option** — each
+//!   session owns its command cache (cold setup upload per tenant); in
+//!   [`CacheMode::SharedSegments`] tenants of the same title attach to
+//!   an already-resident immutable setup segment and skip the upload.
+//! * **Aggregate SLO report** — cross-session p50/p99/p999 frame
+//!   latency, pool utilization, and sessions-per-node-at-SLO, exported
+//!   deterministically ([`FabricReport::slo_json`] is byte-identical
+//!   across reruns of the same config).
+//!
+//! Per-tenant observability rides on the existing exporters: every
+//! tenant owns a private [`Registry`] whose snapshot is exposed with a
+//! `tenant="…"` base label through
+//! [`gbooster_telemetry::export::prometheus_text_with_labels`].
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+use gbooster_sim::device::DeviceSpec;
+use gbooster_sim::rng::derived;
+use gbooster_sim::time::{SimDuration, SimTime};
+use gbooster_telemetry::export::{prometheus_text, prometheus_text_with_labels};
+use gbooster_telemetry::{names, Registry, TelemetrySnapshot};
+use gbooster_workload::games::GameTitle;
+use gbooster_workload::tracegen::TraceGenerator;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::error::GBoosterError;
+use crate::forward::CommandForwarder;
+use crate::scheduler::{Dispatcher, ReorderBuffer, ServiceNode};
+use crate::transport::fabric_link_secs;
+
+/// Frames of steady-state workload calibrated per title (cycled).
+const CALIB_FRAMES: usize = 48;
+/// Display compositor latency charged on every presentation.
+const COMPOSITOR: SimDuration = SimDuration::from_millis(2);
+/// LAN RTT to every pool node (the paper's same-room deployment).
+const LAN_RTT: SimDuration = SimDuration::from_millis(2);
+/// Eq. 4 warm-up booked onto a revived node.
+const REJOIN_WARMUP: SimDuration = SimDuration::from_millis(50);
+/// Loss-burst recovery stall charged per excess retransmission round.
+const RETX_PENALTY: SimDuration = SimDuration::from_millis(20);
+/// Per-frame probability of a loss burst at `loss_scale = 1`.
+const LOSS_BURST_P: f64 = 0.02;
+/// Wire cost of attaching to an already-resident shared setup segment.
+const SHARED_ATTACH_BYTES: u64 = 64;
+/// Presented frames before the SLO fallback may engage.
+const SLO_MIN_FRAMES: u64 = 8;
+/// Fallback engages when the latency EWMA exceeds `slo_ms` times this.
+const SLO_ENGAGE_FACTOR: f64 = 4.0;
+/// Smoothing for the per-tenant latency EWMA.
+const SLO_ALPHA: f64 = 0.2;
+/// Fair-share audit window width.
+const WINDOW: SimDuration = SimDuration::from_secs(1);
+
+/// One tenant's workload contract.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Game the tenant is running.
+    pub title: GameTitle,
+    /// Target frame rate (frames issued per second).
+    pub fps: f64,
+    /// p99 frame-latency objective, milliseconds.
+    pub slo_ms: f64,
+}
+
+/// Command-cache layout across sessions on the service side.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Every session owns its cache: full setup upload per tenant.
+    Partitioned,
+    /// Sessions of the same title share the immutable setup segment
+    /// (shaders, static textures): one upload per title, later tenants
+    /// attach for [`SHARED_ATTACH_BYTES`].
+    SharedSegments,
+}
+
+/// Admission-control policy.
+#[derive(Clone, Copy, Debug)]
+pub struct AdmissionControl {
+    /// Fraction of pool node-seconds the admitted set may book (ρ cap).
+    pub utilization_cap: f64,
+    /// Hard ceiling on admitted sessions per pool node.
+    pub max_sessions_per_node: usize,
+}
+
+impl Default for AdmissionControl {
+    fn default() -> Self {
+        AdmissionControl {
+            utilization_cap: 0.85,
+            max_sessions_per_node: 64,
+        }
+    }
+}
+
+/// A scheduled pool fault, sim-time keyed (the fabric has no single
+/// frame counter to key on — hundreds of sessions each have their own).
+#[derive(Clone, Copy, Debug)]
+pub enum PoolEvent {
+    /// Node drops dead at `at`; its in-flight frames are orphaned.
+    Kill {
+        /// Failure instant.
+        at: SimTime,
+        /// Pool node index.
+        node: usize,
+    },
+    /// Node rejoins at `at` with an Eq. 4 warm-up.
+    Revive {
+        /// Rejoin instant.
+        at: SimTime,
+        /// Pool node index.
+        node: usize,
+    },
+}
+
+/// Full fabric run description.
+#[derive(Clone, Debug)]
+pub struct FabricConfig {
+    /// The shared service pool.
+    pub pool: Vec<DeviceSpec>,
+    /// Offered tenants, in admission order.
+    pub tenants: Vec<TenantSpec>,
+    /// Issue horizon: frames are issued while `t < duration`.
+    pub duration: SimDuration,
+    /// Master seed; every stream derives from it.
+    pub seed: u64,
+    /// Command-cache layout.
+    pub cache_mode: CacheMode,
+    /// Admission policy.
+    pub admission: AdmissionControl,
+    /// Link loss scale (0 = clean; 1 = nominal lossy).
+    pub loss_scale: f64,
+    /// Per-tenant stream resolution (width, height).
+    pub resolution: (u32, u32),
+    /// Scheduled pool faults, in time order.
+    pub events: Vec<PoolEvent>,
+}
+
+impl FabricConfig {
+    /// A uniform tenant mix: `n` sessions cycling through a fixed
+    /// four-title corpus slice at 20 fps with a 100 ms p99 SLO.
+    pub fn uniform(n: usize, pool: Vec<DeviceSpec>, seed: u64) -> Self {
+        let corpus = [
+            GameTitle::g2_modern_combat(),
+            GameTitle::g5_candy_crush(),
+            GameTitle::g6_cut_the_rope(),
+            GameTitle::g3_star_wars(),
+        ];
+        let tenants = (0..n)
+            .map(|i| TenantSpec {
+                title: corpus[i % corpus.len()].clone(),
+                fps: 20.0,
+                slo_ms: 100.0,
+            })
+            .collect();
+        FabricConfig {
+            pool,
+            tenants,
+            duration: SimDuration::from_secs(4),
+            seed,
+            cache_mode: CacheMode::SharedSegments,
+            admission: AdmissionControl::default(),
+            loss_scale: 0.0,
+            resolution: (320, 180),
+            events: Vec::new(),
+        }
+    }
+
+    /// Sanity-checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GBoosterError::Config`] on an empty pool, no
+    /// tenants, a non-positive duration, or broken per-tenant numbers.
+    pub fn validate(&self) -> Result<(), GBoosterError> {
+        let fail = |msg: String| Err(GBoosterError::Config(msg));
+        if self.pool.is_empty() {
+            return fail("fabric pool must have at least one node".into());
+        }
+        if self.tenants.is_empty() {
+            return fail("fabric needs at least one tenant".into());
+        }
+        if self.duration.is_zero() {
+            return fail("fabric duration must be positive".into());
+        }
+        for (i, t) in self.tenants.iter().enumerate() {
+            if !(t.fps.is_finite() && t.fps > 0.0 && t.fps <= 240.0) {
+                return fail(format!("tenant {i}: fps {} out of range", t.fps));
+            }
+            if !(t.slo_ms.is_finite() && t.slo_ms > 0.0) {
+                return fail(format!("tenant {i}: slo_ms {} out of range", t.slo_ms));
+            }
+        }
+        if !(self.admission.utilization_cap > 0.0 && self.admission.utilization_cap <= 1.0) {
+            return fail(format!(
+                "utilization_cap {} must be in (0, 1]",
+                self.admission.utilization_cap
+            ));
+        }
+        if self.admission.max_sessions_per_node == 0 {
+            return fail("max_sessions_per_node must be positive".into());
+        }
+        if !(self.loss_scale.is_finite() && self.loss_scale >= 0.0) {
+            return fail(format!("loss_scale {} must be ≥ 0", self.loss_scale));
+        }
+        let (w, h) = self.resolution;
+        if w == 0 || h == 0 {
+            return fail("resolution must be non-zero".into());
+        }
+        for ev in &self.events {
+            let node = match ev {
+                PoolEvent::Kill { node, .. } | PoolEvent::Revive { node, .. } => *node,
+            };
+            if node >= self.pool.len() {
+                return fail(format!("pool event names node {node} outside the pool"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One incident record: a pool fault as one tenant experienced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantIncident {
+    /// Affected tenant.
+    pub tenant: u32,
+    /// `"node_loss"` or `"pool_lost"`.
+    pub kind: &'static str,
+    /// Fault instant.
+    pub at: SimTime,
+}
+
+/// Per-tenant slice of the aggregate report.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Tenant index (admission order).
+    pub tenant: u32,
+    /// Paper title id (G1–G6).
+    pub title: &'static str,
+    /// Whether admission let the session in.
+    pub admitted: bool,
+    /// Frames the session issued.
+    pub frames_issued: u64,
+    /// Frames presented (must equal issued for a gapless session).
+    pub frames_presented: u64,
+    /// Frames rendered on the tenant's own GPU.
+    pub frames_local: u64,
+    /// Frames re-queued away from a killed node.
+    pub redispatches: u64,
+    /// Uplink wire bytes (setup + per-frame streams).
+    pub uplink_bytes: u64,
+    /// Downlink encoded bytes.
+    pub downlink_bytes: u64,
+    /// Pool GPU seconds this session was scheduled.
+    pub service_secs: f64,
+    /// Median frame latency, µs.
+    pub p50_us: u64,
+    /// p99 frame latency, µs.
+    pub p99_us: u64,
+    /// The session's SLO, for reference.
+    pub slo_ms: f64,
+    /// p99 ≤ SLO over the whole run.
+    pub slo_met: bool,
+    /// Frames presented strictly in sequence with no gaps.
+    pub gapless: bool,
+    /// Incident records opened for this tenant.
+    pub incidents: u64,
+}
+
+/// One 1 s fair-share audit window.
+#[derive(Clone, Debug)]
+pub struct WindowAudit {
+    /// Window index (floor of sim seconds).
+    pub window: u64,
+    /// Pool GPU seconds scheduled in the window, all tenants.
+    pub pool_busy_secs: f64,
+    /// Per-admitted-tenant GPU seconds scheduled in the window.
+    pub tenant_busy_secs: Vec<f64>,
+}
+
+/// Aggregate outcome of a fabric run.
+#[derive(Clone, Debug)]
+pub struct FabricReport {
+    /// Sessions that asked for admission.
+    pub sessions_offered: usize,
+    /// Sessions admitted.
+    pub admitted: usize,
+    /// Sessions rejected at admission.
+    pub rejected: usize,
+    /// Rejected ÷ offered.
+    pub rejected_rate: f64,
+    /// Estimated admitted node demand (node-seconds per second).
+    pub admitted_load: f64,
+    /// The admission budget: `utilization_cap × pool nodes`.
+    pub load_cap: f64,
+    /// Pool size at start.
+    pub nodes: usize,
+    /// Frames presented across every session.
+    pub frames_presented: u64,
+    /// Cross-session p50 frame latency, µs.
+    pub p50_us: u64,
+    /// Cross-session p99 frame latency, µs.
+    pub p99_us: u64,
+    /// Cross-session p99.9 frame latency, µs.
+    pub p999_us: u64,
+    /// Pool GPU busy seconds ÷ alive pool node-seconds.
+    pub pool_utilization: f64,
+    /// Admitted sessions meeting their p99 SLO, gapless.
+    pub sessions_at_slo: usize,
+    /// `sessions_at_slo ÷ nodes` — the gated scaling metric.
+    pub sessions_per_node_at_slo: f64,
+    /// Total uplink wire bytes (pool registry view).
+    pub pool_uplink_bytes: u64,
+    /// Total downlink bytes (pool registry view).
+    pub pool_downlink_bytes: u64,
+    /// Setup bytes avoided by shared segments.
+    pub shared_segment_bytes_saved: u64,
+    /// Frames re-queued away from killed nodes.
+    pub redispatches: u64,
+    /// Tenants that flipped to local rendering on SLO breach.
+    pub slo_fallbacks: u64,
+    /// Per-tenant incident records, time-ordered.
+    pub incidents: Vec<TenantIncident>,
+    /// Per-tenant slices, tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// 1 s fair-share audit windows.
+    pub windows: Vec<WindowAudit>,
+    /// Pool-level registry snapshot.
+    pub telemetry: TelemetrySnapshot,
+    /// Per-tenant registry snapshots (admitted tenants only),
+    /// exported with `tenant="…"` labels by [`Self::prometheus`].
+    pub tenant_telemetry: Vec<(u32, TelemetrySnapshot)>,
+}
+
+impl FabricReport {
+    /// The aggregate SLO report as deterministic JSON: two runs of the
+    /// same config produce byte-identical output (the scaling matrix
+    /// asserts this).
+    pub fn slo_json(&self) -> String {
+        let mut out = String::with_capacity(4096 + self.tenants.len() * 160);
+        out.push_str(&format!(
+            "{{\"offered\":{},\"admitted\":{},\"rejected\":{},\"rejected_rate\":{:.6},\
+             \"nodes\":{},\"frames\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\
+             \"pool_utilization\":{:.6},\"sessions_at_slo\":{},\
+             \"sessions_per_node_at_slo\":{:.4},\"uplink_bytes\":{},\"downlink_bytes\":{},\
+             \"shared_segment_bytes_saved\":{},\"redispatches\":{},\"slo_fallbacks\":{},\
+             \"incidents\":{},\"tenants\":[",
+            self.sessions_offered,
+            self.admitted,
+            self.rejected,
+            self.rejected_rate,
+            self.nodes,
+            self.frames_presented,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.pool_utilization,
+            self.sessions_at_slo,
+            self.sessions_per_node_at_slo,
+            self.pool_uplink_bytes,
+            self.pool_downlink_bytes,
+            self.shared_segment_bytes_saved,
+            self.redispatches,
+            self.slo_fallbacks,
+            self.incidents.len(),
+        ));
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"tenant\":{},\"title\":\"{}\",\"admitted\":{},\"issued\":{},\
+                 \"presented\":{},\"local\":{},\"redispatches\":{},\"uplink\":{},\
+                 \"downlink\":{},\"service_us\":{},\"p50_us\":{},\"p99_us\":{},\
+                 \"slo_met\":{},\"gapless\":{},\"incidents\":{}}}",
+                t.tenant,
+                t.title,
+                t.admitted,
+                t.frames_issued,
+                t.frames_presented,
+                t.frames_local,
+                t.redispatches,
+                t.uplink_bytes,
+                t.downlink_bytes,
+                (t.service_secs * 1e6).round() as u64,
+                t.p50_us,
+                t.p99_us,
+                t.slo_met,
+                t.gapless,
+                t.incidents,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prometheus exposition of the pool registry followed by every
+    /// admitted tenant's registry labelled `tenant="t…"` — the
+    /// multi-session form of the single-session exporter.
+    pub fn prometheus(&self) -> String {
+        let mut out = prometheus_text(&self.telemetry);
+        for (tenant, snap) in &self.tenant_telemetry {
+            let label = format!("t{tenant:03}");
+            out.push_str(&prometheus_text_with_labels(snap, &[("tenant", &label)]));
+        }
+        out
+    }
+}
+
+/// Per-title workload model calibrated from a real trace-generator +
+/// forwarder run: actual wire bytes (LRU + LZ4), fill, changed pixels,
+/// and Turbo encode/downlink figures per steady-state frame.
+#[derive(Clone, Debug)]
+struct TitleModel {
+    setup_wire: u64,
+    frame_wire: Vec<u64>,
+    frame_fill: Vec<u64>,
+    encode_us: Vec<u64>,
+    down_bytes: Vec<u64>,
+}
+
+fn calibrate(title: &GameTitle, resolution: (u32, u32), seed: u64) -> TitleModel {
+    let (w, h) = resolution;
+    let calib_seed = derived(seed, &format!("fabric-calib-{}", title.id)).gen::<u64>();
+    let mut gen = TraceGenerator::new(title.profile(), title.intensity, w, h, calib_seed);
+    let mut fw = CommandForwarder::new();
+    let setup = gen.setup_trace();
+    let setup_wire = fw
+        .forward_frame(&setup.commands, gen.client_memory())
+        .expect("calibration setup stream must forward")
+        .wire
+        .len() as u64;
+    let mut model = TitleModel {
+        setup_wire,
+        frame_wire: Vec::with_capacity(CALIB_FRAMES),
+        frame_fill: Vec::with_capacity(CALIB_FRAMES),
+        encode_us: Vec::with_capacity(CALIB_FRAMES),
+        down_bytes: Vec::with_capacity(CALIB_FRAMES),
+    };
+    let frame_px = w as u64 * h as u64;
+    for _ in 0..CALIB_FRAMES {
+        let frame = gen.next_frame(1.0 / 30.0);
+        let fwd = fw
+            .forward_frame(&frame.commands, gen.client_memory())
+            .expect("calibration frame must forward");
+        let changed = (frame.changed_pixel_ratio * frame_px as f64).round() as u64;
+        model.frame_wire.push(fwd.wire.len() as u64);
+        model.frame_fill.push(frame.effective_fill);
+        model
+            .encode_us
+            .push((gbooster_codec::turbo::model_encode_secs(frame_px, changed) * 1e6) as u64);
+        model
+            .down_bytes
+            .push(gbooster_codec::turbo::model_encoded_bytes(changed) as u64);
+    }
+    model
+}
+
+/// A frame waiting in (or moving toward) its tenant's queue.
+#[derive(Clone, Copy, Debug)]
+struct FrameJob {
+    seq: u64,
+    issued: SimTime,
+    arrived: SimTime,
+    fill: u64,
+    encode: SimDuration,
+    down_bytes: u64,
+}
+
+/// Per-tenant live state.
+struct TenantState {
+    spec: TenantSpec,
+    model: usize,
+    fill_scale: f64,
+    rng: StdRng,
+    registry: Registry,
+    queue: VecDeque<FrameJob>,
+    reorder: ReorderBuffer<(SimTime, SimTime)>,
+    last_present: SimTime,
+    frames_issued: u64,
+    frames_presented: u64,
+    frames_local: u64,
+    redispatches: u64,
+    uplink_bytes: u64,
+    downlink_bytes: u64,
+    service_secs: f64,
+    latency_ewma_ms: f64,
+    local_mode: bool,
+    slo_fell_back: bool,
+    incidents: u64,
+}
+
+/// Event kinds, in tie-break priority order at equal instants.
+const EV_FAULT: u8 = 0;
+const EV_NODE_FREE: u8 = 1;
+const EV_ARRIVE: u8 = 2;
+const EV_ISSUE: u8 = 3;
+
+/// The session manager: runs a [`FabricConfig`] to completion.
+pub struct SessionManager;
+
+impl SessionManager {
+    /// Runs the fabric: admission, the shared-pool schedule, and the
+    /// aggregate report. Fully deterministic for a given config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GBoosterError::Config`] for a broken config.
+    pub fn run(cfg: &FabricConfig) -> Result<FabricReport, GBoosterError> {
+        cfg.validate()?;
+        let pool_registry = Registry::new();
+        let nodes_n = cfg.pool.len();
+        let duration_secs = cfg.duration.as_secs_f64();
+
+        // ---- Calibration: one real forwarder run per distinct title.
+        let mut models: Vec<TitleModel> = Vec::new();
+        let mut model_of: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for t in &cfg.tenants {
+            model_of.entry(t.title.id).or_insert_with(|| {
+                models.push(calibrate(&t.title, cfg.resolution, cfg.seed));
+                models.len() - 1
+            });
+        }
+
+        // ---- Admission control.
+        let mean_capability = cfg
+            .pool
+            .iter()
+            .map(|s| s.gpu.fillrate_gpixels_per_sec * 1e9)
+            .sum::<f64>()
+            / nodes_n as f64;
+        let load_cap = cfg.admission.utilization_cap * nodes_n as f64;
+        let max_sessions = cfg.admission.max_sessions_per_node * nodes_n;
+        let mut admitted_load = 0.0;
+        let mut admitted: Vec<bool> = Vec::with_capacity(cfg.tenants.len());
+        for t in &cfg.tenants {
+            let m = &models[model_of[t.title.id]];
+            let mean_fill = m.frame_fill.iter().sum::<u64>() as f64 / m.frame_fill.len() as f64;
+            let mean_encode =
+                m.encode_us.iter().sum::<u64>() as f64 / m.encode_us.len() as f64 / 1e6;
+            // A booking occupies its node from dispatch to finish:
+            // uplink propagation (rtt/2) + render + encode.
+            let frame_occupancy =
+                LAN_RTT.as_secs_f64() / 2.0 + mean_fill / mean_capability + mean_encode;
+            let demand = t.fps * frame_occupancy;
+            let n_admitted = admitted.iter().filter(|&&a| a).count();
+            let admit = admitted_load + demand <= load_cap && n_admitted < max_sessions;
+            if admit {
+                admitted_load += demand;
+            }
+            admitted.push(admit);
+        }
+        let n_admit = admitted.iter().filter(|&&a| a).count();
+        let n_reject = cfg.tenants.len() - n_admit;
+        pool_registry
+            .counter(names::fabric::SESSIONS_OFFERED)
+            .add(cfg.tenants.len() as u64);
+        pool_registry
+            .counter(names::fabric::SESSIONS_ADMITTED)
+            .add(n_admit as u64);
+        pool_registry
+            .counter(names::fabric::SESSIONS_REJECTED)
+            .add(n_reject as u64);
+        let rejected_rate = n_reject as f64 / cfg.tenants.len() as f64;
+        pool_registry
+            .gauge(names::fabric::REJECTED_RATE)
+            .set(rejected_rate);
+        if n_admit == 0 {
+            return Err(GBoosterError::Config(
+                "admission rejected every tenant: pool cannot host a single session".into(),
+            ));
+        }
+
+        // ---- Pool + per-tenant state.
+        let mut dispatcher = Dispatcher::new(
+            cfg.pool
+                .iter()
+                .map(|spec| ServiceNode::new(spec.clone(), LAN_RTT))
+                .collect(),
+        );
+        let c_uplink = pool_registry.counter(names::fabric::UPLINK_BYTES);
+        let c_downlink = pool_registry.counter(names::fabric::DOWNLINK_BYTES);
+        let c_redispatch = pool_registry.counter(names::fabric::REDISPATCHES);
+        let c_local = pool_registry.counter(names::fabric::LOCAL_FRAMES);
+        let c_slo_fallbacks = pool_registry.counter(names::fabric::SLO_FALLBACKS);
+        let c_shared_saved = pool_registry.counter(names::fabric::SHARED_SEGMENT_BYTES_SAVED);
+        let c_incidents = pool_registry.counter(names::fabric::INCIDENTS);
+        let h_latency = pool_registry.histogram(names::fabric::FRAME_LATENCY);
+        let h_queue_wait = pool_registry.histogram(names::fabric::QUEUE_WAIT);
+
+        let phone_rate = DeviceSpec::nexus5().gpu.fillrate_gpixels_per_sec * 1e9;
+        let mut tenants: Vec<TenantState> = Vec::with_capacity(cfg.tenants.len());
+        let mut segment_resident: BTreeMap<&'static str, bool> = BTreeMap::new();
+        for (i, spec) in cfg.tenants.iter().enumerate() {
+            let mut rng = derived(cfg.seed, &format!("fabric-tenant-{i}"));
+            let fill_scale = rng.gen_range(0.95..1.05);
+            let registry = Registry::new();
+            let mut st = TenantState {
+                spec: spec.clone(),
+                model: model_of[spec.title.id],
+                fill_scale,
+                rng,
+                registry,
+                queue: VecDeque::new(),
+                reorder: ReorderBuffer::new(),
+                last_present: SimTime::ZERO,
+                frames_issued: 0,
+                frames_presented: 0,
+                frames_local: 0,
+                redispatches: 0,
+                uplink_bytes: 0,
+                downlink_bytes: 0,
+                service_secs: 0.0,
+                latency_ewma_ms: 0.0,
+                local_mode: false,
+                slo_fell_back: false,
+                incidents: 0,
+            };
+            if admitted[i] {
+                // Setup segment upload: partitioned caches pay per
+                // session; shared segments pay once per title.
+                let setup = models[st.model].setup_wire;
+                let resident = segment_resident.entry(spec.title.id).or_insert(false);
+                let cost = match cfg.cache_mode {
+                    CacheMode::Partitioned => setup,
+                    CacheMode::SharedSegments if !*resident => {
+                        *resident = true;
+                        setup
+                    }
+                    CacheMode::SharedSegments => {
+                        c_shared_saved.add(setup.saturating_sub(SHARED_ATTACH_BYTES));
+                        SHARED_ATTACH_BYTES
+                    }
+                };
+                st.uplink_bytes += cost;
+                c_uplink.add(cost);
+                st.registry.counter(names::fabric::UPLINK_BYTES).add(cost);
+            }
+            tenants.push(st);
+        }
+
+        // ---- Event machine.
+        let mut heap: BinaryHeap<Reverse<(u64, u8, u64, u64)>> = BinaryHeap::new();
+        let duration_us = cfg.duration.as_micros();
+        for (i, st) in tenants.iter().enumerate() {
+            if !admitted[i] {
+                continue;
+            }
+            let period_us = (1e6 / st.spec.fps) as u64;
+            let offset = (i as u64 * period_us) / n_admit as u64;
+            if offset < duration_us {
+                heap.push(Reverse((offset, EV_ISSUE, i as u64, 0)));
+            }
+        }
+        for (idx, ev) in cfg.events.iter().enumerate() {
+            let at = match ev {
+                PoolEvent::Kill { at, .. } | PoolEvent::Revive { at, .. } => *at,
+            };
+            heap.push(Reverse((at.as_micros(), EV_FAULT, idx as u64, 0)));
+        }
+
+        // Frames in uplink flight, keyed (tenant, seq).
+        let mut uplinking: BTreeMap<(u32, u64), FrameJob> = BTreeMap::new();
+        // The frame each node is serving, plus its booking epoch.
+        let mut on_node: Vec<Option<(u32, FrameJob, SimTime)>> = vec![None; nodes_n];
+        let mut epochs: Vec<u64> = vec![0; nodes_n];
+        let mut dead_since: Vec<Option<SimTime>> = vec![None; nodes_n];
+        let mut dead_secs: Vec<f64> = vec![0.0; nodes_n];
+        // Fair-share audit: window → per-tenant scheduled seconds.
+        let mut windows: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        let mut incidents: Vec<TenantIncident> = Vec::new();
+        let mut busy_secs_total = 0.0;
+        let session_of = |tenant: usize| tenant as u64 + 1;
+
+        // Charges `secs` of node time to `tenant`, split across the 1 s
+        // audit windows the booking overlaps.
+        let n_tenants = tenants.len();
+        let charge = |windows: &mut BTreeMap<u64, Vec<f64>>,
+                      tenant: usize,
+                      start: SimTime,
+                      finish: SimTime| {
+            let (mut a, b) = (start.as_micros(), finish.as_micros());
+            let win_us = WINDOW.as_micros();
+            while a < b {
+                let w = a / win_us;
+                let end = ((w + 1) * win_us).min(b);
+                let secs = (end - a) as f64 / 1e6;
+                windows.entry(w).or_insert_with(|| vec![0.0; n_tenants])[tenant] += secs;
+                a = end;
+            }
+        };
+
+        macro_rules! present {
+            ($st:expr, $tenant:expr, $seq:expr, $issued:expr, $present_at:expr, $local:expr) => {{
+                let st: &mut TenantState = $st;
+                st.reorder.insert($seq, ($present_at, $issued));
+                for (ready_at, issued) in st.reorder.pop_ready() {
+                    let shown = ready_at.max(st.last_present);
+                    st.last_present = shown;
+                    let lat = shown - issued;
+                    h_latency.record(lat.as_micros());
+                    st.registry
+                        .histogram(names::fabric::FRAME_LATENCY)
+                        .record(lat.as_micros());
+                    st.frames_presented += 1;
+                    if $local {
+                        st.frames_local += 1;
+                        c_local.inc();
+                        st.registry.counter(names::fabric::LOCAL_FRAMES).inc();
+                    }
+                    // SLO hysteresis: a persistently-breached session
+                    // sheds itself onto the phone GPU.
+                    let lat_ms = lat.as_micros() as f64 / 1e3;
+                    st.latency_ewma_ms =
+                        SLO_ALPHA * lat_ms + (1.0 - SLO_ALPHA) * st.latency_ewma_ms;
+                    if !st.local_mode
+                        && st.frames_presented >= SLO_MIN_FRAMES
+                        && st.latency_ewma_ms > st.spec.slo_ms * SLO_ENGAGE_FACTOR
+                    {
+                        st.local_mode = true;
+                        st.slo_fell_back = true;
+                        c_slo_fallbacks.inc();
+                    }
+                }
+            }};
+        }
+
+        macro_rules! render_local {
+            ($st:expr, $tenant:expr, $job:expr, $now:expr) => {{
+                let job: FrameJob = $job;
+                let secs = job.fill as f64 / phone_rate;
+                let present_at = $now + SimDuration::from_secs_f64(secs) + COMPOSITOR;
+                present!($st, $tenant, job.seq, job.issued, present_at, true);
+            }};
+        }
+
+        macro_rules! pump {
+            ($now:expr) => {{
+                let now: SimTime = $now;
+                let win = now.as_micros() / WINDOW.as_micros();
+                loop {
+                    // Fair share: the session with the least GPU time
+                    // attained in the current window goes first.
+                    let mut pick: Option<(f64, usize)> = None;
+                    for (t, st) in tenants.iter().enumerate() {
+                        if st.queue.is_empty() {
+                            continue;
+                        }
+                        let got = windows.get(&win).map_or(0.0, |v| v[t]);
+                        if pick.is_none_or(|(g, pt)| got < g || (got == g && t < pt)) {
+                            pick = Some((got, t));
+                        }
+                    }
+                    let Some((_, t)) = pick else { break };
+                    let fill = tenants[t].queue.front().expect("non-empty").fill;
+                    // Cross-session Eq. 4 over the idle nodes.
+                    let Some(node) = dispatcher.best_idle_node(fill, now) else {
+                        break;
+                    };
+                    if on_node[node].is_some() {
+                        // The node's free event is scheduled for this
+                        // very instant but has not fired yet (a sibling
+                        // completion pumped first). It will re-pump.
+                        break;
+                    }
+                    let job = tenants[t].queue.pop_front().expect("non-empty");
+                    let dec = dispatcher.dispatch_to(
+                        node,
+                        session_of(t),
+                        job.seq,
+                        job.fill,
+                        job.encode,
+                        now,
+                    );
+                    h_queue_wait.record((now - job.arrived).as_micros());
+                    let secs = (dec.finish - dec.start).as_secs_f64();
+                    busy_secs_total += secs;
+                    tenants[t].service_secs += secs;
+                    charge(&mut windows, t, dec.start, dec.finish);
+                    on_node[node] = Some((t as u32, job, dec.start));
+                    heap.push(Reverse((
+                        dec.finish.as_micros(),
+                        EV_NODE_FREE,
+                        node as u64,
+                        epochs[node],
+                    )));
+                }
+            }};
+        }
+
+        while let Some(Reverse((t_us, kind, a, b))) = heap.pop() {
+            let now = SimTime::from_micros(t_us);
+            match kind {
+                EV_FAULT => {
+                    match cfg.events[a as usize] {
+                        PoolEvent::Kill { node, .. } => {
+                            if dead_since[node].is_some() {
+                                continue;
+                            }
+                            epochs[node] += 1;
+                            dead_since[node] = Some(now);
+                            let orphans = dispatcher.fail_node(node, now);
+                            let served = on_node[node].take();
+                            debug_assert_eq!(orphans.len(), served.iter().count());
+                            let pool_empty = dispatcher.alive_nodes() == 0;
+                            if let Some((t, mut job, _)) = served {
+                                let t = t as usize;
+                                if pool_empty {
+                                    render_local!(&mut tenants[t], t, job, now);
+                                } else {
+                                    job.arrived = now;
+                                    tenants[t].queue.push_front(job);
+                                }
+                                tenants[t].redispatches += 1;
+                                c_redispatch.inc();
+                                tenants[t]
+                                    .registry
+                                    .counter(names::fabric::REDISPATCHES)
+                                    .inc();
+                            }
+                            if pool_empty {
+                                // No pool left: every session flips to
+                                // its own GPU, queued work drains there.
+                                for t in 0..tenants.len() {
+                                    if !admitted[t] {
+                                        continue;
+                                    }
+                                    tenants[t].local_mode = true;
+                                    while let Some(job) = tenants[t].queue.pop_front() {
+                                        render_local!(&mut tenants[t], t, job, now);
+                                    }
+                                }
+                            }
+                            let kind = if pool_empty { "pool_lost" } else { "node_loss" };
+                            for (t, st) in tenants.iter_mut().enumerate() {
+                                if admitted[t] {
+                                    st.incidents += 1;
+                                    c_incidents.inc();
+                                    incidents.push(TenantIncident {
+                                        tenant: t as u32,
+                                        kind,
+                                        at: now,
+                                    });
+                                }
+                            }
+                            pump!(now);
+                        }
+                        PoolEvent::Revive { node, .. } => {
+                            if let Some(since) = dead_since[node].take() {
+                                dead_secs[node] += (now - since).as_secs_f64();
+                                dispatcher.revive_node(node, now, REJOIN_WARMUP);
+                                // The pool is back: sessions return to
+                                // the remote path at their next issue.
+                                for st in tenants.iter_mut() {
+                                    st.local_mode = false;
+                                }
+                                pump!(now);
+                            }
+                        }
+                    }
+                }
+                EV_NODE_FREE => {
+                    let node = a as usize;
+                    if b != epochs[node] {
+                        continue;
+                    }
+                    if let Some((t, job, _start)) = on_node[node].take() {
+                        let t = t as usize;
+                        dispatcher.complete_for(node, session_of(t), job.seq);
+                        let down_secs = fabric_link_secs(job.down_bytes, cfg.loss_scale);
+                        tenants[t].downlink_bytes += job.down_bytes;
+                        c_downlink.add(job.down_bytes);
+                        tenants[t]
+                            .registry
+                            .counter(names::fabric::DOWNLINK_BYTES)
+                            .add(job.down_bytes);
+                        let present_at = now + SimDuration::from_secs_f64(down_secs) + COMPOSITOR;
+                        present!(&mut tenants[t], t, job.seq, job.issued, present_at, false);
+                    }
+                    pump!(now);
+                }
+                EV_ARRIVE => {
+                    let t = a as usize;
+                    let job = uplinking
+                        .remove(&(t as u32, b))
+                        .expect("arriving frame was issued");
+                    tenants[t].queue.push_back(job);
+                    pump!(now);
+                }
+                EV_ISSUE => {
+                    let t = a as usize;
+                    let seq = b;
+                    let model_idx = tenants[t].model;
+                    let i = (seq as usize) % CALIB_FRAMES;
+                    let fill =
+                        (models[model_idx].frame_fill[i] as f64 * tenants[t].fill_scale) as u64;
+                    let wire = models[model_idx].frame_wire[i];
+                    let encode = SimDuration::from_micros(models[model_idx].encode_us[i]);
+                    let down_bytes = models[model_idx].down_bytes[i];
+                    tenants[t].frames_issued += 1;
+                    if tenants[t].local_mode {
+                        let job = FrameJob {
+                            seq,
+                            issued: now,
+                            arrived: now,
+                            fill,
+                            encode,
+                            down_bytes: 0,
+                        };
+                        render_local!(&mut tenants[t], t, job, now);
+                    } else {
+                        let mut up_secs = fabric_link_secs(wire, cfg.loss_scale);
+                        if cfg.loss_scale > 0.0 {
+                            let p = (LOSS_BURST_P * cfg.loss_scale).min(0.5);
+                            let st = &mut tenants[t];
+                            if st.rng.gen_range(0.0..1.0) < p {
+                                let rounds = st.rng.gen_range(1..=3);
+                                up_secs += RETX_PENALTY.as_secs_f64() * rounds as f64;
+                            }
+                        }
+                        tenants[t].uplink_bytes += wire;
+                        c_uplink.add(wire);
+                        tenants[t]
+                            .registry
+                            .counter(names::fabric::UPLINK_BYTES)
+                            .add(wire);
+                        let arrive = now + SimDuration::from_secs_f64(up_secs);
+                        uplinking.insert(
+                            (t as u32, seq),
+                            FrameJob {
+                                seq,
+                                issued: now,
+                                arrived: arrive,
+                                fill,
+                                encode,
+                                down_bytes,
+                            },
+                        );
+                        heap.push(Reverse((arrive.as_micros(), EV_ARRIVE, a, seq)));
+                    }
+                    let period_us = (1e6 / tenants[t].spec.fps) as u64;
+                    let next = t_us + period_us;
+                    if next < duration_us {
+                        heap.push(Reverse((next, EV_ISSUE, a, seq + 1)));
+                    }
+                }
+                _ => unreachable!("unknown event kind"),
+            }
+        }
+
+        // ---- Report assembly.
+        for (node, since) in dead_since.iter().enumerate() {
+            if let Some(s) = since {
+                dead_secs[node] += (cfg.duration.as_secs_f64() - s.as_secs_f64()).max(0.0);
+            }
+        }
+        let alive_node_secs: f64 = (0..nodes_n)
+            .map(|n| (duration_secs - dead_secs[n]).max(0.0))
+            .sum();
+        let pool_utilization = if alive_node_secs > 0.0 {
+            busy_secs_total / alive_node_secs
+        } else {
+            0.0
+        };
+        pool_registry
+            .gauge(names::fabric::POOL_UTILIZATION)
+            .set(pool_utilization);
+
+        let pool_snap = pool_registry.snapshot();
+        let mut tenant_reports = Vec::with_capacity(tenants.len());
+        let mut tenant_telemetry = Vec::new();
+        let mut sessions_at_slo = 0usize;
+        let mut frames_presented = 0u64;
+        for (i, st) in tenants.iter().enumerate() {
+            let snap = st.registry.snapshot();
+            let hist = snap.histogram(names::fabric::FRAME_LATENCY).cloned();
+            let (p50_us, p99_us) = hist
+                .as_ref()
+                .map(|h| (h.quantile(0.50), h.quantile(0.99)))
+                .unwrap_or((0, 0));
+            let gapless = st.reorder.held() == 0 && st.reorder.awaiting() == st.frames_issued;
+            let slo_met =
+                admitted[i] && st.frames_presented > 0 && p99_us as f64 / 1e3 <= st.spec.slo_ms;
+            if admitted[i] && slo_met && gapless {
+                sessions_at_slo += 1;
+            }
+            frames_presented += st.frames_presented;
+            tenant_reports.push(TenantReport {
+                tenant: i as u32,
+                title: st.spec.title.id,
+                admitted: admitted[i],
+                frames_issued: st.frames_issued,
+                frames_presented: st.frames_presented,
+                frames_local: st.frames_local,
+                redispatches: st.redispatches,
+                uplink_bytes: st.uplink_bytes,
+                downlink_bytes: st.downlink_bytes,
+                service_secs: st.service_secs,
+                p50_us,
+                p99_us,
+                slo_ms: st.spec.slo_ms,
+                slo_met,
+                gapless,
+                incidents: st.incidents,
+            });
+            if admitted[i] {
+                tenant_telemetry.push((i as u32, snap));
+            }
+        }
+        let sessions_per_node_at_slo = sessions_at_slo as f64 / nodes_n as f64;
+        pool_registry
+            .gauge(names::fabric::SESSIONS_PER_NODE_AT_SLO)
+            .set(sessions_per_node_at_slo);
+
+        let agg = pool_snap.histogram(names::fabric::FRAME_LATENCY).cloned();
+        let (p50_us, p99_us, p999_us) = agg
+            .as_ref()
+            .map(|h| (h.quantile(0.50), h.quantile(0.99), h.quantile(0.999)))
+            .unwrap_or((0, 0, 0));
+        let window_audits = windows
+            .iter()
+            .map(|(&w, per)| WindowAudit {
+                window: w,
+                pool_busy_secs: per.iter().sum(),
+                tenant_busy_secs: per.clone(),
+            })
+            .collect();
+
+        // Snapshot again so the SLO gauges set above are included.
+        let telemetry = pool_registry.snapshot();
+        Ok(FabricReport {
+            sessions_offered: cfg.tenants.len(),
+            admitted: n_admit,
+            rejected: n_reject,
+            rejected_rate,
+            admitted_load,
+            load_cap,
+            nodes: nodes_n,
+            frames_presented,
+            p50_us,
+            p99_us,
+            p999_us,
+            pool_utilization,
+            sessions_at_slo,
+            sessions_per_node_at_slo,
+            pool_uplink_bytes: telemetry.counter(names::fabric::UPLINK_BYTES),
+            pool_downlink_bytes: telemetry.counter(names::fabric::DOWNLINK_BYTES),
+            shared_segment_bytes_saved: telemetry
+                .counter(names::fabric::SHARED_SEGMENT_BYTES_SAVED),
+            redispatches: telemetry.counter(names::fabric::REDISPATCHES),
+            slo_fallbacks: telemetry.counter(names::fabric::SLO_FALLBACKS),
+            incidents,
+            tenants: tenant_reports,
+            windows: window_audits,
+            telemetry,
+            tenant_telemetry,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool() -> Vec<DeviceSpec> {
+        vec![DeviceSpec::nvidia_shield(), DeviceSpec::minix_neo_u1()]
+    }
+
+    #[test]
+    fn admission_never_books_past_the_cap() {
+        let cfg = FabricConfig::uniform(200, small_pool(), 7);
+        let report = SessionManager::run(&cfg).unwrap();
+        assert!(report.admitted_load <= report.load_cap + 1e-9);
+        assert_eq!(report.admitted + report.rejected, report.sessions_offered);
+        assert!(report.rejected > 0, "200 tenants must overload 2 nodes");
+        assert!(
+            (report.rejected_rate - report.rejected as f64 / report.sessions_offered as f64).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn single_tenant_meets_slo_and_presents_every_frame() {
+        let mut cfg = FabricConfig::uniform(1, small_pool(), 11);
+        cfg.duration = SimDuration::from_secs(2);
+        let report = SessionManager::run(&cfg).unwrap();
+        let t = &report.tenants[0];
+        assert!(t.admitted);
+        assert!(t.frames_issued > 30);
+        assert_eq!(t.frames_presented, t.frames_issued);
+        assert!(t.gapless);
+        assert!(t.slo_met, "idle pool must meet a 100 ms SLO: {t:?}");
+        assert_eq!(report.sessions_at_slo, 1);
+    }
+
+    #[test]
+    fn per_tenant_bytes_reconcile_with_the_pool_counters() {
+        let mut cfg = FabricConfig::uniform(12, small_pool(), 13);
+        cfg.duration = SimDuration::from_secs(2);
+        let report = SessionManager::run(&cfg).unwrap();
+        let up: u64 = report.tenants.iter().map(|t| t.uplink_bytes).sum();
+        let down: u64 = report.tenants.iter().map(|t| t.downlink_bytes).sum();
+        assert_eq!(up, report.pool_uplink_bytes);
+        assert_eq!(down, report.pool_downlink_bytes);
+    }
+
+    #[test]
+    fn shared_segments_save_setup_bytes_versus_partitioned() {
+        let mut shared = FabricConfig::uniform(8, small_pool(), 17);
+        shared.duration = SimDuration::from_secs(1);
+        let mut partitioned = shared.clone();
+        partitioned.cache_mode = CacheMode::Partitioned;
+        let a = SessionManager::run(&shared).unwrap();
+        let b = SessionManager::run(&partitioned).unwrap();
+        assert!(a.shared_segment_bytes_saved > 0);
+        assert_eq!(b.shared_segment_bytes_saved, 0);
+        assert_eq!(
+            b.pool_uplink_bytes,
+            a.pool_uplink_bytes + a.shared_segment_bytes_saved,
+            "partitioned caches pay exactly the bytes shared segments save"
+        );
+    }
+
+    #[test]
+    fn double_run_is_byte_identical() {
+        let mut cfg = FabricConfig::uniform(16, small_pool(), 19);
+        cfg.loss_scale = 1.0;
+        cfg.duration = SimDuration::from_secs(2);
+        let a = SessionManager::run(&cfg).unwrap();
+        let b = SessionManager::run(&cfg).unwrap();
+        assert_eq!(a.slo_json(), b.slo_json());
+        assert_eq!(a.prometheus(), b.prometheus());
+    }
+
+    #[test]
+    fn pool_event_on_unknown_node_is_rejected() {
+        let mut cfg = FabricConfig::uniform(2, small_pool(), 23);
+        cfg.events.push(PoolEvent::Kill {
+            at: SimTime::from_secs(1),
+            node: 9,
+        });
+        assert!(SessionManager::run(&cfg).is_err());
+    }
+
+    #[test]
+    fn prometheus_export_carries_tenant_labels() {
+        let mut cfg = FabricConfig::uniform(3, small_pool(), 29);
+        cfg.duration = SimDuration::from_secs(1);
+        let report = SessionManager::run(&cfg).unwrap();
+        let text = report.prometheus();
+        assert!(text.contains("gbooster_fabric_sessions_admitted"));
+        assert!(text.contains("tenant=\"t000\""));
+        assert!(text.contains("tenant=\"t002\""));
+    }
+}

@@ -49,6 +49,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fabric;
 pub mod forward;
 pub mod health;
 pub mod metrics;

@@ -33,6 +33,21 @@ const RATE_EWMA_ALPHA: f64 = 0.2;
 /// totality property test) without affecting any realistic workload.
 const MAX_SERVICE_SECS: f64 = 3600.0;
 
+/// Identity of one in-flight frame on a node's outstanding queue.
+///
+/// Sequence numbers alone are not unique once several tenants share a
+/// pool — every session numbers its frames from zero, so two tenants
+/// routinely have a "frame 5" outstanding on the same node. Retiring by
+/// bare `seq` would drop *both* (the single-session assumption this key
+/// fixes); every queue entry therefore carries its session id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FrameKey {
+    /// Originating session (0 for the legacy single-session API).
+    pub session: u64,
+    /// Frame sequence number within that session.
+    pub seq: u64,
+}
+
 /// One offloading destination as seen by the scheduler.
 #[derive(Clone, Debug)]
 pub struct ServiceNode {
@@ -45,7 +60,7 @@ pub struct ServiceNode {
     busy_until: SimTime,
     requests_served: u64,
     /// Frames dispatched to this node and not yet retired, oldest first.
-    outstanding: VecDeque<u64>,
+    outstanding: VecDeque<FrameKey>,
     /// Forecast of the node's *effective* service rate (workload per
     /// second including encode overhead), learned from completed
     /// bookings.
@@ -246,6 +261,23 @@ impl Dispatcher {
         extra_service: SimDuration,
         now: SimTime,
     ) -> DispatchDecision {
+        self.dispatch_for(0, seq, r_fill, extra_service, now)
+    }
+
+    /// Session-qualified [`Self::dispatch`]: scores every node with
+    /// Eq. 4 and books the winner for frame `seq` of `session`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every node has failed.
+    pub fn dispatch_for(
+        &mut self,
+        session: u64,
+        seq: u64,
+        r_fill: u64,
+        extra_service: SimDuration,
+        now: SimTime,
+    ) -> DispatchDecision {
         gbooster_telemetry::prof_scope!(names::host::DISPATCH);
         let mut best: Option<usize> = None;
         let mut best_score = f64::INFINITY;
@@ -261,7 +293,30 @@ impl Dispatcher {
         let best = best
             .or_else(|| self.nodes.iter().position(|n| n.alive))
             .expect("dispatch with no live service node");
-        let node = &mut self.nodes[best];
+        self.dispatch_to(best, session, seq, r_fill, extra_service, now)
+    }
+
+    /// Books frame `seq` of `session` on a *caller-chosen* node. The
+    /// fabric's fair-share scheduler picks the tenant first (max-min
+    /// over attained GPU time) and the node second (Eq. 4 over the idle
+    /// nodes), so node selection happens outside the dispatcher; the
+    /// booking, forecasting, and outstanding-queue bookkeeping stay in
+    /// one place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is dead.
+    pub fn dispatch_to(
+        &mut self,
+        node_idx: usize,
+        session: u64,
+        seq: u64,
+        r_fill: u64,
+        extra_service: SimDuration,
+        now: SimTime,
+    ) -> DispatchDecision {
+        let node = &mut self.nodes[node_idx];
+        assert!(node.alive, "dispatch_to a dead node");
         let arrive = now + node.rtt / 2;
         let start = arrive.max(node.busy_until);
         let render = SimDuration::from_secs_f64(node.service_secs(r_fill));
@@ -275,32 +330,63 @@ impl Dispatcher {
         }
         node.busy_until = finish;
         node.requests_served += 1;
-        node.outstanding.push_back(seq);
+        node.outstanding.push_back(FrameKey { session, seq });
         if let Some((requests, queue_wait)) = &self.telemetry {
             requests.inc();
             queue_wait.record_duration(start - arrive);
         }
         DispatchDecision {
-            node: best,
+            node: node_idx,
             start,
             finish,
         }
     }
 
     /// Retires frame `seq` from node `node`'s outstanding queue (its
-    /// result has been received back on the user device).
+    /// result has been received back on the user device). Legacy
+    /// single-session form of [`Self::complete_for`] (session 0).
     pub fn complete(&mut self, node: usize, seq: u64) {
-        self.nodes[node].outstanding.retain(|&s| s != seq);
+        self.complete_for(node, 0, seq);
+    }
+
+    /// Retires frame `seq` of `session` from node `node`'s outstanding
+    /// queue. Only that session's entry is removed: other tenants'
+    /// frames that happen to carry the same sequence number stay in
+    /// flight (see [`FrameKey`]).
+    pub fn complete_for(&mut self, node: usize, session: u64, seq: u64) {
+        self.nodes[node]
+            .outstanding
+            .retain(|k| !(k.session == session && k.seq == seq));
+    }
+
+    /// The alive node with the best Eq. 4 score for a request of
+    /// `r_fill` that is also *idle* at `now` (its booked queue has
+    /// drained). `None` when every live node is mid-request — the
+    /// fabric keeps the frame in its tenant queue rather than booking
+    /// queueing delay onto a node.
+    pub fn best_idle_node(&self, r_fill: u64, now: SimTime) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (j, node) in self.nodes.iter().enumerate() {
+            if !node.alive || node.busy_until > now {
+                continue;
+            }
+            let score = node.score(r_fill, now);
+            if score.is_finite() && best.is_none_or(|(_, s)| score < s) {
+                best = Some((j, score));
+            }
+        }
+        best.map(|(j, _)| j)
     }
 
     /// Marks node `node` failed at `now` and returns its orphaned
-    /// in-flight frames (oldest first) for re-dispatch.
+    /// in-flight frames (oldest first, session-qualified) for
+    /// re-dispatch.
     ///
     /// The node's booked backlog is clamped to `now`: the orphaned work
     /// leaves with the frames, so `busy_until` must not keep growing past
     /// the failure instant (a saturated node would otherwise carry its
     /// phantom queue forever — see the regression test).
-    pub fn fail_node(&mut self, node: usize, now: SimTime) -> Vec<u64> {
+    pub fn fail_node(&mut self, node: usize, now: SimTime) -> Vec<FrameKey> {
         let n = &mut self.nodes[node];
         n.alive = false;
         n.busy_until = now.min(n.busy_until);
@@ -538,7 +624,7 @@ mod tests {
             d.nodes()[0].busy_until() > t_fail,
             "node 0 must be saturated past the failure instant"
         );
-        let orphans = d.fail_node(0, t_fail);
+        let orphans: Vec<u64> = d.fail_node(0, t_fail).iter().map(|k| k.seq).collect();
         assert_eq!(orphans, on_zero, "every in-flight frame is orphaned");
         assert!(!d.nodes()[0].alive());
         assert_eq!(d.nodes()[0].outstanding(), 0);
@@ -623,6 +709,80 @@ mod tests {
         // Six heavy requests over two nodes at t=0: the later ones must
         // queue behind the earlier, so some wait is strictly positive.
         assert!(waits.max() > 0, "expected queueing, waits all zero");
+    }
+
+    #[test]
+    fn outstanding_queue_distinguishes_sessions_with_equal_seqs() {
+        // Two tenants both dispatch *their own* frame 5 to the same
+        // node. Retiring tenant A's frame 5 must leave tenant B's in
+        // flight — the bare-seq `retain` used to drop both.
+        let mut d = Dispatcher::new(vec![ServiceNode::new(
+            DeviceSpec::nvidia_shield(),
+            SimDuration::from_millis(2),
+        )]);
+        d.dispatch_for(101, 5, 16_000_000, SimDuration::ZERO, SimTime::ZERO);
+        d.dispatch_for(202, 5, 16_000_000, SimDuration::ZERO, SimTime::ZERO);
+        assert_eq!(d.nodes()[0].outstanding(), 2);
+        d.complete_for(0, 101, 5);
+        assert_eq!(
+            d.nodes()[0].outstanding(),
+            1,
+            "tenant B's frame 5 must survive tenant A's retirement"
+        );
+        let orphans = d.fail_node(0, SimTime::from_millis(50));
+        assert_eq!(
+            orphans,
+            vec![FrameKey {
+                session: 202,
+                seq: 5
+            }]
+        );
+    }
+
+    #[test]
+    fn shared_ewma_scores_stay_total_across_interleaved_tenants() {
+        // Many tenants with wildly different workloads share one node's
+        // rate EWMA. Every score must stay non-NaN (total) throughout,
+        // including zero-fill frames and the extremes.
+        let mut d = Dispatcher::new(vec![
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+            ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_millis(2)),
+        ]);
+        let fills = [0u64, 1, 50_000_000, u64::MAX >> 20, 12_345];
+        let mut now = SimTime::ZERO;
+        for (i, &fill) in fills.iter().cycle().take(40).enumerate() {
+            let session = (i % 7) as u64 + 1;
+            let dec = d.dispatch_for(session, i as u64, fill, SimDuration::from_millis(1), now);
+            for node in d.nodes() {
+                let s = node.score(fill, now);
+                assert!(!s.is_nan(), "score must be total, got NaN");
+            }
+            if i % 3 == 0 {
+                d.complete_for(dec.node, session, i as u64);
+            }
+            now += SimDuration::from_millis(2);
+        }
+    }
+
+    #[test]
+    fn best_idle_node_skips_busy_and_dead_nodes() {
+        let mut d = two_nodes();
+        // Both idle: the faster node wins.
+        let first = d.best_idle_node(50_000_000, SimTime::ZERO).unwrap();
+        d.dispatch_to(first, 1, 0, 200_000_000, SimDuration::ZERO, SimTime::ZERO);
+        // The winner is now busy: the other node is the only idle one.
+        let second = d.best_idle_node(50_000_000, SimTime::ZERO).unwrap();
+        assert_ne!(first, second);
+        d.dispatch_to(second, 1, 1, 200_000_000, SimDuration::ZERO, SimTime::ZERO);
+        assert_eq!(
+            d.best_idle_node(50_000_000, SimTime::ZERO),
+            None,
+            "every node mid-request: the frame must wait in its queue"
+        );
+        // Once the bookings drain, nodes become idle again — except dead ones.
+        let later = SimTime::from_secs(3600);
+        d.fail_node(first, later);
+        assert_eq!(d.best_idle_node(50_000_000, later), Some(second));
     }
 
     #[test]

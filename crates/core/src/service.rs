@@ -33,6 +33,54 @@ pub struct ReplayStats {
     pub commands_applied: u32,
     /// Draw calls executed (only on the dispatched device).
     pub draws_executed: u32,
+    /// Commands refused by the validation pass (out-of-bounds buffer or
+    /// texture references); only [`ServiceRuntime::apply_frame_validated`]
+    /// produces a non-zero count.
+    pub commands_rejected: u32,
+}
+
+/// Per-session command-stream validation at the service boundary.
+///
+/// Once streams from many apps share one node (the multi-tenant
+/// fabric), a malformed or hostile stream must not be able to corrupt
+/// the shared replica or abort every co-tenant's session: a reference
+/// that writes outside its object's storage is *rejected* — skipped and
+/// counted under [`names::service::REJECTED_COMMANDS`] — instead of
+/// propagating a session-fatal state-machine error. The check mirrors
+/// the bounds the GL state machine itself enforces, evaluated *before*
+/// apply so a bad command is dropped without side effects.
+fn command_in_bounds(ctx: &GlContext, cmd: &GlCommand) -> bool {
+    match cmd {
+        GlCommand::BufferSubData {
+            target,
+            offset,
+            data,
+        } => {
+            let id = ctx.buffer_binding(*target);
+            match ctx.buffer(id) {
+                Ok(buf) => (*offset as usize).saturating_add(data.len()) <= buf.data.len(),
+                Err(_) => false,
+            }
+        }
+        GlCommand::TexSubImage2D {
+            x,
+            y,
+            width,
+            height,
+            ..
+        } => {
+            let Some(id) = ctx.texture_binding() else {
+                return false;
+            };
+            match ctx.texture(id) {
+                Ok(tex) => {
+                    x.saturating_add(*width) <= tex.width && y.saturating_add(*height) <= tex.height
+                }
+                Err(_) => false,
+            }
+        }
+        _ => true,
+    }
 }
 
 /// One service device's GBooster runtime.
@@ -44,6 +92,7 @@ pub struct ServiceRuntime {
     receiver: ServiceReceiver,
     frames_rendered: u64,
     telemetry: Option<(Counter, Histogram)>,
+    rejected: Option<Counter>,
     /// Distributed-tracing capture: spans this device records are
     /// stamped on *its* clock (sim time shifted by `clock_skew_us`) and
     /// shipped back tagged with the originating [`TraceContext`].
@@ -61,6 +110,7 @@ impl ServiceRuntime {
             receiver: ServiceReceiver::new(),
             frames_rendered: 0,
             telemetry: None,
+            rejected: None,
             remote_log: None,
             clock_skew_us: 0,
         }
@@ -105,6 +155,7 @@ impl ServiceRuntime {
             registry.counter(names::service::COMMANDS_APPLIED),
             registry.histogram(names::service::ENCODE_TIME),
         ));
+        self.rejected = Some(registry.counter(names::service::REJECTED_COMMANDS));
     }
 
     /// The hardware description.
@@ -146,9 +197,27 @@ impl ServiceRuntime {
         commands: &[GlCommand],
         execute_draws: bool,
     ) -> Result<ReplayStats, GBoosterError> {
+        self.apply_frame_inner(commands, execute_draws, false)
+    }
+
+    fn apply_frame_inner(
+        &mut self,
+        commands: &[GlCommand],
+        execute_draws: bool,
+        validate: bool,
+    ) -> Result<ReplayStats, GBoosterError> {
         gbooster_telemetry::prof_scope!(names::host::REPLAY);
         let mut stats = ReplayStats::default();
         for cmd in commands {
+            // Validation interleaves with apply: bounds depend on state
+            // earlier commands of this same frame may have created
+            // (BufferData before BufferSubData), so each command is
+            // checked against the replica exactly as it stands when the
+            // command would run.
+            if validate && !command_in_bounds(&self.context, cmd) {
+                stats.commands_rejected += 1;
+                continue;
+            }
             if cmd.is_state_mutating() {
                 self.context.apply(cmd)?;
                 stats.commands_applied += 1;
@@ -167,7 +236,34 @@ impl ServiceRuntime {
         if let Some((applied, _)) = &self.telemetry {
             applied.add(stats.commands_applied as u64);
         }
+        if stats.commands_rejected > 0 {
+            if let Some(c) = &self.rejected {
+                c.add(stats.commands_rejected as u64);
+            }
+        }
         Ok(stats)
+    }
+
+    /// [`Self::apply_frame`] behind the per-session validation pass
+    /// (arXiv:2111.03065's service-boundary model): each command's
+    /// buffer/texture references are bounds-checked against the replica
+    /// *before* apply. Out-of-bounds commands are skipped and counted
+    /// into [`ReplayStats::commands_rejected`] (and the
+    /// [`names::service::REJECTED_COMMANDS`] counter when a registry is
+    /// attached) instead of failing the whole session — the replica
+    /// never observes them, so its digest matches a stream that never
+    /// contained them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates GL state-machine errors from the *valid* commands
+    /// only.
+    pub fn apply_frame_validated(
+        &mut self,
+        commands: &[GlCommand],
+        execute_draws: bool,
+    ) -> Result<ReplayStats, GBoosterError> {
+        self.apply_frame_inner(commands, execute_draws, true)
     }
 
     /// Re-executes the draw commands of a frame this device originally
@@ -350,6 +446,123 @@ mod tests {
             rookie.apply_frame(&b, true).unwrap();
         }
         assert_eq!(rookie.state_digest(), veteran.state_digest());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_bounds_references_without_poisoning_state() {
+        use gbooster_gles::types::{
+            BufferId, BufferTarget, BufferUsage, PixelFormat, TextureId, TextureTarget,
+        };
+        use gbooster_telemetry::Registry;
+        use std::sync::Arc;
+
+        let setup = vec![
+            GlCommand::GenBuffer(BufferId(1)),
+            GlCommand::BindBuffer {
+                target: BufferTarget::Array,
+                buffer: BufferId(1),
+            },
+            GlCommand::BufferData {
+                target: BufferTarget::Array,
+                data: Arc::new(vec![0u8; 16]),
+                usage: BufferUsage::StaticDraw,
+            },
+            GlCommand::GenTexture(TextureId(1)),
+            GlCommand::BindTexture {
+                target: TextureTarget::Texture2D,
+                texture: TextureId(1),
+            },
+            GlCommand::TexImage2D {
+                target: TextureTarget::Texture2D,
+                level: 0,
+                format: PixelFormat::Rgba8,
+                width: 4,
+                height: 4,
+                data: Arc::new(vec![0u8; 64]),
+            },
+        ];
+        let hostile = vec![
+            // 8 + 16 > 16-byte buffer: out of bounds.
+            GlCommand::BufferSubData {
+                target: BufferTarget::Array,
+                offset: 8,
+                data: Arc::new(vec![1u8; 16]),
+            },
+            // 2 + 4 > 4-texel texture edge: out of bounds.
+            GlCommand::TexSubImage2D {
+                target: TextureTarget::Texture2D,
+                level: 0,
+                x: 2,
+                y: 2,
+                width: 4,
+                height: 4,
+                format: PixelFormat::Rgba8,
+                data: Arc::new(vec![0u8; 64]),
+            },
+            // In bounds: must still be applied.
+            GlCommand::BufferSubData {
+                target: BufferTarget::Array,
+                offset: 0,
+                data: Arc::new(vec![7u8; 8]),
+            },
+        ];
+
+        let registry = Registry::new();
+        let mut rt = ServiceRuntime::new(DeviceSpec::nvidia_shield());
+        rt.attach_registry(&registry);
+        rt.apply_frame_validated(&setup, false).unwrap();
+        let stats = rt.apply_frame_validated(&hostile, false).unwrap();
+        assert_eq!(stats.commands_rejected, 2, "both OOB writes rejected");
+        assert_eq!(stats.commands_applied, 1, "the valid write still lands");
+        assert_eq!(
+            registry
+                .snapshot()
+                .counter(names::service::REJECTED_COMMANDS),
+            2
+        );
+
+        // The replica state must equal a stream that never contained
+        // the hostile commands at all.
+        let mut clean = ServiceRuntime::new(DeviceSpec::nvidia_shield());
+        clean.apply_frame(&setup, false).unwrap();
+        clean.apply_frame(&hostile[2..], false).unwrap();
+        assert_eq!(rt.state_digest(), clean.state_digest());
+
+        // Without the validation pass the same stream is session-fatal.
+        let mut unguarded = ServiceRuntime::new(DeviceSpec::nvidia_shield());
+        unguarded.apply_frame(&setup, false).unwrap();
+        assert!(unguarded.apply_frame(&hostile, false).is_err());
+    }
+
+    #[test]
+    fn validation_accepts_storage_created_earlier_in_the_same_frame() {
+        use gbooster_gles::types::{BufferId, BufferTarget, BufferUsage};
+        use std::sync::Arc;
+
+        // BufferData legalizes the BufferSubData that follows it within
+        // one frame: validation must track the evolving replica, not the
+        // pre-frame snapshot.
+        let frame = vec![
+            GlCommand::GenBuffer(BufferId(9)),
+            GlCommand::BindBuffer {
+                target: BufferTarget::Array,
+                buffer: BufferId(9),
+            },
+            GlCommand::BufferData {
+                target: BufferTarget::Array,
+                data: Arc::new(vec![0u8; 32]),
+                usage: BufferUsage::DynamicDraw,
+            },
+            GlCommand::BufferSubData {
+                target: BufferTarget::Array,
+                offset: 16,
+                data: Arc::new(vec![3u8; 16]),
+            },
+        ];
+        let mut rt = ServiceRuntime::new(DeviceSpec::nvidia_shield());
+        let stats = rt.apply_frame_validated(&frame, false).unwrap();
+        assert_eq!(stats.commands_rejected, 0);
+        assert_eq!(stats.commands_applied, 4);
     }
 
     #[test]

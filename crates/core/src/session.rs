@@ -753,18 +753,28 @@ impl OffloadEngine {
         let changed_px = (trace.changed_pixel_ratio * self.frame_pixels as f64).round() as u64;
         let encode = self.runtimes[0].encode_time(self.frame_pixels, changed_px);
         let dispatch_at = up.delivered_at + stall;
-        let decision = self
-            .dispatcher
-            .dispatch(seq, trace.effective_fill, encode, dispatch_at);
+        let decision = self.dispatcher.dispatch_for(
+            self.session_id,
+            seq,
+            trace.effective_fill,
+            encode,
+            dispatch_at,
+        );
         let mut commands = Vec::new();
         for (j, rt) in self.runtimes.iter_mut().enumerate() {
             if self.node_dead[j] {
                 continue;
             }
             let cmds = rt.decode(&fwd.wire)?;
-            rt.apply_frame(&cmds, j == decision.node)?;
             if j == decision.node {
+                // The dispatch target runs the per-session validation
+                // pass before touching shared replica state; a stream
+                // our own tracegen produced must never trip it.
+                let stats = rt.apply_frame_validated(&cmds, true)?;
+                debug_assert_eq!(stats.commands_rejected, 0, "tracegen stream rejected");
                 commands = cmds;
+            } else {
+                rt.apply_frame(&cmds, false)?;
             }
         }
         self.reference_ingest_wire(&fwd.wire)?;
@@ -1049,10 +1059,18 @@ impl OffloadEngine {
     fn kill_node(&mut self, node: usize, at: SimTime) {
         self.node_dead[node] = true;
         self.c_node_failures.inc();
-        let orphans = self.dispatcher.fail_node(node, at);
+        // The engine is the pool's only tenant, but the outstanding
+        // queue is session-qualified now — keep only our own frames
+        // (a foreign key here would be a bookkeeping bug).
+        let mut orphans: Vec<u64> = self
+            .dispatcher
+            .fail_node(node, at)
+            .into_iter()
+            .filter(|k| k.session == self.session_id)
+            .map(|k| k.seq)
+            .collect();
         let redispatch_at = at + self.redispatch_timeout;
         let pool_empty = self.dispatcher.alive_nodes() == 0;
-        let mut orphans = orphans;
         orphans.sort_unstable();
         let orphan_count = orphans.len() as u64;
         for seq in orphans {
@@ -1080,7 +1098,9 @@ impl OffloadEngine {
                 continue;
             }
             let (fill, encode) = (self.pending[idx].fill, self.pending[idx].encode);
-            let decision = self.dispatcher.dispatch(seq, fill, encode, redispatch_at);
+            let decision =
+                self.dispatcher
+                    .dispatch_for(self.session_id, seq, fill, encode, redispatch_at);
             let commands = std::mem::take(&mut self.pending[idx].commands);
             self.runtimes[decision.node].execute_recovered_draws(&commands);
             self.pending[idx].commands = commands;
@@ -1131,7 +1151,7 @@ impl OffloadEngine {
             self.transport.recv(p.down_bytes, p.down_start())
         };
         if !p.local {
-            self.dispatcher.complete(p.node, p.seq);
+            self.dispatcher.complete_for(p.node, self.session_id, p.seq);
         }
         self.arrived.insert(p.seq, ArrivedFrame { p, down });
         for af in self.arrived.pop_ready() {

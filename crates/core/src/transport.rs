@@ -467,6 +467,24 @@ impl TransportManager {
     }
 }
 
+/// One-way transfer time for the fabric's per-tenant links
+/// (crates/core/src/fabric.rs).
+///
+/// Every tenant phone owns its own radio, so the fabric does not share
+/// one [`TransportManager`] across sessions; each transfer serializes
+/// at the 802.11n channel rate plus half the WiFi propagation RTT.
+/// `loss_scale` derates goodput the way [`TransportManager::set_loss_scale`]
+/// inflates retransmissions: each expected (scaled) datagram loss costs
+/// one extra payload transmission, so the effective rate drops by the
+/// scaled loss factor. Deterministic — loss *bursts* are injected by the
+/// fabric from its per-tenant seeded streams, not here.
+pub fn fabric_link_secs(bytes: u64, loss_scale: f64) -> f64 {
+    let chan = gbooster_net::channel::ChannelModel::wifi_80211n();
+    let serialize = chan.tx_time(bytes as usize).as_secs_f64();
+    let overhead = 1.0 + WIFI_LOSS * loss_scale.max(0.0);
+    serialize * overhead + WIFI_LATENCY.as_secs_f64()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -625,6 +625,14 @@ impl GlContext {
         }
     }
 
+    /// The texture bound to the active texture unit, or `None`. The
+    /// service-boundary validation pass resolves incoming
+    /// `TexSubImage2D` rects against this binding before they touch the
+    /// replica.
+    pub fn texture_binding(&self) -> Option<TextureId> {
+        self.texture_units[self.active_unit as usize]
+    }
+
     /// Whether `cap` is enabled.
     pub fn is_enabled(&self, cap: Capability) -> bool {
         self.caps.contains(&cap.into())

@@ -264,6 +264,50 @@ pub mod service {
     pub const TURBO_ENCODED_BYTES: &str = "turbo.encoded_bytes";
     /// Turbo raw RGBA bytes (counter).
     pub const TURBO_RAW_BYTES: &str = "turbo.raw_bytes";
+    /// Commands rejected by the per-session validation pass at the
+    /// service boundary: out-of-bounds buffer/texture references that
+    /// must not reach the shared replica (counter).
+    pub const REJECTED_COMMANDS: &str = "service.rejected_commands";
+}
+
+/// Multi-tenant service fabric (crates/core/src/fabric.rs,
+/// docs/FABRIC.md). Pool-level instruments live in the fabric's shared
+/// registry; the same names recorded into a tenant's private registry
+/// are exported with a `tenant="…"` base label.
+pub mod fabric {
+    /// Sessions that asked for admission (counter).
+    pub const SESSIONS_OFFERED: &str = "fabric.sessions_offered";
+    /// Sessions admitted by the capacity check (counter).
+    pub const SESSIONS_ADMITTED: &str = "fabric.sessions_admitted";
+    /// Sessions rejected at admission (counter).
+    pub const SESSIONS_REJECTED: &str = "fabric.sessions_rejected";
+    /// Rejected ÷ offered over the whole run (gauge, gated in the
+    /// scaling bench).
+    pub const REJECTED_RATE: &str = "fabric.rejected_rate";
+    /// Cross-session frame latency, issue → presentation (histogram, µs).
+    pub const FRAME_LATENCY: &str = "fabric.frame_latency";
+    /// Time a frame waits in its tenant queue for a free node
+    /// (histogram, µs).
+    pub const QUEUE_WAIT: &str = "fabric.queue_wait";
+    /// Pool GPU busy time ÷ pool capacity over the run (gauge).
+    pub const POOL_UTILIZATION: &str = "fabric.pool_utilization";
+    /// Admitted sessions meeting their p99 SLO ÷ pool nodes (gauge,
+    /// the gated scaling-bench row).
+    pub const SESSIONS_PER_NODE_AT_SLO: &str = "fabric.sessions_per_node_at_slo";
+    /// Frames re-queued away from a killed node (counter).
+    pub const REDISPATCHES: &str = "fabric.redispatches";
+    /// Frames rendered on the tenant's own GPU (counter).
+    pub const LOCAL_FRAMES: &str = "fabric.local_frames";
+    /// Tenants that flipped to local rendering on SLO breach (counter).
+    pub const SLO_FALLBACKS: &str = "fabric.slo_fallbacks";
+    /// Uplink wire bytes across all tenants, setup + per-frame (counter).
+    pub const UPLINK_BYTES: &str = "fabric.uplink_bytes";
+    /// Downlink encoded bytes across all tenants (counter).
+    pub const DOWNLINK_BYTES: &str = "fabric.downlink_bytes";
+    /// Setup-segment bytes avoided by shared-segment caches (counter).
+    pub const SHARED_SEGMENT_BYTES_SAVED: &str = "fabric.shared_segment_bytes_saved";
+    /// Per-tenant incident records opened by pool faults (counter).
+    pub const INCIDENTS: &str = "fabric.incidents";
 }
 
 /// Attribution-table axis labels (crates/telemetry/src/attr.rs). These

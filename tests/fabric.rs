@@ -1,0 +1,162 @@
+//! Deterministic scaling matrix for the multi-tenant service fabric
+//! (docs/FABRIC.md): {1, 8, 64, 256} offered sessions × {1, 2, 4} pool
+//! nodes × {clean, lossy} links, every cell run twice from the same
+//! seed with byte-identity asserted on the aggregate SLO report.
+//!
+//! Beyond determinism the matrix checks the fabric's contract at every
+//! scale: admission never overbooks the pool, per-tenant wire
+//! attribution sums exactly to the pool counters, admitted sessions
+//! present every issued frame in order, and at the 256-session /
+//! 4-node corner every admitted session still meets its p99 SLO.
+
+use gbooster::core::fabric::{CacheMode, FabricConfig, SessionManager};
+use gbooster::sim::device::DeviceSpec;
+use gbooster::sim::time::SimDuration;
+use gbooster::telemetry::names;
+
+fn pool(nodes: usize) -> Vec<DeviceSpec> {
+    let all = [
+        DeviceSpec::nvidia_shield(),
+        DeviceSpec::dell_optiplex_9010(),
+        DeviceSpec::dell_m4600(),
+        DeviceSpec::minix_neo_u1(),
+    ];
+    all[..nodes].to_vec()
+}
+
+fn matrix_config(sessions: usize, nodes: usize, lossy: bool) -> FabricConfig {
+    let mut cfg = FabricConfig::uniform(sessions, pool(nodes), 20_170_605);
+    cfg.duration = SimDuration::from_secs(3);
+    cfg.loss_scale = if lossy { 1.0 } else { 0.0 };
+    cfg
+}
+
+/// The full matrix. Each cell: double-run byte-identity on the SLO
+/// report plus the structural invariants that must hold at any scale.
+#[test]
+fn scaling_matrix_is_deterministic_and_within_contract() {
+    for &sessions in &[1usize, 8, 64, 256] {
+        for &nodes in &[1usize, 2, 4] {
+            for &lossy in &[false, true] {
+                let cfg = matrix_config(sessions, nodes, lossy);
+                let a = SessionManager::run(&cfg).unwrap();
+                let b = SessionManager::run(&cfg).unwrap();
+                let cell = format!("{sessions}s/{nodes}n/lossy={lossy}");
+
+                // Double-run byte-identity on the aggregate report and
+                // the labelled Prometheus exposition.
+                assert_eq!(a.slo_json(), b.slo_json(), "{cell}: SLO report diverged");
+                assert_eq!(a.prometheus(), b.prometheus(), "{cell}: export diverged");
+
+                // Admission accounting.
+                assert_eq!(a.admitted + a.rejected, sessions, "{cell}");
+                assert!(a.admitted >= 1, "{cell}: pool admitted nobody");
+                assert!(
+                    a.admitted_load <= a.load_cap + 1e-9,
+                    "{cell}: admitted load {} exceeds cap {}",
+                    a.admitted_load,
+                    a.load_cap
+                );
+
+                // Per-tenant attribution sums exactly to the pool wire
+                // counters — nothing double-counted, nothing dropped.
+                let up: u64 = a.tenants.iter().map(|t| t.uplink_bytes).sum();
+                let down: u64 = a.tenants.iter().map(|t| t.downlink_bytes).sum();
+                assert_eq!(up, a.pool_uplink_bytes, "{cell}: uplink attribution");
+                assert_eq!(down, a.pool_downlink_bytes, "{cell}: downlink attribution");
+                assert_eq!(
+                    up,
+                    a.telemetry.counter(names::fabric::UPLINK_BYTES),
+                    "{cell}: registry uplink"
+                );
+
+                // Every admitted session is gapless and whole; rejected
+                // sessions never issue a frame.
+                for t in &a.tenants {
+                    if t.admitted {
+                        assert_eq!(t.frames_presented, t.frames_issued, "{cell} t{}", t.tenant);
+                        assert!(t.gapless, "{cell} t{} left gaps", t.tenant);
+                        assert!(t.frames_issued > 0, "{cell} t{} never issued", t.tenant);
+                    } else {
+                        assert_eq!(t.frames_issued, 0, "{cell} t{} rejected yet ran", t.tenant);
+                        assert_eq!(t.uplink_bytes, 0, "{cell} t{}", t.tenant);
+                    }
+                }
+
+                // Fair-share audit windows cover the admitted workload.
+                let audited: f64 = a.windows.iter().map(|w| w.pool_busy_secs).sum();
+                let scheduled: f64 = a.tenants.iter().map(|t| t.service_secs).sum();
+                assert!(
+                    (audited - scheduled).abs() < 1e-6,
+                    "{cell}: windows audit {audited} != scheduled {scheduled}"
+                );
+            }
+        }
+    }
+}
+
+/// The headline corner: 256 offered sessions over 4 nodes completes
+/// deterministically and every admitted session meets its p99 SLO.
+#[test]
+fn two_hundred_fifty_six_sessions_on_four_nodes_meet_slo() {
+    let cfg = matrix_config(256, 4, false);
+    let report = SessionManager::run(&cfg).unwrap();
+    assert!(
+        report.admitted >= 64,
+        "4-node pool should host at least 64 of 256 sessions, got {}",
+        report.admitted
+    );
+    assert!(report.rejected > 0, "256 sessions must overload 4 nodes");
+    for t in report.tenants.iter().filter(|t| t.admitted) {
+        assert!(
+            t.slo_met,
+            "t{} admitted but missed SLO: p99 {} µs vs {} ms",
+            t.tenant, t.p99_us, t.slo_ms
+        );
+    }
+    assert_eq!(report.sessions_at_slo, report.admitted);
+    assert!(report.sessions_per_node_at_slo >= 16.0);
+    // The gated scaling metric is the gauge the bench ladder commits.
+    let gauge = report
+        .telemetry
+        .gauge(names::fabric::SESSIONS_PER_NODE_AT_SLO);
+    assert!((gauge - report.sessions_per_node_at_slo).abs() < 1e-9);
+}
+
+/// Rejected-admission rate is monotone in offered load and exported
+/// through the gated gauge.
+#[test]
+fn rejected_rate_grows_with_offered_load_and_is_exported() {
+    let mut last = -1.0;
+    for &sessions in &[8usize, 64, 256] {
+        let cfg = matrix_config(sessions, 2, false);
+        let report = SessionManager::run(&cfg).unwrap();
+        assert!(
+            report.rejected_rate >= last,
+            "{sessions} sessions: rate {} fell below {last}",
+            report.rejected_rate
+        );
+        last = report.rejected_rate;
+        let gauge = report.telemetry.gauge(names::fabric::REJECTED_RATE);
+        assert!((gauge - report.rejected_rate).abs() < 1e-9);
+    }
+    assert!(last > 0.0, "256 sessions on 2 nodes must see rejections");
+}
+
+/// Shared-segment caches strictly reduce total uplink bytes versus
+/// partitioned caches for a title-heavy mix, and the saving is exactly
+/// the counter the fabric exports.
+#[test]
+fn shared_segments_reduce_uplink_across_the_matrix() {
+    let mut shared = matrix_config(64, 2, false);
+    shared.cache_mode = CacheMode::SharedSegments;
+    let mut partitioned = shared.clone();
+    partitioned.cache_mode = CacheMode::Partitioned;
+    let s = SessionManager::run(&shared).unwrap();
+    let p = SessionManager::run(&partitioned).unwrap();
+    assert!(s.shared_segment_bytes_saved > 0);
+    assert_eq!(
+        p.pool_uplink_bytes,
+        s.pool_uplink_bytes + s.shared_segment_bytes_saved
+    );
+}

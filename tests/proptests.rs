@@ -385,3 +385,118 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&stability));
     }
 }
+
+// ---- Multi-tenant fabric invariants (docs/FABRIC.md). Fabric runs
+// are whole-system simulations, so these blocks use few, fat cases.
+
+fn fabric_pool(nodes: usize) -> Vec<DeviceSpec> {
+    let all = [
+        DeviceSpec::nvidia_shield(),
+        DeviceSpec::dell_optiplex_9010(),
+        DeviceSpec::dell_m4600(),
+        DeviceSpec::minix_neo_u1(),
+    ];
+    all[..nodes].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Max-min fair share: with equal-demand tenants, no admitted
+    /// tenant's scheduled GPU time falls below `1/(2·n_tenants)` of the
+    /// pool's scheduled time over any interior 1 s window.
+    #[test]
+    fn fabric_fair_share_holds_in_every_window(
+        n_tenants in 2usize..10,
+        nodes in 1usize..4,
+        fps in prop_oneof![Just(10.0f64), Just(20.0f64)],
+        seed in 0u64..1_000,
+    ) {
+        use gbooster::core::fabric::{FabricConfig, SessionManager, TenantSpec};
+        use gbooster::workload::games::GameTitle;
+
+        let mut cfg = FabricConfig::uniform(1, fabric_pool(nodes), seed);
+        cfg.duration = SimDuration::from_secs(3);
+        // Equal demand: same title, same rate, for every tenant.
+        cfg.tenants = (0..n_tenants)
+            .map(|_| TenantSpec {
+                title: GameTitle::g5_candy_crush(),
+                fps,
+                slo_ms: 100.0,
+            })
+            .collect();
+        let report = SessionManager::run(&cfg).unwrap();
+        if report.admitted != n_tenants {
+            // Equal-demand g5 streams fit any pool here; a rejection
+            // means the case drew a degenerate config — skip it.
+            return Ok(());
+        }
+
+        let last_window = cfg.duration.as_secs_f64() as u64 - 1;
+        for w in &report.windows {
+            // Skip the staggered-start and drain windows, and windows
+            // where the pool barely ran.
+            if w.window == 0 || w.window >= last_window || w.pool_busy_secs < 0.05 {
+                continue;
+            }
+            let floor = w.pool_busy_secs / (2.0 * n_tenants as f64);
+            for (t, &got) in w.tenant_busy_secs.iter().enumerate() {
+                prop_assert!(
+                    got >= floor - 1e-9,
+                    "window {}: tenant {t} got {got:.6}s of {:.6}s pool \
+                     (floor {floor:.6}s, {n_tenants} tenants, {nodes} nodes)",
+                    w.window,
+                    w.pool_busy_secs
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Admission control never books past the configured pool capacity,
+    /// regardless of the offered mix.
+    #[test]
+    fn fabric_admission_never_exceeds_pool_capacity(
+        sessions in 1usize..80,
+        nodes in 1usize..4,
+        cap in 0.3f64..1.0,
+        per_node in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        use gbooster::core::fabric::{FabricConfig, SessionManager};
+
+        let mut cfg = FabricConfig::uniform(sessions, fabric_pool(nodes), seed);
+        cfg.duration = SimDuration::from_secs(1);
+        cfg.admission.utilization_cap = cap;
+        cfg.admission.max_sessions_per_node = per_node;
+        match SessionManager::run(&cfg) {
+            Ok(report) => {
+                prop_assert_eq!(report.admitted + report.rejected, sessions);
+                prop_assert!(
+                    report.admitted_load <= report.load_cap + 1e-9,
+                    "load {} > cap {}",
+                    report.admitted_load,
+                    report.load_cap
+                );
+                prop_assert!(
+                    report.admitted <= per_node * nodes,
+                    "admitted {} past the per-node ceiling {}",
+                    report.admitted,
+                    per_node * nodes
+                );
+                prop_assert!(
+                    (report.rejected_rate
+                        - report.rejected as f64 / sessions as f64)
+                        .abs()
+                        < 1e-12
+                );
+            }
+            // A tiny cap can reject every tenant; that is the one
+            // config the fabric refuses outright.
+            Err(_) => prop_assert!(cap < 0.9, "healthy cap rejected everyone"),
+        }
+    }
+}

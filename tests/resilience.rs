@@ -342,3 +342,145 @@ fn capability_brownout_opens_a_node_degraded_incident() {
         "{label}: attribution must move over the violation window"
     );
 }
+
+/// Fabric chaos: kill a pool node with 64 sessions in flight. Every
+/// session either re-dispatches its orphaned work to a survivor or
+/// falls back to its own GPU, exactly one incident is opened per
+/// admitted tenant, presentation stays gapless everywhere, and the
+/// whole disaster replays byte-for-byte.
+#[test]
+fn node_kill_under_sixty_four_sessions_recovers_every_tenant() {
+    use gbooster::core::fabric::{FabricConfig, PoolEvent, SessionManager};
+    use gbooster::sim::time::{SimDuration, SimTime};
+
+    let mut cfg = FabricConfig::uniform(
+        64,
+        vec![
+            DeviceSpec::nvidia_shield(),
+            DeviceSpec::dell_optiplex_9010(),
+        ],
+        64_001,
+    );
+    cfg.duration = SimDuration::from_secs(4);
+    // Light streams so a two-node pool admits all 64 sessions.
+    for t in &mut cfg.tenants {
+        t.fps = 10.0;
+    }
+    cfg.events.push(PoolEvent::Kill {
+        at: SimTime::from_secs(2),
+        node: 0,
+    });
+    let label = "fabric kill, 64 sessions";
+
+    let report = SessionManager::run(&cfg).unwrap();
+    let replay = SessionManager::run(&cfg).unwrap();
+    assert_eq!(
+        report.slo_json(),
+        replay.slo_json(),
+        "{label}: chaos must replay byte-for-byte"
+    );
+
+    assert_eq!(report.admitted, 64, "{label}: the pool must admit all 64");
+    // Exactly one incident per admitted tenant, all node-loss.
+    assert_eq!(report.incidents.len(), 64, "{label}");
+    for t in &report.tenants {
+        assert_eq!(t.incidents, 1, "{label}: t{} incident count", t.tenant);
+    }
+    assert!(
+        report
+            .incidents
+            .iter()
+            .all(|i| i.kind == "node_loss" && i.at == SimTime::from_secs(2)),
+        "{label}: a survivor remains, so incidents are node-loss"
+    );
+    assert_eq!(
+        report.telemetry.counter(names::fabric::INCIDENTS),
+        64,
+        "{label}"
+    );
+
+    // Every orphaned frame re-dispatched (one node: at most one frame
+    // was in service at the kill) and every session stayed gapless —
+    // remotely on the survivor or locally on its own GPU.
+    assert!(report.redispatches >= 1, "{label}: orphan must re-dispatch");
+    for t in &report.tenants {
+        assert_eq!(
+            t.frames_presented, t.frames_issued,
+            "{label}: t{} dropped frames",
+            t.tenant
+        );
+        assert!(t.gapless, "{label}: t{} presented out of order", t.tenant);
+    }
+    let total_local: u64 = report.tenants.iter().map(|t| t.frames_local).sum();
+    let total_remote: u64 = report.frames_presented - total_local;
+    assert!(
+        total_remote > 0,
+        "{label}: the surviving node must keep serving"
+    );
+}
+
+/// Fabric chaos, total pool loss: killing every node flips all 64
+/// sessions to local rendering with a pool-lost incident each, and the
+/// pool's recovery lets sessions resume remote service.
+#[test]
+fn total_pool_loss_flips_every_fabric_session_local_then_recovers() {
+    use gbooster::core::fabric::{FabricConfig, PoolEvent, SessionManager};
+    use gbooster::sim::time::{SimDuration, SimTime};
+
+    let mut cfg = FabricConfig::uniform(
+        64,
+        vec![
+            DeviceSpec::nvidia_shield(),
+            DeviceSpec::dell_optiplex_9010(),
+        ],
+        64_002,
+    );
+    cfg.duration = SimDuration::from_secs(4);
+    for t in &mut cfg.tenants {
+        t.fps = 10.0;
+    }
+    cfg.events.push(PoolEvent::Kill {
+        at: SimTime::from_secs(1),
+        node: 0,
+    });
+    cfg.events.push(PoolEvent::Kill {
+        at: SimTime::from_secs(1),
+        node: 1,
+    });
+    cfg.events.push(PoolEvent::Revive {
+        at: SimTime::from_secs(2),
+        node: 0,
+    });
+    let label = "fabric pool loss, 64 sessions";
+
+    let report = SessionManager::run(&cfg).unwrap();
+    let replay = SessionManager::run(&cfg).unwrap();
+    assert_eq!(report.slo_json(), replay.slo_json(), "{label}");
+
+    // Two kills → two incidents per tenant; the second is pool-lost.
+    assert_eq!(report.incidents.len(), 128, "{label}");
+    assert!(
+        report.incidents.iter().any(|i| i.kind == "pool_lost"),
+        "{label}: the second kill empties the pool"
+    );
+    for t in &report.tenants {
+        assert_eq!(t.incidents, 2, "{label}: t{}", t.tenant);
+        assert_eq!(
+            t.frames_presented, t.frames_issued,
+            "{label}: t{}",
+            t.tenant
+        );
+        assert!(t.gapless, "{label}: t{}", t.tenant);
+        assert!(
+            t.frames_local > 0,
+            "{label}: t{} must bridge the outage locally",
+            t.tenant
+        );
+    }
+    // Remote service resumes after the revival.
+    let total_local: u64 = report.tenants.iter().map(|t| t.frames_local).sum();
+    assert!(
+        report.frames_presented > total_local,
+        "{label}: offloading must resume once node 0 rejoins"
+    );
+}
