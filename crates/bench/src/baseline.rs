@@ -245,6 +245,18 @@ pub const TRAFFIC_METRICS: &[MetricDef] = &[
         gated: true,
         latency: false,
     },
+    MetricDef {
+        // Presentation blackout across a forced drain-and-migrate of
+        // the busiest node (docs/MIGRATION.md). Live migration overlaps
+        // the transfer with continued dispatch, so this must stay 0;
+        // the committed zero baseline makes the gate absolute — any
+        // blackout at all fails.
+        name: names::fabric::MIGRATION_BLACKOUT_MS,
+        direction: Direction::LowerIsBetter,
+        tolerance: 0.05,
+        gated: true,
+        latency: false,
+    },
 ];
 
 /// The metric definitions for a named bench.
@@ -454,6 +466,9 @@ fn collect_traffic(
     // The fabric scaling rung: how many sessions one pool node can
     // host at SLO under the multi-tenant scheduler.
     let fabric = crate::run_fabric_rung(64, 2, seed);
+    // The migration rung: drain the busiest node mid-run and measure
+    // the presentation blackout across cutover (must stay zero).
+    let drain = crate::run_fabric_drain_rung(seed);
 
     let mut metrics = vec![
         ("lz4_ratio", lz4_ratio),
@@ -465,6 +480,10 @@ fn collect_traffic(
         (
             names::fabric::SESSIONS_PER_NODE_AT_SLO,
             fabric.sessions_per_node_at_slo,
+        ),
+        (
+            names::fabric::MIGRATION_BLACKOUT_MS,
+            drain.migration_blackout_ms,
         ),
     ];
     metrics.extend(host_metrics(&off));
@@ -785,7 +804,7 @@ pub fn compare_runs(base: &Baseline, fresh: &BenchRun) -> Vec<Regression> {
             continue;
         };
         let base_mean = m.mean;
-        if !base_mean.is_finite() || base_mean.abs() < 1e-12 {
+        if !base_mean.is_finite() {
             continue;
         }
         let fresh_mean = mean(fresh_samples);
@@ -793,6 +812,23 @@ pub fn compare_runs(base: &Baseline, fresh: &BenchRun) -> Vec<Regression> {
             Direction::LowerIsBetter => 1.0,
             Direction::HigherIsBetter => -1.0,
         };
+        if base_mean.abs() < 1e-12 {
+            // A zero baseline carries no relative scale: the gate is
+            // absolute. "Must stay zero" rows (blackout windows, error
+            // counts) fail on any movement in the bad direction.
+            let bad = sign * fresh_mean;
+            if bad > 1e-9 {
+                out.push(Regression {
+                    metric: name.clone(),
+                    base_mean,
+                    fresh_mean,
+                    bad_delta: bad,
+                    tolerance: m.tolerance,
+                    welch_t: f64::INFINITY,
+                });
+            }
+            continue;
+        }
         let bad_delta = sign * (fresh_mean - base_mean) / base_mean.abs();
         if bad_delta <= m.tolerance {
             continue;
@@ -874,6 +910,26 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].metric, "lz4_ratio");
         assert!(regs[0].bad_delta > 0.05);
+    }
+
+    #[test]
+    fn zero_mean_baselines_gate_on_absolute_movement() {
+        let clean = fake_run(
+            "traffic",
+            &[("fabric.migration_blackout_ms", [0.0, 0.0, 0.0])],
+        );
+        let base = Baseline::from_run(&clean);
+        assert!(compare_runs(&base, &clean).is_empty());
+        // A relative delta is undefined against zero; the gate must
+        // still catch any blackout at all.
+        let bad = fake_run(
+            "traffic",
+            &[("fabric.migration_blackout_ms", [12.0, 0.0, 0.0])],
+        );
+        let regs = compare_runs(&base, &bad);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "fabric.migration_blackout_ms");
+        assert!(regs[0].bad_delta > 0.0);
     }
 
     #[test]

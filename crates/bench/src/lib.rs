@@ -199,6 +199,31 @@ pub fn run_fabric_rung(
     SessionManager::run(&cfg).expect("fabric rung config is valid")
 }
 
+/// The migration rung (docs/MIGRATION.md): a 64-session / 3-node
+/// fabric whose busiest node is force-drained mid-run, so every homed
+/// session live-migrates to the survivors. Feeds the gated
+/// `fabric.migration_blackout_ms` row — the presentation blackout a
+/// migrated session observes across cutover, which overlap of transfer
+/// and dispatch must hold at zero.
+#[must_use]
+pub fn run_fabric_drain_rung(seed: u64) -> gbooster_core::fabric::FabricReport {
+    use gbooster_core::fabric::{FabricConfig, SessionManager};
+    let pool = vec![
+        DeviceSpec::nvidia_shield(),
+        DeviceSpec::dell_optiplex_9010(),
+        DeviceSpec::dell_m4600(),
+    ];
+    let mut cfg = FabricConfig::uniform(64, pool, seed);
+    let secs = if smoke() { 3 } else { 10 };
+    cfg.duration = gbooster_sim::time::SimDuration::from_secs(secs);
+    for t in &mut cfg.tenants {
+        t.fps = 10.0;
+    }
+    // Drain the fastest (and therefore busiest) node at the midpoint.
+    cfg.drain_node(gbooster_sim::time::SimTime::from_secs(secs / 2), 0);
+    SessionManager::run(&cfg).expect("fabric drain rung config is valid")
+}
+
 /// Prints a section header.
 pub fn header(title: &str) {
     println!();

@@ -38,6 +38,7 @@ use gbooster_sim::device::DeviceSpec;
 use gbooster_sim::rng::derived;
 use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::export::{prometheus_text, prometheus_text_with_labels};
+use gbooster_telemetry::flight::{Fault, FlightDump, FlightRecorder};
 use gbooster_telemetry::{names, Registry, TelemetrySnapshot};
 use gbooster_workload::games::GameTitle;
 use gbooster_workload::tracegen::TraceGenerator;
@@ -46,8 +47,10 @@ use rand::Rng;
 
 use crate::error::GBoosterError;
 use crate::forward::CommandForwarder;
+use crate::rebalance::{assign_destinations, RebalancePolicy, Rebalancer};
 use crate::scheduler::{Dispatcher, ReorderBuffer, ServiceNode};
-use crate::transport::fabric_link_secs;
+use crate::service::ServiceRuntime;
+use crate::transport::{fabric_link_secs, fabric_migration_secs};
 
 /// Frames of steady-state workload calibrated per title (cycled).
 const CALIB_FRAMES: usize = 48;
@@ -130,6 +133,28 @@ pub enum PoolEvent {
         /// Pool node index.
         node: usize,
     },
+    /// Operator-style drain at `at`: the node's homed sessions live-
+    /// migrate to survivors, then the node is cordoned
+    /// (docs/MIGRATION.md). The node keeps serving during the
+    /// transfers, so presentation never gaps.
+    Drain {
+        /// Drain instant.
+        at: SimTime,
+        /// Pool node index.
+        node: usize,
+    },
+    /// Thermal brownout at `at`: the node's ground-truth capability is
+    /// scaled by `factor` in `(0, 1]`. Opens one `"node_degraded"`
+    /// incident per admitted tenant; a later rebalancer drain of the
+    /// node folds into it instead of opening more.
+    Degrade {
+        /// Brownout instant.
+        at: SimTime,
+        /// Pool node index.
+        node: usize,
+        /// Capability multiplier in `(0, 1]`.
+        factor: f64,
+    },
 }
 
 /// Full fabric run description.
@@ -153,6 +178,10 @@ pub struct FabricConfig {
     pub resolution: (u32, u32),
     /// Scheduled pool faults, in time order.
     pub events: Vec<PoolEvent>,
+    /// Rebalancer policy loop. `None` (the default) disables the
+    /// thermal watch entirely — clean runs are byte-identical to a
+    /// build without the rebalancer.
+    pub rebalance: Option<RebalancePolicy>,
 }
 
 impl FabricConfig {
@@ -182,7 +211,14 @@ impl FabricConfig {
             loss_scale: 0.0,
             resolution: (320, 180),
             events: Vec::new(),
+            rebalance: None,
         }
+    }
+
+    /// Schedules an operator drain of `node` at `at`: the entry point
+    /// the live-migration acceptance scenario drives.
+    pub fn drain_node(&mut self, at: SimTime, node: usize) {
+        self.events.push(PoolEvent::Drain { at, node });
     }
 
     /// Sanity-checks the configuration.
@@ -228,10 +264,23 @@ impl FabricConfig {
         }
         for ev in &self.events {
             let node = match ev {
-                PoolEvent::Kill { node, .. } | PoolEvent::Revive { node, .. } => *node,
+                PoolEvent::Kill { node, .. }
+                | PoolEvent::Revive { node, .. }
+                | PoolEvent::Drain { node, .. }
+                | PoolEvent::Degrade { node, .. } => *node,
             };
             if node >= self.pool.len() {
                 return fail(format!("pool event names node {node} outside the pool"));
+            }
+            if let PoolEvent::Degrade { factor, .. } = ev {
+                if !(factor.is_finite() && *factor > 0.0 && *factor <= 1.0) {
+                    return fail(format!("degrade factor {factor} must be in (0, 1]"));
+                }
+            }
+        }
+        if let Some(p) = &self.rebalance {
+            if !p.valid() {
+                return fail("rebalance policy knobs out of range".into());
             }
         }
         Ok(())
@@ -247,6 +296,29 @@ pub struct TenantIncident {
     pub kind: &'static str,
     /// Fault instant.
     pub at: SimTime,
+}
+
+/// One live migration as the report's timeline records it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationRecord {
+    /// Migrated tenant.
+    pub tenant: u32,
+    /// Source node (the drained one).
+    pub from: usize,
+    /// Final destination (after any retargets).
+    pub to: usize,
+    /// Transfer start.
+    pub started: SimTime,
+    /// Cutover instant; `None` when the migration aborted.
+    pub completed: Option<SimTime>,
+    /// Snapshot bytes shipped, including retarget re-ships.
+    pub bytes: u64,
+    /// Destinations lost mid-transfer.
+    pub retargets: u32,
+    /// Whether the migration stalled out with no survivor to take it.
+    pub aborted: bool,
+    /// `"operator_drain"` or `"rebalance"`.
+    pub reason: &'static str,
 }
 
 /// Per-tenant slice of the aggregate report.
@@ -338,6 +410,24 @@ pub struct FabricReport {
     pub redispatches: u64,
     /// Tenants that flipped to local rendering on SLO breach.
     pub slo_fallbacks: u64,
+    /// Live-migration timeline, start-ordered.
+    pub migrations: Vec<MigrationRecord>,
+    /// Worst per-migrated-tenant presentation gap, milliseconds:
+    /// `(issued − presented + held-in-reorder) × frame period`. Zero
+    /// means every migrated session presented every issued frame — the
+    /// gated `fabric.migration_blackout_ms` row.
+    pub migration_blackout_ms: f64,
+    /// Snapshot bytes shipped by migrations (also charged to uplink).
+    pub migrate_bytes: u64,
+    /// Migrations that lost their destination mid-transfer.
+    pub migrate_retargets: u64,
+    /// Sessions whose migration stalled with no survivor.
+    pub migrate_aborted: u64,
+    /// Rebalancer migrations folded into an already-open node incident
+    /// instead of opening one per migrated tenant.
+    pub incidents_folded: u64,
+    /// Flight-recorder postmortems (at most one; the recorder latches).
+    pub flight: Vec<FlightDump>,
     /// Per-tenant incident records, time-ordered.
     pub incidents: Vec<TenantIncident>,
     /// Per-tenant slices, tenant order.
@@ -363,6 +453,8 @@ impl FabricReport {
              \"pool_utilization\":{:.6},\"sessions_at_slo\":{},\
              \"sessions_per_node_at_slo\":{:.4},\"uplink_bytes\":{},\"downlink_bytes\":{},\
              \"shared_segment_bytes_saved\":{},\"redispatches\":{},\"slo_fallbacks\":{},\
+             \"migrations\":{},\"migrate_bytes\":{},\"migrate_retargets\":{},\
+             \"migrate_aborted\":{},\"incidents_folded\":{},\"blackout_ms\":{:.3},\
              \"incidents\":{},\"tenants\":[",
             self.sessions_offered,
             self.admitted,
@@ -381,6 +473,12 @@ impl FabricReport {
             self.shared_segment_bytes_saved,
             self.redispatches,
             self.slo_fallbacks,
+            self.migrations.len(),
+            self.migrate_bytes,
+            self.migrate_retargets,
+            self.migrate_aborted,
+            self.incidents_folded,
+            self.migration_blackout_ms,
             self.incidents.len(),
         ));
         for (i, t) in self.tenants.iter().enumerate() {
@@ -436,6 +534,12 @@ struct TitleModel {
     frame_fill: Vec<u64>,
     encode_us: Vec<u64>,
     down_bytes: Vec<u64>,
+    /// Full GL-state snapshot of a warm session (wire model bytes).
+    snap_full: u64,
+    /// The same snapshot as a delta against the immutable setup
+    /// segment — what a migration ships when the destination already
+    /// holds the title's shared segment.
+    snap_delta: u64,
 }
 
 fn calibrate(title: &GameTitle, resolution: (u32, u32), seed: u64) -> TitleModel {
@@ -443,18 +547,29 @@ fn calibrate(title: &GameTitle, resolution: (u32, u32), seed: u64) -> TitleModel
     let calib_seed = derived(seed, &format!("fabric-calib-{}", title.id)).gen::<u64>();
     let mut gen = TraceGenerator::new(title.profile(), title.intensity, w, h, calib_seed);
     let mut fw = CommandForwarder::new();
+    // A real replica rides along with the calibration: decoding the
+    // forwarded wires into a service runtime yields the title's warm
+    // GL-state snapshot — the payload a live migration ships.
+    let mut rt = ServiceRuntime::new(DeviceSpec::nvidia_shield());
     let setup = gen.setup_trace();
-    let setup_wire = fw
+    let setup_fwd = fw
         .forward_frame(&setup.commands, gen.client_memory())
-        .expect("calibration setup stream must forward")
-        .wire
-        .len() as u64;
+        .expect("calibration setup stream must forward");
+    let setup_wire = setup_fwd.wire.len() as u64;
+    let setup_cmds = rt
+        .decode(&setup_fwd.wire)
+        .expect("calibration setup stream must decode");
+    rt.apply_frame(&setup_cmds, true)
+        .expect("calibration setup stream must apply");
+    let setup_snapshot = rt.context().snapshot();
     let mut model = TitleModel {
         setup_wire,
         frame_wire: Vec::with_capacity(CALIB_FRAMES),
         frame_fill: Vec::with_capacity(CALIB_FRAMES),
         encode_us: Vec::with_capacity(CALIB_FRAMES),
         down_bytes: Vec::with_capacity(CALIB_FRAMES),
+        snap_full: 0,
+        snap_delta: 0,
     };
     let frame_px = w as u64 * h as u64;
     for _ in 0..CALIB_FRAMES {
@@ -462,6 +577,9 @@ fn calibrate(title: &GameTitle, resolution: (u32, u32), seed: u64) -> TitleModel
         let fwd = fw
             .forward_frame(&frame.commands, gen.client_memory())
             .expect("calibration frame must forward");
+        let cmds = rt.decode(&fwd.wire).expect("calibration frame must decode");
+        rt.apply_frame(&cmds, true)
+            .expect("calibration frame must apply");
         let changed = (frame.changed_pixel_ratio * frame_px as f64).round() as u64;
         model.frame_wire.push(fwd.wire.len() as u64);
         model.frame_fill.push(frame.effective_fill);
@@ -472,6 +590,9 @@ fn calibrate(title: &GameTitle, resolution: (u32, u32), seed: u64) -> TitleModel
             .down_bytes
             .push(gbooster_codec::turbo::model_encoded_bytes(changed) as u64);
     }
+    let warm = rt.context().snapshot();
+    model.snap_full = warm.wire_bytes();
+    model.snap_delta = warm.delta_wire_bytes(&setup_snapshot);
     model
 }
 
@@ -507,13 +628,38 @@ struct TenantState {
     local_mode: bool,
     slo_fell_back: bool,
     incidents: u64,
+    migrations: u32,
 }
 
-/// Event kinds, in tie-break priority order at equal instants.
+/// One live migration in flight (or finished). `epoch` guards the
+/// cutover event: a retarget bumps it, so the stale completion of a
+/// transfer toward a killed destination never fires.
+struct Mig {
+    tenant: usize,
+    from: usize,
+    to: usize,
+    started: SimTime,
+    /// Bytes per ship (the retarget re-ship charges this again).
+    ship: u64,
+    /// Total bytes shipped including re-ships.
+    bytes: u64,
+    retargets: u32,
+    epoch: u64,
+    done: Option<SimTime>,
+    aborted: bool,
+    reason: &'static str,
+}
+
+/// Event kinds, in tie-break priority order at equal instants. The
+/// relative order of the kinds present in migration-free runs (fault,
+/// node-free, arrive, issue) is unchanged from before live migration
+/// existed, so clean runs stay byte-identical.
 const EV_FAULT: u8 = 0;
-const EV_NODE_FREE: u8 = 1;
-const EV_ARRIVE: u8 = 2;
-const EV_ISSUE: u8 = 3;
+const EV_MIGRATE: u8 = 1;
+const EV_NODE_FREE: u8 = 2;
+const EV_ARRIVE: u8 = 3;
+const EV_ISSUE: u8 = 4;
+const EV_REBALANCE: u8 = 5;
 
 /// The session manager: runs a [`FabricConfig`] to completion.
 pub struct SessionManager;
@@ -552,6 +698,7 @@ impl SessionManager {
         let max_sessions = cfg.admission.max_sessions_per_node * nodes_n;
         let mut admitted_load = 0.0;
         let mut admitted: Vec<bool> = Vec::with_capacity(cfg.tenants.len());
+        let mut demand_of: Vec<f64> = Vec::with_capacity(cfg.tenants.len());
         for t in &cfg.tenants {
             let m = &models[model_of[t.title.id]];
             let mean_fill = m.frame_fill.iter().sum::<u64>() as f64 / m.frame_fill.len() as f64;
@@ -562,6 +709,7 @@ impl SessionManager {
             let frame_occupancy =
                 LAN_RTT.as_secs_f64() / 2.0 + mean_fill / mean_capability + mean_encode;
             let demand = t.fps * frame_occupancy;
+            demand_of.push(demand);
             let n_admitted = admitted.iter().filter(|&&a| a).count();
             let admit = admitted_load + demand <= load_cap && n_admitted < max_sessions;
             if admit {
@@ -606,6 +754,14 @@ impl SessionManager {
         let c_incidents = pool_registry.counter(names::fabric::INCIDENTS);
         let h_latency = pool_registry.histogram(names::fabric::FRAME_LATENCY);
         let h_queue_wait = pool_registry.histogram(names::fabric::QUEUE_WAIT);
+        let c_mig_sessions = pool_registry.counter(names::migrate::SESSIONS);
+        let c_mig_drains = pool_registry.counter(names::migrate::DRAINS);
+        let c_mig_bytes = pool_registry.counter(names::migrate::BYTES);
+        let c_mig_saved = pool_registry.counter(names::migrate::SNAPSHOT_BYTES_SAVED);
+        let c_mig_retargets = pool_registry.counter(names::migrate::RETARGETS);
+        let c_mig_aborted = pool_registry.counter(names::migrate::ABORTED);
+        let c_mig_folded = pool_registry.counter(names::migrate::INCIDENTS_FOLDED);
+        let h_mig_transfer = pool_registry.histogram(names::migrate::TRANSFER);
 
         let phone_rate = DeviceSpec::nexus5().gpu.fillrate_gpixels_per_sec * 1e9;
         let mut tenants: Vec<TenantState> = Vec::with_capacity(cfg.tenants.len());
@@ -634,6 +790,7 @@ impl SessionManager {
                 local_mode: false,
                 slo_fell_back: false,
                 incidents: 0,
+                migrations: 0,
             };
             if admitted[i] {
                 // Setup segment upload: partitioned caches pay per
@@ -658,6 +815,25 @@ impl SessionManager {
             tenants.push(st);
         }
 
+        // ---- Session homing: each admitted tenant's GL-state
+        // authority (its checkpoint lineage) lives on one node. Frames
+        // still dispatch pool-wide — the per-frame wire stream carries
+        // every mutable update — so homing is pure migration
+        // bookkeeping and leaves the schedule untouched. Placement is
+        // max-min fair over estimated demand, ties to the lowest index.
+        let mut home: Vec<Option<usize>> = vec![None; cfg.tenants.len()];
+        let mut homed_demand: Vec<f64> = vec![0.0; nodes_n];
+        {
+            let all_nodes = vec![true; nodes_n];
+            let specs: Vec<(usize, f64)> = (0..cfg.tenants.len())
+                .filter(|&i| admitted[i])
+                .map(|i| (i, demand_of[i]))
+                .collect();
+            for (t, dest) in assign_destinations(&specs, &all_nodes, &mut homed_demand) {
+                home[t] = dest;
+            }
+        }
+
         // ---- Event machine.
         let mut heap: BinaryHeap<Reverse<(u64, u8, u64, u64)>> = BinaryHeap::new();
         let duration_us = cfg.duration.as_micros();
@@ -673,9 +849,18 @@ impl SessionManager {
         }
         for (idx, ev) in cfg.events.iter().enumerate() {
             let at = match ev {
-                PoolEvent::Kill { at, .. } | PoolEvent::Revive { at, .. } => *at,
+                PoolEvent::Kill { at, .. }
+                | PoolEvent::Revive { at, .. }
+                | PoolEvent::Drain { at, .. }
+                | PoolEvent::Degrade { at, .. } => *at,
             };
             heap.push(Reverse((at.as_micros(), EV_FAULT, idx as u64, 0)));
+        }
+        let rebalance_interval_us = cfg
+            .rebalance
+            .map_or(u64::MAX, |p| p.check_interval.as_micros());
+        if cfg.rebalance.is_some() && rebalance_interval_us < duration_us {
+            heap.push(Reverse((rebalance_interval_us, EV_REBALANCE, 0, 0)));
         }
 
         // Frames in uplink flight, keyed (tenant, seq).
@@ -690,6 +875,14 @@ impl SessionManager {
         let mut incidents: Vec<TenantIncident> = Vec::new();
         let mut busy_secs_total = 0.0;
         let session_of = |tenant: usize| tenant as u64 + 1;
+        // Migration machinery.
+        let mut draining: Vec<bool> = vec![false; nodes_n];
+        let mut open_incident: Vec<Option<&'static str>> = vec![None; nodes_n];
+        let mut migs: Vec<Mig> = Vec::new();
+        let mut active_mig: Vec<Option<usize>> = vec![None; tenants.len()];
+        let mut pending_off: Vec<usize> = vec![0; nodes_n];
+        let mut flight = FlightRecorder::new(8);
+        let mut rebal: Option<Rebalancer> = cfg.rebalance.map(|p| Rebalancer::new(nodes_n, p));
 
         // Charges `secs` of node time to `tenant`, split across the 1 s
         // audit windows the booking overlaps.
@@ -796,6 +989,9 @@ impl SessionManager {
                     busy_secs_total += secs;
                     tenants[t].service_secs += secs;
                     charge(&mut windows, t, dec.start, dec.finish);
+                    if let Some(rb) = rebal.as_mut() {
+                        rb.record(node, dec.start, dec.finish);
+                    }
                     on_node[node] = Some((t as u32, job, dec.start));
                     heap.push(Reverse((
                         dec.finish.as_micros(),
@@ -803,6 +999,117 @@ impl SessionManager {
                         node as u64,
                         epochs[node],
                     )));
+                }
+            }};
+        }
+
+        // Ships tenant `t`'s warm snapshot from `src` toward `dst`.
+        // The transfer rides the paced background channel; the source
+        // keeps serving (it is not cordoned until its last session has
+        // cut over), so presentation never gaps.
+        macro_rules! start_migration {
+            ($now:expr, $t:expr, $src:expr, $dst:expr, $reason:expr) => {{
+                let (now, t, src, dst): (SimTime, usize, usize, usize) = ($now, $t, $src, $dst);
+                let m = &models[tenants[t].model];
+                let (bytes, saved) = match cfg.cache_mode {
+                    // The destination already holds the title's
+                    // immutable setup segment (multicast at first
+                    // upload), so only the session's mutable delta
+                    // ships.
+                    CacheMode::SharedSegments => {
+                        (m.snap_delta, m.snap_full.saturating_sub(m.snap_delta))
+                    }
+                    CacheMode::Partitioned => (m.snap_full, 0),
+                };
+                let mut secs = fabric_migration_secs(bytes, cfg.loss_scale);
+                if cfg.loss_scale > 0.0 {
+                    let p = (LOSS_BURST_P * cfg.loss_scale).min(0.5);
+                    let st = &mut tenants[t];
+                    if st.rng.gen_range(0.0..1.0) < p {
+                        let rounds = st.rng.gen_range(1..=3);
+                        secs += RETX_PENALTY.as_secs_f64() * rounds as f64;
+                    }
+                }
+                tenants[t].uplink_bytes += bytes;
+                c_uplink.add(bytes);
+                tenants[t]
+                    .registry
+                    .counter(names::fabric::UPLINK_BYTES)
+                    .add(bytes);
+                c_mig_bytes.add(bytes);
+                tenants[t]
+                    .registry
+                    .counter(names::migrate::BYTES)
+                    .add(bytes);
+                if saved > 0 {
+                    c_mig_saved.add(saved);
+                    tenants[t]
+                        .registry
+                        .counter(names::migrate::SNAPSHOT_BYTES_SAVED)
+                        .add(saved);
+                }
+                // A migration caused by an already-reported node fault
+                // folds into that incident instead of opening another.
+                if open_incident[src].is_some() {
+                    c_mig_folded.inc();
+                }
+                let idx = migs.len();
+                migs.push(Mig {
+                    tenant: t,
+                    from: src,
+                    to: dst,
+                    started: now,
+                    ship: bytes,
+                    bytes,
+                    retargets: 0,
+                    epoch: 0,
+                    done: None,
+                    aborted: false,
+                    reason: $reason,
+                });
+                active_mig[t] = Some(idx);
+                pending_off[src] += 1;
+                homed_demand[src] -= demand_of[t];
+                let done_at = now + SimDuration::from_secs_f64(secs);
+                heap.push(Reverse((done_at.as_micros(), EV_MIGRATE, idx as u64, 0)));
+            }};
+        }
+
+        // Drains `node`: live-migrates every session homed there to
+        // the survivors under max-min fair share. With no survivor the
+        // drain stalls (flight recorder: `MigrationStalled`).
+        macro_rules! start_drain {
+            ($now:expr, $node:expr, $reason:expr) => {{
+                let (now, node): (SimTime, usize) = ($now, $node);
+                let movers: Vec<usize> = (0..n_tenants)
+                    .filter(|&t| home[t] == Some(node) && active_mig[t].is_none())
+                    .collect();
+                let survivor: Vec<bool> = (0..nodes_n)
+                    .map(|j| {
+                        j != node
+                            && dead_since[j].is_none()
+                            && !draining[j]
+                            && dispatcher.nodes()[j].accepting()
+                    })
+                    .collect();
+                c_mig_drains.inc();
+                if let Some(rb) = rebal.as_mut() {
+                    rb.note_drain(now);
+                }
+                if !survivor.iter().any(|&s| s) {
+                    c_mig_aborted.add(movers.len() as u64);
+                    flight.trigger(Fault::MigrationStalled, now, pool_registry.snapshot());
+                } else {
+                    draining[node] = true;
+                    let specs: Vec<(usize, f64)> =
+                        movers.iter().map(|&t| (t, demand_of[t])).collect();
+                    for (t, dest) in assign_destinations(&specs, &survivor, &mut homed_demand) {
+                        let dest = dest.expect("survivor checked above");
+                        start_migration!(now, t, node, dest, $reason);
+                    }
+                    if movers.is_empty() && pending_off[node] == 0 {
+                        dispatcher.cordon_node(node, true);
+                    }
                 }
             }};
         }
@@ -862,12 +1169,134 @@ impl SessionManager {
                                     });
                                 }
                             }
+                            open_incident[node] = Some(kind);
+                            // Transfers aimed at the dead destination
+                            // retarget to the next-best survivor (the
+                            // snapshot re-ships); with none left the
+                            // migration stalls and the session stays
+                            // homed on its source.
+                            for (idx, mg) in migs.iter_mut().enumerate() {
+                                if mg.done.is_some() || mg.aborted || mg.to != node {
+                                    continue;
+                                }
+                                let t = mg.tenant;
+                                let src = mg.from;
+                                let survivor: Vec<bool> = (0..nodes_n)
+                                    .map(|j| {
+                                        j != node
+                                            && j != src
+                                            && dead_since[j].is_none()
+                                            && !draining[j]
+                                            && dispatcher.nodes()[j].accepting()
+                                    })
+                                    .collect();
+                                let dest = assign_destinations(
+                                    &[(t, demand_of[t])],
+                                    &survivor,
+                                    &mut homed_demand,
+                                )
+                                .pop()
+                                .and_then(|(_, d)| d);
+                                mg.epoch += 1;
+                                match dest {
+                                    Some(d) => {
+                                        mg.to = d;
+                                        mg.retargets += 1;
+                                        c_mig_retargets.inc();
+                                        tenants[t]
+                                            .registry
+                                            .counter(names::migrate::RETARGETS)
+                                            .inc();
+                                        let bytes = mg.ship;
+                                        mg.bytes += bytes;
+                                        tenants[t].uplink_bytes += bytes;
+                                        c_uplink.add(bytes);
+                                        tenants[t]
+                                            .registry
+                                            .counter(names::fabric::UPLINK_BYTES)
+                                            .add(bytes);
+                                        c_mig_bytes.add(bytes);
+                                        tenants[t]
+                                            .registry
+                                            .counter(names::migrate::BYTES)
+                                            .add(bytes);
+                                        let mut secs = fabric_migration_secs(bytes, cfg.loss_scale);
+                                        if cfg.loss_scale > 0.0 {
+                                            let p = (LOSS_BURST_P * cfg.loss_scale).min(0.5);
+                                            let st = &mut tenants[t];
+                                            if st.rng.gen_range(0.0..1.0) < p {
+                                                let rounds = st.rng.gen_range(1..=3);
+                                                secs += RETX_PENALTY.as_secs_f64() * rounds as f64;
+                                            }
+                                        }
+                                        let done_at = now + SimDuration::from_secs_f64(secs);
+                                        heap.push(Reverse((
+                                            done_at.as_micros(),
+                                            EV_MIGRATE,
+                                            idx as u64,
+                                            mg.epoch,
+                                        )));
+                                    }
+                                    None => {
+                                        mg.aborted = true;
+                                        active_mig[t] = None;
+                                        homed_demand[src] += demand_of[t];
+                                        pending_off[src] -= 1;
+                                        c_mig_aborted.inc();
+                                        tenants[t].registry.counter(names::migrate::ABORTED).inc();
+                                        flight.trigger(
+                                            Fault::MigrationStalled,
+                                            now,
+                                            pool_registry.snapshot(),
+                                        );
+                                    }
+                                }
+                            }
+                            // Authority sessions stranded on the dead
+                            // node re-home to survivors for free: the
+                            // replicas bootstrap from the live command
+                            // stream they already receive.
+                            let stranded: Vec<usize> = (0..n_tenants)
+                                .filter(|&t| home[t] == Some(node) && active_mig[t].is_none())
+                                .collect();
+                            let survivor: Vec<bool> = (0..nodes_n)
+                                .map(|j| {
+                                    j != node
+                                        && dead_since[j].is_none()
+                                        && !draining[j]
+                                        && dispatcher.nodes()[j].accepting()
+                                })
+                                .collect();
+                            if survivor.iter().any(|&s| s) {
+                                let specs: Vec<(usize, f64)> =
+                                    stranded.iter().map(|&t| (t, demand_of[t])).collect();
+                                for (t, dest) in
+                                    assign_destinations(&specs, &survivor, &mut homed_demand)
+                                {
+                                    home[t] = dest;
+                                }
+                            } else {
+                                for &t in &stranded {
+                                    home[t] = None;
+                                }
+                            }
+                            homed_demand[node] = 0.0;
                             pump!(now);
                         }
                         PoolEvent::Revive { node, .. } => {
                             if let Some(since) = dead_since[node].take() {
                                 dead_secs[node] += (now - since).as_secs_f64();
                                 dispatcher.revive_node(node, now, REJOIN_WARMUP);
+                                draining[node] = false;
+                                open_incident[node] = None;
+                                // Sessions orphaned by a total pool
+                                // loss re-home onto the revived node.
+                                for t in 0..n_tenants {
+                                    if admitted[t] && home[t].is_none() && active_mig[t].is_none() {
+                                        home[t] = Some(node);
+                                        homed_demand[node] += demand_of[t];
+                                    }
+                                }
                                 // The pool is back: sessions return to
                                 // the remote path at their next issue.
                                 for st in tenants.iter_mut() {
@@ -876,6 +1305,117 @@ impl SessionManager {
                                 pump!(now);
                             }
                         }
+                        PoolEvent::Drain { node, .. } => {
+                            if dead_since[node].is_none() && !draining[node] {
+                                start_drain!(now, node, "operator_drain");
+                                pump!(now);
+                            }
+                        }
+                        PoolEvent::Degrade { node, factor, .. } => {
+                            if dead_since[node].is_none() {
+                                dispatcher.degrade_node(node, factor);
+                                if open_incident[node].is_none() {
+                                    open_incident[node] = Some("node_degraded");
+                                    for (t, st) in tenants.iter_mut().enumerate() {
+                                        if admitted[t] {
+                                            st.incidents += 1;
+                                            c_incidents.inc();
+                                            incidents.push(TenantIncident {
+                                                tenant: t as u32,
+                                                kind: "node_degraded",
+                                                at: now,
+                                            });
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                EV_MIGRATE => {
+                    let idx = a as usize;
+                    if migs[idx].epoch != b || migs[idx].aborted || migs[idx].done.is_some() {
+                        continue;
+                    }
+                    // Cutover: the destination becomes the session's
+                    // state authority. In-flight frames keep draining
+                    // through the tenant's reorder buffer untouched —
+                    // the presented stream never gaps.
+                    let (t, src, dst, started, reason) = {
+                        let mg = &mut migs[idx];
+                        mg.done = Some(now);
+                        (mg.tenant, mg.from, mg.to, mg.started, mg.reason)
+                    };
+                    debug_assert!(
+                        dead_since[dst].is_none(),
+                        "cutover onto a dead destination must have been retargeted"
+                    );
+                    home[t] = Some(dst);
+                    active_mig[t] = None;
+                    tenants[t].migrations += 1;
+                    c_mig_sessions.inc();
+                    tenants[t].registry.counter(names::migrate::SESSIONS).inc();
+                    h_mig_transfer.record((now - started).as_micros());
+                    // The destination warms up exactly like a revived
+                    // node: its caches are cold for the new arrival.
+                    dispatcher.warm_node(dst, now, REJOIN_WARMUP);
+                    pending_off[src] -= 1;
+                    let src_homed = home.iter().filter(|h| **h == Some(src)).count();
+                    if pending_off[src] == 0 && src_homed == 0 && dead_since[src].is_none() {
+                        // Last session has left: cordon the source. It
+                        // stays alive and drains its in-flight frames.
+                        dispatcher.cordon_node(src, true);
+                    }
+                    // A destination that started draining mid-transfer
+                    // hands the arrival straight onward.
+                    if draining[dst] && dead_since[dst].is_none() {
+                        let survivor: Vec<bool> = (0..nodes_n)
+                            .map(|j| {
+                                j != dst
+                                    && dead_since[j].is_none()
+                                    && !draining[j]
+                                    && dispatcher.nodes()[j].accepting()
+                            })
+                            .collect();
+                        if survivor.iter().any(|&s| s) {
+                            let specs = [(t, demand_of[t])];
+                            if let Some((_, Some(next))) =
+                                assign_destinations(&specs, &survivor, &mut homed_demand).pop()
+                            {
+                                start_migration!(now, t, dst, next, reason);
+                            }
+                        }
+                    }
+                    pump!(now);
+                }
+                EV_REBALANCE => {
+                    let verdict = if let Some(rb) = rebal.as_mut() {
+                        let candidate: Vec<bool> = (0..nodes_n)
+                            .map(|j| {
+                                dead_since[j].is_none()
+                                    && !draining[j]
+                                    && dispatcher.nodes()[j].accepting()
+                                    && home.contains(&Some(j))
+                            })
+                            .collect();
+                        let absorbers = (0..nodes_n)
+                            .filter(|&j| {
+                                dead_since[j].is_none()
+                                    && !draining[j]
+                                    && dispatcher.nodes()[j].accepting()
+                            })
+                            .count();
+                        rb.tick(now, &candidate, absorbers.saturating_sub(1))
+                    } else {
+                        None
+                    };
+                    if let Some(d) = verdict {
+                        start_drain!(now, d.node, "rebalance");
+                        pump!(now);
+                    }
+                    let next = t_us + rebalance_interval_us;
+                    if next < duration_us {
+                        heap.push(Reverse((next, EV_REBALANCE, 0, 0)));
                     }
                 }
                 EV_NODE_FREE => {
@@ -1031,6 +1571,36 @@ impl SessionManager {
             .gauge(names::fabric::SESSIONS_PER_NODE_AT_SLO)
             .set(sessions_per_node_at_slo);
 
+        // Migration blackout: the worst presented-frame gap over the
+        // migrated sessions, in frame periods. A gapless cutover holds
+        // this at exactly zero — every issued frame is presented and
+        // the reorder buffer is empty at the end of the run.
+        let mut blackout_ms = 0.0f64;
+        for st in tenants.iter() {
+            if st.migrations > 0 {
+                let period_ms = 1e3 / st.spec.fps;
+                let missing = st.frames_issued - st.frames_presented + st.reorder.held() as u64;
+                blackout_ms = blackout_ms.max(missing as f64 * period_ms);
+            }
+        }
+        pool_registry
+            .gauge(names::fabric::MIGRATION_BLACKOUT_MS)
+            .set(blackout_ms);
+        let migration_records: Vec<MigrationRecord> = migs
+            .iter()
+            .map(|m| MigrationRecord {
+                tenant: m.tenant as u32,
+                from: m.from,
+                to: m.to,
+                started: m.started,
+                completed: m.done,
+                bytes: m.bytes,
+                retargets: m.retargets,
+                aborted: m.aborted,
+                reason: m.reason,
+            })
+            .collect();
+
         let agg = pool_snap.histogram(names::fabric::FRAME_LATENCY).cloned();
         let (p50_us, p99_us, p999_us) = agg
             .as_ref()
@@ -1068,6 +1638,13 @@ impl SessionManager {
                 .counter(names::fabric::SHARED_SEGMENT_BYTES_SAVED),
             redispatches: telemetry.counter(names::fabric::REDISPATCHES),
             slo_fallbacks: telemetry.counter(names::fabric::SLO_FALLBACKS),
+            migrations: migration_records,
+            migration_blackout_ms: blackout_ms,
+            migrate_bytes: telemetry.counter(names::migrate::BYTES),
+            migrate_retargets: telemetry.counter(names::migrate::RETARGETS),
+            migrate_aborted: telemetry.counter(names::migrate::ABORTED),
+            incidents_folded: telemetry.counter(names::migrate::INCIDENTS_FOLDED),
+            flight: flight.dumps().to_vec(),
             incidents,
             tenants: tenant_reports,
             windows: window_audits,
@@ -1159,6 +1736,53 @@ mod tests {
             node: 9,
         });
         assert!(SessionManager::run(&cfg).is_err());
+    }
+
+    #[test]
+    fn drain_migrates_every_homed_session_without_a_presentation_gap() {
+        let mut cfg = FabricConfig::uniform(8, small_pool(), 31);
+        cfg.duration = SimDuration::from_secs(2);
+        cfg.drain_node(SimTime::from_secs(1), 0);
+        let report = SessionManager::run(&cfg).unwrap();
+        assert!(
+            !report.migrations.is_empty(),
+            "node 0 must have homed sessions to migrate"
+        );
+        for m in &report.migrations {
+            assert_eq!(m.from, 0);
+            assert_ne!(m.to, 0);
+            assert!(m.completed.is_some() && !m.aborted, "{m:?}");
+            assert_eq!(m.reason, "operator_drain");
+        }
+        assert_eq!(report.migration_blackout_ms, 0.0);
+        assert!(report.migrate_bytes > 0, "snapshots ship real bytes");
+        for t in report.tenants.iter().filter(|t| t.admitted) {
+            assert_eq!(t.frames_presented, t.frames_issued, "tenant {}", t.tenant);
+            assert!(t.gapless, "tenant {}", t.tenant);
+        }
+        // A planned drain is an operation, not an incident.
+        assert!(report.incidents.is_empty());
+        assert_eq!(report.incidents_folded, 0);
+    }
+
+    #[test]
+    fn migration_ships_only_the_delta_when_the_segment_is_resident() {
+        let mut shared = FabricConfig::uniform(8, small_pool(), 37);
+        shared.duration = SimDuration::from_secs(2);
+        shared.drain_node(SimTime::from_secs(1), 1);
+        let mut partitioned = shared.clone();
+        partitioned.cache_mode = CacheMode::Partitioned;
+        let a = SessionManager::run(&shared).unwrap();
+        let b = SessionManager::run(&partitioned).unwrap();
+        assert_eq!(a.migrations.len(), b.migrations.len());
+        let saved = a.telemetry.counter(names::migrate::SNAPSHOT_BYTES_SAVED);
+        assert!(saved > 0, "a resident segment must save snapshot bytes");
+        assert_eq!(
+            b.migrate_bytes,
+            a.migrate_bytes + saved,
+            "partitioned migrations pay exactly the bytes the shared segment saves"
+        );
+        assert!(a.migrate_bytes > 0);
     }
 
     #[test]

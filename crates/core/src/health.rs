@@ -459,12 +459,184 @@ impl HealthMonitor {
     }
 }
 
+/// Thermal-throttle hint derived from a node's GPU-time duty cycle.
+///
+/// The service GPUs are actively cooled and never clock-throttle in the
+/// simulator ([`crate::service::ServiceRuntime`] asserts as much), so
+/// the fabric's thermal signal is the *precursor*: the fraction of wall
+/// time a node's GPU spends busy. A node pinned near 100 % duty has no
+/// thermal headroom left, and the rebalancer drains it before the
+/// physical throttle a real deployment would hit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThermalHint {
+    /// Duty cycle inside the sustainable envelope.
+    Nominal,
+    /// Sustained duty above the enter threshold; drain candidate.
+    Throttling,
+}
+
+impl ThermalHint {
+    /// Stable label for logs and reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ThermalHint::Nominal => "nominal",
+            ThermalHint::Throttling => "throttling",
+        }
+    }
+}
+
+/// Per-node GPU-time duty-cycle EWMA with hysteresis — the signal
+/// behind [`ThermalHint`].
+///
+/// Busy intervals are folded into fixed windows; each closed window's
+/// duty (busy ÷ window, clamped to 1) feeds an EWMA. The hint flips to
+/// [`ThermalHint::Throttling`] when the EWMA crosses `enter` and back
+/// to [`ThermalHint::Nominal`] only below `exit` (`exit < enter`), so a
+/// node oscillating around one threshold does not flap. Deterministic:
+/// no wall clock, no RNG — a pure function of the booking sequence,
+/// like the rest of this module.
+#[derive(Clone, Debug)]
+pub struct DutyCycleEwma {
+    window_us: u64,
+    alpha: f64,
+    enter: f64,
+    exit: f64,
+    /// Index of the currently open window.
+    window: u64,
+    /// Busy time accumulated in the open window (µs).
+    busy_us: f64,
+    ewma: f64,
+    primed: bool,
+    throttling: bool,
+}
+
+impl DutyCycleEwma {
+    /// Creates a monitor with the given window length, EWMA weight, and
+    /// hysteresis thresholds (`exit < enter`, both in `[0, 1]`).
+    #[must_use]
+    pub fn new(window: SimDuration, alpha: f64, enter: f64, exit: f64) -> Self {
+        debug_assert!(exit < enter, "hysteresis band must be non-empty");
+        DutyCycleEwma {
+            window_us: window.as_micros().max(1),
+            alpha: alpha.clamp(0.0, 1.0),
+            enter,
+            exit,
+            window: 0,
+            busy_us: 0.0,
+            ewma: 0.0,
+            primed: false,
+            throttling: false,
+        }
+    }
+
+    fn close_through(&mut self, target: u64) {
+        while self.window < target {
+            let duty = (self.busy_us / self.window_us as f64).min(1.0);
+            self.ewma = if self.primed {
+                self.alpha * duty + (1.0 - self.alpha) * self.ewma
+            } else {
+                duty
+            };
+            self.primed = true;
+            if self.throttling {
+                if self.ewma <= self.exit {
+                    self.throttling = false;
+                }
+            } else if self.ewma >= self.enter {
+                self.throttling = true;
+            }
+            self.busy_us = 0.0;
+            self.window += 1;
+        }
+    }
+
+    /// Folds one GPU busy booking `[start, finish)` into the windows it
+    /// overlaps. Bookings may extend past the last settle point —
+    /// scheduled future busy time is exactly what a proactive drain
+    /// wants to see. Time before an already-closed window is dropped.
+    pub fn record(&mut self, start: SimTime, finish: SimTime) {
+        let mut s = start.as_micros().max(self.window * self.window_us);
+        let f = finish.as_micros();
+        while s < f {
+            let w = s / self.window_us;
+            self.close_through(w);
+            let end = ((w + 1) * self.window_us).min(f);
+            self.busy_us += (end - s) as f64;
+            s = end;
+        }
+    }
+
+    /// Closes every window that ended before `now` (idle windows score
+    /// zero duty), bringing the EWMA and hint current.
+    pub fn settle(&mut self, now: SimTime) {
+        self.close_through(now.as_micros() / self.window_us);
+    }
+
+    /// The duty-cycle EWMA over closed windows, in `[0, 1]`.
+    #[must_use]
+    pub fn duty(&self) -> f64 {
+        self.ewma
+    }
+
+    /// The current hysteretic hint.
+    #[must_use]
+    pub fn hint(&self) -> ThermalHint {
+        if self.throttling {
+            ThermalHint::Throttling
+        } else {
+            ThermalHint::Nominal
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn monitor(n: usize) -> HealthMonitor {
         HealthMonitor::new(n, HealthConfig::default())
+    }
+
+    #[test]
+    fn sustained_overload_flips_the_thermal_hint_and_idling_clears_it() {
+        let window = SimDuration::from_millis(100);
+        let mut duty = DutyCycleEwma::new(window, 0.4, 0.85, 0.60);
+        assert_eq!(duty.hint(), ThermalHint::Nominal);
+
+        // One saturated second: back-to-back bookings covering every
+        // window flip the hint within the EWMA's settling time.
+        duty.record(SimTime::ZERO, SimTime::from_millis(1_000));
+        duty.settle(SimTime::from_millis(1_000));
+        assert!(duty.duty() > 0.99, "saturated duty, got {}", duty.duty());
+        assert_eq!(duty.hint(), ThermalHint::Throttling);
+
+        // Oscillating just under the exit threshold must not clear it…
+        duty.record(SimTime::from_millis(1_000), SimTime::from_millis(1_070));
+        duty.settle(SimTime::from_millis(1_100));
+        assert_eq!(duty.hint(), ThermalHint::Throttling, "hysteresis holds");
+
+        // …but a genuinely idle stretch does.
+        duty.settle(SimTime::from_millis(2_500));
+        assert!(duty.duty() < 0.60);
+        assert_eq!(duty.hint(), ThermalHint::Nominal);
+    }
+
+    #[test]
+    fn duty_cycle_splits_bookings_across_windows_and_never_exceeds_one() {
+        let window = SimDuration::from_millis(10);
+        let mut duty = DutyCycleEwma::new(window, 1.0, 0.9, 0.5);
+        // A booking spanning 2.5 windows: 10 ms + 10 ms + 5 ms.
+        duty.record(SimTime::ZERO, SimTime::from_millis(25));
+        duty.settle(SimTime::from_millis(30));
+        // alpha = 1: the EWMA is the last closed window's duty (0.5).
+        assert!((duty.duty() - 0.5).abs() < 1e-9, "got {}", duty.duty());
+
+        // Overlapping/duplicate busy past a closed window is clamped.
+        let mut d2 = DutyCycleEwma::new(window, 1.0, 0.9, 0.5);
+        d2.record(SimTime::ZERO, SimTime::from_millis(10));
+        d2.record(SimTime::from_millis(2), SimTime::from_millis(10));
+        d2.settle(SimTime::from_millis(10));
+        assert!(d2.duty() <= 1.0);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`ops`] — the live-ops runtime: streaming SLO burn-rate
 //!   evaluation, alerting, anomaly detection, and correlated incident
 //!   timelines over the running session (`docs/OBSERVABILITY.md`).
+//! * [`rebalance`] — the pool rebalancing policy: per-node thermal
+//!   duty-cycle tracking and the drain-and-migrate verdict loop
+//!   (`docs/MIGRATION.md`).
 //! * [`queue`] — FCFS and priority service queues for multi-user serving
 //!   (Section VIII's future-work extension, implemented here).
 //! * [`metrics`] — median FPS, FPS stability and response time
@@ -55,6 +58,7 @@ pub mod health;
 pub mod metrics;
 pub mod ops;
 pub mod queue;
+pub mod rebalance;
 pub mod scheduler;
 pub mod service;
 pub mod session;

@@ -58,6 +58,7 @@ fn fault_rank(fault: Fault) -> Option<(&'static str, u8)> {
         Fault::LossStorm => Some(("loss_storm", 2)),
         Fault::DispatchTimeout => Some(("dispatch_timeout", 2)),
         Fault::InterfaceFlap => Some(("interface_flap", 2)),
+        Fault::MigrationStalled => Some(("migration_stalled", 3)),
         Fault::NodeRejoined => None,
     }
 }

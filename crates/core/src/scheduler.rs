@@ -66,6 +66,11 @@ pub struct ServiceNode {
     /// bookings.
     rate_ewma: Ewma,
     alive: bool,
+    /// Whether the node accepts *new* dispatches. A cordoned node
+    /// (`false`) is alive — in-flight frames drain normally — but its
+    /// Eq. 4 score is infinite, so the scheduler routes around it. Set
+    /// by a drain (docs/MIGRATION.md); cleared by revive.
+    accepting: bool,
     /// End of the rejoin warm-up window: until this instant the node's
     /// Eq. 4 score carries an extra penalty so a freshly resynced node
     /// (cold caches, unwarmed clocks) eases back in instead of instantly
@@ -89,6 +94,7 @@ impl ServiceNode {
             outstanding: VecDeque::new(),
             rate_ewma: Ewma::new(RATE_EWMA_ALPHA),
             alive: true,
+            accepting: true,
             warmup_until: SimTime::ZERO,
         }
     }
@@ -114,6 +120,12 @@ impl ServiceNode {
         self.alive
     }
 
+    /// Whether the node accepts new dispatches (alive and not
+    /// cordoned by a drain).
+    pub fn accepting(&self) -> bool {
+        self.alive && self.accepting
+    }
+
     /// The service rate used for Eq. 4 scoring: the EWMA forecast once
     /// observations exist, the profiled capability before that.
     pub fn predicted_rate(&self) -> f64 {
@@ -132,7 +144,7 @@ impl ServiceNode {
     /// non-positive or non-finite score `f64::INFINITY`; the result is
     /// never NaN.
     pub fn score(&self, r_fill: u64, now: SimTime) -> f64 {
-        if !self.alive {
+        if !self.alive || !self.accepting {
             return f64::INFINITY;
         }
         let rate = self.predicted_rate();
@@ -367,7 +379,7 @@ impl Dispatcher {
     pub fn best_idle_node(&self, r_fill: u64, now: SimTime) -> Option<usize> {
         let mut best: Option<(usize, f64)> = None;
         for (j, node) in self.nodes.iter().enumerate() {
-            if !node.alive || node.busy_until > now {
+            if !node.accepting() || node.busy_until > now {
                 continue;
             }
             let score = node.score(r_fill, now);
@@ -400,8 +412,29 @@ impl Dispatcher {
     pub fn revive_node(&mut self, node: usize, now: SimTime, warmup: SimDuration) {
         let n = &mut self.nodes[node];
         n.alive = true;
+        n.accepting = true;
         n.busy_until = now.max(n.busy_until);
         n.warmup_until = now + warmup;
+    }
+
+    /// Cordons (or un-cordons) node `node`: a cordoned node stays
+    /// alive and drains its in-flight frames, but its Eq. 4 score is
+    /// infinite so no new dispatch lands on it. The drain protocol
+    /// cordons the source once its last session has cut over
+    /// (docs/MIGRATION.md); [`Dispatcher::revive_node`] lifts the
+    /// cordon.
+    pub fn cordon_node(&mut self, node: usize, cordoned: bool) {
+        self.nodes[node].accepting = !cordoned;
+    }
+
+    /// Applies a rejoin-style warm-up window to an *already alive*
+    /// node: for the next `warmup` of sim time its Eq. 4 score carries
+    /// phantom backlog. A migration destination warms up exactly like
+    /// a revived node — its per-session caches are cold for the newly
+    /// landed tenants — without cycling through death.
+    pub fn warm_node(&mut self, node: usize, now: SimTime, warmup: SimDuration) {
+        let n = &mut self.nodes[node];
+        n.warmup_until = n.warmup_until.max(now + warmup);
     }
 
     /// Scales node `node`'s ground-truth capability by `factor` (a
@@ -646,6 +679,52 @@ mod tests {
         let orphans = d.fail_node(1, SimTime::from_secs(5));
         assert!(orphans.is_empty());
         assert_eq!(d.nodes()[1].busy_until(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn cordoned_node_drains_but_never_wins_a_dispatch() {
+        let mut d = two_nodes();
+        // Put one frame in flight on node 0, then cordon it.
+        let dec = d.dispatch(0, 1_000_000, SimDuration::ZERO, SimTime::ZERO);
+        d.cordon_node(dec.node, true);
+        let n = &d.nodes()[dec.node];
+        assert!(n.alive(), "cordoned node stays alive");
+        assert!(!n.accepting(), "cordoned node accepts nothing new");
+        assert_eq!(
+            n.score(1, SimTime::ZERO),
+            f64::INFINITY,
+            "cordoned score must route traffic elsewhere"
+        );
+        // The in-flight frame drains normally.
+        d.complete(dec.node, 0);
+        assert_eq!(d.nodes()[dec.node].outstanding(), 0);
+        // best_idle_node skips the cordoned node even when idle.
+        let late = SimTime::from_secs(10);
+        let other = (dec.node + 1) % 2;
+        assert_eq!(d.best_idle_node(1_000, late), Some(other));
+        // Lifting the cordon restores it.
+        d.cordon_node(dec.node, false);
+        assert!(d.nodes()[dec.node].accepting());
+    }
+
+    #[test]
+    fn warm_node_penalizes_an_alive_destination_like_a_rejoin() {
+        let mut d = Dispatcher::new(vec![
+            ServiceNode::new(DeviceSpec::nvidia_shield(), SimDuration::from_millis(2)),
+            ServiceNode::new(DeviceSpec::minix_neo_u1(), SimDuration::from_millis(2)),
+        ]);
+        let t0 = SimTime::from_millis(100);
+        let base = d.nodes()[0].score(50_000_000, t0);
+        d.warm_node(0, t0, SimDuration::from_millis(200));
+        let warmed = d.nodes()[0].score(50_000_000, t0);
+        assert!(
+            warmed > base + 0.19,
+            "warm-up must charge phantom backlog: {base} -> {warmed}"
+        );
+        // Past the window the penalty is gone; the node never died.
+        assert!(d.nodes()[0].alive());
+        let after = d.nodes()[0].score(50_000_000, t0 + SimDuration::from_millis(250));
+        assert!(after <= base + 1e-9);
     }
 
     #[test]

@@ -341,6 +341,26 @@ impl ServiceRuntime {
         self.receiver = receiver;
     }
 
+    /// Delta-aware resync for a destination that already holds a
+    /// replica of `resident` — the title's immutable setup segment,
+    /// cached by the shared-segment machinery or surviving a restart
+    /// content-addressed on disk. The restored state is identical to a
+    /// full [`ServiceRuntime::resync`], but only the per-session delta
+    /// travels; the returned value is the billable wire cost
+    /// (`StateSnapshot::delta_wire_bytes`), which the caller charges to
+    /// the uplink. The bytes *not* shipped belong in
+    /// `migrate.snapshot_bytes_saved`.
+    pub fn resync_with_resident(
+        &mut self,
+        snapshot: &gbooster_gles::state::StateSnapshot,
+        resident: &gbooster_gles::state::StateSnapshot,
+        receiver: ServiceReceiver,
+    ) -> u64 {
+        self.context = GlContext::restore(snapshot);
+        self.receiver = receiver;
+        snapshot.delta_wire_bytes(resident)
+    }
+
     /// Advances the service GPU's thermal/energy model (it never throttles
     /// thanks to active cooling; asserted in tests).
     pub fn gpu_tick(&mut self, dt: SimDuration, utilization: f64) {
@@ -446,6 +466,37 @@ mod tests {
             rookie.apply_frame(&b, true).unwrap();
         }
         assert_eq!(rookie.state_digest(), veteran.state_digest());
+    }
+
+    #[test]
+    fn delta_resync_restores_full_state_but_bills_only_the_session_delta() {
+        let (frames, _) = forwarded_frames(30);
+        let mut source = ServiceRuntime::new(DeviceSpec::nvidia_shield());
+        // The destination replicated the same title's setup segment
+        // earlier (PR 8 shared segments): it holds the resident base.
+        let setup = source.decode(&frames[0]).unwrap();
+        source.apply_frame(&setup, true).unwrap();
+        let resident = source.context().snapshot();
+
+        // The session then plays 29 warm frames on the source only.
+        for wire in &frames[1..] {
+            let cmds = source.decode(wire).unwrap();
+            source.apply_frame(&cmds, true).unwrap();
+        }
+        let warm = source.context().snapshot();
+
+        let mut dest = ServiceRuntime::new(DeviceSpec::minix_neo_u1());
+        let billed = dest.resync_with_resident(&warm, &resident, source.receiver.clone());
+
+        // State is complete — digest-identical to a full resync…
+        assert_eq!(dest.state_digest(), source.state_digest());
+        // …but the bill excludes the resident setup segment.
+        assert_eq!(billed, warm.delta_wire_bytes(&resident));
+        assert!(
+            billed < warm.wire_bytes(),
+            "delta {billed} must undercut the full snapshot {}",
+            warm.wire_bytes()
+        );
     }
 
     #[test]

@@ -582,6 +582,7 @@ struct OffloadEngine {
     c_frames_local: Counter,
     c_rejoins: Counter,
     c_resync_bytes: Counter,
+    c_resync_saved: Counter,
     c_fallback_engagements: Counter,
     local_render_hist: Histogram,
     /// Resource-attribution sink shared with the forwarder and transport
@@ -632,6 +633,11 @@ struct OffloadEngine {
     /// apply directly), so a rejoining node can be brought current with
     /// one snapshot transfer instead of a history replay.
     reference_ctx: GlContext,
+    /// The reference state right after the setup stream: the immutable
+    /// segment every replica holds (and keeps across death — shared
+    /// segments are content-addressed). Rejoin resyncs ship only the
+    /// delta against this baseline.
+    setup_snapshot: gbooster_gles::state::StateSnapshot,
     /// Phone-side mirror of the sender's LRU dictionary; a clone hands a
     /// rejoining node a decoder that resolves future `Ref` tokens.
     reference_rx: ServiceReceiver,
@@ -892,10 +898,20 @@ impl OffloadEngine {
     /// command log since the node died is never replayed.
     fn rejoin_node(&mut self, node: usize, now: SimTime) -> Result<(), GBoosterError> {
         let snap = self.reference_ctx.snapshot();
-        let resync_bytes = snap.wire_bytes();
+        // The rejoiner still holds the title's immutable setup segment
+        // (content-addressed; it survives the process), so only the
+        // per-session delta reships — the single-destination fix that
+        // live migration also leans on (docs/MIGRATION.md).
+        let resync_bytes = snap.delta_wire_bytes(&self.setup_snapshot);
+        self.c_resync_saved.add(snap.wire_bytes() - resync_bytes);
         let tx = self.transport.send(resync_bytes as usize, now);
         self.c_resync_bytes.add(resync_bytes);
-        self.runtimes[node].resync(&snap, self.reference_rx.clone());
+        let billed = self.runtimes[node].resync_with_resident(
+            &snap,
+            &self.setup_snapshot,
+            self.reference_rx.clone(),
+        );
+        debug_assert_eq!(billed, resync_bytes, "resync bill must match the delta");
         debug_assert_eq!(
             self.runtimes[node].state_digest(),
             self.reference_ctx.digest(),
@@ -1576,6 +1592,10 @@ fn run_offloaded(
             reference_ctx.apply(cmd)?;
         }
     }
+    // The setup segment is immutable and content-addressed; a rejoiner
+    // keeps its replica across death, so rejoin resyncs bill only the
+    // delta against this baseline (docs/MIGRATION.md).
+    let setup_snapshot = reference_ctx.snapshot();
 
     // 3. Run the pipelined engine: issue ahead, receive in completion
     // order, present in sequence order, until the session clock expires;
@@ -1613,6 +1633,7 @@ fn run_offloaded(
         c_frames_local: registry.counter(names::session::FRAMES_LOCAL),
         c_rejoins: registry.counter(names::health::REJOINS),
         c_resync_bytes: registry.counter(names::health::RESYNC_BYTES),
+        c_resync_saved: registry.counter(names::migrate::SNAPSHOT_BYTES_SAVED),
         c_fallback_engagements: registry.counter(names::health::FALLBACK_ENGAGEMENTS),
         local_render_hist: registry.histogram(names::stage::LOCAL_RENDER),
         attr: attr.clone(),
@@ -1623,6 +1644,7 @@ fn run_offloaded(
         next_event: 0,
         partitions: off.faults.partitions.clone(),
         reference_ctx,
+        setup_snapshot,
         reference_rx,
         slo: off.slo,
         latency_ewma: 0.0,

@@ -485,6 +485,26 @@ pub fn fabric_link_secs(bytes: u64, loss_scale: f64) -> f64 {
     serialize * overhead + WIFI_LATENCY.as_secs_f64()
 }
 
+/// Channel share a background snapshot transfer may consume: live
+/// migration paces the checkpoint stream at half rate so the session's
+/// own frames keep their latency while the transfer overlaps continued
+/// dispatch to the source (docs/MIGRATION.md).
+const MIGRATION_CHANNEL_SHARE: f64 = 0.5;
+
+/// One-way transfer time for a live-migration state snapshot.
+///
+/// Same 802.11n link as [`fabric_link_secs`], but the stream is paced
+/// to [`MIGRATION_CHANNEL_SHARE`] of the channel: a migration is a
+/// bulk background flow, and starving the per-frame uplink to finish
+/// the checkpoint sooner would cause exactly the presentation gap the
+/// cutover protocol promises not to have.
+pub fn fabric_migration_secs(bytes: u64, loss_scale: f64) -> f64 {
+    let chan = gbooster_net::channel::ChannelModel::wifi_80211n();
+    let serialize = chan.tx_time(bytes as usize).as_secs_f64() / MIGRATION_CHANNEL_SHARE;
+    let overhead = 1.0 + WIFI_LOSS * loss_scale.max(0.0);
+    serialize * overhead + WIFI_LATENCY.as_secs_f64()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,6 +724,21 @@ mod tests {
         let before = t.switch_stats().wifi_wakes;
         t.force_flap(SimTime::from_secs(1), 4);
         assert_eq!(t.switch_stats().wifi_wakes, before + 4);
+    }
+
+    #[test]
+    fn migration_transfers_are_paced_below_the_foreground_link() {
+        for bytes in [10_000u64, 1_000_000, 50_000_000] {
+            let fg = fabric_link_secs(bytes, 0.0);
+            let bg = fabric_migration_secs(bytes, 0.0);
+            assert!(
+                bg > fg,
+                "background pacing must slow the bulk flow: {bg} vs {fg} at {bytes}B"
+            );
+        }
+        // Loss derates both the same way, and cost is monotone in size.
+        assert!(fabric_migration_secs(1_000_000, 1.0) > fabric_migration_secs(1_000_000, 0.0));
+        assert!(fabric_migration_secs(2_000_000, 0.0) > fabric_migration_secs(1_000_000, 0.0));
     }
 
     #[test]

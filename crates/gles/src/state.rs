@@ -970,6 +970,54 @@ impl StateSnapshot {
             + SNAP_SCALAR_BLOCK
     }
 
+    /// Wire cost of shipping this snapshot to a destination that
+    /// already holds `base` — the incremental checkpoint used by live
+    /// migration (docs/MIGRATION.md). Objects byte-identical in `base`
+    /// (typically the immutable setup segment a shared-cache replica
+    /// already holds) are skipped; anything new or mutated ships in
+    /// full, and the scalar-state block (bindings, blend/depth,
+    /// viewport) always travels. Deletions ride inside the scalar
+    /// block as id lists and carry no per-object payload.
+    ///
+    /// Invariants: `delta_wire_bytes(base) <= wire_bytes()` for any
+    /// base, and a snapshot's delta against itself is exactly the
+    /// scalar block.
+    pub fn delta_wire_bytes(&self, base: &StateSnapshot) -> u64 {
+        fn changed<'a, V: PartialEq>(
+            ours: &'a BTreeMap<u32, V>,
+            base: &'a BTreeMap<u32, V>,
+        ) -> impl Iterator<Item = &'a V> {
+            ours.iter()
+                .filter(move |(id, obj)| base.get(id) != Some(obj))
+                .map(|(_, obj)| obj)
+        }
+        let textures: u64 = changed(&self.textures, &base.textures)
+            .map(|t| SNAP_TEXTURE_HEADER + t.data.len() as u64)
+            .sum();
+        let buffers: u64 = changed(&self.buffers, &base.buffers)
+            .map(|b| SNAP_BUFFER_HEADER + b.data.len() as u64)
+            .sum();
+        let shaders: u64 = changed(&self.shaders, &base.shaders)
+            .map(|s| SNAP_SHADER_HEADER + s.source.len() as u64)
+            .sum();
+        let programs: u64 = changed(&self.programs, &base.programs)
+            .map(|p| {
+                SNAP_PROGRAM_HEADER
+                    + p.shaders.len() as u64 * 4
+                    + p.uniforms.len() as u64 * SNAP_UNIFORM_BYTES
+            })
+            .sum();
+        let framebuffers = self.framebuffers.difference(&base.framebuffers).count() as u64 * 8;
+        let attribs = self
+            .attribs
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| base.attribs.get(*i) != Some(*a))
+            .count() as u64
+            * SNAP_ATTRIB_BYTES;
+        textures + buffers + shaders + programs + framebuffers + attribs + SNAP_SCALAR_BLOCK
+    }
+
     /// Number of captured objects of each kind: `(textures, buffers,
     /// shaders, programs)`.
     pub fn object_counts(&self) -> (usize, usize, usize, usize) {
@@ -1362,6 +1410,75 @@ mod tests {
             snap.wire_bytes()
         );
         assert_eq!(snap.object_counts(), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn delta_wire_bytes_skip_objects_the_base_already_holds() {
+        let mut ctx = GlContext::new();
+        linked_program(&mut ctx, 1);
+        ctx.apply(&GlCommand::GenTexture(TextureId(4))).unwrap();
+        ctx.apply(&GlCommand::BindTexture {
+            target: TextureTarget::Texture2D,
+            texture: TextureId(4),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::TexImage2D {
+            target: TextureTarget::Texture2D,
+            level: 0,
+            format: PixelFormat::Rgba8,
+            width: 4,
+            height: 4,
+            data: Arc::new(vec![7; 64]),
+        })
+        .unwrap();
+        let setup = ctx.snapshot();
+
+        // Identity delta: only the scalar block travels.
+        assert_eq!(setup.delta_wire_bytes(&setup), SNAP_SCALAR_BLOCK);
+
+        // A warm session mutates one buffer and adds one texture; the
+        // delta charges exactly those, not the resident setup texture.
+        ctx.apply(&GlCommand::GenBuffer(BufferId(2))).unwrap();
+        ctx.apply(&GlCommand::BindBuffer {
+            target: BufferTarget::Array,
+            buffer: BufferId(2),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::BufferData {
+            target: BufferTarget::Array,
+            data: Arc::new(vec![1; 32]),
+            usage: BufferUsage::DynamicDraw,
+        })
+        .unwrap();
+        let warm = ctx.snapshot();
+        let delta = warm.delta_wire_bytes(&setup);
+        assert_eq!(delta, SNAP_BUFFER_HEADER + 32 + SNAP_SCALAR_BLOCK);
+        assert!(delta <= warm.wire_bytes());
+        assert!(
+            warm.wire_bytes() - delta >= 64,
+            "the resident 64-byte texture must not reship"
+        );
+
+        // Mutating a resident object brings it back into the delta.
+        ctx.apply(&GlCommand::BindTexture {
+            target: TextureTarget::Texture2D,
+            texture: TextureId(4),
+        })
+        .unwrap();
+        ctx.apply(&GlCommand::TexImage2D {
+            target: TextureTarget::Texture2D,
+            level: 0,
+            format: PixelFormat::Rgba8,
+            width: 4,
+            height: 4,
+            data: Arc::new(vec![9; 64]),
+        })
+        .unwrap();
+        let touched = ctx.snapshot();
+        assert!(
+            touched.delta_wire_bytes(&setup) > delta,
+            "a mutated texture must reship"
+        );
     }
 
     #[test]

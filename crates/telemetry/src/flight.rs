@@ -41,6 +41,10 @@ pub enum Fault {
     FallbackEngaged,
     /// A dead node completed its state resync and re-entered the pool.
     NodeRejoined,
+    /// A live migration could not complete: the destination died
+    /// mid-transfer and no survivor was left to retarget to
+    /// (docs/MIGRATION.md).
+    MigrationStalled,
 }
 
 impl Fault {
@@ -54,6 +58,7 @@ impl Fault {
             Fault::AllNodesLost => "all_nodes_lost",
             Fault::FallbackEngaged => "fallback_engaged",
             Fault::NodeRejoined => "node_rejoined",
+            Fault::MigrationStalled => "migration_stalled",
         }
     }
 }

@@ -308,6 +308,34 @@ pub mod fabric {
     pub const SHARED_SEGMENT_BYTES_SAVED: &str = "fabric.shared_segment_bytes_saved";
     /// Per-tenant incident records opened by pool faults (counter).
     pub const INCIDENTS: &str = "fabric.incidents";
+    /// p99 presented-frame gap across migrated tenants, in ms (gauge,
+    /// gated in the scaling bench — must stay 0 in clean runs).
+    pub const MIGRATION_BLACKOUT_MS: &str = "fabric.migration_blackout_ms";
+}
+
+/// Live session migration and pool rebalancing
+/// (crates/core/src/rebalance.rs, docs/MIGRATION.md).
+pub mod migrate {
+    /// Migrations that completed a cutover (counter).
+    pub const SESSIONS: &str = "migrate.sessions";
+    /// Drain operations started, operator or rebalancer (counter).
+    pub const DRAINS: &str = "migrate.drains";
+    /// Snapshot bytes actually shipped for migrations (counter).
+    pub const BYTES: &str = "migrate.bytes";
+    /// Snapshot bytes avoided because the destination already held a
+    /// shared-segment replica — only the per-session delta shipped
+    /// (counter).
+    pub const SNAPSHOT_BYTES_SAVED: &str = "migrate.snapshot_bytes_saved";
+    /// Snapshot transfer time, checkpoint → cutover (histogram, µs).
+    pub const TRANSFER: &str = "migrate.transfer";
+    /// Migrations re-aimed at a new destination after the original
+    /// died mid-transfer (counter).
+    pub const RETARGETS: &str = "migrate.retargets";
+    /// Migrations abandoned with no survivor to retarget to (counter).
+    pub const ABORTED: &str = "migrate.aborted";
+    /// Migrations whose cause folded into an already-open incident for
+    /// the drained node instead of opening a duplicate (counter).
+    pub const INCIDENTS_FOLDED: &str = "migrate.incidents_folded";
 }
 
 /// Attribution-table axis labels (crates/telemetry/src/attr.rs). These

@@ -192,6 +192,37 @@ proptest! {
         prop_assert_eq!(restored.resident_bytes(), ctx.resident_bytes());
     }
 
+    /// Live migration (docs/MIGRATION.md): checkpoint an in-flight
+    /// session at an arbitrary cut point, restore on the destination,
+    /// then keep applying the remaining stream to both sides — source
+    /// and destination stay digest-identical after every command, and
+    /// the delta snapshot never ships more than the full one.
+    #[test]
+    fn live_migration_checkpoint_stays_in_lockstep(
+        prefix in prop::collection::vec(arb_command(), 0..40),
+        suffix in prop::collection::vec(arb_command(), 0..40),
+    ) {
+        let mut src = GlContext::new();
+        let baseline = src.snapshot();
+        for cmd in &prefix {
+            let _ = src.apply(cmd);
+        }
+        let snap = src.snapshot();
+        prop_assert!(
+            snap.delta_wire_bytes(&baseline) <= snap.wire_bytes(),
+            "a delta against any base must not exceed the full snapshot"
+        );
+        let mut dst = GlContext::restore(&snap);
+        prop_assert_eq!(dst.digest(), src.digest());
+        for cmd in &suffix {
+            let a = src.apply(cmd);
+            let b = dst.apply(cmd);
+            prop_assert_eq!(a.is_ok(), b.is_ok());
+            prop_assert_eq!(dst.digest(), src.digest());
+            prop_assert_eq!(dst.resident_bytes(), src.resident_bytes());
+        }
+    }
+
     #[test]
     fn lz4_roundtrip_arbitrary_bytes(data in prop::collection::vec(any::<u8>(), 0..4096)) {
         let compressed = lz4::compress(&data);

@@ -484,3 +484,353 @@ fn total_pool_loss_flips_every_fabric_session_local_then_recovers() {
         "{label}: offloading must resume once node 0 rejoins"
     );
 }
+
+/// A two-node 64-session fabric config shared by the migration chaos
+/// matrix: light 10 fps streams so admission takes everyone.
+fn migration_fabric(seed: u64) -> gbooster::core::fabric::FabricConfig {
+    use gbooster::core::fabric::FabricConfig;
+    use gbooster::sim::time::SimDuration;
+    let mut cfg = FabricConfig::uniform(
+        64,
+        vec![
+            DeviceSpec::nvidia_shield(),
+            DeviceSpec::dell_optiplex_9010(),
+        ],
+        seed,
+    );
+    cfg.duration = SimDuration::from_secs(4);
+    for t in &mut cfg.tenants {
+        t.fps = 10.0;
+    }
+    cfg
+}
+
+/// Migration acceptance: force-drain the busiest node of a 64-session
+/// three-node fabric mid-run. Every homed session live-migrates to the
+/// survivors with zero presented-frame gaps, every migrated tenant
+/// still meets its SLO, and the whole run replays byte-for-byte.
+#[test]
+fn forced_drain_of_the_busiest_node_migrates_every_session_gapless() {
+    use gbooster::core::fabric::{FabricConfig, SessionManager};
+    use gbooster::sim::time::{SimDuration, SimTime};
+
+    let mut cfg = FabricConfig::uniform(
+        64,
+        vec![
+            DeviceSpec::nvidia_shield(),
+            DeviceSpec::dell_optiplex_9010(),
+            DeviceSpec::dell_m4600(),
+        ],
+        64_003,
+    );
+    cfg.duration = SimDuration::from_secs(4);
+    for t in &mut cfg.tenants {
+        t.fps = 10.0;
+    }
+    // Node 0 (the Shield) is the pool's fastest and therefore busiest.
+    cfg.drain_node(SimTime::from_secs(2), 0);
+    let label = "fabric drain, 64 sessions";
+
+    let report = SessionManager::run(&cfg).unwrap();
+    let replay = SessionManager::run(&cfg).unwrap();
+    assert_eq!(report.slo_json(), replay.slo_json(), "{label}");
+
+    assert_eq!(report.admitted, 64, "{label}");
+    assert!(
+        !report.migrations.is_empty(),
+        "{label}: the drained node must hand off its homed sessions"
+    );
+    for m in &report.migrations {
+        assert_eq!(m.from, 0, "{label}");
+        assert_ne!(m.to, 0, "{label}: nothing may land back on the drain");
+        assert!(m.completed.is_some() && !m.aborted, "{label}: {m:?}");
+        assert_eq!(m.reason, "operator_drain", "{label}");
+    }
+    // Max-min fair assignment spreads the wave over both survivors.
+    for dest in [1usize, 2] {
+        assert!(
+            report.migrations.iter().any(|m| m.to == dest),
+            "{label}: survivor {dest} must absorb part of the wave"
+        );
+    }
+    assert_eq!(
+        report.migration_blackout_ms, 0.0,
+        "{label}: cutover must not black out presentation"
+    );
+    assert!(report.migrate_bytes > 0, "{label}: snapshots ship bytes");
+    for t in &report.tenants {
+        assert_eq!(
+            t.frames_presented, t.frames_issued,
+            "{label}: t{}",
+            t.tenant
+        );
+        assert!(t.gapless, "{label}: t{}", t.tenant);
+    }
+    let migrated: Vec<u32> = report.migrations.iter().map(|m| m.tenant).collect();
+    for t in report
+        .tenants
+        .iter()
+        .filter(|t| migrated.contains(&t.tenant))
+    {
+        assert!(
+            t.slo_met,
+            "{label}: migrated t{} must stay at SLO",
+            t.tenant
+        );
+    }
+    // A planned drain opens no incidents and folds nothing.
+    assert!(report.incidents.is_empty(), "{label}");
+    assert_eq!(report.incidents_folded, 0, "{label}");
+    // Migration bytes ride the uplink: per-tenant sums still reconcile.
+    let up: u64 = report.tenants.iter().map(|t| t.uplink_bytes).sum();
+    assert_eq!(up, report.pool_uplink_bytes, "{label}");
+}
+
+/// Migrate under loss: the same drain on a lossy link. Transfers eat
+/// retransmission bursts but still cut over, presentation stays
+/// gapless, and the lossy run replays byte-for-byte.
+#[test]
+fn migration_under_loss_still_cuts_over_gapless_and_reproducibly() {
+    use gbooster::core::fabric::SessionManager;
+    use gbooster::sim::time::SimTime;
+
+    let mut cfg = migration_fabric(64_004);
+    cfg.loss_scale = 1.0;
+    cfg.drain_node(SimTime::from_secs(2), 0);
+    let label = "fabric drain under loss";
+
+    let report = SessionManager::run(&cfg).unwrap();
+    let replay = SessionManager::run(&cfg).unwrap();
+    assert_eq!(report.slo_json(), replay.slo_json(), "{label}");
+
+    assert!(!report.migrations.is_empty(), "{label}");
+    for m in &report.migrations {
+        assert!(m.completed.is_some() && !m.aborted, "{label}: {m:?}");
+    }
+    assert_eq!(report.migration_blackout_ms, 0.0, "{label}");
+    for t in &report.tenants {
+        assert_eq!(
+            t.frames_presented, t.frames_issued,
+            "{label}: t{}",
+            t.tenant
+        );
+        assert!(t.gapless, "{label}: t{}", t.tenant);
+    }
+}
+
+/// Migrate during fallback recovery: the pool dies entirely (all
+/// sessions flip local), revives, then one node is drained. Sessions
+/// re-home onto the revived pool and the drain migrates all of them to
+/// the other node without a gap.
+#[test]
+fn drain_after_total_loss_recovery_migrates_the_rehomed_sessions() {
+    use gbooster::core::fabric::{PoolEvent, SessionManager};
+    use gbooster::sim::time::SimTime;
+
+    let mut cfg = migration_fabric(64_005);
+    cfg.events.push(PoolEvent::Kill {
+        at: SimTime::from_secs(1),
+        node: 0,
+    });
+    cfg.events.push(PoolEvent::Kill {
+        at: SimTime::from_secs(1),
+        node: 1,
+    });
+    cfg.events.push(PoolEvent::Revive {
+        at: SimTime::from_secs(2),
+        node: 0,
+    });
+    cfg.events.push(PoolEvent::Revive {
+        at: SimTime::from_secs(2),
+        node: 1,
+    });
+    cfg.drain_node(SimTime::from_secs(3), 0);
+    let label = "drain after pool recovery";
+
+    let report = SessionManager::run(&cfg).unwrap();
+    let replay = SessionManager::run(&cfg).unwrap();
+    assert_eq!(report.slo_json(), replay.slo_json(), "{label}");
+
+    // Every session re-homed onto node 0 at its revival, so the drain
+    // must move all 64 to node 1.
+    assert_eq!(report.migrations.len(), 64, "{label}");
+    for m in &report.migrations {
+        assert_eq!((m.from, m.to), (0, 1), "{label}");
+        assert!(m.completed.is_some() && !m.aborted, "{label}: {m:?}");
+    }
+    assert_eq!(report.migration_blackout_ms, 0.0, "{label}");
+    for t in &report.tenants {
+        assert_eq!(
+            t.frames_presented, t.frames_issued,
+            "{label}: t{}",
+            t.tenant
+        );
+        assert!(t.gapless, "{label}: t{}", t.tenant);
+        // The two kills opened exactly two incidents; the planned
+        // drain added none.
+        assert_eq!(t.incidents, 2, "{label}: t{}", t.tenant);
+    }
+}
+
+/// Kill the destination mid-migration with a third node standing by:
+/// in-flight transfers retarget to the remaining survivor, re-ship the
+/// snapshot, and still cut over gapless.
+#[test]
+fn killing_the_destination_mid_migration_retargets_to_a_survivor() {
+    use gbooster::core::fabric::{FabricConfig, PoolEvent, SessionManager};
+    use gbooster::sim::time::{SimDuration, SimTime};
+
+    let mut cfg = FabricConfig::uniform(
+        48,
+        vec![
+            DeviceSpec::nvidia_shield(),
+            DeviceSpec::dell_optiplex_9010(),
+            DeviceSpec::dell_m4600(),
+        ],
+        64_006,
+    );
+    cfg.duration = SimDuration::from_secs(4);
+    for t in &mut cfg.tenants {
+        t.fps = 10.0;
+    }
+    cfg.drain_node(SimTime::from_secs(2), 0);
+    // Same instant as the drain, but a later event index: the drain
+    // processes first, so the kill lands while every transfer headed
+    // to node 1 is still in flight.
+    cfg.events.push(PoolEvent::Kill {
+        at: SimTime::from_secs(2),
+        node: 1,
+    });
+    let label = "destination killed mid-migration";
+
+    let report = SessionManager::run(&cfg).unwrap();
+    let replay = SessionManager::run(&cfg).unwrap();
+    assert_eq!(report.slo_json(), replay.slo_json(), "{label}");
+
+    assert!(
+        report.migrate_retargets > 0,
+        "{label}: transfers toward node 1 must retarget"
+    );
+    assert_eq!(report.migrate_aborted, 0, "{label}: node 2 absorbs them");
+    for m in &report.migrations {
+        assert!(m.completed.is_some() && !m.aborted, "{label}: {m:?}");
+        assert_ne!(m.to, 1, "{label}: nothing may land on the dead node");
+    }
+    assert_eq!(report.migration_blackout_ms, 0.0, "{label}");
+    for t in &report.tenants {
+        assert_eq!(
+            t.frames_presented, t.frames_issued,
+            "{label}: t{}",
+            t.tenant
+        );
+        assert!(t.gapless, "{label}: t{}", t.tenant);
+    }
+}
+
+/// Kill the only destination mid-migration: with no survivor left the
+/// migration stalls — sessions stay homed on the source, the aborted
+/// counter ticks, and the flight recorder emits a `MigrationStalled`
+/// postmortem. Presentation still never gaps: the source keeps serving.
+#[test]
+fn killing_the_only_destination_stalls_the_migration_with_a_postmortem() {
+    use gbooster::core::fabric::{PoolEvent, SessionManager};
+    use gbooster::sim::time::SimTime;
+
+    let mut cfg = migration_fabric(64_007);
+    cfg.drain_node(SimTime::from_secs(2), 0);
+    // Same instant, later event index: the kill fires while all 64
+    // transfers to the pool's only other node are in flight.
+    cfg.events.push(PoolEvent::Kill {
+        at: SimTime::from_secs(2),
+        node: 1,
+    });
+    let label = "destination killed, no survivor";
+
+    let report = SessionManager::run(&cfg).unwrap();
+    let replay = SessionManager::run(&cfg).unwrap();
+    assert_eq!(report.slo_json(), replay.slo_json(), "{label}");
+
+    assert!(report.migrate_aborted > 0, "{label}: migrations must stall");
+    assert!(
+        report.migrations.iter().all(|m| m.completed.is_none()),
+        "{label}: no cutover may fire after the destination died"
+    );
+    assert_eq!(
+        report.flight.len(),
+        1,
+        "{label}: the stall emits one postmortem"
+    );
+    assert_eq!(report.flight[0].fault, Fault::MigrationStalled, "{label}");
+    for t in &report.tenants {
+        assert_eq!(
+            t.frames_presented, t.frames_issued,
+            "{label}: t{}",
+            t.tenant
+        );
+        assert!(t.gapless, "{label}: t{}", t.tenant);
+    }
+}
+
+/// Satellite audit, exactly-one-incident: a thermal brownout opens one
+/// `node_degraded` incident per admitted tenant; the rebalancer's
+/// subsequent drain-and-migrate folds into that incident instead of
+/// opening one per migrated tenant.
+#[test]
+fn rebalancer_drain_folds_into_the_open_degradation_incident() {
+    use gbooster::core::fabric::{PoolEvent, SessionManager};
+    use gbooster::core::rebalance::RebalancePolicy;
+    use gbooster::sim::time::SimTime;
+
+    let mut cfg = migration_fabric(64_008);
+    // A 20x brownout pins the Shield near 77 % duty at this workload;
+    // set the thermal gate below that so the policy loop fires.
+    cfg.rebalance = Some(RebalancePolicy {
+        thermal_enter: 0.70,
+        thermal_exit: 0.50,
+        ..RebalancePolicy::default()
+    });
+    cfg.events.push(PoolEvent::Degrade {
+        at: SimTime::from_secs(1),
+        node: 0,
+        factor: 0.05,
+    });
+    let label = "degrade then rebalance";
+
+    let report = SessionManager::run(&cfg).unwrap();
+    let replay = SessionManager::run(&cfg).unwrap();
+    assert_eq!(report.slo_json(), replay.slo_json(), "{label}");
+
+    // The brownout pins node 0's duty cycle; the policy loop must
+    // notice and drain it.
+    assert!(
+        !report.migrations.is_empty(),
+        "{label}: the rebalancer must drain the throttling node"
+    );
+    for m in &report.migrations {
+        assert_eq!(m.from, 0, "{label}");
+        assert_eq!(m.reason, "rebalance", "{label}");
+        assert!(m.completed.is_some() && !m.aborted, "{label}: {m:?}");
+    }
+    // Exactly one incident per admitted tenant — the degradation. The
+    // migration wave folded into it.
+    assert_eq!(report.incidents.len(), 64, "{label}");
+    assert!(
+        report.incidents.iter().all(|i| i.kind == "node_degraded"),
+        "{label}"
+    );
+    for t in &report.tenants {
+        assert_eq!(t.incidents, 1, "{label}: t{}", t.tenant);
+        assert_eq!(
+            t.frames_presented, t.frames_issued,
+            "{label}: t{}",
+            t.tenant
+        );
+        assert!(t.gapless, "{label}: t{}", t.tenant);
+    }
+    assert_eq!(
+        report.incidents_folded,
+        report.migrations.len() as u64,
+        "{label}: every rebalance migration folds into the open incident"
+    );
+    assert_eq!(report.migration_blackout_ms, 0.0, "{label}");
+}
