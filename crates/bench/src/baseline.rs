@@ -257,6 +257,19 @@ pub const TRAFFIC_METRICS: &[MetricDef] = &[
         gated: true,
         latency: false,
     },
+    MetricDef {
+        // Wall-clock overhead of tail-sampled tracing over a
+        // tracing-off fabric run, stored as the excess over the 5%
+        // allowance (docs/OBSERVABILITY.md). The committed zero
+        // baseline makes the gate absolute — the row only moves, and
+        // the gate only trips, when tracing costs more than 5%;
+        // ordinary host noise lands inside the allowance and stays 0.
+        name: names::tracing::SAMPLING_OVERHEAD_PCT,
+        direction: Direction::LowerIsBetter,
+        tolerance: 0.05,
+        gated: true,
+        latency: false,
+    },
 ];
 
 /// The metric definitions for a named bench.
@@ -469,6 +482,10 @@ fn collect_traffic(
     // The migration rung: drain the busiest node mid-run and measure
     // the presentation blackout across cutover (must stay zero).
     let drain = crate::run_fabric_drain_rung(seed);
+    // The tracing-overhead rung: the drain scenario observe-on vs
+    // observe-off, interleaved min-of-reps wall clock; only the excess
+    // over the 5% allowance is recorded, so the row gates absolutely.
+    let trace_overhead_excess = (crate::run_trace_overhead_rung(seed) - 5.0).max(0.0);
 
     let mut metrics = vec![
         ("lz4_ratio", lz4_ratio),
@@ -485,6 +502,7 @@ fn collect_traffic(
             names::fabric::MIGRATION_BLACKOUT_MS,
             drain.migration_blackout_ms,
         ),
+        (names::tracing::SAMPLING_OVERHEAD_PCT, trace_overhead_excess),
     ];
     metrics.extend(host_metrics(&off));
     let worst = total_latency_exemplar(&off);

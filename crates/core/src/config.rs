@@ -135,6 +135,11 @@ pub struct OpsConfig {
     /// Minimum incident open time before quiescence closes it, in
     /// milliseconds.
     pub incident_min_open_ms: u64,
+    /// Recording rules: persist each objective's burn-rate evaluation
+    /// into an embedded [`gbooster_telemetry::Tsdb`] so postmortem
+    /// queries reproduce the alerting inputs exactly. Off by default —
+    /// the extra per-evaluation storage is opt-in.
+    pub record_rules: bool,
 }
 
 impl Default for OpsConfig {
@@ -192,6 +197,7 @@ impl Default for OpsConfig {
             anomaly_z: 5.0,
             incident_lookback_ms: 500,
             incident_min_open_ms: 500,
+            record_rules: false,
         }
     }
 }

@@ -37,9 +37,13 @@ use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use gbooster_sim::device::DeviceSpec;
 use gbooster_sim::rng::derived;
 use gbooster_sim::time::{SimDuration, SimTime};
-use gbooster_telemetry::export::{prometheus_text, prometheus_text_with_labels};
+use gbooster_telemetry::export::prometheus_text_with_labels_dedup;
 use gbooster_telemetry::flight::{Fault, FlightDump, FlightRecorder};
-use gbooster_telemetry::{names, Registry, TelemetrySnapshot};
+use gbooster_telemetry::query::QueryError;
+use gbooster_telemetry::sample::{self, FrameVerdict, TailSampler};
+use gbooster_telemetry::trace::{FrameTrace, SpanNode};
+use gbooster_telemetry::tsdb::Tsdb;
+use gbooster_telemetry::{names, ClockOffsetEstimator, Registry, TelemetrySnapshot};
 use gbooster_workload::games::GameTitle;
 use gbooster_workload::tracegen::TraceGenerator;
 use rand::rngs::StdRng;
@@ -115,6 +119,38 @@ impl Default for AdmissionControl {
     }
 }
 
+/// Fabric observability: tail-sampled per-frame tracing plus the
+/// embedded ring-buffer TSDB (docs/OBSERVABILITY.md). `None` on
+/// [`FabricConfig::observe`] — the default — runs with no observer at
+/// all: no extra events, no extra registry entries, no extra RNG
+/// draws, so un-observed runs stay byte-identical to builds that
+/// predate the observer.
+#[derive(Clone, Copy, Debug)]
+pub struct ObserveConfig {
+    /// Deterministic baseline sample: keep 1 frame in N regardless of
+    /// the tail verdict (0 disables head sampling).
+    pub head_interval: u64,
+    /// Per-tenant byte budget over serialized kept traces
+    /// (oldest-kept eviction, worst-latency trace pinned).
+    pub tenant_budget_bytes: u64,
+    /// Period of the TSDB scrape event that snapshots the pool and
+    /// every admitted tenant registry.
+    pub scrape_interval: SimDuration,
+    /// Ring capacity per TSDB series.
+    pub tsdb_slots: usize,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            head_interval: sample::DEFAULT_HEAD_INTERVAL,
+            tenant_budget_bytes: sample::DEFAULT_TENANT_BUDGET_BYTES,
+            scrape_interval: SimDuration::from_millis(250),
+            tsdb_slots: 64,
+        }
+    }
+}
+
 /// A scheduled pool fault, sim-time keyed (the fabric has no single
 /// frame counter to key on — hundreds of sessions each have their own).
 #[derive(Clone, Copy, Debug)]
@@ -182,6 +218,10 @@ pub struct FabricConfig {
     /// thermal watch entirely — clean runs are byte-identical to a
     /// build without the rebalancer.
     pub rebalance: Option<RebalancePolicy>,
+    /// Observability: tail-sampled tracing + embedded TSDB. `None`
+    /// (the default) runs with no observer and is byte-identical to a
+    /// build without one.
+    pub observe: Option<ObserveConfig>,
 }
 
 impl FabricConfig {
@@ -212,7 +252,13 @@ impl FabricConfig {
             resolution: (320, 180),
             events: Vec::new(),
             rebalance: None,
+            observe: None,
         }
+    }
+
+    /// Switches the fabric observer on with default knobs.
+    pub fn observe_default(&mut self) {
+        self.observe = Some(ObserveConfig::default());
     }
 
     /// Schedules an operator drain of `node` at `at`: the entry point
@@ -281,6 +327,17 @@ impl FabricConfig {
         if let Some(p) = &self.rebalance {
             if !p.valid() {
                 return fail("rebalance policy knobs out of range".into());
+            }
+        }
+        if let Some(o) = &self.observe {
+            if o.scrape_interval.is_zero() {
+                return fail("observe.scrape_interval must be positive".into());
+            }
+            if o.tsdb_slots == 0 {
+                return fail("observe.tsdb_slots must be positive".into());
+            }
+            if o.tenant_budget_bytes == 0 {
+                return fail("observe.tenant_budget_bytes must be positive".into());
             }
         }
         Ok(())
@@ -439,6 +496,16 @@ pub struct FabricReport {
     /// Per-tenant registry snapshots (admitted tenants only),
     /// exported with `tenant="…"` labels by [`Self::prometheus`].
     pub tenant_telemetry: Vec<(u32, TelemetrySnapshot)>,
+    /// The tail sampler with the retained trace set (observe runs
+    /// only). Exemplar trace ids on the latency histograms resolve
+    /// into it.
+    pub sampler: Option<TailSampler>,
+    /// The embedded TSDB with the run's metric history (observe runs
+    /// only). Query it via [`Self::query`].
+    pub tsdb: Option<Tsdb>,
+    /// Recovered per-node clock offsets, milliseconds, node order
+    /// (observe runs only; empty otherwise).
+    pub clock_offsets_ms: Vec<f64>,
 }
 
 impl FabricReport {
@@ -513,13 +580,114 @@ impl FabricReport {
 
     /// Prometheus exposition of the pool registry followed by every
     /// admitted tenant's registry labelled `tenant="t…"` — the
-    /// multi-session form of the single-session exporter.
+    /// multi-session form of the single-session exporter. `# HELP` /
+    /// `# TYPE` metadata is emitted once per metric name, not once per
+    /// tenant block (256 tenants would otherwise repeat every header
+    /// 256 times). Observe runs append the per-node recovered clock
+    /// offsets as `trace.clock_offset_ms{node="nNN"}` samples.
     pub fn prometheus(&self) -> String {
-        let mut out = prometheus_text(&self.telemetry);
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = prometheus_text_with_labels_dedup(&self.telemetry, &[], &mut seen);
         for (tenant, snap) in &self.tenant_telemetry {
             let label = format!("t{tenant:03}");
-            out.push_str(&prometheus_text_with_labels(snap, &[("tenant", &label)]));
+            out.push_str(&prometheus_text_with_labels_dedup(
+                snap,
+                &[("tenant", &label)],
+                &mut seen,
+            ));
         }
+        for (j, ms) in self.clock_offsets_ms.iter().enumerate() {
+            out.push_str(&format!(
+                "gbooster_trace_clock_offset_ms{{node=\"n{j:02}\"}} {ms}\n"
+            ));
+        }
+        out
+    }
+
+    /// Runs a PromQL-lite query (see [`gbooster_telemetry::query`])
+    /// against the embedded TSDB at sim time `at`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueryError::Parse`] on a malformed expression or when the run
+    /// had no observer; [`QueryError::Kind`] when a function is applied
+    /// to the wrong series kind.
+    pub fn query(&self, expr: &str, at: SimTime) -> Result<Vec<(String, f64)>, QueryError> {
+        let Some(db) = &self.tsdb else {
+            return Err(QueryError::Parse(
+                "fabric ran without an observer (FabricConfig::observe is None)".into(),
+            ));
+        };
+        gbooster_telemetry::query::eval(db, expr, at)
+    }
+
+    /// The run's operational timeline as deterministic JSON: incidents
+    /// and migrations in time order, followed by the tail-sampling
+    /// tally — the skeleton an incident postmortem embeds next to
+    /// TSDB queries and retained traces.
+    pub fn timeline_json(&self) -> String {
+        // (t_us, rank, payload): rank makes same-instant ordering
+        // explicit — incidents before migration starts before cutovers.
+        let mut events: Vec<(u64, u8, String)> = Vec::new();
+        for inc in &self.incidents {
+            events.push((
+                inc.at.as_micros(),
+                0,
+                format!(
+                    "{{\"t_us\":{},\"kind\":\"incident\",\"tenant\":{},\"what\":\"{}\"}}",
+                    inc.at.as_micros(),
+                    inc.tenant,
+                    inc.kind
+                ),
+            ));
+        }
+        for m in &self.migrations {
+            events.push((
+                m.started.as_micros(),
+                1,
+                format!(
+                    "{{\"t_us\":{},\"kind\":\"migration_start\",\"tenant\":{},\"from\":{},\
+                     \"to\":{},\"reason\":\"{}\"}}",
+                    m.started.as_micros(),
+                    m.tenant,
+                    m.from,
+                    m.to,
+                    m.reason
+                ),
+            ));
+            if let Some(done) = m.completed {
+                events.push((
+                    done.as_micros(),
+                    2,
+                    format!(
+                        "{{\"t_us\":{},\"kind\":\"migration_cutover\",\"tenant\":{},\"to\":{}}}",
+                        done.as_micros(),
+                        m.tenant,
+                        m.to
+                    ),
+                ));
+            }
+        }
+        events.sort();
+        let mut out = String::from("{\"events\":[");
+        for (i, (_, _, e)) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(e);
+        }
+        out.push_str("],\"traces\":");
+        match &self.sampler {
+            Some(s) => out.push_str(&format!(
+                "{{\"kept\":{},\"dropped\":{},\"budget_evictions\":{},\"retained\":{}}}",
+                s.kept(),
+                s.dropped(),
+                s.evictions(),
+                s.retained_count()
+            )),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 }
@@ -650,16 +818,87 @@ struct Mig {
     reason: &'static str,
 }
 
+/// Dispatch waypoints of one in-flight frame, recorded as the event
+/// loop moves it and folded into a span tree at retirement.
+#[derive(Clone, Copy, Debug)]
+struct PendingFrame {
+    arrived: SimTime,
+    start: Option<SimTime>,
+    finish: Option<SimTime>,
+    encode: SimDuration,
+    down_end: Option<SimTime>,
+    /// Rendered on the phone GPU (fallback / pool loss) — the span
+    /// tree is a single local_render stage.
+    local: bool,
+}
+
+/// Live observer state threaded through the event loop. Exists only
+/// when [`FabricConfig::observe`] is set; un-observed runs never touch
+/// it and stay byte-identical to builds without it.
+struct FabricObserver {
+    knobs: ObserveConfig,
+    sampler: TailSampler,
+    pending: BTreeMap<(u32, u64), PendingFrame>,
+    tsdb: Tsdb,
+    clocks: Vec<ClockOffsetEstimator>,
+    /// Ground-truth per-node service-clock skew, µs (the quantity the
+    /// estimators must recover from booking timestamps).
+    skew_us: Vec<i64>,
+    /// Precomputed `tNNN` scrape labels, one per tenant — the scrape
+    /// loop runs every interval for every tenant and must not format.
+    tenant_labels: Vec<String>,
+}
+
+/// Builds the span tree for a retiring frame from its recorded
+/// waypoints: uplink → dispatch_wait → remote{replay, encode} →
+/// downlink → display_wait, or a single local_render stage for
+/// phone-rendered frames. Frames with no waypoints (issued before
+/// the observer saw them) get the minimal deterministic tree. A free
+/// function taking the waypoints by value so the tail sampler can run
+/// it lazily — only frames the verdict keeps pay for tree
+/// construction and serialization.
+fn build_frame(
+    waypoints: Option<PendingFrame>,
+    seq: u64,
+    issued: SimTime,
+    shown: SimTime,
+) -> FrameTrace {
+    let mut root = SpanNode::new(names::stage::FRAME, issued, shown);
+    match waypoints {
+        Some(p) if !p.local => {
+            root.stage(names::stage::UPLINK, issued, p.arrived);
+            if let (Some(start), Some(finish)) = (p.start, p.finish) {
+                root.stage(names::stage::DISPATCH_WAIT, p.arrived, start);
+                let mut remote = SpanNode::new(names::remote::SUBTREE, start, finish);
+                let enc_start = finish - p.encode;
+                remote.stage(names::remote::REPLAY, start, enc_start);
+                remote.stage(names::remote::ENCODE, enc_start, finish);
+                root.push(remote);
+                if let Some(down_end) = p.down_end {
+                    root.stage(names::stage::DOWNLINK, finish, down_end);
+                    root.stage(names::stage::DISPLAY_WAIT, down_end, shown);
+                }
+            }
+        }
+        _ => {
+            root.stage(names::stage::LOCAL_RENDER, issued, shown);
+        }
+    }
+    FrameTrace { seq, root }
+}
+
 /// Event kinds, in tie-break priority order at equal instants. The
 /// relative order of the kinds present in migration-free runs (fault,
 /// node-free, arrive, issue) is unchanged from before live migration
-/// existed, so clean runs stay byte-identical.
+/// existed, so clean runs stay byte-identical. The scrape event sorts
+/// after everything else and exists only in observed runs.
 const EV_FAULT: u8 = 0;
 const EV_MIGRATE: u8 = 1;
 const EV_NODE_FREE: u8 = 2;
 const EV_ARRIVE: u8 = 3;
 const EV_ISSUE: u8 = 4;
 const EV_REBALANCE: u8 = 5;
+const EV_SCRAPE: u8 = 6;
 
 /// The session manager: runs a [`FabricConfig`] to completion.
 pub struct SessionManager;
@@ -883,6 +1122,30 @@ impl SessionManager {
         let mut pending_off: Vec<usize> = vec![0; nodes_n];
         let mut flight = FlightRecorder::new(8);
         let mut rebal: Option<Rebalancer> = cfg.rebalance.map(|p| Rebalancer::new(nodes_n, p));
+        // Tail-sampling observer. Everything below is gated on the
+        // option so un-observed runs draw no extra RNG and register no
+        // extra metrics.
+        let mut cutover_at: Vec<Option<SimTime>> = vec![None; tenants.len()];
+        let mut obs: Option<FabricObserver> = cfg.observe.map(|knobs| FabricObserver {
+            knobs,
+            sampler: TailSampler::new(knobs.head_interval, knobs.tenant_budget_bytes),
+            pending: BTreeMap::new(),
+            tsdb: Tsdb::new(knobs.tsdb_slots),
+            clocks: (0..nodes_n).map(|_| ClockOffsetEstimator::new()).collect(),
+            skew_us: (0..nodes_n)
+                .map(|j| {
+                    derived(cfg.seed, &format!("fabric-node-skew-{j}"))
+                        .gen_range(-150_000i64..=150_000)
+                })
+                .collect(),
+            tenant_labels: (0..cfg.tenants.len()).map(|i| format!("t{i:03}")).collect(),
+        });
+        if let Some(o) = obs.as_ref() {
+            let first = o.knobs.scrape_interval.as_micros();
+            if first <= duration_us {
+                heap.push(Reverse((first, EV_SCRAPE, 0, 0)));
+            }
+        }
 
         // Charges `secs` of node time to `tenant`, split across the 1 s
         // audit windows the booking overlaps.
@@ -906,14 +1169,66 @@ impl SessionManager {
             ($st:expr, $tenant:expr, $seq:expr, $issued:expr, $present_at:expr, $local:expr) => {{
                 let st: &mut TenantState = $st;
                 st.reorder.insert($seq, ($present_at, $issued));
-                for (ready_at, issued) in st.reorder.pop_ready() {
+                let base_seq = st.reorder.awaiting();
+                for (k, (ready_at, issued)) in st.reorder.pop_ready().into_iter().enumerate() {
                     let shown = ready_at.max(st.last_present);
                     st.last_present = shown;
                     let lat = shown - issued;
-                    h_latency.record(lat.as_micros());
-                    st.registry
-                        .histogram(names::fabric::FRAME_LATENCY)
-                        .record(lat.as_micros());
+                    // Tail verdict at retirement: the frame's fate is
+                    // known, so keep exactly the traces an operator
+                    // would open and tag the latency samples of kept
+                    // frames with their trace id (exemplars).
+                    let mut tag: Option<u64> = None;
+                    if let Some(o) = obs.as_mut() {
+                        let seq = base_seq + k as u64;
+                        let tid = sample::trace_id(session_of($tenant), seq);
+                        // Waypoint cleanup is unconditional, but the
+                        // span tree is built inside the closure — only
+                        // if the verdict keeps the frame.
+                        let waypoints = o.pending.remove(&($tenant as u32, seq));
+                        let verdict = FrameVerdict {
+                            slo_violation: lat.as_micros() as f64 / 1e3 > st.spec.slo_ms,
+                            in_incident: open_incident.iter().any(|i| i.is_some()),
+                            migration: active_mig[$tenant].is_some()
+                                || cutover_at[$tenant].is_some_and(|c| c >= issued && c <= shown),
+                        };
+                        if o.sampler
+                            .offer_with(
+                                $tenant as u32,
+                                seq,
+                                tid,
+                                lat.as_micros(),
+                                verdict,
+                                |out, reason| {
+                                    let frame = build_frame(waypoints, seq, issued, shown);
+                                    sample::serialize_into(
+                                        out,
+                                        $tenant as u32,
+                                        tid,
+                                        reason,
+                                        &frame,
+                                    );
+                                },
+                            )
+                            .is_some()
+                        {
+                            tag = Some(tid);
+                        }
+                    }
+                    match tag {
+                        Some(tid) => {
+                            h_latency.record_tagged(lat.as_micros(), tid);
+                            st.registry
+                                .histogram(names::fabric::FRAME_LATENCY)
+                                .record_tagged(lat.as_micros(), tid);
+                        }
+                        None => {
+                            h_latency.record(lat.as_micros());
+                            st.registry
+                                .histogram(names::fabric::FRAME_LATENCY)
+                                .record(lat.as_micros());
+                        }
+                    }
                     st.frames_presented += 1;
                     if $local {
                         st.frames_local += 1;
@@ -942,6 +1257,21 @@ impl SessionManager {
                 let job: FrameJob = $job;
                 let secs = job.fill as f64 / phone_rate;
                 let present_at = $now + SimDuration::from_secs_f64(secs) + COMPOSITOR;
+                if let Some(o) = obs.as_mut() {
+                    // Phone-rendered: the span tree collapses to one
+                    // local_render stage whatever came before.
+                    o.pending
+                        .entry(($tenant as u32, job.seq))
+                        .or_insert(PendingFrame {
+                            arrived: job.arrived,
+                            start: None,
+                            finish: None,
+                            encode: job.encode,
+                            down_end: None,
+                            local: true,
+                        })
+                        .local = true;
+                }
                 present!($st, $tenant, job.seq, job.issued, present_at, true);
             }};
         }
@@ -991,6 +1321,15 @@ impl SessionManager {
                     charge(&mut windows, t, dec.start, dec.finish);
                     if let Some(rb) = rebal.as_mut() {
                         rb.record(node, dec.start, dec.finish);
+                    }
+                    if let Some(o) = obs.as_mut() {
+                        // Waypoints for the span tree; a redispatch
+                        // overwrites with the booking that actually
+                        // completes.
+                        if let Some(e) = o.pending.get_mut(&(t as u32, job.seq)) {
+                            e.start = Some(dec.start);
+                            e.finish = Some(dec.finish);
+                        }
                     }
                     on_node[node] = Some((t as u32, job, dec.start));
                     heap.push(Reverse((
@@ -1114,8 +1453,12 @@ impl SessionManager {
             }};
         }
 
+        // Run horizon actually reached: the final TSDB scrape lands
+        // here so end-of-run instant queries see the closing state.
+        let mut end_us = duration_us;
         while let Some(Reverse((t_us, kind, a, b))) = heap.pop() {
             let now = SimTime::from_micros(t_us);
+            end_us = end_us.max(t_us);
             match kind {
                 EV_FAULT => {
                     match cfg.events[a as usize] {
@@ -1352,6 +1695,7 @@ impl SessionManager {
                     );
                     home[t] = Some(dst);
                     active_mig[t] = None;
+                    cutover_at[t] = Some(now);
                     tenants[t].migrations += 1;
                     c_mig_sessions.inc();
                     tenants[t].registry.counter(names::migrate::SESSIONS).inc();
@@ -1423,7 +1767,7 @@ impl SessionManager {
                     if b != epochs[node] {
                         continue;
                     }
-                    if let Some((t, job, _start)) = on_node[node].take() {
+                    if let Some((t, job, start)) = on_node[node].take() {
                         let t = t as usize;
                         dispatcher.complete_for(node, session_of(t), job.seq);
                         let down_secs = fabric_link_secs(job.down_bytes, cfg.loss_scale);
@@ -1433,6 +1777,22 @@ impl SessionManager {
                             .registry
                             .counter(names::fabric::DOWNLINK_BYTES)
                             .add(job.down_bytes);
+                        if let Some(o) = obs.as_mut() {
+                            if let Some(e) = o.pending.get_mut(&(t as u32, job.seq)) {
+                                e.down_end = Some(now + SimDuration::from_secs_f64(down_secs));
+                            }
+                            // NTP-style clock recovery from this
+                            // booking's timestamp quadruple: the node
+                            // stamps arrival/reply on its own skewed
+                            // clock, the fabric stamps send/receive.
+                            let skew = o.skew_us[node];
+                            let half_rtt = (LAN_RTT.as_micros() / 2) as i64;
+                            let t1 = start.as_micros() as i64 - half_rtt;
+                            let t2 = start.as_micros() as i64 + skew;
+                            let t3 = now.as_micros() as i64 + skew;
+                            let t4 = now.as_micros() as i64 + half_rtt;
+                            o.clocks[node].observe(t1, t2, t3, t4);
+                        }
                         let present_at = now + SimDuration::from_secs_f64(down_secs) + COMPOSITOR;
                         present!(&mut tenants[t], t, job.seq, job.issued, present_at, false);
                     }
@@ -1495,12 +1855,41 @@ impl SessionManager {
                                 down_bytes,
                             },
                         );
+                        if let Some(o) = obs.as_mut() {
+                            o.pending.insert(
+                                (t as u32, seq),
+                                PendingFrame {
+                                    arrived: arrive,
+                                    start: None,
+                                    finish: None,
+                                    encode,
+                                    down_end: None,
+                                    local: false,
+                                },
+                            );
+                        }
                         heap.push(Reverse((arrive.as_micros(), EV_ARRIVE, a, seq)));
                     }
                     let period_us = (1e6 / tenants[t].spec.fps) as u64;
                     let next = t_us + period_us;
                     if next < duration_us {
                         heap.push(Reverse((next, EV_ISSUE, a, seq + 1)));
+                    }
+                }
+                EV_SCRAPE => {
+                    if let Some(o) = obs.as_mut() {
+                        pool_registry.scrape_into(&mut o.tsdb, now, &[]);
+                        for (i, st) in tenants.iter().enumerate() {
+                            if admitted[i] {
+                                let label = &o.tenant_labels[i];
+                                st.registry
+                                    .scrape_into(&mut o.tsdb, now, &[("tenant", label)]);
+                            }
+                        }
+                        let next = t_us + o.knobs.scrape_interval.as_micros();
+                        if next <= duration_us {
+                            heap.push(Reverse((next, EV_SCRAPE, 0, 0)));
+                        }
                     }
                 }
                 _ => unreachable!("unknown event kind"),
@@ -1615,8 +2004,56 @@ impl SessionManager {
             })
             .collect();
 
+        // Observer finalization: publish the sampling counters, the
+        // recovered-clock gauge, and the TSDB self-metrics before the
+        // closing snapshot so they appear in the report's telemetry.
+        let mut clock_offsets_ms: Vec<f64> = Vec::new();
+        if let Some(o) = obs.as_mut() {
+            pool_registry
+                .counter(names::tracing::SAMPLED_KEPT)
+                .add(o.sampler.kept());
+            pool_registry
+                .counter(names::tracing::SAMPLED_DROPPED)
+                .add(o.sampler.dropped());
+            pool_registry
+                .counter(names::tracing::BUDGET_EVICTIONS)
+                .add(o.sampler.evictions());
+            for c in &o.clocks {
+                clock_offsets_ms.push(c.offset_us().map_or(0.0, |us| us as f64 / 1e3));
+            }
+            let worst = clock_offsets_ms.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            pool_registry
+                .gauge(names::tracing::CLOCK_OFFSET_MS)
+                .set(worst);
+            #[allow(clippy::cast_precision_loss)]
+            {
+                pool_registry
+                    .gauge(names::tsdb::SERIES)
+                    .set(o.tsdb.series_count() as f64);
+                pool_registry
+                    .gauge(names::tsdb::SAMPLES)
+                    .set(o.tsdb.ingested() as f64);
+                pool_registry
+                    .gauge(names::tsdb::POINTS_EVICTED)
+                    .set(o.tsdb.evicted() as f64);
+            }
+        }
         // Snapshot again so the SLO gauges set above are included.
         let telemetry = pool_registry.snapshot();
+        // Final scrape at the realized horizon: instant queries at the
+        // run's end answer with the closing report state.
+        let (sampler, tsdb) = match obs {
+            Some(mut o) => {
+                let end = SimTime::from_micros(end_us);
+                o.tsdb.ingest(end, &[], &telemetry);
+                for (tenant, snap) in &tenant_telemetry {
+                    let label = format!("t{tenant:03}");
+                    o.tsdb.ingest(end, &[("tenant", &label)], snap);
+                }
+                (Some(o.sampler), Some(o.tsdb))
+            }
+            None => (None, None),
+        };
         Ok(FabricReport {
             sessions_offered: cfg.tenants.len(),
             admitted: n_admit,
@@ -1650,6 +2087,9 @@ impl SessionManager {
             windows: window_audits,
             telemetry,
             tenant_telemetry,
+            sampler,
+            tsdb,
+            clock_offsets_ms,
         })
     }
 }

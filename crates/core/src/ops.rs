@@ -26,7 +26,7 @@ use gbooster_sim::time::{SimDuration, SimTime};
 use gbooster_telemetry::{
     names, AlertMachine, AlertSummary, AlertTransition, AnomalyDetector, AttributionLog, BurnState,
     Counter, Fault, IncidentConfig, IncidentManager, OpsEventKind, OpsLog, OpsReport, Registry,
-    SloWindowState, WindowedHistogram,
+    SloWindowState, Tsdb, WindowedHistogram,
 };
 
 use crate::config::OpsConfig;
@@ -44,6 +44,10 @@ const ANOMALY_ALPHA: f64 = 0.1;
 
 /// Samples a power anomaly detector observes before it may flag.
 const ANOMALY_WARMUP: u64 = 30;
+
+/// TSDB ring capacity for the opt-in recording rules: one point per
+/// evaluation (per presented frame), so cover several seconds at 60 fps.
+const RULE_SLOTS: usize = 512;
 
 /// Severity of an SLO-burn-triggered incident (the floor of the ranks).
 const SLO_BURN_SEVERITY: u8 = 1;
@@ -103,6 +107,10 @@ pub struct OpsRuntime {
     prev_bt_j: f64,
     last_present: Option<SimTime>,
     anomalies: u64,
+    /// Opt-in recording rules ([`OpsConfig::record_rules`]): every
+    /// burn-rate evaluation is persisted here, so postmortem queries
+    /// return the exact floats the alert machines saw.
+    rules: Option<Tsdb>,
 }
 
 impl OpsRuntime {
@@ -165,7 +173,14 @@ impl OpsRuntime {
             prev_bt_j: 0.0,
             last_present: None,
             anomalies: 0,
+            rules: cfg.record_rules.then(|| Tsdb::new(RULE_SLOTS)),
         })
+    }
+
+    /// The recording-rule TSDB, when [`OpsConfig::record_rules`] was
+    /// set. Query it with [`gbooster_telemetry::query::eval`].
+    pub fn tsdb(&self) -> Option<&Tsdb> {
+        self.rules.as_ref()
     }
 
     /// A handle to the shared event journal, for the other producers
@@ -240,6 +255,11 @@ impl OpsRuntime {
             .iter()
             .map(|o| o.objective.evaluate(now, &o.stream))
             .collect();
+        if let Some(db) = self.rules.as_mut() {
+            for (o, burn) in self.objectives.iter().zip(&burns) {
+                db.record_burn(now, o.objective.name, burn, &[]);
+            }
+        }
         for (o, burn) in self.objectives.iter_mut().zip(&burns) {
             let Some(transition) = o.alert.step(now, burn.breaching) else {
                 continue;
@@ -464,6 +484,46 @@ mod tests {
             faults,
             vec!["fallback_engaged", "node_loss", "node_rejoined"]
         );
+    }
+
+    #[test]
+    fn recording_rules_reproduce_burn_numbers_exactly() {
+        let registry = Registry::new();
+        let cfg = OpsConfig {
+            record_rules: true,
+            ..OpsConfig::default()
+        };
+        let mut ops =
+            OpsRuntime::new(&cfg, &registry, AttributionLog::new()).expect("enabled by default");
+        assert!(ops.tsdb().is_some(), "record_rules builds the TSDB");
+        let mut t = SimTime::ZERO;
+        for i in 0..120u64 {
+            t += SimDuration::from_millis(25);
+            let lat = if i < 60 { 30 } else { 200 };
+            ops.on_present(t, SimDuration::from_millis(lat), 0.0, 0.0);
+            ops.evaluate(t, true);
+        }
+        // Every rule series' newest point must be bit-identical to a
+        // direct re-evaluation of the objective at the same instant —
+        // the rules store the alerting inputs, they don't recompute.
+        let db = ops.tsdb().expect("record_rules on").clone();
+        for o in &ops.objectives {
+            let direct = o.objective.evaluate(t, &o.stream);
+            let name = o.objective.name;
+            for (suffix, want) in [
+                ("fast_burn", direct.fast_burn),
+                ("slow_burn", direct.slow_burn),
+                ("fast_count", direct.fast_count as f64),
+                ("slow_count", direct.slow_count as f64),
+            ] {
+                let expr = format!("{name}.{suffix}");
+                let rows = gbooster_telemetry::query::eval(&db, &expr, t).expect("query parses");
+                assert_eq!(rows, vec![(expr, want)], "objective {name}");
+            }
+        }
+        // Off by default: no TSDB, no storage.
+        let default_ops = runtime();
+        assert!(default_ops.tsdb().is_none());
     }
 
     #[test]

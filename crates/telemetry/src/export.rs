@@ -142,21 +142,60 @@ pub fn prometheus_text_with_labels(
     snap: &TelemetrySnapshot,
     base_labels: &[(&str, &str)],
 ) -> String {
+    write_exposition(snap, base_labels, &mut None)
+}
+
+/// Like [`prometheus_text_with_labels`], but deduplicating the
+/// `# HELP` / `# TYPE` metadata across calls: a metric already present
+/// in `seen` gets sample lines only. Concatenating one exposition per
+/// tenant (the fabric's 256-registry page) then carries each metric's
+/// metadata exactly once — per the exposition format, which forbids
+/// repeated metadata for one metric name — instead of once per tenant.
+/// This variant also emits a `# HELP` line naming the registry metric
+/// the Prometheus name was sanitized from.
+pub fn prometheus_text_with_labels_dedup(
+    snap: &TelemetrySnapshot,
+    base_labels: &[(&str, &str)],
+    seen: &mut std::collections::BTreeSet<String>,
+) -> String {
+    write_exposition(snap, base_labels, &mut Some(seen))
+}
+
+fn write_exposition(
+    snap: &TelemetrySnapshot,
+    base_labels: &[(&str, &str)],
+    seen: &mut Option<&mut std::collections::BTreeSet<String>>,
+) -> String {
+    // With a dedup set, metadata is `# HELP` + `# TYPE` on first
+    // sight and nothing afterwards; without one, it is an
+    // unconditional `# TYPE` (the historical single-registry format).
+    let mut meta = |out: &mut String, metric: &str, raw: &str, kind: &str| match seen {
+        Some(seen) => {
+            if seen.insert(metric.to_string()) {
+                out.push_str(&format!(
+                    "# HELP {metric} registry metric {raw}\n# TYPE {metric} {kind}\n"
+                ));
+            }
+        }
+        None => out.push_str(&format!("# TYPE {metric} {kind}\n")),
+    };
     let base = label_block(base_labels);
     let mut out = String::new();
     for (name, v) in &snap.counters {
         let metric = sanitize(name);
-        out.push_str(&format!("# TYPE {metric} counter\n{metric}{base} {v}\n"));
+        meta(&mut out, &metric, name, "counter");
+        out.push_str(&format!("{metric}{base} {v}\n"));
     }
     for (name, v) in &snap.gauges {
         let metric = sanitize(name);
-        out.push_str(&format!("# TYPE {metric} gauge\n{metric}{base} "));
+        meta(&mut out, &metric, name, "gauge");
+        out.push_str(&format!("{metric}{base} "));
         write_float(*v, &mut out);
         out.push('\n');
     }
     for (name, h) in &snap.histograms {
         let metric = sanitize(name);
-        out.push_str(&format!("# TYPE {metric} summary\n"));
+        meta(&mut out, &metric, name, "summary");
         for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
             let mut labels: Vec<(&str, &str)> = base_labels.to_vec();
             labels.push(("quantile", label));

@@ -73,6 +73,12 @@ pub struct HistogramCore {
     ex_value: AtomicU64,
     ex_tag: AtomicU64,
     ex_has: AtomicU64,
+    /// Lowest / highest bucket index touched so far (`u64::MAX` / `0`
+    /// while empty) — sparse snapshots walk only `[lo, hi]` instead of
+    /// all [`BUCKETS`] slots, which is what keeps per-interval scrapes
+    /// of hundreds of registries cheap.
+    lo_bucket: AtomicU64,
+    hi_bucket: AtomicU64,
 }
 
 impl Default for HistogramCore {
@@ -93,12 +99,17 @@ impl HistogramCore {
             ex_value: AtomicU64::new(0),
             ex_tag: AtomicU64::new(0),
             ex_has: AtomicU64::new(0),
+            lo_bucket: AtomicU64::new(u64::MAX),
+            hi_bucket: AtomicU64::new(0),
         }
     }
 
     /// Records one sample.
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        let idx = bucket_index(v);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.lo_bucket.fetch_min(idx as u64, Ordering::Relaxed);
+        self.hi_bucket.fetch_max(idx as u64, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
@@ -119,6 +130,47 @@ impl HistogramCore {
             self.ex_value.store(v, Ordering::Relaxed);
             self.ex_tag.store(tag, Ordering::Relaxed);
             self.ex_has.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a point-in-time copy in sparse form — the scrape-loop
+    /// variant of [`HistogramCore::snapshot`]. The dense snapshot
+    /// clones all [`BUCKETS`] slots (~8 KB) even though a latency
+    /// stream touches a few dozen of them; this collects only the
+    /// non-empty buckets, so scraping every histogram of every
+    /// registry each interval stays cheap.
+    pub fn snapshot_sparse(&self) -> SparseHistogram {
+        let mut entries = Vec::new();
+        let lo = self.lo_bucket.load(Ordering::Relaxed);
+        if lo != u64::MAX {
+            let hi = (self.hi_bucket.load(Ordering::Relaxed) as usize).min(BUCKETS - 1);
+            for (i, b) in self
+                .buckets
+                .iter()
+                .enumerate()
+                .take(hi + 1)
+                .skip(lo as usize)
+            {
+                let c = b.load(Ordering::Relaxed);
+                if c > 0 {
+                    entries.push((u32::try_from(i).expect("bucket index fits u32"), c));
+                }
+            }
+        }
+        SparseHistogram {
+            entries,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            exemplar: if self.ex_has.load(Ordering::Relaxed) != 0 {
+                Some(Exemplar {
+                    value: self.ex_value.load(Ordering::Relaxed),
+                    tag: self.ex_tag.load(Ordering::Relaxed),
+                })
+            } else {
+                None
+            },
         }
     }
 
@@ -327,6 +379,128 @@ impl HistogramSnapshot {
             (a, b) => a.or(b),
         };
     }
+
+    /// The sparse form of this snapshot (see [`SparseHistogram`]).
+    #[must_use]
+    pub fn to_sparse(&self) -> SparseHistogram {
+        SparseHistogram {
+            entries: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, &c)| (u32::try_from(i).expect("bucket index fits u32"), c))
+                .collect(),
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            min: self.min,
+            exemplar: self.exemplar,
+        }
+    }
+
+    /// The distribution of the samples recorded between `earlier` and
+    /// `self`, where both are cumulative snapshots of the *same*
+    /// histogram: bucket-wise subtraction, the inverse of
+    /// [`HistogramSnapshot::merge`]. Because bucketing is a pure
+    /// function of the value, `earlier.merge(&delta)` reproduces `self`
+    /// bucket-for-bucket.
+    ///
+    /// The exact `min`/`max` of just the delta interval are not
+    /// recoverable from cumulative state, so they are approximated by
+    /// the bounds of the delta's outermost non-empty buckets (clamped
+    /// to the cumulative `max`). Quantiles of the delta are still exact
+    /// at bucket resolution — the property the TSDB's windowed
+    /// `quantile()` queries rely on. The delta carries no exemplar.
+    ///
+    /// Subtraction saturates, so a mismatched pair (not actually
+    /// snapshots of one histogram) degrades to a partial distribution
+    /// rather than panicking.
+    #[must_use]
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; self.buckets.len().max(earlier.buckets.len())];
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            let new = self.buckets.get(i).copied().unwrap_or(0);
+            let old = earlier.buckets.get(i).copied().unwrap_or(0);
+            *slot = new.saturating_sub(old);
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        let first = buckets.iter().position(|&c| c > 0);
+        let last = buckets.iter().rposition(|&c| c > 0);
+        let (min, max) = match (first, last, count) {
+            (Some(f), Some(l), c) if c > 0 => (
+                if f < LINEAR_CUTOFF as usize {
+                    f as u64
+                } else {
+                    bucket_upper(f - 1).saturating_add(1)
+                },
+                bucket_upper(l).min(self.max),
+            ),
+            _ => (u64::MAX, 0),
+        };
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max,
+            min,
+            exemplar: None,
+        }
+    }
+}
+
+/// A histogram copy holding only the non-empty buckets, as
+/// `(bucket index, count)` pairs in ascending index order.
+///
+/// This is the storage form the TSDB rings keep: the dense
+/// [`HistogramSnapshot`] always carries all [`BUCKETS`] slots (~8 KB)
+/// while a real latency stream populates a few dozen of them, and the
+/// scrape loop takes one copy per histogram per registry per
+/// interval. [`SparseHistogram::to_snapshot`] restores the dense form
+/// bucket-for-bucket, so query-time quantiles and window deltas stay
+/// exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseHistogram {
+    entries: Vec<(u32, u64)>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+    exemplar: Option<Exemplar>,
+}
+
+impl SparseHistogram {
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Non-empty `(bucket index, count)` pairs, index ascending.
+    #[must_use]
+    pub fn entries(&self) -> &[(u32, u64)] {
+        &self.entries
+    }
+
+    /// Expands back to the dense form, reproducing what
+    /// [`HistogramCore::snapshot`] would have returned at the same
+    /// instant — same bucket layout, counts, extremes, and exemplar.
+    #[must_use]
+    pub fn to_snapshot(&self) -> HistogramSnapshot {
+        let len = BUCKETS.max(self.entries.last().map_or(0, |&(i, _)| i as usize + 1));
+        let mut buckets = vec![0u64; len];
+        for &(i, c) in &self.entries {
+            buckets[i as usize] = c;
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            min: self.min,
+            exemplar: self.exemplar,
+        }
+    }
 }
 
 /// A histogram sliced into fixed-width sim-time slots, supporting
@@ -436,6 +610,25 @@ mod tests {
             last = idx;
         }
         assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn sparse_snapshot_round_trips_exactly() {
+        let h = HistogramCore::new();
+        for v in [0u64, 1, 17, 127, 1_000, 65_000, u64::MAX] {
+            h.record_tagged(v, v ^ 0xdead);
+        }
+        let dense = h.snapshot();
+        let sparse = h.snapshot_sparse();
+        assert_eq!(sparse.to_snapshot(), dense);
+        assert_eq!(dense.to_sparse(), sparse);
+        assert_eq!(sparse.count(), dense.count());
+        assert!(sparse.entries().len() < BUCKETS / 10);
+        assert!(sparse.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        // An empty histogram round-trips too (min stays at the
+        // "nothing recorded" sentinel).
+        let empty = HistogramCore::new();
+        assert_eq!(empty.snapshot_sparse().to_snapshot(), empty.snapshot());
     }
 
     #[test]

@@ -103,29 +103,37 @@ pub mod incident;
 pub mod json;
 pub mod names;
 pub mod prof;
+pub mod query;
 pub mod registry;
 pub mod remote;
 pub mod report;
+pub mod sample;
 pub mod slo;
 pub mod stitch;
 pub mod trace;
+pub mod tsdb;
 
 pub use alert::{AlertConfig, AlertMachine, AlertState, AlertTransition};
 pub use attr::{AttributionLog, AttributionSnapshot, UplinkFrameEntry};
 pub use context::TraceContext;
 pub use diff::{diff as attribution_diff, AttributionDiff};
-pub use export::{chrome_trace, prometheus_text, prometheus_text_with_labels};
+pub use export::{
+    chrome_trace, prometheus_text, prometheus_text_with_labels, prometheus_text_with_labels_dedup,
+};
 pub use flame::{collapsed_stack, parse_collapsed, CollapsedLine};
 pub use flight::{Fault, FlightDump, FlightRecorder};
-pub use hist::{Exemplar, HistogramSnapshot};
+pub use hist::{Exemplar, HistogramSnapshot, SparseHistogram};
 pub use incident::{
     AlertSummary, Incident, IncidentConfig, IncidentManager, OpsEvent, OpsEventKind, OpsLog,
     OpsReport, SloWindowState,
 };
 pub use prof::{HostProfileSnapshot, HostProfiler};
+pub use query::{eval as query_eval, QueryError};
 pub use registry::{Counter, Gauge, Histogram, Registry, WindowedHistogram};
 pub use remote::{ClockOffsetEstimator, RemoteSpan, RemoteSpanLog};
 pub use report::TelemetrySnapshot;
+pub use sample::{FrameVerdict, KeepReason, KeptTrace, TailSampler};
 pub use slo::{Anomaly, AnomalyDetector, BurnState, SloObjective};
 pub use stitch::{stitch_remote, StitchOutcome};
 pub use trace::{FrameTrace, SpanNode, TraceLog};
+pub use tsdb::{Series, SeriesData, Tsdb};

@@ -90,6 +90,31 @@ pub mod tracing {
     pub const ORPHAN_SPANS: &str = "trace.orphan_spans";
     /// Remote spans clamped into the frame root's bounds (counter).
     pub const CLAMPED_SPANS: &str = "trace.clamped_spans";
+    /// Frame traces retained by the tail sampler (counter).
+    pub const SAMPLED_KEPT: &str = "trace.sampled_kept";
+    /// Frame traces discarded by the tail-sampling verdict (counter).
+    pub const SAMPLED_DROPPED: &str = "trace.sampled_dropped";
+    /// Kept traces evicted to enforce a per-tenant byte budget
+    /// (counter).
+    pub const BUDGET_EVICTIONS: &str = "trace.budget_evictions";
+    /// Worst absolute per-node clock-offset estimate in ms (gauge; the
+    /// per-node values ride as `{node="nNN"}`-labelled samples in the
+    /// fabric exposition).
+    pub const CLOCK_OFFSET_MS: &str = "trace.clock_offset_ms";
+    /// Wall-clock overhead of sampled tracing over a tracing-off
+    /// fabric run, in percent (bench row; must stay ≤ 5).
+    pub const SAMPLING_OVERHEAD_PCT: &str = "trace.sampling_overhead_pct";
+}
+
+/// Embedded ring-buffer time-series database
+/// (crates/telemetry/src/{tsdb,query}.rs).
+pub mod tsdb {
+    /// Distinct series held at finalize (gauge).
+    pub const SERIES: &str = "tsdb.series";
+    /// Samples ingested over the run (counter).
+    pub const SAMPLES: &str = "tsdb.samples";
+    /// Samples evicted by the fixed-slot ring (counter).
+    pub const POINTS_EVICTED: &str = "tsdb.points_evicted";
 }
 
 /// Fault-triggered flight recorder (crates/telemetry/src/flight.rs).

@@ -104,6 +104,12 @@ impl Histogram {
     pub fn snapshot(&self) -> crate::hist::HistogramSnapshot {
         self.0.snapshot()
     }
+
+    /// Takes a point-in-time copy in sparse form (only the non-empty
+    /// buckets) — what the TSDB scrape path stores.
+    pub fn snapshot_sparse(&self) -> crate::hist::SparseHistogram {
+        self.0.snapshot_sparse()
+    }
 }
 
 /// A handle to a registered sliding-window histogram: a time-slotted
@@ -146,6 +152,16 @@ impl WindowedHistogram {
             .expect("windowed histogram poisoned")
             .merged()
             .clone()
+    }
+
+    /// The all-time merged view in sparse form, skipping the dense
+    /// clone [`WindowedHistogram::merged`] pays.
+    pub fn merged_sparse(&self) -> crate::hist::SparseHistogram {
+        self.0
+            .lock()
+            .expect("windowed histogram poisoned")
+            .merged()
+            .to_sparse()
     }
 }
 
@@ -265,6 +281,58 @@ impl Registry {
             counters,
             gauges,
             histograms,
+        }
+    }
+
+    /// Streams every instrument straight into `db` at `at` under
+    /// `labels` — the scrape-loop fast path. Ingesting via
+    /// [`Registry::snapshot`] would materialize three `BTreeMap`s and
+    /// re-own every metric name on every scrape; this walks the
+    /// instruments in place (same iteration order, so the resulting
+    /// series content is identical) and hands each histogram over in
+    /// sparse form, never materializing a dense snapshot.
+    pub fn scrape_into(
+        &self,
+        db: &mut crate::tsdb::Tsdb,
+        at: gbooster_sim::time::SimTime,
+        labels: &[(&str, &str)],
+    ) {
+        for (&k, v) in self
+            .inner
+            .counters
+            .lock()
+            .expect("counter registry poisoned")
+            .iter()
+        {
+            #[allow(clippy::cast_precision_loss)]
+            db.record(at, k, labels, v.get() as f64);
+        }
+        for (&k, v) in self
+            .inner
+            .gauges
+            .lock()
+            .expect("gauge registry poisoned")
+            .iter()
+        {
+            db.record(at, k, labels, v.get());
+        }
+        for (&k, v) in self
+            .inner
+            .histograms
+            .lock()
+            .expect("histogram registry poisoned")
+            .iter()
+        {
+            db.record_hist_sparse(at, k, labels, v.snapshot_sparse());
+        }
+        for (&k, v) in self
+            .inner
+            .windowed
+            .lock()
+            .expect("windowed registry poisoned")
+            .iter()
+        {
+            db.record_hist_sparse(at, k, labels, v.merged_sparse());
         }
     }
 }

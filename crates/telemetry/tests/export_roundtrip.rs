@@ -4,13 +4,14 @@
 //! Chrome trace export as real JSON whose event names are exactly the
 //! attribution span names.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use gbooster_sim::time::SimTime;
 use gbooster_telemetry::json::{self, JsonValue};
 use gbooster_telemetry::trace::{FrameTrace, SpanNode, TraceLog};
 use gbooster_telemetry::{
-    chrome_trace, names, prometheus_text, prometheus_text_with_labels, Registry, TelemetrySnapshot,
+    chrome_trace, names, prometheus_text, prometheus_text_with_labels,
+    prometheus_text_with_labels_dedup, Registry, TelemetrySnapshot,
 };
 
 /// Prometheus metric-name sanitization, mirrored from the exporter's
@@ -194,6 +195,123 @@ fn hostile_label_values_survive_the_text_round_trip() {
         .collect();
     assert_eq!(q_keys.len(), 1);
     assert_eq!(page.samples[q_keys[0]], 30.0);
+}
+
+/// A parsed page in the dedup variant's dialect: `# HELP` lines are
+/// legal, and metadata may legitimately be absent for a metric whose
+/// first sight happened in an earlier concatenated chunk.
+struct DedupPage {
+    /// `metric{labels}` → value.
+    samples: BTreeMap<String, f64>,
+    /// metric → `# TYPE` occurrence count across the whole page.
+    type_counts: BTreeMap<String, u32>,
+    /// metric → (`# HELP` occurrence count, help text of the first).
+    help: BTreeMap<String, (u32, String)>,
+}
+
+/// Parses a concatenated multi-registry exposition page, tolerating
+/// (and tallying) `# HELP` comments the strict parser rejects.
+fn parse_dedup_page(text: &str) -> DedupPage {
+    let mut samples = BTreeMap::new();
+    let mut type_counts: BTreeMap<String, u32> = BTreeMap::new();
+    let mut help: BTreeMap<String, (u32, String)> = BTreeMap::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, text) = rest.split_once(' ').expect("help name + text");
+            let entry = help
+                .entry(name.to_string())
+                .or_insert((0, text.to_string()));
+            entry.0 += 1;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let name = rest.split_whitespace().next().expect("type name");
+            *type_counts.entry(name.to_string()).or_insert(0) += 1;
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unexpected comment form: {line}");
+        let (key, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let parsed: f64 = value.parse().expect("numeric sample value");
+        let prior = samples.insert(key.to_string(), parsed);
+        assert!(prior.is_none(), "duplicate sample {key}");
+    }
+    DedupPage {
+        samples,
+        type_counts,
+        help,
+    }
+}
+
+#[test]
+fn deduped_concatenation_carries_metadata_exactly_once() {
+    // The fabric page shape: one pool exposition plus one per tenant,
+    // concatenated with a shared dedup set. Every registry holds the
+    // same metric names, so without dedup each metric's metadata would
+    // repeat four times — the exposition format forbids that.
+    let mut seen = BTreeSet::new();
+    let mut page = prometheus_text_with_labels_dedup(&sample_snapshot(1), &[], &mut seen);
+    for tenant in 0..3u64 {
+        let label = format!("t{tenant:03}");
+        page.push_str(&prometheus_text_with_labels_dedup(
+            &sample_snapshot(tenant + 2),
+            &[("tenant", &label)],
+            &mut seen,
+        ));
+    }
+
+    let parsed = parse_dedup_page(&page);
+    let snap = sample_snapshot(1);
+    let metric_names: Vec<&String> = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .collect();
+    for raw in &metric_names {
+        let metric = sanitize(raw);
+        assert_eq!(parsed.type_counts[&metric], 1, "{metric} TYPE repeated");
+        let (count, text) = &parsed.help[&metric];
+        assert_eq!(*count, 1, "{metric} HELP repeated");
+        // The HELP text names the registry metric it was sanitized from.
+        assert_eq!(text, &format!("registry metric {raw}"));
+    }
+    assert_eq!(parsed.type_counts.len(), metric_names.len());
+    assert_eq!(parsed.help.len(), metric_names.len());
+
+    // Values parse back per origin registry: the unlabeled pool chunk
+    // and each tenant-labeled chunk keep their own samples.
+    let pool_metric = sanitize(names::net::UPLINK_BYTES);
+    assert_eq!(parsed.samples[&pool_metric], 1000.0);
+    for tenant in 0..3u64 {
+        let key = format!("{pool_metric}{{tenant=\"t{tenant:03}\"}}");
+        assert_eq!(parsed.samples[&key], (1000 * (tenant + 2)) as f64);
+    }
+    // Full accounting: 4 chunks × (counters + gauges + 5 summary lines
+    // per histogram), all distinct keys.
+    let per_chunk = snap.counters.len() + snap.gauges.len() + 5 * snap.histograms.len();
+    assert_eq!(parsed.samples.len(), 4 * per_chunk);
+}
+
+#[test]
+fn dedup_variant_only_adds_help_lines_over_the_legacy_format() {
+    // Byte-level compatibility: strip the `# HELP` lines from a single
+    // dedup exposition and the legacy single-registry output remains.
+    let snap = sample_snapshot(3);
+    let labels = [("tenant", "t042")];
+    let mut seen = BTreeSet::new();
+    let deduped = prometheus_text_with_labels_dedup(&snap, &labels, &mut seen);
+    let stripped: String = deduped
+        .lines()
+        .filter(|l| !l.starts_with("# HELP "))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(stripped, prometheus_text_with_labels(&snap, &labels));
+    // A second exposition against the same set is samples-only.
+    let again = prometheus_text_with_labels_dedup(&snap, &labels, &mut seen);
+    assert!(!again.contains('#'), "metadata must not repeat: {again}");
 }
 
 fn t(us: u64) -> SimTime {

@@ -108,6 +108,34 @@ fn every_emitted_metric_name_is_declared() {
 }
 
 #[test]
+fn observability_names_are_declared_and_consistent() {
+    // The tail-sampling and TSDB metric families ship through the
+    // `names::` constants; pin both the constant values (exposition
+    // stability) and their presence in the parsed declaration set.
+    use gbooster::telemetry::names;
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let names_rs =
+        fs::read_to_string(repo.join("crates/telemetry/src/names.rs")).expect("read names.rs");
+    let declared = declared_names(&names_rs);
+    for (constant, value) in [
+        (names::tracing::SAMPLED_KEPT, "trace.sampled_kept"),
+        (names::tracing::SAMPLED_DROPPED, "trace.sampled_dropped"),
+        (names::tracing::BUDGET_EVICTIONS, "trace.budget_evictions"),
+        (names::tracing::CLOCK_OFFSET_MS, "trace.clock_offset_ms"),
+        (
+            names::tracing::SAMPLING_OVERHEAD_PCT,
+            "trace.sampling_overhead_pct",
+        ),
+        (names::tsdb::SERIES, "tsdb.series"),
+        (names::tsdb::SAMPLES, "tsdb.samples"),
+        (names::tsdb::POINTS_EVICTED, "tsdb.points_evicted"),
+    ] {
+        assert_eq!(constant, value, "renaming breaks dashboards and goldens");
+        assert!(declared.contains(value), "{value} missing from names.rs");
+    }
+}
+
+#[test]
 fn audit_helpers_catch_a_planted_violation() {
     let declared = declared_names("pub const GOOD: &str = \"net.good\";");
     assert_eq!(declared.len(), 1);
